@@ -1,0 +1,114 @@
+// Ablation — geolocation methods. The paper argues (Section V) that
+// database lookup fails for the YouTube CDN and adopts CBG. This bench
+// quantifies the ladder: the MaxMind-style database (everything in
+// Mountain View), GeoPing (snap to the nearest landmark), and full CBG,
+// evaluated against the ground-truth locations of every analysis-scope
+// data center.
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "geo/city.hpp"
+#include "geoloc/cbg.hpp"
+#include "geoloc/geoping.hpp"
+#include "geoloc/ip2location_db.hpp"
+
+namespace {
+
+using namespace ytcdn;
+
+struct MethodError {
+    analysis::EmpiricalCdf error_km;
+};
+
+/// Stride-samples `count` landmarks out of the full (continent-grouped)
+/// set, preserving worldwide coverage while thinning density.
+std::vector<geoloc::Landmark> thin_landmarks(std::size_t count) {
+    const auto& all = bench::shared_landmarks();
+    std::vector<geoloc::Landmark> out;
+    const double stride =
+        static_cast<double>(all.size()) / static_cast<double>(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(all[static_cast<std::size_t>(i * stride)]);
+    }
+    return out;
+}
+
+struct MethodRow {
+    double gp_median = 0.0, gp_p90 = 0.0;
+    double cbg_median = 0.0, cbg_p90 = 0.0;
+};
+
+MethodRow evaluate_with(std::size_t num_landmarks) {
+    const auto& run = bench::shared_run();
+    auto landmarks = thin_landmarks(num_landmarks);
+    geoloc::CbgLocator cbg(run.deployment->rtt(), landmarks, {},
+                           run.config.seed ^ 0xCB6 ^ num_landmarks);
+    cbg.calibrate();
+    geoloc::GeoPingLocator geoping(run.deployment->rtt(), landmarks,
+                                   run.config.seed ^ 0x6E0 ^ num_landmarks);
+
+    analysis::EmpiricalCdf gp_err, cbg_err;
+    for (const auto& dc : run.deployment->cdn().data_centers()) {
+        if (!cdn::in_analysis_scope(dc.infra) || dc.servers.empty()) continue;
+        const auto gp = geoping.locate(dc.site);
+        gp_err.add(geo::distance_km(gp.estimate, dc.location));
+        const auto cb = cbg.locate(dc.site);
+        if (cb.valid) cbg_err.add(geo::distance_km(cb.estimate, dc.location));
+    }
+    gp_err.finalize();
+    cbg_err.finalize();
+    return {gp_err.quantile(0.5), gp_err.quantile(0.9), cbg_err.quantile(0.5),
+            cbg_err.quantile(0.9)};
+}
+
+void print_reproduction() {
+    bench::print_banner(
+        "Ablation: geolocation methods vs landmark density",
+        "the database places every server at the corporate HQ (useless for "
+        "a distributed CDN, Section V); GeoPing degrades to the nearest-"
+        "landmark distance as landmarks thin out; CBG keeps triangulating — "
+        "the paper's reason for adopting it");
+    const auto& run = bench::shared_run();
+
+    // The database baseline is landmark-free.
+    const auto maxmind = geoloc::IpLocationDatabase::maxmind_like();
+    analysis::EmpiricalCdf db_err;
+    int total = 0;
+    for (const auto& dc : run.deployment->cdn().data_centers()) {
+        if (!cdn::in_analysis_scope(dc.infra) || dc.servers.empty()) continue;
+        ++total;
+        const auto ip = run.deployment->cdn().server(dc.servers[0]).ip();
+        db_err.add(geo::distance_km(maxmind.lookup(ip)->location, dc.location));
+    }
+    db_err.finalize();
+    std::cout << "IP-to-location database: median error "
+              << analysis::fmt(db_err.quantile(0.5), 0) << " km over " << total
+              << " data centers (it answers Mountain View for everything)\n\n";
+
+    analysis::AsciiTable t({"landmarks", "GeoPing med/p90 [km]", "CBG med/p90 [km]"});
+    for (const std::size_t n : {12u, 24u, 60u, 215u}) {
+        const auto row = evaluate_with(n);
+        t.add_row({std::to_string(n),
+                   analysis::fmt(row.gp_median, 0) + " / " +
+                       analysis::fmt(row.gp_p90, 0),
+                   analysis::fmt(row.cbg_median, 0) + " / " +
+                       analysis::fmt(row.cbg_p90, 0)});
+    }
+    std::cout << t << '\n';
+}
+
+void bm_geoping_locate(benchmark::State& state) {
+    const auto& run = bench::shared_run();
+    geoloc::GeoPingLocator geoping(run.deployment->rtt(), bench::shared_landmarks(),
+                                   run.config.seed);
+    const auto& dc = run.deployment->cdn().dc(run.deployment->dc_by_city("Milan"));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(geoping.locate(dc.site));
+    }
+}
+BENCHMARK(bm_geoping_locate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+YTCDN_BENCH_MAIN(print_reproduction)

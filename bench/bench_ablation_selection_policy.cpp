@@ -1,0 +1,116 @@
+// Ablation — the paper's central architectural finding (Section VIII): the
+// post-Google CDN maps each network to a *preferred, low-RTT* data center,
+// whereas the pre-2010 system (Adhikari et al. [7]) spread requests across
+// data centers proportionally to data-center size, ignoring locality.
+// We replay the US-Campus workload under both DNS policies and compare the
+// RTT the clients experience and how concentrated the traffic is.
+
+#include <memory>
+
+#include "analysis/preferred_dc.hpp"
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "capture/sniffer.hpp"
+#include "workload/request_generator.hpp"
+
+namespace {
+
+using namespace ytcdn;
+
+struct PolicyOutcome {
+    double mean_rtt_ms = 0.0;        // flow-weighted client-server base RTT
+    double top_dc_byte_share = 0.0;  // concentration at the busiest DC
+    std::uint64_t flows = 0;
+};
+
+PolicyOutcome replay_us_campus(bool proportional_to_size) {
+    // Fresh world so cache state is identical across arms.
+    study::StudyConfig cfg = bench::bench_config();
+    cfg.scale = 0.02;
+    study::StudyDeployment dep(cfg);
+    auto& vp = dep.vantage("US-Campus");
+
+    // Swap the DNS side: either the deployment's per-resolver preferred
+    // mapping, or one proportional-to-size resolver for everyone.
+    cdn::DnsSystem old_dns;
+    if (proportional_to_size) {
+        std::vector<cdn::ProportionalToSizePolicy::WeightedDc> weighted;
+        for (const auto& dc : dep.cdn().data_centers()) {
+            if (!cdn::in_analysis_scope(dc.infra) || dc.servers.empty()) continue;
+            weighted.push_back({dc.id, static_cast<double>(dc.servers.size())});
+        }
+        // Clients reference resolver ids 0 and 1 (main + Net-3).
+        for (int i = 0; i < 2; ++i) {
+            old_dns.add_resolver(
+                "old-youtube-" + std::to_string(i),
+                std::make_unique<cdn::ProportionalToSizePolicy>(weighted));
+        }
+    }
+    cdn::DnsSystem& dns = proportional_to_size ? old_dns : dep.dns();
+
+    sim::Simulator simulator;
+    capture::Sniffer sniffer("US-Campus");
+    workload::Player player(simulator, dep.cdn(), dns, sniffer, {},
+                            dep.root_rng().fork("ablation-player"));
+    workload::RequestGenerator generator(simulator, vp, player, dep.catalog(), {},
+                                         dep.root_rng().fork("ablation-gen"));
+    generator.run(sim::kDay);
+    simulator.run_until(sim::kDay + sim::kHour);
+
+    PolicyOutcome out;
+    std::unordered_map<int, std::uint64_t> bytes_per_dc;
+    std::uint64_t total_bytes = 0;
+    double rtt_sum = 0.0;
+    for (const auto& r : sniffer.records()) {
+        const auto dc_id = dep.cdn().dc_of_ip(r.server_ip);
+        if (dc_id == cdn::kInvalidDc) continue;
+        const auto& dc = dep.cdn().dc(dc_id);
+        if (!cdn::in_analysis_scope(dc.infra)) continue;
+        ++out.flows;
+        rtt_sum += dep.rtt().base_rtt_ms(vp.pop_site, dc.site);
+        bytes_per_dc[dc_id] += r.bytes;
+        total_bytes += r.bytes;
+    }
+    out.mean_rtt_ms = out.flows == 0 ? 0.0 : rtt_sum / static_cast<double>(out.flows);
+    for (const auto& [dc, b] : bytes_per_dc) {
+        out.top_dc_byte_share =
+            std::max(out.top_dc_byte_share,
+                     static_cast<double>(b) / static_cast<double>(total_bytes));
+    }
+    return out;
+}
+
+void print_reproduction() {
+    bench::print_banner(
+        "Ablation: RTT-preferred DNS vs old proportional-to-size DNS [7]",
+        "the old design sends requests anywhere (high RTT, traffic spread "
+        "like data-center sizes); the new design keeps >85% of bytes at one "
+        "low-RTT preferred data center");
+    const auto new_policy = replay_us_campus(false);
+    const auto old_policy = replay_us_campus(true);
+
+    analysis::AsciiTable t(
+        {"Policy", "mean RTT [ms]", "top-DC byte share %", "video+ctl flows"});
+    t.add_row({"RTT-preferred (2010 CDN)", analysis::fmt(new_policy.mean_rtt_ms, 1),
+               analysis::fmt_pct(new_policy.top_dc_byte_share, 1),
+               std::to_string(new_policy.flows)});
+    t.add_row({"proportional-to-size (old [7])",
+               analysis::fmt(old_policy.mean_rtt_ms, 1),
+               analysis::fmt_pct(old_policy.top_dc_byte_share, 1),
+               std::to_string(old_policy.flows)});
+    std::cout << t << '\n';
+    std::cout << "RTT penalty of the old design: "
+              << analysis::fmt(old_policy.mean_rtt_ms / new_policy.mean_rtt_ms, 1)
+              << "x\n\n";
+}
+
+void bm_replay_old_policy(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(replay_us_campus(true));
+    }
+}
+BENCHMARK(bm_replay_old_policy)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+YTCDN_BENCH_MAIN(print_reproduction)

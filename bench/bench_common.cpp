@@ -1,0 +1,42 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+
+#include "geo/city.hpp"
+
+namespace ytcdn::bench {
+
+double bench_scale() {
+    if (const char* env = std::getenv("YTCDN_BENCH_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0.0) return v;
+    }
+    return 0.15;
+}
+
+study::StudyConfig bench_config() {
+    study::StudyConfig cfg;
+    cfg.scale = bench_scale();
+    return cfg;
+}
+
+const study::StudyRun& shared_run() {
+    static const study::StudyRun run = study::run_study(bench_config());
+    return run;
+}
+
+const std::vector<geoloc::Landmark>& shared_landmarks() {
+    static const std::vector<geoloc::Landmark> landmarks =
+        geoloc::make_planetlab_landmarks(geo::CityDatabase::builtin(),
+                                         sim::Rng(bench_config().seed ^ 0x9Bull));
+    return landmarks;
+}
+
+void print_banner(const char* artifact, const char* claim) {
+    std::cout << "=====================================================================\n"
+              << artifact << "  (scale " << bench_scale() << " vs paper)\n"
+              << "# paper: " << claim << "\n"
+              << "=====================================================================\n";
+}
+
+}  // namespace ytcdn::bench

@@ -1,0 +1,53 @@
+#pragma once
+
+// Shared infrastructure for the per-table / per-figure bench binaries.
+//
+// Each binary first prints its paper artifact (the rows of a table or the
+// series of a figure, with the paper's reference values quoted in "# paper:"
+// comments), then runs google-benchmark timings of the pipeline stages that
+// produce it. Every binary is self-contained: run
+//   for b in build/bench/*; do $b; done
+// to regenerate the full evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "geoloc/landmark.hpp"
+#include "study/study_run.hpp"
+
+namespace ytcdn::bench {
+
+/// Trace-volume scale used by the benches, overridable via the
+/// YTCDN_BENCH_SCALE environment variable (1.0 = paper magnitudes).
+[[nodiscard]] double bench_scale();
+
+/// The study configuration all benches share.
+[[nodiscard]] study::StudyConfig bench_config();
+
+/// One full study run (deployment + week of traces + per-VP maps), built
+/// lazily and cached for the process lifetime.
+[[nodiscard]] const study::StudyRun& shared_run();
+
+/// The paper's 215-node PlanetLab landmark set against the shared
+/// deployment's RTT model.
+[[nodiscard]] const std::vector<geoloc::Landmark>& shared_landmarks();
+
+/// Prints the standard experiment banner.
+void print_banner(const char* artifact, const char* claim);
+
+}  // namespace ytcdn::bench
+
+/// Defines main(): prints the reproduction, then runs benchmarks.
+#define YTCDN_BENCH_MAIN(PRINT_FN)                                  \
+    int main(int argc, char** argv) {                               \
+        PRINT_FN();                                                 \
+        ::benchmark::Initialize(&argc, argv);                       \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+            return 1;                                               \
+        }                                                           \
+        ::benchmark::RunSpecifiedBenchmarks();                      \
+        ::benchmark::Shutdown();                                    \
+        return 0;                                                   \
+    }

@@ -1,0 +1,62 @@
+// Fig. 17 — RTT to the serving content server over time for one PlanetLab
+// node repeatedly downloading a freshly uploaded test video every 30
+// minutes. The first download is served from a distant data center (the
+// only one holding the new content); subsequent downloads come from the
+// node's preferred data center after the miss-triggered pull.
+
+#include "analysis/series.hpp"
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "study/planetlab_experiment.hpp"
+
+namespace {
+
+using namespace ytcdn;
+
+study::PlanetLabResult run_experiment() {
+    // A fresh deployment per experiment: the upload must be cold.
+    study::StudyConfig cfg = bench::bench_config();
+    cfg.scale = 0.01;  // the CDN topology, not the traces, matters here
+    study::StudyDeployment dep(cfg);
+    return study::run_planetlab_experiment(dep, bench::shared_landmarks(), {});
+}
+
+void print_reproduction() {
+    bench::print_banner(
+        "Fig. 17: RTT over time, one PlanetLab node, fresh test video",
+        "first sample ~200 ms (served from another continent), subsequent "
+        "samples ~20 ms (preferred data center) for the rest of the 12 h");
+    const auto result = run_experiment();
+
+    // Pick the node with the largest first/second RTT contrast, like the
+    // paper's California example.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < result.nodes.size(); ++i) {
+        if (result.rtt_ratio[i] > result.rtt_ratio[best]) best = i;
+    }
+    const auto& node = result.nodes[best];
+    std::cout << "node " << node.node << " (preferred DC " << node.preferred_city
+              << "):\n";
+    std::cout << "  sample 1: " << analysis::fmt(node.rtt_ms[0], 1) << " ms from "
+              << node.served_from[0] << "   # paper: ~200 ms from the Netherlands\n";
+    std::cout << "  sample 2: " << analysis::fmt(node.rtt_ms[1], 1) << " ms from "
+              << node.served_from[1] << "   # paper: ~20 ms from California\n\n";
+
+    analysis::Series s;
+    s.name = node.node + " RTT[ms] per 30-min sample";
+    for (std::size_t i = 0; i < node.rtt_ms.size(); ++i) {
+        s.points.emplace_back(static_cast<double>(i + 1), node.rtt_ms[i]);
+    }
+    analysis::write_series(std::cout, {s}, 0, 1);
+}
+
+void bm_planetlab_experiment(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(run_experiment());
+    }
+}
+BENCHMARK(bm_planetlab_experiment)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+YTCDN_BENCH_MAIN(print_reproduction)

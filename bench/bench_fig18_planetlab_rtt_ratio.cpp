@@ -1,0 +1,53 @@
+// Fig. 18 — CDF across 45 PlanetLab nodes of RTT1/RTT2: the RTT of the
+// first (cold) download of a fresh video over the RTT of the second. Ratios
+// >1 mean the first access was served farther away than subsequent ones.
+
+#include "analysis/series.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "study/planetlab_experiment.hpp"
+
+namespace {
+
+using namespace ytcdn;
+
+void print_reproduction() {
+    bench::print_banner(
+        "Fig. 18: CDF of RTT1/RTT2 across 45 PlanetLab nodes",
+        ">40% of nodes see a ratio >1 and ~20% see >10; the rest hit a "
+        "preferred data center that already held (or received) the content");
+    study::StudyConfig cfg = bench::bench_config();
+    cfg.scale = 0.01;
+    study::StudyDeployment dep(cfg);
+    const auto result =
+        study::run_planetlab_experiment(dep, bench::shared_landmarks(), {});
+
+    analysis::EmpiricalCdf cdf(
+        std::vector<double>(result.rtt_ratio.begin(), result.rtt_ratio.end()));
+    const double above1 = 1.0 - cdf.fraction_at_or_below(1.2);
+    const double above10 = 1.0 - cdf.fraction_at_or_below(10.0);
+    std::cout << "ratio > 1:  " << analysis::fmt_pct(above1, 1)
+              << "% of nodes   # paper: >40%\n";
+    std::cout << "ratio > 10: " << analysis::fmt_pct(above10, 1)
+              << "% of nodes   # paper: ~20%\n";
+    std::cout << "median ratio: " << analysis::fmt(cdf.quantile(0.5), 2) << "\n\n";
+    analysis::write_series(std::cout, {{"RTT1/RTT2 CDF", cdf.curve(45)}}, 2, 4);
+}
+
+void bm_rtt_ratio_experiment(benchmark::State& state) {
+    study::StudyConfig cfg = bench::bench_config();
+    cfg.scale = 0.01;
+    for (auto _ : state) {
+        study::StudyDeployment dep(cfg);
+        study::PlanetLabConfig pl;
+        pl.rounds = 2;  // the ratio only needs two rounds
+        benchmark::DoNotOptimize(
+            study::run_planetlab_experiment(dep, bench::shared_landmarks(), pl));
+    }
+}
+BENCHMARK(bm_rtt_ratio_experiment)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+YTCDN_BENCH_MAIN(print_reproduction)

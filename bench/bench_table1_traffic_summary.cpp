@@ -1,0 +1,43 @@
+// Table I — traffic summary for the datasets: YouTube flows, downloaded
+// volume, distinct servers and clients per vantage point.
+
+#include "bench_common.hpp"
+#include "study/report.hpp"
+
+namespace {
+
+using namespace ytcdn;
+
+void print_reproduction() {
+    bench::print_banner(
+        "Table I: traffic summary for the datasets",
+        "874649/7061GB (US-Campus) ... 513403/2835GB (EU2); ~1000-2000 "
+        "servers and ~1000-20000 clients per dataset; counts scale with "
+        "the configured trace-volume factor");
+    std::cout << study::make_table1(bench::shared_run()) << '\n';
+}
+
+void bm_dataset_summary(benchmark::State& state) {
+    const auto& ds = bench::shared_run().traces.datasets[0];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ds.summary());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(ds.records.size()));
+}
+BENCHMARK(bm_dataset_summary);
+
+void bm_full_trace_capture(benchmark::State& state) {
+    // The expensive end of Table I: simulating + capturing one week at a
+    // small scale (0.01), per iteration.
+    for (auto _ : state) {
+        study::StudyConfig cfg = bench::bench_config();
+        cfg.scale = 0.01;
+        benchmark::DoNotOptimize(study::run_study(cfg));
+    }
+}
+BENCHMARK(bm_full_trace_capture)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+YTCDN_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,42 @@
+// Active measurement demo: the Section VII-C PlanetLab experiment. Uploads
+// a fresh test video and probes it from nodes around the world every 30
+// minutes, printing where each download was served from and the Fig. 17/18
+// signals (first access remote, later accesses local).
+
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "geo/city.hpp"
+#include "study/planetlab_experiment.hpp"
+
+int main() {
+    using namespace ytcdn;
+
+    study::StudyConfig config;
+    config.scale = 0.01;
+    study::StudyDeployment deployment(config);
+    const auto landmarks =
+        geoloc::make_planetlab_landmarks(geo::CityDatabase::builtin(), sim::Rng(3));
+
+    study::PlanetLabConfig pl;
+    pl.nodes = 12;   // keep the demo readable
+    pl.rounds = 6;
+    std::cout << "Uploading a fresh test video and probing it from " << pl.nodes
+              << " PlanetLab nodes, " << pl.rounds << " rounds, 30 min apart...\n\n";
+    const auto result = study::run_planetlab_experiment(deployment, landmarks, pl);
+
+    analysis::AsciiTable t({"node", "preferred DC", "round 1 (cold)", "round 2+",
+                            "RTT1/RTT2"});
+    for (std::size_t i = 0; i < result.nodes.size(); ++i) {
+        const auto& n = result.nodes[i];
+        t.add_row({n.node, n.preferred_city,
+                   n.served_from[0] + " @ " + analysis::fmt(n.rtt_ms[0], 1) + "ms",
+                   n.served_from[1] + " @ " + analysis::fmt(n.rtt_ms[1], 1) + "ms",
+                   analysis::fmt(result.rtt_ratio[i], 1)});
+    }
+    std::cout << t << '\n';
+    std::cout << "A ratio >1 is the paper's smoking gun for sparse content: the\n"
+                 "first access missed at the preferred data center, was served from\n"
+                 "an origin copy elsewhere, and the miss pulled the video local.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include "analysis/as_analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ytcdn::analysis {
+
+AsBreakdownRow as_breakdown(const capture::Dataset& dataset,
+                            const net::AsRegistry& whois, net::Asn local_as) {
+    struct Tally {
+        std::unordered_set<net::IpAddress> servers;
+        std::uint64_t bytes = 0;
+    };
+    Tally google, youtube_eu, same_as, other;
+
+    for (const auto& r : dataset.records) {
+        const auto asn = whois.asn_of(r.server_ip);
+        Tally* t = &other;
+        if (asn == net::well_known_as::kGoogle) {
+            t = &google;
+        } else if (asn == net::well_known_as::kYouTubeEu) {
+            t = &youtube_eu;
+        } else if (asn == local_as) {
+            t = &same_as;
+        }
+        t->servers.insert(r.server_ip);
+        t->bytes += r.bytes;
+    }
+
+    const double total_servers =
+        static_cast<double>(google.servers.size() + youtube_eu.servers.size() +
+                            same_as.servers.size() + other.servers.size());
+    const double total_bytes = static_cast<double>(google.bytes + youtube_eu.bytes +
+                                                   same_as.bytes + other.bytes);
+
+    AsBreakdownRow row;
+    row.dataset = dataset.name;
+    if (total_servers > 0.0) {
+        row.google_servers = google.servers.size() / total_servers;
+        row.youtube_eu_servers = youtube_eu.servers.size() / total_servers;
+        row.same_as_servers = same_as.servers.size() / total_servers;
+        row.other_servers = other.servers.size() / total_servers;
+    }
+    if (total_bytes > 0.0) {
+        row.google_bytes = static_cast<double>(google.bytes) / total_bytes;
+        row.youtube_eu_bytes = static_cast<double>(youtube_eu.bytes) / total_bytes;
+        row.same_as_bytes = static_cast<double>(same_as.bytes) / total_bytes;
+        row.other_bytes = static_cast<double>(other.bytes) / total_bytes;
+    }
+    return row;
+}
+
+std::vector<net::IpAddress> analysis_scope_servers(const capture::Dataset& dataset,
+                                                   const net::AsRegistry& whois,
+                                                   net::Asn local_as) {
+    std::unordered_set<net::IpAddress> set;
+    for (const auto& r : dataset.records) {
+        const auto asn = whois.asn_of(r.server_ip);
+        if (asn == net::well_known_as::kGoogle || asn == local_as) {
+            set.insert(r.server_ip);
+        }
+    }
+    std::vector<net::IpAddress> out(set.begin(), set.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace ytcdn::analysis

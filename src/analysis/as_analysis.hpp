@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "capture/dataset.hpp"
+#include "net/as_registry.hpp"
+
+namespace ytcdn::analysis {
+
+/// One row of the paper's Table II: the share of distinct servers and of
+/// bytes per AS group for a dataset.
+struct AsBreakdownRow {
+    std::string dataset;
+    double google_servers = 0.0, google_bytes = 0.0;      // AS 15169
+    double youtube_eu_servers = 0.0, youtube_eu_bytes = 0.0;  // AS 43515
+    double same_as_servers = 0.0, same_as_bytes = 0.0;    // the PoP's own AS
+    double other_servers = 0.0, other_bytes = 0.0;        // everything else
+};
+
+/// Computes the Table II row for one dataset. `local_as` is the AS of the
+/// network the dataset was captured in (detects the EU2 in-ISP data
+/// center). Shares are fractions in [0, 1].
+[[nodiscard]] AsBreakdownRow as_breakdown(const capture::Dataset& dataset,
+                                          const net::AsRegistry& whois,
+                                          net::Asn local_as);
+
+/// The set of server IPs (not /24s — the paper counts distinct addresses)
+/// whose whois AS is in the analysis scope: Google's AS plus, when
+/// `local_as` owns servers, the in-ISP data center (Section IV's filter).
+[[nodiscard]] std::vector<net::IpAddress> analysis_scope_servers(
+    const capture::Dataset& dataset, const net::AsRegistry& whois, net::Asn local_as);
+
+}  // namespace ytcdn::analysis

@@ -1,0 +1,117 @@
+#include "analysis/dc_map.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ytcdn::analysis {
+
+int ServerDcMap::add_data_center(DataCenterInfo info) {
+    dcs_.push_back(std::move(info));
+    return static_cast<int>(dcs_.size() - 1);
+}
+
+void ServerDcMap::assign(net::IpAddress ip, int dc_index) {
+    if (dc_index < 0 || static_cast<std::size_t>(dc_index) >= dcs_.size()) {
+        throw std::out_of_range("ServerDcMap::assign: unknown data center");
+    }
+    by_slash24_[ip.slash24()] = dc_index;
+}
+
+const DataCenterInfo& ServerDcMap::info(int dc_index) const {
+    if (dc_index < 0 || static_cast<std::size_t>(dc_index) >= dcs_.size()) {
+        throw std::out_of_range("ServerDcMap::info");
+    }
+    return dcs_[static_cast<std::size_t>(dc_index)];
+}
+
+int ServerDcMap::dc_of(net::IpAddress ip) const noexcept {
+    const auto it = by_slash24_.find(ip.slash24());
+    return it == by_slash24_.end() ? -1 : it->second;
+}
+
+void write_dc_map(std::ostream& os, const ServerDcMap& map) {
+    os << "# ytcdn server->data-center map v1\n";
+    char buf[160];
+    for (std::size_t i = 0; i < map.num_data_centers(); ++i) {
+        const auto& info = map.info(static_cast<int>(i));
+        std::snprintf(buf, sizeof(buf), "dc\t%zu\t%s\t%.6f\t%.6f\t%s\t%.4f\t%.2f\n", i,
+                      info.name.c_str(), info.location.lat_deg, info.location.lon_deg,
+                      std::string(geo::to_string(info.continent)).c_str(), info.rtt_ms,
+                      info.distance_km);
+        os << buf;
+    }
+    // Deterministic output: sort the /24 assignments.
+    std::vector<std::pair<net::IpAddress, int>> rows(map.assignments().begin(),
+                                                     map.assignments().end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto& [subnet, dc] : rows) {
+        os << "assign\t" << subnet.to_string() << '\t' << dc << '\n';
+    }
+}
+
+ServerDcMap read_dc_map(std::istream& is) {
+    ServerDcMap map;
+    std::string line;
+    std::size_t line_no = 0;
+    const auto fail = [&](const std::string& why) {
+        throw std::runtime_error("read_dc_map: " + why + " at line " +
+                                 std::to_string(line_no));
+    };
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line.front() == '#') continue;
+        std::istringstream fields(line);
+        std::string kind;
+        std::getline(fields, kind, '\t');
+        if (kind == "dc") {
+            std::string idx, name, lat, lon, continent, rtt, dist;
+            if (!std::getline(fields, idx, '\t') || !std::getline(fields, name, '\t') ||
+                !std::getline(fields, lat, '\t') || !std::getline(fields, lon, '\t') ||
+                !std::getline(fields, continent, '\t') ||
+                !std::getline(fields, rtt, '\t') || !std::getline(fields, dist)) {
+                fail("short dc row");
+            }
+            const auto cont = geo::continent_from_string(continent);
+            if (!cont) fail("unknown continent '" + continent + "'");
+            DataCenterInfo info;
+            info.name = name;
+            try {
+                info.location = {std::stod(lat), std::stod(lon)};
+                info.rtt_ms = std::stod(rtt);
+                info.distance_km = std::stod(dist);
+            } catch (const std::exception&) {
+                fail("bad number");
+            }
+            info.continent = *cont;
+            const int got = map.add_data_center(std::move(info));
+            if (got != std::stoi(idx)) fail("dc rows out of order");
+        } else if (kind == "assign") {
+            std::string ip_text, dc_text;
+            if (!std::getline(fields, ip_text, '\t') || !std::getline(fields, dc_text)) {
+                fail("short assign row");
+            }
+            const auto ip = net::IpAddress::parse(ip_text);
+            if (!ip) fail("bad ip '" + ip_text + "'");
+            int dc = -1;
+            try {
+                dc = std::stoi(dc_text);
+            } catch (const std::exception&) {
+                fail("bad dc index");
+            }
+            if (dc < 0 || static_cast<std::size_t>(dc) >= map.num_data_centers()) {
+                fail("dc index out of range");
+            }
+            map.assign(*ip, dc);
+        } else {
+            fail("unknown row kind '" + kind + "'");
+        }
+    }
+    return map;
+}
+
+}  // namespace ytcdn::analysis

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/continent.hpp"
+#include "geo/geo_point.hpp"
+#include "net/ip_address.hpp"
+
+namespace ytcdn::analysis {
+
+/// What the analysis knows about one data center, from the perspective of a
+/// single vantage point: where it is and how far away it looks from the
+/// probe PC (both in RTT and in km) — the two x-axes of Figs 7 and 8.
+struct DataCenterInfo {
+    std::string name;  // city name per CBG clustering
+    geo::GeoPoint location;
+    geo::Continent continent = geo::Continent::Europe;
+    double rtt_ms = 0.0;       // min RTT probe -> data center
+    double distance_km = 0.0;  // great-circle probe -> data center
+};
+
+/// The server-IP -> data-center mapping a vantage point's analysis runs on.
+/// Assignments are stored at /24 granularity, mirroring the paper's
+/// clustering invariant (same /24 => same data center).
+class ServerDcMap {
+public:
+    ServerDcMap() = default;
+
+    int add_data_center(DataCenterInfo info);
+
+    /// Maps every address in `ip`'s /24 to the data center.
+    void assign(net::IpAddress ip, int dc_index);
+
+    [[nodiscard]] std::size_t num_data_centers() const noexcept { return dcs_.size(); }
+    [[nodiscard]] const DataCenterInfo& info(int dc_index) const;
+    [[nodiscard]] const std::vector<DataCenterInfo>& data_centers() const noexcept {
+        return dcs_;
+    }
+
+    /// Data center of the server IP, or -1 when unmapped (e.g. legacy-AS
+    /// servers excluded from the analysis scope).
+    [[nodiscard]] int dc_of(net::IpAddress ip) const noexcept;
+
+    /// All (/24 network address, data-center index) assignments, in no
+    /// particular order. Used by the serialization below.
+    [[nodiscard]] const std::unordered_map<net::IpAddress, int>& assignments()
+        const noexcept {
+        return by_slash24_;
+    }
+
+private:
+    std::vector<DataCenterInfo> dcs_;
+    std::unordered_map<net::IpAddress, int> by_slash24_;
+};
+
+/// Serializes a map as a two-section text file ("#dc" rows then "#assign"
+/// rows), so the offline toolchain (ytcdn CLI `analyze`) can run the
+/// paper's per-dataset analyses from a flow log plus this file alone.
+void write_dc_map(std::ostream& os, const ServerDcMap& map);
+
+/// Parses what write_dc_map produced; throws std::runtime_error with a line
+/// number on malformed input.
+[[nodiscard]] ServerDcMap read_dc_map(std::istream& is);
+
+}  // namespace ytcdn::analysis

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/dc_map.hpp"
+#include "analysis/series.hpp"
+#include "capture/dataset.hpp"
+#include "geoloc/dc_clustering.hpp"
+
+namespace ytcdn::analysis {
+
+/// Table III: distinct servers per continent bucket for one dataset.
+struct ContinentCounts {
+    std::size_t north_america = 0;
+    std::size_t europe = 0;
+    std::size_t others = 0;
+    std::size_t unlocated = 0;
+
+    [[nodiscard]] std::size_t located_total() const noexcept {
+        return north_america + europe + others;
+    }
+};
+
+/// Counts located servers per continent bucket (Table III's columns).
+[[nodiscard]] ContinentCounts servers_per_continent(
+    const std::vector<geoloc::LocatedServer>& servers);
+
+/// Fig. 7: cumulative fraction of dataset bytes served by data centers with
+/// RTT (from the probe PC) below x. One step per data center, sorted by RTT.
+[[nodiscard]] Series bytes_vs_rtt(const capture::Dataset& dataset,
+                                  const ServerDcMap& map);
+
+/// Fig. 8: same, ordered by great-circle distance instead of RTT.
+[[nodiscard]] Series bytes_vs_distance(const capture::Dataset& dataset,
+                                       const ServerDcMap& map);
+
+}  // namespace ytcdn::analysis

@@ -1,0 +1,88 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ytcdn::analysis {
+
+LogHistogram::LogHistogram(double min_value, double max_value, int bins_per_decade)
+    : min_value_(min_value) {
+    if (min_value <= 0.0 || max_value <= min_value) {
+        throw std::invalid_argument("LogHistogram: need 0 < min < max");
+    }
+    if (bins_per_decade <= 0) {
+        throw std::invalid_argument("LogHistogram: bins_per_decade must be > 0");
+    }
+    log_min_ = std::log10(min_value);
+    log_ratio_ = 1.0 / bins_per_decade;
+    const double decades = std::log10(max_value) - log_min_;
+    counts_.resize(static_cast<std::size_t>(std::ceil(decades / log_ratio_)) + 1, 0);
+}
+
+std::size_t LogHistogram::bin_of(double value) const {
+    if (value <= min_value_) return 0;
+    const double pos = (std::log10(value) - log_min_) / log_ratio_;
+    const auto bin = static_cast<std::size_t>(pos);
+    return std::min(bin, counts_.size() - 1);
+}
+
+void LogHistogram::add(double value) {
+    ++counts_[bin_of(value)];
+    ++total_;
+}
+
+std::uint64_t LogHistogram::count(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("LogHistogram::count");
+    return counts_[bin];
+}
+
+double LogHistogram::bin_lower(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("LogHistogram::bin_lower");
+    return std::pow(10.0, log_min_ + static_cast<double>(bin) * log_ratio_);
+}
+
+double LogHistogram::bin_center(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("LogHistogram::bin_center");
+    return std::pow(10.0,
+                    log_min_ + (static_cast<double>(bin) + 0.5) * log_ratio_);
+}
+
+Series LogHistogram::to_series(const std::string& name) const {
+    Series s;
+    s.name = name;
+    const double denom = total_ == 0 ? 1.0 : static_cast<double>(total_);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        s.points.emplace_back(bin_center(i), static_cast<double>(counts_[i]) / denom);
+    }
+    return s;
+}
+
+LogHistogram::Gap LogHistogram::widest_interior_gap() const {
+    // Find the widest all-zero run strictly between non-empty bins.
+    Gap best;
+    std::size_t first_nonempty = counts_.size();
+    std::size_t last_nonempty = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] > 0) {
+            first_nonempty = std::min(first_nonempty, i);
+            last_nonempty = i;
+        }
+    }
+    if (first_nonempty >= last_nonempty) return best;
+
+    std::size_t run_start = 0;
+    std::size_t run_len = 0;
+    for (std::size_t i = first_nonempty; i <= last_nonempty; ++i) {
+        if (counts_[i] == 0) {
+            if (run_len == 0) run_start = i;
+            ++run_len;
+            if (run_len > best.length) best = Gap{run_start, run_len};
+        } else {
+            run_len = 0;
+        }
+    }
+    return best;
+}
+
+}  // namespace ytcdn::analysis

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/series.hpp"
+
+namespace ytcdn::analysis {
+
+/// A logarithmically binned histogram over positive values — the natural
+/// view of flow sizes spanning 10^2..10^9 bytes (Fig. 4's log x-axis). Bin
+/// i covers [min * ratio^i, min * ratio^(i+1)).
+class LogHistogram {
+public:
+    /// `bins_per_decade` controls resolution (default 4 -> ratio 10^0.25).
+    LogHistogram(double min_value, double max_value, int bins_per_decade = 4);
+
+    void add(double value);
+    void add(std::uint64_t value) { add(static_cast<double>(value)); }
+
+    [[nodiscard]] std::size_t num_bins() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+    /// Geometric center of a bin, for plotting.
+    [[nodiscard]] double bin_center(std::size_t bin) const;
+    [[nodiscard]] double bin_lower(std::size_t bin) const;
+
+    /// Index of the bin containing `value` (clamped to the edge bins).
+    [[nodiscard]] std::size_t bin_of(double value) const;
+
+    /// (bin center, fraction of mass) series for plotting.
+    [[nodiscard]] Series to_series(const std::string& name) const;
+
+    /// The widest run of consecutive empty bins between two non-empty ones —
+    /// the quantitative form of the paper's "distinct kink": a gap in the
+    /// size distribution. Returns {first_empty_bin, length}; length 0 when
+    /// there is no interior gap.
+    struct Gap {
+        std::size_t first_bin = 0;
+        std::size_t length = 0;
+    };
+    [[nodiscard]] Gap widest_interior_gap() const;
+
+private:
+    double min_value_;
+    double log_min_;
+    double log_ratio_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace ytcdn::analysis

@@ -1,0 +1,163 @@
+#include "analysis/redirect_analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+namespace ytcdn::analysis {
+
+namespace {
+
+std::unordered_map<cdn::VideoId, std::uint64_t> non_preferred_per_video(
+    const capture::Dataset& dataset, const ServerDcMap& map, int preferred) {
+    std::unordered_map<cdn::VideoId, std::uint64_t> counts;
+    for (const auto& r : dataset.records) {
+        if (classify_flow_size(r.bytes) != FlowKind::Video) continue;
+        const int dc = map.dc_of(r.server_ip);
+        if (dc < 0 || dc == preferred) continue;
+        ++counts[r.video];
+    }
+    return counts;
+}
+
+void bump_hour(std::vector<std::uint64_t>& v, sim::SimTime t) {
+    const auto hour = static_cast<std::size_t>(sim::hour_index(t));
+    if (hour >= v.size()) v.resize(hour + 1, 0);
+    ++v[hour];
+}
+
+Series to_series(const std::vector<std::uint64_t>& hours, std::string name) {
+    Series s;
+    s.name = std::move(name);
+    for (std::size_t h = 0; h < hours.size(); ++h) {
+        s.points.emplace_back(static_cast<double>(h), static_cast<double>(hours[h]));
+    }
+    return s;
+}
+
+}  // namespace
+
+EmpiricalCdf video_non_preferred_counts(const capture::Dataset& dataset,
+                                        const ServerDcMap& map, int preferred) {
+    EmpiricalCdf cdf;
+    for (const auto& [video, count] : non_preferred_per_video(dataset, map, preferred)) {
+        cdf.add(static_cast<double>(count));
+    }
+    cdf.finalize();
+    return cdf;
+}
+
+std::vector<cdn::VideoId> top_redirected_videos(const capture::Dataset& dataset,
+                                                const ServerDcMap& map, int preferred,
+                                                std::size_t k) {
+    const auto counts = non_preferred_per_video(dataset, map, preferred);
+    std::vector<std::pair<std::uint64_t, cdn::VideoId>> ranked;
+    ranked.reserve(counts.size());
+    for (const auto& [video, count] : counts) ranked.emplace_back(count, video);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+    });
+    if (ranked.size() > k) ranked.resize(k);
+    std::vector<cdn::VideoId> out;
+    out.reserve(ranked.size());
+    for (const auto& [count, video] : ranked) out.push_back(video);
+    return out;
+}
+
+VideoLoadSeries video_hourly_load(const capture::Dataset& dataset,
+                                  const ServerDcMap& map, int preferred,
+                                  cdn::VideoId video) {
+    std::vector<std::uint64_t> all;
+    std::vector<std::uint64_t> np;
+    for (const auto& r : dataset.records) {
+        if (r.video != video) continue;
+        if (classify_flow_size(r.bytes) != FlowKind::Video) continue;
+        const int dc = map.dc_of(r.server_ip);
+        if (dc < 0) continue;
+        bump_hour(all, r.start);
+        if (dc != preferred) bump_hour(np, r.start);
+    }
+    np.resize(all.size(), 0);
+    VideoLoadSeries out;
+    out.all = to_series(all, dataset.name + " video-all");
+    out.non_preferred = to_series(np, dataset.name + " video-non-preferred");
+    return out;
+}
+
+ServerLoadSeries preferred_dc_server_load(const capture::Dataset& dataset,
+                                          const ServerDcMap& map, int preferred) {
+    // requests[hour][server] -> count, for servers inside the preferred DC.
+    std::vector<std::unordered_map<net::IpAddress, std::uint64_t>> hours;
+    for (const auto& r : dataset.records) {
+        if (map.dc_of(r.server_ip) != preferred) continue;
+        const auto hour = static_cast<std::size_t>(sim::hour_index(r.start));
+        if (hour >= hours.size()) hours.resize(hour + 1);
+        ++hours[hour][r.server_ip];
+    }
+
+    ServerLoadSeries out;
+    out.avg.name = dataset.name + " per-server-avg";
+    out.max.name = dataset.name + " per-server-max";
+    for (std::size_t h = 0; h < hours.size(); ++h) {
+        if (hours[h].empty()) continue;
+        MinMeanMax m;
+        for (const auto& [ip, count] : hours[h]) m.add(static_cast<double>(count));
+        out.avg.points.emplace_back(static_cast<double>(h), m.mean());
+        out.max.points.emplace_back(static_cast<double>(h), m.max);
+    }
+    return out;
+}
+
+HotServerSessions hot_server_sessions(const capture::Dataset& dataset,
+                                      const std::vector<VideoSession>& sessions,
+                                      const ServerDcMap& map, int preferred,
+                                      cdn::VideoId video) {
+    // The "server handling the video": the preferred-DC server with the most
+    // requests for it.
+    std::unordered_map<net::IpAddress, std::uint64_t> counts;
+    for (const auto& r : dataset.records) {
+        if (r.video != video || map.dc_of(r.server_ip) != preferred) continue;
+        ++counts[r.server_ip];
+    }
+    HotServerSessions out;
+    if (counts.empty()) return out;
+    out.server = std::max_element(counts.begin(), counts.end(),
+                                  [](const auto& a, const auto& b) {
+                                      return a.second < b.second;
+                                  })
+                     ->first;
+
+    std::vector<std::uint64_t> all_pref, first_pref, others;
+    for (const auto& s : sessions) {
+        // Sessions that *arrive* at this server: their first flow hits it.
+        if (s.flows.front()->server_ip != out.server) continue;
+        bool every_pref = true;
+        for (const auto* f : s.flows) {
+            if (map.dc_of(f->server_ip) != preferred) {
+                every_pref = false;
+                break;
+            }
+        }
+        const sim::SimTime t = s.start();
+        if (every_pref) {
+            bump_hour(all_pref, t);
+        } else if (map.dc_of(s.flows.front()->server_ip) == preferred) {
+            bump_hour(first_pref, t);
+        } else {
+            bump_hour(others, t);
+        }
+    }
+    const std::size_t n = std::max({all_pref.size(), first_pref.size(), others.size()});
+    all_pref.resize(n, 0);
+    first_pref.resize(n, 0);
+    others.resize(n, 0);
+    out.all_preferred = to_series(all_pref, dataset.name + " all-preferred");
+    out.first_preferred_then_other =
+        to_series(first_pref, dataset.name + " first-preferred-then-other");
+    out.others = to_series(others, dataset.name + " others");
+    return out;
+}
+
+}  // namespace ytcdn::analysis

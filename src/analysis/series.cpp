@@ -1,0 +1,52 @@
+#include "analysis/series.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace ytcdn::analysis {
+
+namespace {
+
+void write_point(std::ostream& os, double x, double y, int xd, int yd) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.*f %.*f", xd, x, yd, y);
+    os << buf << '\n';
+}
+
+}  // namespace
+
+void write_series(std::ostream& os, const std::vector<Series>& series, int x_decimals,
+                  int y_decimals) {
+    for (const auto& s : series) {
+        os << "# " << s.name << '\n';
+        for (const auto& [x, y] : s.points) {
+            write_point(os, x, y, x_decimals, y_decimals);
+        }
+        os << '\n';
+    }
+}
+
+void write_series_sampled(std::ostream& os, const std::vector<Series>& series,
+                          std::size_t max_points, int x_decimals, int y_decimals) {
+    for (const auto& s : series) {
+        os << "# " << s.name << '\n';
+        const std::size_t n = s.points.size();
+        if (n == 0) {
+            os << '\n';
+            continue;
+        }
+        const std::size_t step = std::max<std::size_t>(1, n / max_points);
+        for (std::size_t i = 0; i < n; i += step) {
+            write_point(os, s.points[i].first, s.points[i].second, x_decimals,
+                        y_decimals);
+        }
+        if ((n - 1) % step != 0) {
+            write_point(os, s.points.back().first, s.points.back().second, x_decimals,
+                        y_decimals);
+        }
+        os << '\n';
+    }
+}
+
+}  // namespace ytcdn::analysis

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ytcdn::analysis {
+
+/// A named (x, y) series — one curve of a figure. Benches print these in a
+/// gnuplot-friendly block format so every paper figure can be regenerated.
+struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+};
+
+/// Writes series as "# <name>\nx y\n..." blocks separated by blank lines.
+void write_series(std::ostream& os, const std::vector<Series>& series,
+                  int x_decimals = 4, int y_decimals = 4);
+
+/// Writes at most `max_points` per series (uniform subsampling, endpoints
+/// kept) — benches use this to keep output readable.
+void write_series_sampled(std::ostream& os, const std::vector<Series>& series,
+                          std::size_t max_points, int x_decimals = 4,
+                          int y_decimals = 4);
+
+}  // namespace ytcdn::analysis

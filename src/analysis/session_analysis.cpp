@@ -1,0 +1,130 @@
+#include "analysis/session_analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ytcdn::analysis {
+
+std::vector<double> flows_per_session_cdf(const std::vector<VideoSession>& sessions,
+                                          int max_bucket) {
+    if (max_bucket < 1) throw std::invalid_argument("flows_per_session_cdf: max_bucket");
+    std::vector<double> counts(static_cast<std::size_t>(max_bucket) + 1, 0.0);
+    for (const auto& s : sessions) {
+        const std::size_t n = s.num_flows();
+        const std::size_t bucket =
+            std::min<std::size_t>(n, static_cast<std::size_t>(max_bucket) + 1) - 1;
+        counts[bucket] += 1.0;
+    }
+    std::vector<double> cdf(counts.size());
+    double acc = 0.0;
+    const double total = sessions.empty() ? 1.0 : static_cast<double>(sessions.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        acc += counts[i];
+        cdf[i] = acc / total;
+    }
+    return cdf;
+}
+
+SessionPatternShares session_patterns(const std::vector<VideoSession>& sessions,
+                                      const ServerDcMap& map, int preferred) {
+    SessionPatternShares out;
+    std::size_t scoped = 0;
+    std::size_t single = 0, single_p = 0, single_np = 0;
+    std::size_t two = 0, pp = 0, pn = 0, np = 0, nn = 0;
+    std::size_t more = 0;
+
+    for (const auto& s : sessions) {
+        bool in_scope = true;
+        for (const auto* f : s.flows) {
+            if (map.dc_of(f->server_ip) < 0) {
+                in_scope = false;
+                break;
+            }
+        }
+        if (!in_scope) continue;
+        ++scoped;
+
+        const auto is_pref = [&](const capture::FlowRecord* f) {
+            return map.dc_of(f->server_ip) == preferred;
+        };
+
+        if (s.num_flows() == 1) {
+            ++single;
+            if (is_pref(s.flows[0])) {
+                ++single_p;
+            } else {
+                ++single_np;
+            }
+        } else if (s.num_flows() == 2) {
+            ++two;
+            const bool a = is_pref(s.flows[0]);
+            const bool b = is_pref(s.flows[1]);
+            if (a && b) ++pp;
+            else if (a && !b) ++pn;
+            else if (!a && b) ++np;
+            else ++nn;
+        } else {
+            ++more;
+        }
+    }
+
+    out.total_sessions = scoped;
+    if (scoped == 0) return out;
+    const double t = static_cast<double>(scoped);
+    out.single_flow = single / t;
+    out.single_preferred = single_p / t;
+    out.single_non_preferred = single_np / t;
+    out.two_flow = two / t;
+    out.two_pref_pref = pp / t;
+    out.two_pref_nonpref = pn / t;
+    out.two_nonpref_pref = np / t;
+    out.two_nonpref_nonpref = nn / t;
+    out.more_flows = more / t;
+    return out;
+}
+
+MultiFlowPatternShares multi_flow_patterns(const std::vector<VideoSession>& sessions,
+                                           const ServerDcMap& map, int preferred) {
+    MultiFlowPatternShares out;
+    std::size_t scoped_total = 0;
+    std::size_t all_pref = 0, first_pref = 0, first_np = 0;
+    for (const auto& s : sessions) {
+        bool in_scope = true;
+        for (const auto* f : s.flows) {
+            if (map.dc_of(f->server_ip) < 0) {
+                in_scope = false;
+                break;
+            }
+        }
+        if (!in_scope) continue;
+        ++scoped_total;
+        if (s.num_flows() < 3) continue;
+        ++out.sessions;
+
+        const bool starts_pref = map.dc_of(s.flows.front()->server_ip) == preferred;
+        bool every_pref = starts_pref;
+        for (const auto* f : s.flows) {
+            if (map.dc_of(f->server_ip) != preferred) {
+                every_pref = false;
+                break;
+            }
+        }
+        if (every_pref) {
+            ++all_pref;
+        } else if (starts_pref) {
+            ++first_pref;
+        } else {
+            ++first_np;
+        }
+    }
+    if (out.sessions == 0) return out;
+    const double n = static_cast<double>(out.sessions);
+    out.share_of_all_sessions =
+        scoped_total == 0 ? 0.0 : n / static_cast<double>(scoped_total);
+    out.all_preferred = all_pref / n;
+    out.first_preferred_then_other = first_pref / n;
+    out.first_non_preferred = first_np / n;
+    return out;
+}
+
+}  // namespace ytcdn::analysis

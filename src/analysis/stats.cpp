@@ -1,0 +1,93 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ytcdn::analysis {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples)) {
+    finalize();
+}
+
+void EmpiricalCdf::add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+}
+
+void EmpiricalCdf::finalize() { ensure_sorted(); }
+
+void EmpiricalCdf::ensure_sorted() const {
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double EmpiricalCdf::fraction_at_or_below(double x) const {
+    if (samples_.empty()) throw std::logic_error("EmpiricalCdf: no samples");
+    ensure_sorted();
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+    if (samples_.empty()) throw std::logic_error("EmpiricalCdf: no samples");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("EmpiricalCdf: q in [0,1]");
+    ensure_sorted();
+    if (q >= 1.0) return samples_.back();
+    const auto idx = static_cast<std::size_t>(
+        std::floor(q * static_cast<double>(samples_.size())));
+    return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double EmpiricalCdf::min() const {
+    if (samples_.empty()) throw std::logic_error("EmpiricalCdf: no samples");
+    ensure_sorted();
+    return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+    if (samples_.empty()) throw std::logic_error("EmpiricalCdf: no samples");
+    ensure_sorted();
+    return samples_.back();
+}
+
+double EmpiricalCdf::mean() const {
+    if (samples_.empty()) throw std::logic_error("EmpiricalCdf: no samples");
+    double sum = 0.0;
+    for (const double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t max_points) const {
+    if (samples_.empty()) return {};
+    ensure_sorted();
+    std::vector<std::pair<double, double>> out;
+    const std::size_t n = samples_.size();
+    const std::size_t step = std::max<std::size_t>(1, n / max_points);
+    for (std::size_t i = 0; i < n; i += step) {
+        out.emplace_back(samples_[i],
+                         static_cast<double>(i + 1) / static_cast<double>(n));
+    }
+    if (out.back().first != samples_.back() || out.back().second != 1.0) {
+        out.emplace_back(samples_.back(), 1.0);
+    }
+    return out;
+}
+
+void MinMeanMax::add(double v) noexcept {
+    if (count == 0) {
+        min = max = v;
+    } else {
+        min = std::min(min, v);
+        max = std::max(max, v);
+    }
+    sum += v;
+    ++count;
+}
+
+}  // namespace ytcdn::analysis

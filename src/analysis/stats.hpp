@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ytcdn::analysis {
+
+/// An empirical cumulative distribution function over double samples.
+/// Backs every CDF plot in the paper (Figs 2-6, 9, 13, 18, ...).
+class EmpiricalCdf {
+public:
+    EmpiricalCdf() = default;
+    explicit EmpiricalCdf(std::vector<double> samples);
+
+    void add(double sample);
+    /// Must be called (or the vector constructor used) before queries after
+    /// the last add(); queries call it lazily too.
+    void finalize();
+
+    [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+    /// P(X <= x).
+    [[nodiscard]] double fraction_at_or_below(double x) const;
+    /// The q-quantile, q in [0, 1]; uses the lower sample (type-1 quantile).
+    [[nodiscard]] double quantile(double q) const;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double mean() const;
+
+    /// (x, F(x)) pairs subsampled to at most `max_points` for plotting.
+    [[nodiscard]] std::vector<std::pair<double, double>> curve(
+        std::size_t max_points = 200) const;
+
+private:
+    void ensure_sorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+/// Mean/max accumulator for time-bucketed load series (Fig. 15).
+struct MinMeanMax {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    void add(double v) noexcept;
+    [[nodiscard]] double mean() const noexcept { return count == 0 ? 0.0 : sum / count; }
+};
+
+}  // namespace ytcdn::analysis

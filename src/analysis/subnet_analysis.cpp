@@ -1,0 +1,47 @@
+#include "analysis/subnet_analysis.hpp"
+
+#include "analysis/session.hpp"
+
+namespace ytcdn::analysis {
+
+std::vector<SubnetShare> subnet_breakdown(const capture::Dataset& dataset,
+                                          const ServerDcMap& map, int preferred,
+                                          const std::vector<NamedSubnet>& subnets) {
+    std::vector<std::uint64_t> all(subnets.size(), 0);
+    std::vector<std::uint64_t> np(subnets.size(), 0);
+    std::uint64_t total_all = 0;
+    std::uint64_t total_np = 0;
+
+    for (const auto& r : dataset.records) {
+        if (classify_flow_size(r.bytes) != FlowKind::Video) continue;
+        const int dc = map.dc_of(r.server_ip);
+        if (dc < 0) continue;
+        for (std::size_t i = 0; i < subnets.size(); ++i) {
+            if (!subnets[i].prefix.contains(r.client_ip)) continue;
+            ++all[i];
+            ++total_all;
+            if (dc != preferred) {
+                ++np[i];
+                ++total_np;
+            }
+            break;
+        }
+    }
+
+    std::vector<SubnetShare> out;
+    out.reserve(subnets.size());
+    for (std::size_t i = 0; i < subnets.size(); ++i) {
+        SubnetShare s;
+        s.name = subnets[i].name;
+        s.all_flows_share =
+            total_all == 0 ? 0.0
+                           : static_cast<double>(all[i]) / static_cast<double>(total_all);
+        s.non_preferred_share =
+            total_np == 0 ? 0.0
+                          : static_cast<double>(np[i]) / static_cast<double>(total_np);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+}  // namespace ytcdn::analysis

@@ -1,0 +1,61 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ytcdn::analysis {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw std::invalid_argument("AsciiTable: empty header");
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+    if (row.size() != header_.size()) {
+        throw std::invalid_argument("AsciiTable: row width mismatch");
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::render() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream os;
+    const auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) {
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+            }
+        }
+        os << '\n';
+    };
+    emit_row(header_);
+    std::size_t total = 0;
+    for (const auto w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const AsciiTable& t) {
+    return os << t.render();
+}
+
+std::string fmt(double v, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string fmt_pct(double ratio, int decimals) { return fmt(ratio * 100.0, decimals); }
+
+}  // namespace ytcdn::analysis

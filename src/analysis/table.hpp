@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ytcdn::analysis {
+
+/// A minimal right-padded ASCII table for bench/example output.
+class AsciiTable {
+public:
+    explicit AsciiTable(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+    [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+    /// Renders with a header underline; columns sized to their widest cell.
+    [[nodiscard]] std::string render() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const AsciiTable& t);
+
+/// Formats a double with the given decimals (no locale surprises).
+[[nodiscard]] std::string fmt(double v, int decimals = 2);
+/// Formats a ratio as a percentage string, e.g. 0.9866 -> "98.66".
+[[nodiscard]] std::string fmt_pct(double ratio, int decimals = 2);
+
+}  // namespace ytcdn::analysis

@@ -1,0 +1,122 @@
+#include "capture/binary_log.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace ytcdn::capture {
+
+namespace {
+
+constexpr char kMagic[4] = {'Y', 'F', 'L', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 4 + 8;
+constexpr std::size_t kRecordSize = 4 + 4 + 8 + 8 + 8 + 8 + 1;
+
+static_assert(std::endian::native == std::endian::little,
+              "binary log assumes a little-endian host");
+
+template <typename T>
+void put(std::string& buf, T value) {
+    const auto old = buf.size();
+    buf.resize(old + sizeof(T));
+    std::memcpy(buf.data() + old, &value, sizeof(T));
+}
+
+template <typename T>
+T take(const char*& p) {
+    T value;
+    std::memcpy(&value, p, sizeof(T));
+    p += sizeof(T);
+    return value;
+}
+
+}  // namespace
+
+std::size_t binary_log_size(std::size_t n) noexcept {
+    return kHeaderSize + n * kRecordSize;
+}
+
+void write_binary_log(std::ostream& os, const std::vector<FlowRecord>& records) {
+    std::string buf;
+    buf.reserve(binary_log_size(records.size()));
+    buf.append(kMagic, sizeof(kMagic));
+    put<std::uint32_t>(buf, kVersion);
+    put<std::uint64_t>(buf, records.size());
+    for (const auto& r : records) {
+        put<std::uint32_t>(buf, r.client_ip.value());
+        put<std::uint32_t>(buf, r.server_ip.value());
+        put<double>(buf, r.start);
+        put<double>(buf, r.end);
+        put<std::uint64_t>(buf, r.bytes);
+        put<std::uint64_t>(buf, r.video.value());
+        put<std::uint8_t>(buf, static_cast<std::uint8_t>(cdn::itag_of(r.resolution)));
+    }
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!os) throw std::runtime_error("write_binary_log: stream write failed");
+}
+
+void write_binary_log(const std::filesystem::path& path,
+                      const std::vector<FlowRecord>& records) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw std::runtime_error("write_binary_log: cannot open " + path.string());
+    write_binary_log(os, records);
+}
+
+std::vector<FlowRecord> read_binary_log(std::istream& is) {
+    std::string data{std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>()};
+    if (data.size() < kHeaderSize) {
+        throw std::runtime_error("read_binary_log: truncated header");
+    }
+    const char* p = data.data();
+    if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0) {
+        throw std::runtime_error("read_binary_log: bad magic");
+    }
+    p += sizeof(kMagic);
+    const auto version = take<std::uint32_t>(p);
+    if (version != kVersion) {
+        throw std::runtime_error("read_binary_log: unsupported version " +
+                                 std::to_string(version));
+    }
+    const auto count = take<std::uint64_t>(p);
+    if (data.size() != binary_log_size(count)) {
+        throw std::runtime_error("read_binary_log: size mismatch (declared " +
+                                 std::to_string(count) + " records)");
+    }
+
+    std::vector<FlowRecord> out;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        FlowRecord r;
+        r.client_ip = net::IpAddress{take<std::uint32_t>(p)};
+        r.server_ip = net::IpAddress{take<std::uint32_t>(p)};
+        r.start = take<double>(p);
+        r.end = take<double>(p);
+        if (!std::isfinite(r.start) || !std::isfinite(r.end)) {
+            throw std::runtime_error("read_binary_log: non-finite timestamp in record " +
+                                     std::to_string(i));
+        }
+        r.bytes = take<std::uint64_t>(p);
+        r.video = cdn::VideoId{take<std::uint64_t>(p)};
+        const auto itag = take<std::uint8_t>(p);
+        const auto resolution = cdn::resolution_from_itag(itag);
+        if (!resolution) {
+            throw std::runtime_error("read_binary_log: bad itag in record " +
+                                     std::to_string(i));
+        }
+        r.resolution = *resolution;
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<FlowRecord> read_binary_log(const std::filesystem::path& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("read_binary_log: cannot open " + path.string());
+    return read_binary_log(is);
+}
+
+}  // namespace ytcdn::capture

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <vector>
+
+#include "capture/flow_record.hpp"
+
+namespace ytcdn::capture {
+
+/// Compact binary flow-log format ("YFL1").
+///
+/// At paper scale a week of flow records runs to hundreds of MB as TSV;
+/// the binary form is ~42 bytes per record and loss-free. Layout (all
+/// little-endian):
+///
+///   header:  magic "YFL1" | u32 version (=1) | u64 record count
+///   record:  u32 client_ip | u32 server_ip | f64 start | f64 end |
+///            u64 bytes | u64 video_id | u8 itag
+///
+/// Writers/readers validate the magic, version, declared count and itag
+/// values; any mismatch throws std::runtime_error with a position hint.
+void write_binary_log(std::ostream& os, const std::vector<FlowRecord>& records);
+void write_binary_log(const std::filesystem::path& path,
+                      const std::vector<FlowRecord>& records);
+
+[[nodiscard]] std::vector<FlowRecord> read_binary_log(std::istream& is);
+[[nodiscard]] std::vector<FlowRecord> read_binary_log(const std::filesystem::path& path);
+
+/// On-disk size of a log with `n` records, in bytes.
+[[nodiscard]] std::size_t binary_log_size(std::size_t n) noexcept;
+
+}  // namespace ytcdn::capture

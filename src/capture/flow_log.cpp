@@ -1,0 +1,51 @@
+#include "capture/flow_log.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ytcdn::capture {
+
+namespace {
+constexpr std::string_view kHeader =
+    "#client_ip\tserver_ip\tstart\tend\tbytes\tvideo_id\titag";
+}
+
+void write_flow_log(std::ostream& os, const std::vector<FlowRecord>& records) {
+    os << kHeader << '\n';
+    for (const auto& r : records) os << r.to_tsv() << '\n';
+}
+
+void write_flow_log(const std::filesystem::path& path,
+                    const std::vector<FlowRecord>& records) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("write_flow_log: cannot open " + path.string());
+    write_flow_log(os, records);
+    if (!os) throw std::runtime_error("write_flow_log: write failed for " + path.string());
+}
+
+std::vector<FlowRecord> read_flow_log(std::istream& is) {
+    std::vector<FlowRecord> out;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line.front() == '#') continue;
+        const auto record = FlowRecord::from_tsv(line);
+        if (!record) {
+            throw std::runtime_error("read_flow_log: malformed line " +
+                                     std::to_string(line_no));
+        }
+        out.push_back(*record);
+    }
+    return out;
+}
+
+std::vector<FlowRecord> read_flow_log(const std::filesystem::path& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("read_flow_log: cannot open " + path.string());
+    return read_flow_log(is);
+}
+
+}  // namespace ytcdn::capture

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <vector>
+
+#include "capture/flow_record.hpp"
+
+namespace ytcdn::capture {
+
+/// Tstat-style flow-log persistence: one TSV line per YouTube video flow,
+/// '#'-prefixed header. Round-trips exactly with read_flow_log().
+void write_flow_log(std::ostream& os, const std::vector<FlowRecord>& records);
+void write_flow_log(const std::filesystem::path& path,
+                    const std::vector<FlowRecord>& records);
+
+/// Reads a log written by write_flow_log(). Throws std::runtime_error on
+/// unreadable files or malformed lines (line number included).
+[[nodiscard]] std::vector<FlowRecord> read_flow_log(std::istream& is);
+[[nodiscard]] std::vector<FlowRecord> read_flow_log(const std::filesystem::path& path);
+
+}  // namespace ytcdn::capture

@@ -1,0 +1,97 @@
+#include "capture/flow_record.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <vector>
+
+namespace ytcdn::capture {
+
+namespace {
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+    std::vector<std::string_view> fields;
+    std::size_t pos = 0;
+    while (pos <= line.size()) {
+        const std::size_t tab = line.find('\t', pos);
+        if (tab == std::string_view::npos) {
+            fields.push_back(line.substr(pos));
+            break;
+        }
+        fields.push_back(line.substr(pos, tab - pos));
+        pos = tab + 1;
+    }
+    return fields;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+    double v = 0.0;
+    const auto [next, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || next != s.data() + s.size()) return std::nullopt;
+    // from_chars happily parses "nan"/"inf"; timestamps must be finite.
+    if (!std::isfinite(v)) return std::nullopt;
+    return v;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+    std::uint64_t v = 0;
+    const auto [next, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || next != s.data() + s.size()) return std::nullopt;
+    return v;
+}
+
+}  // namespace
+
+std::string FlowRecord::to_tsv() const {
+    char times[64];
+    std::snprintf(times, sizeof(times), "%.6f\t%.6f", start, end);
+    std::string out;
+    out.reserve(128);
+    out += client_ip.to_string();
+    out += '\t';
+    out += server_ip.to_string();
+    out += '\t';
+    out += times;
+    out += '\t';
+    out += std::to_string(bytes);
+    out += '\t';
+    out += video.to_string();
+    out += '\t';
+    out += std::to_string(itag_of(resolution));
+    return out;
+}
+
+std::optional<FlowRecord> FlowRecord::from_tsv(std::string_view line) {
+    const auto fields = split_tabs(line);
+    if (fields.size() != 7) return std::nullopt;
+
+    const auto client = net::IpAddress::parse(fields[0]);
+    const auto server = net::IpAddress::parse(fields[1]);
+    const auto start = parse_double(fields[2]);
+    const auto end = parse_double(fields[3]);
+    const auto bytes = parse_u64(fields[4]);
+    const auto video = cdn::VideoId::parse(fields[5]);
+    const auto itag = parse_u64(fields[6]);
+    if (!client || !server || !start || !end || !bytes || !video || !itag) {
+        return std::nullopt;
+    }
+    const auto resolution = cdn::resolution_from_itag(static_cast<int>(*itag));
+    if (!resolution) return std::nullopt;
+
+    FlowRecord r;
+    r.client_ip = *client;
+    r.server_ip = *server;
+    r.start = *start;
+    r.end = *end;
+    r.bytes = *bytes;
+    r.video = *video;
+    r.resolution = *resolution;
+    return r;
+}
+
+std::ostream& operator<<(std::ostream& os, const FlowRecord& r) {
+    return os << r.to_tsv();
+}
+
+}  // namespace ytcdn::capture

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "capture/flow_record.hpp"
+
+namespace ytcdn::capture {
+
+/// Extension-dispatched flow-log IO: ".yfl" selects the compact binary
+/// format, anything else the Tstat-style TSV. One call site for tools,
+/// examples and tests.
+[[nodiscard]] std::vector<FlowRecord> read_any_log(const std::filesystem::path& path);
+void write_any_log(const std::filesystem::path& path,
+                   const std::vector<FlowRecord>& records);
+
+/// True when the path will be treated as binary.
+[[nodiscard]] bool is_binary_log_path(const std::filesystem::path& path);
+
+}  // namespace ytcdn::capture

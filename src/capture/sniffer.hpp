@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capture/classifier.hpp"
+#include "capture/flow_record.hpp"
+
+namespace ytcdn::capture {
+
+/// A passive edge sniffer, standing in for Tstat on the probe PC.
+///
+/// It is attached at a vantage point's edge so it observes every TCP flow
+/// between local clients and the outside; DPI picks out the YouTube video
+/// flows and appends a flow-log record for each. All other traffic is
+/// counted but discarded, like Tstat with only the YouTube module enabled.
+class Sniffer {
+public:
+    explicit Sniffer(std::string dataset_name);
+
+    [[nodiscard]] const std::string& dataset_name() const noexcept { return name_; }
+
+    /// Feeds one completed flow through classification.
+    void observe(const ObservedFlow& flow);
+
+    [[nodiscard]] const std::vector<FlowRecord>& records() const noexcept {
+        return records_;
+    }
+    /// Moves the records out (the sniffer is then empty).
+    [[nodiscard]] std::vector<FlowRecord> take_records();
+
+    [[nodiscard]] std::uint64_t flows_observed() const noexcept { return observed_; }
+    [[nodiscard]] std::uint64_t flows_classified() const noexcept {
+        return records_.size();
+    }
+    [[nodiscard]] std::uint64_t flows_ignored() const noexcept {
+        return observed_ - flows_classified();
+    }
+
+private:
+    std::string name_;
+    std::vector<FlowRecord> records_;
+    std::uint64_t observed_ = 0;
+};
+
+}  // namespace ytcdn::capture

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_set>
+
+#include "cdn/video.hpp"
+
+namespace ytcdn::cdn {
+
+/// Per-data-center content availability.
+///
+/// Replication follows the paper's inferred model (Section VII-C):
+///   - popular content (rank below `replicate_top_ranks`) is everywhere;
+///   - unpopular content initially lives only at its origin data centers
+///     (decided by the Cdn via consistent hashing);
+///   - a miss at a data center triggers a *pull*: the content is fetched so
+///     only the first access is served remotely ("when the videos were
+///     accessed more than once, only the first access was redirected").
+///
+/// Pulled content can optionally be bounded: with `max_pulled > 0` the
+/// cache keeps at most that many pulled videos and evicts the oldest pull
+/// (FIFO — the sparse tier is dominated by one-shot accesses, so recency
+/// tracking buys little). 0 means unbounded, the paper-week default.
+class ContentCache {
+public:
+    explicit ContentCache(std::size_t replicate_top_ranks, std::size_t max_pulled = 0)
+        : replicate_top_ranks_(replicate_top_ranks), max_pulled_(max_pulled) {}
+
+    [[nodiscard]] std::size_t replicate_top_ranks() const noexcept {
+        return replicate_top_ranks_;
+    }
+    [[nodiscard]] std::size_t max_pulled() const noexcept { return max_pulled_; }
+
+    /// True when the video is replicated here by popularity or was pulled.
+    /// Origin placement is layered on top by the Cdn.
+    [[nodiscard]] bool contains(const Video& v) const noexcept {
+        return v.rank < replicate_top_ranks_ || pulled_.contains(v.id);
+    }
+
+    /// Fetches the video into this cache (idempotent); may evict the oldest
+    /// pulled video when bounded.
+    void pull(VideoId id) {
+        if (!pulled_.insert(id).second) return;
+        if (max_pulled_ == 0) return;
+        order_.push_back(id);
+        while (pulled_.size() > max_pulled_) {
+            pulled_.erase(order_.front());
+            order_.pop_front();
+            ++evictions_;
+        }
+    }
+
+    [[nodiscard]] bool was_pulled(VideoId id) const noexcept {
+        return pulled_.contains(id);
+    }
+
+    [[nodiscard]] std::size_t pulled_count() const noexcept { return pulled_.size(); }
+    [[nodiscard]] std::size_t evictions() const noexcept { return evictions_; }
+
+private:
+    std::size_t replicate_top_ranks_;
+    std::size_t max_pulled_;
+    std::unordered_set<VideoId> pulled_;
+    std::deque<VideoId> order_;  // pull order, only maintained when bounded
+    std::size_t evictions_ = 0;
+};
+
+}  // namespace ytcdn::cdn

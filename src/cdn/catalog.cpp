@@ -1,0 +1,73 @@
+#include "cdn/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ytcdn::cdn {
+
+namespace {
+
+double sample_duration(const VideoCatalog::Config& cfg, sim::Rng& rng) {
+    const double mu = std::log(cfg.duration_median_s);
+    const double d = rng.lognormal(mu, cfg.duration_sigma);
+    return std::clamp(d, cfg.min_duration_s, cfg.max_duration_s);
+}
+
+}  // namespace
+
+VideoCatalog::VideoCatalog(const Config& config, sim::Rng rng) : config_(config) {
+    if (config_.num_videos == 0) {
+        throw std::invalid_argument("VideoCatalog: num_videos must be > 0");
+    }
+    videos_.reserve(config_.num_videos);
+    by_id_.reserve(config_.num_videos);
+    for (std::size_t rank = 0; rank < config_.num_videos; ++rank) {
+        Video v;
+        // Ids derive from the rank via a strong mix, so they look random but
+        // are reproducible. Collisions over 64 bits are not a practical
+        // concern at catalog scale, but we still guard.
+        v.id = VideoId{sim::mix64(rng.seed() ^ sim::mix64(rank))};
+        while (by_id_.contains(v.id)) v.id = VideoId{v.id.value() + 1};
+        v.rank = rank;
+        v.duration_s = sample_duration(config_, rng);
+        v.upload_time = 0.0;  // pre-existing content
+        by_id_.emplace(v.id, rank);
+        videos_.push_back(v);
+    }
+}
+
+const Video& VideoCatalog::by_rank(std::size_t rank) const {
+    if (rank >= videos_.size()) throw std::out_of_range("VideoCatalog::by_rank");
+    return videos_[rank];
+}
+
+const Video* VideoCatalog::find(VideoId id) const noexcept {
+    const auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : &videos_[it->second];
+}
+
+const Video& VideoCatalog::upload(sim::SimTime now, double duration_s) {
+    Video v;
+    v.id = VideoId{sim::mix64(0x5EEDF00Dull ^ sim::mix64(videos_.size()))};
+    while (by_id_.contains(v.id)) v.id = VideoId{v.id.value() + 1};
+    v.rank = videos_.size();
+    v.duration_s = std::clamp(duration_s, config_.min_duration_s, config_.max_duration_s);
+    v.upload_time = now;
+    by_id_.emplace(v.id, v.rank);
+    videos_.push_back(v);
+    return videos_.back();
+}
+
+void VideoCatalog::promote(int day, std::size_t rank) {
+    if (rank >= videos_.size()) throw std::out_of_range("VideoCatalog::promote rank");
+    promotions_[day] = rank;
+}
+
+std::optional<std::size_t> VideoCatalog::promoted_rank(sim::SimTime t) const noexcept {
+    const auto it = promotions_.find(static_cast<int>(sim::day_index(t)));
+    if (it == promotions_.end()) return std::nullopt;
+    return it->second;
+}
+
+}  // namespace ytcdn::cdn

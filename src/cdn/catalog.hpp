@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/video.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace ytcdn::cdn {
+
+/// The corpus of videos known to the CDN, ordered by global popularity rank.
+///
+/// The catalog also tracks the "video of the day" schedule: the paper found
+/// that the four most-redirected videos in EU1-ADSL "were played by default
+/// when accessing the www.youtube.com web page for exactly 24 hours"
+/// (Section VII-C) — i.e. front-page promotions create day-long flash
+/// crowds. Request generators consult `promoted_video(t)` to inject that
+/// extra load.
+class VideoCatalog {
+public:
+    struct Config {
+        std::size_t num_videos = 100'000;
+        /// Lognormal duration: median ~3.5 min, heavy right tail, matching
+        /// the campus-trace characterizations the paper cites ([3], [4]).
+        double duration_median_s = 210.0;
+        double duration_sigma = 0.80;
+        double min_duration_s = 10.0;
+        double max_duration_s = 3600.0;
+    };
+
+    VideoCatalog(const Config& config, sim::Rng rng);
+
+    [[nodiscard]] std::size_t size() const noexcept { return videos_.size(); }
+    [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+    /// Video with popularity rank `rank` (0 = most popular).
+    [[nodiscard]] const Video& by_rank(std::size_t rank) const;
+
+    /// Lookup by id; nullptr if unknown.
+    [[nodiscard]] const Video* find(VideoId id) const noexcept;
+
+    /// Registers a brand-new upload (used by the PlanetLab active
+    /// experiment). It gets the least-popular rank. Returns the video.
+    const Video& upload(sim::SimTime now, double duration_s);
+
+    /// Schedules `rank` as the front-page "video of the day" for trace day
+    /// `day` (00:00-24:00).
+    void promote(int day, std::size_t rank);
+
+    /// The promoted video for the day containing `t`, if any.
+    [[nodiscard]] std::optional<std::size_t> promoted_rank(sim::SimTime t) const noexcept;
+
+private:
+    Config config_;
+    std::vector<Video> videos_;
+    std::unordered_map<VideoId, std::size_t> by_id_;
+    std::unordered_map<int, std::size_t> promotions_;  // day -> rank
+};
+
+}  // namespace ytcdn::cdn

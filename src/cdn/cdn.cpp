@@ -1,0 +1,236 @@
+#include "cdn/cdn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "cdn/http.hpp"
+
+namespace ytcdn::cdn {
+
+Cdn::Cdn(const net::RttModel& rtt, ReplicationConfig replication)
+    : rtt_(&rtt), replication_(replication) {
+    if (replication_.origin_replicas <= 0) {
+        throw std::invalid_argument("Cdn: origin_replicas must be > 0");
+    }
+}
+
+DcId Cdn::add_data_center(std::string city, geo::Continent continent,
+                          geo::GeoPoint location, net::Asn asn, InfraClass infra,
+                          double site_access_rtt_ms) {
+    DataCenter dc;
+    dc.id = static_cast<DcId>(dcs_.size());
+    dc.city = std::move(city);
+    dc.continent = continent;
+    dc.location = location;
+    dc.asn = asn;
+    dc.infra = infra;
+    dc.site = net::NetSite{next_site_id_++, location, site_access_rtt_ms};
+    dcs_.push_back(std::move(dc));
+    caches_.emplace_back(replication_.replicate_top_ranks,
+                         replication_.max_pulled_per_dc);
+    return dcs_.back().id;
+}
+
+void Cdn::add_prefix(DcId dc_id, net::Subnet prefix) {
+    if (dc_id < 0 || static_cast<std::size_t>(dc_id) >= dcs_.size()) {
+        throw std::out_of_range("Cdn::add_prefix: unknown data center");
+    }
+    dcs_[static_cast<std::size_t>(dc_id)].prefixes.push_back(prefix);
+}
+
+void Cdn::add_servers(DcId dc_id, int count, int capacity) {
+    if (dc_id < 0 || static_cast<std::size_t>(dc_id) >= dcs_.size()) {
+        throw std::out_of_range("Cdn::add_servers: unknown data center");
+    }
+    auto& dc = dcs_[static_cast<std::size_t>(dc_id)];
+    if (dc.prefixes.empty()) {
+        throw std::logic_error("Cdn::add_servers: add_prefix first");
+    }
+    // Servers are spread across the DC's prefixes; hosts .1, .2, ... inside
+    // each /24 (offset by how many servers that prefix already holds).
+    std::vector<std::uint64_t> used(dc.prefixes.size(), 0);
+    for (const ServerId sid : dc.servers) {
+        const net::IpAddress ip = servers_[static_cast<std::size_t>(sid)].ip();
+        for (std::size_t p = 0; p < dc.prefixes.size(); ++p) {
+            if (dc.prefixes[p].contains(ip)) {
+                ++used[p];
+                break;
+            }
+        }
+    }
+    for (int i = 0; i < count; ++i) {
+        const std::size_t p = static_cast<std::size_t>(dc.servers.size() + i) %
+                              dc.prefixes.size();
+        const std::uint64_t host_index = 1 + used[p]++;
+        if (host_index >= dc.prefixes[p].size() - 1) {
+            throw std::logic_error("Cdn::add_servers: prefix exhausted");
+        }
+        const net::IpAddress ip = dc.prefixes[p].address_at(host_index);
+        const auto sid = static_cast<ServerId>(servers_.size());
+        servers_.emplace_back(sid, dc_id, ip,
+                              server_hostname(static_cast<int>(dc_id),
+                                              static_cast<int>(dc.servers.size())),
+                              capacity);
+        by_hostname_.emplace(servers_.back().hostname(), sid);
+        dc.servers.push_back(sid);
+    }
+}
+
+void Cdn::register_prefixes(net::AsRegistry& registry,
+                            std::string_view google_name) const {
+    for (const auto& dc : dcs_) {
+        std::string name;
+        switch (dc.infra) {
+            case InfraClass::GoogleCdn: name = std::string(google_name); break;
+            case InfraClass::IspInternal: name = "ISP-" + dc.city; break;
+            case InfraClass::LegacyYouTube: name = "YouTube-EU"; break;
+            case InfraClass::OtherAs: name = "Transit-" + dc.city; break;
+        }
+        for (const auto& prefix : dc.prefixes) {
+            registry.add(prefix, dc.asn, name);
+        }
+    }
+}
+
+const DataCenter& Cdn::dc(DcId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= dcs_.size()) {
+        throw std::out_of_range("Cdn::dc");
+    }
+    return dcs_[static_cast<std::size_t>(id)];
+}
+
+const ContentServer& Cdn::server(ServerId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= servers_.size()) {
+        throw std::out_of_range("Cdn::server");
+    }
+    return servers_[static_cast<std::size_t>(id)];
+}
+
+ContentServer& Cdn::server(ServerId id) {
+    return const_cast<ContentServer&>(std::as_const(*this).server(id));
+}
+
+ServerId Cdn::server_by_hostname(std::string_view hostname) const noexcept {
+    const auto it = by_hostname_.find(std::string(hostname));
+    return it == by_hostname_.end() ? kInvalidServer : it->second;
+}
+
+DcId Cdn::dc_of_ip(net::IpAddress ip) const noexcept {
+    for (const auto& dc : dcs_) {
+        for (const auto& prefix : dc.prefixes) {
+            if (prefix.contains(ip)) return dc.id;
+        }
+    }
+    return kInvalidDc;
+}
+
+std::vector<DcId> Cdn::rank_by_rtt(const net::NetSite& client) const {
+    std::vector<std::pair<double, DcId>> ranked;
+    for (const auto& dc : dcs_) {
+        if (!in_analysis_scope(dc.infra) || dc.servers.empty()) continue;
+        ranked.emplace_back(rtt_->base_rtt_ms(client, dc.site), dc.id);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::vector<DcId> out;
+    out.reserve(ranked.size());
+    for (const auto& [rtt, id] : ranked) out.push_back(id);
+    return out;
+}
+
+bool Cdn::is_origin(DcId dc_id, VideoId id) const noexcept {
+    // Consistent hashing over analysis-scope data centers: the video's k
+    // origin copies land on the DCs with the smallest hash(video, dc).
+    // Legacy infrastructure never holds origin copies.
+    const auto& d = dcs_[static_cast<std::size_t>(dc_id)];
+    if (!in_analysis_scope(d.infra)) return false;
+
+    std::uint64_t my_score = sim::mix64(id.value() ^ sim::mix64(
+                                            static_cast<std::uint64_t>(dc_id)));
+    int better = 0;
+    for (const auto& other : dcs_) {
+        if (other.id == dc_id || !in_analysis_scope(other.infra) ||
+            other.servers.empty()) {
+            continue;
+        }
+        const std::uint64_t score = sim::mix64(
+            id.value() ^ sim::mix64(static_cast<std::uint64_t>(other.id)));
+        if (score < my_score) ++better;
+        if (better >= replication_.origin_replicas) return false;
+    }
+    return true;
+}
+
+bool Cdn::has_content(DcId dc_id, const Video& v) const noexcept {
+    if (dc_id < 0 || static_cast<std::size_t>(dc_id) >= dcs_.size()) return false;
+    const auto& d = dcs_[static_cast<std::size_t>(dc_id)];
+    // Legacy/other-AS infrastructure serves from its own full store; only
+    // analysis-scope DCs participate in the replication model.
+    if (!in_analysis_scope(d.infra)) return true;
+    return caches_[static_cast<std::size_t>(dc_id)].contains(v) || is_origin(dc_id, v.id);
+}
+
+void Cdn::pull_content(DcId dc_id, VideoId id) {
+    if (dc_id < 0 || static_cast<std::size_t>(dc_id) >= dcs_.size()) {
+        throw std::out_of_range("Cdn::pull_content");
+    }
+    caches_[static_cast<std::size_t>(dc_id)].pull(id);
+}
+
+const ContentCache& Cdn::cache(DcId dc_id) const {
+    if (dc_id < 0 || static_cast<std::size_t>(dc_id) >= dcs_.size()) {
+        throw std::out_of_range("Cdn::cache");
+    }
+    return caches_[static_cast<std::size_t>(dc_id)];
+}
+
+ServerId Cdn::pick_server(DcId dc_id, VideoId id) const {
+    const auto& d = dc(dc_id);
+    if (d.servers.empty()) throw std::logic_error("Cdn::pick_server: empty data center");
+    const std::uint64_t h = sim::mix64(id.value() ^ 0xC0FFEEull);
+    return d.servers[h % d.servers.size()];
+}
+
+ServeOutcome Cdn::classify_request(ServerId server_id, const Video& v) const {
+    const auto& s = server(server_id);
+    if (!has_content(s.dc(), v)) return ServeOutcome::RedirectMiss;
+    if (s.overloaded()) return ServeOutcome::RedirectOverload;
+    return ServeOutcome::Served;
+}
+
+ServerId Cdn::redirect_target(const net::NetSite& client, const Video& v,
+                              std::span<const DcId> exclude) const {
+    const auto excluded = [&](DcId id) {
+        return std::find(exclude.begin(), exclude.end(), id) != exclude.end();
+    };
+    const std::vector<DcId> ranked = rank_by_rtt(client);
+    // First pass: closest DC with the content and spare capacity.
+    for (const DcId id : ranked) {
+        if (excluded(id)) continue;
+        const auto& d = dcs_[static_cast<std::size_t>(id)];
+        if (d.servers.empty() || !has_content(id, v)) continue;
+        const ServerId sid = pick_server(id, v.id);
+        if (!server(sid).overloaded()) return sid;
+    }
+    // Second pass: accept an overloaded server rather than fail (the real
+    // system always eventually serves).
+    for (const DcId id : ranked) {
+        if (excluded(id)) continue;
+        const auto& d = dcs_[static_cast<std::size_t>(id)];
+        if (d.servers.empty() || !has_content(id, v)) continue;
+        return pick_server(id, v.id);
+    }
+    // Last resort: ignore the exclusion list.
+    for (const DcId id : ranked) {
+        const auto& d = dcs_[static_cast<std::size_t>(id)];
+        if (d.servers.empty() || !has_content(id, v)) continue;
+        return pick_server(id, v.id);
+    }
+    return kInvalidServer;
+}
+
+void Cdn::begin_flow(ServerId server_id) { server(server_id).begin_flow(); }
+
+void Cdn::end_flow(ServerId server_id) { server(server_id).end_flow(); }
+
+}  // namespace ytcdn::cdn

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/cache.hpp"
+#include "cdn/data_center.hpp"
+#include "cdn/server.hpp"
+#include "cdn/video.hpp"
+#include "net/as_registry.hpp"
+#include "net/rtt_model.hpp"
+#include "sim/random.hpp"
+
+namespace ytcdn::cdn {
+
+/// Outcome of a content server handling a /videoplayback request.
+enum class ServeOutcome {
+    Served,            // the server streams the video on this connection
+    RedirectOverload,  // server at capacity -> 302 to another data center
+    RedirectMiss,      // content not present here -> 302 toward an origin
+};
+
+/// The content distribution network: data centers, servers, caches and the
+/// request-handling logic (application-layer redirection) behind them.
+///
+/// DNS-side selection lives in DnsSystem; the Cdn covers step 4 of the
+/// paper's Fig. 1 — what happens once the client reaches a content server.
+class Cdn {
+public:
+    struct ReplicationConfig {
+        /// Videos with rank below this are replicated at every data center.
+        std::size_t replicate_top_ranks = 5'000;
+        /// Number of origin copies for unpopular content, spread by
+        /// consistent hashing over analysis-scope data centers.
+        int origin_replicas = 2;
+        /// Per-data-center bound on pulled (miss-fetched) videos; the
+        /// oldest pull is evicted beyond it. 0 = unbounded.
+        std::size_t max_pulled_per_dc = 0;
+    };
+
+    explicit Cdn(const net::RttModel& rtt) : Cdn(rtt, ReplicationConfig{}) {}
+    Cdn(const net::RttModel& rtt, ReplicationConfig replication);
+
+    // --- topology construction -------------------------------------------
+
+    /// Adds a data center; `site_access_rtt_ms` is its LAN/last-mile term.
+    /// Returns its id. Prefixes must be added before servers.
+    DcId add_data_center(std::string city, geo::Continent continent,
+                         geo::GeoPoint location, net::Asn asn, InfraClass infra,
+                         double site_access_rtt_ms = 0.5);
+
+    /// Announces an IP prefix for a data center (also visible to whois via
+    /// `register_prefixes`).
+    void add_prefix(DcId dc, net::Subnet prefix);
+
+    /// Adds `count` servers carved from the DC's prefixes, each sustaining
+    /// `capacity` concurrent video flows.
+    void add_servers(DcId dc, int count, int capacity);
+
+    /// Dumps every announced prefix into a whois registry with the owning
+    /// AS name.
+    void register_prefixes(net::AsRegistry& registry,
+                           std::string_view google_name = "Google Inc.") const;
+
+    // --- accessors ---------------------------------------------------------
+
+    [[nodiscard]] std::size_t num_data_centers() const noexcept { return dcs_.size(); }
+    [[nodiscard]] std::size_t num_servers() const noexcept { return servers_.size(); }
+    [[nodiscard]] const DataCenter& dc(DcId id) const;
+    [[nodiscard]] const ContentServer& server(ServerId id) const;
+    [[nodiscard]] ContentServer& server(ServerId id);
+    [[nodiscard]] std::span<const DataCenter> data_centers() const noexcept { return dcs_; }
+    [[nodiscard]] const net::RttModel& rtt_model() const noexcept { return *rtt_; }
+    [[nodiscard]] const ReplicationConfig& replication() const noexcept {
+        return replication_;
+    }
+
+    /// The data center owning `ip`, or kInvalidDc.
+    [[nodiscard]] DcId dc_of_ip(net::IpAddress ip) const noexcept;
+
+    /// Resolves a content-server hostname ("vN.lscacheM.c.youtube.com") to
+    /// its server, or kInvalidServer. This is what the player uses to chase
+    /// a 302 Location header.
+    [[nodiscard]] ServerId server_by_hostname(std::string_view hostname) const noexcept;
+
+    /// Data centers in analysis scope (Google AS + ISP-internal), ranked by
+    /// minimum RTT from `client`.
+    [[nodiscard]] std::vector<DcId> rank_by_rtt(const net::NetSite& client) const;
+
+    // --- content placement -------------------------------------------------
+
+    /// True when `dc` is one of the origin replicas for the video.
+    [[nodiscard]] bool is_origin(DcId dc, VideoId id) const noexcept;
+
+    /// True when a request for `v` can be served at `dc` right now
+    /// (replicated by popularity, pulled earlier, origin copy, or legacy
+    /// infrastructure which is modelled as having everything).
+    [[nodiscard]] bool has_content(DcId dc, const Video& v) const noexcept;
+
+    /// Fetches the video into the DC's cache (idempotent).
+    void pull_content(DcId dc, VideoId id);
+
+    /// Read access to a data center's cache state.
+    [[nodiscard]] const ContentCache& cache(DcId dc) const;
+
+    // --- request handling ---------------------------------------------------
+
+    /// The server inside `dc` that the URL/hostname hashing assigns to this
+    /// video. Cache affinity concentrates a hot video on one server, which
+    /// is what makes hot-spots server-local in the paper's Fig. 15.
+    [[nodiscard]] ServerId pick_server(DcId dc, VideoId id) const;
+
+    /// What the server would do with a request for `v` right now.
+    [[nodiscard]] ServeOutcome classify_request(ServerId server, const Video& v) const;
+
+    /// The server a redirect should send the client to: the lowest-RTT
+    /// analysis-scope data center (excluding `exclude`) whose affinity
+    /// server has capacity and which has the content; falls back to any
+    /// origin. Returns kInvalidServer when nothing can serve.
+    [[nodiscard]] ServerId redirect_target(const net::NetSite& client, const Video& v,
+                                           std::span<const DcId> exclude) const;
+
+    /// Flow accounting, driven by the player/simulator.
+    void begin_flow(ServerId server);
+    void end_flow(ServerId server);
+
+private:
+    const net::RttModel* rtt_;
+    ReplicationConfig replication_;
+    std::vector<DataCenter> dcs_;
+    std::vector<ContentServer> servers_;
+    std::vector<ContentCache> caches_;
+    std::unordered_map<std::string, ServerId> by_hostname_;
+    std::uint64_t next_site_id_ = 0x4000'0000ull;  // disjoint from client site ids
+};
+
+}  // namespace ytcdn::cdn

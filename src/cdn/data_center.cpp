@@ -1,0 +1,19 @@
+#include "cdn/data_center.hpp"
+
+#include <ostream>
+
+namespace ytcdn::cdn {
+
+std::string_view to_string(InfraClass c) noexcept {
+    switch (c) {
+        case InfraClass::GoogleCdn: return "Google";
+        case InfraClass::IspInternal: return "ISP-internal";
+        case InfraClass::LegacyYouTube: return "YouTube-EU";
+        case InfraClass::OtherAs: return "Other-AS";
+    }
+    return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, InfraClass c) { return os << to_string(c); }
+
+}  // namespace ytcdn::cdn

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/continent.hpp"
+#include "geo/geo_point.hpp"
+#include "net/as_registry.hpp"
+#include "net/rtt_model.hpp"
+#include "net/subnet.hpp"
+#include "cdn/server.hpp"
+
+namespace ytcdn::cdn {
+
+/// Which slice of infrastructure a data center belongs to. The paper's
+/// Table II splits traffic between the Google AS (15169), the legacy
+/// YouTube-EU AS (43515), an in-ISP data center (EU2) and small "other"
+/// ASes (CW, GBLX).
+enum class InfraClass {
+    GoogleCdn,      // AS 15169 — carries virtually all video bytes
+    IspInternal,    // Google cache inside an ISP (the EU2 special case)
+    LegacyYouTube,  // AS 43515 — legacy configuration leftovers
+    OtherAs,        // CW / GBLX — residual traffic
+};
+
+[[nodiscard]] std::string_view to_string(InfraClass c) noexcept;
+std::ostream& operator<<(std::ostream& os, InfraClass c);
+
+/// True for infrastructure the paper's server-selection analysis keeps:
+/// "we only focus on accesses to video servers located in the Google AS.
+/// For the EU2 dataset, we include accesses to the data center located
+/// inside the corresponding ISP" (Section IV).
+[[nodiscard]] constexpr bool in_analysis_scope(InfraClass c) noexcept {
+    return c == InfraClass::GoogleCdn || c == InfraClass::IspInternal;
+}
+
+/// A data center: a city-level cluster of content servers, the unit at which
+/// the paper studies server selection (33 of them across its datasets).
+struct DataCenter {
+    DcId id = kInvalidDc;
+    std::string city;
+    geo::Continent continent = geo::Continent::Europe;
+    geo::GeoPoint location;
+    net::Asn asn;
+    InfraClass infra = InfraClass::GoogleCdn;
+    /// The network site used for all RTT computations to/from this DC.
+    net::NetSite site;
+    /// IP prefixes announced for this DC (servers are carved out of these;
+    /// each /24 belongs to exactly one DC, matching the paper's clustering).
+    std::vector<net::Subnet> prefixes;
+    /// Servers hosted here, as ids into the CDN's server table.
+    std::vector<ServerId> servers;
+};
+
+}  // namespace ytcdn::cdn

@@ -1,0 +1,41 @@
+#include "cdn/dns.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ytcdn::cdn {
+
+LdnsId DnsSystem::add_resolver(std::string name,
+                               std::unique_ptr<SelectionPolicy> policy) {
+    if (!policy) throw std::invalid_argument("DnsSystem::add_resolver: null policy");
+    resolvers_.push_back(Resolver{std::move(name), std::move(policy), {}});
+    return static_cast<LdnsId>(resolvers_.size() - 1);
+}
+
+const std::string& DnsSystem::resolver_name(LdnsId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= resolvers_.size()) {
+        throw std::out_of_range("DnsSystem::resolver_name");
+    }
+    return resolvers_[static_cast<std::size_t>(id)].name;
+}
+
+DcId DnsSystem::resolve(LdnsId resolver, sim::SimTime now, sim::Rng& rng) {
+    if (resolver < 0 || static_cast<std::size_t>(resolver) >= resolvers_.size()) {
+        throw std::out_of_range("DnsSystem::resolve: unknown resolver");
+    }
+    auto& r = resolvers_[static_cast<std::size_t>(resolver)];
+    const ResolutionContext ctx{now, &rng};
+    const DcId dc = r.policy->select(ctx);
+    ++r.counts[dc];
+    ++total_;
+    return dc;
+}
+
+std::uint64_t DnsSystem::resolution_count(LdnsId resolver, DcId dc) const noexcept {
+    if (resolver < 0 || static_cast<std::size_t>(resolver) >= resolvers_.size()) return 0;
+    const auto& counts = resolvers_[static_cast<std::size_t>(resolver)].counts;
+    const auto it = counts.find(dc);
+    return it == counts.end() ? 0 : it->second;
+}
+
+}  // namespace ytcdn::cdn

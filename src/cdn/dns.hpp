@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/selection_policy.hpp"
+#include "cdn/server.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace ytcdn::cdn {
+
+using LdnsId = std::int32_t;
+inline constexpr LdnsId kInvalidLdns = -1;
+
+/// The DNS side of YouTube server selection (step 3 in the paper's Fig. 1).
+///
+/// Each client uses a *local* DNS server; YouTube's authoritative DNS answers
+/// each local resolver according to a policy. The paper shows the policy can
+/// differ across resolvers of the same network (Section VII-B: the Net-3
+/// subnet of US-Campus is mapped to a different preferred data center), so a
+/// policy is attached per local resolver, not per network.
+class DnsSystem {
+public:
+    DnsSystem() = default;
+
+    /// Registers a local resolver with its authoritative-side policy.
+    LdnsId add_resolver(std::string name, std::unique_ptr<SelectionPolicy> policy);
+
+    [[nodiscard]] std::size_t num_resolvers() const noexcept { return resolvers_.size(); }
+    [[nodiscard]] const std::string& resolver_name(LdnsId id) const;
+
+    /// Resolves the content-server name for a client behind `resolver`:
+    /// returns the data center the authoritative DNS maps this request to.
+    [[nodiscard]] DcId resolve(LdnsId resolver, sim::SimTime now, sim::Rng& rng);
+
+    /// How many resolutions each (resolver, data center) pair has seen, for
+    /// diagnosis and tests.
+    [[nodiscard]] std::uint64_t resolution_count(LdnsId resolver, DcId dc) const noexcept;
+    [[nodiscard]] std::uint64_t total_resolutions() const noexcept { return total_; }
+
+private:
+    struct Resolver {
+        std::string name;
+        std::unique_ptr<SelectionPolicy> policy;
+        std::unordered_map<DcId, std::uint64_t> counts;
+    };
+    std::vector<Resolver> resolvers_;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace ytcdn::cdn

@@ -1,0 +1,128 @@
+#include "cdn/http.hpp"
+
+#include <charconv>
+
+namespace ytcdn::cdn {
+
+namespace {
+
+constexpr std::string_view kVideoHostSuffix = ".c.youtube.com";
+constexpr std::string_view kPlaybackPath = "/videoplayback?";
+
+/// Returns the value of `key=` inside a query string, up to '&' or ' '.
+std::optional<std::string_view> query_param(std::string_view query, std::string_view key) {
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+        const std::size_t amp = query.find('&', pos);
+        const std::string_view pair =
+            query.substr(pos, amp == std::string_view::npos ? amp : amp - pos);
+        const std::size_t eq = pair.find('=');
+        if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+            return pair.substr(eq + 1);
+        }
+        if (amp == std::string_view::npos) break;
+        pos = amp + 1;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string_view> header_value(std::string_view payload,
+                                             std::string_view name) {
+    std::size_t pos = payload.find("\r\n");
+    while (pos != std::string_view::npos && pos + 2 < payload.size()) {
+        const std::size_t start = pos + 2;
+        const std::size_t end = payload.find("\r\n", start);
+        const std::string_view line =
+            payload.substr(start, end == std::string_view::npos ? end : end - start);
+        if (line.size() > name.size() + 1 && line.substr(0, name.size()) == name &&
+            line[name.size()] == ':') {
+            std::string_view v = line.substr(name.size() + 1);
+            while (!v.empty() && v.front() == ' ') v.remove_prefix(1);
+            return v;
+        }
+        pos = end;
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::string server_hostname(int cluster_index, int server_index) {
+    return "v" + std::to_string(server_index) + ".lscache" +
+           std::to_string(cluster_index) + ".c.youtube.com";
+}
+
+bool is_video_host(std::string_view host) noexcept {
+    return host.size() > kVideoHostSuffix.size() &&
+           host.substr(host.size() - kVideoHostSuffix.size()) == kVideoHostSuffix;
+}
+
+std::string format_request(const VideoRequest& request) {
+    std::string out;
+    out.reserve(256);
+    out += "GET /videoplayback?id=";
+    out += request.video.to_string();
+    out += "&itag=";
+    out += std::to_string(request.itag);
+    out += " HTTP/1.1\r\nHost: ";
+    out += request.host;
+    out += "\r\nUser-Agent: Shockwave Flash\r\nConnection: keep-alive\r\n\r\n";
+    return out;
+}
+
+std::optional<VideoRequest> parse_request(std::string_view payload) {
+    if (!payload.starts_with("GET ")) return std::nullopt;
+    const std::size_t path_start = 4;
+    const std::size_t path_end = payload.find(' ', path_start);
+    if (path_end == std::string_view::npos) return std::nullopt;
+    const std::string_view path = payload.substr(path_start, path_end - path_start);
+    if (!path.starts_with(kPlaybackPath)) return std::nullopt;
+    const std::string_view query = path.substr(kPlaybackPath.size());
+
+    const auto id_text = query_param(query, "id");
+    const auto itag_text = query_param(query, "itag");
+    if (!id_text || !itag_text) return std::nullopt;
+
+    const auto id = VideoId::parse(*id_text);
+    if (!id) return std::nullopt;
+
+    int itag = 0;
+    const auto [next, ec] =
+        std::from_chars(itag_text->data(), itag_text->data() + itag_text->size(), itag);
+    if (ec != std::errc{} || next != itag_text->data() + itag_text->size()) {
+        return std::nullopt;
+    }
+    if (!resolution_from_itag(itag)) return std::nullopt;
+
+    const auto host = header_value(payload, "Host");
+    if (!host || !is_video_host(*host)) return std::nullopt;
+
+    return VideoRequest{std::string(*host), *id, itag};
+}
+
+std::string format_redirect(const VideoRequest& original, std::string_view new_host) {
+    std::string out;
+    out.reserve(256);
+    out += "HTTP/1.1 302 Found\r\nLocation: http://";
+    out += new_host;
+    out += "/videoplayback?id=";
+    out += original.video.to_string();
+    out += "&itag=";
+    out += std::to_string(original.itag);
+    out += "\r\nContent-Length: 0\r\n\r\n";
+    return out;
+}
+
+std::optional<std::string> parse_redirect_host(std::string_view payload) {
+    if (!payload.starts_with("HTTP/1.1 302")) return std::nullopt;
+    const auto location = header_value(payload, "Location");
+    if (!location) return std::nullopt;
+    std::string_view url = *location;
+    constexpr std::string_view kScheme = "http://";
+    if (!url.starts_with(kScheme)) return std::nullopt;
+    url.remove_prefix(kScheme.size());
+    const std::size_t slash = url.find('/');
+    return std::string(url.substr(0, slash));
+}
+
+}  // namespace ytcdn::cdn

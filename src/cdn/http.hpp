@@ -1,0 +1,44 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cdn/video.hpp"
+
+namespace ytcdn::cdn {
+
+/// A parsed /videoplayback request, the on-the-wire artifact a DPI engine
+/// (Tstat) inspects to classify YouTube video flows and extract the VideoID
+/// and resolution.
+struct VideoRequest {
+    std::string host;  // e.g. "v7.lscache3.c.youtube.com"
+    VideoId video;
+    int itag = 34;
+};
+
+/// Canonical content-server hostname in the post-Google-migration scheme
+/// ("vN.lscacheM.c.youtube.com"). Reverse DNS on these is disabled in the
+/// real system — which is why the paper needs CBG instead of name parsing.
+[[nodiscard]] std::string server_hostname(int cluster_index, int server_index);
+
+/// True for hostnames the DPI classifier treats as YouTube video servers.
+[[nodiscard]] bool is_video_host(std::string_view host) noexcept;
+
+/// Serializes the HTTP GET the Flash plugin sends for a video stream.
+[[nodiscard]] std::string format_request(const VideoRequest& request);
+
+/// DPI: parses an HTTP payload; returns the request if and only if it is a
+/// well-formed YouTube /videoplayback GET with a video host, a valid 11-char
+/// id and a known itag.
+[[nodiscard]] std::optional<VideoRequest> parse_request(std::string_view payload);
+
+/// Serializes the 302 the content server answers when it cannot serve and
+/// redirects the player elsewhere.
+[[nodiscard]] std::string format_redirect(const VideoRequest& original,
+                                          std::string_view new_host);
+
+/// Extracts the Location target host from a 302 payload, if present.
+[[nodiscard]] std::optional<std::string> parse_redirect_host(std::string_view payload);
+
+}  // namespace ytcdn::cdn

@@ -1,0 +1,96 @@
+#include "cdn/selection_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ytcdn::cdn {
+
+StaticPreferencePolicy::StaticPreferencePolicy(std::vector<DcId> ranked)
+    : ranked_(std::move(ranked)) {
+    if (ranked_.empty()) {
+        throw std::invalid_argument("StaticPreferencePolicy: empty ranking");
+    }
+}
+
+DcId StaticPreferencePolicy::select(const ResolutionContext&) { return ranked_.front(); }
+
+TokenBucketLoadBalancePolicy::TokenBucketLoadBalancePolicy(std::vector<DcId> ranked,
+                                                           double rate_per_s,
+                                                           double burst)
+    : ranked_(std::move(ranked)), rate_per_s_(rate_per_s), burst_(burst), tokens_(burst) {
+    if (ranked_.size() < 2) {
+        throw std::invalid_argument(
+            "TokenBucketLoadBalancePolicy: need a local and an overflow data center");
+    }
+    if (rate_per_s_ <= 0.0 || burst_ <= 0.0) {
+        throw std::invalid_argument("TokenBucketLoadBalancePolicy: rate/burst must be > 0");
+    }
+}
+
+DcId TokenBucketLoadBalancePolicy::select(const ResolutionContext& ctx) {
+    if (ctx.now > last_refill_) {
+        tokens_ = std::min(burst_, tokens_ + (ctx.now - last_refill_) * rate_per_s_);
+        last_refill_ = ctx.now;
+    }
+    if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        return ranked_.front();
+    }
+    return ranked_[1];
+}
+
+ProportionalToSizePolicy::ProportionalToSizePolicy(std::vector<WeightedDc> weighted)
+    : weighted_(std::move(weighted)), total_weight_(0.0) {
+    if (weighted_.empty()) {
+        throw std::invalid_argument("ProportionalToSizePolicy: empty data-center set");
+    }
+    for (const auto& w : weighted_) {
+        if (w.weight <= 0.0) {
+            throw std::invalid_argument("ProportionalToSizePolicy: weights must be > 0");
+        }
+        total_weight_ += w.weight;
+    }
+}
+
+DcId ProportionalToSizePolicy::select(const ResolutionContext& ctx) {
+    if (ctx.rng == nullptr) {
+        throw std::invalid_argument("ProportionalToSizePolicy: context needs an rng");
+    }
+    double x = ctx.rng->uniform(0.0, total_weight_);
+    for (const auto& w : weighted_) {
+        x -= w.weight;
+        if (x <= 0.0) return w.dc;
+    }
+    return weighted_.back().dc;
+}
+
+MixturePolicy::MixturePolicy(std::unique_ptr<SelectionPolicy> common,
+                             std::unique_ptr<SelectionPolicy> rare, double p_rare)
+    : common_(std::move(common)), rare_(std::move(rare)), p_rare_(p_rare) {
+    if (!common_ || !rare_) throw std::invalid_argument("MixturePolicy: null policy");
+    if (p_rare_ < 0.0 || p_rare_ > 1.0) {
+        throw std::invalid_argument("MixturePolicy: p_rare must be in [0, 1]");
+    }
+}
+
+DcId MixturePolicy::select(const ResolutionContext& ctx) {
+    if (ctx.rng == nullptr) {
+        throw std::invalid_argument("MixturePolicy: context needs an rng");
+    }
+    return ctx.rng->bernoulli(p_rare_) ? rare_->select(ctx) : common_->select(ctx);
+}
+
+UniformChoicePolicy::UniformChoicePolicy(std::vector<DcId> choices)
+    : choices_(std::move(choices)) {
+    if (choices_.empty()) throw std::invalid_argument("UniformChoicePolicy: empty set");
+}
+
+DcId UniformChoicePolicy::select(const ResolutionContext& ctx) {
+    if (ctx.rng == nullptr) {
+        throw std::invalid_argument("UniformChoicePolicy: context needs an rng");
+    }
+    return choices_[ctx.rng->uniform_index(choices_.size())];
+}
+
+}  // namespace ytcdn::cdn

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cdn/server.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace ytcdn::cdn {
+
+/// Context handed to DNS selection policies on every resolution.
+struct ResolutionContext {
+    sim::SimTime now = 0.0;
+    sim::Rng* rng = nullptr;
+};
+
+/// Strategy deciding which data center a DNS resolution maps a client to.
+///
+/// The paper infers several coexisting behaviours; each is a concrete policy
+/// here so experiments can compose and ablate them:
+///   - a *preferred* data center per resolver (lowest RTT) — StaticPreference
+///   - adaptive DNS-level load balancing at EU2 — TokenBucketLoadBalance
+///   - the pre-2010 baseline from Adhikari et al. [7] — ProportionalToSize
+///   - a residual mix toward legacy ASes — MixturePolicy
+class SelectionPolicy {
+public:
+    virtual ~SelectionPolicy() = default;
+    /// Picks the data center this resolution maps to.
+    [[nodiscard]] virtual DcId select(const ResolutionContext& ctx) = 0;
+};
+
+/// Always returns the first data center of a ranked preference list
+/// (the per-network preferred data center of Section VI-B).
+class StaticPreferencePolicy final : public SelectionPolicy {
+public:
+    explicit StaticPreferencePolicy(std::vector<DcId> ranked);
+    [[nodiscard]] DcId select(const ResolutionContext& ctx) override;
+    [[nodiscard]] const std::vector<DcId>& ranked() const noexcept { return ranked_; }
+
+private:
+    std::vector<DcId> ranked_;
+};
+
+/// Adaptive DNS-level load balancing (the EU2 mechanism, Section VII-A).
+///
+/// The first data center of the ranked list is the local/preferred one; its
+/// sustainable request rate is modelled as a token bucket. While tokens are
+/// available, resolutions map locally; excess demand overflows to the next
+/// data center in the ranking. At night demand < rate so ~100% of requests
+/// stay local; at daytime peaks the local share drops toward
+/// rate / demand (~30% in the paper's Fig. 11).
+class TokenBucketLoadBalancePolicy final : public SelectionPolicy {
+public:
+    /// `rate_per_s` tokens accrue per second up to `burst`.
+    TokenBucketLoadBalancePolicy(std::vector<DcId> ranked, double rate_per_s,
+                                 double burst);
+    [[nodiscard]] DcId select(const ResolutionContext& ctx) override;
+
+    [[nodiscard]] double rate_per_s() const noexcept { return rate_per_s_; }
+    [[nodiscard]] double tokens() const noexcept { return tokens_; }
+
+private:
+    std::vector<DcId> ranked_;
+    double rate_per_s_;
+    double burst_;
+    double tokens_;
+    sim::SimTime last_refill_ = 0.0;
+};
+
+/// The "old YouTube" baseline ([7]): requests are spread across data centers
+/// proportionally to data-center size, ignoring client location entirely.
+class ProportionalToSizePolicy final : public SelectionPolicy {
+public:
+    struct WeightedDc {
+        DcId dc = kInvalidDc;
+        double weight = 1.0;  // e.g. number of servers in the data center
+    };
+    explicit ProportionalToSizePolicy(std::vector<WeightedDc> weighted);
+    [[nodiscard]] DcId select(const ResolutionContext& ctx) override;
+
+private:
+    std::vector<WeightedDc> weighted_;
+    double total_weight_;
+};
+
+/// With probability `p` delegates to `rare`, otherwise to `common`. Models
+/// the small residual fraction of resolutions that still lands on legacy
+/// YouTube-EU / other-AS infrastructure (Table II).
+class MixturePolicy final : public SelectionPolicy {
+public:
+    MixturePolicy(std::unique_ptr<SelectionPolicy> common,
+                  std::unique_ptr<SelectionPolicy> rare, double p_rare);
+    [[nodiscard]] DcId select(const ResolutionContext& ctx) override;
+
+private:
+    std::unique_ptr<SelectionPolicy> common_;
+    std::unique_ptr<SelectionPolicy> rare_;
+    double p_rare_;
+};
+
+/// Uniformly random choice among a fixed set (used as the `rare` arm of a
+/// MixturePolicy for legacy pools).
+class UniformChoicePolicy final : public SelectionPolicy {
+public:
+    explicit UniformChoicePolicy(std::vector<DcId> choices);
+    [[nodiscard]] DcId select(const ResolutionContext& ctx) override;
+
+private:
+    std::vector<DcId> choices_;
+};
+
+}  // namespace ytcdn::cdn

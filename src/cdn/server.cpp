@@ -1,0 +1,24 @@
+#include "cdn/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ytcdn::cdn {
+
+ContentServer::ContentServer(ServerId id, DcId dc, net::IpAddress ip,
+                             std::string hostname, int capacity)
+    : id_(id), dc_(dc), ip_(ip), hostname_(std::move(hostname)), capacity_(capacity) {
+    if (capacity_ <= 0) throw std::invalid_argument("ContentServer: capacity must be > 0");
+}
+
+void ContentServer::begin_flow() {
+    ++active_;
+    ++served_;
+}
+
+void ContentServer::end_flow() {
+    if (active_ <= 0) throw std::logic_error("ContentServer::end_flow without begin_flow");
+    --active_;
+}
+
+}  // namespace ytcdn::cdn

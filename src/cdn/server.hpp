@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ip_address.hpp"
+
+namespace ytcdn::cdn {
+
+/// Index types for the CDN's flat entity tables.
+using ServerId = std::int32_t;
+using DcId = std::int32_t;
+inline constexpr ServerId kInvalidServer = -1;
+inline constexpr DcId kInvalidDc = -1;
+
+/// One content server: an IP inside a data center with a bounded number of
+/// concurrent video flows it can sustain.
+///
+/// Requests above capacity are not queued — the server answers with an
+/// application-layer redirect, which is the hot-spot mechanism the paper
+/// observes (Section VII-C, Figs 15-16).
+class ContentServer {
+public:
+    ContentServer(ServerId id, DcId dc, net::IpAddress ip, std::string hostname,
+                  int capacity);
+
+    [[nodiscard]] ServerId id() const noexcept { return id_; }
+    [[nodiscard]] DcId dc() const noexcept { return dc_; }
+    [[nodiscard]] net::IpAddress ip() const noexcept { return ip_; }
+    [[nodiscard]] const std::string& hostname() const noexcept { return hostname_; }
+    [[nodiscard]] int capacity() const noexcept { return capacity_; }
+
+    [[nodiscard]] int active_flows() const noexcept { return active_; }
+    [[nodiscard]] bool overloaded() const noexcept { return active_ >= capacity_; }
+    [[nodiscard]] std::uint64_t flows_served() const noexcept { return served_; }
+    [[nodiscard]] std::uint64_t redirects_issued() const noexcept { return redirects_; }
+
+    /// Accounting for a video flow the server accepted.
+    void begin_flow();
+    void end_flow();
+    /// Accounting for a redirect the server issued instead of serving.
+    void note_redirect() noexcept { ++redirects_; }
+
+private:
+    ServerId id_;
+    DcId dc_;
+    net::IpAddress ip_;
+    std::string hostname_;
+    int capacity_;
+    int active_ = 0;
+    std::uint64_t served_ = 0;
+    std::uint64_t redirects_ = 0;
+};
+
+}  // namespace ytcdn::cdn

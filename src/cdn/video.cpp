@@ -1,0 +1,111 @@
+#include "cdn/video.hpp"
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+namespace ytcdn::cdn {
+
+namespace {
+
+constexpr std::string_view kBase64Url =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+constexpr int kIdChars = 11;
+
+int base64url_index(char c) noexcept {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '-') return 62;
+    if (c == '_') return 63;
+    return -1;
+}
+
+}  // namespace
+
+std::string VideoId::to_string() const {
+    // 11 characters x 6 bits = 66 bits for a 64-bit value. Like real YouTube
+    // ids, the first 10 characters carry bits 63..4 and the final character
+    // carries the low 4 bits shifted into its top — which is why real ids
+    // always end in one of {A,E,I,M,Q,U,Y,c,g,k,o,s,w,0,4,8}.
+    std::string out(kIdChars, 'A');
+    for (int i = 0; i < kIdChars - 1; ++i) {
+        const int shift = 4 + 6 * (kIdChars - 2 - i);
+        out[static_cast<std::size_t>(i)] =
+            kBase64Url[static_cast<std::size_t>((value_ >> shift) & 0x3F)];
+    }
+    out[kIdChars - 1] = kBase64Url[static_cast<std::size_t>((value_ & 0xF) << 2)];
+    return out;
+}
+
+std::optional<VideoId> VideoId::parse(std::string_view text) noexcept {
+    if (text.size() != kIdChars) return std::nullopt;
+    std::uint64_t value = 0;
+    for (int i = 0; i < kIdChars - 1; ++i) {
+        const int idx = base64url_index(text[static_cast<std::size_t>(i)]);
+        if (idx < 0) return std::nullopt;
+        const int shift = 4 + 6 * (kIdChars - 2 - i);
+        value |= static_cast<std::uint64_t>(idx) << shift;
+    }
+    const int last = base64url_index(text[kIdChars - 1]);
+    // The last character only encodes 4 bits; its low 2 base64 bits must be
+    // zero (as in genuine YouTube ids).
+    if (last < 0 || (last & 0x3) != 0) return std::nullopt;
+    value |= static_cast<std::uint64_t>(last) >> 2;
+    return VideoId{value};
+}
+
+std::ostream& operator<<(std::ostream& os, VideoId id) { return os << id.to_string(); }
+
+int itag_of(Resolution r) noexcept {
+    switch (r) {
+        case Resolution::R240: return 5;
+        case Resolution::R360: return 34;
+        case Resolution::R480: return 35;
+        case Resolution::R720: return 22;
+        case Resolution::R1080: return 37;
+    }
+    return 34;
+}
+
+std::optional<Resolution> resolution_from_itag(int itag) noexcept {
+    switch (itag) {
+        case 5: return Resolution::R240;
+        case 34: return Resolution::R360;
+        case 18: return Resolution::R360;
+        case 35: return Resolution::R480;
+        case 22: return Resolution::R720;
+        case 37: return Resolution::R1080;
+        default: return std::nullopt;
+    }
+}
+
+std::string_view to_string(Resolution r) noexcept {
+    switch (r) {
+        case Resolution::R240: return "240p";
+        case Resolution::R360: return "360p";
+        case Resolution::R480: return "480p";
+        case Resolution::R720: return "720p";
+        case Resolution::R1080: return "1080p";
+    }
+    return "360p";
+}
+
+double bitrate_bps(Resolution r) noexcept {
+    switch (r) {
+        case Resolution::R240: return 250e3;
+        case Resolution::R360: return 550e3;
+        case Resolution::R480: return 1000e3;
+        case Resolution::R720: return 2200e3;
+        case Resolution::R1080: return 4300e3;
+    }
+    return 550e3;
+}
+
+std::uint64_t video_bytes(const Video& v, Resolution r) noexcept {
+    const double bits = bitrate_bps(r) * v.duration_s;
+    return static_cast<std::uint64_t>(std::llround(bits / 8.0));
+}
+
+}  // namespace ytcdn::cdn

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace ytcdn::cdn {
+
+/// The YouTube video identifier: an 11-character URL-safe base64 string
+/// (e.g. "dQw4w9WgXcQ"). Internally a 64-bit value; the string form is what
+/// appears in URLs and what Tstat records.
+class VideoId {
+public:
+    constexpr VideoId() noexcept = default;
+    constexpr explicit VideoId(std::uint64_t value) noexcept : value_(value) {}
+
+    [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+
+    /// The 11-character base64url rendering (top 2 bits of the first
+    /// character are always zero since we encode 64 bits into 66).
+    [[nodiscard]] std::string to_string() const;
+
+    /// Parses an 11-character base64url id; nullopt on bad length/characters.
+    [[nodiscard]] static std::optional<VideoId> parse(std::string_view text) noexcept;
+
+    friend constexpr bool operator==(VideoId, VideoId) noexcept = default;
+    friend constexpr auto operator<=>(VideoId, VideoId) noexcept = default;
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, VideoId id);
+
+/// Video resolutions offered by the 2010-era player, with their Flash (flv)
+/// and H.264 (mp4) itags. Tstat records the resolution actually streamed.
+enum class Resolution : std::uint8_t { R240, R360, R480, R720, R1080 };
+
+inline constexpr Resolution kAllResolutions[] = {Resolution::R240, Resolution::R360,
+                                                 Resolution::R480, Resolution::R720,
+                                                 Resolution::R1080};
+
+/// The classic itag for the resolution (5/34/35 flv, 22/37 mp4 for HD).
+[[nodiscard]] int itag_of(Resolution r) noexcept;
+
+/// Inverse of itag_of, accepting also itag 18 (360p mp4).
+[[nodiscard]] std::optional<Resolution> resolution_from_itag(int itag) noexcept;
+
+/// Short label, e.g. "360p".
+[[nodiscard]] std::string_view to_string(Resolution r) noexcept;
+
+/// Average total (video+audio) bitrate in bits per second for the resolution,
+/// matching 2010-era YouTube encodes.
+[[nodiscard]] double bitrate_bps(Resolution r) noexcept;
+
+/// One video in the catalog.
+struct Video {
+    VideoId id;
+    /// Global popularity rank, 0 = most popular. Request generators sample
+    /// ranks from a Zipf distribution.
+    std::size_t rank = 0;
+    double duration_s = 0.0;
+    /// When the video entered the system; fresh uploads drive the
+    /// unpopular-content experiments (Figs 17-18).
+    sim::SimTime upload_time = 0.0;
+};
+
+/// File size of the stream at a given resolution, in bytes.
+[[nodiscard]] std::uint64_t video_bytes(const Video& v, Resolution r) noexcept;
+
+}  // namespace ytcdn::cdn
+
+template <>
+struct std::hash<ytcdn::cdn::VideoId> {
+    std::size_t operator()(ytcdn::cdn::VideoId id) const noexcept {
+        return std::hash<std::uint64_t>{}(id.value());
+    }
+};

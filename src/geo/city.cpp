@@ -1,0 +1,155 @@
+#include "geo/city.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace ytcdn::geo {
+
+namespace {
+
+std::vector<City> builtin_cities() {
+    using enum Continent;
+    // name, country, continent, lat, lon
+    return {
+        // --- North America ---------------------------------------------------
+        {"Mountain View", "US", NorthAmerica, {37.3861, -122.0839}},
+        {"Los Angeles", "US", NorthAmerica, {34.0522, -118.2437}},
+        {"Seattle", "US", NorthAmerica, {47.6062, -122.3321}},
+        {"The Dalles", "US", NorthAmerica, {45.5946, -121.1787}},
+        {"Denver", "US", NorthAmerica, {39.7392, -104.9903}},
+        {"Dallas", "US", NorthAmerica, {32.7767, -96.7970}},
+        {"Houston", "US", NorthAmerica, {29.7604, -95.3698}},
+        {"Chicago", "US", NorthAmerica, {41.8781, -87.6298}},
+        {"Council Bluffs", "US", NorthAmerica, {41.2619, -95.8608}},
+        {"Atlanta", "US", NorthAmerica, {33.7490, -84.3880}},
+        {"Miami", "US", NorthAmerica, {25.7617, -80.1918}},
+        {"Washington", "US", NorthAmerica, {38.9072, -77.0369}},
+        {"New York", "US", NorthAmerica, {40.7128, -74.0060}},
+        {"Boston", "US", NorthAmerica, {42.3601, -71.0589}},
+        {"Philadelphia", "US", NorthAmerica, {39.9526, -75.1652}},
+        {"Pittsburgh", "US", NorthAmerica, {40.4406, -79.9959}},
+        {"Saint Louis", "US", NorthAmerica, {38.6270, -90.1994}},
+        {"Minneapolis", "US", NorthAmerica, {44.9778, -93.2650}},
+        {"Salt Lake City", "US", NorthAmerica, {40.7608, -111.8910}},
+        {"Phoenix", "US", NorthAmerica, {33.4484, -112.0740}},
+        {"San Diego", "US", NorthAmerica, {32.7157, -117.1611}},
+        {"Berkeley", "US", NorthAmerica, {37.8715, -122.2730}},
+        {"Princeton", "US", NorthAmerica, {40.3573, -74.6672}},
+        {"Ann Arbor", "US", NorthAmerica, {42.2808, -83.7430}},
+        {"West Lafayette", "US", NorthAmerica, {40.4259, -86.9081}},
+        {"Austin", "US", NorthAmerica, {30.2672, -97.7431}},
+        {"Raleigh", "US", NorthAmerica, {35.7796, -78.6382}},
+        {"Toronto", "CA", NorthAmerica, {43.6532, -79.3832}},
+        {"Montreal", "CA", NorthAmerica, {45.5017, -73.5673}},
+        {"Vancouver", "CA", NorthAmerica, {49.2827, -123.1207}},
+        {"Mexico City", "MX", NorthAmerica, {19.4326, -99.1332}},
+        // --- Europe ----------------------------------------------------------
+        {"London", "GB", Europe, {51.5074, -0.1278}},
+        {"Dublin", "IE", Europe, {53.3498, -6.2603}},
+        {"Paris", "FR", Europe, {48.8566, 2.3522}},
+        {"Marseille", "FR", Europe, {43.2965, 5.3698}},
+        {"Brussels", "BE", Europe, {50.8503, 4.3517}},
+        {"Amsterdam", "NL", Europe, {52.3676, 4.9041}},
+        {"Groningen", "NL", Europe, {53.2194, 6.5665}},
+        {"Frankfurt", "DE", Europe, {50.1109, 8.6821}},
+        {"Hamburg", "DE", Europe, {53.5511, 9.9937}},
+        {"Berlin", "DE", Europe, {52.5200, 13.4050}},
+        {"Munich", "DE", Europe, {48.1351, 11.5820}},
+        {"Zurich", "CH", Europe, {47.3769, 8.5417}},
+        {"Geneva", "CH", Europe, {46.2044, 6.1432}},
+        {"Vienna", "AT", Europe, {48.2082, 16.3738}},
+        {"Prague", "CZ", Europe, {50.0755, 14.4378}},
+        {"Warsaw", "PL", Europe, {52.2297, 21.0122}},
+        {"Budapest", "HU", Europe, {47.4979, 19.0402}},
+        {"Bucharest", "RO", Europe, {44.4268, 26.1025}},
+        {"Athens", "GR", Europe, {37.9838, 23.7275}},
+        {"Rome", "IT", Europe, {41.9028, 12.4964}},
+        {"Milan", "IT", Europe, {45.4642, 9.1900}},
+        {"Turin", "IT", Europe, {45.0703, 7.6869}},
+        {"Bologna", "IT", Europe, {44.4949, 11.3426}},
+        {"Madrid", "ES", Europe, {40.4168, -3.7038}},
+        {"Barcelona", "ES", Europe, {41.3851, 2.1734}},
+        {"Lisbon", "PT", Europe, {38.7223, -9.1393}},
+        {"Stockholm", "SE", Europe, {59.3293, 18.0686}},
+        {"Oslo", "NO", Europe, {59.9139, 10.7522}},
+        {"Copenhagen", "DK", Europe, {55.6761, 12.5683}},
+        {"Helsinki", "FI", Europe, {60.1699, 24.9384}},
+        {"Moscow", "RU", Europe, {55.7558, 37.6173}},
+        {"Saint Petersburg", "RU", Europe, {59.9311, 30.3609}},
+        {"Lancaster", "GB", Europe, {54.0466, -2.8007}},
+        {"Cambridge", "GB", Europe, {52.2053, 0.1218}},
+        // --- Asia ------------------------------------------------------------
+        {"Tokyo", "JP", Asia, {35.6762, 139.6503}},
+        {"Osaka", "JP", Asia, {34.6937, 135.5023}},
+        {"Seoul", "KR", Asia, {37.5665, 126.9780}},
+        {"Beijing", "CN", Asia, {39.9042, 116.4074}},
+        {"Shanghai", "CN", Asia, {31.2304, 121.4737}},
+        {"Hong Kong", "HK", Asia, {22.3193, 114.1694}},
+        {"Taipei", "TW", Asia, {25.0330, 121.5654}},
+        {"Singapore", "SG", Asia, {1.3521, 103.8198}},
+        {"Bangkok", "TH", Asia, {13.7563, 100.5018}},
+        {"Mumbai", "IN", Asia, {19.0760, 72.8777}},
+        {"Bangalore", "IN", Asia, {12.9716, 77.5946}},
+        {"Tel Aviv", "IL", Asia, {32.0853, 34.7818}},
+        // --- South America ---------------------------------------------------
+        {"Sao Paulo", "BR", SouthAmerica, {-23.5505, -46.6333}},
+        {"Rio de Janeiro", "BR", SouthAmerica, {-22.9068, -43.1729}},
+        {"Buenos Aires", "AR", SouthAmerica, {-34.6037, -58.3816}},
+        {"Santiago", "CL", SouthAmerica, {-33.4489, -70.6693}},
+        {"Bogota", "CO", SouthAmerica, {4.7110, -74.0721}},
+        // --- Oceania ---------------------------------------------------------
+        {"Sydney", "AU", Oceania, {-33.8688, 151.2093}},
+        {"Melbourne", "AU", Oceania, {-37.8136, 144.9631}},
+        {"Auckland", "NZ", Oceania, {-36.8485, 174.7633}},
+        // --- Africa ----------------------------------------------------------
+        {"Cape Town", "ZA", Africa, {-33.9249, 18.4241}},
+        {"Cairo", "EG", Africa, {30.0444, 31.2357}},
+        {"Nairobi", "KE", Africa, {-1.2921, 36.8219}},
+    };
+}
+
+}  // namespace
+
+CityDatabase::CityDatabase(std::vector<City> cities) : cities_(std::move(cities)) {}
+
+const CityDatabase& CityDatabase::builtin() {
+    static const CityDatabase db{builtin_cities()};
+    return db;
+}
+
+void CityDatabase::add(City city) { cities_.push_back(std::move(city)); }
+
+const City* CityDatabase::find(std::string_view name) const noexcept {
+    for (const auto& c : cities_) {
+        if (c.name == name) return &c;
+    }
+    return nullptr;
+}
+
+const City* CityDatabase::nearest(const GeoPoint& p) const noexcept {
+    return nearest_within(p, std::numeric_limits<double>::infinity());
+}
+
+const City* CityDatabase::nearest_within(const GeoPoint& p,
+                                         double max_distance_km) const noexcept {
+    const City* best = nullptr;
+    double best_d = max_distance_km;
+    for (const auto& c : cities_) {
+        const double d = distance_km(p, c.location);
+        if (d <= best_d) {
+            best_d = d;
+            best = &c;
+        }
+    }
+    return best;
+}
+
+std::vector<const City*> CityDatabase::on_continent(Continent cont) const {
+    std::vector<const City*> out;
+    for (const auto& c : cities_) {
+        if (c.continent == cont) out.push_back(&c);
+    }
+    return out;
+}
+
+}  // namespace ytcdn::geo

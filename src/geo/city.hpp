@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/continent.hpp"
+#include "geo/geo_point.hpp"
+
+namespace ytcdn::geo {
+
+/// A named city with coordinates, the granularity at which the paper
+/// aggregates servers into data centers ("servers are grouped into the same
+/// data center if they are located in the same city according to CBG").
+struct City {
+    std::string name;
+    std::string country_code;  // ISO 3166-1 alpha-2, e.g. "US", "IT".
+    Continent continent = Continent::Europe;
+    GeoPoint location;
+};
+
+/// An in-memory gazetteer with nearest-city lookup.
+///
+/// The built-in database (see `CityDatabase::builtin()`) covers the cities the
+/// reproduction needs: candidate data-center locations, vantage points and
+/// PlanetLab landmark sites across all six continents.
+class CityDatabase {
+public:
+    CityDatabase() = default;
+    explicit CityDatabase(std::vector<City> cities);
+
+    /// The world gazetteer used by the study deployment. Deterministic.
+    [[nodiscard]] static const CityDatabase& builtin();
+
+    void add(City city);
+
+    [[nodiscard]] std::size_t size() const noexcept { return cities_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return cities_.empty(); }
+    [[nodiscard]] std::span<const City> cities() const noexcept { return cities_; }
+
+    /// Case-sensitive exact-name lookup; nullptr if absent.
+    [[nodiscard]] const City* find(std::string_view name) const noexcept;
+
+    /// The city whose location is closest to `p`; nullptr when empty.
+    [[nodiscard]] const City* nearest(const GeoPoint& p) const noexcept;
+
+    /// Like nearest(), but returns nullptr when the closest city is farther
+    /// than `max_distance_km`. Used to reject geolocation estimates that fall
+    /// in the middle of an ocean.
+    [[nodiscard]] const City* nearest_within(const GeoPoint& p,
+                                             double max_distance_km) const noexcept;
+
+    /// All cities on the given continent, in database order.
+    [[nodiscard]] std::vector<const City*> on_continent(Continent c) const;
+
+private:
+    std::vector<City> cities_;
+};
+
+}  // namespace ytcdn::geo

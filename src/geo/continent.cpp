@@ -1,0 +1,49 @@
+#include "geo/continent.hpp"
+
+#include <ostream>
+
+namespace ytcdn::geo {
+
+std::string_view to_string(Continent c) noexcept {
+    switch (c) {
+        case Continent::NorthAmerica: return "N. America";
+        case Continent::Europe: return "Europe";
+        case Continent::Asia: return "Asia";
+        case Continent::SouthAmerica: return "S. America";
+        case Continent::Oceania: return "Oceania";
+        case Continent::Africa: return "Africa";
+    }
+    return "unknown";
+}
+
+std::optional<Continent> continent_from_string(std::string_view s) noexcept {
+    if (s == "N. America") return Continent::NorthAmerica;
+    if (s == "Europe") return Continent::Europe;
+    if (s == "Asia") return Continent::Asia;
+    if (s == "S. America") return Continent::SouthAmerica;
+    if (s == "Oceania") return Continent::Oceania;
+    if (s == "Africa") return Continent::Africa;
+    return std::nullopt;
+}
+
+ContinentBucket bucket_of(Continent c) noexcept {
+    switch (c) {
+        case Continent::NorthAmerica: return ContinentBucket::NorthAmerica;
+        case Continent::Europe: return ContinentBucket::Europe;
+        default: return ContinentBucket::Others;
+    }
+}
+
+std::string_view to_string(ContinentBucket b) noexcept {
+    switch (b) {
+        case ContinentBucket::NorthAmerica: return "N. America";
+        case ContinentBucket::Europe: return "Europe";
+        case ContinentBucket::Others: return "Others";
+    }
+    return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, Continent c) { return os << to_string(c); }
+std::ostream& operator<<(std::ostream& os, ContinentBucket b) { return os << to_string(b); }
+
+}  // namespace ytcdn::geo

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+
+namespace ytcdn::geo {
+
+/// Continents as the paper buckets them (Table III groups everything outside
+/// North America and Europe into "Others").
+enum class Continent {
+    NorthAmerica,
+    Europe,
+    Asia,
+    SouthAmerica,
+    Oceania,
+    Africa,
+};
+
+/// Short, stable name, e.g. "N. America", "Europe".
+[[nodiscard]] std::string_view to_string(Continent c) noexcept;
+
+/// Parses the names produced by to_string(); returns nullopt otherwise.
+[[nodiscard]] std::optional<Continent> continent_from_string(std::string_view s) noexcept;
+
+/// The paper's Table III aggregation: North America, Europe, or "Others".
+enum class ContinentBucket { NorthAmerica, Europe, Others };
+
+[[nodiscard]] ContinentBucket bucket_of(Continent c) noexcept;
+[[nodiscard]] std::string_view to_string(ContinentBucket b) noexcept;
+
+std::ostream& operator<<(std::ostream& os, Continent c);
+std::ostream& operator<<(std::ostream& os, ContinentBucket b);
+
+}  // namespace ytcdn::geo

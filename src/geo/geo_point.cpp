@@ -1,0 +1,83 @@
+#include "geo/geo_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace ytcdn::geo {
+
+bool GeoPoint::is_valid() const noexcept {
+    return std::isfinite(lat_deg) && std::isfinite(lon_deg) && lat_deg >= -90.0 &&
+           lat_deg <= 90.0 && lon_deg >= -180.0 && lon_deg <= 180.0;
+}
+
+double distance_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+    const double lat1 = deg_to_rad(a.lat_deg);
+    const double lat2 = deg_to_rad(b.lat_deg);
+    const double dlat = deg_to_rad(b.lat_deg - a.lat_deg);
+    const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+
+    const double sin_dlat = std::sin(dlat / 2.0);
+    const double sin_dlon = std::sin(dlon / 2.0);
+    const double h =
+        sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+    // Clamp guards against rounding pushing h slightly above 1 for antipodes.
+    const double c = 2.0 * std::asin(std::sqrt(std::clamp(h, 0.0, 1.0)));
+    return kEarthRadiusKm * c;
+}
+
+double initial_bearing_deg(const GeoPoint& from, const GeoPoint& to) noexcept {
+    const double lat1 = deg_to_rad(from.lat_deg);
+    const double lat2 = deg_to_rad(to.lat_deg);
+    const double dlon = deg_to_rad(to.lon_deg - from.lon_deg);
+
+    const double y = std::sin(dlon) * std::cos(lat2);
+    const double x =
+        std::cos(lat1) * std::sin(lat2) - std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+    const double bearing = rad_to_deg(std::atan2(y, x));
+    return std::fmod(bearing + 360.0, 360.0);
+}
+
+GeoPoint destination_point(const GeoPoint& origin, double bearing_deg,
+                           double distance_km_arg) noexcept {
+    const double delta = distance_km_arg / kEarthRadiusKm;
+    const double theta = deg_to_rad(bearing_deg);
+    const double lat1 = deg_to_rad(origin.lat_deg);
+    const double lon1 = deg_to_rad(origin.lon_deg);
+
+    const double lat2 = std::asin(std::sin(lat1) * std::cos(delta) +
+                                  std::cos(lat1) * std::sin(delta) * std::cos(theta));
+    const double lon2 =
+        lon1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(lat1),
+                          std::cos(delta) - std::sin(lat1) * std::sin(lat2));
+
+    GeoPoint out{rad_to_deg(lat2), rad_to_deg(lon2)};
+    // Normalize longitude to [-180, 180].
+    out.lon_deg = std::fmod(out.lon_deg + 540.0, 360.0) - 180.0;
+    return out;
+}
+
+GeoPoint midpoint(const GeoPoint& a, const GeoPoint& b) noexcept {
+    const double d = distance_km(a, b);
+    if (d == 0.0) return a;
+    return destination_point(a, initial_bearing_deg(a, b), d / 2.0);
+}
+
+std::string to_string(const GeoPoint& p) {
+    std::ostringstream os;
+    os << p;
+    return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const GeoPoint& p) {
+    const auto old_precision = os.precision(4);
+    const auto old_flags = os.flags();
+    os.setf(std::ios::fixed);
+    os << '(' << p.lat_deg << ", " << p.lon_deg << ')';
+    os.flags(old_flags);
+    os.precision(old_precision);
+    return os;
+}
+
+}  // namespace ytcdn::geo

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+#include <string>
+
+namespace ytcdn::geo {
+
+/// Mean Earth radius in kilometers (IUGG value), used for all great-circle math.
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+/// A point on the Earth's surface, in decimal degrees.
+///
+/// Latitude is in [-90, 90], longitude in [-180, 180]. The type is a plain
+/// value type; `is_valid()` reports whether the coordinates are in range.
+struct GeoPoint {
+    double lat_deg = 0.0;
+    double lon_deg = 0.0;
+
+    [[nodiscard]] bool is_valid() const noexcept;
+
+    friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle distance between two points, in kilometers (haversine formula).
+[[nodiscard]] double distance_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Initial bearing from `from` toward `to`, in degrees clockwise from north,
+/// normalized to [0, 360).
+[[nodiscard]] double initial_bearing_deg(const GeoPoint& from, const GeoPoint& to) noexcept;
+
+/// The point reached by travelling `distance` km from `origin` along the
+/// great circle with the given initial bearing.
+[[nodiscard]] GeoPoint destination_point(const GeoPoint& origin, double bearing_deg,
+                                         double distance_km) noexcept;
+
+/// Geographic midpoint of two points along the great circle joining them.
+[[nodiscard]] GeoPoint midpoint(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Formats as "(lat, lon)" with 4 decimal places, e.g. "(45.0703, 7.6869)".
+[[nodiscard]] std::string to_string(const GeoPoint& p);
+
+std::ostream& operator<<(std::ostream& os, const GeoPoint& p);
+
+/// Degrees <-> radians helpers.
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept { return deg * M_PI / 180.0; }
+[[nodiscard]] constexpr double rad_to_deg(double rad) noexcept { return rad * 180.0 / M_PI; }
+
+}  // namespace ytcdn::geo

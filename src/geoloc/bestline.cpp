@@ -1,0 +1,91 @@
+#include "geoloc/bestline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ytcdn::geoloc {
+
+namespace {
+
+/// Lower convex hull (Andrew's monotone chain), points pre-sorted by x.
+std::vector<CalibrationPoint> lower_hull(std::vector<CalibrationPoint> pts) {
+    std::vector<CalibrationPoint> hull;
+    for (const auto& p : pts) {
+        while (hull.size() >= 2) {
+            const auto& a = hull[hull.size() - 2];
+            const auto& b = hull[hull.size() - 1];
+            // Keep turning right (cross product <= 0 removes b).
+            const double cross = (b.distance_km - a.distance_km) *
+                                     (p.min_rtt_ms - a.min_rtt_ms) -
+                                 (b.min_rtt_ms - a.min_rtt_ms) *
+                                     (p.distance_km - a.distance_km);
+            if (cross <= 0.0) {
+                hull.pop_back();
+            } else {
+                break;
+            }
+        }
+        hull.push_back(p);
+    }
+    return hull;
+}
+
+}  // namespace
+
+Bestline fit_bestline(const std::vector<CalibrationPoint>& points, double min_slope,
+                      double default_slope) {
+    std::vector<CalibrationPoint> pts;
+    pts.reserve(points.size());
+    for (const auto& p : points) {
+        if (p.distance_km > 1.0 && p.min_rtt_ms > 0.0) pts.push_back(p);
+    }
+
+    const auto fallback = [&]() {
+        // A line at the default (speed-of-light-in-fiber) slope pushed down
+        // until it clears every point.
+        double b = 0.0;
+        for (const auto& p : pts) {
+            b = std::min(b, p.min_rtt_ms - default_slope * p.distance_km);
+        }
+        return Bestline{default_slope, b};
+    };
+
+    if (pts.size() < 2) return fallback();
+
+    std::sort(pts.begin(), pts.end(), [](const auto& a, const auto& b) {
+        if (a.distance_km != b.distance_km) return a.distance_km < b.distance_km;
+        return a.min_rtt_ms < b.min_rtt_ms;
+    });
+    // Among equal x keep only the lowest y (others cannot touch the hull and
+    // break strict monotonicity).
+    std::vector<CalibrationPoint> dedup;
+    for (const auto& p : pts) {
+        if (!dedup.empty() && dedup.back().distance_km == p.distance_km) continue;
+        dedup.push_back(p);
+    }
+    if (dedup.size() < 2) return fallback();
+
+    const auto hull = lower_hull(dedup);
+
+    Bestline best;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i + 1 < hull.size(); ++i) {
+        const auto& a = hull[i];
+        const auto& b = hull[i + 1];
+        const double m =
+            (b.min_rtt_ms - a.min_rtt_ms) / (b.distance_km - a.distance_km);
+        if (m < min_slope) continue;
+        const double c = a.min_rtt_ms - m * a.distance_km;
+        double cost = 0.0;
+        for (const auto& p : dedup) cost += p.min_rtt_ms - (m * p.distance_km + c);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = Bestline{m, c};
+        }
+    }
+    if (!std::isfinite(best_cost)) return fallback();
+    return best;
+}
+
+}  // namespace ytcdn::geoloc

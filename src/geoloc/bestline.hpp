@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+namespace ytcdn::geoloc {
+
+/// One calibration sample: great-circle distance to a peer landmark and the
+/// minimum RTT measured to it.
+struct CalibrationPoint {
+    double distance_km = 0.0;
+    double min_rtt_ms = 0.0;
+};
+
+/// The CBG "bestline" for one landmark: rtt = m * distance + b, constrained
+/// to lie *below* every calibration point (so converting a measured RTT to
+/// a distance with it never under-estimates the distance — circles remain
+/// sound upper bounds).
+struct Bestline {
+    double slope_ms_per_km = 0.01;   // m, must be > 0
+    double intercept_ms = 0.0;       // b, >= 0
+
+    /// Upper bound on the distance to a target measured at `rtt_ms`.
+    [[nodiscard]] double distance_bound_km(double rtt_ms) const noexcept {
+        const double d = (rtt_ms - intercept_ms) / slope_ms_per_km;
+        return d < 0.0 ? 0.0 : d;
+    }
+};
+
+/// Fits the CBG bestline: among lines below all points, the one minimizing
+/// the total vertical distance to the point cloud. Implemented via the
+/// lower convex hull: the optimum always coincides with a hull edge
+/// (Gueye et al., ToN 2006). Falls back to a conservative default when
+/// fewer than two usable points exist or no hull edge has positive slope.
+///
+/// `min_slope` guards against degenerate nearly-flat fits that would turn
+/// small RTT noise into thousands of km (the paper's CBG uses the same
+/// safeguard via baseline constraints).
+[[nodiscard]] Bestline fit_bestline(const std::vector<CalibrationPoint>& points,
+                                    double min_slope = 0.002,
+                                    double default_slope = 0.01);
+
+}  // namespace ytcdn::geoloc

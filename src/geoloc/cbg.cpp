@@ -1,0 +1,139 @@
+#include "geoloc/cbg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ytcdn::geoloc {
+
+CbgLocator::CbgLocator(const net::RttModel& model, std::vector<Landmark> landmarks,
+                       const Config& config, std::uint64_t seed)
+    : model_(&model),
+      landmarks_(std::move(landmarks)),
+      config_(config),
+      pinger_(model, seed) {
+    if (landmarks_.size() < 3) {
+        throw std::invalid_argument("CbgLocator: need at least 3 landmarks");
+    }
+    if (config_.grid < 8) throw std::invalid_argument("CbgLocator: grid too coarse");
+}
+
+void CbgLocator::calibrate() {
+    bestlines_.clear();
+    bestlines_.reserve(landmarks_.size());
+    for (const auto& self : landmarks_) {
+        std::vector<CalibrationPoint> points;
+        points.reserve(landmarks_.size() - 1);
+        for (const auto& peer : landmarks_) {
+            if (peer.site.id == self.site.id) continue;
+            CalibrationPoint p;
+            p.distance_km = geo::distance_km(self.site.location, peer.site.location);
+            p.min_rtt_ms =
+                pinger_.min_rtt_ms(self.site, peer.site, config_.calibration_probes);
+            points.push_back(p);
+        }
+        bestlines_.push_back(fit_bestline(points));
+    }
+    calibrated_ = true;
+}
+
+const Bestline& CbgLocator::bestline(std::size_t i) const {
+    if (!calibrated_) throw std::logic_error("CbgLocator: calibrate() first");
+    return bestlines_.at(i);
+}
+
+CbgResult CbgLocator::locate(const net::NetSite& target) {
+    if (!calibrated_) throw std::logic_error("CbgLocator: calibrate() first");
+
+    std::vector<Circle> circles;
+    circles.reserve(landmarks_.size());
+    for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+        const double rtt =
+            pinger_.min_rtt_ms(landmarks_[i].site, target, config_.target_probes);
+        const double bound = bestlines_[i].distance_bound_km(rtt);
+        if (bound <= 0.0) continue;
+        circles.push_back(Circle{landmarks_[i].site.location, bound});
+    }
+    if (circles.empty()) return CbgResult{};
+
+    std::sort(circles.begin(), circles.end(),
+              [](const Circle& a, const Circle& b) { return a.radius_km < b.radius_km; });
+    if (circles.size() > config_.max_circles) circles.resize(config_.max_circles);
+    return intersect(std::move(circles));
+}
+
+CbgResult CbgLocator::intersect(std::vector<Circle> circles) const {
+    CbgResult result;
+    result.circles_used = static_cast<int>(circles.size());
+
+    for (int iter = 0; iter <= config_.max_relax_iters; ++iter) {
+        // Grid over the bounding box of the tightest circle. Latitude rows
+        // carry a cos(lat) cell-width correction for area and spacing.
+        const Circle& tight = circles.front();
+        const double r = tight.radius_km;
+        const double dlat = r / 111.0;  // degrees latitude per km is ~1/111
+
+        const int n = config_.grid;
+        double sum_lat = 0.0;
+        double sum_lon = 0.0;
+        double area = 0.0;
+        std::vector<geo::GeoPoint> accepted;
+        accepted.reserve(64);
+
+        for (int yi = 0; yi < n; ++yi) {
+            const double lat =
+                tight.center.lat_deg - dlat + 2.0 * dlat * (yi + 0.5) / n;
+            if (lat < -90.0 || lat > 90.0) continue;
+            const double cos_lat =
+                std::max(0.05, std::cos(geo::deg_to_rad(lat)));
+            const double dlon = r / (111.0 * cos_lat);
+            for (int xi = 0; xi < n; ++xi) {
+                double lon =
+                    tight.center.lon_deg - dlon + 2.0 * dlon * (xi + 0.5) / n;
+                if (lon > 180.0) lon -= 360.0;
+                if (lon < -180.0) lon += 360.0;
+                const geo::GeoPoint p{lat, lon};
+                bool inside = true;
+                for (const auto& c : circles) {
+                    if (geo::distance_km(p, c.center) > c.radius_km) {
+                        inside = false;
+                        break;
+                    }
+                }
+                if (!inside) continue;
+                accepted.push_back(p);
+                sum_lat += lat;
+                sum_lon += lon;
+                // Cell size in km^2 at this row.
+                const double cell_h = 2.0 * r / n;          // km (lat direction)
+                const double cell_w = 2.0 * r / n;          // km (lon direction)
+                area += cell_h * cell_w;
+            }
+        }
+
+        if (!accepted.empty()) {
+            result.valid = true;
+            result.relaxed = iter > 0;
+            result.estimate =
+                geo::GeoPoint{sum_lat / static_cast<double>(accepted.size()),
+                              sum_lon / static_cast<double>(accepted.size())};
+            double max_d = 0.0;
+            for (const auto& p : accepted) {
+                max_d = std::max(max_d, geo::distance_km(result.estimate, p));
+            }
+            // Half a cell diagonal accounts for grid discretization.
+            const double cell_km = 2.0 * circles.front().radius_km / n;
+            result.confidence_radius_km = max_d + cell_km * 0.7071;
+            result.region_area_km2 = area;
+            return result;
+        }
+
+        // Empty intersection: measurement noise made some bound too tight;
+        // relax all radii and retry, as CBG implementations do.
+        for (auto& c : circles) c.radius_km *= config_.relax_step;
+    }
+    return result;  // invalid
+}
+
+}  // namespace ytcdn::geoloc

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geo_point.hpp"
+#include "geoloc/bestline.hpp"
+#include "geoloc/landmark.hpp"
+#include "net/pinger.hpp"
+#include "net/rtt_model.hpp"
+
+namespace ytcdn::geoloc {
+
+/// Outcome of constraint-based geolocation of one target.
+struct CbgResult {
+    bool valid = false;
+    geo::GeoPoint estimate;
+    /// Radius of the confidence region: max distance from the estimate to
+    /// any point of the feasible intersection area (the quantity Fig. 3
+    /// plots a CDF of).
+    double confidence_radius_km = 0.0;
+    /// Estimated area of the intersection region.
+    double region_area_km2 = 0.0;
+    /// How many constraint circles participated.
+    int circles_used = 0;
+    /// True when the raw circles had empty intersection and radii had to be
+    /// relaxed (measurement noise made some bound too tight).
+    bool relaxed = false;
+};
+
+/// Constraint-Based Geolocation (Gueye, Ziviani, Crovella, Fdida — ToN'06),
+/// the algorithm the paper uses to localize YouTube servers (Section V).
+///
+/// Each landmark converts its measured minimum RTT to the target into a
+/// distance upper bound via its calibrated bestline; the target must lie in
+/// the intersection of the resulting disks. The intersection is evaluated on
+/// a geographic grid over the tightest disk; the estimate is the region
+/// centroid.
+class CbgLocator {
+public:
+    struct Config {
+        int calibration_probes = 5;
+        int target_probes = 5;
+        /// Grid resolution per axis for region sampling.
+        int grid = 72;
+        /// Only the tightest `max_circles` constraints are intersected
+        /// (looser ones are redundant and cost time).
+        std::size_t max_circles = 30;
+        /// Radius relaxation when the intersection comes up empty.
+        double relax_step = 1.06;
+        int max_relax_iters = 60;
+    };
+
+    CbgLocator(const net::RttModel& model, std::vector<Landmark> landmarks,
+               const Config& config, std::uint64_t seed);
+
+    /// Measures landmark-to-landmark RTTs and fits every bestline. Must be
+    /// called once before locate().
+    void calibrate();
+
+    [[nodiscard]] bool calibrated() const noexcept { return calibrated_; }
+    [[nodiscard]] const std::vector<Landmark>& landmarks() const noexcept {
+        return landmarks_;
+    }
+    [[nodiscard]] const Bestline& bestline(std::size_t i) const;
+
+    /// Geolocates one target site.
+    [[nodiscard]] CbgResult locate(const net::NetSite& target);
+
+private:
+    struct Circle {
+        geo::GeoPoint center;
+        double radius_km = 0.0;
+    };
+
+    [[nodiscard]] CbgResult intersect(std::vector<Circle> circles) const;
+
+    const net::RttModel* model_;
+    std::vector<Landmark> landmarks_;
+    Config config_;
+    net::Pinger pinger_;
+    std::vector<Bestline> bestlines_;
+    bool calibrated_ = false;
+};
+
+}  // namespace ytcdn::geoloc

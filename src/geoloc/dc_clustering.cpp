@@ -1,0 +1,60 @@
+#include "geoloc/dc_clustering.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ytcdn::geoloc {
+
+const geo::City* snap_to_city(const CbgResult& cbg, const geo::CityDatabase& cities,
+                              double max_snap_km) {
+    if (!cbg.valid) return nullptr;
+    return cities.nearest_within(cbg.estimate, max_snap_km);
+}
+
+std::vector<DataCenterCluster> cluster_servers(
+    const std::vector<LocatedServer>& servers) {
+    // 1. Majority city vote per /24.
+    std::unordered_map<net::IpAddress, std::map<std::string, int>> votes;
+    std::unordered_map<std::string, const geo::City*> city_by_name;
+    for (const auto& s : servers) {
+        if (s.city == nullptr) continue;
+        ++votes[s.ip.slash24()][s.city->name];
+        city_by_name.emplace(s.city->name, s.city);
+    }
+
+    std::unordered_map<net::IpAddress, const geo::City*> subnet_city;
+    for (const auto& [subnet, tally] : votes) {
+        const auto winner = std::max_element(
+            tally.begin(), tally.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+        subnet_city.emplace(subnet, city_by_name.at(winner->first));
+    }
+
+    // 2. Assign every server (located or not) to its /24's city cluster.
+    std::map<std::string, DataCenterCluster> clusters;
+    for (const auto& s : servers) {
+        const auto it = subnet_city.find(s.ip.slash24());
+        if (it == subnet_city.end()) continue;
+        const geo::City* city = it->second;
+        auto& cluster = clusters[city->name];
+        if (cluster.servers.empty()) {
+            cluster.city_name = city->name;
+            cluster.location = city->location;
+            cluster.continent = city->continent;
+        }
+        cluster.servers.push_back(s.ip);
+    }
+
+    std::vector<DataCenterCluster> out;
+    out.reserve(clusters.size());
+    for (auto& [name, cluster] : clusters) out.push_back(std::move(cluster));
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        if (a.servers.size() != b.servers.size()) {
+            return a.servers.size() > b.servers.size();
+        }
+        return a.city_name < b.city_name;
+    });
+    return out;
+}
+
+}  // namespace ytcdn::geoloc

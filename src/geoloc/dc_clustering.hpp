@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/city.hpp"
+#include "geoloc/cbg.hpp"
+#include "net/ip_address.hpp"
+
+namespace ytcdn::geoloc {
+
+/// A geolocated server IP: the CBG estimate snapped to the nearest
+/// gazetteer city.
+struct LocatedServer {
+    net::IpAddress ip;
+    CbgResult cbg;
+    const geo::City* city = nullptr;  // nearest city to cbg.estimate, if valid
+};
+
+/// A city-level server cluster, the paper's notion of "data center":
+/// "servers are grouped into the same data center if they are located in
+/// the same city according to CBG ... all servers with IP addresses in the
+/// same /24 subnet are always aggregated to the same data center"
+/// (Section V).
+struct DataCenterCluster {
+    std::string city_name;
+    geo::GeoPoint location;
+    geo::Continent continent = geo::Continent::Europe;
+    std::vector<net::IpAddress> servers;
+};
+
+/// Snaps a CBG estimate to a city (nullptr when the estimate is invalid or
+/// farther than `max_snap_km` from every known city).
+[[nodiscard]] const geo::City* snap_to_city(const CbgResult& cbg,
+                                            const geo::CityDatabase& cities,
+                                            double max_snap_km = 400.0);
+
+/// Clusters located servers into data centers. Each /24 first votes on a
+/// city (majority of its members); every member then joins that city's
+/// cluster, enforcing the /24 invariant. Servers whose /24 has no located
+/// member anywhere are dropped. Clusters come back sorted by size
+/// (largest first).
+[[nodiscard]] std::vector<DataCenterCluster> cluster_servers(
+    const std::vector<LocatedServer>& servers);
+
+}  // namespace ytcdn::geoloc

@@ -1,0 +1,32 @@
+#include "geoloc/geoping.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ytcdn::geoloc {
+
+GeoPingLocator::GeoPingLocator(const net::RttModel& model,
+                               std::vector<Landmark> landmarks, std::uint64_t seed,
+                               int probes)
+    : landmarks_(std::move(landmarks)), pinger_(model, seed), probes_(probes) {
+    if (landmarks_.empty()) {
+        throw std::invalid_argument("GeoPingLocator: need at least one landmark");
+    }
+    if (probes_ <= 0) throw std::invalid_argument("GeoPingLocator: probes must be > 0");
+}
+
+GeoPingLocator::Result GeoPingLocator::locate(const net::NetSite& target) {
+    Result best;
+    for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+        const double rtt = pinger_.min_rtt_ms(landmarks_[i].site, target, probes_);
+        if (!best.valid || rtt < best.best_rtt_ms) {
+            best.valid = true;
+            best.best_rtt_ms = rtt;
+            best.estimate = landmarks_[i].site.location;
+            best.landmark_index = i;
+        }
+    }
+    return best;
+}
+
+}  // namespace ytcdn::geoloc

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geo_point.hpp"
+#include "geoloc/landmark.hpp"
+#include "net/pinger.hpp"
+
+namespace ytcdn::geoloc {
+
+/// GeoPing-style nearest-landmark geolocation (Padmanabhan & Subramanian,
+/// SIGCOMM'01): the target is placed *at* the landmark with the smallest
+/// measured RTT. The classic pre-CBG baseline — cheap, but its error is
+/// bounded below by the landmark density, and it produces no confidence
+/// region. Implemented as a comparator for the geolocation-methods
+/// ablation.
+class GeoPingLocator {
+public:
+    struct Result {
+        bool valid = false;
+        geo::GeoPoint estimate;
+        double best_rtt_ms = 0.0;
+        std::size_t landmark_index = 0;
+    };
+
+    GeoPingLocator(const net::RttModel& model, std::vector<Landmark> landmarks,
+                   std::uint64_t seed, int probes = 5);
+
+    [[nodiscard]] Result locate(const net::NetSite& target);
+
+    [[nodiscard]] const std::vector<Landmark>& landmarks() const noexcept {
+        return landmarks_;
+    }
+
+private:
+    std::vector<Landmark> landmarks_;
+    net::Pinger pinger_;
+    int probes_;
+};
+
+}  // namespace ytcdn::geoloc

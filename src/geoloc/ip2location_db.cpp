@@ -1,0 +1,28 @@
+#include "geoloc/ip2location_db.hpp"
+
+namespace ytcdn::geoloc {
+
+IpLocationDatabase IpLocationDatabase::maxmind_like() {
+    IpLocationDatabase db;
+    const geo::City* mv = geo::CityDatabase::builtin().find("Mountain View");
+    db.set_default(*mv);
+    return db;
+}
+
+void IpLocationDatabase::add(net::Subnet prefix, geo::City city) {
+    entries_.push_back(Entry{prefix, std::move(city)});
+}
+
+const geo::City* IpLocationDatabase::lookup(net::IpAddress ip) const noexcept {
+    const Entry* best = nullptr;
+    for (const auto& e : entries_) {
+        if (e.prefix.contains(ip) &&
+            (best == nullptr || e.prefix.prefix_len() > best->prefix.prefix_len())) {
+            best = &e;
+        }
+    }
+    if (best != nullptr) return &best->city;
+    return default_city_ ? &*default_city_ : nullptr;
+}
+
+}  // namespace ytcdn::geoloc

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/city.hpp"
+#include "net/ip_address.hpp"
+#include "net/subnet.hpp"
+
+namespace ytcdn::geoloc {
+
+/// A static IP-to-location database in the style of MaxMind GeoLite.
+///
+/// This exists to reproduce the paper's *negative* result (Section V):
+/// commercial databases geolocate large corporate networks by their
+/// registration address, so every Google/YouTube content IP comes back as
+/// "Mountain View, California" regardless of where the server actually is —
+/// falsified by RTT measurements that are "too small to be compatible with
+/// intercontinental propagation time constraints".
+class IpLocationDatabase {
+public:
+    struct Entry {
+        net::Subnet prefix;
+        geo::City city;
+    };
+
+    IpLocationDatabase() = default;
+
+    /// A MaxMind-like database that answers Mountain View for every address
+    /// (what the paper observed for all YouTube content servers).
+    [[nodiscard]] static IpLocationDatabase maxmind_like();
+
+    void add(net::Subnet prefix, geo::City city);
+    void set_default(geo::City city) { default_city_ = std::move(city); }
+
+    /// Longest-prefix lookup; falls back to the default city if set.
+    [[nodiscard]] const geo::City* lookup(net::IpAddress ip) const noexcept;
+
+private:
+    std::vector<Entry> entries_;
+    std::optional<geo::City> default_city_;
+};
+
+}  // namespace ytcdn::geoloc

@@ -1,0 +1,48 @@
+#include "geoloc/landmark.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ytcdn::geoloc {
+
+namespace {
+
+constexpr std::uint64_t kLandmarkSiteBase = 0x2000'0000ull;
+
+void place(std::vector<Landmark>& out, const geo::CityDatabase& cities,
+           geo::Continent continent, int count, sim::Rng& rng) {
+    const auto pool = cities.on_continent(continent);
+    if (pool.empty() && count > 0) {
+        throw std::invalid_argument("make_planetlab_landmarks: no cities on continent");
+    }
+    for (int i = 0; i < count; ++i) {
+        const geo::City* city = pool[static_cast<std::size_t>(i) % pool.size()];
+        Landmark lm;
+        lm.name = "planetlab-" + city->name + "-" + std::to_string(i / pool.size() + 1);
+        lm.city = city;
+        // Campus-level jitter: nodes sit at universities near the city core.
+        const geo::GeoPoint loc = geo::destination_point(
+            city->location, rng.uniform(0.0, 360.0), rng.uniform(0.0, 25.0));
+        lm.site = net::NetSite{kLandmarkSiteBase + out.size(), loc,
+                               rng.uniform(0.4, 1.5)};
+        out.push_back(std::move(lm));
+    }
+}
+
+}  // namespace
+
+std::vector<Landmark> make_planetlab_landmarks(const geo::CityDatabase& cities,
+                                               sim::Rng rng,
+                                               const LandmarkCounts& counts) {
+    std::vector<Landmark> out;
+    out.reserve(static_cast<std::size_t>(counts.total()));
+    place(out, cities, geo::Continent::NorthAmerica, counts.north_america, rng);
+    place(out, cities, geo::Continent::Europe, counts.europe, rng);
+    place(out, cities, geo::Continent::Asia, counts.asia, rng);
+    place(out, cities, geo::Continent::SouthAmerica, counts.south_america, rng);
+    place(out, cities, geo::Continent::Oceania, counts.oceania, rng);
+    place(out, cities, geo::Continent::Africa, counts.africa, rng);
+    return out;
+}
+
+}  // namespace ytcdn::geoloc

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/city.hpp"
+#include "net/rtt_model.hpp"
+#include "sim/random.hpp"
+
+namespace ytcdn::geoloc {
+
+/// A measurement landmark: a host with precisely known coordinates that can
+/// ping arbitrary targets. The paper uses 215 PlanetLab nodes.
+struct Landmark {
+    std::string name;
+    const geo::City* city = nullptr;
+    net::NetSite site;
+};
+
+/// Number of landmarks per continent; defaults reproduce the paper's
+/// PlanetLab set: "97 in North America, 82 in Europe, 24 in Asia, 8 in
+/// South America, 3 in Oceania and 1 in Africa" (Section V).
+struct LandmarkCounts {
+    int north_america = 97;
+    int europe = 82;
+    int asia = 24;
+    int south_america = 8;
+    int oceania = 3;
+    int africa = 1;
+
+    [[nodiscard]] int total() const noexcept {
+        return north_america + europe + asia + south_america + oceania + africa;
+    }
+};
+
+/// Builds a synthetic PlanetLab-like landmark set: nodes are placed in the
+/// gazetteer's cities (round-robin per continent) with a few tens of km of
+/// campus-level jitter, university-grade access latency, and unique network
+/// site ids drawn from a reserved range.
+[[nodiscard]] std::vector<Landmark> make_planetlab_landmarks(
+    const geo::CityDatabase& cities, sim::Rng rng, const LandmarkCounts& counts = {});
+
+}  // namespace ytcdn::geoloc

@@ -1,0 +1,36 @@
+#include "net/as_registry.hpp"
+
+#include <ostream>
+#include <utility>
+
+namespace ytcdn::net {
+
+std::ostream& operator<<(std::ostream& os, Asn asn) { return os << "AS" << asn.value; }
+
+void AsRegistry::add(Subnet prefix, Asn asn, std::string as_name) {
+    records_.push_back(AsRecord{prefix, asn, std::move(as_name)});
+}
+
+const AsRecord* AsRegistry::lookup(IpAddress ip) const noexcept {
+    const AsRecord* best = nullptr;
+    for (const auto& r : records_) {
+        if (r.prefix.contains(ip) &&
+            (best == nullptr || r.prefix.prefix_len() > best->prefix.prefix_len())) {
+            best = &r;
+        }
+    }
+    return best;
+}
+
+std::optional<Asn> AsRegistry::asn_of(IpAddress ip) const noexcept {
+    const AsRecord* r = lookup(ip);
+    if (r == nullptr) return std::nullopt;
+    return r->asn;
+}
+
+std::string_view AsRegistry::name_of(IpAddress ip) const noexcept {
+    const AsRecord* r = lookup(ip);
+    return r == nullptr ? std::string_view{"unknown"} : std::string_view{r->as_name};
+}
+
+}  // namespace ytcdn::net

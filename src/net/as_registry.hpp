@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "net/subnet.hpp"
+
+namespace ytcdn::net {
+
+/// An autonomous-system number, strongly typed.
+struct Asn {
+    std::uint32_t value = 0;
+
+    friend constexpr bool operator==(Asn, Asn) noexcept = default;
+    friend constexpr auto operator<=>(Asn, Asn) noexcept = default;
+};
+
+std::ostream& operator<<(std::ostream& os, Asn asn);
+
+/// Well-known AS numbers from the paper (Section IV).
+namespace well_known_as {
+inline constexpr Asn kGoogle{15169};     // "Google Inc." — hosts most servers post-migration.
+inline constexpr Asn kYouTubeEu{43515};  // "YouTube-EU" — legacy infrastructure.
+inline constexpr Asn kYouTubeOld{36561}; // Pre-acquisition YouTube AS, unused by 2010.
+inline constexpr Asn kCableWireless{1273};  // CW, one of the "Others".
+inline constexpr Asn kGblx{3549};           // Global Crossing, one of the "Others".
+}  // namespace well_known_as
+
+/// One whois record: a prefix announced by an AS.
+struct AsRecord {
+    Subnet prefix;
+    Asn asn;
+    std::string as_name;
+};
+
+/// A whois-style registry mapping IP addresses to autonomous systems by
+/// longest-prefix match. This substitutes for the `whois` lookups of
+/// Section IV; the study deployment populates it alongside the CDN.
+class AsRegistry {
+public:
+    AsRegistry() = default;
+
+    /// Registers a prefix. Overlapping prefixes are fine; lookup picks the
+    /// longest (most specific) match, like real routing/whois data.
+    void add(Subnet prefix, Asn asn, std::string as_name);
+
+    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+    /// Longest-prefix match; nullptr when no prefix covers `ip`.
+    [[nodiscard]] const AsRecord* lookup(IpAddress ip) const noexcept;
+
+    /// Convenience: the ASN for `ip`, or nullopt.
+    [[nodiscard]] std::optional<Asn> asn_of(IpAddress ip) const noexcept;
+
+    /// Convenience: the AS name for `ip`, or "unknown".
+    [[nodiscard]] std::string_view name_of(IpAddress ip) const noexcept;
+
+private:
+    std::vector<AsRecord> records_;
+};
+
+}  // namespace ytcdn::net
+
+template <>
+struct std::hash<ytcdn::net::Asn> {
+    std::size_t operator()(ytcdn::net::Asn asn) const noexcept {
+        return std::hash<std::uint32_t>{}(asn.value);
+    }
+};

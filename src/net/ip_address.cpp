@@ -1,0 +1,39 @@
+#include "net/ip_address.hpp"
+
+#include <charconv>
+#include <ostream>
+
+namespace ytcdn::net {
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) noexcept {
+    std::uint32_t value = 0;
+    const char* p = text.data();
+    const char* const end = text.data() + text.size();
+    for (int i = 0; i < 4; ++i) {
+        unsigned octet = 0;
+        const auto [next, ec] = std::from_chars(p, end, octet);
+        if (ec != std::errc{} || next == p || octet > 255) return std::nullopt;
+        value = (value << 8) | octet;
+        p = next;
+        if (i < 3) {
+            if (p == end || *p != '.') return std::nullopt;
+            ++p;
+        }
+    }
+    if (p != end) return std::nullopt;
+    return IpAddress{value};
+}
+
+std::string IpAddress::to_string() const {
+    std::string out;
+    out.reserve(15);
+    for (int i = 0; i < 4; ++i) {
+        if (i > 0) out.push_back('.');
+        out += std::to_string(static_cast<unsigned>(octet(i)));
+    }
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, IpAddress ip) { return os << ip.to_string(); }
+
+}  // namespace ytcdn::net

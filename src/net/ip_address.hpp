@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ytcdn::net {
+
+/// An IPv4 address as a strongly typed value (host byte order internally).
+///
+/// The reproduction only needs IPv4: the 2010 traces and YouTube CDN of the
+/// paper are IPv4-only.
+class IpAddress {
+public:
+    constexpr IpAddress() noexcept = default;
+    constexpr explicit IpAddress(std::uint32_t value) noexcept : value_(value) {}
+
+    /// Builds from dotted-quad octets, a.b.c.d.
+    [[nodiscard]] static constexpr IpAddress from_octets(std::uint8_t a, std::uint8_t b,
+                                                         std::uint8_t c,
+                                                         std::uint8_t d) noexcept {
+        return IpAddress{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                         (std::uint32_t{c} << 8) | std::uint32_t{d}};
+    }
+
+    /// Parses "a.b.c.d"; returns nullopt on any malformed input.
+    [[nodiscard]] static std::optional<IpAddress> parse(std::string_view text) noexcept;
+
+    [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+    [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+        return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+    }
+
+    /// The enclosing /24 network address (the granularity at which the paper
+    /// observes servers of one data center sharing subnets).
+    [[nodiscard]] constexpr IpAddress slash24() const noexcept {
+        return IpAddress{value_ & 0xFFFFFF00u};
+    }
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend constexpr bool operator==(IpAddress, IpAddress) noexcept = default;
+    friend constexpr auto operator<=>(IpAddress, IpAddress) noexcept = default;
+
+private:
+    std::uint32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, IpAddress ip);
+
+}  // namespace ytcdn::net
+
+template <>
+struct std::hash<ytcdn::net::IpAddress> {
+    std::size_t operator()(ytcdn::net::IpAddress ip) const noexcept {
+        return std::hash<std::uint32_t>{}(ip.value());
+    }
+};

@@ -1,0 +1,30 @@
+#include "net/subnet.hpp"
+
+#include <charconv>
+#include <ostream>
+
+namespace ytcdn::net {
+
+std::optional<Subnet> Subnet::parse(std::string_view text) noexcept {
+    const auto slash = text.find('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    const auto ip = IpAddress::parse(text.substr(0, slash));
+    if (!ip) return std::nullopt;
+    const std::string_view len_text = text.substr(slash + 1);
+    int len = -1;
+    const auto [next, ec] =
+        std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+    if (ec != std::errc{} || next != len_text.data() + len_text.size() || len < 0 ||
+        len > 32) {
+        return std::nullopt;
+    }
+    return Subnet{*ip, len};
+}
+
+std::string Subnet::to_string() const {
+    return network().to_string() + "/" + std::to_string(prefix_len_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Subnet& s) { return os << s.to_string(); }
+
+}  // namespace ytcdn::net

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip_address.hpp"
+
+namespace ytcdn::net {
+
+/// An IPv4 CIDR prefix, e.g. 208.65.152.0/22.
+class Subnet {
+public:
+    constexpr Subnet() noexcept = default;
+
+    /// The host bits of `base` are masked off, so Subnet({1.2.3.4}, 24)
+    /// represents 1.2.3.0/24.
+    constexpr Subnet(IpAddress base, int prefix_len) noexcept
+        : prefix_len_(prefix_len < 0 ? 0 : (prefix_len > 32 ? 32 : prefix_len)),
+          base_(base.value() & mask()) {}
+
+    /// Parses "a.b.c.d/len"; returns nullopt on malformed input.
+    [[nodiscard]] static std::optional<Subnet> parse(std::string_view text) noexcept;
+
+    [[nodiscard]] constexpr IpAddress network() const noexcept { return IpAddress{base_}; }
+    [[nodiscard]] constexpr int prefix_len() const noexcept { return prefix_len_; }
+
+    [[nodiscard]] constexpr std::uint32_t mask() const noexcept {
+        return prefix_len_ == 0 ? 0u : (~std::uint32_t{0} << (32 - prefix_len_));
+    }
+
+    [[nodiscard]] constexpr bool contains(IpAddress ip) const noexcept {
+        return (ip.value() & mask()) == base_;
+    }
+
+    [[nodiscard]] constexpr bool contains(const Subnet& other) const noexcept {
+        return other.prefix_len_ >= prefix_len_ && contains(other.network());
+    }
+
+    /// Number of addresses covered (2^(32-len)), as a 64-bit value so /0 works.
+    [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+        return std::uint64_t{1} << (32 - prefix_len_);
+    }
+
+    /// The i-th address inside the prefix; `i` must be < size().
+    [[nodiscard]] constexpr IpAddress address_at(std::uint64_t i) const noexcept {
+        return IpAddress{base_ + static_cast<std::uint32_t>(i)};
+    }
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend constexpr bool operator==(const Subnet&, const Subnet&) noexcept = default;
+
+private:
+    int prefix_len_ = 0;
+    std::uint32_t base_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Subnet& s);
+
+}  // namespace ytcdn::net

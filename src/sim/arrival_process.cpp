@@ -1,0 +1,28 @@
+#include "sim/arrival_process.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ytcdn::sim {
+
+ArrivalProcess::ArrivalProcess(RateFn rate_fn, double max_rate, Rng rng)
+    : rate_fn_(std::move(rate_fn)), max_rate_(max_rate), rng_(rng) {
+    if (!rate_fn_) throw std::invalid_argument("ArrivalProcess: null rate function");
+    if (max_rate_ <= 0.0) throw std::invalid_argument("ArrivalProcess: max_rate <= 0");
+}
+
+SimTime ArrivalProcess::next_after(SimTime after) {
+    SimTime t = after;
+    // Thinning: propose homogeneous arrivals at max_rate, accept each with
+    // probability rate(t)/max_rate.
+    for (;;) {
+        t += rng_.exponential(1.0 / max_rate_);
+        const double rate = rate_fn_(t);
+        if (rate > max_rate_ * (1.0 + 1e-9)) {
+            throw std::logic_error("ArrivalProcess: rate function exceeds max_rate");
+        }
+        if (rate > 0.0 && rng_.uniform01() < rate / max_rate_) return t;
+    }
+}
+
+}  // namespace ytcdn::sim

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace ytcdn::sim {
+
+/// A non-homogeneous Poisson arrival process sampled by thinning
+/// (Lewis & Shedler). `rate_fn(t)` gives the instantaneous rate in events
+/// per second; `max_rate` must upper-bound it over the horizon of use.
+///
+/// Video request arrivals at each vantage point are modelled as an NHPP
+/// whose rate is base_rate x diurnal multiplier (x flash-crowd boosts).
+class ArrivalProcess {
+public:
+    using RateFn = std::function<double(SimTime)>;
+
+    ArrivalProcess(RateFn rate_fn, double max_rate, Rng rng);
+
+    /// The first arrival strictly after `after`. Never returns infinity; if
+    /// the rate function is zero forever this loops — callers bound usage
+    /// with a horizon check.
+    [[nodiscard]] SimTime next_after(SimTime after);
+
+    [[nodiscard]] double max_rate() const noexcept { return max_rate_; }
+
+private:
+    RateFn rate_fn_;
+    double max_rate_;
+    Rng rng_;
+};
+
+}  // namespace ytcdn::sim

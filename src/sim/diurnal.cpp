@@ -1,0 +1,76 @@
+#include "sim/diurnal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ytcdn::sim {
+
+namespace {
+
+constexpr int kWeekendDayA = 1;  // trace day indices treated as the weekend
+constexpr int kWeekendDayB = 2;
+
+}  // namespace
+
+DiurnalProfile::DiurnalProfile(const std::array<double, 24>& hourly,
+                               double weekend_factor)
+    : hourly_(hourly), weekend_factor_(weekend_factor) {
+    double sum = 0.0;
+    for (const double v : hourly_) {
+        if (v < 0.0 || !std::isfinite(v)) {
+            throw std::invalid_argument("DiurnalProfile: multipliers must be >= 0");
+        }
+        sum += v;
+    }
+    if (sum <= 0.0) throw std::invalid_argument("DiurnalProfile: all-zero profile");
+    if (weekend_factor_ < 0.0) {
+        throw std::invalid_argument("DiurnalProfile: negative weekend factor");
+    }
+    // Normalize so that the mean weekday multiplier is 1.
+    const double mean = sum / 24.0;
+    for (double& v : hourly_) v /= mean;
+}
+
+DiurnalProfile DiurnalProfile::residential() {
+    // Trough ~04:00-06:00, ramp through the day, peak 20:00-23:00.
+    return DiurnalProfile{{0.35, 0.22, 0.15, 0.10, 0.08, 0.09, 0.14, 0.25,
+                           0.45, 0.62, 0.75, 0.85, 0.95, 1.00, 1.05, 1.10,
+                           1.20, 1.35, 1.55, 1.80, 2.05, 2.15, 1.80, 1.05},
+                          1.15};
+}
+
+DiurnalProfile DiurnalProfile::campus() {
+    // Classes/labs drive a broad daytime plateau; campus empties at night
+    // and on weekends.
+    return DiurnalProfile{{0.30, 0.18, 0.12, 0.08, 0.06, 0.07, 0.10, 0.25,
+                           0.70, 1.10, 1.40, 1.55, 1.60, 1.65, 1.70, 1.70,
+                           1.60, 1.45, 1.30, 1.20, 1.15, 1.05, 0.80, 0.50},
+                          0.45};
+}
+
+double DiurnalProfile::multiplier_at(SimTime t) const noexcept {
+    if (t < 0.0) t = 0.0;
+    const auto day = day_index(t);
+    const double hod = hour_of_day(t);
+    const int h0 = static_cast<int>(hod) % 24;
+    const int h1 = (h0 + 1) % 24;
+    const double frac = hod - std::floor(hod);
+    // Linear interpolation between hourly knots avoids stair-step artifacts
+    // in per-minute arrival rates.
+    double m = hourly_[static_cast<std::size_t>(h0)] * (1.0 - frac) +
+               hourly_[static_cast<std::size_t>(h1)] * frac;
+    const int dow = static_cast<int>(day % 7);
+    if (dow == kWeekendDayA || dow == kWeekendDayB) m *= weekend_factor_;
+    return m;
+}
+
+double DiurnalProfile::peak_to_mean() const noexcept {
+    return *std::max_element(hourly_.begin(), hourly_.end());
+}
+
+double DiurnalProfile::weekly_mean() const noexcept {
+    return (5.0 + 2.0 * weekend_factor_) / 7.0;
+}
+
+}  // namespace ytcdn::sim

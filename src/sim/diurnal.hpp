@@ -1,0 +1,48 @@
+#pragma once
+
+#include <array>
+
+#include "sim/time.hpp"
+
+namespace ytcdn::sim {
+
+/// A weekly activity profile: 24 hourly multipliers plus a weekend scale.
+///
+/// All datasets in the paper "exhibit a clear day/night pattern in the number
+/// of requests" (Section VII-A); the EU2 load-balancing result (Fig. 11)
+/// depends on the peak-to-trough ratio, so the profile is a first-class
+/// modelling input.
+class DiurnalProfile {
+public:
+    /// `hourly` are relative multipliers per local hour-of-day (any positive
+    /// scale; they are normalized so the weekly mean multiplier is 1).
+    /// `weekend_factor` scales Saturday/Sunday.
+    DiurnalProfile(const std::array<double, 24>& hourly, double weekend_factor);
+
+    /// Residential profile: evening peak (20:00-23:00), deep night trough,
+    /// slightly higher weekend activity.
+    [[nodiscard]] static DiurnalProfile residential();
+
+    /// Campus profile: afternoon peak, near-empty campus on weekends.
+    [[nodiscard]] static DiurnalProfile campus();
+
+    /// Multiplier at local time `t` (t = 0 is local midnight on day 0;
+    /// days 1 and 2 of the trace are the weekend — the paper's collection
+    /// started Saturday Sept 4, 2010, so day 0 is also weekend-like; we
+    /// follow the paper's Fig. 11 reading that time 0 is a Friday midnight,
+    /// making days 1-2 the weekend).
+    [[nodiscard]] double multiplier_at(SimTime t) const noexcept;
+
+    /// Peak-to-mean ratio of the (weekday) profile.
+    [[nodiscard]] double peak_to_mean() const noexcept;
+
+    /// Mean multiplier across a full week (5 weekdays + 2 weekend days);
+    /// divides out of arrival-rate targets so weekly totals match.
+    [[nodiscard]] double weekly_mean() const noexcept;
+
+private:
+    std::array<double, 24> hourly_{};
+    double weekend_factor_ = 1.0;
+};
+
+}  // namespace ytcdn::sim

@@ -1,0 +1,32 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ytcdn::sim {
+
+void EventQueue::push(SimTime time, Callback callback) {
+    heap_.push(Entry{time, next_seq_++, std::move(callback)});
+}
+
+SimTime EventQueue::next_time() const {
+    if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+    return heap_.top().time;
+}
+
+EventQueue::Callback EventQueue::pop(SimTime& time_out) {
+    if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+    // priority_queue::top() is const; the move is safe because we pop
+    // immediately after.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    time_out = entry.time;
+    return std::move(entry.callback);
+}
+
+void EventQueue::clear() {
+    heap_ = {};
+    next_seq_ = 0;
+}
+
+}  // namespace ytcdn::sim

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ytcdn::sim {
+
+/// A time-ordered queue of callbacks.
+///
+/// Ties are broken by insertion order (FIFO among equal timestamps), which
+/// keeps runs deterministic — a requirement for reproducible traces.
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    void push(SimTime time, Callback callback);
+
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+    /// Timestamp of the earliest event; queue must be non-empty.
+    [[nodiscard]] SimTime next_time() const;
+
+    /// Removes and returns the earliest event's callback, setting `time_out`.
+    [[nodiscard]] Callback pop(SimTime& time_out);
+
+    void clear();
+
+private:
+    struct Entry {
+        SimTime time;
+        std::uint64_t seq;
+        Callback callback;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ytcdn::sim

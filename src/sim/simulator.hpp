@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace ytcdn::sim {
+
+/// A minimal discrete-event simulator: a clock plus an event queue.
+///
+/// Callbacks scheduled with `schedule_at`/`schedule_in` run in timestamp
+/// order; each may schedule further events. `run_until` advances the clock
+/// to the given horizon even if the queue drains earlier, so back-to-back
+/// phases see a consistent notion of "now".
+class Simulator {
+public:
+    Simulator() = default;
+
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+    [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+    [[nodiscard]] std::size_t events_pending() const noexcept { return queue_.size(); }
+
+    /// Schedules a callback at an absolute time, which must be >= now().
+    void schedule_at(SimTime time, EventQueue::Callback callback);
+
+    /// Schedules a callback `delay` seconds from now (delay >= 0).
+    void schedule_in(SimTime delay, EventQueue::Callback callback);
+
+    /// Runs events with timestamp <= horizon; leaves now() == horizon.
+    void run_until(SimTime horizon);
+
+    /// Runs until the queue is empty.
+    void run() { run_until(std::numeric_limits<SimTime>::infinity()); }
+
+private:
+    EventQueue queue_;
+    SimTime now_ = 0.0;
+    std::uint64_t processed_ = 0;
+};
+
+}  // namespace ytcdn::sim

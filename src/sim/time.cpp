@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace ytcdn::sim {
+
+std::string format_time(SimTime t) {
+    const bool negative = t < 0.0;
+    double s = negative ? -t : t;
+    const auto days = static_cast<long>(s / kDay);
+    s -= static_cast<double>(days) * kDay;
+    const auto hours = static_cast<int>(s / kHour);
+    s -= hours * kHour;
+    const auto minutes = static_cast<int>(s / kMinute);
+    s -= minutes * kMinute;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s%ldd%02d:%02d:%02d", negative ? "-" : "", days,
+                  hours, minutes, static_cast<int>(s));
+    return buf;
+}
+
+}  // namespace ytcdn::sim

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace ytcdn::sim {
+
+/// Zipf(-like) popularity over ranks 0..n-1: P(rank k) proportional to
+/// 1/(k+1)^s. Video popularity in YouTube-scale catalogs is well modelled by
+/// Zipf with exponent near 1 (Cha et al., IMC'07, the paper's ref [5]).
+///
+/// Sampling is O(log n) via binary search over the precomputed CDF; memory is
+/// one double per rank.
+class ZipfDistribution {
+public:
+    /// `n` ranks, exponent `s` >= 0 (s = 0 degenerates to uniform).
+    ZipfDistribution(std::size_t n, double s);
+
+    [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+    [[nodiscard]] double exponent() const noexcept { return s_; }
+
+    /// Samples a rank in [0, n).
+    [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+    /// Probability mass of a rank.
+    [[nodiscard]] double pmf(std::size_t rank) const;
+
+private:
+    double s_;
+    std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1.
+};
+
+}  // namespace ytcdn::sim

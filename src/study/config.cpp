@@ -1,0 +1,28 @@
+#include "study/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ytcdn::study {
+
+std::size_t StudyConfig::effective_catalog_size() const {
+    if (catalog_size != 0) return catalog_size;
+    return std::max<std::size_t>(
+        20'000, static_cast<std::size_t>(std::llround(400'000.0 * scale)));
+}
+
+int StudyConfig::effective_server_capacity() const {
+    if (server_capacity != 0) return server_capacity;
+    return std::max(2, static_cast<int>(std::llround(8.0 * scale + 2.0)));
+}
+
+std::size_t StudyConfig::replicate_top_ranks() const {
+    return static_cast<std::size_t>(
+        std::llround(replicate_fraction * static_cast<double>(effective_catalog_size())));
+}
+
+double mean_sessions_per_s(const VantageTargets& t, double scale) {
+    return static_cast<double>(t.flows) * scale / kFlowsPerSession / kTraceSeconds;
+}
+
+}  // namespace ytcdn::study

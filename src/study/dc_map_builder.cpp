@@ -1,0 +1,93 @@
+#include "study/dc_map_builder.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/as_analysis.hpp"
+#include "net/pinger.hpp"
+
+namespace ytcdn::study {
+
+analysis::ServerDcMap ground_truth_dc_map(const StudyDeployment& deployment,
+                                          const workload::VantagePoint& vp) {
+    analysis::ServerDcMap map;
+    net::Pinger pinger(deployment.rtt(),
+                       deployment.config().seed ^ sim::hash_string(vp.name));
+
+    for (const auto& dc : deployment.cdn().data_centers()) {
+        if (!cdn::in_analysis_scope(dc.infra) || dc.servers.empty()) continue;
+        analysis::DataCenterInfo info;
+        info.name = dc.city;
+        info.location = dc.location;
+        info.continent = dc.continent;
+        info.rtt_ms = pinger.min_rtt_ms(vp.probe_site, dc.site, 10);
+        info.distance_km = geo::distance_km(vp.pop_site.location, dc.location);
+        const int idx = map.add_data_center(std::move(info));
+        for (const cdn::ServerId sid : dc.servers) {
+            map.assign(deployment.cdn().server(sid).ip(), idx);
+        }
+    }
+    return map;
+}
+
+CbgMappingResult cbg_dc_map(const StudyDeployment& deployment,
+                            const capture::Dataset& dataset,
+                            geoloc::CbgLocator& locator,
+                            const workload::VantagePoint& vp, net::Asn local_as) {
+    CbgMappingResult out;
+    const auto scope_ips =
+        analysis::analysis_scope_servers(dataset, deployment.whois(), local_as);
+
+    // One CBG run per /24; members share the estimate.
+    std::unordered_map<net::IpAddress, geoloc::CbgResult> per_subnet;
+    const auto& cities = geo::CityDatabase::builtin();
+    for (const net::IpAddress ip : scope_ips) {
+        const net::IpAddress key = ip.slash24();
+        if (per_subnet.contains(key)) continue;
+        const cdn::DcId dc = deployment.cdn().dc_of_ip(ip);
+        if (dc == cdn::kInvalidDc) continue;
+        per_subnet.emplace(key, locator.locate(deployment.cdn().dc(dc).site));
+    }
+
+    out.located.reserve(scope_ips.size());
+    for (const net::IpAddress ip : scope_ips) {
+        const auto it = per_subnet.find(ip.slash24());
+        if (it == per_subnet.end()) continue;
+        geoloc::LocatedServer ls;
+        ls.ip = ip;
+        ls.cbg = it->second;
+        ls.city = geoloc::snap_to_city(ls.cbg, cities);
+        out.located.push_back(ls);
+    }
+
+    out.clusters = geoloc::cluster_servers(out.located);
+
+    net::Pinger pinger(deployment.rtt(),
+                       deployment.config().seed ^ sim::hash_string(vp.name) ^ 0xCB6ull);
+    for (const auto& cluster : out.clusters) {
+        analysis::DataCenterInfo info;
+        info.name = cluster.city_name;
+        info.location = cluster.location;
+        info.continent = cluster.continent;
+        info.distance_km = geo::distance_km(vp.pop_site.location, cluster.location);
+        // Probe RTT: minimum over the cluster's member subnets' true sites
+        // (the probe pings the addresses; the network answers from wherever
+        // they really are).
+        double best = 1e18;
+        std::unordered_set<net::IpAddress> seen_subnets;
+        for (const net::IpAddress ip : cluster.servers) {
+            if (!seen_subnets.insert(ip.slash24()).second) continue;
+            const cdn::DcId dc = deployment.cdn().dc_of_ip(ip);
+            if (dc == cdn::kInvalidDc) continue;
+            best = std::min(best,
+                            pinger.min_rtt_ms(vp.probe_site,
+                                              deployment.cdn().dc(dc).site, 10));
+        }
+        info.rtt_ms = best;
+        const int idx = out.map.add_data_center(std::move(info));
+        for (const net::IpAddress ip : cluster.servers) out.map.assign(ip, idx);
+    }
+    return out;
+}
+
+}  // namespace ytcdn::study

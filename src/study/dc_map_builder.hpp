@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/dc_map.hpp"
+#include "capture/dataset.hpp"
+#include "geoloc/cbg.hpp"
+#include "geoloc/dc_clustering.hpp"
+#include "study/deployment.hpp"
+#include "workload/vantage_point.hpp"
+
+namespace ytcdn::study {
+
+/// Builds the server->data-center map from the deployment's ground truth:
+/// every analysis-scope data center becomes an entry whose RTT is actively
+/// measured by pinging it from the vantage point's probe PC (the paper's
+/// methodology for Fig. 7), and whose distance is great-circle from the PoP.
+[[nodiscard]] analysis::ServerDcMap ground_truth_dc_map(
+    const StudyDeployment& deployment, const workload::VantagePoint& vp);
+
+/// The measurement-only path (what the paper actually had to do): geolocate
+/// the dataset's servers with CBG, cluster them into city-level data
+/// centers, and measure probe RTTs per cluster.
+struct CbgMappingResult {
+    std::vector<geoloc::LocatedServer> located;      // one per distinct server IP
+    std::vector<geoloc::DataCenterCluster> clusters; // city-level data centers
+    analysis::ServerDcMap map;
+};
+
+/// `locator` must already be calibrated. Only servers inside the analysis
+/// scope (Google AS + the vantage point's own AS) are located; one CBG run
+/// per /24 is shared by all its member IPs, matching the paper's clustering
+/// invariant.
+[[nodiscard]] CbgMappingResult cbg_dc_map(const StudyDeployment& deployment,
+                                          const capture::Dataset& dataset,
+                                          geoloc::CbgLocator& locator,
+                                          const workload::VantagePoint& vp,
+                                          net::Asn local_as);
+
+}  // namespace ytcdn::study

@@ -1,0 +1,454 @@
+#include "study/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/population.hpp"
+
+namespace ytcdn::study {
+
+namespace {
+
+using geo::Continent;
+
+/// Site-id ranges; clients share their PoP's id, so these only need to be
+/// disjoint across PoPs / landmarks / data centers.
+constexpr std::uint64_t kPopSiteBase = 0x1000'0000ull;
+
+/// Ground-truth Google CDN cities (13 US + 13 EU + 6 other; the 14th EU
+/// data center is the EU2 in-ISP cache added separately — 33 total, as in
+/// Section V).
+struct DcSpec {
+    const char* city;
+    int servers;
+};
+
+constexpr DcSpec kGoogleUs[] = {
+    {"Mountain View", 120}, {"Seattle", 80},      {"The Dalles", 110},
+    {"Los Angeles", 90},    {"Denver", 60},       {"Dallas", 420},
+    {"Chicago", 130},       {"Council Bluffs", 100}, {"Atlanta", 90},
+    {"Miami", 70},          {"Washington", 150},  {"New York", 140},
+    {"Boston", 60},
+};
+
+constexpr DcSpec kGoogleEu[] = {
+    {"London", 130},  {"Dublin", 70},   {"Paris", 110},  {"Amsterdam", 120},
+    {"Frankfurt", 300}, {"Hamburg", 60}, {"Zurich", 80},  {"Vienna", 90},
+    {"Warsaw", 60},   {"Madrid", 80},   {"Milan", 380},  {"Stockholm", 70},
+    {"Brussels", 60},
+};
+
+constexpr DcSpec kGoogleOther[] = {
+    {"Tokyo", 90},     {"Hong Kong", 70},    {"Singapore", 70},
+    {"Sydney", 60},    {"Sao Paulo", 70},    {"Buenos Aires", 50},
+};
+
+/// Legacy YouTube-EU (AS 43515) sites: large IP pools, little traffic.
+constexpr DcSpec kLegacy[] = {{"Amsterdam", 170}, {"London", 160}, {"Paris", 150}};
+
+/// Residual "other AS" sites: CW (AS 1273) and GBLX (AS 3549).
+constexpr DcSpec kOtherAs[] = {{"London", 40}, {"New York", 40}};
+
+constexpr net::Asn kUsCampusAs{4600};
+constexpr net::Asn kEu1NrenAs{137};
+constexpr net::Asn kEu1IspAs{3269};
+constexpr net::Asn kEu2IspAs{5483};
+
+const geo::City& city_or_throw(std::string_view name) {
+    const geo::City* c = geo::CityDatabase::builtin().find(name);
+    if (c == nullptr) {
+        throw std::logic_error("StudyDeployment: unknown city " + std::string(name));
+    }
+    return *c;
+}
+
+}  // namespace
+
+StudyDeployment::StudyDeployment(const StudyConfig& config) : config_(config) {
+    net::RttModel::Config rtt_cfg;
+    rtt_ = std::make_unique<net::RttModel>(rtt_cfg);
+
+    cdn::Cdn::ReplicationConfig repl;
+    repl.replicate_top_ranks = config_.replicate_top_ranks();
+    repl.origin_replicas = config_.origin_replicas;
+    repl.max_pulled_per_dc = config_.max_pulled_per_dc;
+    cdn_ = std::make_unique<cdn::Cdn>(*rtt_, repl);
+    dns_ = std::make_unique<cdn::DnsSystem>();
+
+    sim::Rng rng = root_rng();
+    build_cdn(rng);
+    build_catalog(rng);
+    build_dns_and_vantage_points(rng);
+}
+
+void StudyDeployment::build_cdn(sim::Rng& rng) {
+    const int capacity = config_.effective_server_capacity();
+    // Legacy pools have effectively unbounded capacity: they never redirect.
+    const int legacy_capacity = 1'000'000;
+
+    int next_prefix_block = 0;  // walks 173.194.x.0/24 blocks for Google DCs
+    const auto add_google_prefixes = [&](cdn::DcId dc, int servers) {
+        const int prefixes = servers / 120 + 1;
+        for (int j = 0; j < prefixes; ++j) {
+            cdn_->add_prefix(
+                dc, net::Subnet{net::IpAddress::from_octets(
+                                    173, 194, static_cast<std::uint8_t>(next_prefix_block++),
+                                    0),
+                                24});
+        }
+    };
+
+    const auto add_dc = [&](const DcSpec& spec, Continent continent, net::Asn asn,
+                            cdn::InfraClass infra) {
+        const geo::City& city = city_or_throw(spec.city);
+        if (city.continent != continent) {
+            throw std::logic_error("StudyDeployment: continent mismatch for " +
+                                   std::string(spec.city));
+        }
+        return cdn_->add_data_center(city.name, city.continent, city.location, asn,
+                                     infra, /*site_access_rtt_ms=*/0.5);
+    };
+
+    for (const auto& spec : kGoogleUs) {
+        const cdn::DcId dc = add_dc(spec, Continent::NorthAmerica,
+                                    net::well_known_as::kGoogle,
+                                    cdn::InfraClass::GoogleCdn);
+        add_google_prefixes(dc, spec.servers);
+        cdn_->add_servers(dc, spec.servers, capacity);
+    }
+    for (const auto& spec : kGoogleEu) {
+        const cdn::DcId dc = add_dc(spec, Continent::Europe, net::well_known_as::kGoogle,
+                                    cdn::InfraClass::GoogleCdn);
+        add_google_prefixes(dc, spec.servers);
+        cdn_->add_servers(dc, spec.servers, capacity);
+    }
+    for (const auto& spec : kGoogleOther) {
+        const geo::City& city = city_or_throw(spec.city);
+        const cdn::DcId dc = cdn_->add_data_center(
+            city.name, city.continent, city.location, net::well_known_as::kGoogle,
+            cdn::InfraClass::GoogleCdn, 0.5);
+        add_google_prefixes(dc, spec.servers);
+        cdn_->add_servers(dc, spec.servers, capacity);
+    }
+
+    // The EU2 in-ISP data center (Budapest), announced from the ISP's AS —
+    // the Table II "Same AS" row and the Fig. 11 protagonist.
+    {
+        const geo::City& city = city_or_throw("Budapest");
+        const cdn::DcId dc =
+            cdn_->add_data_center(city.name, city.continent, city.location, kEu2IspAs,
+                                  cdn::InfraClass::IspInternal, 0.5);
+        cdn_->add_prefix(dc, net::Subnet{net::IpAddress::from_octets(84, 116, 0, 0), 24});
+        cdn_->add_prefix(dc, net::Subnet{net::IpAddress::from_octets(84, 116, 1, 0), 24});
+        cdn_->add_servers(dc, 160, capacity);
+    }
+
+    // Legacy YouTube-EU pools.
+    int legacy_block = 0;
+    for (const auto& spec : kLegacy) {
+        const geo::City& city = city_or_throw(spec.city);
+        const cdn::DcId dc = cdn_->add_data_center(
+            city.name, city.continent, city.location, net::well_known_as::kYouTubeEu,
+            cdn::InfraClass::LegacyYouTube, 0.5);
+        for (int j = 0; j < 2; ++j) {
+            cdn_->add_prefix(dc, net::Subnet{net::IpAddress::from_octets(
+                                                 212, 187,
+                                                 static_cast<std::uint8_t>(legacy_block++),
+                                                 0),
+                                             24});
+        }
+        cdn_->add_servers(dc, spec.servers, legacy_capacity);
+        legacy_dcs_.push_back(dc);
+    }
+
+    // Residual other-AS pools (CW London, GBLX New York).
+    {
+        const geo::City& lon = city_or_throw(kOtherAs[0].city);
+        const cdn::DcId cw = cdn_->add_data_center(
+            lon.name, lon.continent, lon.location, net::well_known_as::kCableWireless,
+            cdn::InfraClass::OtherAs, 0.5);
+        cdn_->add_prefix(cw,
+                         net::Subnet{net::IpAddress::from_octets(166, 49, 128, 0), 24});
+        cdn_->add_servers(cw, kOtherAs[0].servers, legacy_capacity);
+        other_as_dcs_.push_back(cw);
+
+        const geo::City& nyc = city_or_throw(kOtherAs[1].city);
+        const cdn::DcId gblx = cdn_->add_data_center(
+            nyc.name, nyc.continent, nyc.location, net::well_known_as::kGblx,
+            cdn::InfraClass::OtherAs, 0.5);
+        cdn_->add_prefix(gblx,
+                         net::Subnet{net::IpAddress::from_octets(64, 214, 0, 0), 24});
+        cdn_->add_servers(gblx, kOtherAs[1].servers, legacy_capacity);
+        other_as_dcs_.push_back(gblx);
+    }
+
+    cdn_->register_prefixes(whois_);
+    (void)rng;
+}
+
+void StudyDeployment::build_catalog(sim::Rng& rng) {
+    cdn::VideoCatalog::Config cfg;
+    cfg.num_videos = config_.effective_catalog_size();
+    // Tuned so mean video-flow volume lands near the paper's Table I
+    // (~8 MB/flow): shorter median with a moderate tail.
+    cfg.duration_median_s = 130.0;
+    cfg.duration_sigma = 0.65;
+    catalog_ = std::make_unique<cdn::VideoCatalog>(cfg, rng.fork("catalog"));
+
+    // One front-page promotion per day, days 1-6, each "played by default
+    // ... for exactly 24 hours" (Section VII-C). Mid-popularity ranks: hot
+    // enough to be replicated everywhere, cold enough that the promotion
+    // dominates their baseline load.
+    const std::size_t base = std::min<std::size_t>(900, catalog_->size() / 4);
+    for (int day = 1; day <= 6; ++day) {
+        const std::size_t rank = base + static_cast<std::size_t>(day) * 200;
+        catalog_->promote(day, rank);
+        promoted_ranks_.push_back(rank);
+    }
+}
+
+std::unique_ptr<cdn::SelectionPolicy> StudyDeployment::make_edge_policy(
+    std::vector<cdn::DcId> ranked, double p_secondary, double p_legacy,
+    double p_other) {
+    if (ranked.size() < 4) {
+        throw std::logic_error("make_edge_policy: need at least 4 ranked data centers");
+    }
+    // Innermost: the preferred data center with occasional second/third
+    // choice (ambient DNS balancing noise).
+    std::unique_ptr<cdn::SelectionPolicy> policy =
+        std::make_unique<cdn::MixturePolicy>(
+            std::make_unique<cdn::StaticPreferencePolicy>(ranked),
+            std::make_unique<cdn::UniformChoicePolicy>(
+                std::vector<cdn::DcId>{ranked[1], ranked[2], ranked[3]}),
+            p_secondary);
+    // Legacy YouTube-EU residue.
+    policy = std::make_unique<cdn::MixturePolicy>(
+        std::move(policy), std::make_unique<cdn::UniformChoicePolicy>(legacy_dcs_),
+        p_legacy);
+    // Other-AS residue.
+    policy = std::make_unique<cdn::MixturePolicy>(
+        std::move(policy), std::make_unique<cdn::UniformChoicePolicy>(other_as_dcs_),
+        p_other);
+    return policy;
+}
+
+void StudyDeployment::build_dns_and_vantage_points(sim::Rng& rng) {
+    const auto dc_id = [this](std::string_view city) {
+        const cdn::DcId id = dc_by_city(city);
+        if (id == cdn::kInvalidDc) {
+            throw std::logic_error("StudyDeployment: no data center in " +
+                                   std::string(city));
+        }
+        return id;
+    };
+
+    struct VpSpec {
+        std::size_t target_index;
+        const char* city;
+        workload::AccessTech tech;
+        net::Asn asn;
+        const char* preferred_city;
+        double pop_inflation_to_preferred;
+    };
+    const VpSpec specs[] = {
+        {0, "West Lafayette", workload::AccessTech::Campus, kUsCampusAs, "Dallas", 1.12},
+        {1, "Turin", workload::AccessTech::Campus, kEu1NrenAs, "Milan", 1.25},
+        {2, "Turin", workload::AccessTech::Adsl, kEu1IspAs, "Milan", 1.25},
+        {3, "Turin", workload::AccessTech::Ftth, kEu1IspAs, "Milan", 1.25},
+        {4, "Budapest", workload::AccessTech::Adsl, kEu2IspAs, "Budapest", 1.10},
+    };
+
+    vps_.resize(kNumVantagePoints);
+    vp_as_.resize(kNumVantagePoints);
+
+    for (std::size_t i = 0; i < kNumVantagePoints; ++i) {
+        const VpSpec& spec = specs[i];
+        const VantageTargets& target = kPaperTargets[spec.target_index];
+        const geo::City& city = city_or_throw(spec.city);
+
+        workload::VantagePoint& vp = vps_[i];
+        vp.name = target.name;
+        vp.tech = spec.tech;
+        vp.city = &city;
+        vp.pop_site = net::NetSite{kPopSiteBase + i, city.location, 0.0};
+        vp.probe_site = net::NetSite{kPopSiteBase + i, city.location, 0.5};
+        vp.profile = spec.tech == workload::AccessTech::Campus
+                         ? sim::DiurnalProfile::campus()
+                         : sim::DiurnalProfile::residential();
+        // Divide out the weekly mean multiplier so the week's request total
+        // tracks Table I regardless of the weekend shape.
+        vp.mean_sessions_per_s =
+            mean_sessions_per_s(target, config_.scale) / vp.profile.weekly_mean();
+        vp_as_[i] = spec.asn;
+
+        // Pin the preferred data center's path quality.
+        rtt_->set_inflation(vp.pop_site.id, cdn_->dc(dc_id(spec.preferred_city)).site.id,
+                            spec.pop_inflation_to_preferred);
+    }
+
+    // US-Campus: the five geographically closest data centers ride inflated
+    // routes, so the preferred (lowest-RTT) data center is Dallas, ~1300 km
+    // away — Fig. 8's "closest five serve <2%" anecdote.
+    {
+        const auto& us = vps_[0];
+        rtt_->set_inflation(us.pop_site.id, cdn_->dc(dc_id("Chicago")).site.id, 14.0);
+        rtt_->set_inflation(us.pop_site.id, cdn_->dc(dc_id("Atlanta")).site.id, 3.5);
+        rtt_->set_inflation(us.pop_site.id, cdn_->dc(dc_id("Washington")).site.id, 3.0);
+        rtt_->set_inflation(us.pop_site.id, cdn_->dc(dc_id("New York")).site.id, 2.8);
+        rtt_->set_inflation(us.pop_site.id, cdn_->dc(dc_id("Council Bluffs")).site.id,
+                            4.0);
+    }
+    // EU2: the external overflow target (Frankfurt) rides a clean path.
+    rtt_->set_inflation(vps_[4].pop_site.id, cdn_->dc(dc_id("Frankfurt")).site.id, 1.25);
+
+    // Section VI-B what-if: in the Feb-2011 configuration US-Campus
+    // requests went to a data center more than 100 ms away. Pin Mountain
+    // View onto a >100 ms path so the remapped resolver below exhibits it.
+    if (config_.feb2011_us_shift) {
+        rtt_->set_inflation(vps_[0].pop_site.id,
+                            cdn_->dc(dc_id("Mountain View")).site.id, 3.5);
+    }
+
+    // --- DNS resolvers ------------------------------------------------------
+
+    const auto ranked_for = [this](const workload::VantagePoint& vp) {
+        return cdn_->rank_by_rtt(vp.pop_site);
+    };
+
+    // US-Campus: main resolver plus the Net-3 resolver that the
+    // authoritative side maps to a different preferred data center
+    // (Section VII-B).
+    std::vector<cdn::DcId> us_ranked = ranked_for(vps_[0]);
+    if (config_.feb2011_us_shift) {
+        // The authoritative DNS now maps the campus to Mountain View even
+        // though several data centers are far closer in RTT.
+        const cdn::DcId mv = dc_id("Mountain View");
+        std::erase(us_ranked, mv);
+        us_ranked.insert(us_ranked.begin(), mv);
+    }
+    const cdn::LdnsId us_main = dns_->add_resolver(
+        "us-campus-main", make_edge_policy(std::move(us_ranked),
+                                           config_.p_dns_secondary_us,
+                                           config_.p_legacy_youtube, config_.p_other_as));
+    std::vector<cdn::DcId> net3_ranked = ranked_for(vps_[0]);
+    const cdn::DcId net3_target = dc_id("Boston");
+    std::erase(net3_ranked, net3_target);
+    net3_ranked.insert(net3_ranked.begin(), net3_target);
+    const cdn::LdnsId us_net3 = dns_->add_resolver(
+        "us-campus-net3", make_edge_policy(std::move(net3_ranked),
+                                           config_.p_dns_secondary_us,
+                                           config_.p_legacy_youtube, config_.p_other_as));
+
+    const cdn::LdnsId eu1_campus = dns_->add_resolver(
+        "eu1-campus", make_edge_policy(ranked_for(vps_[1]), config_.p_dns_secondary_eu1,
+                                       config_.p_legacy_youtube, config_.p_other_as));
+    const cdn::LdnsId eu1_adsl = dns_->add_resolver(
+        "eu1-adsl", make_edge_policy(ranked_for(vps_[2]), config_.p_dns_secondary_eu1,
+                                     config_.p_legacy_youtube, config_.p_other_as));
+    const cdn::LdnsId eu1_ftth = dns_->add_resolver(
+        "eu1-ftth", make_edge_policy(ranked_for(vps_[3]), config_.p_dns_secondary_eu1,
+                                     config_.p_legacy_youtube, config_.p_other_as));
+
+    // EU2: adaptive DNS-level load balancing between the in-ISP cache and
+    // Frankfurt (Section VII-A), plus the usual legacy residue.
+    cdn::LdnsId eu2_main = cdn::kInvalidLdns;
+    {
+        std::vector<cdn::DcId> ranked{dc_id("Budapest"), dc_id("Frankfurt")};
+        const double rate =
+            config_.eu2_local_rate_factor * vps_[4].mean_sessions_per_s;
+        const double burst = std::max(10.0, rate * 600.0);
+        std::unique_ptr<cdn::SelectionPolicy> policy =
+            std::make_unique<cdn::TokenBucketLoadBalancePolicy>(ranked, rate, burst);
+        policy = std::make_unique<cdn::MixturePolicy>(
+            std::move(policy), std::make_unique<cdn::UniformChoicePolicy>(legacy_dcs_),
+            config_.p_legacy_youtube_eu2);
+        policy = std::make_unique<cdn::MixturePolicy>(
+            std::move(policy),
+            std::make_unique<cdn::UniformChoicePolicy>(other_as_dcs_),
+            config_.p_other_as);
+        eu2_main = dns_->add_resolver("eu2-main", std::move(policy));
+    }
+
+    // --- Subnets and client populations --------------------------------------
+
+    const auto subnet = [](std::uint8_t a, std::uint8_t b, std::uint8_t c, int len) {
+        return net::Subnet{net::IpAddress::from_octets(a, b, c, 0), len};
+    };
+
+    vps_[0].subnets = {
+        {"Net-1", subnet(128, 210, 0, 18), 0.30, us_main},
+        {"Net-2", subnet(128, 210, 64, 18), 0.26, us_main},
+        {"Net-3", subnet(128, 210, 128, 18), 0.04, us_net3},
+        {"Net-4", subnet(128, 210, 192, 18), 0.22, us_main},
+        {"Net-5", subnet(128, 211, 0, 18), 0.18, us_main},
+    };
+    vps_[1].subnets = {
+        {"Campus-A", subnet(130, 192, 0, 18), 0.6, eu1_campus},
+        {"Campus-B", subnet(130, 192, 64, 18), 0.4, eu1_campus},
+    };
+    vps_[2].subnets = {
+        {"ADSL-A", subnet(151, 24, 0, 17), 0.35, eu1_adsl},
+        {"ADSL-B", subnet(151, 24, 128, 17), 0.35, eu1_adsl},
+        {"ADSL-C", subnet(151, 25, 0, 17), 0.30, eu1_adsl},
+    };
+    vps_[3].subnets = {
+        {"FTTH-A", subnet(151, 60, 0, 18), 1.0, eu1_ftth},
+    };
+    vps_[4].subnets = {
+        {"EU2-A", subnet(84, 2, 0, 17), 0.34, eu2_main},
+        {"EU2-B", subnet(84, 2, 128, 17), 0.33, eu2_main},
+        {"EU2-C", subnet(84, 3, 0, 17), 0.33, eu2_main},
+    };
+
+    // whois entries for the client networks ("Same AS" detection).
+    whois_.add(net::Subnet{net::IpAddress::from_octets(128, 210, 0, 0), 15}, kUsCampusAs,
+               "US-Campus-AS");
+    whois_.add(net::Subnet{net::IpAddress::from_octets(130, 192, 0, 0), 16}, kEu1NrenAs,
+               "EU1-NREN");
+    whois_.add(net::Subnet{net::IpAddress::from_octets(151, 24, 0, 0), 14}, kEu1IspAs,
+               "EU1-ISP");
+    whois_.add(net::Subnet{net::IpAddress::from_octets(151, 60, 0, 0), 16}, kEu1IspAs,
+               "EU1-ISP");
+    whois_.add(net::Subnet{net::IpAddress::from_octets(84, 2, 0, 0), 15}, kEu2IspAs,
+               "EU2-ISP");
+
+    for (std::size_t i = 0; i < kNumVantagePoints; ++i) {
+        const auto clients = std::max<std::uint64_t>(
+            40, static_cast<std::uint64_t>(std::llround(
+                    static_cast<double>(kPaperTargets[i].clients) * config_.scale)));
+        sim::Rng vp_rng = rng.fork(vps_[i].name);
+        workload::populate_clients(vps_[i], clients, vp_rng);
+    }
+}
+
+workload::VantagePoint& StudyDeployment::vantage(std::size_t i) {
+    if (i >= vps_.size()) throw std::out_of_range("StudyDeployment::vantage");
+    return vps_[i];
+}
+
+const workload::VantagePoint& StudyDeployment::vantage(std::size_t i) const {
+    if (i >= vps_.size()) throw std::out_of_range("StudyDeployment::vantage");
+    return vps_[i];
+}
+
+workload::VantagePoint& StudyDeployment::vantage(std::string_view name) {
+    for (auto& vp : vps_) {
+        if (vp.name == name) return vp;
+    }
+    throw std::out_of_range("StudyDeployment::vantage: unknown name");
+}
+
+net::Asn StudyDeployment::local_as(std::size_t vp_index) const {
+    if (vp_index >= vp_as_.size()) throw std::out_of_range("StudyDeployment::local_as");
+    return vp_as_[vp_index];
+}
+
+cdn::DcId StudyDeployment::dc_by_city(std::string_view city) const noexcept {
+    for (const auto& dc : cdn_->data_centers()) {
+        if (dc.city == city && cdn::in_analysis_scope(dc.infra)) return dc.id;
+    }
+    return cdn::kInvalidDc;
+}
+
+}  // namespace ytcdn::study

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdn/catalog.hpp"
+#include "cdn/cdn.hpp"
+#include "cdn/dns.hpp"
+#include "geo/city.hpp"
+#include "net/as_registry.hpp"
+#include "net/rtt_model.hpp"
+#include "sim/random.hpp"
+#include "study/config.hpp"
+#include "workload/vantage_point.hpp"
+
+namespace ytcdn::study {
+
+/// The fully wired world of the reproduction: the simulated Internet's RTT
+/// model, the YouTube CDN (33 data centers + legacy pools), the DNS system
+/// with per-resolver policies, the video catalog with its promotion
+/// schedule, the whois registry, and the five instrumented vantage points.
+///
+/// Construction is deterministic in config.seed; every paper experiment
+/// starts from one of these.
+class StudyDeployment {
+public:
+    explicit StudyDeployment(const StudyConfig& config);
+
+    StudyDeployment(const StudyDeployment&) = delete;
+    StudyDeployment& operator=(const StudyDeployment&) = delete;
+
+    [[nodiscard]] const StudyConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const net::RttModel& rtt() const noexcept { return *rtt_; }
+    [[nodiscard]] cdn::Cdn& cdn() noexcept { return *cdn_; }
+    [[nodiscard]] const cdn::Cdn& cdn() const noexcept { return *cdn_; }
+    [[nodiscard]] cdn::DnsSystem& dns() noexcept { return *dns_; }
+    [[nodiscard]] cdn::VideoCatalog& catalog() noexcept { return *catalog_; }
+    [[nodiscard]] const cdn::VideoCatalog& catalog() const noexcept { return *catalog_; }
+    [[nodiscard]] const net::AsRegistry& whois() const noexcept { return whois_; }
+    [[nodiscard]] sim::Rng root_rng() const noexcept { return sim::Rng{config_.seed}; }
+
+    [[nodiscard]] std::size_t num_vantage_points() const noexcept { return vps_.size(); }
+    [[nodiscard]] workload::VantagePoint& vantage(std::size_t i);
+    [[nodiscard]] const workload::VantagePoint& vantage(std::size_t i) const;
+    [[nodiscard]] workload::VantagePoint& vantage(std::string_view name);
+
+    /// The AS the vantage point's clients live in (Table II's "Same AS").
+    [[nodiscard]] net::Asn local_as(std::size_t vp_index) const;
+
+    /// Ground-truth data center id by city name; kInvalidDc if absent.
+    [[nodiscard]] cdn::DcId dc_by_city(std::string_view city) const noexcept;
+
+    /// The promoted ("video of the day") ranks, one per promoted day.
+    [[nodiscard]] const std::vector<std::size_t>& promoted_ranks() const noexcept {
+        return promoted_ranks_;
+    }
+
+private:
+    void build_cdn(sim::Rng& rng);
+    void build_catalog(sim::Rng& rng);
+    void build_dns_and_vantage_points(sim::Rng& rng);
+
+    [[nodiscard]] std::unique_ptr<cdn::SelectionPolicy> make_edge_policy(
+        std::vector<cdn::DcId> ranked, double p_secondary, double p_legacy,
+        double p_other);
+
+    StudyConfig config_;
+    std::unique_ptr<net::RttModel> rtt_;
+    std::unique_ptr<cdn::Cdn> cdn_;
+    std::unique_ptr<cdn::DnsSystem> dns_;
+    std::unique_ptr<cdn::VideoCatalog> catalog_;
+    net::AsRegistry whois_;
+    std::vector<workload::VantagePoint> vps_;
+    std::vector<net::Asn> vp_as_;
+    std::vector<cdn::DcId> legacy_dcs_;
+    std::vector<cdn::DcId> other_as_dcs_;
+    std::vector<std::size_t> promoted_ranks_;
+};
+
+}  // namespace ytcdn::study

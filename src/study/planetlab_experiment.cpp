@@ -1,0 +1,76 @@
+#include "study/planetlab_experiment.hpp"
+
+#include <stdexcept>
+
+#include "net/pinger.hpp"
+
+namespace ytcdn::study {
+
+PlanetLabResult run_planetlab_experiment(StudyDeployment& deployment,
+                                         const std::vector<geoloc::Landmark>& landmarks,
+                                         const PlanetLabConfig& config) {
+    if (config.nodes <= 1 || config.rounds < 2) {
+        throw std::invalid_argument("run_planetlab_experiment: need >1 node, >=2 rounds");
+    }
+    if (landmarks.size() < static_cast<std::size_t>(config.nodes)) {
+        throw std::invalid_argument("run_planetlab_experiment: not enough landmarks");
+    }
+
+    auto& cdn = deployment.cdn();
+    const cdn::Video video = deployment.catalog().upload(/*now=*/0.0,
+                                                         config.video_duration_s);
+
+    net::Pinger pinger(deployment.rtt(), deployment.config().seed ^ 0x9AB5ull);
+
+    // Spread node selection across the landmark list (which is grouped by
+    // continent) so preferred data centers are mostly distinct.
+    std::vector<const geoloc::Landmark*> nodes;
+    const double stride =
+        static_cast<double>(landmarks.size()) / static_cast<double>(config.nodes);
+    for (int i = 0; i < config.nodes; ++i) {
+        nodes.push_back(&landmarks[static_cast<std::size_t>(i * stride)]);
+    }
+
+    PlanetLabResult result;
+    result.nodes.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        result.nodes[i].node = nodes[i]->name;
+        const auto ranked = cdn.rank_by_rtt(nodes[i]->site);
+        result.nodes[i].preferred_city = cdn.dc(ranked.front()).city;
+    }
+
+    for (int round = 0; round < config.rounds; ++round) {
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            const auto& node = *nodes[i];
+            const auto ranked = cdn.rank_by_rtt(node.site);
+            cdn::ServerId server = cdn.pick_server(ranked.front(), video.id);
+
+            // Follow redirects until a copy is found; misses trigger pulls
+            // exactly like the player path does.
+            std::vector<cdn::DcId> visited;
+            for (int hop = 0; hop < 8; ++hop) {
+                const cdn::DcId here = cdn.server(server).dc();
+                if (cdn.has_content(here, video)) break;
+                cdn.pull_content(here, video.id);
+                visited.push_back(here);
+                const cdn::ServerId next =
+                    cdn.redirect_target(node.site, video, visited);
+                if (next == cdn::kInvalidServer) break;
+                server = next;
+            }
+
+            const auto& dc = cdn.dc(cdn.server(server).dc());
+            result.nodes[i].rtt_ms.push_back(
+                pinger.min_rtt_ms(node.site, dc.site, 5));
+            result.nodes[i].served_from.push_back(dc.city);
+        }
+    }
+
+    result.rtt_ratio.reserve(result.nodes.size());
+    for (const auto& n : result.nodes) {
+        result.rtt_ratio.push_back(n.rtt_ms[0] / n.rtt_ms[1]);
+    }
+    return result;
+}
+
+}  // namespace ytcdn::study

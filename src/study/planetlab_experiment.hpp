@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geoloc/landmark.hpp"
+#include "study/deployment.hpp"
+
+namespace ytcdn::study {
+
+/// The controlled active experiment of Section VII-C (Figs 17-18): a fresh
+/// test video is uploaded, then downloaded from PlanetLab nodes around the
+/// world every 30 minutes for 12 hours; each download records the RTT to
+/// the server that actually delivered the content.
+struct PlanetLabConfig {
+    int nodes = 45;
+    int rounds = 25;              // every 30 min for ~12 h
+    double interval_s = 1800.0;
+    double video_duration_s = 180.0;
+};
+
+struct PlanetLabNodeResult {
+    std::string node;
+    std::string preferred_city;            // node's preferred data center
+    std::vector<double> rtt_ms;            // one per round
+    std::vector<std::string> served_from;  // serving data center per round
+};
+
+struct PlanetLabResult {
+    std::vector<PlanetLabNodeResult> nodes;
+    /// RTT(first download) / RTT(second download), one per node — Fig. 18.
+    std::vector<double> rtt_ratio;
+};
+
+/// Runs the experiment against the deployment's CDN. `landmarks` supplies
+/// the candidate node set; nodes are chosen spread across it so that most
+/// have distinct preferred data centers, as the paper did. Mutates CDN
+/// cache state (content pulls), as the real experiment does.
+[[nodiscard]] PlanetLabResult run_planetlab_experiment(
+    StudyDeployment& deployment, const std::vector<geoloc::Landmark>& landmarks,
+    const PlanetLabConfig& config = {});
+
+}  // namespace ytcdn::study

@@ -1,0 +1,69 @@
+#include "study/report.hpp"
+
+#include "analysis/as_analysis.hpp"
+
+namespace ytcdn::study {
+
+namespace {
+
+/// Paper's Table I rows for side-by-side comparison.
+struct PaperRow {
+    const char* flows;
+    const char* volume_gb;
+    const char* servers;
+    const char* clients;
+};
+constexpr PaperRow kPaperTable1[] = {
+    {"874649", "7061.27", "1985", "20443"}, {"134789", "580.25", "1102", "1113"},
+    {"877443", "3709.98", "1977", "8348"},  {"91955", "463.1", "1081", "997"},
+    {"513403", "2834.99", "1637", "6552"},
+};
+
+}  // namespace
+
+analysis::AsciiTable make_table1(const StudyRun& run) {
+    analysis::AsciiTable t({"Dataset", "Flows", "Volume[GB]", "#Servers", "#Clients",
+                            "paper:Flows", "paper:GB", "paper:Srv", "paper:Cli"});
+    for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+        const auto& ds = run.traces.datasets[i];
+        const auto s = ds.summary();
+        t.add_row({ds.name, std::to_string(s.flows), analysis::fmt(s.volume_gb, 2),
+                   std::to_string(s.distinct_servers), std::to_string(s.distinct_clients),
+                   kPaperTable1[i].flows, kPaperTable1[i].volume_gb,
+                   kPaperTable1[i].servers, kPaperTable1[i].clients});
+    }
+    return t;
+}
+
+analysis::AsciiTable make_table2(const StudyRun& run) {
+    analysis::AsciiTable t({"Dataset", "Google srv%", "Google byt%", "YT-EU srv%",
+                            "YT-EU byt%", "SameAS srv%", "SameAS byt%", "Other srv%",
+                            "Other byt%"});
+    for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+        const auto row = analysis::as_breakdown(run.traces.datasets[i],
+                                                run.deployment->whois(),
+                                                run.deployment->local_as(i));
+        t.add_row({row.dataset, analysis::fmt_pct(row.google_servers, 1),
+                   analysis::fmt_pct(row.google_bytes, 1),
+                   analysis::fmt_pct(row.youtube_eu_servers, 1),
+                   analysis::fmt_pct(row.youtube_eu_bytes, 1),
+                   analysis::fmt_pct(row.same_as_servers, 1),
+                   analysis::fmt_pct(row.same_as_bytes, 1),
+                   analysis::fmt_pct(row.other_servers, 1),
+                   analysis::fmt_pct(row.other_bytes, 1)});
+    }
+    return t;
+}
+
+analysis::AsciiTable make_table3(const StudyRun& run,
+                                 const std::vector<analysis::ContinentCounts>& counts) {
+    analysis::AsciiTable t({"Dataset", "N. America", "Europe", "Others", "unlocated"});
+    for (std::size_t i = 0; i < counts.size() && i < run.traces.datasets.size(); ++i) {
+        t.add_row({run.traces.datasets[i].name, std::to_string(counts[i].north_america),
+                   std::to_string(counts[i].europe), std::to_string(counts[i].others),
+                   std::to_string(counts[i].unlocated)});
+    }
+    return t;
+}
+
+}  // namespace ytcdn::study

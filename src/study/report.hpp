@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/geo_analysis.hpp"
+#include "analysis/table.hpp"
+#include "study/study_run.hpp"
+
+namespace ytcdn::study {
+
+/// Table I: traffic summary per dataset (flows, volume, #servers, #clients),
+/// with the paper's values alongside for comparison.
+[[nodiscard]] analysis::AsciiTable make_table1(const StudyRun& run);
+
+/// Table II: percentage of servers and bytes per AS group per dataset.
+[[nodiscard]] analysis::AsciiTable make_table2(const StudyRun& run);
+
+/// Table III: located Google servers per continent per dataset.
+/// `counts[i]` must correspond to dataset i.
+[[nodiscard]] analysis::AsciiTable make_table3(
+    const StudyRun& run, const std::vector<analysis::ContinentCounts>& counts);
+
+}  // namespace ytcdn::study

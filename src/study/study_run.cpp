@@ -1,0 +1,39 @@
+#include "study/study_run.hpp"
+
+#include <stdexcept>
+
+#include "analysis/preferred_dc.hpp"
+#include "study/dc_map_builder.hpp"
+
+namespace ytcdn::study {
+
+std::size_t StudyRun::vp_index(std::string_view name) const {
+    for (std::size_t i = 0; i < traces.datasets.size(); ++i) {
+        if (traces.datasets[i].name == name) return i;
+    }
+    throw std::out_of_range("StudyRun::vp_index: unknown dataset");
+}
+
+const capture::Dataset& StudyRun::dataset(std::string_view name) const {
+    return traces.datasets[vp_index(name)];
+}
+
+StudyRun run_study(const StudyConfig& config) {
+    StudyRun run;
+    run.config = config;
+    run.deployment = std::make_unique<StudyDeployment>(config);
+    TraceDriver driver(*run.deployment);
+    run.traces = driver.run();
+
+    const std::size_t n = run.deployment->num_vantage_points();
+    run.maps.reserve(n);
+    run.preferred.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        run.maps.push_back(ground_truth_dc_map(*run.deployment, run.deployment->vantage(i)));
+        run.preferred.push_back(
+            analysis::preferred_dc(run.traces.datasets[i], run.maps.back()));
+    }
+    return run;
+}
+
+}  // namespace ytcdn::study

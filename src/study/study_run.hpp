@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "analysis/dc_map.hpp"
+#include "study/deployment.hpp"
+#include "study/trace_driver.hpp"
+
+namespace ytcdn::study {
+
+/// A complete, analysis-ready run of the study: deployment + one week of
+/// traces + per-vantage-point data-center maps and preferred data centers.
+/// Benches and examples start from one of these.
+struct StudyRun {
+    StudyConfig config;
+    std::unique_ptr<StudyDeployment> deployment;
+    TraceOutputs traces;
+    /// Ground-truth server->DC map per vantage point (probe RTT measured).
+    std::vector<analysis::ServerDcMap> maps;
+    /// Preferred data-center index (into maps[i]) per vantage point.
+    std::vector<int> preferred;
+
+    [[nodiscard]] std::size_t vp_index(std::string_view name) const;
+    [[nodiscard]] const capture::Dataset& dataset(std::string_view name) const;
+};
+
+/// Builds the deployment, simulates the week, and derives the per-vantage
+/// point maps and preferred data centers.
+[[nodiscard]] StudyRun run_study(const StudyConfig& config);
+
+}  // namespace ytcdn::study

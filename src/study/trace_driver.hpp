@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "capture/dataset.hpp"
+#include "sim/simulator.hpp"
+#include "study/deployment.hpp"
+#include "workload/player.hpp"
+
+namespace ytcdn::study {
+
+/// Everything a trace run produces, per vantage point.
+struct TraceOutputs {
+    std::vector<capture::Dataset> datasets;         // one per vantage point
+    std::vector<workload::Player::Stats> player_stats;
+    std::vector<std::uint64_t> requests_generated;
+    /// Total flows the sniffer saw on the wire (YouTube + background noise)
+    /// and how many the DPI classifier rejected, per vantage point.
+    std::vector<std::uint64_t> flows_observed;
+    std::vector<std::uint64_t> flows_ignored;
+    std::uint64_t events_processed = 0;
+};
+
+/// Runs the paper's capture campaign: all five vantage points generate
+/// traffic against the shared CDN on one discrete-event simulator (server
+/// load and cache state are global, as in reality), while a Tstat-like
+/// sniffer at each edge records its own dataset.
+class TraceDriver {
+public:
+    explicit TraceDriver(StudyDeployment& deployment)
+        : TraceDriver(deployment, workload::Player::Config{}) {}
+
+    /// Overrides the Flash-player behaviour for every vantage point (DNS
+    /// TTL, abort rates, ... — used by the ablation benches).
+    TraceDriver(StudyDeployment& deployment, const workload::Player::Config& player_config);
+
+    /// Simulates `horizon` seconds (default: the paper's one week) and
+    /// returns the per-vantage-point datasets, sorted by time.
+    [[nodiscard]] TraceOutputs run(sim::SimTime horizon = sim::kWeek);
+
+private:
+    StudyDeployment* deployment_;
+    workload::Player::Config player_config_;
+};
+
+}  // namespace ytcdn::study

@@ -1,0 +1,89 @@
+#include "util/args.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ytcdn::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv,
+                     std::vector<std::string> boolean_flags) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (!arg.starts_with("--")) {
+            positionals_.emplace_back(arg);
+            continue;
+        }
+        const std::string name(arg.substr(2));
+        if (name.empty()) throw std::invalid_argument("empty option name '--'");
+        if (std::find(boolean_flags.begin(), boolean_flags.end(), name) !=
+            boolean_flags.end()) {
+            flags_.push_back(name);
+            continue;
+        }
+        // '--key=value' or '--key value'.
+        if (const auto eq = name.find('='); eq != std::string::npos) {
+            options_[name.substr(0, eq)] = name.substr(eq + 1);
+            continue;
+        }
+        if (i + 1 >= argc) {
+            throw std::invalid_argument("option --" + name + " needs a value");
+        }
+        options_[name] = argv[++i];
+    }
+}
+
+bool ArgParser::has_flag(std::string_view name) const noexcept {
+    return std::find(flags_.begin(), flags_.end(), name) != flags_.end();
+}
+
+std::optional<std::string> ArgParser::get(std::string_view name) const {
+    const auto it = options_.find(std::string(name));
+    if (it == options_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::string ArgParser::get_or(std::string_view name, std::string_view fallback) const {
+    const auto v = get(name);
+    return v ? *v : std::string(fallback);
+}
+
+double ArgParser::get_double_or(std::string_view name, double fallback) const {
+    const auto v = get(name);
+    if (!v) return fallback;
+    try {
+        return std::stod(*v);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("option --" + std::string(name) +
+                                    " expects a number, got '" + *v + "'");
+    }
+}
+
+long ArgParser::get_long_or(std::string_view name, long fallback) const {
+    const auto v = get(name);
+    if (!v) return fallback;
+    try {
+        return std::stol(*v);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("option --" + std::string(name) +
+                                    " expects an integer, got '" + *v + "'");
+    }
+}
+
+std::vector<std::string> ArgParser::unknown_options(
+    const std::vector<std::string>& known) const {
+    std::vector<std::string> out;
+    for (const auto& [name, value] : options_) {
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+            out.push_back(name);
+        }
+    }
+    for (const auto& name : flags_) {
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+            out.push_back(name);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace ytcdn::util

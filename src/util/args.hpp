@@ -1,0 +1,45 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ytcdn::util {
+
+/// A minimal command-line parser for the ytcdn tool: positional arguments
+/// plus `--key value` options and `--flag` booleans. No dependencies, fail
+/// fast on malformed input.
+class ArgParser {
+public:
+    /// Parses argv[1..). `boolean_flags` names options that take no value.
+    /// Throws std::invalid_argument on an option missing its value.
+    ArgParser(int argc, const char* const* argv,
+              std::vector<std::string> boolean_flags = {});
+
+    [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+        return positionals_;
+    }
+
+    [[nodiscard]] bool has_flag(std::string_view name) const noexcept;
+
+    /// The value of `--name`, or nullopt.
+    [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+
+    [[nodiscard]] std::string get_or(std::string_view name,
+                                     std::string_view fallback) const;
+    [[nodiscard]] double get_double_or(std::string_view name, double fallback) const;
+    [[nodiscard]] long get_long_or(std::string_view name, long fallback) const;
+
+    /// Options that were provided but never queried — typo detection.
+    [[nodiscard]] std::vector<std::string> unknown_options(
+        const std::vector<std::string>& known) const;
+
+private:
+    std::vector<std::string> positionals_;
+    std::unordered_map<std::string, std::string> options_;
+    std::vector<std::string> flags_;
+};
+
+}  // namespace ytcdn::util

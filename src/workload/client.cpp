@@ -1,0 +1,36 @@
+#include "workload/client.hpp"
+
+#include <ostream>
+
+namespace ytcdn::workload {
+
+std::string_view to_string(AccessTech t) noexcept {
+    switch (t) {
+        case AccessTech::Campus: return "campus";
+        case AccessTech::Adsl: return "adsl";
+        case AccessTech::Ftth: return "ftth";
+    }
+    return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, AccessTech t) { return os << to_string(t); }
+
+double access_rtt_ms(AccessTech t) noexcept {
+    switch (t) {
+        case AccessTech::Campus: return 1.0;
+        case AccessTech::Adsl: return 16.0;  // interleaved DSL adds ~15 ms
+        case AccessTech::Ftth: return 2.0;
+    }
+    return 5.0;
+}
+
+double downstream_bps(AccessTech t) noexcept {
+    switch (t) {
+        case AccessTech::Campus: return 20e6;
+        case AccessTech::Adsl: return 4e6;
+        case AccessTech::Ftth: return 10e6;
+    }
+    return 4e6;
+}
+
+}  // namespace ytcdn::workload

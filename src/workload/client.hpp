@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#include "cdn/dns.hpp"
+#include "net/ip_address.hpp"
+#include "net/rtt_model.hpp"
+
+namespace ytcdn::workload {
+
+/// Access technology of a monitored network, which sets the last-mile RTT
+/// and downstream bandwidth. The paper's PoPs differ exactly in this
+/// dimension (EU1-ADSL vs EU1-FTTH vs campuses).
+enum class AccessTech { Campus, Adsl, Ftth };
+
+[[nodiscard]] std::string_view to_string(AccessTech t) noexcept;
+std::ostream& operator<<(std::ostream& os, AccessTech t);
+
+/// Typical last-mile round-trip contribution in ms.
+[[nodiscard]] double access_rtt_ms(AccessTech t) noexcept;
+
+/// Typical downstream bandwidth in bits per second.
+[[nodiscard]] double downstream_bps(AccessTech t) noexcept;
+
+using ClientId = std::int32_t;
+
+/// One monitored end host. Clients of a vantage point share the PoP's
+/// network site id (they ride the same upstream routes, so per-path
+/// inflation is identical), but carry their own access-latency jitter.
+struct Client {
+    ClientId id = -1;
+    net::IpAddress ip;
+    /// Index of the internal subnet the client lives in (Fig. 12 groups
+    /// non-preferred accesses by internal subnet).
+    int subnet_index = 0;
+    /// The local DNS resolver this client is configured with.
+    cdn::LdnsId ldns = cdn::kInvalidLdns;
+    /// Network site used for RTT: PoP site id + client-specific access RTT.
+    net::NetSite site;
+    double downstream_bps = 4e6;
+};
+
+}  // namespace ytcdn::workload

@@ -1,0 +1,75 @@
+#include "workload/noise_source.hpp"
+
+#include <array>
+#include <string_view>
+
+#include "workload/population.hpp"
+
+namespace ytcdn::workload {
+
+namespace {
+
+/// Payloads a DPI engine sees all day and must NOT classify as video flows.
+/// Note the YouTube portal request: same domain family, not a video flow.
+constexpr std::array<std::string_view, 5> kNoisePayloads{
+    "GET / HTTP/1.1\r\nHost: www.example.com\r\nUser-Agent: Mozilla/5.0\r\n\r\n",
+    "GET /watch?v=dQw4w9WgXcQ HTTP/1.1\r\nHost: www.youtube.com\r\n\r\n",
+    "GET /static/ads.js HTTP/1.1\r\nHost: cdn.adnetwork.test\r\n\r\n",
+    "POST /api/v1/sync HTTP/1.1\r\nHost: api.social.test\r\n\r\n",
+    "\x16\x03\x01\x02\x00",  // TLS ClientHello prefix
+};
+
+}  // namespace
+
+NoiseSource::NoiseSource(sim::Simulator& simulator, VantagePoint& vp,
+                         capture::Sniffer& sniffer, const Config& config, sim::Rng rng)
+    : simulator_(&simulator),
+      vp_(&vp),
+      sniffer_(&sniffer),
+      config_(config),
+      rng_(rng),
+      arrivals_(
+          [&vp, rate = config.flows_per_session](sim::SimTime t) {
+              return rate * vp.mean_sessions_per_s * vp.profile.multiplier_at(t);
+          },
+          config.flows_per_session * vp.mean_sessions_per_s *
+              vp.profile.peak_to_mean() * 1.35,
+          rng.fork("noise-arrivals")) {}
+
+void NoiseSource::run(sim::SimTime horizon) {
+    horizon_ = horizon;
+    schedule_next(simulator_->now());
+}
+
+void NoiseSource::schedule_next(sim::SimTime after) {
+    const sim::SimTime t = arrivals_.next_after(after);
+    if (t >= horizon_) return;
+    simulator_->schedule_at(t, [this] {
+        emit_flow();
+        schedule_next(simulator_->now());
+    });
+}
+
+void NoiseSource::emit_flow() {
+    ++emitted_;
+    const Client& client = vp_->clients[sample_client_index(*vp_, rng_)];
+
+    capture::ObservedFlow flow;
+    flow.client_ip = client.ip;
+    // An arbitrary external server: popular CDN/hoster prefixes.
+    static constexpr std::array<std::uint8_t, 4> kFirstOctets{23, 104, 151, 157};
+    flow.server_ip = net::IpAddress::from_octets(
+        kFirstOctets[rng_.uniform_index(kFirstOctets.size())],
+        static_cast<std::uint8_t>(rng_.uniform_index(256)),
+        static_cast<std::uint8_t>(rng_.uniform_index(256)),
+        static_cast<std::uint8_t>(1 + rng_.uniform_index(254)));
+    flow.start = simulator_->now();
+    flow.end = flow.start + rng_.uniform(0.05, 30.0);
+    flow.bytes_down = static_cast<std::uint64_t>(
+        rng_.lognormal(config_.bytes_mu, config_.bytes_sigma));
+    flow.first_payload = std::string(kNoisePayloads[rng_.uniform_index(
+        kNoisePayloads.size())]);
+    sniffer_->observe(flow);
+}
+
+}  // namespace ytcdn::workload

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "capture/sniffer.hpp"
+#include "sim/arrival_process.hpp"
+#include "sim/simulator.hpp"
+#include "workload/vantage_point.hpp"
+
+namespace ytcdn::workload {
+
+/// Background (non-YouTube) traffic at a monitored edge.
+///
+/// A real probe PC sees *all* flows of the PoP; Tstat classifies YouTube
+/// video flows out of that mixture. This source emits the rest — generic
+/// web requests, TLS handshakes, and even YouTube *portal* traffic
+/// (www.youtube.com page fetches) — none of which may end up in the flow
+/// log. It exists so the capture pipeline is exercised against realistic
+/// input, not a pre-filtered stream.
+class NoiseSource {
+public:
+    struct Config {
+        /// Noise flows per YouTube session (the paper's PoPs carried far
+        /// more web traffic than YouTube video; 3x keeps runs affordable).
+        double flows_per_session = 3.0;
+        /// Lognormal size of noise responses.
+        double bytes_mu = 10.3;  // ~30 kB median
+        double bytes_sigma = 1.6;
+    };
+
+    NoiseSource(sim::Simulator& simulator, VantagePoint& vp, capture::Sniffer& sniffer,
+                const Config& config, sim::Rng rng);
+
+    /// Schedules the noise stream up to `horizon`.
+    void run(sim::SimTime horizon);
+
+    [[nodiscard]] std::uint64_t flows_emitted() const noexcept { return emitted_; }
+
+private:
+    void schedule_next(sim::SimTime after);
+    void emit_flow();
+
+    sim::Simulator* simulator_;
+    VantagePoint* vp_;
+    capture::Sniffer* sniffer_;
+    Config config_;
+    sim::Rng rng_;
+    sim::ArrivalProcess arrivals_;
+    sim::SimTime horizon_ = 0.0;
+    std::uint64_t emitted_ = 0;
+};
+
+}  // namespace ytcdn::workload

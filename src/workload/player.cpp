@@ -1,0 +1,244 @@
+#include "workload/player.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "cdn/http.hpp"
+
+namespace ytcdn::workload {
+
+/// Immutable per-session context, copied into scheduled events.
+struct Player::Session {
+    Client client;
+    cdn::Video video;
+    cdn::Resolution resolution;
+};
+
+Player::Player(sim::Simulator& simulator, cdn::Cdn& cdn, cdn::DnsSystem& dns,
+               capture::Sniffer& sniffer, const Config& config, sim::Rng rng)
+    : simulator_(&simulator),
+      cdn_(&cdn),
+      dns_(&dns),
+      sniffer_(&sniffer),
+      config_(config),
+      rng_(rng) {}
+
+double Player::flow_rtt_s(const Client& client, cdn::ServerId server) const {
+    const auto& dc = cdn_->dc(cdn_->server(server).dc());
+    return cdn_->rtt_model().base_rtt_ms(client.site, dc.site) / 1000.0;
+}
+
+double Player::download_rate_bps(const Client& client, cdn::Resolution r) const noexcept {
+    // The server paces slightly above the nominal bitrate after the initial
+    // burst; the client link and server cap bound it.
+    const double paced = std::max(2.0 * cdn::bitrate_bps(r), 600e3);
+    return std::min({client.downstream_bps, config_.server_rate_bps, paced});
+}
+
+void Player::emit_control_flow(const Session& s, cdn::ServerId server) {
+    const auto& srv = cdn_->server(server);
+    const double rtt = flow_rtt_s(s.client, server);
+    capture::ObservedFlow flow;
+    flow.client_ip = s.client.ip;
+    flow.server_ip = srv.ip();
+    flow.start = simulator_->now();
+    flow.end = flow.start + 2.0 * rtt + rng_.uniform(0.01, 0.05);
+    flow.bytes_down = static_cast<std::uint64_t>(
+        rng_.uniform(config_.control_bytes_lo, config_.control_bytes_hi));
+    flow.first_payload = cdn::format_request(
+        cdn::VideoRequest{srv.hostname(), s.video.id, cdn::itag_of(s.resolution)});
+    sniffer_->observe(flow);
+    ++stats_.control_flows;
+}
+
+cdn::DcId Player::resolve_with_cache(const Client& client) {
+    if (config_.dns_ttl_s > 0.0) {
+        const auto it = dns_cache_.find(client.id);
+        if (it != dns_cache_.end() && it->second.second > simulator_->now()) {
+            ++stats_.dns_cache_hits;
+            return it->second.first;
+        }
+    }
+    const cdn::DcId dc = dns_->resolve(client.ldns, simulator_->now(), rng_);
+    if (config_.dns_ttl_s > 0.0) {
+        dns_cache_[client.id] = {dc, simulator_->now() + config_.dns_ttl_s};
+    }
+    return dc;
+}
+
+void Player::start_session(const Client& client, const cdn::Video& video,
+                           cdn::Resolution resolution) {
+    ++stats_.sessions;
+    Session s{client, video, resolution};
+
+    const cdn::DcId dc = resolve_with_cache(client);
+    const auto& dc_ref = cdn_->dc(dc);
+
+    if (!cdn::in_analysis_scope(dc_ref.infra)) {
+        // Legacy YouTube-EU / other-AS infrastructure: spread over its large
+        // IP pool, always serves. Normally only degraded low-resolution
+        // legacy encodes; networks with a legacy full-quality configuration
+        // (EU2) stream the real thing.
+        Session legacy = s;
+        double watch_frac = rng_.uniform(0.2, 0.8);
+        if (config_.legacy_full_quality) {
+            watch_frac = rng_.bernoulli(config_.p_abort)
+                             ? rng_.uniform(config_.min_watch_frac,
+                                            config_.max_abort_watch_frac)
+                             : 1.0;
+        } else {
+            legacy.resolution = cdn::Resolution::R240;
+        }
+        const auto& pool = dc_ref.servers;
+        const cdn::ServerId server = pool[rng_.uniform_index(pool.size())];
+        serve_video(legacy, server, watch_frac, /*allow_pause=*/false);
+        return;
+    }
+
+    cdn::ServerId server = cdn_->pick_server(dc, video.id);
+
+    if (rng_.bernoulli(config_.p_resolution_probe)) {
+        // The server answers with a "change resolution" control message; the
+        // player re-requests at a lower resolution from the same server.
+        ++stats_.resolution_probes;
+        emit_control_flow(s, server);
+        s.resolution = s.resolution == cdn::Resolution::R240 ? cdn::Resolution::R240
+                                                             : cdn::Resolution::R360;
+        const double delay =
+            rng_.uniform(config_.redirect_think_lo_s, config_.redirect_think_hi_s);
+        simulator_->schedule_in(delay, [this, s, server] {
+            attempt(s, server, config_.max_redirects, {});
+        });
+        return;
+    }
+
+    attempt(s, server, config_.max_redirects, {});
+}
+
+void Player::attempt(const Session& s, cdn::ServerId server, int redirects_left,
+                     std::vector<cdn::DcId> visited) {
+    const cdn::ServeOutcome outcome = cdn_->classify_request(server, s.video);
+
+    if (outcome == cdn::ServeOutcome::Served || redirects_left <= 0) {
+        if (outcome != cdn::ServeOutcome::Served) ++stats_.failed_sessions;
+        const double watch_frac =
+            rng_.bernoulli(config_.p_abort)
+                ? rng_.uniform(config_.min_watch_frac, config_.max_abort_watch_frac)
+                : 1.0;
+        serve_video(s, server, watch_frac, /*allow_pause=*/true);
+        return;
+    }
+
+    // The server cannot serve: it answers with a 302 (a control flow) and
+    // the player retries against the redirect target.
+    const cdn::DcId here = cdn_->server(server).dc();
+    if (outcome == cdn::ServeOutcome::RedirectMiss) {
+        ++stats_.redirects_miss;
+        // The miss also triggers a back-office pull, so only this first
+        // access leaves the data center (Section VII-C).
+        cdn_->pull_content(here, s.video.id);
+    } else {
+        ++stats_.redirects_overload;
+    }
+    cdn_->server(server).note_redirect();
+    emit_control_flow(s, server);
+
+    visited.push_back(here);
+    const cdn::ServerId target = cdn_->redirect_target(s.client.site, s.video, visited);
+    if (target == cdn::kInvalidServer) {
+        ++stats_.failed_sessions;
+        return;
+    }
+    // Serialize the actual 302 and chase its Location header, so the wire
+    // format is exercised end to end (the DPI side parses the request; the
+    // player side parses the redirect).
+    const cdn::VideoRequest request{cdn_->server(server).hostname(), s.video.id,
+                                    cdn::itag_of(s.resolution)};
+    const std::string wire =
+        cdn::format_redirect(request, cdn_->server(target).hostname());
+    const auto location = cdn::parse_redirect_host(wire);
+    const cdn::ServerId next =
+        location ? cdn_->server_by_hostname(*location) : cdn::kInvalidServer;
+    if (next == cdn::kInvalidServer) {
+        ++stats_.failed_sessions;
+        return;
+    }
+    const double delay = 2.0 * flow_rtt_s(s.client, server) +
+                         rng_.uniform(config_.redirect_think_lo_s,
+                                      config_.redirect_think_hi_s);
+    simulator_->schedule_in(delay, [this, s, next, redirects_left,
+                                    visited = std::move(visited)]() mutable {
+        attempt(s, next, redirects_left - 1, std::move(visited));
+    });
+}
+
+void Player::serve_video(const Session& s, cdn::ServerId server, double watch_frac,
+                         bool allow_pause) {
+    const bool paused = allow_pause && watch_frac > 0.3 &&
+                        rng_.bernoulli(config_.p_pause_resume);
+    // When pausing, the first connection carries a prefix of the download
+    // and the remainder arrives on a fresh connection after a viewer gap.
+    const double first_frac = paused ? rng_.uniform(0.2, 0.7) * watch_frac : watch_frac;
+
+    const auto emit_video = [this, &s](cdn::ServerId srv_id, double frac,
+                                       sim::SimTime start) -> sim::SimTime {
+        const auto& srv = cdn_->server(srv_id);
+        const auto bytes = static_cast<std::uint64_t>(
+            std::max(1.0, frac * static_cast<double>(
+                                     cdn::video_bytes(s.video, s.resolution))));
+        const double rate = download_rate_bps(s.client, s.resolution);
+        const double duration =
+            static_cast<double>(bytes) * 8.0 / rate + 2.0 * flow_rtt_s(s.client, srv_id);
+        capture::ObservedFlow flow;
+        flow.client_ip = s.client.ip;
+        flow.server_ip = srv.ip();
+        flow.start = start;
+        flow.end = start + duration;
+        flow.bytes_down = bytes;
+        flow.first_payload = cdn::format_request(
+            cdn::VideoRequest{srv.hostname(), s.video.id, cdn::itag_of(s.resolution)});
+        sniffer_->observe(flow);
+        ++stats_.video_flows;
+
+        cdn_->begin_flow(srv_id);
+        simulator_->schedule_at(flow.end, [this, srv_id] { cdn_->end_flow(srv_id); });
+        return flow.end;
+    };
+
+    const sim::SimTime first_end = emit_video(server, first_frac, simulator_->now());
+
+    if (paused) {
+        ++stats_.pauses;
+        const double gap = rng_.uniform(config_.pause_gap_lo_s, config_.pause_gap_hi_s);
+        const double rest = watch_frac - first_frac;
+        Session resume = s;
+        simulator_->schedule_at(first_end + gap, [this, resume, server, rest] {
+            // The player re-uses the cached hostname; if the server is now
+            // overloaded or the content was evicted the normal redirect
+            // machinery kicks in.
+            attempt_resume(resume, server, rest);
+        });
+    }
+}
+
+void Player::attempt_resume(const Session& s, cdn::ServerId server, double rest_frac) {
+    const cdn::ServeOutcome outcome = cdn_->classify_request(server, s.video);
+    cdn::ServerId target = server;
+    if (outcome != cdn::ServeOutcome::Served) {
+        cdn_->server(server).note_redirect();
+        emit_control_flow(s, server);
+        const cdn::DcId here = cdn_->server(server).dc();
+        const std::vector<cdn::DcId> visited{here};
+        target = cdn_->redirect_target(s.client.site, s.video, visited);
+        if (target == cdn::kInvalidServer) {
+            ++stats_.failed_sessions;
+            return;
+        }
+    }
+    Session resumed = s;
+    // Tail of the download, no further pause recursion.
+    serve_video(resumed, target, std::max(0.02, rest_frac), /*allow_pause=*/false);
+}
+
+}  // namespace ytcdn::workload

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "capture/sniffer.hpp"
+#include "cdn/cdn.hpp"
+#include "cdn/dns.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "workload/client.hpp"
+
+namespace ytcdn::workload {
+
+/// Emulates the Flash video player driving one video session end to end:
+/// DNS resolution, the HTTP request to the content server, following
+/// application-layer 302 redirects, early abandonment, pause/resume and
+/// server-initiated resolution changes.
+///
+/// Every TCP connection the player opens is reported to the vantage point's
+/// sniffer as an ObservedFlow carrying the real serialized HTTP request, so
+/// the capture pipeline exercises genuine DPI parsing. This is what creates
+/// the paper's session structure: control flows (<1 kB) preceding video
+/// flows, 72-81% single-flow sessions, and redirect chains toward
+/// non-preferred data centers.
+class Player {
+public:
+    struct Config {
+        /// Redirect chain bound; the real player gives up after a few hops.
+        int max_redirects = 4;
+        /// Control-flow response size range (Fig. 4's sub-1000-byte mode).
+        double control_bytes_lo = 350.0;
+        double control_bytes_hi = 950.0;
+        /// Client think time between receiving a 302 and re-requesting.
+        double redirect_think_lo_s = 0.10;
+        double redirect_think_hi_s = 0.45;
+        /// P(server answers the first request with a control message —
+        /// resolution change or in-DC bounce — before the video flow) —
+        /// yields the paper's dominant preferred,preferred two-flow
+        /// sessions (Fig. 10b).
+        double p_resolution_probe = 0.18;
+        /// P(viewer abandons early) and the watched-fraction range then.
+        double p_abort = 0.45;
+        double min_watch_frac = 0.05;
+        double max_abort_watch_frac = 0.85;
+        /// P(viewer pauses and resumes later, splitting the download) —
+        /// merged into one session only at large gap thresholds (Fig. 5).
+        double p_pause_resume = 0.055;
+        double pause_gap_lo_s = 15.0;
+        double pause_gap_hi_s = 280.0;
+        /// Server-side per-flow rate cap, bps.
+        double server_rate_bps = 8e6;
+        /// When true, legacy (YouTube-EU / other-AS) servers deliver the
+        /// full requested stream instead of degraded low-resolution legacy
+        /// encodes. The paper's EU2 network still pulled 10.4% of its bytes
+        /// from the YouTube-EU AS (Table II) — a legacy configuration the
+        /// study deployment reproduces by enabling this for EU2 only.
+        bool legacy_full_quality = false;
+        /// DNS answer TTL honoured by the client's stub resolver. 0 (the
+        /// default) resolves every session, as the short-TTL 2010 YouTube
+        /// DNS effectively did; larger values let clients reuse a mapping,
+        /// which coarsens DNS-level load balancing (see the dns-ttl
+        /// ablation bench).
+        double dns_ttl_s = 0.0;
+    };
+
+    struct Stats {
+        std::uint64_t sessions = 0;
+        std::uint64_t video_flows = 0;
+        std::uint64_t control_flows = 0;
+        std::uint64_t redirects_miss = 0;
+        std::uint64_t redirects_overload = 0;
+        std::uint64_t resolution_probes = 0;
+        std::uint64_t pauses = 0;
+        std::uint64_t failed_sessions = 0;
+        std::uint64_t dns_cache_hits = 0;
+    };
+
+    Player(sim::Simulator& simulator, cdn::Cdn& cdn, cdn::DnsSystem& dns,
+           capture::Sniffer& sniffer, const Config& config, sim::Rng rng);
+
+    /// Starts a session at simulator time now(): DNS-resolves via the
+    /// client's local resolver and begins the request/redirect sequence.
+    void start_session(const Client& client, const cdn::Video& video,
+                       cdn::Resolution resolution);
+
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+private:
+    struct Session;
+
+    void attempt(const Session& s, cdn::ServerId server, int redirects_left,
+                 std::vector<cdn::DcId> visited);
+    void serve_video(const Session& s, cdn::ServerId server, double watch_frac,
+                     bool allow_pause);
+    void attempt_resume(const Session& s, cdn::ServerId server, double rest_frac);
+    void emit_control_flow(const Session& s, cdn::ServerId server);
+    [[nodiscard]] double flow_rtt_s(const Client& client, cdn::ServerId server) const;
+    [[nodiscard]] double download_rate_bps(const Client& client,
+                                           cdn::Resolution r) const noexcept;
+
+    [[nodiscard]] cdn::DcId resolve_with_cache(const Client& client);
+
+    sim::Simulator* simulator_;
+    cdn::Cdn* cdn_;
+    cdn::DnsSystem* dns_;
+    capture::Sniffer* sniffer_;
+    Config config_;
+    sim::Rng rng_;
+    Stats stats_;
+    /// Per-client cached DNS answer and its expiry (only with dns_ttl_s > 0).
+    std::unordered_map<ClientId, std::pair<cdn::DcId, sim::SimTime>> dns_cache_;
+};
+
+}  // namespace ytcdn::workload

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sim/random.hpp"
+#include "workload/vantage_point.hpp"
+
+namespace ytcdn::workload {
+
+/// Fills `vp.clients` with `count` hosts spread over `vp.subnets`
+/// proportionally to each subnet's `client_share`. Every client gets an IP
+/// inside its subnet, the subnet's resolver, the vantage point's site id,
+/// and an access RTT jittered around the technology's typical value.
+///
+/// Requires `vp.subnets` to be non-empty and each subnet large enough for
+/// its share of clients.
+void populate_clients(VantagePoint& vp, std::size_t count, sim::Rng& rng);
+
+/// Picks a client index for a new session: clients are not equally active —
+/// per-client activity follows a Zipf-ish skew so a minority of heavy
+/// watchers dominates, as campus characterizations report. Deterministic in
+/// the rng stream.
+[[nodiscard]] std::size_t sample_client_index(const VantagePoint& vp, sim::Rng& rng);
+
+}  // namespace ytcdn::workload

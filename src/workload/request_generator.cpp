@@ -1,0 +1,84 @@
+#include "workload/request_generator.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ytcdn::workload {
+
+namespace {
+
+double max_rate_bound(const VantagePoint& vp) {
+    // Peak hourly multiplier, weekend factor can exceed 1 for residential
+    // networks; 10% headroom for interpolation between knots.
+    return vp.mean_sessions_per_s * vp.profile.peak_to_mean() * 1.35;
+}
+
+}  // namespace
+
+RequestGenerator::RequestGenerator(sim::Simulator& simulator, VantagePoint& vp,
+                                   Player& player, const cdn::VideoCatalog& catalog,
+                                   const Config& config, sim::Rng rng)
+    : simulator_(&simulator),
+      vp_(&vp),
+      player_(&player),
+      catalog_(&catalog),
+      config_(config),
+      rng_(rng),
+      zipf_(catalog.size(), config.zipf_exponent),
+      arrivals_([&vp](sim::SimTime t) {
+                    return vp.mean_sessions_per_s * vp.profile.multiplier_at(t);
+                },
+                max_rate_bound(vp), rng.fork("arrivals")) {
+    if (vp.clients.empty()) {
+        throw std::invalid_argument("RequestGenerator: vantage point has no clients");
+    }
+    const double wsum = std::accumulate(config_.resolution_weights.begin(),
+                                        config_.resolution_weights.end(), 0.0);
+    if (wsum <= 0.0) {
+        throw std::invalid_argument("RequestGenerator: resolution weights sum to 0");
+    }
+}
+
+void RequestGenerator::run(sim::SimTime horizon) {
+    horizon_ = horizon;
+    schedule_next(simulator_->now());
+}
+
+void RequestGenerator::schedule_next(sim::SimTime after) {
+    const sim::SimTime t = arrivals_.next_after(after);
+    if (t >= horizon_) return;
+    simulator_->schedule_at(t, [this] {
+        fire_request();
+        schedule_next(simulator_->now());
+    });
+}
+
+void RequestGenerator::fire_request() {
+    ++requests_;
+    const std::size_t ci = sample_client_index(*vp_, rng_);
+    const Client& client = vp_->clients[ci];
+    const cdn::Video& video = sample_video();
+    player_->start_session(client, video, sample_resolution());
+}
+
+cdn::Resolution RequestGenerator::sample_resolution() {
+    const auto& w = config_.resolution_weights;
+    double total = 0.0;
+    for (const double v : w) total += v;
+    double x = rng_.uniform(0.0, total);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        x -= w[i];
+        if (x <= 0.0) return cdn::kAllResolutions[i];
+    }
+    return cdn::Resolution::R360;
+}
+
+const cdn::Video& RequestGenerator::sample_video() {
+    if (const auto promoted = catalog_->promoted_rank(simulator_->now());
+        promoted && rng_.bernoulli(config_.p_promoted)) {
+        return catalog_->by_rank(*promoted);
+    }
+    return catalog_->by_rank(zipf_.sample(rng_));
+}
+
+}  // namespace ytcdn::workload

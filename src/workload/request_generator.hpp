@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cdn/catalog.hpp"
+#include "sim/arrival_process.hpp"
+#include "sim/simulator.hpp"
+#include "sim/zipf.hpp"
+#include "workload/player.hpp"
+#include "workload/population.hpp"
+#include "workload/vantage_point.hpp"
+
+namespace ytcdn::workload {
+
+/// Generates the video-request arrival stream of one vantage point:
+/// a non-homogeneous Poisson process shaped by the network's diurnal
+/// profile, with Zipf video popularity and an extra request share for the
+/// front-page "video of the day" while a promotion is active.
+class RequestGenerator {
+public:
+    struct Config {
+        /// Zipf exponent for video popularity (~0.9 per the YouTube
+        /// characterization literature the paper cites).
+        double zipf_exponent = 0.9;
+        /// Fraction of requests drawn to the promoted video while one is
+        /// scheduled; this is what creates the Fig. 14 hot-spot spikes.
+        double p_promoted = 0.08;
+        /// Request mix over resolutions {240p, 360p, 480p, 720p, 1080p};
+        /// 2010-era YouTube was overwhelmingly 360p flv.
+        std::array<double, 5> resolution_weights{0.12, 0.62, 0.16, 0.08, 0.02};
+    };
+
+    RequestGenerator(sim::Simulator& simulator, VantagePoint& vp, Player& player,
+                     const cdn::VideoCatalog& catalog, const Config& config,
+                     sim::Rng rng);
+
+    /// Schedules the full arrival stream on the simulator up to `horizon`
+    /// (seconds). Call once, then Simulator::run_until(horizon).
+    void run(sim::SimTime horizon);
+
+    [[nodiscard]] std::uint64_t requests_generated() const noexcept { return requests_; }
+    [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+private:
+    void schedule_next(sim::SimTime after);
+    void fire_request();
+    [[nodiscard]] cdn::Resolution sample_resolution();
+    [[nodiscard]] const cdn::Video& sample_video();
+
+    sim::Simulator* simulator_;
+    VantagePoint* vp_;
+    Player* player_;
+    const cdn::VideoCatalog* catalog_;
+    Config config_;
+    sim::Rng rng_;
+    sim::ZipfDistribution zipf_;
+    sim::ArrivalProcess arrivals_;
+    sim::SimTime horizon_ = 0.0;
+    std::uint64_t requests_ = 0;
+};
+
+}  // namespace ytcdn::workload

@@ -1,0 +1,4 @@
+#include "workload/vantage_point.hpp"
+
+// VantagePoint is an aggregate; population.cpp builds it. This file exists
+// to anchor the translation unit for the header's vtable-free types.

@@ -1,0 +1,67 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace util = ytcdn::util;
+
+namespace {
+
+util::ArgParser parse(std::vector<const char*> argv,
+                      std::vector<std::string> flags = {}) {
+    argv.insert(argv.begin(), "prog");
+    return util::ArgParser(static_cast<int>(argv.size()), argv.data(),
+                           std::move(flags));
+}
+
+TEST(Args, PositionalsAndOptions) {
+    const auto args = parse({"run", "--scale", "0.5", "file.tsv", "--out", "dir"});
+    EXPECT_EQ(args.positionals(),
+              (std::vector<std::string>{"run", "file.tsv"}));
+    EXPECT_EQ(args.get("scale"), "0.5");
+    EXPECT_EQ(args.get("out"), "dir");
+    EXPECT_FALSE(args.get("missing").has_value());
+}
+
+TEST(Args, EqualsSyntax) {
+    const auto args = parse({"--scale=0.25", "--name=x=y"});
+    EXPECT_EQ(args.get("scale"), "0.25");
+    EXPECT_EQ(args.get("name"), "x=y");  // first '=' splits
+}
+
+TEST(Args, BooleanFlags) {
+    const auto args = parse({"run", "--binary", "--scale", "1.0"}, {"binary"});
+    EXPECT_TRUE(args.has_flag("binary"));
+    EXPECT_FALSE(args.has_flag("other"));
+    EXPECT_EQ(args.get_double_or("scale", 0.0), 1.0);
+}
+
+TEST(Args, TypedGettersWithFallbacks) {
+    const auto args = parse({"--n", "42", "--x", "2.5"});
+    EXPECT_EQ(args.get_long_or("n", 0), 42);
+    EXPECT_DOUBLE_EQ(args.get_double_or("x", 0.0), 2.5);
+    EXPECT_EQ(args.get_long_or("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(args.get_double_or("missing", 1.5), 1.5);
+    EXPECT_EQ(args.get_or("missing", "dflt"), "dflt");
+}
+
+TEST(Args, MalformedInputThrows) {
+    EXPECT_THROW(parse({"--scale"}), std::invalid_argument);   // missing value
+    EXPECT_THROW(parse({"--"}), std::invalid_argument);        // empty name
+    const auto args = parse({"--x", "abc"});
+    EXPECT_THROW((void)args.get_double_or("x", 0.0), std::invalid_argument);
+    EXPECT_THROW((void)args.get_long_or("x", 0), std::invalid_argument);
+}
+
+TEST(Args, UnknownOptionDetection) {
+    const auto args = parse({"--good", "1", "--typo", "2", "--flagg"},
+                            {"flagg", "flag"});
+    const auto unknown = args.unknown_options({"good", "flag"});
+    EXPECT_EQ(unknown, (std::vector<std::string>{"flagg", "typo"}));
+}
+
+TEST(Args, EmptyInput) {
+    const auto args = parse({});
+    EXPECT_TRUE(args.positionals().empty());
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "sim/arrival_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/diurnal.hpp"
+
+namespace sim = ytcdn::sim;
+
+namespace {
+
+TEST(ArrivalProcess, HomogeneousRateConverges) {
+    sim::ArrivalProcess proc([](sim::SimTime) { return 2.0; }, 2.0, sim::Rng(1));
+    double t = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) t = proc.next_after(t);
+    // 20000 arrivals at rate 2/s take ~10000 s.
+    EXPECT_NEAR(t, n / 2.0, n / 2.0 * 0.05);
+}
+
+TEST(ArrivalProcess, ArrivalsStrictlyIncrease) {
+    sim::ArrivalProcess proc([](sim::SimTime) { return 1.0; }, 1.0, sim::Rng(2));
+    double t = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        const double next = proc.next_after(t);
+        EXPECT_GT(next, t);
+        t = next;
+    }
+}
+
+TEST(ArrivalProcess, ThinningTracksTimeVaryingRate) {
+    // Rate 4/s in the first half hour, 1/s in the second.
+    const auto rate = [](sim::SimTime t) { return t < 1800.0 ? 4.0 : 1.0; };
+    sim::ArrivalProcess proc(rate, 4.0, sim::Rng(3));
+    int first = 0, second = 0;
+    double t = 0.0;
+    while (true) {
+        t = proc.next_after(t);
+        if (t >= 3600.0) break;
+        (t < 1800.0 ? first : second)++;
+    }
+    EXPECT_NEAR(first, 7200, 500);
+    EXPECT_NEAR(second, 1800, 250);
+    EXPECT_NEAR(static_cast<double>(first) / second, 4.0, 0.7);
+}
+
+TEST(ArrivalProcess, DiurnalRateProducesDayNightContrast) {
+    const auto profile = sim::DiurnalProfile::residential();
+    const double base = 0.5;
+    sim::ArrivalProcess proc(
+        [&](sim::SimTime t) { return base * profile.multiplier_at(t); },
+        base * profile.peak_to_mean() * 1.2, sim::Rng(4));
+    std::vector<int> hourly(24, 0);
+    double t = 0.0;
+    while (true) {
+        t = proc.next_after(t);
+        if (t >= sim::kDay) break;
+        ++hourly[static_cast<std::size_t>(t / sim::kHour)];
+    }
+    EXPECT_GT(hourly[21], 4 * std::max(1, hourly[4]));
+}
+
+TEST(ArrivalProcess, RateAboveBoundThrows) {
+    sim::ArrivalProcess proc([](sim::SimTime) { return 5.0; }, 2.0, sim::Rng(5));
+    EXPECT_THROW((void)proc.next_after(0.0), std::logic_error);
+}
+
+TEST(ArrivalProcess, InvalidConstructionThrows) {
+    EXPECT_THROW(sim::ArrivalProcess(nullptr, 1.0, sim::Rng(6)), std::invalid_argument);
+    EXPECT_THROW(sim::ArrivalProcess([](sim::SimTime) { return 1.0; }, 0.0, sim::Rng(6)),
+                 std::invalid_argument);
+}
+
+}  // namespace

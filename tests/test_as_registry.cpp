@@ -1,0 +1,63 @@
+#include "net/as_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace net = ytcdn::net;
+
+namespace {
+
+net::IpAddress ip(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+    return net::IpAddress::from_octets(a, b, c, d);
+}
+
+TEST(AsRegistry, EmptyLookupIsNull) {
+    const net::AsRegistry reg;
+    EXPECT_EQ(reg.lookup(ip(1, 2, 3, 4)), nullptr);
+    EXPECT_FALSE(reg.asn_of(ip(1, 2, 3, 4)).has_value());
+    EXPECT_EQ(reg.name_of(ip(1, 2, 3, 4)), "unknown");
+}
+
+TEST(AsRegistry, BasicLookup) {
+    net::AsRegistry reg;
+    reg.add(net::Subnet{ip(173, 194, 0, 0), 16}, net::well_known_as::kGoogle,
+            "Google Inc.");
+    const auto* r = reg.lookup(ip(173, 194, 55, 99));
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->asn, net::well_known_as::kGoogle);
+    EXPECT_EQ(reg.name_of(ip(173, 194, 55, 99)), "Google Inc.");
+    EXPECT_EQ(reg.lookup(ip(173, 195, 0, 1)), nullptr);
+}
+
+TEST(AsRegistry, LongestPrefixWins) {
+    net::AsRegistry reg;
+    reg.add(net::Subnet{ip(84, 0, 0, 0), 8}, net::Asn{100}, "Coarse");
+    reg.add(net::Subnet{ip(84, 116, 0, 0), 16}, net::Asn{200}, "Mid");
+    reg.add(net::Subnet{ip(84, 116, 1, 0), 24}, net::Asn{300}, "Fine");
+
+    EXPECT_EQ(reg.asn_of(ip(84, 1, 1, 1))->value, 100u);
+    EXPECT_EQ(reg.asn_of(ip(84, 116, 7, 7))->value, 200u);
+    EXPECT_EQ(reg.asn_of(ip(84, 116, 1, 200))->value, 300u);
+}
+
+TEST(AsRegistry, InsertionOrderIrrelevantForSpecificity) {
+    net::AsRegistry a;
+    a.add(net::Subnet{ip(10, 0, 0, 0), 8}, net::Asn{1}, "wide");
+    a.add(net::Subnet{ip(10, 1, 0, 0), 16}, net::Asn{2}, "narrow");
+
+    net::AsRegistry b;
+    b.add(net::Subnet{ip(10, 1, 0, 0), 16}, net::Asn{2}, "narrow");
+    b.add(net::Subnet{ip(10, 0, 0, 0), 8}, net::Asn{1}, "wide");
+
+    EXPECT_EQ(a.asn_of(ip(10, 1, 2, 3)), b.asn_of(ip(10, 1, 2, 3)));
+    EXPECT_EQ(a.asn_of(ip(10, 1, 2, 3))->value, 2u);
+}
+
+TEST(AsRegistry, WellKnownAsNumbersMatchPaper) {
+    EXPECT_EQ(net::well_known_as::kGoogle.value, 15169u);
+    EXPECT_EQ(net::well_known_as::kYouTubeEu.value, 43515u);
+    EXPECT_EQ(net::well_known_as::kYouTubeOld.value, 36561u);
+    EXPECT_EQ(net::well_known_as::kCableWireless.value, 1273u);
+    EXPECT_EQ(net::well_known_as::kGblx.value, 3549u);
+}
+
+}  // namespace

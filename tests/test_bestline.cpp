@@ -1,0 +1,91 @@
+#include "geoloc/bestline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace geoloc = ytcdn::geoloc;
+
+namespace {
+
+TEST(Bestline, DistanceBoundInvertsLine) {
+    const geoloc::Bestline line{0.02, 5.0};
+    EXPECT_NEAR(line.distance_bound_km(25.0), 1000.0, 1e-9);
+    EXPECT_DOUBLE_EQ(line.distance_bound_km(5.0), 0.0);
+    EXPECT_DOUBLE_EQ(line.distance_bound_km(1.0), 0.0);  // clamped
+}
+
+TEST(Bestline, FitsExactLine) {
+    // Points exactly on rtt = 0.015 d + 2.
+    std::vector<geoloc::CalibrationPoint> pts;
+    for (double d : {100.0, 500.0, 1000.0, 3000.0}) {
+        pts.push_back({d, 0.015 * d + 2.0});
+    }
+    const auto line = geoloc::fit_bestline(pts);
+    EXPECT_NEAR(line.slope_ms_per_km, 0.015, 1e-9);
+    EXPECT_NEAR(line.intercept_ms, 2.0, 1e-9);
+}
+
+TEST(Bestline, LiesBelowAllPoints) {
+    ytcdn::sim::Rng rng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<geoloc::CalibrationPoint> pts;
+        for (int i = 0; i < 60; ++i) {
+            const double d = rng.uniform(10.0, 9000.0);
+            const double rtt = 0.01 * d * rng.uniform(1.05, 2.0) + rng.uniform(0.5, 6.0);
+            pts.push_back({d, rtt});
+        }
+        const auto line = geoloc::fit_bestline(pts);
+        EXPECT_GT(line.slope_ms_per_km, 0.0);
+        for (const auto& p : pts) {
+            EXPECT_LE(line.slope_ms_per_km * p.distance_km + line.intercept_ms,
+                      p.min_rtt_ms + 1e-6);
+        }
+    }
+}
+
+TEST(Bestline, BoundNeverUnderestimatesDistanceOnCalibrationSet) {
+    // The CBG soundness property: converting a point's RTT back through the
+    // bestline yields a distance >= the true distance.
+    ytcdn::sim::Rng rng(4);
+    std::vector<geoloc::CalibrationPoint> pts;
+    for (int i = 0; i < 80; ++i) {
+        const double d = rng.uniform(20.0, 8000.0);
+        pts.push_back({d, 0.01 * d * rng.uniform(1.1, 1.9) + rng.uniform(0.5, 3.0)});
+    }
+    const auto line = geoloc::fit_bestline(pts);
+    for (const auto& p : pts) {
+        EXPECT_GE(line.distance_bound_km(p.min_rtt_ms), p.distance_km - 1e-6);
+    }
+}
+
+TEST(Bestline, FallbackOnDegenerateInput) {
+    // Too few usable points.
+    const auto line = geoloc::fit_bestline({{500.0, 10.0}});
+    EXPECT_DOUBLE_EQ(line.slope_ms_per_km, 0.01);
+    EXPECT_LE(line.slope_ms_per_km * 500.0 + line.intercept_ms, 10.0 + 1e-9);
+
+    // Empty set: conservative default.
+    const auto empty = geoloc::fit_bestline({});
+    EXPECT_DOUBLE_EQ(empty.slope_ms_per_km, 0.01);
+}
+
+TEST(Bestline, IgnoresZeroDistancePoints) {
+    std::vector<geoloc::CalibrationPoint> pts{{0.5, 0.1}, {0.2, 0.05}};
+    const auto line = geoloc::fit_bestline(pts);
+    EXPECT_DOUBLE_EQ(line.slope_ms_per_km, 0.01);  // fallback used
+}
+
+TEST(Bestline, RejectsFlatHullEdges) {
+    // Two clusters at the same RTT would give slope ~0; min_slope guards.
+    std::vector<geoloc::CalibrationPoint> pts{
+        {100.0, 10.0}, {5000.0, 10.1}, {200.0, 30.0}, {4000.0, 55.0}};
+    const auto line = geoloc::fit_bestline(pts, /*min_slope=*/0.002);
+    EXPECT_GE(line.slope_ms_per_km, 0.002);
+    for (const auto& p : pts) {
+        EXPECT_LE(line.slope_ms_per_km * p.distance_km + line.intercept_ms,
+                  p.min_rtt_ms + 1e-6);
+    }
+}
+
+}  // namespace

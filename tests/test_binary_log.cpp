@@ -1,0 +1,125 @@
+#include "capture/binary_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "capture/flow_log.hpp"
+#include "sim/random.hpp"
+
+namespace capture = ytcdn::capture;
+namespace cdn = ytcdn::cdn;
+namespace net = ytcdn::net;
+namespace sim = ytcdn::sim;
+
+namespace {
+
+std::vector<capture::FlowRecord> random_records(std::size_t n, std::uint64_t seed) {
+    sim::Rng rng(seed);
+    std::vector<capture::FlowRecord> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        capture::FlowRecord r;
+        r.client_ip = net::IpAddress{static_cast<std::uint32_t>(rng.engine()())};
+        r.server_ip = net::IpAddress{static_cast<std::uint32_t>(rng.engine()())};
+        r.start = rng.uniform(0.0, 604800.0);
+        r.end = r.start + rng.uniform(0.0, 500.0);
+        r.bytes = rng.engine()() % (1ull << 34);
+        r.video = cdn::VideoId{rng.engine()()};
+        r.resolution = cdn::kAllResolutions[rng.uniform_index(5)];
+        out.push_back(r);
+    }
+    return out;
+}
+
+TEST(BinaryLog, RoundTripsExactly) {
+    const auto records = random_records(500, 1);
+    std::stringstream ss;
+    capture::write_binary_log(ss, records);
+    const auto back = capture::read_binary_log(ss);
+    ASSERT_EQ(back.size(), records.size());
+    for (std::size_t i = 0; i < back.size(); ++i) {
+        EXPECT_EQ(back[i].client_ip, records[i].client_ip);
+        EXPECT_EQ(back[i].server_ip, records[i].server_ip);
+        EXPECT_DOUBLE_EQ(back[i].start, records[i].start);  // bit-exact
+        EXPECT_DOUBLE_EQ(back[i].end, records[i].end);
+        EXPECT_EQ(back[i].bytes, records[i].bytes);
+        EXPECT_EQ(back[i].video, records[i].video);
+        EXPECT_EQ(back[i].resolution, records[i].resolution);
+    }
+}
+
+TEST(BinaryLog, EmptyLogRoundTrips) {
+    std::stringstream ss;
+    capture::write_binary_log(ss, {});
+    EXPECT_TRUE(capture::read_binary_log(ss).empty());
+}
+
+TEST(BinaryLog, SizeIsPredictedAndSmallerThanTsv) {
+    const auto records = random_records(1000, 2);
+    std::stringstream binary, tsv;
+    capture::write_binary_log(binary, records);
+    capture::write_flow_log(tsv, records);
+    EXPECT_EQ(binary.str().size(), capture::binary_log_size(records.size()));
+    EXPECT_LT(binary.str().size(), tsv.str().size() / 2);
+}
+
+TEST(BinaryLog, RejectsCorruption) {
+    const auto records = random_records(10, 3);
+    std::stringstream ss;
+    capture::write_binary_log(ss, records);
+    const std::string good = ss.str();
+
+    {  // bad magic
+        std::string bad = good;
+        bad[0] = 'X';
+        std::stringstream in(bad);
+        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+    }
+    {  // bad version
+        std::string bad = good;
+        bad[4] = 9;
+        std::stringstream in(bad);
+        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+    }
+    {  // truncated body
+        std::stringstream in(good.substr(0, good.size() - 7));
+        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+    }
+    {  // trailing garbage
+        std::stringstream in(good + "junk");
+        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+    }
+    {  // bad itag in a record (last byte of the first record)
+        std::string bad = good;
+        bad[16 + 41 - 1] = static_cast<char>(250);
+        std::stringstream in(bad);
+        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+    }
+    {  // truncated header
+        std::stringstream in(good.substr(0, 6));
+        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+    }
+    {  // NaN timestamp smuggled into the first record's start field
+        std::string bad = good;
+        const double nan_value = std::numeric_limits<double>::quiet_NaN();
+        std::memcpy(bad.data() + 16 + 8, &nan_value, sizeof(nan_value));
+        std::stringstream in(bad);
+        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+    }
+}
+
+TEST(BinaryLog, FileRoundTrip) {
+    const auto path =
+        std::filesystem::temp_directory_path() / "ytcdn_binary_log_test.yfl";
+    const auto records = random_records(50, 4);
+    capture::write_binary_log(path, records);
+    const auto back = capture::read_binary_log(path);
+    EXPECT_EQ(back.size(), records.size());
+    std::filesystem::remove(path);
+    EXPECT_THROW((void)capture::read_binary_log(path), std::runtime_error);
+}
+
+}  // namespace

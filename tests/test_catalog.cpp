@@ -1,0 +1,96 @@
+#include "cdn/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "sim/time.hpp"
+
+namespace cdn = ytcdn::cdn;
+namespace sim = ytcdn::sim;
+
+namespace {
+
+cdn::VideoCatalog make_catalog(std::size_t n = 1000) {
+    cdn::VideoCatalog::Config cfg;
+    cfg.num_videos = n;
+    return cdn::VideoCatalog(cfg, sim::Rng(42));
+}
+
+TEST(Catalog, SizeAndRankAccess) {
+    const auto cat = make_catalog(500);
+    EXPECT_EQ(cat.size(), 500u);
+    EXPECT_EQ(cat.by_rank(0).rank, 0u);
+    EXPECT_EQ(cat.by_rank(499).rank, 499u);
+    EXPECT_THROW((void)cat.by_rank(500), std::out_of_range);
+}
+
+TEST(Catalog, IdsAreUniqueAndFindable) {
+    const auto cat = make_catalog(2000);
+    std::unordered_set<cdn::VideoId> ids;
+    for (std::size_t r = 0; r < cat.size(); ++r) {
+        const auto& v = cat.by_rank(r);
+        EXPECT_TRUE(ids.insert(v.id).second) << "duplicate id at rank " << r;
+        const cdn::Video* found = cat.find(v.id);
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(found->rank, r);
+    }
+    EXPECT_EQ(cat.find(cdn::VideoId{0xDEADBEEFull}), nullptr);
+}
+
+TEST(Catalog, DeterministicForSeed) {
+    const auto a = make_catalog(100);
+    const auto b = make_catalog(100);
+    for (std::size_t r = 0; r < 100; ++r) {
+        EXPECT_EQ(a.by_rank(r).id, b.by_rank(r).id);
+        EXPECT_DOUBLE_EQ(a.by_rank(r).duration_s, b.by_rank(r).duration_s);
+    }
+}
+
+TEST(Catalog, DurationsWithinConfiguredBounds) {
+    cdn::VideoCatalog::Config cfg;
+    cfg.num_videos = 3000;
+    cfg.min_duration_s = 20.0;
+    cfg.max_duration_s = 600.0;
+    const cdn::VideoCatalog cat(cfg, sim::Rng(7));
+    double sum = 0.0;
+    for (std::size_t r = 0; r < cat.size(); ++r) {
+        const double d = cat.by_rank(r).duration_s;
+        EXPECT_GE(d, 20.0);
+        EXPECT_LE(d, 600.0);
+        sum += d;
+    }
+    // Mean should land in a plausible mid-range, not at a clamp.
+    const double mean = sum / static_cast<double>(cat.size());
+    EXPECT_GT(mean, 100.0);
+    EXPECT_LT(mean, 400.0);
+}
+
+TEST(Catalog, UploadAppendsFreshVideo) {
+    auto cat = make_catalog(50);
+    const auto& v = cat.upload(1234.5, 180.0);
+    EXPECT_EQ(v.rank, 50u);
+    EXPECT_EQ(cat.size(), 51u);
+    EXPECT_DOUBLE_EQ(v.upload_time, 1234.5);
+    EXPECT_NE(cat.find(v.id), nullptr);
+}
+
+TEST(Catalog, PromotionSchedule) {
+    auto cat = make_catalog(100);
+    EXPECT_FALSE(cat.promoted_rank(0.0).has_value());
+    cat.promote(2, 42);
+    EXPECT_FALSE(cat.promoted_rank(1.5 * sim::kDay).has_value());
+    ASSERT_TRUE(cat.promoted_rank(2.0 * sim::kDay).has_value());
+    EXPECT_EQ(*cat.promoted_rank(2.5 * sim::kDay), 42u);
+    // Exactly 24 hours: gone the next day.
+    EXPECT_FALSE(cat.promoted_rank(3.0 * sim::kDay).has_value());
+    EXPECT_THROW(cat.promote(1, 1000), std::out_of_range);
+}
+
+TEST(Catalog, EmptyConfigThrows) {
+    cdn::VideoCatalog::Config cfg;
+    cfg.num_videos = 0;
+    EXPECT_THROW(cdn::VideoCatalog(cfg, sim::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace

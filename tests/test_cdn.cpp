@@ -1,0 +1,325 @@
+#include "cdn/cdn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "cdn/cache.hpp"
+
+namespace cdn = ytcdn::cdn;
+namespace net = ytcdn::net;
+namespace geo = ytcdn::geo;
+
+namespace {
+
+net::Subnet subnet(std::uint8_t a, std::uint8_t b, std::uint8_t c) {
+    return net::Subnet{net::IpAddress::from_octets(a, b, c, 0), 24};
+}
+
+/// A small three-DC fixture: Milan (near), Frankfurt (mid), Dallas (far),
+/// from the perspective of a Turin client.
+class CdnFixture : public ::testing::Test {
+protected:
+    CdnFixture() : cdn_(model_, {.replicate_top_ranks = 10, .origin_replicas = 1}) {
+        milan_ = cdn_.add_data_center("Milan", geo::Continent::Europe, {45.46, 9.19},
+                                      net::well_known_as::kGoogle,
+                                      cdn::InfraClass::GoogleCdn);
+        cdn_.add_prefix(milan_, subnet(173, 194, 0));
+        cdn_.add_servers(milan_, 10, 2);
+
+        frankfurt_ = cdn_.add_data_center("Frankfurt", geo::Continent::Europe,
+                                          {50.11, 8.68}, net::well_known_as::kGoogle,
+                                          cdn::InfraClass::GoogleCdn);
+        cdn_.add_prefix(frankfurt_, subnet(173, 194, 1));
+        cdn_.add_servers(frankfurt_, 10, 2);
+
+        dallas_ = cdn_.add_data_center("Dallas", geo::Continent::NorthAmerica,
+                                       {32.78, -96.80}, net::well_known_as::kGoogle,
+                                       cdn::InfraClass::GoogleCdn);
+        cdn_.add_prefix(dallas_, subnet(173, 194, 2));
+        cdn_.add_servers(dallas_, 10, 2);
+
+        legacy_ = cdn_.add_data_center("Amsterdam", geo::Continent::Europe,
+                                       {52.37, 4.90}, net::well_known_as::kYouTubeEu,
+                                       cdn::InfraClass::LegacyYouTube);
+        cdn_.add_prefix(legacy_, subnet(212, 187, 0));
+        cdn_.add_servers(legacy_, 5, 1000);
+
+        client_ = net::NetSite{1, {45.07, 7.69}, 1.0};  // Turin
+    }
+
+    cdn::Video video_with_rank(std::size_t rank) {
+        cdn::Video v;
+        v.id = cdn::VideoId{0xABC0ull + rank};
+        v.rank = rank;
+        v.duration_s = 100.0;
+        return v;
+    }
+
+    net::RttModel model_;
+    cdn::Cdn cdn_;
+    cdn::DcId milan_{}, frankfurt_{}, dallas_{}, legacy_{};
+    net::NetSite client_{};
+};
+
+TEST_F(CdnFixture, TopologyAccessors) {
+    EXPECT_EQ(cdn_.num_data_centers(), 4u);
+    EXPECT_EQ(cdn_.num_servers(), 35u);
+    EXPECT_EQ(cdn_.dc(milan_).city, "Milan");
+    EXPECT_EQ(cdn_.dc(legacy_).infra, cdn::InfraClass::LegacyYouTube);
+    EXPECT_THROW((void)cdn_.dc(99), std::out_of_range);
+    EXPECT_THROW((void)cdn_.server(999), std::out_of_range);
+}
+
+TEST_F(CdnFixture, ServersGetDistinctIpsInsidePrefixes) {
+    std::set<net::IpAddress> ips;
+    for (const auto sid : cdn_.dc(milan_).servers) {
+        const auto& s = cdn_.server(sid);
+        EXPECT_TRUE(cdn_.dc(milan_).prefixes[0].contains(s.ip()));
+        EXPECT_TRUE(ips.insert(s.ip()).second);
+        EXPECT_EQ(s.dc(), milan_);
+    }
+    EXPECT_EQ(ips.size(), 10u);
+}
+
+TEST_F(CdnFixture, DcOfIpResolvesAndRejects) {
+    const auto& s = cdn_.server(cdn_.dc(dallas_).servers[3]);
+    EXPECT_EQ(cdn_.dc_of_ip(s.ip()), dallas_);
+    EXPECT_EQ(cdn_.dc_of_ip(net::IpAddress::from_octets(9, 9, 9, 9)), cdn::kInvalidDc);
+}
+
+TEST_F(CdnFixture, RankByRttPutsMilanFirstForTurinAndSkipsLegacy) {
+    const auto ranked = cdn_.rank_by_rtt(client_);
+    ASSERT_EQ(ranked.size(), 3u);  // legacy excluded from analysis scope
+    EXPECT_EQ(ranked.front(), milan_);
+    EXPECT_EQ(ranked.back(), dallas_);
+}
+
+TEST_F(CdnFixture, PopularContentIsEverywhere) {
+    const auto v = video_with_rank(0);
+    EXPECT_TRUE(cdn_.has_content(milan_, v));
+    EXPECT_TRUE(cdn_.has_content(frankfurt_, v));
+    EXPECT_TRUE(cdn_.has_content(dallas_, v));
+}
+
+TEST_F(CdnFixture, UnpopularContentHasExactlyOriginReplicas) {
+    const auto v = video_with_rank(500);
+    int origins = 0;
+    for (const auto dc : {milan_, frankfurt_, dallas_}) {
+        if (cdn_.is_origin(dc, v.id)) ++origins;
+    }
+    EXPECT_EQ(origins, 1);  // origin_replicas = 1 in this fixture
+    EXPECT_FALSE(cdn_.is_origin(legacy_, v.id));
+}
+
+TEST_F(CdnFixture, PullMakesContentAvailable) {
+    // Find a DC that is not origin for this unpopular video.
+    const auto v = video_with_rank(777);
+    cdn::DcId non_origin = cdn::kInvalidDc;
+    for (const auto dc : {milan_, frankfurt_, dallas_}) {
+        if (!cdn_.is_origin(dc, v.id)) {
+            non_origin = dc;
+            break;
+        }
+    }
+    ASSERT_NE(non_origin, cdn::kInvalidDc);
+    EXPECT_FALSE(cdn_.has_content(non_origin, v));
+    cdn_.pull_content(non_origin, v.id);
+    EXPECT_TRUE(cdn_.has_content(non_origin, v));
+}
+
+TEST_F(CdnFixture, LegacyInfraAlwaysHasContent) {
+    EXPECT_TRUE(cdn_.has_content(legacy_, video_with_rank(999)));
+}
+
+TEST_F(CdnFixture, PickServerIsStablePerVideoAndSpreadsAcrossVideos) {
+    const auto v = video_with_rank(3);
+    EXPECT_EQ(cdn_.pick_server(milan_, v.id), cdn_.pick_server(milan_, v.id));
+    std::set<cdn::ServerId> picked;
+    for (std::size_t i = 0; i < 100; ++i) {
+        picked.insert(cdn_.pick_server(milan_, cdn::VideoId{0x1000 + i}));
+    }
+    EXPECT_GT(picked.size(), 5u);  // hashing spreads over the 10 servers
+}
+
+TEST_F(CdnFixture, ClassifyServesReplicatedContent) {
+    const auto v = video_with_rank(1);
+    const auto server = cdn_.pick_server(milan_, v.id);
+    EXPECT_EQ(cdn_.classify_request(server, v), cdn::ServeOutcome::Served);
+}
+
+TEST_F(CdnFixture, ClassifyRedirectsOnMiss) {
+    const auto v = video_with_rank(600);
+    cdn::DcId non_origin = cdn::kInvalidDc;
+    for (const auto dc : {milan_, frankfurt_, dallas_}) {
+        if (!cdn_.is_origin(dc, v.id)) non_origin = dc;
+    }
+    ASSERT_NE(non_origin, cdn::kInvalidDc);
+    EXPECT_EQ(cdn_.classify_request(cdn_.pick_server(non_origin, v.id), v),
+              cdn::ServeOutcome::RedirectMiss);
+}
+
+TEST_F(CdnFixture, ClassifyRedirectsOnOverload) {
+    const auto v = video_with_rank(2);
+    const auto server = cdn_.pick_server(milan_, v.id);
+    cdn_.begin_flow(server);
+    cdn_.begin_flow(server);  // capacity is 2
+    EXPECT_EQ(cdn_.classify_request(server, v), cdn::ServeOutcome::RedirectOverload);
+    cdn_.end_flow(server);
+    EXPECT_EQ(cdn_.classify_request(server, v), cdn::ServeOutcome::Served);
+    cdn_.end_flow(server);
+}
+
+TEST_F(CdnFixture, RedirectTargetPrefersClosestWithContent) {
+    const auto v = video_with_rank(0);  // replicated everywhere
+    const std::vector<cdn::DcId> exclude{milan_};
+    const auto target = cdn_.redirect_target(client_, v, exclude);
+    ASSERT_NE(target, cdn::kInvalidServer);
+    EXPECT_EQ(cdn_.server(target).dc(), frankfurt_);  // next closest
+}
+
+TEST_F(CdnFixture, RedirectTargetFindsOriginForSparseContent) {
+    const auto v = video_with_rank(888);
+    cdn::DcId origin = cdn::kInvalidDc;
+    for (const auto dc : {milan_, frankfurt_, dallas_}) {
+        if (cdn_.is_origin(dc, v.id)) origin = dc;
+    }
+    ASSERT_NE(origin, cdn::kInvalidDc);
+    std::vector<cdn::DcId> exclude;
+    for (const auto dc : {milan_, frankfurt_, dallas_}) {
+        if (dc != origin) exclude.push_back(dc);
+    }
+    const auto target = cdn_.redirect_target(client_, v, exclude);
+    ASSERT_NE(target, cdn::kInvalidServer);
+    EXPECT_EQ(cdn_.server(target).dc(), origin);
+}
+
+TEST_F(CdnFixture, RedirectTargetIgnoresExclusionAsLastResort) {
+    const auto v = video_with_rank(901);
+    // Exclude every data center: the video's origin is the only holder, and
+    // even it is on the exclusion list — the CDN must still serve.
+    const std::vector<cdn::DcId> all{milan_, frankfurt_, dallas_};
+    const auto target = cdn_.redirect_target(client_, v, all);
+    ASSERT_NE(target, cdn::kInvalidServer);
+    EXPECT_TRUE(cdn_.is_origin(cdn_.server(target).dc(), v.id));
+}
+
+TEST_F(CdnFixture, OriginPlacementIsExactAndRoughlyUniform) {
+    // Property of the consistent hashing: every video has exactly
+    // origin_replicas origins, spread across the analysis-scope DCs.
+    std::array<int, 3> per_dc{0, 0, 0};
+    const int kVideos = 3000;
+    for (int i = 0; i < kVideos; ++i) {
+        const cdn::VideoId id{0x31000ull + static_cast<std::uint64_t>(i)};
+        int origins = 0;
+        int idx = 0;
+        for (const auto dc : {milan_, frankfurt_, dallas_}) {
+            if (cdn_.is_origin(dc, id)) {
+                ++origins;
+                ++per_dc[static_cast<std::size_t>(idx)];
+            }
+            ++idx;
+        }
+        EXPECT_EQ(origins, 1) << i;  // fixture uses origin_replicas = 1
+    }
+    for (const int n : per_dc) {
+        EXPECT_GT(n, kVideos / 3 - kVideos / 10);
+        EXPECT_LT(n, kVideos / 3 + kVideos / 10);
+    }
+}
+
+TEST_F(CdnFixture, RedirectTargetFallsBackToOverloadedServer) {
+    const auto v = video_with_rank(4);
+    // Saturate every affinity server.
+    for (const auto dc : {milan_, frankfurt_, dallas_}) {
+        const auto sid = cdn_.pick_server(dc, v.id);
+        cdn_.begin_flow(sid);
+        cdn_.begin_flow(sid);
+    }
+    const auto target = cdn_.redirect_target(client_, v, {});
+    EXPECT_NE(target, cdn::kInvalidServer);  // still serves somewhere
+}
+
+TEST_F(CdnFixture, RegisterPrefixesPopulatesWhois) {
+    net::AsRegistry whois;
+    cdn_.register_prefixes(whois);
+    const auto& milan_server = cdn_.server(cdn_.dc(milan_).servers[0]);
+    EXPECT_EQ(whois.asn_of(milan_server.ip()), net::well_known_as::kGoogle);
+    EXPECT_EQ(whois.name_of(milan_server.ip()), "Google Inc.");
+    const auto& legacy_server = cdn_.server(cdn_.dc(legacy_).servers[0]);
+    EXPECT_EQ(whois.asn_of(legacy_server.ip()), net::well_known_as::kYouTubeEu);
+}
+
+TEST_F(CdnFixture, ServerByHostnameResolves) {
+    const auto& server = cdn_.server(cdn_.dc(frankfurt_).servers[2]);
+    EXPECT_EQ(cdn_.server_by_hostname(server.hostname()), server.id());
+    EXPECT_EQ(cdn_.server_by_hostname("v99.lscache99.c.youtube.com"),
+              cdn::kInvalidServer);
+    EXPECT_EQ(cdn_.server_by_hostname(""), cdn::kInvalidServer);
+}
+
+TEST_F(CdnFixture, FlowAccountingUnderflowThrows) {
+    const auto sid = cdn_.dc(milan_).servers[0];
+    EXPECT_THROW(cdn_.end_flow(sid), std::logic_error);
+}
+
+TEST(ContentCache, BoundedPullEvictsOldestFirst) {
+    cdn::ContentCache cache(0, /*max_pulled=*/3);
+    for (std::uint64_t i = 1; i <= 3; ++i) cache.pull(cdn::VideoId{i});
+    EXPECT_EQ(cache.pulled_count(), 3u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    cache.pull(cdn::VideoId{4});
+    EXPECT_EQ(cache.pulled_count(), 3u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(cache.was_pulled(cdn::VideoId{1}));  // oldest evicted
+    EXPECT_TRUE(cache.was_pulled(cdn::VideoId{2}));
+    EXPECT_TRUE(cache.was_pulled(cdn::VideoId{4}));
+    // Re-pulling an existing id is a no-op (no duplicate order entries).
+    cache.pull(cdn::VideoId{2});
+    EXPECT_EQ(cache.pulled_count(), 3u);
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ContentCache, UnboundedNeverEvicts) {
+    cdn::ContentCache cache(0);
+    for (std::uint64_t i = 0; i < 1000; ++i) cache.pull(cdn::VideoId{i});
+    EXPECT_EQ(cache.pulled_count(), 1000u);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST_F(CdnFixture, CacheAccessor) {
+    EXPECT_EQ(cdn_.cache(milan_).replicate_top_ranks(), 10u);
+    cdn_.pull_content(milan_, cdn::VideoId{0x123});
+    EXPECT_TRUE(cdn_.cache(milan_).was_pulled(cdn::VideoId{0x123}));
+    EXPECT_THROW((void)cdn_.cache(99), std::out_of_range);
+}
+
+TEST(ContentCache, PopularityAndPullSemantics) {
+    cdn::ContentCache cache(5);
+    cdn::Video hot;
+    hot.rank = 4;
+    hot.id = cdn::VideoId{1};
+    cdn::Video cold;
+    cold.rank = 5;
+    cold.id = cdn::VideoId{2};
+    EXPECT_TRUE(cache.contains(hot));
+    EXPECT_FALSE(cache.contains(cold));
+    cache.pull(cold.id);
+    EXPECT_TRUE(cache.contains(cold));
+    EXPECT_TRUE(cache.was_pulled(cold.id));
+    EXPECT_EQ(cache.pulled_count(), 1u);
+    cache.pull(cold.id);  // idempotent
+    EXPECT_EQ(cache.pulled_count(), 1u);
+}
+
+TEST(Cdn, AddServersWithoutPrefixThrows) {
+    net::RttModel model;
+    cdn::Cdn c(model);
+    const auto dc = c.add_data_center("X", geo::Continent::Europe, {0, 0},
+                                      net::well_known_as::kGoogle,
+                                      cdn::InfraClass::GoogleCdn);
+    EXPECT_THROW(c.add_servers(dc, 1, 1), std::logic_error);
+}
+
+}  // namespace

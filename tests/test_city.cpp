@@ -1,0 +1,94 @@
+#include "geo/city.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/continent.hpp"
+
+namespace geo = ytcdn::geo;
+
+namespace {
+
+TEST(CityDatabase, BuiltinHasStudyCities) {
+    const auto& db = geo::CityDatabase::builtin();
+    for (const char* name : {"West Lafayette", "Turin", "Budapest", "Dallas", "Milan",
+                             "Frankfurt", "Mountain View", "Amsterdam"}) {
+        EXPECT_NE(db.find(name), nullptr) << name;
+    }
+}
+
+TEST(CityDatabase, BuiltinCoversAllContinents) {
+    const auto& db = geo::CityDatabase::builtin();
+    for (const auto c :
+         {geo::Continent::NorthAmerica, geo::Continent::Europe, geo::Continent::Asia,
+          geo::Continent::SouthAmerica, geo::Continent::Oceania, geo::Continent::Africa}) {
+        EXPECT_FALSE(db.on_continent(c).empty()) << geo::to_string(c);
+    }
+}
+
+TEST(CityDatabase, FindIsExact) {
+    const auto& db = geo::CityDatabase::builtin();
+    EXPECT_EQ(db.find("turin"), nullptr);   // case-sensitive
+    EXPECT_EQ(db.find("Nowhere"), nullptr);
+}
+
+TEST(CityDatabase, NearestToCityCoordinatesIsThatCity) {
+    const auto& db = geo::CityDatabase::builtin();
+    for (const auto& city : db.cities()) {
+        const geo::City* nearest = db.nearest(city.location);
+        ASSERT_NE(nearest, nullptr);
+        EXPECT_EQ(nearest->name, city.name);
+    }
+}
+
+TEST(CityDatabase, NearestOffsetPointSnapsBack) {
+    const auto& db = geo::CityDatabase::builtin();
+    const geo::City* turin = db.find("Turin");
+    ASSERT_NE(turin, nullptr);
+    // 20 km from Turin is still nearest to Turin (Milan is 125 km away).
+    const geo::GeoPoint p = geo::destination_point(turin->location, 45.0, 20.0);
+    EXPECT_EQ(db.nearest(p)->name, "Turin");
+}
+
+TEST(CityDatabase, NearestWithinRejectsFarPoints) {
+    const auto& db = geo::CityDatabase::builtin();
+    // Mid-Atlantic: no city within 400 km.
+    EXPECT_EQ(db.nearest_within(geo::GeoPoint{30.0, -45.0}, 400.0), nullptr);
+}
+
+TEST(CityDatabase, EmptyDatabaseNearestIsNull) {
+    geo::CityDatabase db;
+    EXPECT_TRUE(db.empty());
+    EXPECT_EQ(db.nearest(geo::GeoPoint{0, 0}), nullptr);
+}
+
+TEST(CityDatabase, AddThenFind) {
+    geo::CityDatabase db;
+    db.add(geo::City{"Testville", "XX", geo::Continent::Europe, {50.0, 10.0}});
+    ASSERT_NE(db.find("Testville"), nullptr);
+    EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(Continent, BucketsMatchPaper) {
+    using geo::bucket_of;
+    using geo::Continent;
+    using geo::ContinentBucket;
+    EXPECT_EQ(bucket_of(Continent::NorthAmerica), ContinentBucket::NorthAmerica);
+    EXPECT_EQ(bucket_of(Continent::Europe), ContinentBucket::Europe);
+    EXPECT_EQ(bucket_of(Continent::Asia), ContinentBucket::Others);
+    EXPECT_EQ(bucket_of(Continent::SouthAmerica), ContinentBucket::Others);
+    EXPECT_EQ(bucket_of(Continent::Oceania), ContinentBucket::Others);
+    EXPECT_EQ(bucket_of(Continent::Africa), ContinentBucket::Others);
+}
+
+TEST(Continent, StringRoundTrip) {
+    for (const auto c :
+         {geo::Continent::NorthAmerica, geo::Continent::Europe, geo::Continent::Asia,
+          geo::Continent::SouthAmerica, geo::Continent::Oceania, geo::Continent::Africa}) {
+        const auto parsed = geo::continent_from_string(geo::to_string(c));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, c);
+    }
+    EXPECT_FALSE(geo::continent_from_string("Atlantis").has_value());
+}
+
+}  // namespace

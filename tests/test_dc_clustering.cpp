@@ -1,0 +1,118 @@
+#include "geoloc/dc_clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geoloc/ip2location_db.hpp"
+
+namespace geoloc = ytcdn::geoloc;
+namespace geo = ytcdn::geo;
+namespace net = ytcdn::net;
+
+namespace {
+
+geoloc::LocatedServer located(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                              std::uint8_t d, const char* city_name) {
+    geoloc::LocatedServer s;
+    s.ip = net::IpAddress::from_octets(a, b, c, d);
+    s.city = geo::CityDatabase::builtin().find(city_name);
+    s.cbg.valid = s.city != nullptr;
+    if (s.city != nullptr) s.cbg.estimate = s.city->location;
+    return s;
+}
+
+TEST(SnapToCity, SnapsAndRejects) {
+    geoloc::CbgResult near_milan;
+    near_milan.valid = true;
+    near_milan.estimate = geo::destination_point({45.4642, 9.19}, 90.0, 30.0);
+    const geo::City* c = geoloc::snap_to_city(near_milan, geo::CityDatabase::builtin());
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->name, "Milan");
+
+    geoloc::CbgResult ocean;
+    ocean.valid = true;
+    ocean.estimate = {30.0, -45.0};
+    EXPECT_EQ(geoloc::snap_to_city(ocean, geo::CityDatabase::builtin(), 400.0), nullptr);
+
+    geoloc::CbgResult invalid;
+    EXPECT_EQ(geoloc::snap_to_city(invalid, geo::CityDatabase::builtin()), nullptr);
+}
+
+TEST(Clustering, GroupsByCity) {
+    std::vector<geoloc::LocatedServer> servers{
+        located(173, 194, 0, 1, "Milan"),   located(173, 194, 0, 2, "Milan"),
+        located(173, 194, 1, 1, "Dallas"),  located(173, 194, 1, 2, "Dallas"),
+        located(173, 194, 2, 1, "Milan"),
+    };
+    const auto clusters = geoloc::cluster_servers(servers);
+    ASSERT_EQ(clusters.size(), 2u);
+    EXPECT_EQ(clusters[0].city_name, "Milan");   // 3 servers, sorted first
+    EXPECT_EQ(clusters[0].servers.size(), 3u);
+    EXPECT_EQ(clusters[1].city_name, "Dallas");
+    EXPECT_EQ(clusters[1].continent, geo::Continent::NorthAmerica);
+}
+
+TEST(Clustering, Slash24InvariantViaMajorityVote) {
+    // Three servers in the same /24; one CBG estimate landed elsewhere.
+    std::vector<geoloc::LocatedServer> servers{
+        located(10, 0, 0, 1, "Paris"),
+        located(10, 0, 0, 2, "Paris"),
+        located(10, 0, 0, 3, "Brussels"),  // outlier
+    };
+    const auto clusters = geoloc::cluster_servers(servers);
+    ASSERT_EQ(clusters.size(), 1u);
+    EXPECT_EQ(clusters[0].city_name, "Paris");
+    EXPECT_EQ(clusters[0].servers.size(), 3u);
+}
+
+TEST(Clustering, UnlocatedMembersOfLocatedSubnetAreKept) {
+    auto unlocated = located(10, 0, 0, 9, "Paris");
+    unlocated.city = nullptr;
+    unlocated.cbg.valid = false;
+    std::vector<geoloc::LocatedServer> servers{
+        located(10, 0, 0, 1, "Paris"),
+        unlocated,
+    };
+    const auto clusters = geoloc::cluster_servers(servers);
+    ASSERT_EQ(clusters.size(), 1u);
+    EXPECT_EQ(clusters[0].servers.size(), 2u);  // /24 invariant pulls it in
+}
+
+TEST(Clustering, FullyUnlocatedSubnetIsDropped) {
+    auto s = located(10, 0, 1, 1, "Paris");
+    s.city = nullptr;
+    const auto clusters = geoloc::cluster_servers({s});
+    EXPECT_TRUE(clusters.empty());
+}
+
+TEST(Clustering, EmptyInput) {
+    EXPECT_TRUE(geoloc::cluster_servers({}).empty());
+}
+
+TEST(IpLocationDb, MaxmindLikeSaysMountainViewForEverything) {
+    // The paper's negative result: the commercial database places every
+    // YouTube server at the corporate registration address.
+    const auto db = geoloc::IpLocationDatabase::maxmind_like();
+    for (const auto ip : {net::IpAddress::from_octets(173, 194, 0, 1),
+                          net::IpAddress::from_octets(212, 187, 0, 1),
+                          net::IpAddress::from_octets(8, 8, 8, 8)}) {
+        const geo::City* c = db.lookup(ip);
+        ASSERT_NE(c, nullptr);
+        EXPECT_EQ(c->name, "Mountain View");
+    }
+}
+
+TEST(IpLocationDb, ExplicitEntriesBeatDefault) {
+    auto db = geoloc::IpLocationDatabase::maxmind_like();
+    const geo::City* milan = geo::CityDatabase::builtin().find("Milan");
+    db.add(net::Subnet{net::IpAddress::from_octets(151, 0, 0, 0), 8}, *milan);
+    EXPECT_EQ(db.lookup(net::IpAddress::from_octets(151, 24, 1, 1))->name, "Milan");
+    EXPECT_EQ(db.lookup(net::IpAddress::from_octets(8, 8, 8, 8))->name,
+              "Mountain View");
+}
+
+TEST(IpLocationDb, EmptyDatabaseReturnsNull) {
+    const geoloc::IpLocationDatabase db;
+    EXPECT_EQ(db.lookup(net::IpAddress::from_octets(1, 2, 3, 4)), nullptr);
+}
+
+}  // namespace

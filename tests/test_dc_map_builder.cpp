@@ -1,0 +1,130 @@
+// Validates the measurement-only analysis path: servers geolocated with
+// CBG and clustered into data centers must reproduce the conclusions that
+// the ground-truth mapping gives — the paper's core methodological claim.
+
+#include "study/dc_map_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/preferred_dc.hpp"
+#include "geo/city.hpp"
+#include "study/study_run.hpp"
+
+namespace study = ytcdn::study;
+namespace analysis = ytcdn::analysis;
+namespace geoloc = ytcdn::geoloc;
+namespace geo = ytcdn::geo;
+namespace sim = ytcdn::sim;
+
+namespace {
+
+class CbgMapFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        study::StudyConfig cfg;
+        cfg.scale = 0.01;
+        run_ = new study::StudyRun(study::run_study(cfg));
+
+        // A reduced landmark set keeps the suite fast while preserving
+        // worldwide coverage.
+        geoloc::LandmarkCounts counts;
+        counts.north_america = 30;
+        counts.europe = 30;
+        counts.asia = 8;
+        counts.south_america = 4;
+        counts.oceania = 2;
+        counts.africa = 1;
+        auto landmarks = geoloc::make_planetlab_landmarks(geo::CityDatabase::builtin(),
+                                                          sim::Rng(5), counts);
+        geoloc::CbgLocator::Config cbg_cfg;
+        cbg_cfg.grid = 48;
+        locator_ = new geoloc::CbgLocator(run_->deployment->rtt(), std::move(landmarks),
+                                          cbg_cfg, 17);
+        locator_->calibrate();
+
+        const auto idx = run_->vp_index("EU1-Campus");
+        mapping_ = new study::CbgMappingResult(study::cbg_dc_map(
+            *run_->deployment, run_->traces.datasets[idx], *locator_,
+            run_->deployment->vantage(idx), run_->deployment->local_as(idx)));
+    }
+    static void TearDownTestSuite() {
+        delete mapping_;
+        delete locator_;
+        delete run_;
+        mapping_ = nullptr;
+        locator_ = nullptr;
+        run_ = nullptr;
+    }
+
+    static study::StudyRun* run_;
+    static geoloc::CbgLocator* locator_;
+    static study::CbgMappingResult* mapping_;
+};
+
+study::StudyRun* CbgMapFixture::run_ = nullptr;
+geoloc::CbgLocator* CbgMapFixture::locator_ = nullptr;
+study::CbgMappingResult* CbgMapFixture::mapping_ = nullptr;
+
+TEST_F(CbgMapFixture, LocatesAllScopeServers) {
+    EXPECT_GT(mapping_->located.size(), 100u);
+    std::size_t located = 0;
+    for (const auto& s : mapping_->located) {
+        if (s.city != nullptr) ++located;
+    }
+    // Nearly every server snaps to some city.
+    EXPECT_GT(static_cast<double>(located) /
+                  static_cast<double>(mapping_->located.size()),
+              0.9);
+}
+
+TEST_F(CbgMapFixture, ClustersAreCityLevel) {
+    EXPECT_GT(mapping_->clusters.size(), 5u);
+    EXPECT_LE(mapping_->clusters.size(), 40u);
+    // Largest-first ordering.
+    for (std::size_t i = 1; i < mapping_->clusters.size(); ++i) {
+        EXPECT_GE(mapping_->clusters[i - 1].servers.size(),
+                  mapping_->clusters[i].servers.size());
+    }
+    // The /24 invariant: all members of a /24 are in the same cluster.
+    std::unordered_map<ytcdn::net::IpAddress, std::string> subnet_city;
+    for (const auto& cluster : mapping_->clusters) {
+        for (const auto ip : cluster.servers) {
+            const auto [it, inserted] =
+                subnet_city.emplace(ip.slash24(), cluster.city_name);
+            EXPECT_EQ(it->second, cluster.city_name) << ip.to_string();
+        }
+    }
+}
+
+TEST_F(CbgMapFixture, CbgPreferredMatchesGroundTruth) {
+    const auto idx = run_->vp_index("EU1-Campus");
+    const auto& ds = run_->traces.datasets[idx];
+
+    const int cbg_pref = analysis::preferred_dc(ds, mapping_->map);
+    ASSERT_GE(cbg_pref, 0);
+    const int truth_pref = run_->preferred[idx];
+
+    // Same city, discovered purely from measurements.
+    EXPECT_EQ(mapping_->map.info(cbg_pref).name,
+              run_->maps[idx].info(truth_pref).name);
+
+    // And the same headline number.
+    const auto cbg_share = analysis::non_preferred_share(ds, mapping_->map, cbg_pref);
+    const auto truth_share =
+        analysis::non_preferred_share(ds, run_->maps[idx], truth_pref);
+    EXPECT_NEAR(cbg_share.byte_fraction, truth_share.byte_fraction, 0.05);
+}
+
+TEST_F(CbgMapFixture, MeasuredRttAndDistanceArePlausible) {
+    for (std::size_t d = 0; d < mapping_->map.num_data_centers(); ++d) {
+        const auto& info = mapping_->map.info(static_cast<int>(d));
+        EXPECT_GT(info.rtt_ms, 0.0) << info.name;
+        EXPECT_LT(info.rtt_ms, 400.0) << info.name;
+        EXPECT_GE(info.distance_km, 0.0);
+        // RTT should be loosely consistent with distance (soundness of the
+        // combined pipeline): at least the propagation floor.
+        EXPECT_GT(info.rtt_ms, info.distance_km * 0.01 - 1.0) << info.name;
+    }
+}
+
+}  // namespace

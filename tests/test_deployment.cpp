@@ -1,0 +1,185 @@
+#include "study/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace study = ytcdn::study;
+namespace cdn = ytcdn::cdn;
+namespace net = ytcdn::net;
+namespace geo = ytcdn::geo;
+
+namespace {
+
+class DeploymentFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        study::StudyConfig cfg;
+        cfg.scale = 0.01;
+        dep_ = new study::StudyDeployment(cfg);
+    }
+    static void TearDownTestSuite() {
+        delete dep_;
+        dep_ = nullptr;
+    }
+    static study::StudyDeployment* dep_;
+};
+
+study::StudyDeployment* DeploymentFixture::dep_ = nullptr;
+
+TEST_F(DeploymentFixture, ThirtyThreeDataCentersInAnalysisScope) {
+    // 13 US + 13 EU + 6 other + the EU2 in-ISP cache = 33, as in Section V.
+    int in_scope = 0;
+    int eu = 0, na = 0, others = 0;
+    for (const auto& dc : dep_->cdn().data_centers()) {
+        if (!cdn::in_analysis_scope(dc.infra)) continue;
+        ++in_scope;
+        switch (geo::bucket_of(dc.continent)) {
+            case geo::ContinentBucket::Europe: ++eu; break;
+            case geo::ContinentBucket::NorthAmerica: ++na; break;
+            case geo::ContinentBucket::Others: ++others; break;
+        }
+    }
+    EXPECT_EQ(in_scope, 33);
+    EXPECT_EQ(eu, 14);  // paper: 14 in Europe
+    EXPECT_EQ(na, 13);  // paper: 13 in USA
+    EXPECT_EQ(others, 6);
+}
+
+TEST_F(DeploymentFixture, FiveVantagePointsMatchPaperNames) {
+    ASSERT_EQ(dep_->num_vantage_points(), 5u);
+    EXPECT_EQ(dep_->vantage(0).name, "US-Campus");
+    EXPECT_EQ(dep_->vantage(1).name, "EU1-Campus");
+    EXPECT_EQ(dep_->vantage(2).name, "EU1-ADSL");
+    EXPECT_EQ(dep_->vantage(3).name, "EU1-FTTH");
+    EXPECT_EQ(dep_->vantage(4).name, "EU2");
+    EXPECT_EQ(dep_->vantage("EU2").tech, ytcdn::workload::AccessTech::Adsl);
+    EXPECT_THROW((void)dep_->vantage("nope"), std::out_of_range);
+}
+
+TEST_F(DeploymentFixture, PreferredDcHasLowestRttButNotLowestDistance) {
+    // The US-Campus anecdote: Dallas wins on RTT while five data centers are
+    // geographically closer (Figs 7-8).
+    const auto& us = dep_->vantage(0);
+    const auto ranked = dep_->cdn().rank_by_rtt(us.pop_site);
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_EQ(dep_->cdn().dc(ranked.front()).city, "Dallas");
+
+    int closer_by_distance = 0;
+    const auto& dallas = dep_->cdn().dc(ranked.front());
+    const double d_dallas = geo::distance_km(us.pop_site.location, dallas.location);
+    for (const auto& dc : dep_->cdn().data_centers()) {
+        if (!cdn::in_analysis_scope(dc.infra)) continue;
+        if (geo::distance_km(us.pop_site.location, dc.location) < d_dallas) {
+            ++closer_by_distance;
+        }
+    }
+    EXPECT_GE(closer_by_distance, 5);
+}
+
+TEST_F(DeploymentFixture, Eu1PrefersMilanAndEu2PrefersLocal) {
+    for (std::size_t i : {1u, 2u, 3u}) {
+        const auto ranked = dep_->cdn().rank_by_rtt(dep_->vantage(i).pop_site);
+        EXPECT_EQ(dep_->cdn().dc(ranked.front()).city, "Milan") << i;
+    }
+    const auto ranked = dep_->cdn().rank_by_rtt(dep_->vantage(4).pop_site);
+    EXPECT_EQ(dep_->cdn().dc(ranked.front()).city, "Budapest");
+    EXPECT_EQ(dep_->cdn().dc(ranked.front()).infra, cdn::InfraClass::IspInternal);
+}
+
+TEST_F(DeploymentFixture, WhoisKnowsGoogleLegacyAndClientNetworks) {
+    const auto& whois = dep_->whois();
+    // A Google server.
+    const auto google_dc = dep_->dc_by_city("Dallas");
+    const auto& google_server =
+        dep_->cdn().server(dep_->cdn().dc(google_dc).servers[0]);
+    EXPECT_EQ(whois.asn_of(google_server.ip()), net::well_known_as::kGoogle);
+    // A client address at each vantage point maps to the local AS.
+    for (std::size_t i = 0; i < 5; ++i) {
+        const auto& c = dep_->vantage(i).clients.front();
+        EXPECT_EQ(whois.asn_of(c.ip), dep_->local_as(i)) << dep_->vantage(i).name;
+    }
+    // The EU2 in-ISP data center announces from the EU2 ISP AS.
+    const auto budapest = dep_->dc_by_city("Budapest");
+    const auto& bud_server = dep_->cdn().server(dep_->cdn().dc(budapest).servers[0]);
+    EXPECT_EQ(whois.asn_of(bud_server.ip()), dep_->local_as(4));
+}
+
+TEST_F(DeploymentFixture, UsCampusHasNetThreeWithDifferentResolver) {
+    const auto& us = dep_->vantage(0);
+    ASSERT_EQ(us.subnets.size(), 5u);
+    EXPECT_EQ(us.subnets[2].name, "Net-3");
+    EXPECT_NEAR(us.subnets[2].client_share, 0.04, 1e-9);
+    // Net-3 uses its own resolver; the other four share one.
+    const auto main_ldns = us.subnets[0].ldns;
+    EXPECT_NE(us.subnets[2].ldns, main_ldns);
+    EXPECT_EQ(us.subnets[1].ldns, main_ldns);
+    EXPECT_EQ(us.subnets[4].ldns, main_ldns);
+}
+
+TEST_F(DeploymentFixture, PromotionsScheduledOnSixDays) {
+    EXPECT_EQ(dep_->promoted_ranks().size(), 6u);
+    for (int day = 1; day <= 6; ++day) {
+        EXPECT_TRUE(dep_->catalog()
+                        .promoted_rank((day + 0.5) * ytcdn::sim::kDay)
+                        .has_value())
+            << day;
+    }
+    for (const auto rank : dep_->promoted_ranks()) {
+        EXPECT_LT(rank, dep_->config().replicate_top_ranks());  // replicated
+    }
+}
+
+TEST_F(DeploymentFixture, ServerIpsAreUniqueAcrossTheCdn) {
+    std::set<net::IpAddress> ips;
+    for (std::size_t s = 0; s < dep_->cdn().num_servers(); ++s) {
+        const auto ip = dep_->cdn().server(static_cast<cdn::ServerId>(s)).ip();
+        EXPECT_TRUE(ips.insert(ip).second) << ip.to_string();
+    }
+}
+
+TEST_F(DeploymentFixture, ConfigDerivedValuesScale) {
+    study::StudyConfig cfg;
+    cfg.scale = 1.0;
+    EXPECT_EQ(cfg.effective_catalog_size(), 400'000u);
+    EXPECT_EQ(cfg.effective_server_capacity(), 10);
+    cfg.scale = 0.01;
+    EXPECT_EQ(cfg.effective_catalog_size(), 20'000u);
+    EXPECT_GE(cfg.effective_server_capacity(), 2);
+    cfg.catalog_size = 123;
+    EXPECT_EQ(cfg.effective_catalog_size(), 123u);
+    cfg.server_capacity = 7;
+    EXPECT_EQ(cfg.effective_server_capacity(), 7);
+}
+
+TEST_F(DeploymentFixture, Feb2011ShiftRemapsUsCampus) {
+    study::StudyConfig cfg;
+    cfg.scale = 0.01;
+    cfg.feb2011_us_shift = true;
+    study::StudyDeployment shifted(cfg);
+
+    // The inflation override puts Mountain View beyond 100 ms...
+    const auto mv = shifted.dc_by_city("Mountain View");
+    const double rtt = shifted.rtt().base_rtt_ms(shifted.vantage(0).pop_site,
+                                                 shifted.cdn().dc(mv).site);
+    EXPECT_GT(rtt, 100.0);
+    // ...while the lowest-RTT data center stays much closer.
+    const auto ranked = shifted.cdn().rank_by_rtt(shifted.vantage(0).pop_site);
+    EXPECT_LT(shifted.rtt().base_rtt_ms(shifted.vantage(0).pop_site,
+                                        shifted.cdn().dc(ranked.front()).site),
+              40.0);
+    // The ranking by RTT itself is unchanged (DNS, not RTT, moved).
+    EXPECT_NE(ranked.front(), mv);
+}
+
+TEST_F(DeploymentFixture, DeterministicAcrossConstructions) {
+    study::StudyConfig cfg;
+    cfg.scale = 0.01;
+    study::StudyDeployment other(cfg);
+    EXPECT_EQ(other.cdn().num_servers(), dep_->cdn().num_servers());
+    EXPECT_EQ(other.vantage(0).clients.size(), dep_->vantage(0).clients.size());
+    EXPECT_EQ(other.vantage(0).clients[7].ip, dep_->vantage(0).clients[7].ip);
+    EXPECT_EQ(other.catalog().by_rank(100).id, dep_->catalog().by_rank(100).id);
+}
+
+}  // namespace

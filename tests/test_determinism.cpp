@@ -1,0 +1,72 @@
+// Bit-for-bit reproducibility: the whole study — world construction,
+// week-long simulation across five vantage points, DNS randomness, player
+// behaviour — must be a pure function of the configuration. This is the
+// regression guard that makes every EXPERIMENTS.md number trustworthy.
+
+#include <gtest/gtest.h>
+
+#include "study/study_run.hpp"
+
+namespace study = ytcdn::study;
+
+namespace {
+
+study::StudyConfig small_config(std::uint64_t seed = 0xCDA1'2011ull) {
+    study::StudyConfig cfg;
+    cfg.scale = 0.005;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTraces) {
+    const auto a = study::run_study(small_config());
+    const auto b = study::run_study(small_config());
+
+    ASSERT_EQ(a.traces.datasets.size(), b.traces.datasets.size());
+    for (std::size_t i = 0; i < a.traces.datasets.size(); ++i) {
+        const auto& ra = a.traces.datasets[i].records;
+        const auto& rb = b.traces.datasets[i].records;
+        ASSERT_EQ(ra.size(), rb.size()) << a.traces.datasets[i].name;
+        for (std::size_t k = 0; k < ra.size(); ++k) {
+            ASSERT_EQ(ra[k].client_ip, rb[k].client_ip) << i << "/" << k;
+            ASSERT_EQ(ra[k].server_ip, rb[k].server_ip) << i << "/" << k;
+            ASSERT_EQ(ra[k].bytes, rb[k].bytes) << i << "/" << k;
+            ASSERT_EQ(ra[k].video, rb[k].video) << i << "/" << k;
+            ASSERT_DOUBLE_EQ(ra[k].start, rb[k].start) << i << "/" << k;
+            ASSERT_DOUBLE_EQ(ra[k].end, rb[k].end) << i << "/" << k;
+        }
+    }
+    EXPECT_EQ(a.traces.events_processed, b.traces.events_processed);
+    EXPECT_EQ(a.preferred, b.preferred);
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentTraces) {
+    const auto a = study::run_study(small_config(1));
+    const auto b = study::run_study(small_config(2));
+    // Same magnitudes...
+    ASSERT_EQ(a.traces.datasets.size(), b.traces.datasets.size());
+    const auto sa = a.traces.datasets[0].summary();
+    const auto sb = b.traces.datasets[0].summary();
+    EXPECT_NEAR(static_cast<double>(sa.flows), static_cast<double>(sb.flows),
+                static_cast<double>(sa.flows) * 0.2);
+    // ...but different flows.
+    EXPECT_NE(a.traces.datasets[0].records.front().video,
+              b.traces.datasets[0].records.front().video);
+}
+
+TEST(Determinism, PlayerStatsAreReproducible) {
+    const auto a = study::run_study(small_config());
+    const auto b = study::run_study(small_config());
+    for (std::size_t i = 0; i < a.traces.player_stats.size(); ++i) {
+        EXPECT_EQ(a.traces.player_stats[i].video_flows,
+                  b.traces.player_stats[i].video_flows);
+        EXPECT_EQ(a.traces.player_stats[i].redirects_miss,
+                  b.traces.player_stats[i].redirects_miss);
+        EXPECT_EQ(a.traces.player_stats[i].redirects_overload,
+                  b.traces.player_stats[i].redirects_overload);
+    }
+    EXPECT_EQ(a.traces.flows_observed, b.traces.flows_observed);
+    EXPECT_EQ(a.traces.flows_ignored, b.traces.flows_ignored);
+}
+
+}  // namespace

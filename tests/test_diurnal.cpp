@@ -1,0 +1,87 @@
+#include "sim/diurnal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sim = ytcdn::sim;
+
+namespace {
+
+TEST(Diurnal, WeekdayMeanIsNormalizedToOne) {
+    const auto p = sim::DiurnalProfile::residential();
+    // Integrate a weekday (day 0 is a weekday in our convention).
+    double sum = 0.0;
+    const int steps = 24 * 60;
+    for (int i = 0; i < steps; ++i) {
+        sum += p.multiplier_at(i * 60.0);
+    }
+    EXPECT_NEAR(sum / steps, 1.0, 0.01);
+}
+
+TEST(Diurnal, ResidentialPeaksInTheEvening) {
+    const auto p = sim::DiurnalProfile::residential();
+    const double evening = p.multiplier_at(21.0 * sim::kHour);
+    const double night = p.multiplier_at(4.5 * sim::kHour);
+    EXPECT_GT(evening, 1.5);
+    EXPECT_LT(night, 0.3);
+    EXPECT_GT(evening / night, 5.0);  // strong day/night swing (Fig. 11)
+}
+
+TEST(Diurnal, CampusPeaksInTheAfternoon) {
+    const auto p = sim::DiurnalProfile::campus();
+    EXPECT_GT(p.multiplier_at(14.0 * sim::kHour), p.multiplier_at(21.5 * sim::kHour));
+    EXPECT_GT(p.multiplier_at(14.0 * sim::kHour), 1.3);
+}
+
+TEST(Diurnal, WeekendFactorAppliesOnDays1And2) {
+    const auto p = sim::DiurnalProfile::campus();  // weekend factor 0.45
+    const double weekday = p.multiplier_at(14.0 * sim::kHour);           // day 0
+    const double weekend = p.multiplier_at(sim::kDay + 14.0 * sim::kHour);  // day 1
+    EXPECT_NEAR(weekend / weekday, 0.45, 1e-6);
+    const double day3 = p.multiplier_at(3 * sim::kDay + 14.0 * sim::kHour);
+    EXPECT_NEAR(day3 / weekday, 1.0, 1e-6);
+}
+
+TEST(Diurnal, InterpolationIsContinuous) {
+    const auto p = sim::DiurnalProfile::residential();
+    for (int h = 0; h < 24; ++h) {
+        const double before = p.multiplier_at(h * sim::kHour - 1.0);
+        const double after = p.multiplier_at(h * sim::kHour + 1.0);
+        if (h == 0) continue;  // day boundary may also switch weekend factor
+        EXPECT_NEAR(before, after, 0.05) << "hour " << h;
+    }
+}
+
+TEST(Diurnal, WeeklyMeanAccountsForWeekend) {
+    const auto campus = sim::DiurnalProfile::campus();
+    EXPECT_NEAR(campus.weekly_mean(), (5.0 + 2.0 * 0.45) / 7.0, 1e-12);
+    const auto res = sim::DiurnalProfile::residential();
+    EXPECT_NEAR(res.weekly_mean(), (5.0 + 2.0 * 1.15) / 7.0, 1e-12);
+}
+
+TEST(Diurnal, NegativeTimeClampsToZero) {
+    const auto p = sim::DiurnalProfile::residential();
+    EXPECT_DOUBLE_EQ(p.multiplier_at(-100.0), p.multiplier_at(0.0));
+}
+
+TEST(Diurnal, RejectsInvalidProfiles) {
+    std::array<double, 24> zeros{};
+    EXPECT_THROW(sim::DiurnalProfile(zeros, 1.0), std::invalid_argument);
+    std::array<double, 24> neg{};
+    neg.fill(1.0);
+    neg[3] = -0.1;
+    EXPECT_THROW(sim::DiurnalProfile(neg, 1.0), std::invalid_argument);
+    std::array<double, 24> ok{};
+    ok.fill(1.0);
+    EXPECT_THROW(sim::DiurnalProfile(ok, -1.0), std::invalid_argument);
+}
+
+TEST(Diurnal, PeakToMeanMatchesMaxHour) {
+    std::array<double, 24> flat{};
+    flat.fill(1.0);
+    flat[12] = 3.0;
+    const sim::DiurnalProfile p(flat, 1.0);
+    // After normalization the mean is 1 and the peak is 3/(26/24).
+    EXPECT_NEAR(p.peak_to_mean(), 3.0 / (26.0 / 24.0), 1e-9);
+}
+
+}  // namespace

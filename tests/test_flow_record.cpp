@@ -1,0 +1,91 @@
+#include "capture/flow_record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace capture = ytcdn::capture;
+namespace cdn = ytcdn::cdn;
+namespace net = ytcdn::net;
+
+namespace {
+
+capture::FlowRecord sample() {
+    capture::FlowRecord r;
+    r.client_ip = net::IpAddress::from_octets(128, 210, 3, 4);
+    r.server_ip = net::IpAddress::from_octets(173, 194, 7, 9);
+    r.start = 1234.5;
+    r.end = 1300.25;
+    r.bytes = 9'123'456;
+    r.video = cdn::VideoId{0xFEEDBEEFull};
+    r.resolution = cdn::Resolution::R480;
+    return r;
+}
+
+TEST(FlowRecord, TsvRoundTrip) {
+    const auto r = sample();
+    const auto parsed = capture::FlowRecord::from_tsv(r.to_tsv());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->client_ip, r.client_ip);
+    EXPECT_EQ(parsed->server_ip, r.server_ip);
+    EXPECT_DOUBLE_EQ(parsed->start, r.start);
+    EXPECT_DOUBLE_EQ(parsed->end, r.end);
+    EXPECT_EQ(parsed->bytes, r.bytes);
+    EXPECT_EQ(parsed->video, r.video);
+    EXPECT_EQ(parsed->resolution, r.resolution);
+}
+
+TEST(FlowRecord, TsvFieldCount) {
+    const auto r = sample();
+    const std::string line = r.to_tsv();
+    EXPECT_EQ(std::count(line.begin(), line.end(), '\t'), 6);
+}
+
+TEST(FlowRecord, FromTsvRejectsMalformed) {
+    EXPECT_FALSE(capture::FlowRecord::from_tsv(""));
+    EXPECT_FALSE(capture::FlowRecord::from_tsv("a\tb\tc"));
+    EXPECT_FALSE(capture::FlowRecord::from_tsv(
+        "1.2.3.4\t5.6.7.8\tx\t2.0\t100\tAAAAAAAAAAA\t34"));
+    EXPECT_FALSE(capture::FlowRecord::from_tsv(
+        "1.2.3.4\t5.6.7.8\t1.0\t2.0\t100\tAAAAAAAAAAA\t999"));  // bad itag
+    EXPECT_FALSE(capture::FlowRecord::from_tsv(
+        "1.2.3.4\t5.6.7.8\t1.0\t2.0\t100\tbad!id!!!!!\t34"));   // bad video id
+    // Extra field.
+    EXPECT_FALSE(capture::FlowRecord::from_tsv(
+        "1.2.3.4\t5.6.7.8\t1.0\t2.0\t100\tAAAAAAAAAAA\t34\textra"));
+    // Non-finite timestamps must be rejected (from_chars parses "nan").
+    EXPECT_FALSE(capture::FlowRecord::from_tsv(
+        "1.2.3.4\t5.6.7.8\tnan\t2.0\t100\tAAAAAAAAAAA\t34"));
+    EXPECT_FALSE(capture::FlowRecord::from_tsv(
+        "1.2.3.4\t5.6.7.8\t1.0\tinf\t100\tAAAAAAAAAAA\t34"));
+}
+
+TEST(FlowRecord, DurationIsEndMinusStart) {
+    const auto r = sample();
+    EXPECT_DOUBLE_EQ(r.duration(), 65.75);
+}
+
+class FlowRecordFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowRecordFuzz, RandomRecordsRoundTrip) {
+    ytcdn::sim::Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        capture::FlowRecord r;
+        r.client_ip = net::IpAddress{static_cast<std::uint32_t>(rng.engine()())};
+        r.server_ip = net::IpAddress{static_cast<std::uint32_t>(rng.engine()())};
+        r.start = rng.uniform(0.0, 604800.0);
+        r.end = r.start + rng.uniform(0.0, 1000.0);
+        r.bytes = rng.engine()() % (1ull << 40);
+        r.video = cdn::VideoId{rng.engine()()};
+        r.resolution = cdn::kAllResolutions[rng.uniform_index(5)];
+        const auto parsed = capture::FlowRecord::from_tsv(r.to_tsv());
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->video, r.video);
+        EXPECT_EQ(parsed->bytes, r.bytes);
+        EXPECT_NEAR(parsed->start, r.start, 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowRecordFuzz, ::testing::Values(10u, 20u));
+
+}  // namespace

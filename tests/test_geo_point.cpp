@@ -1,0 +1,123 @@
+#include "geo/geo_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace geo = ytcdn::geo;
+
+namespace {
+
+TEST(GeoPoint, ValidityBounds) {
+    EXPECT_TRUE((geo::GeoPoint{0.0, 0.0}).is_valid());
+    EXPECT_TRUE((geo::GeoPoint{90.0, 180.0}).is_valid());
+    EXPECT_TRUE((geo::GeoPoint{-90.0, -180.0}).is_valid());
+    EXPECT_FALSE((geo::GeoPoint{90.1, 0.0}).is_valid());
+    EXPECT_FALSE((geo::GeoPoint{0.0, 180.5}).is_valid());
+    EXPECT_FALSE((geo::GeoPoint{std::nan(""), 0.0}).is_valid());
+}
+
+TEST(GeoPoint, DistanceToSelfIsZero) {
+    const geo::GeoPoint turin{45.0703, 7.6869};
+    EXPECT_DOUBLE_EQ(geo::distance_km(turin, turin), 0.0);
+}
+
+TEST(GeoPoint, KnownCityDistances) {
+    const geo::GeoPoint turin{45.0703, 7.6869};
+    const geo::GeoPoint milan{45.4642, 9.1900};
+    const geo::GeoPoint nyc{40.7128, -74.0060};
+    const geo::GeoPoint london{51.5074, -0.1278};
+
+    // Turin-Milan ~ 125 km, London-NYC ~ 5570 km (well-known references).
+    EXPECT_NEAR(geo::distance_km(turin, milan), 125.0, 10.0);
+    EXPECT_NEAR(geo::distance_km(london, nyc), 5570.0, 60.0);
+}
+
+TEST(GeoPoint, DistanceIsSymmetric) {
+    const geo::GeoPoint a{45.0, 7.0};
+    const geo::GeoPoint b{-33.9, 151.2};
+    EXPECT_DOUBLE_EQ(geo::distance_km(a, b), geo::distance_km(b, a));
+}
+
+TEST(GeoPoint, AntipodesIsHalfCircumference) {
+    const geo::GeoPoint a{0.0, 0.0};
+    const geo::GeoPoint b{0.0, 180.0};
+    EXPECT_NEAR(geo::distance_km(a, b), M_PI * geo::kEarthRadiusKm, 1.0);
+}
+
+TEST(GeoPoint, BearingCardinalDirections) {
+    const geo::GeoPoint origin{0.0, 0.0};
+    EXPECT_NEAR(geo::initial_bearing_deg(origin, {10.0, 0.0}), 0.0, 1e-6);
+    EXPECT_NEAR(geo::initial_bearing_deg(origin, {0.0, 10.0}), 90.0, 1e-6);
+    EXPECT_NEAR(geo::initial_bearing_deg(origin, {-10.0, 0.0}), 180.0, 1e-6);
+    EXPECT_NEAR(geo::initial_bearing_deg(origin, {0.0, -10.0}), 270.0, 1e-6);
+}
+
+TEST(GeoPoint, DestinationPointRoundTripsDistance) {
+    const geo::GeoPoint origin{45.0, 7.0};
+    for (double bearing : {0.0, 45.0, 137.0, 270.0}) {
+        for (double d : {1.0, 100.0, 2500.0}) {
+            const geo::GeoPoint dest = geo::destination_point(origin, bearing, d);
+            EXPECT_NEAR(geo::distance_km(origin, dest), d, d * 1e-6 + 1e-6)
+                << "bearing=" << bearing << " d=" << d;
+        }
+    }
+}
+
+TEST(GeoPoint, DestinationNormalizesLongitude) {
+    // Travel east across the antimeridian.
+    const geo::GeoPoint origin{0.0, 179.5};
+    const geo::GeoPoint dest = geo::destination_point(origin, 90.0, 200.0);
+    EXPECT_TRUE(dest.is_valid()) << geo::to_string(dest);
+    EXPECT_LT(dest.lon_deg, 0.0);  // wrapped to negative side
+}
+
+TEST(GeoPoint, DestinationFromPoleIsValid) {
+    const geo::GeoPoint north_pole{90.0, 0.0};
+    const geo::GeoPoint p = geo::destination_point(north_pole, 135.0, 1000.0);
+    EXPECT_TRUE(p.is_valid()) << geo::to_string(p);
+    EXPECT_NEAR(geo::distance_km(north_pole, p), 1000.0, 1.0);
+}
+
+TEST(GeoPoint, DistanceAcrossAntimeridianIsShortWay) {
+    const geo::GeoPoint a{0.0, 179.0};
+    const geo::GeoPoint b{0.0, -179.0};
+    // 2 degrees of longitude at the equator, not 358.
+    EXPECT_NEAR(geo::distance_km(a, b), 2.0 * 111.19, 1.0);
+}
+
+TEST(GeoPoint, MidpointOfIdenticalPointsIsThatPoint) {
+    const geo::GeoPoint p{45.0, 7.0};
+    const geo::GeoPoint m = geo::midpoint(p, p);
+    EXPECT_DOUBLE_EQ(m.lat_deg, p.lat_deg);
+    EXPECT_DOUBLE_EQ(m.lon_deg, p.lon_deg);
+}
+
+TEST(GeoPoint, MidpointIsEquidistant) {
+    const geo::GeoPoint a{45.0703, 7.6869};
+    const geo::GeoPoint b{52.52, 13.405};
+    const geo::GeoPoint m = geo::midpoint(a, b);
+    EXPECT_NEAR(geo::distance_km(a, m), geo::distance_km(b, m), 0.5);
+}
+
+TEST(GeoPoint, ToStringFormat) {
+    EXPECT_EQ(geo::to_string(geo::GeoPoint{45.0703, 7.6869}), "(45.0703, 7.6869)");
+}
+
+/// Property sweep: triangle inequality holds for random triples.
+class GeoPointTriangle : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeoPointTriangle, TriangleInequality) {
+    ytcdn::sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 50; ++i) {
+        const geo::GeoPoint a{rng.uniform(-90, 90), rng.uniform(-180, 180)};
+        const geo::GeoPoint b{rng.uniform(-90, 90), rng.uniform(-180, 180)};
+        const geo::GeoPoint c{rng.uniform(-90, 90), rng.uniform(-180, 180)};
+        EXPECT_LE(geo::distance_km(a, c),
+                  geo::distance_km(a, b) + geo::distance_km(b, c) + 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeoPointTriangle, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace

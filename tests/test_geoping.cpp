@@ -1,0 +1,76 @@
+#include "geoloc/geoping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/city.hpp"
+
+namespace geoloc = ytcdn::geoloc;
+namespace geo = ytcdn::geo;
+namespace net = ytcdn::net;
+namespace sim = ytcdn::sim;
+
+namespace {
+
+std::vector<geoloc::Landmark> small_set() {
+    geoloc::LandmarkCounts counts;
+    counts.north_america = 6;
+    counts.europe = 6;
+    counts.asia = 2;
+    counts.south_america = 1;
+    counts.oceania = 1;
+    counts.africa = 1;
+    return geoloc::make_planetlab_landmarks(geo::CityDatabase::builtin(), sim::Rng(3),
+                                            counts);
+}
+
+TEST(GeoPing, SnapsToNearestLandmark) {
+    net::RttModel model;
+    auto landmarks = small_set();
+    geoloc::GeoPingLocator locator(model, landmarks, 7);
+
+    // A target exactly at one landmark's location must pick a landmark very
+    // close to it (possibly itself).
+    const auto& lm = landmarks[3];
+    const net::NetSite target{0xBEEF, lm.site.location, 0.5};
+    const auto result = locator.locate(target);
+    ASSERT_TRUE(result.valid);
+    EXPECT_LT(geo::distance_km(result.estimate, lm.site.location), 400.0);
+}
+
+TEST(GeoPing, EstimateIsAlwaysALandmarkLocation) {
+    net::RttModel model;
+    auto landmarks = small_set();
+    geoloc::GeoPingLocator locator(model, landmarks, 8);
+    const net::NetSite target{0xBEF0, {46.0, 8.0}, 0.5};
+    const auto result = locator.locate(target);
+    ASSERT_TRUE(result.valid);
+    bool at_landmark = false;
+    for (const auto& lm : landmarks) {
+        if (geo::distance_km(result.estimate, lm.site.location) < 1e-6) {
+            at_landmark = true;
+        }
+    }
+    EXPECT_TRUE(at_landmark);
+    EXPECT_LT(result.landmark_index, landmarks.size());
+    EXPECT_GT(result.best_rtt_ms, 0.0);
+}
+
+TEST(GeoPing, ErrorIsBoundedByLandmarkDensityNotZero) {
+    // A target far from every landmark city keeps an irreducible error —
+    // the weakness CBG fixes.
+    net::RttModel model;
+    geoloc::GeoPingLocator locator(model, small_set(), 9);
+    const net::NetSite target{0xBEF1, {47.0, 15.0}, 0.5};  // Graz-ish, no landmark
+    const auto result = locator.locate(target);
+    ASSERT_TRUE(result.valid);
+    EXPECT_GT(geo::distance_km(result.estimate, target.location), 50.0);
+}
+
+TEST(GeoPing, InvalidConstructionThrows) {
+    net::RttModel model;
+    EXPECT_THROW(geoloc::GeoPingLocator(model, {}, 1), std::invalid_argument);
+    EXPECT_THROW(geoloc::GeoPingLocator(model, small_set(), 1, 0),
+                 std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+#include "analysis/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace analysis = ytcdn::analysis;
+
+namespace {
+
+TEST(LogHistogram, BinsCoverRange) {
+    analysis::LogHistogram h(100.0, 1e9, 4);
+    // 7 decades x 4 bins + 1 terminal.
+    EXPECT_EQ(h.num_bins(), 29u);
+    EXPECT_NEAR(h.bin_lower(0), 100.0, 1e-9);
+    EXPECT_NEAR(h.bin_lower(4), 1000.0, 1e-6);
+}
+
+TEST(LogHistogram, AddAndCount) {
+    analysis::LogHistogram h(1.0, 1000.0, 1);
+    h.add(1.5);    // bin 0: [1, 10)
+    h.add(5.0);    // bin 0
+    h.add(50.0);   // bin 1: [10, 100)
+    h.add(5000.0); // clamps to last bin
+    h.add(0.5);    // clamps to bin 0
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.count(0), 3u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(h.num_bins() - 1), 1u);
+}
+
+TEST(LogHistogram, BinOfIsConsistentWithEdges) {
+    analysis::LogHistogram h(1.0, 1e6, 2);
+    for (std::size_t b = 0; b + 1 < h.num_bins(); ++b) {
+        const double lower = h.bin_lower(b);
+        EXPECT_EQ(h.bin_of(lower * 1.0001), b) << b;
+        EXPECT_EQ(h.bin_of(h.bin_center(b)), b) << b;
+    }
+}
+
+TEST(LogHistogram, SeriesNormalizes) {
+    analysis::LogHistogram h(1.0, 100.0, 1);
+    for (int i = 0; i < 10; ++i) h.add(2.0);
+    const auto s = h.to_series("x");
+    double mass = 0.0;
+    for (const auto& [x, y] : s.points) mass += y;
+    EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(LogHistogram, WidestInteriorGapFindsTheKink) {
+    analysis::LogHistogram h(100.0, 1e9, 4);
+    // Control-flow mode around 500 B, video mode around 5 MB, nothing
+    // between: the Fig. 4 shape.
+    ytcdn::sim::Rng rng(1);
+    for (int i = 0; i < 500; ++i) h.add(rng.uniform(300.0, 900.0));
+    for (int i = 0; i < 2000; ++i) h.add(rng.uniform(1e6, 2e7));
+    const auto gap = h.widest_interior_gap();
+    EXPECT_GT(gap.length, 8u);  // several empty decades
+    EXPECT_GT(h.bin_lower(gap.first_bin), 800.0);
+    EXPECT_LT(h.bin_lower(gap.first_bin), 3000.0);
+}
+
+TEST(LogHistogram, NoGapWhenDense) {
+    analysis::LogHistogram h(1.0, 1e4, 1);
+    for (double v : {2.0, 20.0, 200.0, 2000.0}) h.add(v);
+    EXPECT_EQ(h.widest_interior_gap().length, 0u);
+}
+
+TEST(LogHistogram, GapOnEmptyOrSingleModeIsZero) {
+    analysis::LogHistogram empty(1.0, 100.0, 2);
+    EXPECT_EQ(empty.widest_interior_gap().length, 0u);
+    analysis::LogHistogram single(1.0, 100.0, 2);
+    single.add(5.0);
+    EXPECT_EQ(single.widest_interior_gap().length, 0u);
+}
+
+TEST(LogHistogram, InvalidConstructionThrows) {
+    EXPECT_THROW(analysis::LogHistogram(0.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(analysis::LogHistogram(10.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(analysis::LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, OutOfRangeAccessThrows) {
+    analysis::LogHistogram h(1.0, 10.0, 1);
+    EXPECT_THROW((void)h.count(99), std::out_of_range);
+    EXPECT_THROW((void)h.bin_center(99), std::out_of_range);
+}
+
+}  // namespace

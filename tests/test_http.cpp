@@ -1,0 +1,94 @@
+#include "cdn/http.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdn = ytcdn::cdn;
+
+namespace {
+
+cdn::VideoRequest sample_request() {
+    return cdn::VideoRequest{"v3.lscache7.c.youtube.com",
+                             *cdn::VideoId::parse("dQw4w9WgXcQ"), 34};
+}
+
+TEST(Http, HostnameShapeAndRecognition) {
+    const std::string host = cdn::server_hostname(7, 3);
+    EXPECT_EQ(host, "v3.lscache7.c.youtube.com");
+    EXPECT_TRUE(cdn::is_video_host(host));
+    EXPECT_FALSE(cdn::is_video_host("www.youtube.com"));
+    EXPECT_FALSE(cdn::is_video_host("c.youtube.com"));  // needs a label prefix
+    EXPECT_FALSE(cdn::is_video_host("evil.example.com"));
+}
+
+TEST(Http, FormatThenParseRoundTrips) {
+    const auto req = sample_request();
+    const std::string wire = cdn::format_request(req);
+    const auto parsed = cdn::parse_request(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->host, req.host);
+    EXPECT_EQ(parsed->video, req.video);
+    EXPECT_EQ(parsed->itag, req.itag);
+}
+
+TEST(Http, WireFormatLooksLikeHttp) {
+    const std::string wire = cdn::format_request(sample_request());
+    EXPECT_TRUE(wire.starts_with("GET /videoplayback?id=dQw4w9WgXcQ&itag=34 HTTP/1.1"));
+    EXPECT_NE(wire.find("\r\nHost: v3.lscache7.c.youtube.com\r\n"), std::string::npos);
+    EXPECT_TRUE(wire.ends_with("\r\n\r\n"));
+}
+
+TEST(Http, ParseRejectsNonVideoTraffic) {
+    // The DPI engine must not classify ordinary web traffic.
+    EXPECT_FALSE(cdn::parse_request("GET / HTTP/1.1\r\nHost: example.com\r\n\r\n"));
+    EXPECT_FALSE(cdn::parse_request(
+        "GET /watch?v=dQw4w9WgXcQ HTTP/1.1\r\nHost: www.youtube.com\r\n\r\n"));
+    EXPECT_FALSE(cdn::parse_request(
+        "POST /videoplayback?id=dQw4w9WgXcQ&itag=34 HTTP/1.1\r\nHost: "
+        "v3.lscache7.c.youtube.com\r\n\r\n"));
+    EXPECT_FALSE(cdn::parse_request(""));
+    EXPECT_FALSE(cdn::parse_request("garbage bytes \x01\x02"));
+}
+
+TEST(Http, ParseRejectsBadParameters) {
+    // Bad id length.
+    EXPECT_FALSE(cdn::parse_request(
+        "GET /videoplayback?id=short&itag=34 HTTP/1.1\r\nHost: "
+        "v1.lscache1.c.youtube.com\r\n\r\n"));
+    // Unknown itag.
+    EXPECT_FALSE(cdn::parse_request(
+        "GET /videoplayback?id=dQw4w9WgXcQ&itag=999 HTTP/1.1\r\nHost: "
+        "v1.lscache1.c.youtube.com\r\n\r\n"));
+    // Missing host header.
+    EXPECT_FALSE(cdn::parse_request(
+        "GET /videoplayback?id=dQw4w9WgXcQ&itag=34 HTTP/1.1\r\n\r\n"));
+    // Host outside the CDN.
+    EXPECT_FALSE(cdn::parse_request(
+        "GET /videoplayback?id=dQw4w9WgXcQ&itag=34 HTTP/1.1\r\nHost: "
+        "cdn.example.com\r\n\r\n"));
+}
+
+TEST(Http, ParseHandlesExtraQueryParameters) {
+    const auto parsed = cdn::parse_request(
+        "GET /videoplayback?foo=bar&id=dQw4w9WgXcQ&signature=xyz&itag=22 "
+        "HTTP/1.1\r\nHost: v9.lscache2.c.youtube.com\r\n\r\n");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->itag, 22);
+}
+
+TEST(Http, RedirectRoundTrip) {
+    const auto req = sample_request();
+    const std::string wire = cdn::format_redirect(req, "v8.lscache1.c.youtube.com");
+    EXPECT_TRUE(wire.starts_with("HTTP/1.1 302 Found"));
+    const auto host = cdn::parse_redirect_host(wire);
+    ASSERT_TRUE(host.has_value());
+    EXPECT_EQ(*host, "v8.lscache1.c.youtube.com");
+}
+
+TEST(Http, ParseRedirectRejectsNonRedirects) {
+    EXPECT_FALSE(cdn::parse_redirect_host("HTTP/1.1 200 OK\r\n\r\n"));
+    EXPECT_FALSE(cdn::parse_redirect_host("HTTP/1.1 302 Found\r\n\r\n"));  // no Location
+    EXPECT_FALSE(
+        cdn::parse_redirect_host("HTTP/1.1 302 Found\r\nLocation: ftp://x/y\r\n\r\n"));
+}
+
+}  // namespace

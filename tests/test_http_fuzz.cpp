@@ -1,0 +1,99 @@
+// Robustness fuzzing of the DPI-facing HTTP parsers: arbitrary and mutated
+// payloads must never crash, and only genuine /videoplayback requests may
+// classify. A passive sniffer parses adversarial garbage all day.
+
+#include <gtest/gtest.h>
+
+#include "capture/classifier.hpp"
+#include "cdn/http.hpp"
+#include "sim/random.hpp"
+
+namespace cdn = ytcdn::cdn;
+namespace sim = ytcdn::sim;
+
+namespace {
+
+std::string random_bytes(sim::Rng& rng, std::size_t max_len) {
+    std::string s;
+    const std::size_t len = rng.uniform_index(max_len + 1);
+    s.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.uniform_index(256)));
+    }
+    return s;
+}
+
+class HttpFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HttpFuzz, RandomBytesNeverCrashOrClassify) {
+    sim::Rng rng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        const std::string payload = random_bytes(rng, 512);
+        const auto parsed = cdn::parse_request(payload);
+        // Random bytes containing a valid request are astronomically
+        // unlikely; mostly this asserts "no crash, no UB".
+        if (parsed) {
+            EXPECT_TRUE(cdn::is_video_host(parsed->host));
+        }
+        (void)cdn::parse_redirect_host(payload);
+    }
+}
+
+TEST_P(HttpFuzz, MutatedValidRequestsParseOrRejectCleanly) {
+    sim::Rng rng(GetParam() ^ 0xF00Dull);
+    const cdn::VideoRequest base{"v3.lscache7.c.youtube.com",
+                                 cdn::VideoId{0xABCDEFull}, 34};
+    const std::string valid = cdn::format_request(base);
+    int accepted = 0;
+    for (int i = 0; i < 2000; ++i) {
+        std::string mutated = valid;
+        const int mutations = 1 + static_cast<int>(rng.uniform_index(4));
+        for (int m = 0; m < mutations; ++m) {
+            const std::size_t pos = rng.uniform_index(mutated.size());
+            switch (rng.uniform_index(3)) {
+                case 0: mutated[pos] = static_cast<char>(rng.uniform_index(256)); break;
+                case 1: mutated.erase(pos, 1); break;
+                default:
+                    mutated.insert(pos, 1, static_cast<char>(rng.uniform_index(256)));
+            }
+        }
+        const auto parsed = cdn::parse_request(mutated);
+        if (parsed) {
+            ++accepted;
+            // Whatever survived mutation must still be internally valid.
+            EXPECT_EQ(parsed->video.to_string().size(), 11u);
+            EXPECT_TRUE(cdn::resolution_from_itag(parsed->itag).has_value());
+            EXPECT_TRUE(cdn::is_video_host(parsed->host));
+        }
+    }
+    // Some mutations are benign (e.g. in the User-Agent), so acceptance is
+    // possible but must not be the norm.
+    EXPECT_LT(accepted, 1500);
+}
+
+TEST_P(HttpFuzz, ClassifierMirrorsParser) {
+    sim::Rng rng(GetParam() ^ 0xBEEFull);
+    for (int i = 0; i < 500; ++i) {
+        const std::string payload = random_bytes(rng, 256);
+        const bool parses = cdn::parse_request(payload).has_value();
+        const bool classified = !ytcdn::capture::classify_error(payload).has_value();
+        EXPECT_EQ(parses, classified);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HttpFuzz, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(HttpFuzz, TruncationsOfValidRequestNeverCrash) {
+    const cdn::VideoRequest base{"v1.lscache1.c.youtube.com", cdn::VideoId{42}, 22};
+    const std::string valid = cdn::format_request(base);
+    for (std::size_t len = 0; len <= valid.size(); ++len) {
+        (void)cdn::parse_request(std::string_view(valid).substr(0, len));
+    }
+    const std::string redirect = cdn::format_redirect(base, "v2.lscache2.c.youtube.com");
+    for (std::size_t len = 0; len <= redirect.size(); ++len) {
+        (void)cdn::parse_redirect_host(std::string_view(redirect).substr(0, len));
+    }
+    SUCCEED();
+}
+
+}  // namespace

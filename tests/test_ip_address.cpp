@@ -1,0 +1,77 @@
+#include "net/ip_address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/random.hpp"
+
+namespace net = ytcdn::net;
+
+namespace {
+
+TEST(IpAddress, FromOctetsAndToString) {
+    const auto ip = net::IpAddress::from_octets(173, 194, 12, 34);
+    EXPECT_EQ(ip.to_string(), "173.194.12.34");
+    EXPECT_EQ(ip.octet(0), 173);
+    EXPECT_EQ(ip.octet(1), 194);
+    EXPECT_EQ(ip.octet(2), 12);
+    EXPECT_EQ(ip.octet(3), 34);
+}
+
+TEST(IpAddress, ParseValid) {
+    const auto ip = net::IpAddress::parse("8.8.4.4");
+    ASSERT_TRUE(ip.has_value());
+    EXPECT_EQ(*ip, net::IpAddress::from_octets(8, 8, 4, 4));
+    EXPECT_EQ(net::IpAddress::parse("0.0.0.0")->value(), 0u);
+    EXPECT_EQ(net::IpAddress::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(IpAddress, ParseRejectsMalformed) {
+    for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "1.2.3.256", "1.2.3.-1",
+                            "a.b.c.d", "1..2.3", "1.2.3.4 ", " 1.2.3.4", "1,2,3,4"}) {
+        EXPECT_FALSE(net::IpAddress::parse(bad).has_value()) << bad;
+    }
+}
+
+TEST(IpAddress, Slash24MasksHostByte) {
+    const auto ip = net::IpAddress::from_octets(212, 187, 3, 201);
+    EXPECT_EQ(ip.slash24(), net::IpAddress::from_octets(212, 187, 3, 0));
+    // Idempotent.
+    EXPECT_EQ(ip.slash24().slash24(), ip.slash24());
+}
+
+TEST(IpAddress, OrderingFollowsNumericValue) {
+    EXPECT_LT(net::IpAddress::from_octets(1, 0, 0, 0),
+              net::IpAddress::from_octets(2, 0, 0, 0));
+    EXPECT_LT(net::IpAddress::from_octets(9, 255, 255, 255),
+              net::IpAddress::from_octets(10, 0, 0, 0));
+}
+
+TEST(IpAddress, StreamOperator) {
+    std::ostringstream os;
+    os << net::IpAddress::from_octets(127, 0, 0, 1);
+    EXPECT_EQ(os.str(), "127.0.0.1");
+}
+
+TEST(IpAddress, HashableDistinct) {
+    const std::hash<net::IpAddress> h;
+    EXPECT_NE(h(net::IpAddress::from_octets(1, 2, 3, 4)),
+              h(net::IpAddress::from_octets(4, 3, 2, 1)));
+}
+
+class IpRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IpRoundTrip, ParseFormatsBack) {
+    ytcdn::sim::Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        const net::IpAddress ip{static_cast<std::uint32_t>(rng.uniform_index(1ull << 32))};
+        const auto parsed = net::IpAddress::parse(ip.to_string());
+        ASSERT_TRUE(parsed.has_value()) << ip.to_string();
+        EXPECT_EQ(*parsed, ip);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpRoundTrip, ::testing::Values(11u, 22u, 33u));
+
+}  // namespace

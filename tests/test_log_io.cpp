@@ -1,0 +1,68 @@
+#include "capture/log_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "capture/binary_log.hpp"
+#include "capture/flow_log.hpp"
+
+namespace capture = ytcdn::capture;
+namespace cdn = ytcdn::cdn;
+namespace net = ytcdn::net;
+
+namespace {
+
+std::vector<capture::FlowRecord> sample_records() {
+    std::vector<capture::FlowRecord> out;
+    for (int i = 0; i < 20; ++i) {
+        capture::FlowRecord r;
+        r.client_ip = net::IpAddress::from_octets(10, 0, 0, static_cast<std::uint8_t>(i));
+        r.server_ip = net::IpAddress::from_octets(173, 194, 0, 1);
+        r.start = i * 10.0;
+        r.end = r.start + 5.0;
+        r.bytes = 5000u + static_cast<std::uint64_t>(i);
+        r.video = cdn::VideoId{0xAA00ull + static_cast<std::uint64_t>(i)};
+        r.resolution = cdn::Resolution::R360;
+        out.push_back(r);
+    }
+    return out;
+}
+
+TEST(LogIo, ExtensionDispatch) {
+    EXPECT_TRUE(capture::is_binary_log_path("trace.yfl"));
+    EXPECT_FALSE(capture::is_binary_log_path("trace.tsv"));
+    EXPECT_FALSE(capture::is_binary_log_path("trace"));
+    EXPECT_FALSE(capture::is_binary_log_path("trace.yfl.tsv"));
+}
+
+TEST(LogIo, RoundTripsBothFormatsIdentically) {
+    const auto records = sample_records();
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto tsv = dir / "ytcdn_logio.tsv";
+    const auto yfl = dir / "ytcdn_logio.yfl";
+    capture::write_any_log(tsv, records);
+    capture::write_any_log(yfl, records);
+
+    const auto from_tsv = capture::read_any_log(tsv);
+    const auto from_yfl = capture::read_any_log(yfl);
+    ASSERT_EQ(from_tsv.size(), records.size());
+    ASSERT_EQ(from_yfl.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(from_tsv[i].video, from_yfl[i].video);
+        EXPECT_EQ(from_tsv[i].bytes, from_yfl[i].bytes);
+    }
+    // Cross-check the dispatch really picked different encodings.
+    EXPECT_EQ(std::filesystem::file_size(yfl),
+              capture::binary_log_size(records.size()));
+    EXPECT_GT(std::filesystem::file_size(tsv), std::filesystem::file_size(yfl));
+    std::filesystem::remove(tsv);
+    std::filesystem::remove(yfl);
+}
+
+TEST(LogIo, MissingFileThrows) {
+    EXPECT_THROW((void)capture::read_any_log("does_not_exist.tsv"),
+                 std::runtime_error);
+    EXPECT_THROW((void)capture::read_any_log("does_not_exist.yfl"),
+                 std::runtime_error);
+}
+
+}  // namespace

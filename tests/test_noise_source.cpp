@@ -1,0 +1,76 @@
+#include "workload/noise_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/population.hpp"
+
+namespace workload = ytcdn::workload;
+namespace capture = ytcdn::capture;
+namespace net = ytcdn::net;
+namespace sim = ytcdn::sim;
+
+namespace {
+
+workload::VantagePoint make_vp() {
+    workload::VantagePoint vp;
+    vp.name = "T";
+    vp.tech = workload::AccessTech::Adsl;
+    vp.pop_site = net::NetSite{0x100, {45.0, 7.0}, 0.0};
+    vp.subnets = {
+        {"A", net::Subnet{net::IpAddress::from_octets(10, 0, 0, 0), 22}, 1.0, 0}};
+    vp.mean_sessions_per_s = 0.05;
+    vp.profile = sim::DiurnalProfile::residential();
+    sim::Rng rng(1);
+    workload::populate_clients(vp, 50, rng);
+    return vp;
+}
+
+TEST(NoiseSource, EmitsButNothingClassifies) {
+    auto vp = make_vp();
+    sim::Simulator simulator;
+    capture::Sniffer sniffer("T");
+    workload::NoiseSource noise(simulator, vp, sniffer, {}, sim::Rng(2));
+    noise.run(6 * sim::kHour);
+    simulator.run_until(6 * sim::kHour);
+
+    EXPECT_GT(noise.flows_emitted(), 100u);
+    EXPECT_EQ(sniffer.flows_observed(), noise.flows_emitted());
+    // The whole point: DPI rejects every noise flow, including the YouTube
+    // *portal* requests that share the youtube.com domain family.
+    EXPECT_EQ(sniffer.flows_classified(), 0u);
+    EXPECT_EQ(sniffer.flows_ignored(), noise.flows_emitted());
+}
+
+TEST(NoiseSource, VolumeTracksConfiguredMultiple) {
+    auto vp = make_vp();
+    sim::Simulator simulator;
+    capture::Sniffer sniffer("T");
+    workload::NoiseSource::Config cfg;
+    cfg.flows_per_session = 2.0;
+    workload::NoiseSource noise(simulator, vp, sniffer, cfg, sim::Rng(3));
+    noise.run(sim::kDay);
+    simulator.run_until(sim::kDay);
+    // 2 x 0.05/s x 86400 s = 8640 expected on a weekday.
+    EXPECT_NEAR(static_cast<double>(noise.flows_emitted()), 8640.0, 900.0);
+}
+
+TEST(NoiseSource, DiurnalShape) {
+    auto vp = make_vp();
+    sim::Simulator simulator;
+    capture::Sniffer sniffer("T");
+    workload::NoiseSource noise(simulator, vp, sniffer, {}, sim::Rng(4));
+
+    std::uint64_t at_noon = 0, at_night = 0;
+    noise.run(sim::kDay);
+    simulator.run_until(4.5 * sim::kHour);
+    at_night = noise.flows_emitted();
+    simulator.run_until(12 * sim::kHour);
+    const std::uint64_t to_noon = noise.flows_emitted() - at_night;
+    at_noon = to_noon;
+    // Night hours 0-4.5 vs morning-to-noon 4.5-12: residential profile is
+    // much busier later in the day even per-hour.
+    EXPECT_GT(static_cast<double>(at_noon) / 7.5,
+              1.5 * static_cast<double>(at_night) / 4.5);
+}
+
+}  // namespace

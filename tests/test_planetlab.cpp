@@ -1,0 +1,116 @@
+#include "study/planetlab_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/city.hpp"
+#include "study/dc_map_builder.hpp"
+
+namespace study = ytcdn::study;
+namespace geoloc = ytcdn::geoloc;
+namespace geo = ytcdn::geo;
+namespace sim = ytcdn::sim;
+
+namespace {
+
+class PlanetLabFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        study::StudyConfig cfg;
+        cfg.scale = 0.01;
+        dep_ = new study::StudyDeployment(cfg);
+        landmarks_ = new std::vector<geoloc::Landmark>(geoloc::make_planetlab_landmarks(
+            geo::CityDatabase::builtin(), sim::Rng(11)));
+    }
+    static void TearDownTestSuite() {
+        delete landmarks_;
+        delete dep_;
+        landmarks_ = nullptr;
+        dep_ = nullptr;
+    }
+    static study::StudyDeployment* dep_;
+    static std::vector<geoloc::Landmark>* landmarks_;
+};
+
+study::StudyDeployment* PlanetLabFixture::dep_ = nullptr;
+std::vector<geoloc::Landmark>* PlanetLabFixture::landmarks_ = nullptr;
+
+TEST_F(PlanetLabFixture, ShapeMatchesFig17And18) {
+    study::PlanetLabConfig cfg;
+    cfg.nodes = 45;
+    cfg.rounds = 25;
+    const auto result = study::run_planetlab_experiment(*dep_, *landmarks_, cfg);
+
+    ASSERT_EQ(result.nodes.size(), 45u);
+    ASSERT_EQ(result.rtt_ratio.size(), 45u);
+
+    int ratio_above_1 = 0, ratio_above_10 = 0;
+    for (const auto ratio : result.rtt_ratio) {
+        EXPECT_GT(ratio, 0.0);
+        if (ratio > 1.2) ++ratio_above_1;
+        if (ratio > 10.0) ++ratio_above_10;
+    }
+    // Paper Fig. 18: >40% of nodes see ratio > 1; ~20% see ratio > 10.
+    EXPECT_GT(ratio_above_1, 45 * 25 / 100);
+    EXPECT_GT(ratio_above_10, 1);
+    // But not everyone: nodes sharing a preferred DC with an earlier prober
+    // (or whose preferred DC is an origin) see ratio ~1.
+    EXPECT_LT(ratio_above_1, 45);
+
+    for (const auto& node : result.nodes) {
+        ASSERT_EQ(node.rtt_ms.size(), 25u);
+        ASSERT_EQ(node.served_from.size(), 25u);
+        // After the first round, the serving DC is stable (the pull landed).
+        for (std::size_t r = 2; r < node.served_from.size(); ++r) {
+            EXPECT_EQ(node.served_from[r], node.served_from[1]) << node.node;
+        }
+        // Fig. 17: later samples are no slower than the first (cold) one.
+        EXPECT_LE(node.rtt_ms[1], node.rtt_ms[0] * 1.5) << node.node;
+    }
+}
+
+TEST_F(PlanetLabFixture, FirstAccessComesFromOriginNotPreferred) {
+    // Re-run with a fresh deployment so caches are cold.
+    study::StudyConfig cfg;
+    cfg.scale = 0.01;
+    study::StudyDeployment dep(cfg);
+    study::PlanetLabConfig pl_cfg;
+    pl_cfg.nodes = 10;
+    pl_cfg.rounds = 3;
+    const auto result = study::run_planetlab_experiment(dep, *landmarks_, pl_cfg);
+    int cold_remote = 0;
+    for (const auto& node : result.nodes) {
+        if (node.served_from[0] != node.preferred_city) ++cold_remote;
+        // Round 2 is served from the (now warm) preferred data center.
+        EXPECT_EQ(node.served_from[1], node.preferred_city) << node.node;
+    }
+    EXPECT_GT(cold_remote, 3);  // most preferred DCs are not origins
+}
+
+TEST_F(PlanetLabFixture, InvalidConfigThrows) {
+    study::PlanetLabConfig cfg;
+    cfg.nodes = 1;
+    EXPECT_THROW((void)study::run_planetlab_experiment(*dep_, *landmarks_, cfg),
+                 std::invalid_argument);
+    cfg.nodes = 100000;
+    EXPECT_THROW((void)study::run_planetlab_experiment(*dep_, *landmarks_, cfg),
+                 std::invalid_argument);
+}
+
+TEST_F(PlanetLabFixture, GroundTruthDcMapCoversAllScopeServers) {
+    const auto map = study::ground_truth_dc_map(*dep_, dep_->vantage(0));
+    EXPECT_EQ(map.num_data_centers(), 33u);
+    for (const auto& dc : dep_->cdn().data_centers()) {
+        if (!ytcdn::cdn::in_analysis_scope(dc.infra)) continue;
+        for (const auto sid : dc.servers) {
+            EXPECT_GE(map.dc_of(dep_->cdn().server(sid).ip()), 0);
+        }
+    }
+    // Legacy servers are unmapped.
+    for (const auto& dc : dep_->cdn().data_centers()) {
+        if (ytcdn::cdn::in_analysis_scope(dc.infra)) continue;
+        const auto ip = dep_->cdn().server(dc.servers[0]).ip();
+        EXPECT_EQ(map.dc_of(ip), -1);
+    }
+}
+
+}  // namespace

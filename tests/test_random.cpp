@@ -1,0 +1,116 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sim = ytcdn::sim;
+
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    sim::Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    sim::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform01() == b.uniform01()) ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkByTagIsStableAndIndependent) {
+    const sim::Rng root(999);
+    sim::Rng a1 = root.fork("alpha");
+    sim::Rng a2 = root.fork("alpha");
+    sim::Rng b = root.fork("beta");
+    EXPECT_DOUBLE_EQ(a1.uniform01(), a2.uniform01());
+    sim::Rng a3 = root.fork("alpha");
+    EXPECT_NE(a3.uniform01(), b.uniform01());
+}
+
+TEST(Rng, ForkByIndexIsStable) {
+    const sim::Rng root(5);
+    EXPECT_DOUBLE_EQ(root.fork(std::uint64_t{7}).uniform01(),
+                     root.fork(std::uint64_t{7}).uniform01());
+    EXPECT_NE(root.fork(std::uint64_t{7}).uniform01(),
+              root.fork(std::uint64_t{8}).uniform01());
+}
+
+TEST(Rng, UniformRangeRespected) {
+    sim::Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.5, 7.5);
+        EXPECT_GE(v, 2.5);
+        EXPECT_LT(v, 7.5);
+    }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+    sim::Rng rng(4);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_index(10));
+    EXPECT_EQ(seen.size(), 10u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+    sim::Rng rng(6);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, BernoulliProbability) {
+    sim::Rng rng(8);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+    // Degenerate values never throw.
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+    sim::Rng rng(9);
+    EXPECT_THROW((void)rng.uniform(2.0, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+    EXPECT_THROW((void)rng.uniform_int(3, 2), std::invalid_argument);
+    EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, PickFromSpan) {
+    sim::Rng rng(10);
+    const std::vector<int> items{5, 6, 7};
+    for (int i = 0; i < 50; ++i) {
+        const int v = rng.pick(std::span<const int>{items});
+        EXPECT_GE(v, 5);
+        EXPECT_LE(v, 7);
+    }
+    const std::vector<int> empty;
+    EXPECT_THROW((void)rng.pick(std::span<const int>{empty}), std::invalid_argument);
+}
+
+TEST(Mix64, AvalanchesAndIsStable) {
+    EXPECT_EQ(sim::mix64(42), sim::mix64(42));
+    EXPECT_NE(sim::mix64(42), sim::mix64(43));
+    // Single-bit input flips change many output bits (weak avalanche check).
+    const std::uint64_t d = sim::mix64(0x1) ^ sim::mix64(0x0);
+    EXPECT_GT(__builtin_popcountll(d), 16);
+}
+
+TEST(HashString, DistinctStringsDistinctHashes) {
+    EXPECT_EQ(sim::hash_string("abc"), sim::hash_string("abc"));
+    EXPECT_NE(sim::hash_string("abc"), sim::hash_string("abd"));
+    EXPECT_NE(sim::hash_string(""), sim::hash_string("a"));
+}
+
+}  // namespace

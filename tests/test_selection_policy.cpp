@@ -1,0 +1,119 @@
+#include "cdn/selection_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/time.hpp"
+
+namespace cdn = ytcdn::cdn;
+namespace sim = ytcdn::sim;
+
+namespace {
+
+cdn::ResolutionContext ctx(sim::SimTime now, sim::Rng& rng) { return {now, &rng}; }
+
+TEST(StaticPreference, AlwaysFront) {
+    cdn::StaticPreferencePolicy p({7, 3, 1});
+    sim::Rng rng(1);
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(p.select(ctx(i, rng)), 7);
+    EXPECT_THROW(cdn::StaticPreferencePolicy({}), std::invalid_argument);
+}
+
+TEST(TokenBucket, StaysLocalUnderCapacity) {
+    cdn::TokenBucketLoadBalancePolicy p({0, 1}, /*rate=*/10.0, /*burst=*/10.0);
+    sim::Rng rng(2);
+    // 5 requests/s against 10 tokens/s: always local.
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(p.select(ctx(i * 0.2, rng)), 0);
+    }
+}
+
+TEST(TokenBucket, OverflowsAboveCapacity) {
+    cdn::TokenBucketLoadBalancePolicy p({0, 1}, /*rate=*/1.0, /*burst=*/1.0);
+    sim::Rng rng(3);
+    // 10 requests/s against 1 token/s: ~10% local after the burst drains.
+    std::map<cdn::DcId, int> counts;
+    for (int i = 0; i < 2000; ++i) {
+        ++counts[p.select(ctx(100.0 + i * 0.1, rng))];
+    }
+    EXPECT_NEAR(static_cast<double>(counts[0]) / 2000.0, 0.1, 0.03);
+    EXPECT_GT(counts[1], 0);
+}
+
+TEST(TokenBucket, RecoversAtNight) {
+    cdn::TokenBucketLoadBalancePolicy p({0, 1}, 1.0, 5.0);
+    sim::Rng rng(4);
+    // Daytime overload...
+    for (int i = 0; i < 100; ++i) (void)p.select(ctx(i * 0.05, rng));
+    EXPECT_EQ(p.select(ctx(5.0, rng)), 1);  // drained
+    // ...then a quiet hour refills the bucket.
+    EXPECT_EQ(p.select(ctx(3600.0, rng)), 0);
+}
+
+TEST(TokenBucket, InvalidConstruction) {
+    EXPECT_THROW(cdn::TokenBucketLoadBalancePolicy({0}, 1.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(cdn::TokenBucketLoadBalancePolicy({0, 1}, 0.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(cdn::TokenBucketLoadBalancePolicy({0, 1}, 1.0, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(ProportionalToSize, FollowsWeights) {
+    // The old-YouTube baseline [7]: locality-blind, proportional to size.
+    cdn::ProportionalToSizePolicy p({{0, 300.0}, {1, 100.0}});
+    sim::Rng rng(5);
+    std::map<cdn::DcId, int> counts;
+    for (int i = 0; i < 8000; ++i) ++counts[p.select(ctx(0.0, rng))];
+    EXPECT_NEAR(static_cast<double>(counts[0]) / 8000.0, 0.75, 0.03);
+    EXPECT_NEAR(static_cast<double>(counts[1]) / 8000.0, 0.25, 0.03);
+}
+
+TEST(ProportionalToSize, InvalidConstruction) {
+    EXPECT_THROW(cdn::ProportionalToSizePolicy({}), std::invalid_argument);
+    EXPECT_THROW(cdn::ProportionalToSizePolicy({{0, 0.0}}), std::invalid_argument);
+}
+
+TEST(Mixture, SplitsByProbability) {
+    auto common = std::make_unique<cdn::StaticPreferencePolicy>(std::vector<cdn::DcId>{0});
+    auto rare = std::make_unique<cdn::StaticPreferencePolicy>(std::vector<cdn::DcId>{9});
+    cdn::MixturePolicy p(std::move(common), std::move(rare), 0.2);
+    sim::Rng rng(6);
+    int rare_hits = 0;
+    for (int i = 0; i < 5000; ++i) {
+        if (p.select(ctx(0.0, rng)) == 9) ++rare_hits;
+    }
+    EXPECT_NEAR(static_cast<double>(rare_hits) / 5000.0, 0.2, 0.03);
+}
+
+TEST(Mixture, InvalidConstruction) {
+    auto a = std::make_unique<cdn::StaticPreferencePolicy>(std::vector<cdn::DcId>{0});
+    auto b = std::make_unique<cdn::StaticPreferencePolicy>(std::vector<cdn::DcId>{1});
+    EXPECT_THROW(cdn::MixturePolicy(nullptr, std::move(b), 0.1), std::invalid_argument);
+    auto c = std::make_unique<cdn::StaticPreferencePolicy>(std::vector<cdn::DcId>{1});
+    EXPECT_THROW(cdn::MixturePolicy(std::move(a), std::move(c), 1.5),
+                 std::invalid_argument);
+}
+
+TEST(UniformChoice, CoversAllChoices) {
+    cdn::UniformChoicePolicy p({2, 4, 6});
+    sim::Rng rng(7);
+    std::map<cdn::DcId, int> counts;
+    for (int i = 0; i < 3000; ++i) ++counts[p.select(ctx(0.0, rng))];
+    EXPECT_EQ(counts.size(), 3u);
+    for (const auto& [dc, n] : counts) {
+        EXPECT_NEAR(static_cast<double>(n) / 3000.0, 1.0 / 3.0, 0.04);
+    }
+    EXPECT_THROW(cdn::UniformChoicePolicy({}), std::invalid_argument);
+}
+
+TEST(Policies, RngRequiredWhereRandom) {
+    cdn::ResolutionContext no_rng{0.0, nullptr};
+    cdn::ProportionalToSizePolicy prop({{0, 1.0}});
+    EXPECT_THROW((void)prop.select(no_rng), std::invalid_argument);
+    cdn::UniformChoicePolicy uni({0});
+    EXPECT_THROW((void)uni.select(no_rng), std::invalid_argument);
+}
+
+}  // namespace

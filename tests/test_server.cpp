@@ -1,0 +1,76 @@
+#include "cdn/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cdn/data_center.hpp"
+
+namespace cdn = ytcdn::cdn;
+namespace net = ytcdn::net;
+
+namespace {
+
+cdn::ContentServer make_server(int capacity = 3) {
+    return cdn::ContentServer(7, 2, net::IpAddress::from_octets(173, 194, 0, 9),
+                              "v9.lscache2.c.youtube.com", capacity);
+}
+
+TEST(ContentServer, AccessorsAndInvariants) {
+    const auto s = make_server();
+    EXPECT_EQ(s.id(), 7);
+    EXPECT_EQ(s.dc(), 2);
+    EXPECT_EQ(s.ip().to_string(), "173.194.0.9");
+    EXPECT_EQ(s.hostname(), "v9.lscache2.c.youtube.com");
+    EXPECT_EQ(s.capacity(), 3);
+    EXPECT_EQ(s.active_flows(), 0);
+    EXPECT_FALSE(s.overloaded());
+}
+
+TEST(ContentServer, FlowLifecycleAndCounters) {
+    auto s = make_server(2);
+    s.begin_flow();
+    EXPECT_EQ(s.active_flows(), 1);
+    EXPECT_FALSE(s.overloaded());
+    s.begin_flow();
+    EXPECT_TRUE(s.overloaded());
+    EXPECT_EQ(s.flows_served(), 2u);
+    s.end_flow();
+    s.end_flow();
+    EXPECT_EQ(s.active_flows(), 0);
+    EXPECT_EQ(s.flows_served(), 2u);  // served counter is cumulative
+    EXPECT_THROW(s.end_flow(), std::logic_error);
+}
+
+TEST(ContentServer, RedirectCounter) {
+    auto s = make_server();
+    s.note_redirect();
+    s.note_redirect();
+    EXPECT_EQ(s.redirects_issued(), 2u);
+    EXPECT_EQ(s.flows_served(), 0u);
+}
+
+TEST(ContentServer, NonPositiveCapacityThrows) {
+    EXPECT_THROW(cdn::ContentServer(0, 0, net::IpAddress{1}, "h", 0),
+                 std::invalid_argument);
+    EXPECT_THROW(cdn::ContentServer(0, 0, net::IpAddress{1}, "h", -1),
+                 std::invalid_argument);
+}
+
+TEST(InfraClass, NamesAndScope) {
+    EXPECT_EQ(cdn::to_string(cdn::InfraClass::GoogleCdn), "Google");
+    EXPECT_EQ(cdn::to_string(cdn::InfraClass::IspInternal), "ISP-internal");
+    EXPECT_EQ(cdn::to_string(cdn::InfraClass::LegacyYouTube), "YouTube-EU");
+    EXPECT_EQ(cdn::to_string(cdn::InfraClass::OtherAs), "Other-AS");
+    std::ostringstream os;
+    os << cdn::InfraClass::GoogleCdn;
+    EXPECT_EQ(os.str(), "Google");
+
+    // The Section IV analysis filter.
+    EXPECT_TRUE(cdn::in_analysis_scope(cdn::InfraClass::GoogleCdn));
+    EXPECT_TRUE(cdn::in_analysis_scope(cdn::InfraClass::IspInternal));
+    EXPECT_FALSE(cdn::in_analysis_scope(cdn::InfraClass::LegacyYouTube));
+    EXPECT_FALSE(cdn::in_analysis_scope(cdn::InfraClass::OtherAs));
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+#include "analysis/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace analysis = ytcdn::analysis;
+namespace capture = ytcdn::capture;
+namespace cdn = ytcdn::cdn;
+namespace net = ytcdn::net;
+
+namespace {
+
+capture::FlowRecord flow(std::uint32_t client, std::uint64_t video, double start,
+                         double end, std::uint64_t bytes = 5000) {
+    capture::FlowRecord r;
+    r.client_ip = net::IpAddress{client};
+    r.server_ip = net::IpAddress::from_octets(173, 194, 0, 1);
+    r.video = cdn::VideoId{video};
+    r.start = start;
+    r.end = end;
+    r.bytes = bytes;
+    return r;
+}
+
+capture::Dataset dataset(std::vector<capture::FlowRecord> records) {
+    capture::Dataset ds;
+    ds.name = "T";
+    ds.records = std::move(records);
+    return ds;
+}
+
+TEST(FlowClassify, ThousandByteThreshold) {
+    EXPECT_EQ(analysis::classify_flow_size(0), analysis::FlowKind::Control);
+    EXPECT_EQ(analysis::classify_flow_size(999), analysis::FlowKind::Control);
+    EXPECT_EQ(analysis::classify_flow_size(1000), analysis::FlowKind::Video);
+    EXPECT_EQ(analysis::classify_flow_size(5'000'000), analysis::FlowKind::Video);
+}
+
+TEST(Sessions, GroupsSameClientVideoWithinGap) {
+    const auto ds = dataset({
+        flow(1, 100, 0.0, 10.0),
+        flow(1, 100, 10.5, 20.0),  // gap 0.5 < 1 -> same session
+    });
+    const auto sessions = analysis::build_sessions(ds, 1.0);
+    ASSERT_EQ(sessions.size(), 1u);
+    EXPECT_EQ(sessions[0].num_flows(), 2u);
+}
+
+TEST(Sessions, SplitsOnLargeGap) {
+    const auto ds = dataset({
+        flow(1, 100, 0.0, 10.0),
+        flow(1, 100, 12.0, 20.0),  // gap 2 > 1 -> new session
+    });
+    EXPECT_EQ(analysis::build_sessions(ds, 1.0).size(), 2u);
+    EXPECT_EQ(analysis::build_sessions(ds, 5.0).size(), 1u);  // larger T merges
+}
+
+TEST(Sessions, DifferentVideoOrClientNeverMerge) {
+    const auto ds = dataset({
+        flow(1, 100, 0.0, 10.0),
+        flow(1, 200, 0.1, 9.0),   // other video
+        flow(2, 100, 0.2, 9.5),   // other client
+    });
+    EXPECT_EQ(analysis::build_sessions(ds, 10.0).size(), 3u);
+}
+
+TEST(Sessions, OverlappingFlowsAreOneSession) {
+    const auto ds = dataset({
+        flow(1, 100, 0.0, 100.0),
+        flow(1, 100, 50.0, 60.0),  // fully nested
+        flow(1, 100, 99.5, 120.0),
+    });
+    const auto sessions = analysis::build_sessions(ds, 1.0);
+    ASSERT_EQ(sessions.size(), 1u);
+    EXPECT_EQ(sessions[0].num_flows(), 3u);
+}
+
+TEST(Sessions, NestedFlowDoesNotShortenHorizon) {
+    // A short control flow inside a long video flow must not cause a split
+    // when the next flow starts within T of the *latest* end seen so far.
+    const auto ds = dataset({
+        flow(1, 100, 0.0, 100.0),  // long video flow
+        flow(1, 100, 1.0, 2.0),    // short control flow, ends early
+        flow(1, 100, 100.5, 110.0),
+    });
+    EXPECT_EQ(analysis::build_sessions(ds, 1.0).size(), 1u);
+}
+
+TEST(Sessions, FlowsSortedWithinSession) {
+    const auto ds = dataset({
+        flow(1, 100, 5.0, 6.0),
+        flow(1, 100, 0.0, 4.5),
+    });
+    const auto sessions = analysis::build_sessions(ds, 1.0);
+    ASSERT_EQ(sessions.size(), 1u);
+    EXPECT_DOUBLE_EQ(sessions[0].flows[0]->start, 0.0);
+    EXPECT_DOUBLE_EQ(sessions[0].start(), 0.0);
+}
+
+TEST(Sessions, OutputSortedByStartTime) {
+    const auto ds = dataset({
+        flow(2, 200, 50.0, 60.0),
+        flow(1, 100, 0.0, 10.0),
+        flow(3, 300, 25.0, 30.0),
+    });
+    const auto sessions = analysis::build_sessions(ds, 1.0);
+    ASSERT_EQ(sessions.size(), 3u);
+    EXPECT_LT(sessions[0].start(), sessions[1].start());
+    EXPECT_LT(sessions[1].start(), sessions[2].start());
+}
+
+TEST(Sessions, EmptyDataset) {
+    EXPECT_TRUE(analysis::build_sessions(dataset({}), 1.0).empty());
+}
+
+TEST(ResolutionBreakdown, SharesPartitionVideoFlows) {
+    capture::Dataset ds;
+    auto make = [](std::uint64_t bytes, cdn::Resolution r) {
+        capture::FlowRecord rec;
+        rec.bytes = bytes;
+        rec.resolution = r;
+        return rec;
+    };
+    ds.records = {
+        make(10'000, cdn::Resolution::R360), make(10'000, cdn::Resolution::R360),
+        make(30'000, cdn::Resolution::R720), make(500, cdn::Resolution::R240),
+    };
+    const auto shares = analysis::resolution_breakdown(ds);
+    ASSERT_EQ(shares.size(), 5u);
+    // The 500-byte control flow is excluded.
+    EXPECT_DOUBLE_EQ(shares[static_cast<int>(cdn::Resolution::R240)].flow_share, 0.0);
+    EXPECT_NEAR(shares[static_cast<int>(cdn::Resolution::R360)].flow_share, 2.0 / 3.0,
+                1e-12);
+    EXPECT_NEAR(shares[static_cast<int>(cdn::Resolution::R720)].byte_share, 0.6,
+                1e-12);
+    double flow_sum = 0.0, byte_sum = 0.0;
+    for (const auto& s : shares) {
+        flow_sum += s.flow_share;
+        byte_sum += s.byte_share;
+    }
+    EXPECT_NEAR(flow_sum, 1.0, 1e-12);
+    EXPECT_NEAR(byte_sum, 1.0, 1e-12);
+}
+
+TEST(ResolutionBreakdown, EmptyDatasetIsAllZero) {
+    const auto shares = analysis::resolution_breakdown(capture::Dataset{});
+    for (const auto& s : shares) {
+        EXPECT_DOUBLE_EQ(s.flow_share, 0.0);
+        EXPECT_DOUBLE_EQ(s.byte_share, 0.0);
+    }
+}
+
+/// Property: total flows across sessions equals dataset flows; smaller T
+/// never produces fewer sessions.
+class SessionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionProperty, ConservationAndMonotonicity) {
+    ytcdn::sim::Rng rng(GetParam());
+    std::vector<capture::FlowRecord> records;
+    for (int i = 0; i < 400; ++i) {
+        const double start = rng.uniform(0.0, 3000.0);
+        records.push_back(flow(static_cast<std::uint32_t>(rng.uniform_index(5)),
+                               rng.uniform_index(10), start,
+                               start + rng.uniform(0.1, 300.0)));
+    }
+    const auto ds = dataset(std::move(records));
+    std::size_t prev_sessions = SIZE_MAX;
+    for (const double t : {1.0, 5.0, 10.0, 60.0, 300.0}) {
+        const auto sessions = analysis::build_sessions(ds, t);
+        std::size_t flows = 0;
+        for (const auto& s : sessions) flows += s.num_flows();
+        EXPECT_EQ(flows, ds.records.size()) << "T=" << t;
+        EXPECT_LE(sessions.size(), prev_sessions) << "T=" << t;
+        prev_sessions = sessions.size();
+        for (const auto& s : sessions) {
+            for (const auto* f : s.flows) {
+                EXPECT_EQ(f->client_ip, s.client);
+                EXPECT_EQ(f->video, s.video);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionProperty, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace

@@ -1,0 +1,129 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/series.hpp"
+#include "analysis/table.hpp"
+
+namespace analysis = ytcdn::analysis;
+
+namespace {
+
+TEST(EmpiricalCdf, QuantilesAndFractions) {
+    analysis::EmpiricalCdf cdf({5.0, 1.0, 3.0, 2.0, 4.0});
+    EXPECT_EQ(cdf.size(), 5u);
+    EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+    EXPECT_DOUBLE_EQ(cdf.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(3.0), 0.6);
+    EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+}
+
+TEST(EmpiricalCdf, IncrementalAdd) {
+    analysis::EmpiricalCdf cdf;
+    for (int i = 10; i >= 1; --i) cdf.add(i);
+    cdf.finalize();
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 6.0);
+    cdf.add(0.5);
+    EXPECT_DOUBLE_EQ(cdf.min(), 0.5);  // lazily re-sorted
+}
+
+TEST(EmpiricalCdf, EmptyThrows) {
+    const analysis::EmpiricalCdf cdf;
+    EXPECT_THROW((void)cdf.quantile(0.5), std::logic_error);
+    EXPECT_THROW((void)cdf.fraction_at_or_below(1.0), std::logic_error);
+    EXPECT_THROW((void)cdf.min(), std::logic_error);
+}
+
+TEST(EmpiricalCdf, BadQuantileThrows) {
+    analysis::EmpiricalCdf cdf({1.0});
+    EXPECT_THROW((void)cdf.quantile(-0.1), std::invalid_argument);
+    EXPECT_THROW((void)cdf.quantile(1.1), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotoneEndsAtOne) {
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i) samples.push_back(i * 0.1);
+    analysis::EmpiricalCdf cdf(std::move(samples));
+    const auto curve = cdf.curve(50);
+    ASSERT_FALSE(curve.empty());
+    EXPECT_LE(curve.size(), 60u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].first, curve[i - 1].first);
+        EXPECT_GE(curve[i].second, curve[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(MinMeanMax, Accumulates) {
+    analysis::MinMeanMax m;
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+    m.add(2.0);
+    m.add(8.0);
+    m.add(5.0);
+    EXPECT_DOUBLE_EQ(m.min, 2.0);
+    EXPECT_DOUBLE_EQ(m.max, 8.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+    EXPECT_EQ(m.count, 3u);
+}
+
+TEST(AsciiTable, RendersAlignedColumns) {
+    analysis::AsciiTable t({"Name", "Value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22222"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    // Each line has the second column starting at the same offset.
+    std::istringstream is(out);
+    std::string l1, l2, l3, l4;
+    std::getline(is, l1);
+    std::getline(is, l2);
+    std::getline(is, l3);
+    std::getline(is, l4);
+    EXPECT_EQ(l3.find('1'), l4.find("22222"));
+}
+
+TEST(AsciiTable, RowWidthMismatchThrows) {
+    analysis::AsciiTable t({"A", "B"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(analysis::AsciiTable({}), std::invalid_argument);
+}
+
+TEST(Fmt, FormatsNumbers) {
+    EXPECT_EQ(analysis::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(analysis::fmt(3.0, 0), "3");
+    EXPECT_EQ(analysis::fmt_pct(0.9866, 2), "98.66");
+    EXPECT_EQ(analysis::fmt_pct(0.5, 1), "50.0");
+}
+
+TEST(Series, WriteBlocksWithNames) {
+    std::ostringstream os;
+    analysis::write_series(
+        os, {{"curve-a", {{0.0, 0.1}, {1.0, 0.9}}}, {"curve-b", {{2.0, 1.0}}}});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("# curve-a"), std::string::npos);
+    EXPECT_NE(out.find("# curve-b"), std::string::npos);
+    EXPECT_NE(out.find("1.0000 0.9000"), std::string::npos);
+}
+
+TEST(Series, SampledKeepsEndpoints) {
+    analysis::Series s;
+    s.name = "big";
+    for (int i = 0; i <= 1000; ++i) s.points.emplace_back(i, i * 2.0);
+    std::ostringstream os;
+    analysis::write_series_sampled(os, {s}, 10, 0, 0);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("0 0"), std::string::npos);
+    EXPECT_NE(out.find("1000 2000"), std::string::npos);
+    // Roughly 10-12 lines, not 1000.
+    EXPECT_LT(std::count(out.begin(), out.end(), '\n'), 20);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+#include "net/subnet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace net = ytcdn::net;
+
+namespace {
+
+net::IpAddress ip(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+    return net::IpAddress::from_octets(a, b, c, d);
+}
+
+TEST(Subnet, MasksHostBitsOnConstruction) {
+    const net::Subnet s{ip(10, 1, 2, 3), 24};
+    EXPECT_EQ(s.network(), ip(10, 1, 2, 0));
+    EXPECT_EQ(s.prefix_len(), 24);
+}
+
+TEST(Subnet, ContainsIpBoundaries) {
+    const net::Subnet s{ip(192, 168, 4, 0), 22};
+    EXPECT_TRUE(s.contains(ip(192, 168, 4, 0)));
+    EXPECT_TRUE(s.contains(ip(192, 168, 7, 255)));
+    EXPECT_FALSE(s.contains(ip(192, 168, 8, 0)));
+    EXPECT_FALSE(s.contains(ip(192, 168, 3, 255)));
+}
+
+TEST(Subnet, ContainsSubnet) {
+    const net::Subnet outer{ip(128, 210, 0, 0), 16};
+    const net::Subnet inner{ip(128, 210, 64, 0), 18};
+    EXPECT_TRUE(outer.contains(inner));
+    EXPECT_FALSE(inner.contains(outer));
+    EXPECT_TRUE(outer.contains(outer));
+}
+
+TEST(Subnet, SizeAndAddressAt) {
+    const net::Subnet s{ip(10, 0, 0, 0), 24};
+    EXPECT_EQ(s.size(), 256u);
+    EXPECT_EQ(s.address_at(0), ip(10, 0, 0, 0));
+    EXPECT_EQ(s.address_at(255), ip(10, 0, 0, 255));
+}
+
+TEST(Subnet, SlashZeroCoversEverything) {
+    const net::Subnet all{ip(0, 0, 0, 0), 0};
+    EXPECT_EQ(all.size(), 1ull << 32);
+    EXPECT_TRUE(all.contains(ip(255, 1, 2, 3)));
+}
+
+TEST(Subnet, Slash32IsSingleHost) {
+    const net::Subnet host{ip(8, 8, 8, 8), 32};
+    EXPECT_EQ(host.size(), 1u);
+    EXPECT_TRUE(host.contains(ip(8, 8, 8, 8)));
+    EXPECT_FALSE(host.contains(ip(8, 8, 8, 9)));
+}
+
+TEST(Subnet, PrefixLenClamped) {
+    EXPECT_EQ((net::Subnet{ip(1, 2, 3, 4), 40}).prefix_len(), 32);
+    EXPECT_EQ((net::Subnet{ip(1, 2, 3, 4), -3}).prefix_len(), 0);
+}
+
+TEST(Subnet, ParseRoundTrip) {
+    const auto s = net::Subnet::parse("173.194.8.0/24");
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->to_string(), "173.194.8.0/24");
+    EXPECT_EQ(net::Subnet::parse(s->to_string()), *s);
+}
+
+TEST(Subnet, ParseRejectsMalformed) {
+    for (const char* bad :
+         {"", "1.2.3.4", "1.2.3.4/", "/24", "1.2.3.4/33", "1.2.3.4/-1", "1.2.3/24",
+          "1.2.3.4/24x"}) {
+        EXPECT_FALSE(net::Subnet::parse(bad).has_value()) << bad;
+    }
+}
+
+class SubnetPrefixSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubnetPrefixSweep, EveryAddressAtIsContained) {
+    const int len = GetParam();
+    const net::Subnet s{ip(172, 16, 0, 0), len};
+    // Probe first, middle, last.
+    EXPECT_TRUE(s.contains(s.address_at(0)));
+    EXPECT_TRUE(s.contains(s.address_at(s.size() / 2)));
+    EXPECT_TRUE(s.contains(s.address_at(s.size() - 1)));
+    if (len > 0) {
+        EXPECT_FALSE(s.contains(net::IpAddress{
+            static_cast<std::uint32_t>(s.network().value() + s.size())}));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SubnetPrefixSweep,
+                         ::testing::Values(8, 12, 16, 18, 20, 24, 28, 30, 32));
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include "study/trace_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/session.hpp"
+#include "net/as_registry.hpp"
+
+namespace study = ytcdn::study;
+namespace workload = ytcdn::workload;
+namespace analysis = ytcdn::analysis;
+namespace net = ytcdn::net;
+namespace cdn = ytcdn::cdn;
+
+namespace {
+
+study::StudyConfig tiny_config() {
+    study::StudyConfig cfg;
+    cfg.scale = 0.005;
+    return cfg;
+}
+
+TEST(TraceDriver, PlayerConfigOverridePropagates) {
+    study::StudyDeployment deployment(tiny_config());
+    workload::Player::Config cfg;
+    cfg.dns_ttl_s = 3600.0;
+    study::TraceDriver driver(deployment, cfg);
+    const auto traces = driver.run(ytcdn::sim::kDay);
+    std::uint64_t hits = 0;
+    for (const auto& stats : traces.player_stats) hits += stats.dns_cache_hits;
+    EXPECT_GT(hits, 0u);
+}
+
+TEST(TraceDriver, DefaultConfigHasNoDnsCaching) {
+    study::StudyDeployment deployment(tiny_config());
+    study::TraceDriver driver(deployment);
+    const auto traces = driver.run(ytcdn::sim::kDay);
+    for (const auto& stats : traces.player_stats) {
+        EXPECT_EQ(stats.dns_cache_hits, 0u);
+    }
+}
+
+TEST(TraceDriver, Eu2LegacyFlowsAreFullQuality) {
+    study::StudyDeployment deployment(tiny_config());
+    study::TraceDriver driver(deployment);
+    const auto traces = driver.run(2 * ytcdn::sim::kDay);
+
+    // Average legacy (YouTube-EU AS) video-flow size: EU2's legacy streams
+    // are full encodes; other networks get degraded 240p partials.
+    const auto legacy_mean = [&](const ytcdn::capture::Dataset& ds) {
+        double sum = 0.0;
+        std::uint64_t n = 0;
+        for (const auto& r : ds.records) {
+            if (deployment.whois().asn_of(r.server_ip) !=
+                net::well_known_as::kYouTubeEu) {
+                continue;
+            }
+            if (analysis::classify_flow_size(r.bytes) != analysis::FlowKind::Video) {
+                continue;
+            }
+            sum += static_cast<double>(r.bytes);
+            ++n;
+        }
+        return n == 0 ? 0.0 : sum / static_cast<double>(n);
+    };
+    double eu2 = 0.0, others = 0.0;
+    int other_count = 0;
+    for (const auto& ds : traces.datasets) {
+        const double mean = legacy_mean(ds);
+        if (ds.name == "EU2") {
+            eu2 = mean;
+        } else if (mean > 0.0) {
+            others += mean;
+            ++other_count;
+        }
+    }
+    ASSERT_GT(eu2, 0.0);
+    ASSERT_GT(other_count, 0);
+    EXPECT_GT(eu2, 2.0 * (others / other_count));
+}
+
+TEST(TraceDriver, HorizonIsRespectedWithDrainWindow) {
+    study::StudyDeployment deployment(tiny_config());
+    study::TraceDriver driver(deployment);
+    const double horizon = ytcdn::sim::kDay;
+    const auto traces = driver.run(horizon);
+    for (const auto& ds : traces.datasets) {
+        for (const auto& r : ds.records) {
+            // No flow *starts* after the capture horizon plus the redirect
+            // drain window (pause resumes can trail the last arrival).
+            EXPECT_LE(r.start, horizon + 2.0 * ytcdn::sim::kHour) << ds.name;
+        }
+    }
+}
+
+TEST(TraceDriver, SharedCdnStateAcrossVantagePoints) {
+    // A video pulled by one network's miss is warm for another: run the
+    // driver and check pulled caches are globally visible.
+    study::StudyDeployment deployment(tiny_config());
+    study::TraceDriver driver(deployment);
+    (void)driver.run(ytcdn::sim::kDay);
+    std::size_t pulled_total = 0;
+    for (const auto& dc : deployment.cdn().data_centers()) {
+        if (!cdn::in_analysis_scope(dc.infra)) continue;
+        pulled_total += deployment.cdn().cache(dc.id).pulled_count();
+    }
+    EXPECT_GT(pulled_total, 0u);
+}
+
+}  // namespace

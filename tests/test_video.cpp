@@ -1,0 +1,88 @@
+#include "cdn/video.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace cdn = ytcdn::cdn;
+
+namespace {
+
+TEST(VideoId, ToStringIsElevenChars) {
+    EXPECT_EQ(cdn::VideoId{0}.to_string().size(), 11u);
+    EXPECT_EQ(cdn::VideoId{~0ull}.to_string().size(), 11u);
+    EXPECT_EQ(cdn::VideoId{0}.to_string(), "AAAAAAAAAAA");
+}
+
+TEST(VideoId, ParseRejectsBadInput) {
+    EXPECT_FALSE(cdn::VideoId::parse("").has_value());
+    EXPECT_FALSE(cdn::VideoId::parse("short").has_value());
+    EXPECT_FALSE(cdn::VideoId::parse("exactly12chr").has_value());
+    EXPECT_FALSE(cdn::VideoId::parse("bad*chars!!").has_value());
+    // The final character encodes only 4 bits: its low base64 bits must be
+    // zero, as in genuine YouTube ids.
+    EXPECT_FALSE(cdn::VideoId::parse("AAAAAAAAAAB").has_value());
+    EXPECT_TRUE(cdn::VideoId::parse("AAAAAAAAAAE").has_value());
+}
+
+TEST(VideoId, ParseAcceptsRealWorldShape) {
+    const auto id = cdn::VideoId::parse("dQw4w9WgXcQ");
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(id->to_string(), "dQw4w9WgXcQ");
+}
+
+class VideoIdRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VideoIdRoundTrip, EncodeDecode) {
+    ytcdn::sim::Rng rng(GetParam());
+    for (int i = 0; i < 500; ++i) {
+        const cdn::VideoId id{rng.engine()()};
+        const auto parsed = cdn::VideoId::parse(id.to_string());
+        ASSERT_TRUE(parsed.has_value()) << id.to_string();
+        EXPECT_EQ(*parsed, id);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VideoIdRoundTrip, ::testing::Values(1u, 2u, 3u));
+
+TEST(Resolution, ItagRoundTrip) {
+    for (const auto r : cdn::kAllResolutions) {
+        const auto back = cdn::resolution_from_itag(cdn::itag_of(r));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, r);
+    }
+    // 18 is the mp4 alias for 360p.
+    EXPECT_EQ(cdn::resolution_from_itag(18), cdn::Resolution::R360);
+    EXPECT_FALSE(cdn::resolution_from_itag(999).has_value());
+}
+
+TEST(Resolution, PaperEraItags) {
+    EXPECT_EQ(cdn::itag_of(cdn::Resolution::R240), 5);
+    EXPECT_EQ(cdn::itag_of(cdn::Resolution::R360), 34);
+    EXPECT_EQ(cdn::itag_of(cdn::Resolution::R480), 35);
+    EXPECT_EQ(cdn::itag_of(cdn::Resolution::R720), 22);
+    EXPECT_EQ(cdn::itag_of(cdn::Resolution::R1080), 37);
+}
+
+TEST(Resolution, BitratesIncreaseWithQuality) {
+    double prev = 0.0;
+    for (const auto r : cdn::kAllResolutions) {
+        EXPECT_GT(cdn::bitrate_bps(r), prev);
+        prev = cdn::bitrate_bps(r);
+    }
+}
+
+TEST(Video, BytesScaleWithDurationAndResolution) {
+    cdn::Video v;
+    v.duration_s = 100.0;
+    const auto b360 = cdn::video_bytes(v, cdn::Resolution::R360);
+    EXPECT_NEAR(static_cast<double>(b360), 550e3 * 100 / 8, 1.0);
+
+    cdn::Video longer = v;
+    longer.duration_s = 200.0;
+    EXPECT_NEAR(static_cast<double>(cdn::video_bytes(longer, cdn::Resolution::R360)),
+                2.0 * static_cast<double>(b360), 2.0);
+    EXPECT_GT(cdn::video_bytes(v, cdn::Resolution::R720), b360);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+#include "sim/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sim = ytcdn::sim;
+
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+    const sim::ZipfDistribution z(1000, 0.9);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < z.size(); ++k) sum += z.pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfIsMonotoneDecreasing) {
+    const sim::ZipfDistribution z(500, 1.1);
+    for (std::size_t k = 1; k < z.size(); ++k) {
+        EXPECT_LE(z.pmf(k), z.pmf(k - 1) + 1e-12) << k;
+    }
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+    const sim::ZipfDistribution z(100, 0.0);
+    for (std::size_t k = 0; k < z.size(); ++k) {
+        EXPECT_NEAR(z.pmf(k), 0.01, 1e-9);
+    }
+}
+
+TEST(Zipf, SampleMatchesPmfForHead) {
+    const sim::ZipfDistribution z(10000, 0.8);
+    sim::Rng rng(77);
+    const int n = 50000;
+    int rank0 = 0;
+    for (int i = 0; i < n; ++i) {
+        if (z.sample(rng) == 0) ++rank0;
+    }
+    EXPECT_NEAR(static_cast<double>(rank0) / n, z.pmf(0), 0.01);
+}
+
+TEST(Zipf, SamplesInRange) {
+    const sim::ZipfDistribution z(50, 1.0);
+    sim::Rng rng(78);
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_LT(z.sample(rng), 50u);
+    }
+}
+
+TEST(Zipf, SingleRankAlwaysZero) {
+    const sim::ZipfDistribution z(1, 1.0);
+    sim::Rng rng(79);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(z.sample(rng), 0u);
+    EXPECT_NEAR(z.pmf(0), 1.0, 1e-12);
+}
+
+TEST(Zipf, InvalidArgsThrow) {
+    EXPECT_THROW(sim::ZipfDistribution(0, 1.0), std::invalid_argument);
+    EXPECT_THROW(sim::ZipfDistribution(10, -0.5), std::invalid_argument);
+    const sim::ZipfDistribution z(10, 1.0);
+    EXPECT_THROW((void)z.pmf(10), std::out_of_range);
+}
+
+/// Property sweep over exponents: higher exponent concentrates more mass on
+/// the head.
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, HeadMassGrowsWithExponent) {
+    const double s = GetParam();
+    const sim::ZipfDistribution lo(2000, s);
+    const sim::ZipfDistribution hi(2000, s + 0.3);
+    double lo_head = 0.0, hi_head = 0.0;
+    for (std::size_t k = 0; k < 20; ++k) {
+        lo_head += lo.pmf(k);
+        hi_head += hi.pmf(k);
+    }
+    EXPECT_GT(hi_head, lo_head);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         ::testing::Values(0.0, 0.4, 0.8, 1.0, 1.4));
+
+}  // namespace

@@ -1,0 +1,246 @@
+// ytcdn — command-line front end for the reproduction study.
+//
+//   ytcdn run        [--scale S] [--seed N] [--out DIR] [--binary]
+//   ytcdn tables     [--scale S] [--seed N]
+//   ytcdn summary    LOG [LOG...]
+//   ytcdn sessions   LOG [--gap T]
+//   ytcdn convert    IN OUT
+//   ytcdn geolocate  [--landmarks N]
+//   ytcdn planetlab  [--nodes N] [--rounds R]
+//
+// Flow logs are TSV (.tsv) or the compact binary format (.yfl), chosen by
+// extension.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/preferred_dc.hpp"
+#include "analysis/session.hpp"
+#include "analysis/session_analysis.hpp"
+#include "analysis/table.hpp"
+#include "capture/log_io.hpp"
+#include "geo/city.hpp"
+#include "geoloc/cbg.hpp"
+#include "study/planetlab_experiment.hpp"
+#include "study/report.hpp"
+#include "study/study_run.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace ytcdn;
+
+int usage() {
+    std::cerr <<
+        "usage: ytcdn <command> [options]\n"
+        "  run        [--scale S] [--seed N] [--out DIR] [--binary]   simulate the week, write tables + per-dataset flow logs\n"
+        "  tables     [--scale S] [--seed N]                          print Tables I and II\n"
+        "  summary    LOG [LOG...]                                    Table I-style summary of flow logs\n"
+        "  sessions   LOG [--gap T]                                   session statistics of a flow log\n"
+        "  analyze    LOG MAP [--gap T]                               full offline analysis (preferred DC, patterns)\n"
+        "  convert    IN OUT                                          convert between .tsv and .yfl logs\n"
+        "  geolocate  [--scale S] [--landmarks N]                     CBG-locate every data center\n"
+        "  planetlab  [--nodes N] [--rounds R]                        fresh-video active experiment\n";
+    return 2;
+}
+
+study::StudyConfig config_from(const util::ArgParser& args) {
+    study::StudyConfig cfg;
+    cfg.scale = args.get_double_or("scale", 0.05);
+    cfg.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 0xCDA12011L));
+    if (cfg.scale <= 0.0) throw std::invalid_argument("--scale must be > 0");
+    return cfg;
+}
+
+int cmd_run(const util::ArgParser& args) {
+    const auto cfg = config_from(args);
+    const std::filesystem::path out(args.get_or("out", "ytcdn_out"));
+    std::filesystem::create_directories(out);
+    std::cout << "Simulating one week at scale " << cfg.scale << "...\n";
+    const auto run = study::run_study(cfg);
+    std::cout << study::make_table1(run) << '\n' << study::make_table2(run) << '\n';
+    const bool binary = args.has_flag("binary");
+    for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+        const auto& ds = run.traces.datasets[i];
+        const auto path = out / (ds.name + (binary ? ".yfl" : ".tsv"));
+        capture::write_any_log(path, ds.records);
+        std::ofstream map_os(out / (ds.name + ".dcmap"));
+        analysis::write_dc_map(map_os, run.maps[i]);
+        std::cout << "wrote " << path << " (" << ds.records.size()
+                  << " records) + .dcmap\n";
+    }
+    return 0;
+}
+
+int cmd_analyze(const util::ArgParser& args) {
+    if (args.positionals().size() != 3) return usage();
+    capture::Dataset ds;
+    ds.name = args.positionals()[1];
+    ds.records = capture::read_any_log(args.positionals()[1]);
+    ds.sort_by_time();
+    std::ifstream map_is(args.positionals()[2]);
+    if (!map_is) throw std::runtime_error("cannot open " + args.positionals()[2]);
+    const auto map = analysis::read_dc_map(map_is);
+
+    const int preferred = analysis::preferred_dc(ds, map);
+    if (preferred < 0) throw std::runtime_error("no mapped flows in the log");
+    const auto share = analysis::non_preferred_share(ds, map, preferred);
+    const auto sessions =
+        analysis::build_sessions(ds, args.get_double_or("gap", 1.0));
+    const auto patterns = analysis::session_patterns(sessions, map, preferred);
+
+    analysis::AsciiTable t({"metric", "value"});
+    t.add_row({"flows", std::to_string(ds.records.size())});
+    t.add_row({"mapped data centers", std::to_string(map.num_data_centers())});
+    t.add_row({"preferred DC", map.info(preferred).name});
+    t.add_row({"preferred DC RTT [ms]", analysis::fmt(map.info(preferred).rtt_ms, 1)});
+    t.add_row({"preferred byte share %",
+               analysis::fmt_pct(1.0 - share.byte_fraction, 1)});
+    t.add_row({"non-preferred flow share %", analysis::fmt_pct(share.flow_fraction, 1)});
+    t.add_row({"sessions", std::to_string(patterns.total_sessions)});
+    t.add_row({"single-flow sessions %", analysis::fmt_pct(patterns.single_flow, 1)});
+    t.add_row({"  of which non-preferred %",
+               analysis::fmt_pct(patterns.single_non_preferred, 1)});
+    t.add_row({"2-flow (pref,nonpref) %",
+               analysis::fmt_pct(patterns.two_pref_nonpref, 1)});
+    std::cout << t;
+    return 0;
+}
+
+int cmd_tables(const util::ArgParser& args) {
+    const auto run = study::run_study(config_from(args));
+    std::cout << study::make_table1(run) << '\n' << study::make_table2(run);
+    return 0;
+}
+
+int cmd_summary(const util::ArgParser& args) {
+    if (args.positionals().size() < 2) return usage();
+    analysis::AsciiTable t({"log", "flows", "volume[GB]", "servers", "clients"});
+    for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+        capture::Dataset ds;
+        ds.name = args.positionals()[i];
+        ds.records = capture::read_any_log(args.positionals()[i]);
+        const auto s = ds.summary();
+        t.add_row({ds.name, std::to_string(s.flows), analysis::fmt(s.volume_gb, 2),
+                   std::to_string(s.distinct_servers),
+                   std::to_string(s.distinct_clients)});
+    }
+    std::cout << t;
+    return 0;
+}
+
+int cmd_sessions(const util::ArgParser& args) {
+    if (args.positionals().size() != 2) return usage();
+    const double gap = args.get_double_or("gap", 1.0);
+    capture::Dataset ds;
+    ds.records = capture::read_any_log(args.positionals()[1]);
+    ds.sort_by_time();
+    const auto sessions = analysis::build_sessions(ds, gap);
+    const auto cdf = analysis::flows_per_session_cdf(sessions);
+    std::cout << sessions.size() << " sessions at T=" << gap << "s\n";
+    for (std::size_t i = 0; i < cdf.size(); ++i) {
+        std::cout << (i + 1 == cdf.size() ? ">" : " ") << std::min(i + 1, cdf.size())
+                  << " flows: CDF " << analysis::fmt(cdf[i], 4) << '\n';
+    }
+    return 0;
+}
+
+int cmd_convert(const util::ArgParser& args) {
+    if (args.positionals().size() != 3) return usage();
+    const std::filesystem::path in(args.positionals()[1]);
+    const std::filesystem::path out(args.positionals()[2]);
+    const auto records = capture::read_any_log(in);
+    capture::write_any_log(out, records);
+    std::cout << "converted " << records.size() << " records: " << in << " -> " << out
+              << '\n';
+    return 0;
+}
+
+int cmd_geolocate(const util::ArgParser& args) {
+    study::StudyConfig cfg = config_from(args);
+    cfg.scale = std::min(cfg.scale, 0.01);  // topology only
+    study::StudyDeployment deployment(cfg);
+
+    geoloc::LandmarkCounts counts;
+    const long n = args.get_long_or("landmarks", 215);
+    if (n != 215) {
+        const double f = static_cast<double>(n) / 215.0;
+        counts.north_america = std::max(1, static_cast<int>(97 * f));
+        counts.europe = std::max(1, static_cast<int>(82 * f));
+        counts.asia = std::max(1, static_cast<int>(24 * f));
+        counts.south_america = std::max(1, static_cast<int>(8 * f));
+        counts.oceania = std::max(1, static_cast<int>(3 * f));
+        counts.africa = 1;
+    }
+    geoloc::CbgLocator locator(
+        deployment.rtt(),
+        geoloc::make_planetlab_landmarks(geo::CityDatabase::builtin(),
+                                         sim::Rng(cfg.seed ^ 0x9B), counts),
+        {}, cfg.seed ^ 0xCB6);
+    locator.calibrate();
+
+    analysis::AsciiTable t({"data center", "CBG estimate", "err[km]", "radius[km]"});
+    for (const auto& dc : deployment.cdn().data_centers()) {
+        if (!cdn::in_analysis_scope(dc.infra) || dc.servers.empty()) continue;
+        const auto result = locator.locate(dc.site);
+        const geo::City* snapped =
+            geoloc::snap_to_city(result, geo::CityDatabase::builtin());
+        t.add_row({dc.city, snapped != nullptr ? snapped->name : "(unlocated)",
+                   analysis::fmt(result.valid
+                                     ? geo::distance_km(result.estimate, dc.location)
+                                     : -1.0,
+                                 0),
+                   analysis::fmt(result.confidence_radius_km, 0)});
+    }
+    std::cout << t;
+    return 0;
+}
+
+int cmd_planetlab(const util::ArgParser& args) {
+    study::StudyConfig cfg = config_from(args);
+    cfg.scale = 0.01;
+    study::StudyDeployment deployment(cfg);
+    study::PlanetLabConfig pl;
+    pl.nodes = static_cast<int>(args.get_long_or("nodes", 45));
+    pl.rounds = static_cast<int>(args.get_long_or("rounds", 25));
+    const auto result = study::run_planetlab_experiment(
+        deployment,
+        geoloc::make_planetlab_landmarks(geo::CityDatabase::builtin(),
+                                         sim::Rng(cfg.seed ^ 0x9B)),
+        pl);
+    int above1 = 0;
+    for (const double r : result.rtt_ratio) above1 += r > 1.2 ? 1 : 0;
+    std::cout << pl.nodes << " nodes, " << pl.rounds << " rounds: " << above1
+              << " nodes saw RTT1/RTT2 > 1 (first access served remotely)\n";
+    for (const auto& node : result.nodes) {
+        std::cout << "  " << node.node << ": " << node.served_from[0] << " ("
+                  << analysis::fmt(node.rtt_ms[0], 1) << "ms) -> "
+                  << node.served_from[1] << " (" << analysis::fmt(node.rtt_ms[1], 1)
+                  << "ms)\n";
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const util::ArgParser args(argc, argv, {"binary"});
+        if (args.positionals().empty()) return usage();
+        const std::string& cmd = args.positionals().front();
+        if (cmd == "run") return cmd_run(args);
+        if (cmd == "tables") return cmd_tables(args);
+        if (cmd == "summary") return cmd_summary(args);
+        if (cmd == "sessions") return cmd_sessions(args);
+        if (cmd == "analyze") return cmd_analyze(args);
+        if (cmd == "convert") return cmd_convert(args);
+        if (cmd == "geolocate") return cmd_geolocate(args);
+        if (cmd == "planetlab") return cmd_planetlab(args);
+        std::cerr << "unknown command '" << cmd << "'\n";
+        return usage();
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}
