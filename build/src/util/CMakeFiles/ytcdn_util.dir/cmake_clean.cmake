@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_util.dir/args.cpp.o"
+  "CMakeFiles/ytcdn_util.dir/args.cpp.o.d"
+  "libytcdn_util.a"
+  "libytcdn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
