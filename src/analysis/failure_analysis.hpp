@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dc_map.hpp"
+#include "analysis/series.hpp"
+#include "analysis/table.hpp"
+#include "capture/dataset.hpp"
+#include "sim/time.hpp"
+
+namespace ytcdn::analysis {
+
+/// Per-vantage-point failure counters, decoupled from the workload layer's
+/// Player::Stats (the analysis library does not link workload); the study
+/// layer converts one into the other.
+struct VantageFailureCounts {
+    std::string vantage;
+    std::uint64_t sessions = 0;
+    // Non-terminal fault events.
+    std::uint64_t connect_timeouts = 0;
+    std::uint64_t connect_resets = 0;
+    std::uint64_t dns_servfails = 0;
+    std::uint64_t stale_dns_answers = 0;
+    std::uint64_t failovers = 0;
+    // Terminal failure causes (each abandoned session counts once).
+    std::uint64_t failed_timeout = 0;
+    std::uint64_t failed_reset = 0;
+    std::uint64_t failed_dns = 0;
+    std::uint64_t failed_retries_exhausted = 0;
+    std::uint64_t failed_redirect_exhausted = 0;
+    /// retry_histogram[k] = sessions that needed k connection retries.
+    std::vector<std::uint64_t> retry_histogram;
+
+    [[nodiscard]] std::uint64_t failed_total() const noexcept {
+        return failed_timeout + failed_reset + failed_dns +
+               failed_retries_exhausted + failed_redirect_exhausted;
+    }
+    /// Session-failure rate in [0, 1]; 0 when no sessions ran.
+    [[nodiscard]] double failure_rate() const noexcept {
+        return sessions == 0 ? 0.0
+                             : static_cast<double>(failed_total()) /
+                                   static_cast<double>(sessions);
+    }
+};
+
+/// Per-vantage failure breakdown: one row per vantage point with the
+/// session-failure rate and the terminal-cause split.
+[[nodiscard]] AsciiTable failure_breakdown_table(
+    const std::vector<VantageFailureCounts>& vantages);
+
+/// Connection-retry histogram across vantage points: one row per retry
+/// count, one column per vantage point (counts). Rows cover the longest
+/// histogram; missing buckets print as 0.
+[[nodiscard]] AsciiTable retry_histogram_table(
+    const std::vector<VantageFailureCounts>& vantages);
+
+/// How an outage window shifts bytes toward non-preferred data centers.
+/// Fractions are of video-flow bytes whose server maps to a known DC.
+struct OutageByteShift {
+    double before = 0.0;  // non-preferred byte fraction in [dataset start, t0)
+    double during = 0.0;  // ... in [t0, t1)
+    double after = 0.0;   // ... in [t1, dataset end]
+    std::uint64_t bytes_before = 0;
+    std::uint64_t bytes_during = 0;
+    std::uint64_t bytes_after = 0;
+};
+[[nodiscard]] OutageByteShift outage_byte_shift(const capture::Dataset& dataset,
+                                                const ServerDcMap& map, int preferred,
+                                                sim::SimTime t0, sim::SimTime t1);
+
+/// Hourly non-preferred byte fraction (x = hour index): the failure-mode
+/// analogue of Fig. 9's timeline, used by the fault-tolerance ablation to
+/// chart the shift during an injected outage and the recovery after it.
+[[nodiscard]] Series hourly_non_preferred_bytes(const capture::Dataset& dataset,
+                                                const ServerDcMap& map, int preferred);
+
+}  // namespace ytcdn::analysis

@@ -129,6 +129,7 @@ std::vector<DcId> Cdn::rank_by_rtt(const net::NetSite& client) const {
     std::vector<std::pair<double, DcId>> ranked;
     for (const auto& dc : dcs_) {
         if (!in_analysis_scope(dc.infra) || dc.servers.empty()) continue;
+        if (dc.health != HealthState::Up) continue;
         ranked.emplace_back(rtt_->base_rtt_ms(client, dc.site), dc.id);
     }
     std::sort(ranked.begin(), ranked.end());
@@ -136,6 +137,33 @@ std::vector<DcId> Cdn::rank_by_rtt(const net::NetSite& client) const {
     out.reserve(ranked.size());
     for (const auto& [rtt, id] : ranked) out.push_back(id);
     return out;
+}
+
+void Cdn::set_dc_health(DcId dc_id, HealthState health) {
+    if (dc_id < 0 || static_cast<std::size_t>(dc_id) >= dcs_.size()) {
+        throw std::out_of_range("Cdn::set_dc_health");
+    }
+    dcs_[static_cast<std::size_t>(dc_id)].health = health;
+}
+
+HealthState Cdn::dc_health(DcId dc_id) const { return dc(dc_id).health; }
+
+void Cdn::set_server_health(ServerId server_id, HealthState health) {
+    server(server_id).set_health(health);
+}
+
+HealthState Cdn::effective_health(ServerId server_id) const {
+    const auto& s = server(server_id);
+    return worse(s.health(), dcs_[static_cast<std::size_t>(s.dc())].health);
+}
+
+ConnectOutcome Cdn::connect_outcome(ServerId server_id) const {
+    switch (effective_health(server_id)) {
+        case HealthState::Up: return ConnectOutcome::Ok;
+        case HealthState::Draining: return ConnectOutcome::Refused;
+        case HealthState::Down: return ConnectOutcome::Timeout;
+    }
+    return ConnectOutcome::Ok;
 }
 
 bool Cdn::is_origin(DcId dc_id, VideoId id) const noexcept {
@@ -188,7 +216,17 @@ ServerId Cdn::pick_server(DcId dc_id, VideoId id) const {
     const auto& d = dc(dc_id);
     if (d.servers.empty()) throw std::logic_error("Cdn::pick_server: empty data center");
     const std::uint64_t h = sim::mix64(id.value() ^ 0xC0FFEEull);
-    return d.servers[h % d.servers.size()];
+    const std::size_t n = d.servers.size();
+    // Walk the hash ring past individually-failed machines, so a single
+    // dark server inside a healthy site just shifts its videos to the next
+    // one. With every server Up this returns the affinity server directly.
+    for (std::size_t k = 0; k < n; ++k) {
+        const ServerId sid = d.servers[(h + k) % n];
+        if (servers_[static_cast<std::size_t>(sid)].accepting()) return sid;
+    }
+    // Whole site dark: return the affinity server; the caller's connection
+    // attempt observes the failure.
+    return d.servers[h % n];
 }
 
 ServeOutcome Cdn::classify_request(ServerId server_id, const Video& v) const {
@@ -203,6 +241,9 @@ ServerId Cdn::redirect_target(const net::NetSite& client, const Video& v,
     const auto excluded = [&](DcId id) {
         return std::find(exclude.begin(), exclude.end(), id) != exclude.end();
     };
+    // rank_by_rtt already skips Draining/Down data centers; the per-pass
+    // accepting() checks additionally skip individually dark servers (a
+    // site whose entire pool failed still ranks, but cannot be a target).
     const std::vector<DcId> ranked = rank_by_rtt(client);
     // First pass: closest DC with the content and spare capacity.
     for (const DcId id : ranked) {
@@ -210,6 +251,7 @@ ServerId Cdn::redirect_target(const net::NetSite& client, const Video& v,
         const auto& d = dcs_[static_cast<std::size_t>(id)];
         if (d.servers.empty() || !has_content(id, v)) continue;
         const ServerId sid = pick_server(id, v.id);
+        if (!server(sid).accepting()) continue;
         if (!server(sid).overloaded()) return sid;
     }
     // Second pass: accept an overloaded server rather than fail (the real
@@ -218,13 +260,15 @@ ServerId Cdn::redirect_target(const net::NetSite& client, const Video& v,
         if (excluded(id)) continue;
         const auto& d = dcs_[static_cast<std::size_t>(id)];
         if (d.servers.empty() || !has_content(id, v)) continue;
-        return pick_server(id, v.id);
+        const ServerId sid = pick_server(id, v.id);
+        if (server(sid).accepting()) return sid;
     }
     // Last resort: ignore the exclusion list.
     for (const DcId id : ranked) {
         const auto& d = dcs_[static_cast<std::size_t>(id)];
         if (d.servers.empty() || !has_content(id, v)) continue;
-        return pick_server(id, v.id);
+        const ServerId sid = pick_server(id, v.id);
+        if (server(sid).accepting()) return sid;
     }
     return kInvalidServer;
 }

@@ -24,6 +24,15 @@ enum class ServeOutcome {
     RedirectMiss,      // content not present here -> 302 toward an origin
 };
 
+/// Outcome of a TCP connection attempt, before any HTTP happens. Driven by
+/// the health state the fault injector sets; a healthy CDN always answers
+/// Ok, so the zero-fault path is unchanged.
+enum class ConnectOutcome {
+    Ok,       // server accepts the connection
+    Refused,  // draining server resets new connections immediately
+    Timeout,  // dark server: SYNs vanish, the client waits out its timer
+};
+
 /// The content distribution network: data centers, servers, caches and the
 /// request-handling logic (application-layer redirection) behind them.
 ///
@@ -88,8 +97,26 @@ public:
     [[nodiscard]] ServerId server_by_hostname(std::string_view hostname) const noexcept;
 
     /// Data centers in analysis scope (Google AS + ISP-internal), ranked by
-    /// minimum RTT from `client`.
+    /// minimum RTT from `client`. Data centers that are not accepting new
+    /// flows (Draining or Down) are skipped — dark capacity is invisible to
+    /// server selection.
     [[nodiscard]] std::vector<DcId> rank_by_rtt(const net::NetSite& client) const;
+
+    // --- health (fault injection) ------------------------------------------
+
+    /// Sets/reads the health of a whole data center. Going Down or Draining
+    /// never interrupts active flows; it only gates new connections.
+    void set_dc_health(DcId dc, HealthState health);
+    [[nodiscard]] HealthState dc_health(DcId dc) const;
+
+    /// Per-server health (a single machine failing inside a healthy site).
+    void set_server_health(ServerId server, HealthState health);
+
+    /// The stricter of the server's own health and its data center's.
+    [[nodiscard]] HealthState effective_health(ServerId server) const;
+
+    /// What a TCP connection attempt to this server does right now.
+    [[nodiscard]] ConnectOutcome connect_outcome(ServerId server) const;
 
     // --- content placement -------------------------------------------------
 

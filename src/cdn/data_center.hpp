@@ -45,6 +45,9 @@ struct DataCenter {
     geo::GeoPoint location;
     net::Asn asn;
     InfraClass infra = InfraClass::GoogleCdn;
+    /// Health of the whole site (power/uplink failures); combined with each
+    /// server's own state via Cdn::effective_health.
+    HealthState health = HealthState::Up;
     /// The network site used for all RTT computations to/from this DC.
     net::NetSite site;
     /// IP prefixes announced for this DC (servers are carved out of these;

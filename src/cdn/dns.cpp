@@ -13,22 +13,83 @@ LdnsId DnsSystem::add_resolver(std::string name,
 }
 
 const std::string& DnsSystem::resolver_name(LdnsId id) const {
-    if (id < 0 || static_cast<std::size_t>(id) >= resolvers_.size()) {
-        throw std::out_of_range("DnsSystem::resolver_name");
+    return resolver_or_throw(id, "DnsSystem::resolver_name").name;
+}
+
+LdnsId DnsSystem::resolver_by_name(std::string_view name) const noexcept {
+    for (std::size_t i = 0; i < resolvers_.size(); ++i) {
+        if (resolvers_[i].name == name) return static_cast<LdnsId>(i);
     }
-    return resolvers_[static_cast<std::size_t>(id)].name;
+    return kInvalidLdns;
+}
+
+DnsSystem::Resolver& DnsSystem::resolver_or_throw(LdnsId id, const char* what) {
+    if (id < 0 || static_cast<std::size_t>(id) >= resolvers_.size()) {
+        throw std::out_of_range(what);
+    }
+    return resolvers_[static_cast<std::size_t>(id)];
+}
+
+const DnsSystem::Resolver& DnsSystem::resolver_or_throw(LdnsId id,
+                                                        const char* what) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= resolvers_.size()) {
+        throw std::out_of_range(what);
+    }
+    return resolvers_[static_cast<std::size_t>(id)];
+}
+
+DnsAnswer DnsSystem::query(LdnsId resolver, sim::SimTime now, sim::Rng& rng) {
+    auto& r = resolver_or_throw(resolver, "DnsSystem::query: unknown resolver");
+    if (!r.up) {
+        ++r.servfails;
+        return DnsAnswer{DnsStatus::ServFail, kInvalidDc, false};
+    }
+    if (r.stale && r.last_answer != kInvalidDc) {
+        // Past-TTL replay: no policy consultation, no randomness consumed.
+        ++r.stale_served;
+        ++r.counts[r.last_answer];
+        ++total_;
+        return DnsAnswer{DnsStatus::Ok, r.last_answer, true};
+    }
+    const ResolutionContext ctx{now, &rng};
+    const DcId dc = r.policy->select(ctx);
+    r.last_answer = dc;
+    ++r.counts[dc];
+    ++total_;
+    return DnsAnswer{DnsStatus::Ok, dc, false};
 }
 
 DcId DnsSystem::resolve(LdnsId resolver, sim::SimTime now, sim::Rng& rng) {
-    if (resolver < 0 || static_cast<std::size_t>(resolver) >= resolvers_.size()) {
-        throw std::out_of_range("DnsSystem::resolve: unknown resolver");
+    const DnsAnswer answer = query(resolver, now, rng);
+    if (answer.status != DnsStatus::Ok) {
+        throw std::runtime_error("DnsSystem::resolve: resolver " +
+                                 resolver_name(resolver) + " is down (SERVFAIL)");
     }
-    auto& r = resolvers_[static_cast<std::size_t>(resolver)];
-    const ResolutionContext ctx{now, &rng};
-    const DcId dc = r.policy->select(ctx);
-    ++r.counts[dc];
-    ++total_;
-    return dc;
+    return answer.dc;
+}
+
+void DnsSystem::set_resolver_up(LdnsId resolver, bool up) {
+    resolver_or_throw(resolver, "DnsSystem::set_resolver_up").up = up;
+}
+
+bool DnsSystem::resolver_up(LdnsId resolver) const {
+    return resolver_or_throw(resolver, "DnsSystem::resolver_up").up;
+}
+
+void DnsSystem::set_resolver_stale(LdnsId resolver, bool stale) {
+    resolver_or_throw(resolver, "DnsSystem::set_resolver_stale").stale = stale;
+}
+
+bool DnsSystem::resolver_stale(LdnsId resolver) const {
+    return resolver_or_throw(resolver, "DnsSystem::resolver_stale").stale;
+}
+
+std::uint64_t DnsSystem::servfail_count(LdnsId resolver) const {
+    return resolver_or_throw(resolver, "DnsSystem::servfail_count").servfails;
+}
+
+std::uint64_t DnsSystem::stale_answer_count(LdnsId resolver) const {
+    return resolver_or_throw(resolver, "DnsSystem::stale_answer_count").stale_served;
 }
 
 std::uint64_t DnsSystem::resolution_count(LdnsId resolver, DcId dc) const noexcept {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -15,6 +16,21 @@ namespace ytcdn::cdn {
 
 using LdnsId = std::int32_t;
 inline constexpr LdnsId kInvalidLdns = -1;
+
+/// Status of one DNS lookup through a local resolver.
+enum class DnsStatus {
+    Ok,        // an answer was produced
+    ServFail,  // the resolver is down; the stub resolver sees SERVFAIL
+};
+
+/// What a client's stub resolver gets back from its local resolver.
+struct DnsAnswer {
+    DnsStatus status = DnsStatus::Ok;
+    DcId dc = kInvalidDc;
+    /// True when the resolver served its cached last answer instead of
+    /// consulting the authoritative side (the past-TTL stale-answer fault).
+    bool stale = false;
+};
 
 /// The DNS side of YouTube server selection (step 3 in the paper's Fig. 1).
 ///
@@ -32,22 +48,51 @@ public:
 
     [[nodiscard]] std::size_t num_resolvers() const noexcept { return resolvers_.size(); }
     [[nodiscard]] const std::string& resolver_name(LdnsId id) const;
+    /// Resolver id by registration name, or kInvalidLdns. The fault
+    /// injector addresses resolvers this way.
+    [[nodiscard]] LdnsId resolver_by_name(std::string_view name) const noexcept;
 
-    /// Resolves the content-server name for a client behind `resolver`:
-    /// returns the data center the authoritative DNS maps this request to.
+    /// Resolves the content-server name for a client behind `resolver`.
+    /// A healthy resolver consults its authoritative-side policy; a down
+    /// resolver answers SERVFAIL; a stale resolver replays its last answer
+    /// past TTL without consulting the policy.
+    [[nodiscard]] DnsAnswer query(LdnsId resolver, sim::SimTime now, sim::Rng& rng);
+
+    /// Legacy convenience for fault-free callers: returns the data center
+    /// directly, throwing if the resolver is down.
     [[nodiscard]] DcId resolve(LdnsId resolver, sim::SimTime now, sim::Rng& rng);
+
+    // --- health (fault injection) ------------------------------------------
+
+    void set_resolver_up(LdnsId resolver, bool up);
+    [[nodiscard]] bool resolver_up(LdnsId resolver) const;
+    /// Toggles stale-answer mode: the resolver keeps returning its most
+    /// recent answer (if any) instead of asking the authoritative side.
+    void set_resolver_stale(LdnsId resolver, bool stale);
+    [[nodiscard]] bool resolver_stale(LdnsId resolver) const;
 
     /// How many resolutions each (resolver, data center) pair has seen, for
     /// diagnosis and tests.
     [[nodiscard]] std::uint64_t resolution_count(LdnsId resolver, DcId dc) const noexcept;
     [[nodiscard]] std::uint64_t total_resolutions() const noexcept { return total_; }
+    /// Per-resolver failure counters.
+    [[nodiscard]] std::uint64_t servfail_count(LdnsId resolver) const;
+    [[nodiscard]] std::uint64_t stale_answer_count(LdnsId resolver) const;
 
 private:
     struct Resolver {
         std::string name;
         std::unique_ptr<SelectionPolicy> policy;
         std::unordered_map<DcId, std::uint64_t> counts;
+        bool up = true;
+        bool stale = false;
+        DcId last_answer = kInvalidDc;
+        std::uint64_t servfails = 0;
+        std::uint64_t stale_served = 0;
     };
+    [[nodiscard]] Resolver& resolver_or_throw(LdnsId id, const char* what);
+    [[nodiscard]] const Resolver& resolver_or_throw(LdnsId id, const char* what) const;
+
     std::vector<Resolver> resolvers_;
     std::uint64_t total_ = 0;
 };

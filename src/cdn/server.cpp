@@ -5,6 +5,15 @@
 
 namespace ytcdn::cdn {
 
+std::string_view to_string(HealthState h) noexcept {
+    switch (h) {
+        case HealthState::Up: return "up";
+        case HealthState::Draining: return "draining";
+        case HealthState::Down: return "down";
+    }
+    return "?";
+}
+
 ContentServer::ContentServer(ServerId id, DcId dc, net::IpAddress ip,
                              std::string hostname, int capacity)
     : id_(id), dc_(dc), ip_(ip), hostname_(std::move(hostname)), capacity_(capacity) {

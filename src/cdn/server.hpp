@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "net/ip_address.hpp"
 
@@ -12,6 +13,22 @@ using ServerId = std::int32_t;
 using DcId = std::int32_t;
 inline constexpr ServerId kInvalidServer = -1;
 inline constexpr DcId kInvalidDc = -1;
+
+/// Operational state of a server or a whole data center, driven by the
+/// fault injector. Ordered by severity so the effective state of a server
+/// is the max of its own and its data center's.
+enum class HealthState {
+    Up,        // accepts new connections
+    Draining,  // finishes active flows, refuses (RST) new connections
+    Down,      // dark: new connections time out, nothing is served
+};
+
+[[nodiscard]] std::string_view to_string(HealthState h) noexcept;
+
+/// The stricter of two health states.
+[[nodiscard]] constexpr HealthState worse(HealthState a, HealthState b) noexcept {
+    return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
 
 /// One content server: an IP inside a data center with a bounded number of
 /// concurrent video flows it can sustain.
@@ -35,6 +52,13 @@ public:
     [[nodiscard]] std::uint64_t flows_served() const noexcept { return served_; }
     [[nodiscard]] std::uint64_t redirects_issued() const noexcept { return redirects_; }
 
+    /// This server's own health; the data-center state is applied on top by
+    /// Cdn::effective_health. Active flows always drain to completion —
+    /// only new connections are refused (Draining) or time out (Down).
+    [[nodiscard]] HealthState health() const noexcept { return health_; }
+    void set_health(HealthState h) noexcept { health_ = h; }
+    [[nodiscard]] bool accepting() const noexcept { return health_ == HealthState::Up; }
+
     /// Accounting for a video flow the server accepted.
     void begin_flow();
     void end_flow();
@@ -47,6 +71,7 @@ private:
     net::IpAddress ip_;
     std::string hostname_;
     int capacity_;
+    HealthState health_ = HealthState::Up;
     int active_ = 0;
     std::uint64_t served_ = 0;
     std::uint64_t redirects_ = 0;

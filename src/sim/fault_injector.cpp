@@ -1,0 +1,189 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ytcdn::sim {
+
+namespace {
+
+constexpr struct {
+    FaultAction action;
+    std::string_view name;
+} kActionNames[] = {
+    {FaultAction::DcDown, "dc-down"},
+    {FaultAction::DcDrain, "dc-drain"},
+    {FaultAction::DcUp, "dc-up"},
+    {FaultAction::ServerDown, "server-down"},
+    {FaultAction::ServerDrain, "server-drain"},
+    {FaultAction::ServerUp, "server-up"},
+    {FaultAction::ResolverDown, "resolver-down"},
+    {FaultAction::ResolverUp, "resolver-up"},
+    {FaultAction::ResolverStale, "resolver-stale"},
+    {FaultAction::ResolverFresh, "resolver-fresh"},
+};
+
+constexpr std::size_t kNumActions = std::size(kActionNames);
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultAction a) noexcept {
+    for (const auto& [action, name] : kActionNames) {
+        if (action == a) return name;
+    }
+    return "?";
+}
+
+FaultAction fault_action_from(std::string_view name) {
+    for (const auto& [action, action_name] : kActionNames) {
+        if (action_name == name) return action;
+    }
+    throw std::invalid_argument("unknown fault action '" + std::string(name) + "'");
+}
+
+SimTime parse_duration(std::string_view text) {
+    text = trim(text);
+    if (text.empty()) throw std::invalid_argument("empty duration");
+    SimTime total = 0.0;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        std::size_t j = i;
+        while (j < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[j])) || text[j] == '.')) {
+            ++j;
+        }
+        if (j == i) {
+            throw std::invalid_argument("malformed duration '" + std::string(text) + "'");
+        }
+        const double value = std::stod(std::string(text.substr(i, j - i)));
+        double unit = 1.0;
+        if (j < text.size()) {
+            switch (text[j]) {
+                case 's': unit = kSecond; break;
+                case 'm': unit = kMinute; break;
+                case 'h': unit = kHour; break;
+                case 'd': unit = kDay; break;
+                default:
+                    throw std::invalid_argument("unknown duration unit in '" +
+                                                std::string(text) + "'");
+            }
+            ++j;
+        }
+        total += value * unit;
+        i = j;
+    }
+    return total;
+}
+
+FaultSchedule& FaultSchedule::add(SimTime at, FaultAction action, std::string target) {
+    events.push_back(FaultEvent{at, action, std::move(target)});
+    return *this;
+}
+
+std::vector<FaultEvent> FaultSchedule::sorted() const {
+    std::vector<FaultEvent> out = events;
+    std::stable_sort(out.begin(), out.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+    return out;
+}
+
+FaultSchedule FaultSchedule::parse(std::string_view text) {
+    FaultSchedule schedule;
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t eol = std::min(text.find('\n', pos), text.size());
+        std::string_view line = trim(text.substr(pos, eol - pos));
+        pos = eol + 1;
+        ++line_no;
+        if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+            line = trim(line.substr(0, hash));
+        }
+        if (line.empty()) {
+            if (pos > text.size()) break;
+            continue;
+        }
+        try {
+            if (line.front() != '@') throw std::invalid_argument("expected '@<time>'");
+            line.remove_prefix(1);
+            const std::size_t sp1 = line.find_first_of(" \t");
+            if (sp1 == std::string_view::npos) throw std::invalid_argument("missing action");
+            const SimTime at = parse_duration(line.substr(0, sp1));
+            std::string_view rest = trim(line.substr(sp1));
+            const std::size_t sp2 = rest.find_first_of(" \t");
+            if (sp2 == std::string_view::npos) throw std::invalid_argument("missing target");
+            const FaultAction action = fault_action_from(rest.substr(0, sp2));
+            const std::string_view target = trim(rest.substr(sp2));
+            schedule.add(at, action, std::string(target));
+        } catch (const std::exception& e) {
+            throw std::invalid_argument("fault schedule line " + std::to_string(line_no) +
+                                        ": " + e.what());
+        }
+        if (pos > text.size()) break;
+    }
+    return schedule;
+}
+
+std::string FaultSchedule::to_text() const {
+    std::ostringstream os;
+    // Fixed notation: parse_duration reads digits and '.', never 1e+06.
+    os << std::fixed << std::setprecision(6);
+    for (const auto& e : events) {
+        std::ostringstream at;
+        at << std::fixed << std::setprecision(6) << e.at;
+        std::string t = at.str();
+        t.erase(t.find_last_not_of('0') + 1);
+        if (!t.empty() && t.back() == '.') t.pop_back();
+        os << '@' << t << ' ' << to_string(e.action) << ' ' << e.target << '\n';
+    }
+    return os.str();
+}
+
+FaultSchedule FaultSchedule::dc_outage(std::string city, SimTime start,
+                                       SimTime duration) {
+    FaultSchedule schedule;
+    schedule.add(start, FaultAction::DcDown, city);
+    schedule.add(start + duration, FaultAction::DcUp, std::move(city));
+    return schedule;
+}
+
+FaultInjector::FaultInjector(Simulator& simulator, FaultSchedule schedule)
+    : simulator_(&simulator),
+      schedule_(std::move(schedule)),
+      handlers_(kNumActions) {}
+
+void FaultInjector::on(FaultAction action, Handler handler) {
+    handlers_[static_cast<std::size_t>(action)] = std::move(handler);
+}
+
+void FaultInjector::arm() {
+    if (armed_) throw std::logic_error("FaultInjector::arm: already armed");
+    armed_ = true;
+    for (const FaultEvent& event : schedule_.sorted()) {
+        const auto& handler = handlers_[static_cast<std::size_t>(event.action)];
+        if (!handler) {
+            throw std::logic_error("FaultInjector::arm: no handler for action '" +
+                                   std::string(to_string(event.action)) + "'");
+        }
+        simulator_->schedule_at(event.at, [this, event] {
+            ++injected_;
+            handlers_[static_cast<std::size_t>(event.action)](event);
+        });
+    }
+}
+
+}  // namespace ytcdn::sim

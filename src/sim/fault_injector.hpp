@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace ytcdn::sim {
+
+/// What a scheduled fault does to its target. Targets are named entities
+/// owned by higher layers (a data-center city, a content-server hostname, a
+/// DNS resolver name); the injector itself knows nothing about them — the
+/// study layer binds each action to a handler that mutates the CDN or DNS
+/// health machines.
+enum class FaultAction {
+    DcDown,         // data center goes dark: new connections time out
+    DcDrain,        // finishes active flows, refuses new ones
+    DcUp,           // back to healthy
+    ServerDown,     // one content server goes dark
+    ServerDrain,    // one content server drains
+    ServerUp,       // one content server recovers
+    ResolverDown,   // local resolver answers SERVFAIL
+    ResolverUp,     // resolver recovers
+    ResolverStale,  // resolver keeps serving its last answer past TTL
+    ResolverFresh,  // resolver resumes consulting the authoritative side
+};
+
+[[nodiscard]] std::string_view to_string(FaultAction a) noexcept;
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] FaultAction fault_action_from(std::string_view name);
+
+/// One scheduled state change.
+struct FaultEvent {
+    SimTime at = 0.0;
+    FaultAction action = FaultAction::DcDown;
+    std::string target;
+
+    friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// A deterministic fault schedule: the complete script of component
+/// failures and recoveries for one run. An empty schedule is the
+/// healthy-CDN baseline — every seed-reproduction experiment runs with one,
+/// and the chaos benches opt in explicitly.
+struct FaultSchedule {
+    std::vector<FaultEvent> events;
+
+    [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+    /// Appends an event (fluent, for programmatic construction).
+    FaultSchedule& add(SimTime at, FaultAction action, std::string target);
+
+    /// Events sorted by time (stable among equal timestamps).
+    [[nodiscard]] std::vector<FaultEvent> sorted() const;
+
+    /// Parses the text format, one event per line:
+    ///   @<time> <action> <target>
+    /// where <time> is seconds or a compound duration ("2d12h", "90m",
+    /// "3600"), <action> is a to_string(FaultAction) name and <target> the
+    /// rest of the line. '#' starts a comment. Throws std::invalid_argument
+    /// with a line number on malformed input.
+    [[nodiscard]] static FaultSchedule parse(std::string_view text);
+
+    /// Serializes in the format parse() accepts (times in seconds).
+    [[nodiscard]] std::string to_text() const;
+
+    /// Convenience: a single outage window [start, start + duration) for a
+    /// data center.
+    [[nodiscard]] static FaultSchedule dc_outage(std::string city, SimTime start,
+                                                 SimTime duration);
+};
+
+/// Parses "2d12h30m5s" / "90m" / "3600" into seconds; throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] SimTime parse_duration(std::string_view text);
+
+/// Plays a FaultSchedule onto a Simulator. The study layer registers one
+/// handler per action (resolving the target name to the entity it owns);
+/// arm() then schedules every event at its timestamp. Injection is pure
+/// function of (schedule, handlers): no randomness, so two runs with the
+/// same seed and the same schedule are bit-identical.
+class FaultInjector {
+public:
+    using Handler = std::function<void(const FaultEvent&)>;
+
+    FaultInjector(Simulator& simulator, FaultSchedule schedule);
+
+    /// Registers the handler for one action; replaces any previous one.
+    void on(FaultAction action, Handler handler);
+
+    /// Schedules every event of the schedule. Call once, before running the
+    /// simulator; throws std::logic_error if an event's action has no
+    /// handler (a mis-wired experiment must fail loudly, not silently skip
+    /// faults).
+    void arm();
+
+    [[nodiscard]] const FaultSchedule& schedule() const noexcept { return schedule_; }
+    /// Events whose handler has run so far.
+    [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
+
+private:
+    Simulator* simulator_;
+    FaultSchedule schedule_;
+    std::vector<Handler> handlers_;  // indexed by FaultAction
+    std::uint64_t injected_ = 0;
+    bool armed_ = false;
+};
+
+}  // namespace ytcdn::sim

@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sim/fault_injector.hpp"
+
 namespace ytcdn::study {
 
 /// Global knobs of the reproduction study. Everything scales off `scale`,
@@ -61,6 +63,12 @@ struct StudyConfig {
     /// View (>100 ms on an inflated path) even though much closer data
     /// centers exist — RTT is a factor, not the rule.
     bool feb2011_us_shift = false;
+
+    /// Scripted component failures injected during the trace (empty = the
+    /// healthy baseline; every fault is strictly opt-in). Targets are data
+    /// center cities, server hostnames and resolver names. See
+    /// sim::FaultSchedule::parse for the text format the CLI accepts.
+    sim::FaultSchedule fault_schedule;
 
     /// Derived values.
     [[nodiscard]] std::size_t effective_catalog_size() const;

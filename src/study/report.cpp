@@ -66,4 +66,41 @@ analysis::AsciiTable make_table3(const StudyRun& run,
     return t;
 }
 
+analysis::VantageFailureCounts failure_counts_of(std::string vantage,
+                                                 const workload::Player::Stats& stats) {
+    analysis::VantageFailureCounts c;
+    c.vantage = std::move(vantage);
+    c.sessions = stats.sessions;
+    c.connect_timeouts = stats.connect_timeouts;
+    c.connect_resets = stats.connect_resets;
+    c.dns_servfails = stats.dns_servfails;
+    c.stale_dns_answers = stats.stale_dns_answers;
+    c.failovers = stats.failovers;
+    c.failed_timeout = stats.failures.timeout;
+    c.failed_reset = stats.failures.reset;
+    c.failed_dns = stats.failures.dns_failure;
+    c.failed_retries_exhausted = stats.failures.retries_exhausted;
+    c.failed_redirect_exhausted = stats.failures.redirect_exhausted;
+    c.retry_histogram = stats.retry_histogram;
+    return c;
+}
+
+std::vector<analysis::VantageFailureCounts> failure_counts(const StudyRun& run) {
+    std::vector<analysis::VantageFailureCounts> out;
+    out.reserve(run.traces.datasets.size());
+    for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+        out.push_back(failure_counts_of(run.traces.datasets[i].name,
+                                        run.traces.player_stats[i]));
+    }
+    return out;
+}
+
+analysis::AsciiTable make_failure_table(const StudyRun& run) {
+    return analysis::failure_breakdown_table(failure_counts(run));
+}
+
+analysis::AsciiTable make_retry_table(const StudyRun& run) {
+    return analysis::retry_histogram_table(failure_counts(run));
+}
+
 }  // namespace ytcdn::study

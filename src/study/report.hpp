@@ -1,7 +1,9 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "analysis/failure_analysis.hpp"
 #include "analysis/geo_analysis.hpp"
 #include "analysis/table.hpp"
 #include "study/study_run.hpp"
@@ -19,5 +21,21 @@ namespace ytcdn::study {
 /// `counts[i]` must correspond to dataset i.
 [[nodiscard]] analysis::AsciiTable make_table3(
     const StudyRun& run, const std::vector<analysis::ContinentCounts>& counts);
+
+/// Bridges the workload layer's per-player stats into the analysis layer's
+/// failure counters (the analysis library does not link workload).
+[[nodiscard]] analysis::VantageFailureCounts failure_counts_of(
+    std::string vantage, const workload::Player::Stats& stats);
+
+/// All vantage points' failure counters for the run, in dataset order.
+[[nodiscard]] std::vector<analysis::VantageFailureCounts> failure_counts(
+    const StudyRun& run);
+
+/// Per-vantage session-failure breakdown (rates + terminal causes); the
+/// chaos-run companion to Table I.
+[[nodiscard]] analysis::AsciiTable make_failure_table(const StudyRun& run);
+
+/// Connection-retry histogram per vantage point.
+[[nodiscard]] analysis::AsciiTable make_retry_table(const StudyRun& run);
 
 }  // namespace ytcdn::study

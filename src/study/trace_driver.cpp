@@ -1,12 +1,96 @@
 #include "study/trace_driver.hpp"
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "capture/sniffer.hpp"
+#include "sim/fault_injector.hpp"
 #include "workload/noise_source.hpp"
 #include "workload/request_generator.hpp"
 
 namespace ytcdn::study {
+
+namespace {
+
+/// Binds the schedule's named targets to the deployment's CDN/DNS health
+/// machines. Unknown targets throw: a chaos experiment aimed at a typo'd
+/// city must fail loudly, not run a clean baseline by accident.
+void bind_fault_handlers(sim::FaultInjector& injector, StudyDeployment& dep,
+                         std::vector<std::unique_ptr<workload::Player>>& players) {
+    using sim::FaultAction;
+    const auto dc_of = [&dep](const sim::FaultEvent& e) {
+        const cdn::DcId dc = dep.dc_by_city(e.target);
+        if (dc == cdn::kInvalidDc) {
+            throw std::invalid_argument("fault schedule: unknown data center '" +
+                                        e.target + "'");
+        }
+        return dc;
+    };
+    const auto server_of = [&dep](const sim::FaultEvent& e) {
+        const cdn::ServerId sid = dep.cdn().server_by_hostname(e.target);
+        if (sid == cdn::kInvalidServer) {
+            throw std::invalid_argument("fault schedule: unknown server '" +
+                                        e.target + "'");
+        }
+        return sid;
+    };
+    const auto resolver_of = [&dep](const sim::FaultEvent& e) {
+        const cdn::LdnsId id = dep.dns().resolver_by_name(e.target);
+        if (id == cdn::kInvalidLdns) {
+            throw std::invalid_argument("fault schedule: unknown resolver '" +
+                                        e.target + "'");
+        }
+        return id;
+    };
+    const auto set_dc = [&dep, &players, dc_of](const sim::FaultEvent& e,
+                                                cdn::HealthState h) {
+        const cdn::DcId dc = dc_of(e);
+        dep.cdn().set_dc_health(dc, h);
+        if (h == cdn::HealthState::Down) {
+            // Clients must not keep resolving into the outage from their
+            // stub caches; the authoritative side has stopped advertising
+            // the site.
+            for (auto& p : players) p->invalidate_dns_cache(dc);
+        }
+    };
+    injector.on(FaultAction::DcDown, [set_dc](const sim::FaultEvent& e) {
+        set_dc(e, cdn::HealthState::Down);
+    });
+    injector.on(FaultAction::DcDrain, [set_dc](const sim::FaultEvent& e) {
+        set_dc(e, cdn::HealthState::Draining);
+    });
+    injector.on(FaultAction::DcUp, [set_dc](const sim::FaultEvent& e) {
+        set_dc(e, cdn::HealthState::Up);
+    });
+    const auto set_server = [&dep, server_of](const sim::FaultEvent& e,
+                                              cdn::HealthState h) {
+        dep.cdn().set_server_health(server_of(e), h);
+    };
+    injector.on(FaultAction::ServerDown, [set_server](const sim::FaultEvent& e) {
+        set_server(e, cdn::HealthState::Down);
+    });
+    injector.on(FaultAction::ServerDrain, [set_server](const sim::FaultEvent& e) {
+        set_server(e, cdn::HealthState::Draining);
+    });
+    injector.on(FaultAction::ServerUp, [set_server](const sim::FaultEvent& e) {
+        set_server(e, cdn::HealthState::Up);
+    });
+    injector.on(FaultAction::ResolverDown, [&dep, resolver_of](const sim::FaultEvent& e) {
+        dep.dns().set_resolver_up(resolver_of(e), false);
+    });
+    injector.on(FaultAction::ResolverUp, [&dep, resolver_of](const sim::FaultEvent& e) {
+        dep.dns().set_resolver_up(resolver_of(e), true);
+    });
+    injector.on(FaultAction::ResolverStale, [&dep, resolver_of](const sim::FaultEvent& e) {
+        dep.dns().set_resolver_stale(resolver_of(e), true);
+    });
+    injector.on(FaultAction::ResolverFresh, [&dep, resolver_of](const sim::FaultEvent& e) {
+        dep.dns().set_resolver_stale(resolver_of(e), false);
+    });
+}
+
+}  // namespace
 
 TraceDriver::TraceDriver(StudyDeployment& deployment,
                          const workload::Player::Config& player_config)
@@ -61,6 +145,17 @@ TraceOutputs TraceDriver::run(sim::SimTime horizon) {
             rng.fork("noise-" + vp.name)));
     }
 
+    // The fault injector (if any faults are scheduled) shares the event
+    // queue with the workload; with an empty schedule nothing is created
+    // and the run is byte-identical to the pre-fault-injection baseline.
+    std::unique_ptr<sim::FaultInjector> injector;
+    if (!dep.config().fault_schedule.empty()) {
+        injector = std::make_unique<sim::FaultInjector>(
+            simulator, dep.config().fault_schedule);
+        bind_fault_handlers(*injector, dep, players);
+        injector->arm();
+    }
+
     for (auto& g : generators) g->run(horizon);
     for (auto& s : noise) s->run(horizon);
     // Let in-flight sessions (redirect chains, pause resumes) drain past the
@@ -70,6 +165,7 @@ TraceOutputs TraceDriver::run(sim::SimTime horizon) {
 
     TraceOutputs out;
     out.events_processed = simulator.events_processed();
+    out.faults_injected = injector ? injector->injected() : 0;
     out.datasets.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         out.flows_observed.push_back(sniffers[i]->flows_observed());

@@ -19,6 +19,8 @@ struct TraceOutputs {
     std::vector<std::uint64_t> flows_observed;
     std::vector<std::uint64_t> flows_ignored;
     std::uint64_t events_processed = 0;
+    /// Fault events injected from the config's schedule (0 on baselines).
+    std::uint64_t faults_injected = 0;
 };
 
 /// Runs the paper's capture campaign: all five vantage points generate

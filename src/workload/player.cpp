@@ -13,6 +13,8 @@ struct Player::Session {
     Client client;
     cdn::Video video;
     cdn::Resolution resolution;
+    /// Connection retries spent so far (bounded by max_connect_retries).
+    int retries = 0;
 };
 
 Player::Player(sim::Simulator& simulator, cdn::Cdn& cdn, cdn::DnsSystem& dns,
@@ -52,27 +54,69 @@ void Player::emit_control_flow(const Session& s, cdn::ServerId server) {
     ++stats_.control_flows;
 }
 
-cdn::DcId Player::resolve_with_cache(const Client& client) {
-    if (config_.dns_ttl_s > 0.0) {
-        const auto it = dns_cache_.find(client.id);
-        if (it != dns_cache_.end() && it->second.second > simulator_->now()) {
-            ++stats_.dns_cache_hits;
-            return it->second.first;
-        }
-    }
-    const cdn::DcId dc = dns_->resolve(client.ldns, simulator_->now(), rng_);
-    if (config_.dns_ttl_s > 0.0) {
-        dns_cache_[client.id] = {dc, simulator_->now() + config_.dns_ttl_s};
-    }
-    return dc;
+void Player::note_session_end(const Session& s) {
+    const auto k = static_cast<std::size_t>(std::max(0, s.retries));
+    if (stats_.retry_histogram.size() <= k) stats_.retry_histogram.resize(k + 1, 0);
+    ++stats_.retry_histogram[k];
+}
+
+double Player::retry_backoff_s(int attempt) {
+    const double backoff = std::min(config_.retry_backoff_cap_s,
+                                    config_.retry_backoff_base_s *
+                                        std::pow(2.0, static_cast<double>(attempt)));
+    return backoff + rng_.uniform(0.0, std::max(1e-9, config_.retry_jitter_s));
+}
+
+void Player::invalidate_dns_cache() { dns_cache_.clear(); }
+
+void Player::invalidate_dns_cache(cdn::DcId dc) {
+    std::erase_if(dns_cache_,
+                  [dc](const auto& entry) { return entry.second.first == dc; });
 }
 
 void Player::start_session(const Client& client, const cdn::Video& video,
                            cdn::Resolution resolution) {
     ++stats_.sessions;
-    Session s{client, video, resolution};
+    const Session s{client, video, resolution, 0};
+    resolve_and_start(s, config_.dns_retry_limit);
+}
 
-    const cdn::DcId dc = resolve_with_cache(client);
+void Player::resolve_and_start(const Session& s, int dns_tries_left) {
+    if (config_.dns_ttl_s > 0.0) {
+        const auto it = dns_cache_.find(s.client.id);
+        if (it != dns_cache_.end()) {
+            if (it->second.second > simulator_->now()) {
+                ++stats_.dns_cache_hits;
+                start_resolved(s, it->second.first);
+                return;
+            }
+            // Expired: evict instead of leaking entries across a long run.
+            dns_cache_.erase(it);
+        }
+    }
+    const cdn::DnsAnswer answer = dns_->query(s.client.ldns, simulator_->now(), rng_);
+    if (answer.status == cdn::DnsStatus::ServFail) {
+        ++stats_.dns_servfails;
+        if (dns_tries_left <= 0) {
+            ++stats_.failures.dns_failure;
+            note_session_end(s);
+            return;
+        }
+        const double delay = config_.dns_retry_delay_s +
+                             rng_.uniform(0.0, std::max(1e-9, config_.retry_jitter_s));
+        simulator_->schedule_in(delay, [this, s, dns_tries_left] {
+            resolve_and_start(s, dns_tries_left - 1);
+        });
+        return;
+    }
+    if (answer.stale) ++stats_.stale_dns_answers;
+    if (config_.dns_ttl_s > 0.0) {
+        dns_cache_[s.client.id] = {answer.dc, simulator_->now() + config_.dns_ttl_s};
+    }
+    start_resolved(s, answer.dc);
+}
+
+void Player::start_resolved(const Session& s, cdn::DcId dc) {
     const auto& dc_ref = cdn_->dc(dc);
 
     if (!cdn::in_analysis_scope(dc_ref.infra)) {
@@ -92,23 +136,36 @@ void Player::start_session(const Client& client, const cdn::Video& video,
         }
         const auto& pool = dc_ref.servers;
         const cdn::ServerId server = pool[rng_.uniform_index(pool.size())];
+        if (const auto conn = cdn_->connect_outcome(server);
+            conn != cdn::ConnectOutcome::Ok) {
+            handle_connect_failure(legacy, server, conn, config_.max_redirects, {});
+            return;
+        }
+        note_session_end(legacy);
         serve_video(legacy, server, watch_frac, /*allow_pause=*/false);
         return;
     }
 
-    cdn::ServerId server = cdn_->pick_server(dc, video.id);
+    cdn::ServerId server = cdn_->pick_server(dc, s.video.id);
+    if (const auto conn = cdn_->connect_outcome(server);
+        conn != cdn::ConnectOutcome::Ok) {
+        handle_connect_failure(s, server, conn, config_.max_redirects, {});
+        return;
+    }
 
     if (rng_.bernoulli(config_.p_resolution_probe)) {
         // The server answers with a "change resolution" control message; the
         // player re-requests at a lower resolution from the same server.
         ++stats_.resolution_probes;
         emit_control_flow(s, server);
-        s.resolution = s.resolution == cdn::Resolution::R240 ? cdn::Resolution::R240
-                                                             : cdn::Resolution::R360;
+        Session probe = s;
+        probe.resolution = s.resolution == cdn::Resolution::R240
+                               ? cdn::Resolution::R240
+                               : cdn::Resolution::R360;
         const double delay =
             rng_.uniform(config_.redirect_think_lo_s, config_.redirect_think_hi_s);
-        simulator_->schedule_in(delay, [this, s, server] {
-            attempt(s, server, config_.max_redirects, {});
+        simulator_->schedule_in(delay, [this, probe, server] {
+            attempt(probe, server, config_.max_redirects, {});
         });
         return;
     }
@@ -118,10 +175,19 @@ void Player::start_session(const Client& client, const cdn::Video& video,
 
 void Player::attempt(const Session& s, cdn::ServerId server, int redirects_left,
                      std::vector<cdn::DcId> visited) {
+    // A redirect target (or the session's first server) may have gone dark
+    // between scheduling and firing; the TCP connect observes it first.
+    if (const auto conn = cdn_->connect_outcome(server);
+        conn != cdn::ConnectOutcome::Ok) {
+        handle_connect_failure(s, server, conn, redirects_left, std::move(visited));
+        return;
+    }
+
     const cdn::ServeOutcome outcome = cdn_->classify_request(server, s.video);
 
     if (outcome == cdn::ServeOutcome::Served || redirects_left <= 0) {
-        if (outcome != cdn::ServeOutcome::Served) ++stats_.failed_sessions;
+        if (outcome != cdn::ServeOutcome::Served) ++stats_.failures.redirect_exhausted;
+        note_session_end(s);
         const double watch_frac =
             rng_.bernoulli(config_.p_abort)
                 ? rng_.uniform(config_.min_watch_frac, config_.max_abort_watch_frac)
@@ -147,7 +213,8 @@ void Player::attempt(const Session& s, cdn::ServerId server, int redirects_left,
     visited.push_back(here);
     const cdn::ServerId target = cdn_->redirect_target(s.client.site, s.video, visited);
     if (target == cdn::kInvalidServer) {
-        ++stats_.failed_sessions;
+        ++stats_.failures.redirect_exhausted;
+        note_session_end(s);
         return;
     }
     // Serialize the actual 302 and chase its Location header, so the wire
@@ -161,7 +228,8 @@ void Player::attempt(const Session& s, cdn::ServerId server, int redirects_left,
     const cdn::ServerId next =
         location ? cdn_->server_by_hostname(*location) : cdn::kInvalidServer;
     if (next == cdn::kInvalidServer) {
-        ++stats_.failed_sessions;
+        ++stats_.failures.redirect_exhausted;
+        note_session_end(s);
         return;
     }
     const double delay = 2.0 * flow_rtt_s(s.client, server) +
@@ -170,6 +238,56 @@ void Player::attempt(const Session& s, cdn::ServerId server, int redirects_left,
     simulator_->schedule_in(delay, [this, s, next, redirects_left,
                                     visited = std::move(visited)]() mutable {
         attempt(s, next, redirects_left - 1, std::move(visited));
+    });
+}
+
+void Player::handle_connect_failure(const Session& s, cdn::ServerId server,
+                                    cdn::ConnectOutcome outcome, int redirects_left,
+                                    std::vector<cdn::DcId> visited) {
+    const bool timed_out = outcome == cdn::ConnectOutcome::Timeout;
+    if (timed_out) {
+        ++stats_.connect_timeouts;
+    } else {
+        ++stats_.connect_resets;
+    }
+    const cdn::DcId here = cdn_->server(server).dc();
+    // The failed mapping is useless now — drop it so the next session
+    // re-resolves instead of reconnecting into the outage.
+    if (config_.dns_ttl_s > 0.0) {
+        const auto it = dns_cache_.find(s.client.id);
+        if (it != dns_cache_.end() && it->second.first == here) dns_cache_.erase(it);
+    }
+
+    if (s.retries >= config_.max_connect_retries) {
+        ++stats_.failures.retries_exhausted;
+        note_session_end(s);
+        return;
+    }
+    visited.push_back(here);
+    // Failover: the next-ranked live data center that can actually serve
+    // (rank_by_rtt inside redirect_target skips dark capacity).
+    const cdn::ServerId target =
+        cdn_->redirect_target(s.client.site, s.video, visited);
+    if (target == cdn::kInvalidServer) {
+        if (timed_out) {
+            ++stats_.failures.timeout;
+        } else {
+            ++stats_.failures.reset;
+        }
+        note_session_end(s);
+        return;
+    }
+    ++stats_.failovers;
+    Session next = s;
+    ++next.retries;
+    // A timeout burns the full connect timer; a reset is observed after one
+    // round trip. Either way the player backs off before the next attempt.
+    const double observed =
+        timed_out ? config_.connect_timeout_s : 2.0 * flow_rtt_s(s.client, server);
+    const double delay = observed + retry_backoff_s(s.retries);
+    simulator_->schedule_in(delay, [this, next, target, redirects_left,
+                                    visited = std::move(visited)]() mutable {
+        attempt(next, target, redirects_left, std::move(visited));
     });
 }
 
@@ -223,6 +341,39 @@ void Player::serve_video(const Session& s, cdn::ServerId server, double watch_fr
 }
 
 void Player::attempt_resume(const Session& s, cdn::ServerId server, double rest_frac) {
+    // The cached server may have gone dark during the pause.
+    if (const auto conn = cdn_->connect_outcome(server);
+        conn != cdn::ConnectOutcome::Ok) {
+        const bool timed_out = conn == cdn::ConnectOutcome::Timeout;
+        if (timed_out) {
+            ++stats_.connect_timeouts;
+        } else {
+            ++stats_.connect_resets;
+        }
+        const std::vector<cdn::DcId> visited{cdn_->server(server).dc()};
+        const cdn::ServerId target =
+            cdn_->redirect_target(s.client.site, s.video, visited);
+        if (target == cdn::kInvalidServer) {
+            // The session already served its first part; the lost tail is
+            // still a terminal failure for the resume.
+            if (timed_out) {
+                ++stats_.failures.timeout;
+            } else {
+                ++stats_.failures.reset;
+            }
+            return;
+        }
+        ++stats_.failovers;
+        const double observed = timed_out ? config_.connect_timeout_s
+                                          : 2.0 * flow_rtt_s(s.client, server);
+        const double delay = observed + retry_backoff_s(0);
+        Session resumed = s;
+        const double rest = std::max(0.02, rest_frac);
+        simulator_->schedule_in(delay, [this, resumed, target, rest] {
+            serve_video(resumed, target, rest, /*allow_pause=*/false);
+        });
+        return;
+    }
     const cdn::ServeOutcome outcome = cdn_->classify_request(server, s.video);
     cdn::ServerId target = server;
     if (outcome != cdn::ServeOutcome::Served) {
@@ -232,7 +383,7 @@ void Player::attempt_resume(const Session& s, cdn::ServerId server, double rest_
         const std::vector<cdn::DcId> visited{here};
         target = cdn_->redirect_target(s.client.site, s.video, visited);
         if (target == cdn::kInvalidServer) {
-            ++stats_.failed_sessions;
+            ++stats_.failures.redirect_exhausted;
             return;
         }
     }

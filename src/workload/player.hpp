@@ -64,6 +64,46 @@ public:
         /// which coarsens DNS-level load balancing (see the dns-ttl
         /// ablation bench).
         double dns_ttl_s = 0.0;
+
+        // --- fault tolerance -------------------------------------------------
+        /// How long the player waits on an unanswered SYN before giving up
+        /// on a dark server (the Flash player's connect timer).
+        double connect_timeout_s = 0.9;
+        /// Connection attempts beyond the first before the session dies.
+        int max_connect_retries = 3;
+        /// Exponential backoff between connection retries:
+        /// min(cap, base * 2^attempt) plus deterministic uniform jitter
+        /// drawn from the player's seeded stream.
+        double retry_backoff_base_s = 0.4;
+        double retry_backoff_cap_s = 5.0;
+        double retry_jitter_s = 0.2;
+        /// Re-asks after a SERVFAIL this many times before the session is
+        /// abandoned as a DNS failure.
+        int dns_retry_limit = 2;
+        double dns_retry_delay_s = 1.0;
+    };
+
+    /// Terminal failure causes: every abandoned session increments exactly
+    /// one bucket (the paper-era player had a single opaque
+    /// `failed_sessions` counter; the fault work needs the cause).
+    struct FailureCauses {
+        /// Final connection attempt timed out with no live failover target.
+        std::uint64_t timeout = 0;
+        /// Final connection attempt was reset (draining server) with no
+        /// live failover target.
+        std::uint64_t reset = 0;
+        /// Local resolver answered SERVFAIL through every DNS retry.
+        std::uint64_t dns_failure = 0;
+        /// Connection retry budget exhausted while targets still existed.
+        std::uint64_t retries_exhausted = 0;
+        /// Redirect chain gave up (the pre-existing failure mode: chain
+        /// bound hit or no redirect target with the content).
+        std::uint64_t redirect_exhausted = 0;
+
+        [[nodiscard]] std::uint64_t total() const noexcept {
+            return timeout + reset + dns_failure + retries_exhausted +
+                   redirect_exhausted;
+        }
     };
 
     struct Stats {
@@ -74,8 +114,18 @@ public:
         std::uint64_t redirects_overload = 0;
         std::uint64_t resolution_probes = 0;
         std::uint64_t pauses = 0;
-        std::uint64_t failed_sessions = 0;
         std::uint64_t dns_cache_hits = 0;
+        /// Non-terminal fault events observed while sessions kept going.
+        std::uint64_t connect_timeouts = 0;   // individual attempts timed out
+        std::uint64_t connect_resets = 0;     // individual attempts refused
+        std::uint64_t dns_servfails = 0;      // SERVFAIL answers seen
+        std::uint64_t stale_dns_answers = 0;  // past-TTL replays accepted
+        std::uint64_t failovers = 0;          // switched to next-ranked DC
+        /// Terminal failure-cause breakdown (replaces `failed_sessions`).
+        FailureCauses failures;
+        /// retry_histogram[k] = sessions that needed k connection retries
+        /// (k = 0 for the fault-free fast path). Grown on demand.
+        std::vector<std::uint64_t> retry_histogram;
     };
 
     Player(sim::Simulator& simulator, cdn::Cdn& cdn, cdn::DnsSystem& dns,
@@ -89,20 +139,39 @@ public:
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
     [[nodiscard]] const Config& config() const noexcept { return config_; }
 
+    /// Drops every cached DNS answer, or only those pointing at `dc`. The
+    /// fault injector calls the targeted form when a data center goes dark,
+    /// so clients re-resolve instead of reconnecting into the outage.
+    void invalidate_dns_cache();
+    void invalidate_dns_cache(cdn::DcId dc);
+    /// Live (non-expired plus not-yet-evicted) cached answers, for tests.
+    [[nodiscard]] std::size_t dns_cache_size() const noexcept {
+        return dns_cache_.size();
+    }
+
 private:
     struct Session;
 
+    void start_resolved(const Session& s, cdn::DcId dc);
+    void resolve_and_start(const Session& s, int dns_tries_left);
     void attempt(const Session& s, cdn::ServerId server, int redirects_left,
                  std::vector<cdn::DcId> visited);
+    /// Reacts to a failed TCP connect: backoff + failover to the
+    /// next-ranked live data center, or a terminal failure bucket.
+    void handle_connect_failure(const Session& s, cdn::ServerId server,
+                                cdn::ConnectOutcome outcome, int redirects_left,
+                                std::vector<cdn::DcId> visited);
     void serve_video(const Session& s, cdn::ServerId server, double watch_frac,
                      bool allow_pause);
     void attempt_resume(const Session& s, cdn::ServerId server, double rest_frac);
     void emit_control_flow(const Session& s, cdn::ServerId server);
+    /// Records the session's connection-retry count at its terminal point
+    /// (served or failed), feeding the failure-analysis histogram.
+    void note_session_end(const Session& s);
+    [[nodiscard]] double retry_backoff_s(int attempt);
     [[nodiscard]] double flow_rtt_s(const Client& client, cdn::ServerId server) const;
     [[nodiscard]] double download_rate_bps(const Client& client,
                                            cdn::Resolution r) const noexcept;
-
-    [[nodiscard]] cdn::DcId resolve_with_cache(const Client& client);
 
     sim::Simulator* simulator_;
     cdn::Cdn* cdn_;

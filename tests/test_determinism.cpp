@@ -69,4 +69,58 @@ TEST(Determinism, PlayerStatsAreReproducible) {
     EXPECT_EQ(a.traces.flows_ignored, b.traces.flows_ignored);
 }
 
+TEST(Determinism, ChaosScheduleIsReproducible) {
+    // A fault schedule is part of the configuration: two runs with the same
+    // seed and the same outage script must be bit-identical too.
+    auto cfg = small_config();
+    cfg.fault_schedule = ytcdn::sim::FaultSchedule::dc_outage(
+        "Dallas", 2.0 * ytcdn::sim::kDay, 1.5 * ytcdn::sim::kDay);
+    cfg.fault_schedule.add(3.0 * ytcdn::sim::kDay,
+                           ytcdn::sim::FaultAction::ResolverDown, "eu1-adsl");
+    cfg.fault_schedule.add(3.2 * ytcdn::sim::kDay,
+                           ytcdn::sim::FaultAction::ResolverUp, "eu1-adsl");
+
+    const auto a = study::run_study(cfg);
+    const auto b = study::run_study(cfg);
+
+    EXPECT_EQ(a.traces.faults_injected, 4u);
+    EXPECT_EQ(a.traces.faults_injected, b.traces.faults_injected);
+    EXPECT_EQ(a.traces.events_processed, b.traces.events_processed);
+    ASSERT_EQ(a.traces.datasets.size(), b.traces.datasets.size());
+    for (std::size_t i = 0; i < a.traces.datasets.size(); ++i) {
+        const auto& ra = a.traces.datasets[i].records;
+        const auto& rb = b.traces.datasets[i].records;
+        ASSERT_EQ(ra.size(), rb.size()) << a.traces.datasets[i].name;
+        for (std::size_t k = 0; k < ra.size(); ++k) {
+            ASSERT_EQ(ra[k].server_ip, rb[k].server_ip) << i << "/" << k;
+            ASSERT_EQ(ra[k].bytes, rb[k].bytes) << i << "/" << k;
+            ASSERT_DOUBLE_EQ(ra[k].start, rb[k].start) << i << "/" << k;
+        }
+        const auto& sa = a.traces.player_stats[i];
+        const auto& sb = b.traces.player_stats[i];
+        EXPECT_EQ(sa.connect_timeouts, sb.connect_timeouts) << i;
+        EXPECT_EQ(sa.failovers, sb.failovers) << i;
+        EXPECT_EQ(sa.dns_servfails, sb.dns_servfails) << i;
+        EXPECT_EQ(sa.failures.total(), sb.failures.total()) << i;
+        EXPECT_EQ(sa.retry_histogram, sb.retry_histogram) << i;
+    }
+}
+
+TEST(Determinism, EmptyScheduleMatchesBaseline) {
+    // Faults are strictly opt-in: a config whose schedule is empty must
+    // produce the exact run the pre-fault-injection code produced (the
+    // health checks and DNS query path consume no extra randomness).
+    auto cfg = small_config();
+    const auto a = study::run_study(cfg);
+    ASSERT_TRUE(cfg.fault_schedule.empty());
+    EXPECT_EQ(a.traces.faults_injected, 0u);
+    for (const auto& stats : a.traces.player_stats) {
+        EXPECT_EQ(stats.connect_timeouts, 0u);
+        EXPECT_EQ(stats.connect_resets, 0u);
+        EXPECT_EQ(stats.dns_servfails, 0u);
+        EXPECT_EQ(stats.stale_dns_answers, 0u);
+        EXPECT_EQ(stats.failovers, 0u);
+    }
+}
+
 }  // namespace

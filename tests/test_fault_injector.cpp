@@ -1,0 +1,292 @@
+#include "sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cdn/cdn.hpp"
+#include "cdn/dns.hpp"
+#include "cdn/selection_policy.hpp"
+#include "net/rtt_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace sim = ytcdn::sim;
+namespace cdn = ytcdn::cdn;
+namespace net = ytcdn::net;
+namespace geo = ytcdn::geo;
+
+namespace {
+
+// --- duration / schedule text format ------------------------------------
+
+TEST(ParseDuration, PlainSecondsAndUnits) {
+    EXPECT_DOUBLE_EQ(sim::parse_duration("3600"), 3600.0);
+    EXPECT_DOUBLE_EQ(sim::parse_duration("90m"), 5400.0);
+    EXPECT_DOUBLE_EQ(sim::parse_duration("2h"), 7200.0);
+    EXPECT_DOUBLE_EQ(sim::parse_duration("1d"), 86400.0);
+    EXPECT_DOUBLE_EQ(sim::parse_duration("2d12h30m5s"),
+                     2 * 86400.0 + 12 * 3600.0 + 30 * 60.0 + 5.0);
+    EXPECT_DOUBLE_EQ(sim::parse_duration("0.5h"), 1800.0);
+}
+
+TEST(ParseDuration, RejectsMalformedInput) {
+    EXPECT_THROW((void)sim::parse_duration(""), std::invalid_argument);
+    EXPECT_THROW((void)sim::parse_duration("5x"), std::invalid_argument);
+    EXPECT_THROW((void)sim::parse_duration("m"), std::invalid_argument);
+    EXPECT_THROW((void)sim::parse_duration("12h3q"), std::invalid_argument);
+}
+
+TEST(FaultSchedule, ParsesTextWithCommentsAndBlankLines) {
+    const auto s = sim::FaultSchedule::parse(
+        "# preferred-DC outage scenario\n"
+        "\n"
+        "@2d12h dc-down Dallas\n"
+        "@4d12h dc-up Dallas\n"
+        "@3d resolver-down us-campus-main   # mid-outage DNS loss\n");
+    ASSERT_EQ(s.events.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.events[0].at, 2.5 * 86400.0);
+    EXPECT_EQ(s.events[0].action, sim::FaultAction::DcDown);
+    EXPECT_EQ(s.events[0].target, "Dallas");
+    EXPECT_EQ(s.events[2].action, sim::FaultAction::ResolverDown);
+    EXPECT_EQ(s.events[2].target, "us-campus-main");
+}
+
+TEST(FaultSchedule, TextRoundTrips) {
+    sim::FaultSchedule s;
+    s.add(100.0, sim::FaultAction::ServerDrain, "dc3-s001.ytcdn.sim")
+        .add(7200.0, sim::FaultAction::ResolverStale, "eu2-main")
+        .add(50.0, sim::FaultAction::DcDown, "Milan");
+    const auto round = sim::FaultSchedule::parse(s.to_text());
+    EXPECT_EQ(round.events, s.events);
+}
+
+TEST(FaultSchedule, ParseErrorsNameTheLine) {
+    try {
+        (void)sim::FaultSchedule::parse("@10 dc-down Dallas\n@20 explode Dallas\n");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW((void)sim::FaultSchedule::parse("dc-down Dallas\n"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)sim::FaultSchedule::parse("@10 dc-down\n"),
+                 std::invalid_argument);
+}
+
+TEST(FaultSchedule, ActionNamesRoundTrip) {
+    for (const auto a :
+         {sim::FaultAction::DcDown, sim::FaultAction::DcDrain, sim::FaultAction::DcUp,
+          sim::FaultAction::ServerDown, sim::FaultAction::ServerDrain,
+          sim::FaultAction::ServerUp, sim::FaultAction::ResolverDown,
+          sim::FaultAction::ResolverUp, sim::FaultAction::ResolverStale,
+          sim::FaultAction::ResolverFresh}) {
+        EXPECT_EQ(sim::fault_action_from(sim::to_string(a)), a);
+    }
+    EXPECT_THROW((void)sim::fault_action_from("nope"), std::invalid_argument);
+}
+
+TEST(FaultSchedule, DcOutageConvenience) {
+    const auto s = sim::FaultSchedule::dc_outage("Dallas", 1000.0, 500.0);
+    ASSERT_EQ(s.events.size(), 2u);
+    EXPECT_EQ(s.events[0], (sim::FaultEvent{1000.0, sim::FaultAction::DcDown, "Dallas"}));
+    EXPECT_EQ(s.events[1], (sim::FaultEvent{1500.0, sim::FaultAction::DcUp, "Dallas"}));
+}
+
+// --- injector ------------------------------------------------------------
+
+TEST(FaultInjector, FiresEventsInScheduleOrder) {
+    sim::Simulator simulator;
+    sim::FaultSchedule s;
+    // Deliberately out of order; the injector plays them sorted by time.
+    s.add(30.0, sim::FaultAction::DcUp, "A")
+        .add(10.0, sim::FaultAction::DcDown, "A")
+        .add(20.0, sim::FaultAction::ResolverDown, "r");
+    sim::FaultInjector injector(simulator, s);
+    std::vector<std::string> fired;
+    const auto record = [&fired, &simulator](const sim::FaultEvent& e) {
+        fired.push_back(std::string(sim::to_string(e.action)) + "@" +
+                        std::to_string(static_cast<int>(simulator.now())));
+    };
+    injector.on(sim::FaultAction::DcDown, record);
+    injector.on(sim::FaultAction::DcUp, record);
+    injector.on(sim::FaultAction::ResolverDown, record);
+    injector.arm();
+    simulator.run();
+    EXPECT_EQ(fired, (std::vector<std::string>{"dc-down@10", "resolver-down@20",
+                                               "dc-up@30"}));
+    EXPECT_EQ(injector.injected(), 3u);
+}
+
+TEST(FaultInjector, MissingHandlerFailsLoudlyAtArmTime) {
+    sim::Simulator simulator;
+    sim::FaultSchedule s;
+    s.add(10.0, sim::FaultAction::ServerDown, "x");
+    sim::FaultInjector injector(simulator, s);
+    EXPECT_THROW(injector.arm(), std::logic_error);
+}
+
+TEST(FaultInjector, ArmIsOneShot) {
+    sim::Simulator simulator;
+    sim::FaultSchedule s;
+    s.add(10.0, sim::FaultAction::DcDown, "x");
+    sim::FaultInjector injector(simulator, s);
+    injector.on(sim::FaultAction::DcDown, [](const sim::FaultEvent&) {});
+    injector.arm();
+    EXPECT_THROW(injector.arm(), std::logic_error);
+}
+
+// --- CDN health machine --------------------------------------------------
+
+class HealthFixture : public ::testing::Test {
+protected:
+    HealthFixture() : cdn_(model_, {.replicate_top_ranks = 10, .origin_replicas = 1}) {
+        near_ = cdn_.add_data_center("Milan", geo::Continent::Europe, {45.46, 9.19},
+                                     net::well_known_as::kGoogle,
+                                     cdn::InfraClass::GoogleCdn);
+        cdn_.add_prefix(near_,
+                        net::Subnet{net::IpAddress::from_octets(173, 194, 0, 0), 24});
+        cdn_.add_servers(near_, 4, 2);
+        far_ = cdn_.add_data_center("Frankfurt", geo::Continent::Europe, {50.11, 8.68},
+                                    net::well_known_as::kGoogle,
+                                    cdn::InfraClass::GoogleCdn);
+        cdn_.add_prefix(far_,
+                        net::Subnet{net::IpAddress::from_octets(173, 194, 1, 0), 24});
+        cdn_.add_servers(far_, 4, 2);
+        client_ = net::NetSite{1, {45.07, 7.69}, 1.0};
+    }
+
+    cdn::Video video() const {
+        cdn::Video v;
+        v.id = cdn::VideoId{0x42};
+        v.rank = 1;  // replicated everywhere
+        v.duration_s = 120.0;
+        return v;
+    }
+
+    net::RttModel model_;
+    cdn::Cdn cdn_;
+    cdn::DcId near_{}, far_{};
+    net::NetSite client_{};
+};
+
+TEST_F(HealthFixture, WorseCombinesSeverity) {
+    using cdn::HealthState;
+    EXPECT_EQ(cdn::worse(HealthState::Up, HealthState::Down), HealthState::Down);
+    EXPECT_EQ(cdn::worse(HealthState::Draining, HealthState::Up),
+              HealthState::Draining);
+    EXPECT_EQ(cdn::worse(HealthState::Draining, HealthState::Down),
+              HealthState::Down);
+    EXPECT_EQ(cdn::worse(HealthState::Up, HealthState::Up), HealthState::Up);
+}
+
+TEST_F(HealthFixture, DcHealthGatesConnectionsAndRanking) {
+    // Healthy: both DCs rank, nearest first.
+    EXPECT_EQ(cdn_.rank_by_rtt(client_), (std::vector<cdn::DcId>{near_, far_}));
+
+    cdn_.set_dc_health(near_, cdn::HealthState::Down);
+    EXPECT_EQ(cdn_.rank_by_rtt(client_), (std::vector<cdn::DcId>{far_}));
+    const auto dark = cdn_.pick_server(near_, video().id);
+    EXPECT_EQ(cdn_.connect_outcome(dark), cdn::ConnectOutcome::Timeout);
+    // redirect_target never offers dark capacity.
+    const auto target = cdn_.redirect_target(client_, video(), {});
+    ASSERT_NE(target, cdn::kInvalidServer);
+    EXPECT_EQ(cdn_.server(target).dc(), far_);
+
+    cdn_.set_dc_health(near_, cdn::HealthState::Draining);
+    EXPECT_EQ(cdn_.connect_outcome(dark), cdn::ConnectOutcome::Refused);
+
+    cdn_.set_dc_health(near_, cdn::HealthState::Up);
+    EXPECT_EQ(cdn_.connect_outcome(dark), cdn::ConnectOutcome::Ok);
+    EXPECT_EQ(cdn_.rank_by_rtt(client_), (std::vector<cdn::DcId>{near_, far_}));
+}
+
+TEST_F(HealthFixture, DrainingFinishesActiveFlowsButRefusesNewOnes) {
+    const auto sid = cdn_.pick_server(near_, video().id);
+    cdn_.begin_flow(sid);
+    cdn_.set_dc_health(near_, cdn::HealthState::Draining);
+    // The active flow keeps its slot and completes normally...
+    EXPECT_EQ(cdn_.server(sid).active_flows(), 1);
+    cdn_.end_flow(sid);
+    EXPECT_EQ(cdn_.server(sid).active_flows(), 0);
+    // ...but new connections are refused while draining.
+    EXPECT_EQ(cdn_.connect_outcome(sid), cdn::ConnectOutcome::Refused);
+    // accepting() is the server-level gate; a server-level drain trips it.
+    cdn_.set_server_health(sid, cdn::HealthState::Draining);
+    EXPECT_FALSE(cdn_.server(sid).accepting());
+}
+
+TEST_F(HealthFixture, SingleDarkServerShiftsAffinityWithinTheSite) {
+    const auto affinity = cdn_.pick_server(near_, video().id);
+    cdn_.set_server_health(affinity, cdn::HealthState::Down);
+    const auto shifted = cdn_.pick_server(near_, video().id);
+    EXPECT_NE(shifted, affinity);
+    EXPECT_EQ(cdn_.server(shifted).dc(), near_);
+    EXPECT_EQ(cdn_.effective_health(affinity), cdn::HealthState::Down);
+    EXPECT_EQ(cdn_.effective_health(shifted), cdn::HealthState::Up);
+    // Recovery restores the original affinity mapping.
+    cdn_.set_server_health(affinity, cdn::HealthState::Up);
+    EXPECT_EQ(cdn_.pick_server(near_, video().id), affinity);
+}
+
+TEST_F(HealthFixture, ServerHealthCombinesWithDcHealth) {
+    const auto sid = cdn_.pick_server(near_, video().id);
+    cdn_.set_server_health(sid, cdn::HealthState::Draining);
+    cdn_.set_dc_health(near_, cdn::HealthState::Down);
+    EXPECT_EQ(cdn_.effective_health(sid), cdn::HealthState::Down);
+    cdn_.set_dc_health(near_, cdn::HealthState::Up);
+    EXPECT_EQ(cdn_.effective_health(sid), cdn::HealthState::Draining);
+}
+
+// --- DNS resolver faults -------------------------------------------------
+
+TEST(DnsFaults, DownResolverAnswersServfailAndCounts) {
+    cdn::DnsSystem dns;
+    const auto r = dns.add_resolver(
+        "r", std::make_unique<cdn::StaticPreferencePolicy>(std::vector<cdn::DcId>{0}));
+    sim::Rng rng(7);
+    dns.set_resolver_up(r, false);
+    const auto answer = dns.query(r, 0.0, rng);
+    EXPECT_EQ(answer.status, cdn::DnsStatus::ServFail);
+    EXPECT_EQ(dns.servfail_count(r), 1u);
+    EXPECT_EQ(dns.total_resolutions(), 0u);
+    EXPECT_THROW((void)dns.resolve(r, 0.0, rng), std::runtime_error);
+
+    dns.set_resolver_up(r, true);
+    EXPECT_EQ(dns.query(r, 0.0, rng).status, cdn::DnsStatus::Ok);
+}
+
+TEST(DnsFaults, StaleResolverReplaysLastAnswerWithoutPolicy) {
+    cdn::DnsSystem dns;
+    const auto r = dns.add_resolver(
+        "r", std::make_unique<cdn::StaticPreferencePolicy>(
+                 std::vector<cdn::DcId>{3, 5}));
+    sim::Rng rng(7);
+    // No answer cached yet: stale mode still consults the policy once.
+    dns.set_resolver_stale(r, true);
+    const auto first = dns.query(r, 0.0, rng);
+    EXPECT_EQ(first.dc, 3);
+    EXPECT_FALSE(first.stale);
+
+    const auto replay = dns.query(r, 1e6, rng);
+    EXPECT_TRUE(replay.stale);
+    EXPECT_EQ(replay.dc, 3);
+    EXPECT_EQ(dns.stale_answer_count(r), 1u);
+    // Replays still count as resolutions toward the per-DC tallies.
+    EXPECT_EQ(dns.resolution_count(r, 3), 2u);
+
+    dns.set_resolver_stale(r, false);
+    EXPECT_FALSE(dns.query(r, 0.0, rng).stale);
+}
+
+TEST(DnsFaults, ResolverByNameFindsRegisteredNames) {
+    cdn::DnsSystem dns;
+    const auto a = dns.add_resolver(
+        "alpha", std::make_unique<cdn::StaticPreferencePolicy>(std::vector<cdn::DcId>{0}));
+    EXPECT_EQ(dns.resolver_by_name("alpha"), a);
+    EXPECT_EQ(dns.resolver_by_name("beta"), cdn::kInvalidLdns);
+}
+
+}  // namespace

@@ -289,6 +289,212 @@ TEST_F(PlayerFixture, DnsTtlZeroAlwaysResolves) {
     EXPECT_EQ(dns_.total_resolutions(), 4u);
 }
 
+// --- fault tolerance -----------------------------------------------------
+
+TEST_F(PlayerFixture, DarkDcFailsOverToNextRanked) {
+    cdn_.set_dc_health(near_, cdn::HealthState::Down);
+    auto player = make_player(plain_config());
+    player.start_session(client_, video(1), cdn::Resolution::R360);
+    simulator_.run();
+
+    const auto& stats = player.stats();
+    EXPECT_EQ(stats.connect_timeouts, 1u);
+    EXPECT_EQ(stats.failovers, 1u);
+    EXPECT_EQ(stats.failures.total(), 0u);  // the session survived
+    EXPECT_EQ(stats.video_flows, 1u);
+    ASSERT_EQ(sniffer_.records().size(), 1u);
+    EXPECT_EQ(cdn_.dc_of_ip(sniffer_.records()[0].server_ip), far_);
+    // One retry, recorded in the histogram.
+    ASSERT_EQ(stats.retry_histogram.size(), 2u);
+    EXPECT_EQ(stats.retry_histogram[0], 0u);
+    EXPECT_EQ(stats.retry_histogram[1], 1u);
+}
+
+TEST_F(PlayerFixture, AllDcsDarkEndsInTimeoutBucket) {
+    cdn_.set_dc_health(near_, cdn::HealthState::Down);
+    cdn_.set_dc_health(far_, cdn::HealthState::Down);
+    auto player = make_player(plain_config());
+    player.start_session(client_, video(1), cdn::Resolution::R360);
+    simulator_.run();
+
+    const auto& stats = player.stats();
+    EXPECT_EQ(stats.video_flows, 0u);
+    EXPECT_EQ(stats.connect_timeouts, 1u);
+    EXPECT_EQ(stats.failovers, 0u);
+    // Exactly one terminal bucket.
+    EXPECT_EQ(stats.failures.timeout, 1u);
+    EXPECT_EQ(stats.failures.total(), 1u);
+}
+
+TEST_F(PlayerFixture, DrainingDcRefusesNewSessionsAndFailsOver) {
+    cdn_.set_dc_health(near_, cdn::HealthState::Draining);
+    auto player = make_player(plain_config());
+    player.start_session(client_, video(1), cdn::Resolution::R360);
+    simulator_.run();
+
+    const auto& stats = player.stats();
+    EXPECT_EQ(stats.connect_resets, 1u);
+    EXPECT_EQ(stats.connect_timeouts, 0u);
+    EXPECT_EQ(stats.failovers, 1u);
+    EXPECT_EQ(stats.failures.total(), 0u);
+    ASSERT_EQ(sniffer_.records().size(), 1u);
+    EXPECT_EQ(cdn_.dc_of_ip(sniffer_.records()[0].server_ip), far_);
+}
+
+TEST_F(PlayerFixture, RedirectExhaustionCountsExactlyOneBucket) {
+    auto cfg = plain_config();
+    cfg.max_redirects = 0;  // no chain allowed
+    auto player = make_player(cfg);
+    const cdn::Video v = video(1);
+    const auto affinity = cdn_.pick_server(near_, v.id);
+    cdn_.begin_flow(affinity);
+    cdn_.begin_flow(affinity);  // saturate (capacity 2): overload redirect due
+
+    player.start_session(client_, v, cdn::Resolution::R360);
+    simulator_.run();
+
+    const auto& stats = player.stats();
+    EXPECT_EQ(stats.failures.redirect_exhausted, 1u);
+    EXPECT_EQ(stats.failures.total(), 1u);
+    // The overloaded server still serves (the real system always eventually
+    // does) — failure accounting and delivery are separate.
+    EXPECT_EQ(stats.video_flows, 1u);
+    cdn_.end_flow(affinity);
+    cdn_.end_flow(affinity);
+}
+
+TEST_F(PlayerFixture, DnsServfailRetriesThenSucceedsAfterRecovery) {
+    dns_.set_resolver_up(ldns_, false);
+    // Recover the resolver before the retry budget (2 retries, 1 s apart).
+    simulator_.schedule_at(1.5, [&] { dns_.set_resolver_up(ldns_, true); });
+    auto player = make_player(plain_config());
+    player.start_session(client_, video(1), cdn::Resolution::R360);
+    simulator_.run();
+
+    const auto& stats = player.stats();
+    EXPECT_GE(stats.dns_servfails, 1u);
+    EXPECT_EQ(stats.failures.dns_failure, 0u);
+    EXPECT_EQ(stats.failures.total(), 0u);
+    EXPECT_EQ(stats.video_flows, 1u);
+}
+
+TEST_F(PlayerFixture, DnsServfailExhaustsIntoDnsBucket) {
+    dns_.set_resolver_up(ldns_, false);
+    auto player = make_player(plain_config());
+    player.start_session(client_, video(1), cdn::Resolution::R360);
+    simulator_.run();
+
+    const auto& stats = player.stats();
+    // Initial query + dns_retry_limit retries, all SERVFAIL.
+    EXPECT_EQ(stats.dns_servfails, 3u);
+    EXPECT_EQ(stats.failures.dns_failure, 1u);
+    EXPECT_EQ(stats.failures.total(), 1u);
+    EXPECT_EQ(stats.video_flows, 0u);
+    EXPECT_EQ(dns_.servfail_count(ldns_), 3u);
+}
+
+TEST_F(PlayerFixture, StaleResolverAnswersAreCounted) {
+    auto player = make_player(plain_config());
+    player.start_session(client_, video(1), cdn::Resolution::R360);
+    simulator_.run();
+    dns_.set_resolver_stale(ldns_, true);
+    player.start_session(client_, video(2), cdn::Resolution::R360);
+    simulator_.run();
+
+    EXPECT_EQ(player.stats().stale_dns_answers, 1u);
+    EXPECT_EQ(dns_.stale_answer_count(ldns_), 1u);
+    EXPECT_EQ(player.stats().video_flows, 2u);
+}
+
+TEST_F(PlayerFixture, DnsCacheInvalidationByDc) {
+    auto cfg = plain_config();
+    cfg.dns_ttl_s = 300.0;
+    auto player = make_player(cfg);
+    player.start_session(client_, video(1), cdn::Resolution::R360);
+    simulator_.run();
+    ASSERT_EQ(player.dns_cache_size(), 1u);
+
+    // Invalidation is targeted: dropping the other DC's entries is a no-op.
+    player.invalidate_dns_cache(far_);
+    EXPECT_EQ(player.dns_cache_size(), 1u);
+    player.invalidate_dns_cache(near_);
+    EXPECT_EQ(player.dns_cache_size(), 0u);
+}
+
+TEST_F(PlayerFixture, DnsCacheEvictsExpiredEntriesOnLookup) {
+    auto cfg = plain_config();
+    cfg.dns_ttl_s = 10.0;
+    auto player = make_player(cfg);
+    player.start_session(client_, video(1), cdn::Resolution::R360);
+    simulator_.run();
+    ASSERT_EQ(player.dns_cache_size(), 1u);
+
+    // Past the TTL with the resolver down: the lookup evicts the expired
+    // entry and the re-resolution fails, so nothing is re-inserted — the
+    // cache no longer leaks dead entries.
+    dns_.set_resolver_up(ldns_, false);
+    simulator_.schedule_at(1000.0, [&] {
+        player.start_session(client_, video(2), cdn::Resolution::R360);
+    });
+    simulator_.run();
+    EXPECT_EQ(player.dns_cache_size(), 0u);
+    EXPECT_EQ(player.stats().dns_cache_hits, 0u);
+}
+
+TEST_F(PlayerFixture, ConnectFailureDropsTheStaleCacheEntry) {
+    auto cfg = plain_config();
+    cfg.dns_ttl_s = 3600.0;
+    auto player = make_player(cfg);
+    player.start_session(client_, video(1), cdn::Resolution::R360);
+    simulator_.run();
+    ASSERT_EQ(player.dns_cache_size(), 1u);
+
+    // The cached mapping points at near_; when near_ goes dark the failed
+    // connect drops it, so the next session re-resolves.
+    cdn_.set_dc_health(near_, cdn::HealthState::Down);
+    player.start_session(client_, video(2), cdn::Resolution::R360);
+    simulator_.run();
+    EXPECT_EQ(player.stats().failovers, 1u);
+    EXPECT_EQ(player.stats().dns_cache_hits, 1u);  // only the doomed hit
+}
+
+TEST_F(PlayerFixture, FaultRunsAreByteIdenticalAcrossSameSeedRuns) {
+    // Two identical worlds, identical seeds, identical mid-run fault: the
+    // observed flows must match byte for byte.
+    auto run_once = [this](capture::Sniffer& sniffer,
+                           std::vector<capture::FlowRecord>& out) {
+        sim::Simulator simulator;
+        workload::Player player(simulator, cdn_, dns_, sniffer, plain_config(),
+                                sim::Rng(1234));
+        cdn_.set_dc_health(near_, cdn::HealthState::Up);
+        for (int i = 0; i < 5; ++i) {
+            const double at = 10.0 * i;
+            const auto v = video(static_cast<std::size_t>(i) % 3);
+            simulator.schedule_at(at, [&player, this, v] {
+                player.start_session(client_, v, cdn::Resolution::R360);
+            });
+        }
+        simulator.schedule_at(25.0, [this] {
+            cdn_.set_dc_health(near_, cdn::HealthState::Down);
+        });
+        simulator.run();
+        out = sniffer.records();
+    };
+
+    capture::Sniffer s1("A"), s2("B");
+    std::vector<capture::FlowRecord> a, b;
+    run_once(s1, a);
+    run_once(s2, b);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].server_ip, b[i].server_ip) << i;
+        EXPECT_EQ(a[i].bytes, b[i].bytes) << i;
+        EXPECT_DOUBLE_EQ(a[i].start, b[i].start) << i;
+        EXPECT_DOUBLE_EQ(a[i].end, b[i].end) << i;
+    }
+}
+
 TEST_F(PlayerFixture, DpiPayloadIsRealHttp) {
     auto player = make_player(plain_config());
     player.start_session(client_, video(5), cdn::Resolution::R480);

@@ -123,7 +123,7 @@ TEST_P(PlayerSweep, InvariantsHoldAcrossConfigSpace) {
     // 5. Sessions never fail in a world where content always exists
     //    somewhere and redirects are allowed.
     if (point.max_redirects > 0) {
-        EXPECT_EQ(stats.failed_sessions, 0u);
+        EXPECT_EQ(stats.failures.total(), 0u);
     }
 }
 

@@ -175,7 +175,7 @@ TEST_F(StudyRunFixture, PlayerStatsAreConsistent) {
         const auto& stats = run_->traces.player_stats[i];
         EXPECT_EQ(stats.sessions, run_->traces.requests_generated[i]);
         EXPECT_GT(stats.video_flows, stats.sessions * 9 / 10);
-        EXPECT_EQ(stats.failed_sessions, 0u);
+        EXPECT_EQ(stats.failures.total(), 0u);
     }
 }
 

@@ -1,7 +1,7 @@
 // ytcdn — command-line front end for the reproduction study.
 //
-//   ytcdn run        [--scale S] [--seed N] [--out DIR] [--binary]
-//   ytcdn tables     [--scale S] [--seed N]
+//   ytcdn run        [--scale S] [--seed N] [--faults FILE] [--out DIR] [--binary]
+//   ytcdn tables     [--scale S] [--seed N] [--faults FILE]
 //   ytcdn summary    LOG [LOG...]
 //   ytcdn sessions   LOG [--gap T]
 //   ytcdn convert    IN OUT
@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "analysis/preferred_dc.hpp"
 #include "analysis/session.hpp"
@@ -22,6 +23,7 @@
 #include "capture/log_io.hpp"
 #include "geo/city.hpp"
 #include "geoloc/cbg.hpp"
+#include "sim/fault_injector.hpp"
 #include "study/planetlab_experiment.hpp"
 #include "study/report.hpp"
 #include "study/study_run.hpp"
@@ -34,8 +36,9 @@ using namespace ytcdn;
 int usage() {
     std::cerr <<
         "usage: ytcdn <command> [options]\n"
-        "  run        [--scale S] [--seed N] [--out DIR] [--binary]   simulate the week, write tables + per-dataset flow logs\n"
-        "  tables     [--scale S] [--seed N]                          print Tables I and II\n"
+        "  run        [--scale S] [--seed N] [--faults FILE] [--out DIR] [--binary]\n"
+        "                                                             simulate the week, write tables + per-dataset flow logs\n"
+        "  tables     [--scale S] [--seed N] [--faults FILE]          print Tables I and II (+ failure table on fault runs)\n"
         "  summary    LOG [LOG...]                                    Table I-style summary of flow logs\n"
         "  sessions   LOG [--gap T]                                   session statistics of a flow log\n"
         "  analyze    LOG MAP [--gap T]                               full offline analysis (preferred DC, patterns)\n"
@@ -50,7 +53,23 @@ study::StudyConfig config_from(const util::ArgParser& args) {
     cfg.scale = args.get_double_or("scale", 0.05);
     cfg.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 0xCDA12011L));
     if (cfg.scale <= 0.0) throw std::invalid_argument("--scale must be > 0");
+    const std::string faults = args.get_or("faults", "");
+    if (!faults.empty()) {
+        std::ifstream is(faults);
+        if (!is) throw std::runtime_error("cannot open fault schedule " + faults);
+        std::ostringstream text;
+        text << is.rdbuf();
+        cfg.fault_schedule = sim::FaultSchedule::parse(text.str());
+    }
     return cfg;
+}
+
+/// Fault runs get the failure breakdown appended; baselines print nothing
+/// extra, so default output stays byte-identical.
+void print_failure_tables(const study::StudyRun& run) {
+    if (run.config.fault_schedule.empty()) return;
+    std::cout << '\n' << study::make_failure_table(run) << '\n'
+              << study::make_retry_table(run);
 }
 
 int cmd_run(const util::ArgParser& args) {
@@ -60,6 +79,7 @@ int cmd_run(const util::ArgParser& args) {
     std::cout << "Simulating one week at scale " << cfg.scale << "...\n";
     const auto run = study::run_study(cfg);
     std::cout << study::make_table1(run) << '\n' << study::make_table2(run) << '\n';
+    print_failure_tables(run);
     const bool binary = args.has_flag("binary");
     for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
         const auto& ds = run.traces.datasets[i];
@@ -111,6 +131,7 @@ int cmd_analyze(const util::ArgParser& args) {
 int cmd_tables(const util::ArgParser& args) {
     const auto run = study::run_study(config_from(args));
     std::cout << study::make_table1(run) << '\n' << study::make_table2(run);
+    print_failure_tables(run);
     return 0;
 }
 
