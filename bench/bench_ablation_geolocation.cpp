@@ -29,7 +29,7 @@ std::vector<geoloc::Landmark> thin_landmarks(std::size_t count) {
     const double stride =
         static_cast<double>(all.size()) / static_cast<double>(count);
     for (std::size_t i = 0; i < count; ++i) {
-        out.push_back(all[static_cast<std::size_t>(i * stride)]);
+        out.push_back(all[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
     }
     return out;
 }

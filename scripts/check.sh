@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# One-shot verification, as CI runs it: hardened build + full test suite +
+# static analysis (ytcdn_lint, clang-tidy when installed, header
+# self-containment).
+#
+# Usage: scripts/check.sh [extra cmake args...]
+#   BUILD_DIR=build-check   override the build directory
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-check}
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+cmake -B "$BUILD_DIR" -S . -DYTCDN_WERROR=ON "$@"
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+cmake --build "$BUILD_DIR" --target lint
+
+echo "check.sh: build + tests + lint all green"

@@ -37,10 +37,11 @@ AsBreakdownRow as_breakdown(const capture::Dataset& dataset,
     AsBreakdownRow row;
     row.dataset = dataset.name;
     if (total_servers > 0.0) {
-        row.google_servers = google.servers.size() / total_servers;
-        row.youtube_eu_servers = youtube_eu.servers.size() / total_servers;
-        row.same_as_servers = same_as.servers.size() / total_servers;
-        row.other_servers = other.servers.size() / total_servers;
+        row.google_servers = static_cast<double>(google.servers.size()) / total_servers;
+        row.youtube_eu_servers =
+            static_cast<double>(youtube_eu.servers.size()) / total_servers;
+        row.same_as_servers = static_cast<double>(same_as.servers.size()) / total_servers;
+        row.other_servers = static_cast<double>(other.servers.size()) / total_servers;
     }
     if (total_bytes > 0.0) {
         row.google_bytes = static_cast<double>(google.bytes) / total_bytes;

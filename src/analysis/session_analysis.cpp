@@ -70,16 +70,18 @@ SessionPatternShares session_patterns(const std::vector<VideoSession>& sessions,
 
     out.total_sessions = scoped;
     if (scoped == 0) return out;
-    const double t = static_cast<double>(scoped);
-    out.single_flow = single / t;
-    out.single_preferred = single_p / t;
-    out.single_non_preferred = single_np / t;
-    out.two_flow = two / t;
-    out.two_pref_pref = pp / t;
-    out.two_pref_nonpref = pn / t;
-    out.two_nonpref_pref = np / t;
-    out.two_nonpref_nonpref = nn / t;
-    out.more_flows = more / t;
+    const auto share = [t = static_cast<double>(scoped)](std::size_t c) {
+        return static_cast<double>(c) / t;
+    };
+    out.single_flow = share(single);
+    out.single_preferred = share(single_p);
+    out.single_non_preferred = share(single_np);
+    out.two_flow = share(two);
+    out.two_pref_pref = share(pp);
+    out.two_pref_nonpref = share(pn);
+    out.two_nonpref_pref = share(np);
+    out.two_nonpref_nonpref = share(nn);
+    out.more_flows = share(more);
     return out;
 }
 
@@ -121,9 +123,9 @@ MultiFlowPatternShares multi_flow_patterns(const std::vector<VideoSession>& sess
     const double n = static_cast<double>(out.sessions);
     out.share_of_all_sessions =
         scoped_total == 0 ? 0.0 : n / static_cast<double>(scoped_total);
-    out.all_preferred = all_pref / n;
-    out.first_preferred_then_other = first_pref / n;
-    out.first_non_preferred = first_np / n;
+    out.all_preferred = static_cast<double>(all_pref) / n;
+    out.first_preferred_then_other = static_cast<double>(first_pref) / n;
+    out.first_non_preferred = static_cast<double>(first_np) / n;
     return out;
 }
 

@@ -48,7 +48,9 @@ struct MinMeanMax {
     double max = 0.0;
 
     void add(double v) noexcept;
-    [[nodiscard]] double mean() const noexcept { return count == 0 ? 0.0 : sum / count; }
+    [[nodiscard]] double mean() const noexcept {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
 };
 
 }  // namespace ytcdn::analysis

@@ -34,7 +34,8 @@ public:
 
 private:
     const RttModel* model_;
-    std::mt19937_64 rng_;
+    // Always seeded via the constructor (fixed default), never entropy-seeded.
+    std::mt19937_64 rng_;  // ytcdn-lint: allow(rng-source)
 };
 
 }  // namespace ytcdn::net

@@ -39,8 +39,8 @@ void populate_clients(VantagePoint& vp, std::size_t count, sim::Rng& rng) {
         const std::size_t here =
             si + 1 == vp.subnets.size()
                 ? count - assigned
-                : static_cast<std::size_t>(
-                      std::llround(count * group.client_share / total_share));
+                : static_cast<std::size_t>(std::llround(
+                      static_cast<double>(count) * group.client_share / total_share));
         if (here + 2 > group.prefix.size()) {
             throw std::invalid_argument("populate_clients: subnet too small for " +
                                         group.name);

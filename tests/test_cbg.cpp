@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "geo/city.hpp"
 #include "geoloc/landmark.hpp"
 
@@ -17,7 +19,7 @@ namespace {
 class CbgFixture : public ::testing::Test {
 protected:
     static void SetUpTestSuite() {
-        model_ = new net::RttModel();
+        model_ = std::make_unique<net::RttModel>();
         geoloc::LandmarkCounts counts;
         counts.north_america = 24;
         counts.europe = 24;
@@ -29,22 +31,21 @@ protected:
                                                           sim::Rng(1), counts);
         geoloc::CbgLocator::Config cfg;
         cfg.grid = 48;
-        locator_ = new geoloc::CbgLocator(*model_, std::move(landmarks), cfg, 99);
+        locator_ = std::make_unique<geoloc::CbgLocator>(*model_, std::move(landmarks),
+                                                        cfg, 99);
         locator_->calibrate();
     }
     static void TearDownTestSuite() {
-        delete locator_;
-        delete model_;
-        locator_ = nullptr;
-        model_ = nullptr;
+        locator_.reset();
+        model_.reset();
     }
 
-    static net::RttModel* model_;
-    static geoloc::CbgLocator* locator_;
+    static std::unique_ptr<net::RttModel> model_;
+    static std::unique_ptr<geoloc::CbgLocator> locator_;
 };
 
-net::RttModel* CbgFixture::model_ = nullptr;
-geoloc::CbgLocator* CbgFixture::locator_ = nullptr;
+std::unique_ptr<net::RttModel> CbgFixture::model_;
+std::unique_ptr<geoloc::CbgLocator> CbgFixture::locator_;
 
 TEST(Landmarks, PaperDistribution) {
     const auto lms = geoloc::make_planetlab_landmarks(geo::CityDatabase::builtin(),

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "analysis/preferred_dc.hpp"
 #include "geo/city.hpp"
 #include "study/study_run.hpp"
@@ -23,7 +25,7 @@ protected:
     static void SetUpTestSuite() {
         study::StudyConfig cfg;
         cfg.scale = 0.01;
-        run_ = new study::StudyRun(study::run_study(cfg));
+        run_ = std::make_unique<study::StudyRun>(study::run_study(cfg));
 
         // A reduced landmark set keeps the suite fast while preserving
         // worldwide coverage.
@@ -38,32 +40,29 @@ protected:
                                                           sim::Rng(5), counts);
         geoloc::CbgLocator::Config cbg_cfg;
         cbg_cfg.grid = 48;
-        locator_ = new geoloc::CbgLocator(run_->deployment->rtt(), std::move(landmarks),
-                                          cbg_cfg, 17);
+        locator_ = std::make_unique<geoloc::CbgLocator>(run_->deployment->rtt(),
+                                                        std::move(landmarks), cbg_cfg, 17);
         locator_->calibrate();
 
         const auto idx = run_->vp_index("EU1-Campus");
-        mapping_ = new study::CbgMappingResult(study::cbg_dc_map(
+        mapping_ = std::make_unique<study::CbgMappingResult>(study::cbg_dc_map(
             *run_->deployment, run_->traces.datasets[idx], *locator_,
             run_->deployment->vantage(idx), run_->deployment->local_as(idx)));
     }
     static void TearDownTestSuite() {
-        delete mapping_;
-        delete locator_;
-        delete run_;
-        mapping_ = nullptr;
-        locator_ = nullptr;
-        run_ = nullptr;
+        mapping_.reset();
+        locator_.reset();
+        run_.reset();
     }
 
-    static study::StudyRun* run_;
-    static geoloc::CbgLocator* locator_;
-    static study::CbgMappingResult* mapping_;
+    static std::unique_ptr<study::StudyRun> run_;
+    static std::unique_ptr<geoloc::CbgLocator> locator_;
+    static std::unique_ptr<study::CbgMappingResult> mapping_;
 };
 
-study::StudyRun* CbgMapFixture::run_ = nullptr;
-geoloc::CbgLocator* CbgMapFixture::locator_ = nullptr;
-study::CbgMappingResult* CbgMapFixture::mapping_ = nullptr;
+std::unique_ptr<study::StudyRun> CbgMapFixture::run_;
+std::unique_ptr<geoloc::CbgLocator> CbgMapFixture::locator_;
+std::unique_ptr<study::CbgMappingResult> CbgMapFixture::mapping_;
 
 TEST_F(CbgMapFixture, LocatesAllScopeServers) {
     EXPECT_GT(mapping_->located.size(), 100u);

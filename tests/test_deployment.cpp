@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 namespace study = ytcdn::study;
@@ -16,16 +17,13 @@ protected:
     static void SetUpTestSuite() {
         study::StudyConfig cfg;
         cfg.scale = 0.01;
-        dep_ = new study::StudyDeployment(cfg);
+        dep_ = std::make_unique<study::StudyDeployment>(cfg);
     }
-    static void TearDownTestSuite() {
-        delete dep_;
-        dep_ = nullptr;
-    }
-    static study::StudyDeployment* dep_;
+    static void TearDownTestSuite() { dep_.reset(); }
+    static std::unique_ptr<study::StudyDeployment> dep_;
 };
 
-study::StudyDeployment* DeploymentFixture::dep_ = nullptr;
+std::unique_ptr<study::StudyDeployment> DeploymentFixture::dep_;
 
 TEST_F(DeploymentFixture, ThirtyThreeDataCentersInAnalysisScope) {
     // 13 US + 13 EU + 6 other + the EU2 in-ISP cache = 33, as in Section V.

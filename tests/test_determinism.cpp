@@ -5,8 +5,23 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/geo_analysis.hpp"
+#include "analysis/loadbalance_analysis.hpp"
+#include "analysis/series.hpp"
+#include "geo/city.hpp"
+#include "geoloc/cbg.hpp"
+#include "study/dc_map_builder.hpp"
+#include "study/report.hpp"
 #include "study/study_run.hpp"
 
+namespace analysis = ytcdn::analysis;
+namespace geo = ytcdn::geo;
+namespace geoloc = ytcdn::geoloc;
+namespace sim = ytcdn::sim;
 namespace study = ytcdn::study;
 
 namespace {
@@ -16,6 +31,92 @@ study::StudyConfig small_config(std::uint64_t seed = 0xCDA1'2011ull) {
     cfg.scale = 0.005;
     cfg.seed = seed;
     return cfg;
+}
+
+/// Renders every table and figure series the study emits into one string —
+/// the byte-compare target. Any unordered-container iteration or unseeded
+/// randomness leaking into the output pipeline shows up here.
+std::string render_artifacts(const study::StudyRun& run) {
+    std::ostringstream os;
+    os << study::make_table1(run).render()
+       << study::make_table2(run).render()
+       << study::make_failure_table(run).render()
+       << study::make_retry_table(run).render();
+
+    std::vector<analysis::Series> series;
+    for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+        const auto& ds = run.traces.datasets[i];
+        series.push_back(analysis::bytes_vs_rtt(ds, run.maps[i]));
+        series.push_back(analysis::bytes_vs_distance(ds, run.maps[i]));
+        series.push_back({ds.name + " hourly-np",
+                          analysis::hourly_non_preferred_fraction(ds, run.maps[i],
+                                                                  run.preferred[i])
+                              .curve(60)});
+    }
+    const auto eu2 = run.vp_index("EU2");
+    auto hourly = analysis::hourly_preferred_series(run.traces.datasets[eu2],
+                                                    run.maps[eu2], run.preferred[eu2]);
+    series.push_back(std::move(hourly.fraction_preferred));
+    series.push_back(std::move(hourly.flows_per_hour));
+    analysis::write_series(os, series);
+    return os.str();
+}
+
+/// Table III goes through the full CBG geolocation pipeline (landmarks, probe
+/// RNG, region clustering) — rendered with a locator built from scratch so the
+/// whole path is covered, not a shared calibration.
+std::string render_table3(const study::StudyRun& run, const study::StudyConfig& cfg) {
+    geoloc::LandmarkCounts counts;
+    counts.north_america = 24;
+    counts.europe = 24;
+    counts.asia = 8;
+    counts.south_america = 3;
+    counts.oceania = 2;
+    counts.africa = 1;
+    geoloc::CbgLocator::Config cbg_cfg;
+    cbg_cfg.grid = 48;
+    geoloc::CbgLocator locator(
+        run.deployment->rtt(),
+        geoloc::make_planetlab_landmarks(geo::CityDatabase::builtin(),
+                                         sim::Rng(cfg.seed ^ 0x9B), counts),
+        cbg_cfg, cfg.seed ^ 0xCB6);
+    locator.calibrate();
+    std::vector<analysis::ContinentCounts> continent_counts;
+    for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+        const auto mapping =
+            study::cbg_dc_map(*run.deployment, run.traces.datasets[i], locator,
+                              run.deployment->vantage(i), run.deployment->local_as(i));
+        continent_counts.push_back(analysis::servers_per_continent(mapping.located));
+    }
+    return study::make_table3(run, continent_counts).render();
+}
+
+TEST(Determinism, RenderedArtifactsAreByteIdentical) {
+    // The paper-facing outputs — every table and figure series — must be
+    // byte-for-byte reproducible, end to end, including the CBG geolocation
+    // pipeline behind Table III.
+    const auto cfg = small_config();
+    const auto a = study::run_study(cfg);
+    const auto b = study::run_study(cfg);
+
+    EXPECT_EQ(render_artifacts(a), render_artifacts(b));
+    EXPECT_EQ(render_table3(a, cfg), render_table3(b, cfg));
+}
+
+TEST(Determinism, RenderedArtifactsWithFaultScheduleAreByteIdentical) {
+    // Same guarantee under chaos: an outage script changes the numbers but
+    // must not introduce any run-to-run variation.
+    auto cfg = small_config();
+    cfg.fault_schedule = ytcdn::sim::FaultSchedule::dc_outage(
+        "Dallas", 2.0 * ytcdn::sim::kDay, 1.5 * ytcdn::sim::kDay);
+
+    const auto a = study::run_study(cfg);
+    const auto b = study::run_study(cfg);
+
+    const auto artifacts = render_artifacts(a);
+    EXPECT_EQ(artifacts, render_artifacts(b));
+    // And the schedule demonstrably changed the output vs. the fault-free run.
+    EXPECT_NE(artifacts, render_artifacts(study::run_study(small_config())));
 }
 
 TEST(Determinism, IdenticalRunsProduceIdenticalTraces) {

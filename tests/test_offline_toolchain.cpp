@@ -8,6 +8,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "analysis/loadbalance_analysis.hpp"
@@ -28,16 +29,13 @@ protected:
     static void SetUpTestSuite() {
         study::StudyConfig cfg;
         cfg.scale = 0.004;
-        run_ = new study::StudyRun(study::run_study(cfg));
+        run_ = std::make_unique<study::StudyRun>(study::run_study(cfg));
     }
-    static void TearDownTestSuite() {
-        delete run_;
-        run_ = nullptr;
-    }
-    static study::StudyRun* run_;
+    static void TearDownTestSuite() { run_.reset(); }
+    static std::unique_ptr<study::StudyRun> run_;
 };
 
-study::StudyRun* OfflineToolchainFixture::run_ = nullptr;
+std::unique_ptr<study::StudyRun> OfflineToolchainFixture::run_;
 
 TEST_F(OfflineToolchainFixture, DiskRoundTripPreservesEveryConclusion) {
     const auto dir = std::filesystem::temp_directory_path() / "ytcdn_offline_test";

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "geo/city.hpp"
 #include "study/dc_map_builder.hpp"
 
@@ -17,22 +19,21 @@ protected:
     static void SetUpTestSuite() {
         study::StudyConfig cfg;
         cfg.scale = 0.01;
-        dep_ = new study::StudyDeployment(cfg);
-        landmarks_ = new std::vector<geoloc::Landmark>(geoloc::make_planetlab_landmarks(
-            geo::CityDatabase::builtin(), sim::Rng(11)));
+        dep_ = std::make_unique<study::StudyDeployment>(cfg);
+        landmarks_ = std::make_unique<std::vector<geoloc::Landmark>>(
+            geoloc::make_planetlab_landmarks(geo::CityDatabase::builtin(),
+                                             sim::Rng(11)));
     }
     static void TearDownTestSuite() {
-        delete landmarks_;
-        delete dep_;
-        landmarks_ = nullptr;
-        dep_ = nullptr;
+        landmarks_.reset();
+        dep_.reset();
     }
-    static study::StudyDeployment* dep_;
-    static std::vector<geoloc::Landmark>* landmarks_;
+    static std::unique_ptr<study::StudyDeployment> dep_;
+    static std::unique_ptr<std::vector<geoloc::Landmark>> landmarks_;
 };
 
-study::StudyDeployment* PlanetLabFixture::dep_ = nullptr;
-std::vector<geoloc::Landmark>* PlanetLabFixture::landmarks_ = nullptr;
+std::unique_ptr<study::StudyDeployment> PlanetLabFixture::dep_;
+std::unique_ptr<std::vector<geoloc::Landmark>> PlanetLabFixture::landmarks_;
 
 TEST_F(PlanetLabFixture, ShapeMatchesFig17And18) {
     study::PlanetLabConfig cfg;

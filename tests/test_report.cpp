@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "analysis/as_analysis.hpp"
 #include "study/study_run.hpp"
 
@@ -15,16 +17,13 @@ protected:
     static void SetUpTestSuite() {
         study::StudyConfig cfg;
         cfg.scale = 0.004;
-        run_ = new study::StudyRun(study::run_study(cfg));
+        run_ = std::make_unique<study::StudyRun>(study::run_study(cfg));
     }
-    static void TearDownTestSuite() {
-        delete run_;
-        run_ = nullptr;
-    }
-    static study::StudyRun* run_;
+    static void TearDownTestSuite() { run_.reset(); }
+    static std::unique_ptr<study::StudyRun> run_;
 };
 
-study::StudyRun* ReportFixture::run_ = nullptr;
+std::unique_ptr<study::StudyRun> ReportFixture::run_;
 
 TEST_F(ReportFixture, TableOneCarriesPaperReference) {
     const std::string rendered = study::make_table1(*run_).render();

@@ -130,7 +130,8 @@ TEST(Pinger, MoreProbesTightenMinTowardBase) {
 TEST(Pinger, ZeroProbesThrows) {
     const net::RttModel model;
     net::Pinger pinger(model);
-    EXPECT_THROW(pinger.ping(site(1, 0, 0), site(2, 1, 1), 0), std::invalid_argument);
+    EXPECT_THROW((void)pinger.ping(site(1, 0, 0), site(2, 1, 1), 0),
+                 std::invalid_argument);
 }
 
 }  // namespace

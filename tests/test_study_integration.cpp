@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "analysis/as_analysis.hpp"
 #include "analysis/loadbalance_analysis.hpp"
 #include "analysis/preferred_dc.hpp"
@@ -25,16 +27,13 @@ protected:
     static void SetUpTestSuite() {
         study::StudyConfig cfg;
         cfg.scale = 0.02;
-        run_ = new study::StudyRun(study::run_study(cfg));
+        run_ = std::make_unique<study::StudyRun>(study::run_study(cfg));
     }
-    static void TearDownTestSuite() {
-        delete run_;
-        run_ = nullptr;
-    }
-    static study::StudyRun* run_;
+    static void TearDownTestSuite() { run_.reset(); }
+    static std::unique_ptr<study::StudyRun> run_;
 };
 
-study::StudyRun* StudyRunFixture::run_ = nullptr;
+std::unique_ptr<study::StudyRun> StudyRunFixture::run_;
 
 TEST_F(StudyRunFixture, FiveDatasetsWithScaledTableOneCounts) {
     ASSERT_EQ(run_->traces.datasets.size(), 5u);

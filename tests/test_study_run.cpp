@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace study = ytcdn::study;
 
 namespace {
@@ -11,16 +13,13 @@ protected:
     static void SetUpTestSuite() {
         study::StudyConfig cfg;
         cfg.scale = 0.003;
-        run_ = new study::StudyRun(study::run_study(cfg));
+        run_ = std::make_unique<study::StudyRun>(study::run_study(cfg));
     }
-    static void TearDownTestSuite() {
-        delete run_;
-        run_ = nullptr;
-    }
-    static study::StudyRun* run_;
+    static void TearDownTestSuite() { run_.reset(); }
+    static std::unique_ptr<study::StudyRun> run_;
 };
 
-study::StudyRun* StudyRunApiFixture::run_ = nullptr;
+std::unique_ptr<study::StudyRun> StudyRunApiFixture::run_;
 
 TEST_F(StudyRunApiFixture, LookupByNameAndErrors) {
     EXPECT_EQ(run_->vp_index("US-Campus"), 0u);

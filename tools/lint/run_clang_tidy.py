@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the repo's compile database in parallel.
+
+Filters compile_commands.json down to first-party sources (src/, tools/,
+bench/, examples/ — generated TUs and tests are skipped), fans out one
+clang-tidy process per file, and exits nonzero if any diagnostic is emitted.
+Configuration lives in the repo-root .clang-tidy.
+
+If clang-tidy is not installed the script prints a notice and exits zero so
+local `--target lint` still works on boxes without LLVM; CI passes --require
+to turn a missing binary into a failure instead of a silent skip.
+
+Usage: run_clang_tidy.py -p <build-dir> [--require] [--jobs N] [--binary NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+FIRST_PARTY_DIRS = ("src", "tools", "bench", "examples")
+EXCLUDED_PARTS = ("tools/lint/testdata", "header_selfcheck")
+
+
+def first_party_files(build_dir: str, root: str) -> list[str]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"run_clang_tidy: no compile database at {db_path} "
+              "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        sys.exit(2)
+    with open(db_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    files: set[str] = set()
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if rel.startswith("..") or any(part in rel for part in EXCLUDED_PARTS):
+            continue
+        if rel.split("/", 1)[0] in FIRST_PARTY_DIRS:
+            files.add(path)
+    return sorted(files)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--build-dir", required=True)
+    parser.add_argument("--binary", default="clang-tidy")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 3) when clang-tidy is not installed")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = parser.parse_args(argv)
+
+    tidy = shutil.which(args.binary)
+    if tidy is None:
+        msg = f"run_clang_tidy: {args.binary} not found"
+        if args.require:
+            print(msg, file=sys.stderr)
+            return 3
+        print(msg + " — skipped (install clang-tidy, or rely on CI's lint job)")
+        return 0
+
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    files = first_party_files(os.path.abspath(args.build_dir), root)
+    if not files:
+        print("run_clang_tidy: no first-party files in the compile database",
+              file=sys.stderr)
+        return 2
+
+    print(f"run_clang_tidy: {len(files)} files, {args.jobs} jobs")
+    failed = 0
+
+    def run_one(path: str) -> tuple[str, int, str]:
+        proc = subprocess.run(
+            [tidy, "-p", args.build_dir, "--quiet", path],
+            capture_output=True, text=True, check=False)
+        return path, proc.returncode, (proc.stdout + proc.stderr).strip()
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, code, output in pool.map(run_one, files):
+            rel = os.path.relpath(path, root)
+            if code != 0 or "warning:" in output or "error:" in output:
+                failed += 1
+                print(f"--- {rel}")
+                print(output)
+
+    if failed:
+        print(f"run_clang_tidy: diagnostics in {failed}/{len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: clean — {len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

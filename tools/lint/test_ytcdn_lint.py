@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Self-test for ytcdn_lint: the seeded violations in testdata/ must all be
+caught (negative test), the clean fixture must stay clean, and baseline
+suppression must silence a known violation. Run via ctest as lint_selftest."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "ytcdn_lint.py")
+TESTDATA = os.path.join(HERE, "testdata")
+
+EXPECTED = [
+    ("bad_rng.cpp", "rng-source", 3),
+    ("src/sim/bad_clock.cpp", "wall-clock", 2),
+    ("bad_unordered.cpp", "unordered-iter", 2),
+    ("bad_new.cpp", "raw-new-delete", 2),
+    ("bad_header.hpp", "include-guard", 1),
+    ("bad_header.hpp", "using-namespace", 1),
+]
+
+failures: list[str] = []
+
+
+def check(cond: bool, what: str) -> None:
+    if cond:
+        print(f"  ok: {what}")
+    else:
+        failures.append(what)
+        print(f"  FAIL: {what}")
+
+
+def run_lint(*extra: str) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", TESTDATA, *extra, TESTDATA],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main() -> int:
+    print("negative test: seeded violations are caught")
+    code, out = run_lint("--baseline", os.devnull)
+    check(code == 1, f"exit code is 1 on violations (got {code})")
+    for path, rule, count in EXPECTED:
+        got = sum(1 for line in out.splitlines()
+                  if line.startswith(path + ":") and f"[{rule}]" in line)
+        check(got == count, f"{path}: {count} [{rule}] findings (got {got})")
+    check("good_clean.cpp" not in out, "clean fixture produces no findings")
+    for line in out.splitlines():
+        if ": [" in line:
+            prefix = line.split(": [")[0]
+            check(":" in prefix and prefix.rsplit(":", 1)[1].isdigit(),
+                  f"diagnostic has file:line form: {line!r}")
+
+    print("baseline test: a vetted exception is suppressed")
+    with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as f:
+        f.write("bad_new.cpp\traw-new-delete\tWidget* w = new Widget;  // raw-new-delete\n")
+        f.write("bad_new.cpp\traw-new-delete\tdelete w;                // raw-new-delete\n")
+        baseline = f.name
+    try:
+        _, out2 = run_lint("--baseline", baseline)
+        check("bad_new.cpp" not in out2, "baselined findings are suppressed")
+        check("2 baseline-suppressed" in out2, "suppressed count is reported")
+    finally:
+        os.unlink(baseline)
+
+    print("inline-allow test: allow() silences only its own rule")
+    check("good_clean.cpp" not in out, "inline ytcdn-lint: allow() honored")
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

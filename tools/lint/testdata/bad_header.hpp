@@ -1,0 +1,7 @@
+// Missing #pragma once (include-guard) and a using-directive at file scope
+// (using-namespace) — both must be flagged.
+#include <string>
+
+using namespace std;  // using-namespace
+
+inline string label() { return "bad"; }

@@ -1,0 +1,11 @@
+// Raw new/delete — ownership must be expressed with owning types.
+struct Widget {
+    int v = 0;
+};
+
+int churn() {
+    Widget* w = new Widget;  // raw-new-delete
+    const int v = w->v;
+    delete w;                // raw-new-delete
+    return v;
+}

@@ -1,0 +1,11 @@
+// Seeded violations for the ytcdn_lint negative test: every line here must
+// be caught. This directory is excluded from the real lint run.
+#include <cstdlib>
+#include <random>
+
+int entropy() {
+    std::random_device rd;                      // rng-source
+    std::mt19937_64 unseeded;                   // rng-source
+    (void)unseeded;
+    return static_cast<int>(rd()) + rand();     // rng-source (rand)
+}

@@ -1,0 +1,17 @@
+// Unordered iteration feeding formatted output and a float accumulator:
+// both loops depend on unspecified iteration order.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+double report(const std::unordered_map<std::string, double>& bytes_per_dc) {
+    double total = 0.0;
+    for (const auto& [dc, bytes] : bytes_per_dc) {  // unordered-iter
+        total += bytes;
+    }
+    std::unordered_map<int, int> counts;
+    for (const auto& [k, v] : counts) {             // unordered-iter
+        std::printf("%d %d\n", k, v);
+    }
+    return total;
+}

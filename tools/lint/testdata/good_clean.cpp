@@ -1,0 +1,28 @@
+// Patterns the linter must NOT flag: suppressed lines, sorted iteration,
+// `= delete`, seeded engines, and strings/comments mentioning forbidden names.
+#include <algorithm>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct NoCopy {
+    NoCopy(const NoCopy&) = delete;             // not raw-new-delete
+    NoCopy& operator=(const NoCopy&) = delete;  // not raw-new-delete
+};
+
+inline std::string ordered_report(const std::unordered_map<int, int>& counts) {
+    std::vector<std::pair<int, int>> rows;
+    for (const auto& [k, v] : counts) rows.emplace_back(k, v);  // copy, no sink
+    std::sort(rows.begin(), rows.end());
+    std::string out = "rand() and delete in a string literal are fine";
+    for (const auto& [k, v] : rows) out += std::to_string(k + v);
+    return out;
+}
+
+inline double seeded_draw() {
+    std::mt19937_64 engine(42);  // explicitly seeded: allowed
+    std::random_device rd;       // vetted exception  // ytcdn-lint: allow(rng-source)
+    (void)rd;
+    return std::uniform_real_distribution<double>()(engine);
+}

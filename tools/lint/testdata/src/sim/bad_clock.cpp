@@ -1,0 +1,9 @@
+// Wall-clock reads inside src/ — the sim must never see real time.
+#include <chrono>
+#include <ctime>
+
+double now_seconds() {
+    const auto t = std::chrono::system_clock::now();  // wall-clock
+    (void)t;
+    return static_cast<double>(std::time(nullptr));   // wall-clock
+}

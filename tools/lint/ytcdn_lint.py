@@ -1,0 +1,470 @@
+#!/usr/bin/env python3
+"""ytcdn_lint — project-invariant checker for the ytcdn reproduction.
+
+The reproduction's numbers are only trustworthy if the simulator is
+bit-deterministic under a fixed seed. This tool machine-enforces the
+invariants that keep it that way (plus a few general hygiene rules):
+
+  rng-source       No std::random_device, rand()/srand(), or default-seeded
+                   std::mt19937/mt19937_64 outside sim::Rng. All randomness
+                   must flow from the master seed through sim::Rng::fork.
+  wall-clock       No wall-clock reads (std::time, chrono clocks, gettimeofday,
+                   localtime, ...) inside src/. Simulated time comes from the
+                   event queue; real time must never leak into results.
+  unordered-iter   No iteration over std::unordered_map/unordered_set whose
+                   loop body feeds formatted output or accumulates values
+                   (iteration order is unspecified and varies across libcs,
+                   silently reordering tables and float sums). Copy into a
+                   vector and sort, or use an ordered container.
+  raw-new-delete   No raw new/delete. Use std::unique_ptr, containers, or
+                   values; `= delete` declarations are fine.
+  using-namespace  No `using namespace std;` (any namespace at file scope in
+                   a header): it leaks into every includer.
+  include-guard    Every header starts with #pragma once.
+
+Diagnostics print as `file:line: [rule] message` and the tool exits nonzero
+if any unsuppressed violation is found.
+
+Suppressing a vetted exception:
+  * inline:   append  `// ytcdn-lint: allow(<rule>)`  to the offending line;
+  * baseline: add a line `<relpath>\t<rule>\t<normalized source line>` to
+    tools/lint/baseline.txt (regenerate with --write-baseline). Baseline
+    entries key on content, not line numbers, so they survive unrelated edits.
+
+Usage:
+  ytcdn_lint.py [--root DIR] [--baseline FILE] [--write-baseline] [paths...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+DEFAULT_SCAN_DIRS = ("src", "bench", "tests", "tools", "examples")
+SOURCE_EXTENSIONS = (".cpp", ".hpp")
+# The linter's own negative-test fixtures are deliberately full of violations.
+EXCLUDED_PARTS = ("tools/lint/testdata",)
+
+# Files allowed to touch raw engines: the one blessed RNG wrapper.
+RNG_ALLOWED_FILES = ("src/sim/random.hpp", "src/sim/random.cpp")
+
+SUPPRESS_RE = re.compile(r"ytcdn-lint:\s*allow\(\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)\s*\)")
+
+ALL_RULES = (
+    "rng-source",
+    "wall-clock",
+    "unordered-iter",
+    "raw-new-delete",
+    "using-namespace",
+    "include-guard",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+    content: str  # normalized source line, for baseline matching
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.rule, self.content)
+
+
+def normalize(line: str) -> str:
+    return " ".join(line.split())
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literal bodies, preserving line
+    structure so reported line numbers stay correct."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"' and text[max(0, i - 1):i] == "R":
+                m = re.match(r'R"([^()\s\\]{0,16})\(', text[i - 1:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    mode = "raw"
+                    out.append('"')
+                    i += 1
+                else:
+                    mode = "string"
+                    out.append('"')
+                    i += 1
+            elif c == '"':
+                mode = "string"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                mode = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif mode == "raw":
+            if text.startswith(raw_delim, i):
+                mode = "code"
+                out.append('"')
+                i += len(raw_delim)
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif mode == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                mode = "code"
+                out.append('"')
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif mode == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                mode = "code"
+                out.append("'")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+    return "".join(out)
+
+
+# --- rule implementations ---------------------------------------------------
+
+RNG_PATTERNS = (
+    (re.compile(r"std\s*::\s*random_device"), "std::random_device is non-deterministic"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand() bypasses sim::Rng"),
+    (
+        re.compile(r"std\s*::\s*mt19937(?:_64)?\s+\w+\s*(?:;|,|\)|=\s*\{?\s*\}?;)"
+                   r"|std\s*::\s*mt19937(?:_64)?\s*(?:\(\s*\)|\{\s*\})"),
+        "default-seeded std::mt19937 — derive a stream via sim::Rng::fork",
+    ),
+)
+
+CLOCK_PATTERNS = (
+    (re.compile(r"std\s*::\s*time\s*\("), "std::time reads the wall clock"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"), "time(NULL) reads the wall clock"),
+    (re.compile(r"\bgettimeofday\b|\bclock_gettime\b|\bftime\b"), "wall-clock syscall"),
+    (
+        re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now\b"),
+        "chrono clock read — simulated time comes from sim::EventQueue",
+    ),
+    (re.compile(r"\b(?:localtime|gmtime|strftime|ctime)\s*\("), "calendar-time call"),
+)
+
+NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(:][\w:<>,\s*&]*")
+PLACEMENT_NEW_RE = re.compile(r"(?<![\w.])new\s*\(")
+DELETE_RE = re.compile(r"(?<![\w.])delete(?:\s*\[\s*\])?\s+[\w(*]")
+EQ_DELETE_RE = re.compile(r"=\s*delete\b")
+
+USING_NS_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
+
+UNORDERED_DECL_RE = re.compile(
+    r"(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
+# A declaration introducing a named unordered container (variable or member):
+#   std::unordered_map<K, V> name;   auto& name = <unordered expr>;  etc.
+UNORDERED_NAME_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*?>\s*&?\s*(\w+)\s*[;={(),]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,&\s\[\]]+?:\s*([^)]+)\)")
+SINK_RE = re.compile(r"<<|\bprintf\s*\(|\bfprintf\s*\(|std\s*::\s*format|"
+                     r"\badd_row\s*\(|\+=")
+
+
+def base_identifier(expr: str) -> str | None:
+    """The identifier an iterated expression ultimately names:
+    `tally` from `tally`, `cache_` from `this->cache_`, `items` from
+    `obj.items`. Call expressions return None (we cannot see their type)."""
+    expr = expr.strip()
+    if expr.endswith(")"):  # function call result
+        return None
+    m = re.search(r"(\w+)\s*$", expr)
+    return m.group(1) if m else None
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+
+def resolve_include(inc: str, includer: str, known: set[str]) -> str | None:
+    """Maps an #include "..." to a repo-relative scanned file, mirroring the
+    build's include dirs (src/ and the includer's own directory)."""
+    for candidate in ("src/" + inc,
+                      os.path.dirname(includer) + "/" + inc if "/" in includer else inc,
+                      inc):
+        if candidate in known:
+            return candidate
+    return None
+
+
+def collect_unordered_names(scrubbed_by_file: dict[str, str]) -> dict[str, set[str]]:
+    """Per-file set of identifiers declared with an unordered container type,
+    visible from that file: its own declarations plus those in the transitive
+    closure of its project #includes (a member declared in foo.hpp is in scope
+    for every file including foo.hpp)."""
+    known = set(scrubbed_by_file)
+    own: dict[str, set[str]] = {}
+    includes: dict[str, set[str]] = {}
+    for rel, text in scrubbed_by_file.items():
+        own[rel] = {m.group(1) for m in UNORDERED_NAME_RE.finditer(text)}
+        includes[rel] = set()
+        for m in INCLUDE_RE.finditer(text):
+            resolved = resolve_include(m.group(1), rel, known)
+            if resolved is not None:
+                includes[rel].add(resolved)
+
+    closure_cache: dict[str, set[str]] = {}
+
+    def closure(rel: str, stack: set[str]) -> set[str]:
+        if rel in closure_cache:
+            return closure_cache[rel]
+        if rel in stack:  # include cycle — stop
+            return set()
+        stack.add(rel)
+        names = set(own[rel])
+        for dep in includes[rel]:
+            names |= closure(dep, stack)
+        stack.discard(rel)
+        closure_cache[rel] = names
+        return names
+
+    return {rel: closure(rel, set()) for rel in scrubbed_by_file}
+
+
+def body_of_statement(lines: list[str], start: int) -> tuple[str, int]:
+    """The source of the statement/block that a `for (...)` on line `start`
+    controls (brace-matched, capped at 60 lines). Returns (text, end_line)."""
+    depth = 0
+    seen_open = False
+    collected: list[str] = []
+    for i in range(start, min(start + 60, len(lines))):
+        line = lines[i]
+        collected.append(line)
+        depth += line.count("{") - line.count("}")
+        if "{" in line:
+            seen_open = True
+        if seen_open and depth <= 0:
+            return "\n".join(collected), i
+        if not seen_open and line.rstrip().endswith(";"):
+            return "\n".join(collected), i
+    return "\n".join(collected), min(start + 60, len(lines)) - 1
+
+
+class Linter:
+    def __init__(self, root: str):
+        self.root = root
+        self.violations: list[Violation] = []
+
+    def add(self, path: str, line_no: int, rule: str, message: str, raw_line: str) -> None:
+        self.violations.append(
+            Violation(path, line_no, rule, message, normalize(raw_line)))
+
+    def lint_file(self, rel: str, raw: str, scrubbed: str,
+                  unordered_names: set[str]) -> None:
+        raw_lines = raw.splitlines()
+        lines = scrubbed.splitlines()
+        suppressed: dict[int, set[str]] = {}
+        for idx, line in enumerate(raw_lines):
+            m = SUPPRESS_RE.search(line)
+            if m:
+                suppressed[idx] = {r.strip() for r in m.group(1).split(",")}
+
+        is_header = rel.endswith(".hpp")
+        in_src = rel.startswith("src/")
+
+        def emit(idx: int, rule: str, message: str) -> None:
+            if rule in suppressed.get(idx, ()):  # inline allow()
+                return
+            self.add(rel, idx + 1, rule, message, raw_lines[idx])
+
+        # include-guard: headers must open with #pragma once.
+        if is_header:
+            has_pragma = any(line.strip() == "#pragma once" for line in lines[:15])
+            if not has_pragma:
+                emit(0, "include-guard", "header missing #pragma once")
+
+        rng_allowed = rel in RNG_ALLOWED_FILES
+        for idx, line in enumerate(lines):
+            if not rng_allowed:
+                for pat, msg in RNG_PATTERNS:
+                    if pat.search(line):
+                        emit(idx, "rng-source", msg)
+            if in_src:
+                for pat, msg in CLOCK_PATTERNS:
+                    if pat.search(line):
+                        emit(idx, "wall-clock", msg)
+            if DELETE_RE.search(line) and not EQ_DELETE_RE.search(line):
+                emit(idx, "raw-new-delete", "raw delete — use an owning type")
+            elif NEW_RE.search(line) and not PLACEMENT_NEW_RE.search(line):
+                emit(idx, "raw-new-delete",
+                     "raw new — use std::make_unique or a container")
+            if is_header and USING_NS_RE.search(line):
+                emit(idx, "using-namespace",
+                     "using-directive in a header leaks into every includer")
+
+        # unordered-iter: range-for over a known unordered container whose
+        # body formats output or accumulates.
+        for idx, line in enumerate(lines):
+            m = RANGE_FOR_RE.search(line)
+            if not m:
+                continue
+            name = base_identifier(m.group(1))
+            if name is None or name not in unordered_names:
+                continue
+            body, _ = body_of_statement(lines, idx)
+            # The range expression itself may contain a `:`-free sink lookalike;
+            # only the controlled statement matters.
+            body_after_header = body[body.find(")") + 1:] if ")" in body else body
+            if SINK_RE.search(body_after_header):
+                emit(idx, "unordered-iter",
+                     f"iteration over unordered container '{name}' feeds "
+                     "output/accumulation — copy to a vector and sort, or use "
+                     "an ordered container")
+
+
+# --- driver -----------------------------------------------------------------
+
+def discover_files(root: str, paths: list[str]) -> list[str]:
+    rels: list[str] = []
+    roots = paths if paths else [os.path.join(root, d) for d in DEFAULT_SCAN_DIRS]
+    for top in roots:
+        if os.path.isfile(top):
+            rels.append(os.path.relpath(top, root))
+            continue
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTENSIONS):
+                    rels.append(os.path.relpath(os.path.join(dirpath, fn), root))
+    rels = [r.replace(os.sep, "/") for r in rels]
+    rels = [r for r in rels if not any(part in r for part in EXCLUDED_PARTS)]
+    return sorted(set(rels))
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str]]:
+    entries: set[tuple[str, str, str]] = set()
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t", 2)
+            if len(parts) != 3:
+                print(f"warning: malformed baseline line: {line!r}", file=sys.stderr)
+                continue
+            entries.add((parts[0], parts[1], normalize(parts[2])))
+    return entries
+
+
+def write_baseline(path: str, violations: list[Violation]) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# ytcdn_lint baseline — vetted exceptions, one per line:\n")
+        f.write("# <repo-relative path>\\t<rule>\\t<normalized source line>\n")
+        f.write("# Regenerate with: tools/lint/ytcdn_lint.py --write-baseline\n")
+        for v in sorted(set(v.key() for v in violations)):
+            f.write("\t".join(v) + "\n")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        help="repository root (default: two levels above this script)")
+    parser.add_argument("--baseline", default=None,
+                        help="suppression file (default: <root>/tools/lint/baseline.txt)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline to cover all current violations")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("paths", nargs="*", help="files/dirs to lint (default: "
+                        + ", ".join(DEFAULT_SCAN_DIRS) + ")")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(rule)
+        return 0
+
+    root = os.path.abspath(args.root)
+    baseline_path = args.baseline or os.path.join(root, "tools", "lint", "baseline.txt")
+
+    rels = discover_files(root, args.paths)
+    if not rels:
+        print("ytcdn_lint: no source files found", file=sys.stderr)
+        return 2
+
+    raw_by_file: dict[str, str] = {}
+    scrubbed_by_file: dict[str, str] = {}
+    for rel in rels:
+        with open(os.path.join(root, rel), encoding="utf-8", errors="replace") as f:
+            raw_by_file[rel] = f.read()
+        scrubbed_by_file[rel] = strip_comments_and_strings(raw_by_file[rel])
+
+    unordered_names = collect_unordered_names(scrubbed_by_file)
+
+    linter = Linter(root)
+    for rel in rels:
+        linter.lint_file(rel, raw_by_file[rel], scrubbed_by_file[rel],
+                         unordered_names[rel])
+
+    if args.write_baseline:
+        write_baseline(baseline_path, linter.violations)
+        print(f"ytcdn_lint: wrote {len(set(v.key() for v in linter.violations))} "
+              f"baseline entries to {baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    fresh = [v for v in linter.violations if v.key() not in baseline]
+    for v in fresh:
+        print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")
+    suppressed_count = len(linter.violations) - len(fresh)
+    if fresh:
+        print(f"ytcdn_lint: {len(fresh)} violation(s) "
+              f"({suppressed_count} baseline-suppressed) in {len(rels)} files",
+              file=sys.stderr)
+        return 1
+    print(f"ytcdn_lint: clean — {len(rels)} files, "
+          f"{suppressed_count} baseline-suppressed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
