@@ -8,14 +8,10 @@
 #include <fstream>
 #include <iostream>
 
-#include "analysis/geo_analysis.hpp"
-#include "analysis/loadbalance_analysis.hpp"
-#include "analysis/redirect_analysis.hpp"
-#include "analysis/session.hpp"
-#include "analysis/session_analysis.hpp"
+#include "analysis/series.hpp"
+#include "analysis/stats.hpp"
 #include "geo/city.hpp"
-#include "geoloc/cbg.hpp"
-#include "study/dc_map_builder.hpp"
+#include "geoloc/landmark.hpp"
 #include "study/planetlab_experiment.hpp"
 #include "study/report.hpp"
 #include "study/study_run.hpp"
@@ -46,106 +42,18 @@ int main(int argc, char** argv) {
     config.scale = argc > 2 ? std::atof(argv[2]) : 0.1;
     std::filesystem::create_directories(out_dir);
 
-    std::cout << "Running the full study at scale " << config.scale << "...\n";
-    const study::StudyRun run = study::run_study(config);
+    util::ThreadPool pool(config.effective_threads());
+    std::cout << "Running the full study at scale " << config.scale << " on "
+              << pool.size() << " thread(s)...\n";
+    const study::StudyRun run = study::run_study(config, pool);
 
-    // Tables.
-    write_file(out_dir / "table1.txt", study::make_table1(run).render());
-    write_file(out_dir / "table2.txt", study::make_table2(run).render());
-
-    // Table III needs CBG over all datasets.
-    std::cout << "Geolocating servers with CBG (215 landmarks)...\n";
-    geoloc::CbgLocator locator(
-        run.deployment->rtt(),
-        geoloc::make_planetlab_landmarks(geo::CityDatabase::builtin(),
-                                         sim::Rng(config.seed ^ 0x9B)),
-        {}, config.seed ^ 0xCB6);
-    locator.calibrate();
-    std::vector<analysis::ContinentCounts> continent_counts;
-    for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
-        const auto mapping =
-            study::cbg_dc_map(*run.deployment, run.traces.datasets[i], locator,
-                              run.deployment->vantage(i), run.deployment->local_as(i));
-        continent_counts.push_back(analysis::servers_per_continent(mapping.located));
-    }
-    write_file(out_dir / "table3.txt",
-               study::make_table3(run, continent_counts).render());
-
-    // Figures (one .dat per figure; multi-curve figures hold several blocks).
-    std::cout << "Writing figure data...\n";
-    std::vector<analysis::Series> fig7, fig8, fig9, fig13;
-    for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
-        const auto& ds = run.traces.datasets[i];
-        fig7.push_back(analysis::bytes_vs_rtt(ds, run.maps[i]));
-        fig8.push_back(analysis::bytes_vs_distance(ds, run.maps[i]));
-        fig9.push_back({ds.name,
-                        analysis::hourly_non_preferred_fraction(ds, run.maps[i],
-                                                                run.preferred[i])
-                            .curve(60)});
-        const auto redirects =
-            analysis::video_non_preferred_counts(ds, run.maps[i], run.preferred[i]);
-        if (!redirects.empty()) fig13.push_back({ds.name, redirects.curve(60)});
-    }
-    write_dat(out_dir / "fig07_bytes_vs_rtt.dat", fig7);
-    write_dat(out_dir / "fig08_bytes_vs_distance.dat", fig8);
-    write_dat(out_dir / "fig09_hourly_nonpreferred_cdf.dat", fig9);
-    write_dat(out_dir / "fig13_video_redirect_counts_cdf.dat", fig13);
-
-    // Figs 5/6: flows per session.
-    std::vector<analysis::Series> fig5, fig6;
-    for (const double t : {1.0, 5.0, 10.0, 60.0, 300.0}) {
-        const auto cdf = analysis::flows_per_session_cdf(
-            analysis::build_sessions(run.dataset("US-Campus"), t));
-        analysis::Series s{"T=" + std::to_string(static_cast<int>(t)) + "s", {}};
-        for (std::size_t i = 0; i < cdf.size(); ++i) {
-            s.points.emplace_back(static_cast<double>(i + 1), cdf[i]);
-        }
-        fig5.push_back(std::move(s));
-    }
-    for (const auto& ds : run.traces.datasets) {
-        const auto cdf =
-            analysis::flows_per_session_cdf(analysis::build_sessions(ds, 1.0));
-        analysis::Series s{ds.name, {}};
-        for (std::size_t i = 0; i < cdf.size(); ++i) {
-            s.points.emplace_back(static_cast<double>(i + 1), cdf[i]);
-        }
-        fig6.push_back(std::move(s));
-    }
-    write_dat(out_dir / "fig05_gap_sensitivity.dat", fig5);
-    write_dat(out_dir / "fig06_flows_per_session.dat", fig6);
-
-    // Fig 11: EU2 over time.
-    const auto eu2 = run.vp_index("EU2");
-    const auto hourly = analysis::hourly_preferred_series(
-        run.traces.datasets[eu2], run.maps[eu2], run.preferred[eu2]);
-    write_dat(out_dir / "fig11_eu2_load_balancing.dat",
-              {hourly.fraction_preferred, hourly.flows_per_hour});
-
-    // Figs 14-16: hot-spot machinery at EU1-ADSL.
-    const auto adsl = run.vp_index("EU1-ADSL");
-    const auto top = analysis::top_redirected_videos(
-        run.traces.datasets[adsl], run.maps[adsl], run.preferred[adsl], 4);
-    std::vector<analysis::Series> fig14;
-    for (std::size_t v = 0; v < top.size(); ++v) {
-        auto load = analysis::video_hourly_load(run.traces.datasets[adsl],
-                                                run.maps[adsl], run.preferred[adsl],
-                                                top[v]);
-        load.all.name = "video" + std::to_string(v + 1) + " all";
-        load.non_preferred.name = "video" + std::to_string(v + 1) + " non-preferred";
-        fig14.push_back(std::move(load.all));
-        fig14.push_back(std::move(load.non_preferred));
-    }
-    write_dat(out_dir / "fig14_hotspot_videos.dat", fig14);
-    const auto load = analysis::preferred_dc_server_load(
-        run.traces.datasets[adsl], run.maps[adsl], run.preferred[adsl]);
-    write_dat(out_dir / "fig15_server_load.dat", {load.avg, load.max});
-    if (!top.empty()) {
-        const auto sessions = analysis::build_sessions(run.traces.datasets[adsl], 1.0);
-        const auto hot = analysis::hot_server_sessions(
-            run.traces.datasets[adsl], sessions, run.maps[adsl], run.preferred[adsl],
-            top.front());
-        write_dat(out_dir / "fig16_hot_server_sessions.dat",
-                  {hot.all_preferred, hot.first_preferred_then_other, hot.others});
+    // Tables and per-figure series: every artifact is an independent closure
+    // over the run, rendered on the pool (Table III's CBG geolocation of all
+    // five datasets rides along).
+    std::cout << "Rendering tables and figure data (CBG: 215 landmarks)...\n";
+    const study::FullReport report = study::make_full_report(run, pool);
+    for (const auto& artifact : report.artifacts) {
+        write_file(out_dir / artifact.name, artifact.content);
     }
 
     // Figs 17-18: PlanetLab active experiment (fresh deployment, cold cache).

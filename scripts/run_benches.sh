@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary and aggregates the results.
+#
+# Two phases:
+#   cold  — YTCDN_BENCH_SNAPSHOT=0: each binary re-simulates the study week.
+#   warm  — snapshot cache on: the first binary writes build/bench/.cache/,
+#           the rest load it in milliseconds.
+# The per-binary wall-clock of both phases and every google-benchmark timing
+# land in BENCH_results.json at the repo root, and a before/after table is
+# printed for the suite.
+#
+# Usage: scripts/run_benches.sh [build_dir]
+# Env:   YTCDN_BENCH_SCALE   trace scale (default: binaries' default, 0.15)
+#        YTCDN_THREADS       worker threads for the parallel stages
+#        YTCDN_BENCH_FILTER  only run binaries whose name matches this grep
+#        YTCDN_BENCH_COLD=0  skip the cold phase (reuses an existing cache)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+BENCH_DIR="$BUILD_DIR/bench"
+OUT_JSON="$REPO_ROOT/BENCH_results.json"
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+if [ ! -d "$BENCH_DIR" ]; then
+    echo "error: $BENCH_DIR not found — build first (cmake -B build -S . && cmake --build build -j)" >&2
+    exit 1
+fi
+
+mapfile -t BINARIES < <(find "$BENCH_DIR" -maxdepth 1 -name 'bench_*' -type f -perm -u+x | sort)
+if [ -n "${YTCDN_BENCH_FILTER:-}" ]; then
+    mapfile -t BINARIES < <(printf '%s\n' "${BINARIES[@]}" | grep -- "$YTCDN_BENCH_FILTER" || true)
+fi
+if [ "${#BINARIES[@]}" -eq 0 ]; then
+    echo "error: no bench binaries found in $BENCH_DIR" >&2
+    exit 1
+fi
+
+# Wall-clock milliseconds of one binary run; benchmark JSON goes to $2,
+# $3 is the YTCDN_BENCH_SNAPSHOT value for the run.
+run_one() {
+    local bin="$1" json="$2" snapshot="$3"
+    local start end
+    start=$(date +%s%N)
+    # stdout (the paper artifacts) is not interesting here; stderr carries
+    # cache progress lines worth keeping in CI logs.
+    (cd "$REPO_ROOT" && YTCDN_BENCH_SNAPSHOT="$snapshot" "$bin" \
+        --benchmark_out="$json" --benchmark_out_format=json \
+        --benchmark_min_time=0.05 > /dev/null)
+    end=$(date +%s%N)
+    echo $(( (end - start) / 1000000 ))
+}
+
+declare -A COLD_MS WARM_MS
+CACHE_DIR="$REPO_ROOT/build/bench/.cache"
+
+if [ "${YTCDN_BENCH_COLD:-1}" != "0" ]; then
+    echo "== cold phase (no snapshot cache): ${#BINARIES[@]} binaries =="
+    for bin in "${BINARIES[@]}"; do
+        name="$(basename "$bin")"
+        ms=$(run_one "$bin" "$WORK_DIR/cold_$name.json" 0)
+        COLD_MS[$name]=$ms
+        printf '  %-42s %8d ms\n' "$name" "$ms"
+    done
+fi
+
+echo "== warm phase (snapshot cache at $CACHE_DIR) =="
+rm -rf "$CACHE_DIR"
+for bin in "${BINARIES[@]}"; do
+    name="$(basename "$bin")"
+    ms=$(run_one "$bin" "$WORK_DIR/warm_$name.json" 1)
+    WARM_MS[$name]=$ms
+    printf '  %-42s %8d ms\n' "$name" "$ms"
+done
+
+# Aggregate: per-binary wall clock + every google-benchmark entry.
+export WORK_DIR OUT_JSON
+{
+    for name in "${!COLD_MS[@]}"; do echo "cold $name ${COLD_MS[$name]}"; done
+    for name in "${!WARM_MS[@]}"; do echo "warm $name ${WARM_MS[$name]}"; done
+} > "$WORK_DIR/wallclock.txt"
+
+python3 - "$WORK_DIR" "$OUT_JSON" <<'PY'
+import json, pathlib, sys
+
+work = pathlib.Path(sys.argv[1])
+out_path = pathlib.Path(sys.argv[2])
+
+wall = {}
+for line in (work / "wallclock.txt").read_text().splitlines():
+    phase, name, ms = line.split()
+    wall.setdefault(name, {})[phase] = int(ms)
+
+benchmarks = {}
+context = None
+for path in sorted(work.glob("warm_*.json")):
+    data = json.loads(path.read_text())
+    context = context or data.get("context")
+    name = path.stem.removeprefix("warm_")
+    benchmarks[name] = [
+        {
+            "name": b["name"],
+            "real_time_ms": b["real_time"] / 1e6,
+            "cpu_time_ms": b["cpu_time"] / 1e6,
+            "iterations": b["iterations"],
+        }
+        for b in data.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    ]
+
+suite = {
+    name: {
+        "cold_wall_ms": phases.get("cold"),
+        "warm_wall_ms": phases.get("warm"),
+        "speedup": (phases["cold"] / phases["warm"])
+        if phases.get("cold") and phases.get("warm")
+        else None,
+    }
+    for name, phases in sorted(wall.items())
+}
+have_both = [s for s in suite.values() if s["cold_wall_ms"] and s["warm_wall_ms"]]
+totals = {
+    "cold_wall_ms": sum(s["cold_wall_ms"] for s in have_both) or None,
+    "warm_wall_ms": sum(s["warm_wall_ms"] for s in have_both) or None,
+}
+totals["speedup"] = (
+    totals["cold_wall_ms"] / totals["warm_wall_ms"]
+    if totals["cold_wall_ms"] and totals["warm_wall_ms"]
+    else None
+)
+
+out_path.write_text(
+    json.dumps(
+        {
+            "context": context,
+            "suite_wall_clock": suite,
+            "suite_totals": totals,
+            "benchmarks": benchmarks,
+        },
+        indent=2,
+    )
+    + "\n"
+)
+
+if have_both:
+    print()
+    print(f'{"binary":<44}{"cold[ms]":>10}{"warm[ms]":>10}{"speedup":>9}')
+    print("-" * 73)
+    for name, s in suite.items():
+        if s["cold_wall_ms"] and s["warm_wall_ms"]:
+            print(
+                f'{name:<44}{s["cold_wall_ms"]:>10}{s["warm_wall_ms"]:>10}'
+                f'{s["speedup"]:>8.1f}x'
+            )
+    print("-" * 73)
+    print(
+        f'{"TOTAL":<44}{totals["cold_wall_ms"]:>10}{totals["warm_wall_ms"]:>10}'
+        f'{totals["speedup"]:>8.1f}x'
+    )
+print(f"\nwrote {out_path}")
+PY

@@ -5,6 +5,26 @@
 
 namespace ytcdn::analysis {
 
+namespace {
+
+/// Resolves every flow's data center once into `dcs` (reused across calls to
+/// avoid reallocating per session); returns false if any flow is unmapped,
+/// i.e. the session is outside the analysis scope. dc_of is a hash lookup
+/// per call, and the pattern classifiers would otherwise repeat it two to
+/// three times per flow.
+bool resolve_session_dcs(const VideoSession& s, const ServerDcMap& map,
+                         std::vector<int>& dcs) {
+    dcs.clear();
+    for (const auto* f : s.flows) {
+        const int dc = map.dc_of(f->server_ip);
+        if (dc < 0) return false;
+        dcs.push_back(dc);
+    }
+    return true;
+}
+
+}  // namespace
+
 std::vector<double> flows_per_session_cdf(const std::vector<VideoSession>& sessions,
                                           int max_bucket) {
     if (max_bucket < 1) throw std::invalid_argument("flows_per_session_cdf: max_bucket");
@@ -33,32 +53,22 @@ SessionPatternShares session_patterns(const std::vector<VideoSession>& sessions,
     std::size_t two = 0, pp = 0, pn = 0, np = 0, nn = 0;
     std::size_t more = 0;
 
+    std::vector<int> dcs;
     for (const auto& s : sessions) {
-        bool in_scope = true;
-        for (const auto* f : s.flows) {
-            if (map.dc_of(f->server_ip) < 0) {
-                in_scope = false;
-                break;
-            }
-        }
-        if (!in_scope) continue;
+        if (!resolve_session_dcs(s, map, dcs)) continue;
         ++scoped;
-
-        const auto is_pref = [&](const capture::FlowRecord* f) {
-            return map.dc_of(f->server_ip) == preferred;
-        };
 
         if (s.num_flows() == 1) {
             ++single;
-            if (is_pref(s.flows[0])) {
+            if (dcs[0] == preferred) {
                 ++single_p;
             } else {
                 ++single_np;
             }
         } else if (s.num_flows() == 2) {
             ++two;
-            const bool a = is_pref(s.flows[0]);
-            const bool b = is_pref(s.flows[1]);
+            const bool a = dcs[0] == preferred;
+            const bool b = dcs[1] == preferred;
             if (a && b) ++pp;
             else if (a && !b) ++pn;
             else if (!a && b) ++np;
@@ -90,23 +100,17 @@ MultiFlowPatternShares multi_flow_patterns(const std::vector<VideoSession>& sess
     MultiFlowPatternShares out;
     std::size_t scoped_total = 0;
     std::size_t all_pref = 0, first_pref = 0, first_np = 0;
+    std::vector<int> dcs;
     for (const auto& s : sessions) {
-        bool in_scope = true;
-        for (const auto* f : s.flows) {
-            if (map.dc_of(f->server_ip) < 0) {
-                in_scope = false;
-                break;
-            }
-        }
-        if (!in_scope) continue;
+        if (!resolve_session_dcs(s, map, dcs)) continue;
         ++scoped_total;
         if (s.num_flows() < 3) continue;
         ++out.sessions;
 
-        const bool starts_pref = map.dc_of(s.flows.front()->server_ip) == preferred;
+        const bool starts_pref = dcs.front() == preferred;
         bool every_pref = starts_pref;
-        for (const auto* f : s.flows) {
-            if (map.dc_of(f->server_ip) != preferred) {
+        for (const int dc : dcs) {
+            if (dc != preferred) {
                 every_pref = false;
                 break;
             }

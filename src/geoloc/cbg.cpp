@@ -5,24 +5,35 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/pinger.hpp"
+#include "sim/random.hpp"
+
 namespace ytcdn::geoloc {
+
+namespace {
+
+/// Per-task Pinger seed: a stable function of the locator seed, a stage tag
+/// and the task's entity id. Forking here (instead of advancing one shared
+/// engine) is what makes calibration and location schedule-independent.
+std::uint64_t probe_seed(std::uint64_t seed, std::string_view stage,
+                         std::uint64_t entity_id) {
+    return sim::mix64(seed ^ sim::hash_string(stage) ^ sim::mix64(entity_id));
+}
+
+}  // namespace
 
 CbgLocator::CbgLocator(const net::RttModel& model, std::vector<Landmark> landmarks,
                        const Config& config, std::uint64_t seed)
-    : model_(&model),
-      landmarks_(std::move(landmarks)),
-      config_(config),
-      pinger_(model, seed) {
+    : model_(&model), landmarks_(std::move(landmarks)), config_(config), seed_(seed) {
     if (landmarks_.size() < 3) {
         throw std::invalid_argument("CbgLocator: need at least 3 landmarks");
     }
     if (config_.grid < 8) throw std::invalid_argument("CbgLocator: grid too coarse");
 }
 
-void CbgLocator::calibrate() {
-    bestlines_.clear();
-    bestlines_.reserve(landmarks_.size());
-    for (const auto& self : landmarks_) {
+void CbgLocator::calibrate(util::ThreadPool& pool) {
+    bestlines_ = util::parallel_map(pool, landmarks_, [&](const Landmark& self) {
+        net::Pinger pinger(*model_, probe_seed(seed_, "cbg-calibrate", self.site.id));
         std::vector<CalibrationPoint> points;
         points.reserve(landmarks_.size() - 1);
         for (const auto& peer : landmarks_) {
@@ -30,11 +41,11 @@ void CbgLocator::calibrate() {
             CalibrationPoint p;
             p.distance_km = geo::distance_km(self.site.location, peer.site.location);
             p.min_rtt_ms =
-                pinger_.min_rtt_ms(self.site, peer.site, config_.calibration_probes);
+                pinger.min_rtt_ms(self.site, peer.site, config_.calibration_probes);
             points.push_back(p);
         }
-        bestlines_.push_back(fit_bestline(points));
-    }
+        return fit_bestline(points);
+    });
     calibrated_ = true;
 }
 
@@ -43,14 +54,15 @@ const Bestline& CbgLocator::bestline(std::size_t i) const {
     return bestlines_.at(i);
 }
 
-CbgResult CbgLocator::locate(const net::NetSite& target) {
+CbgResult CbgLocator::locate(const net::NetSite& target) const {
     if (!calibrated_) throw std::logic_error("CbgLocator: calibrate() first");
 
+    net::Pinger pinger(*model_, probe_seed(seed_, "cbg-locate", target.id));
     std::vector<Circle> circles;
     circles.reserve(landmarks_.size());
     for (std::size_t i = 0; i < landmarks_.size(); ++i) {
         const double rtt =
-            pinger_.min_rtt_ms(landmarks_[i].site, target, config_.target_probes);
+            pinger.min_rtt_ms(landmarks_[i].site, target, config_.target_probes);
         const double bound = bestlines_[i].distance_bound_km(rtt);
         if (bound <= 0.0) continue;
         circles.push_back(Circle{landmarks_[i].site.location, bound});

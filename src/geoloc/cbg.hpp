@@ -6,8 +6,8 @@
 #include "geo/geo_point.hpp"
 #include "geoloc/bestline.hpp"
 #include "geoloc/landmark.hpp"
-#include "net/pinger.hpp"
 #include "net/rtt_model.hpp"
+#include "util/parallel.hpp"
 
 namespace ytcdn::geoloc {
 
@@ -55,8 +55,13 @@ public:
                const Config& config, std::uint64_t seed);
 
     /// Measures landmark-to-landmark RTTs and fits every bestline. Must be
-    /// called once before locate().
-    void calibrate();
+    /// called once before locate(). Each landmark's measurement campaign
+    /// runs as an independent task on the pool with a Pinger forked from
+    /// (seed, landmark site id), so results are bit-identical at any thread
+    /// count and independent of scheduling.
+    void calibrate(util::ThreadPool& pool);
+    /// Same, on the process-wide shared pool.
+    void calibrate() { calibrate(util::shared_pool()); }
 
     [[nodiscard]] bool calibrated() const noexcept { return calibrated_; }
     [[nodiscard]] const std::vector<Landmark>& landmarks() const noexcept {
@@ -64,8 +69,10 @@ public:
     }
     [[nodiscard]] const Bestline& bestline(std::size_t i) const;
 
-    /// Geolocates one target site.
-    [[nodiscard]] CbgResult locate(const net::NetSite& target);
+    /// Geolocates one target site. Thread-safe once calibrated: the probe
+    /// RNG is forked per target from (seed, target id), never shared, so
+    /// concurrent locate() calls over different targets are deterministic.
+    [[nodiscard]] CbgResult locate(const net::NetSite& target) const;
 
 private:
     struct Circle {
@@ -78,7 +85,7 @@ private:
     const net::RttModel* model_;
     std::vector<Landmark> landmarks_;
     Config config_;
-    net::Pinger pinger_;
+    std::uint64_t seed_;
     std::vector<Bestline> bestlines_;
     bool calibrated_ = false;
 };

@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.hpp"
+
 namespace ytcdn::study {
+
+std::size_t StudyConfig::effective_threads() const {
+    return threads > 0 ? static_cast<std::size_t>(threads)
+                       : util::default_thread_count();
+}
 
 std::size_t StudyConfig::effective_catalog_size() const {
     if (catalog_size != 0) return catalog_size;

@@ -16,6 +16,12 @@ struct StudyConfig {
     /// Trace volume factor vs the paper's datasets.
     double scale = 0.10;
 
+    /// Worker threads for the parallel stages around the (single-threaded)
+    /// event simulation: per-VP map building, CBG geolocation, report
+    /// rendering. 0 = YTCDN_THREADS env / hardware_concurrency; 1 = exact
+    /// serial execution. Output is bit-identical at any value.
+    int threads = 0;
+
     /// Videos in the catalog. 0 = derive from scale (≈400k at scale 1,
     /// floor 20k), approximating the paper's 2.4M distinct videos across
     /// the five datasets.
@@ -71,6 +77,7 @@ struct StudyConfig {
     sim::FaultSchedule fault_schedule;
 
     /// Derived values.
+    [[nodiscard]] std::size_t effective_threads() const;
     [[nodiscard]] std::size_t effective_catalog_size() const;
     [[nodiscard]] int effective_server_capacity() const;
     [[nodiscard]] std::size_t replicate_top_ranks() const;

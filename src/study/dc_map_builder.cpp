@@ -32,13 +32,19 @@ analysis::ServerDcMap ground_truth_dc_map(const StudyDeployment& deployment,
 
 CbgMappingResult cbg_dc_map(const StudyDeployment& deployment,
                             const capture::Dataset& dataset,
-                            geoloc::CbgLocator& locator,
-                            const workload::VantagePoint& vp, net::Asn local_as) {
+                            const geoloc::CbgLocator& locator,
+                            const workload::VantagePoint& vp, net::Asn local_as,
+                            util::ThreadPool& pool) {
     CbgMappingResult out;
     const auto scope_ips =
         analysis::analysis_scope_servers(dataset, deployment.whois(), local_as);
 
-    // One CBG run per /24; members share the estimate.
+    // One CBG run per /24; members share the estimate. The per-subnet CBG
+    // runs are independent (locate() forks its probe RNG by target id), so
+    // they fan out across the pool; results are keyed back by subnet in
+    // first-seen order, independent of completion order.
+    std::vector<net::IpAddress> subnet_keys;
+    std::vector<net::NetSite> subnet_targets;
     std::unordered_map<net::IpAddress, geoloc::CbgResult> per_subnet;
     const auto& cities = geo::CityDatabase::builtin();
     for (const net::IpAddress ip : scope_ips) {
@@ -46,7 +52,15 @@ CbgMappingResult cbg_dc_map(const StudyDeployment& deployment,
         if (per_subnet.contains(key)) continue;
         const cdn::DcId dc = deployment.cdn().dc_of_ip(ip);
         if (dc == cdn::kInvalidDc) continue;
-        per_subnet.emplace(key, locator.locate(deployment.cdn().dc(dc).site));
+        per_subnet.emplace(key, geoloc::CbgResult{});  // reserve the slot
+        subnet_keys.push_back(key);
+        subnet_targets.push_back(deployment.cdn().dc(dc).site);
+    }
+    const auto results = util::parallel_map(
+        pool, subnet_targets,
+        [&](const net::NetSite& target) { return locator.locate(target); });
+    for (std::size_t i = 0; i < subnet_keys.size(); ++i) {
+        per_subnet[subnet_keys[i]] = results[i];
     }
 
     out.located.reserve(scope_ips.size());

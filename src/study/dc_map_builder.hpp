@@ -7,6 +7,7 @@
 #include "geoloc/cbg.hpp"
 #include "geoloc/dc_clustering.hpp"
 #include "study/deployment.hpp"
+#include "util/parallel.hpp"
 #include "workload/vantage_point.hpp"
 
 namespace ytcdn::study {
@@ -30,11 +31,11 @@ struct CbgMappingResult {
 /// `locator` must already be calibrated. Only servers inside the analysis
 /// scope (Google AS + the vantage point's own AS) are located; one CBG run
 /// per /24 is shared by all its member IPs, matching the paper's clustering
-/// invariant.
-[[nodiscard]] CbgMappingResult cbg_dc_map(const StudyDeployment& deployment,
-                                          const capture::Dataset& dataset,
-                                          geoloc::CbgLocator& locator,
-                                          const workload::VantagePoint& vp,
-                                          net::Asn local_as);
+/// invariant. The per-subnet CBG runs are dispatched to `pool`; output is
+/// bit-identical at any thread count.
+[[nodiscard]] CbgMappingResult cbg_dc_map(
+    const StudyDeployment& deployment, const capture::Dataset& dataset,
+    const geoloc::CbgLocator& locator, const workload::VantagePoint& vp,
+    net::Asn local_as, util::ThreadPool& pool = util::shared_pool());
 
 }  // namespace ytcdn::study

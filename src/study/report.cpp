@@ -1,6 +1,20 @@
 #include "study/report.hpp"
 
+#include <functional>
+#include <sstream>
+#include <utility>
+
 #include "analysis/as_analysis.hpp"
+#include "analysis/loadbalance_analysis.hpp"
+#include "analysis/redirect_analysis.hpp"
+#include "analysis/series.hpp"
+#include "analysis/session.hpp"
+#include "analysis/session_analysis.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/subnet_analysis.hpp"
+#include "cdn/video.hpp"
+#include "geo/city.hpp"
+#include "study/dc_map_builder.hpp"
 
 namespace ytcdn::study {
 
@@ -101,6 +115,280 @@ analysis::AsciiTable make_failure_table(const StudyRun& run) {
 
 analysis::AsciiTable make_retry_table(const StudyRun& run) {
     return analysis::retry_histogram_table(failure_counts(run));
+}
+
+const std::string* FullReport::content(std::string_view name) const {
+    for (const auto& a : artifacts) {
+        if (a.name == name) return &a.content;
+    }
+    return nullptr;
+}
+
+std::string FullReport::render() const {
+    std::string out;
+    for (const auto& a : artifacts) {
+        out += "== " + a.name + " ==\n";
+        out += a.content;
+        if (!a.content.empty() && a.content.back() != '\n') out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+std::string render_series(const std::vector<analysis::Series>& series) {
+    std::ostringstream os;
+    analysis::write_series(os, series);
+    return os.str();
+}
+
+analysis::Series flows_cdf_series(std::string name, const std::vector<double>& cdf) {
+    analysis::Series s{std::move(name), {}};
+    for (std::size_t i = 0; i < cdf.size(); ++i) {
+        s.points.emplace_back(static_cast<double>(i + 1), cdf[i]);
+    }
+    return s;
+}
+
+std::string render_table3_artifact(const StudyRun& run, const ReportOptions& options,
+                                   util::ThreadPool& pool) {
+    geoloc::CbgLocator locator(
+        run.deployment->rtt(),
+        geoloc::make_planetlab_landmarks(geo::CityDatabase::builtin(),
+                                         sim::Rng(run.config.seed ^ 0x9B),
+                                         options.landmarks),
+        options.cbg, run.config.seed ^ 0xCB6);
+    locator.calibrate(pool);
+    std::vector<analysis::ContinentCounts> counts;
+    counts.reserve(run.traces.datasets.size());
+    for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+        const auto mapping =
+            cbg_dc_map(*run.deployment, run.traces.datasets[i], locator,
+                       run.deployment->vantage(i), run.deployment->local_as(i), pool);
+        counts.push_back(analysis::servers_per_continent(mapping.located));
+    }
+    return make_table3(run, counts).render();
+}
+
+std::string render_fig10(const StudyRun& run) {
+    analysis::AsciiTable t({"Dataset", "1-flow", "1:pref", "1:nonpref", "2-flow",
+                            "2:pp", "2:pn", "2:np", "2:nn", ">2-flow", ">2:allpref",
+                            ">2:pref-then-other", ">2:nonpref-first"});
+    for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+        const auto sessions = analysis::build_sessions(run.traces.datasets[i], 1.0);
+        const auto p =
+            analysis::session_patterns(sessions, run.maps[i], run.preferred[i]);
+        const auto m =
+            analysis::multi_flow_patterns(sessions, run.maps[i], run.preferred[i]);
+        t.add_row({run.traces.datasets[i].name, analysis::fmt_pct(p.single_flow, 2),
+                   analysis::fmt_pct(p.single_preferred, 2),
+                   analysis::fmt_pct(p.single_non_preferred, 2),
+                   analysis::fmt_pct(p.two_flow, 2), analysis::fmt_pct(p.two_pref_pref, 2),
+                   analysis::fmt_pct(p.two_pref_nonpref, 2),
+                   analysis::fmt_pct(p.two_nonpref_pref, 2),
+                   analysis::fmt_pct(p.two_nonpref_nonpref, 2),
+                   analysis::fmt_pct(p.more_flows, 2),
+                   analysis::fmt_pct(m.all_preferred, 2),
+                   analysis::fmt_pct(m.first_preferred_then_other, 2),
+                   analysis::fmt_pct(m.first_non_preferred, 2)});
+    }
+    return t.render();
+}
+
+std::string render_fig12(const StudyRun& run) {
+    analysis::AsciiTable t({"Dataset", "Subnet", "flows%", "non-preferred%"});
+    for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+        const auto& vp = run.deployment->vantage(i);
+        std::vector<analysis::NamedSubnet> subnets;
+        subnets.reserve(vp.subnets.size());
+        for (const auto& s : vp.subnets) subnets.push_back({s.name, s.prefix});
+        for (const auto& share : analysis::subnet_breakdown(
+                 run.traces.datasets[i], run.maps[i], run.preferred[i], subnets)) {
+            t.add_row({run.traces.datasets[i].name, share.name,
+                       analysis::fmt_pct(share.all_flows_share, 2),
+                       analysis::fmt_pct(share.non_preferred_share, 2)});
+        }
+    }
+    return t.render();
+}
+
+std::string render_resolutions(const StudyRun& run) {
+    analysis::AsciiTable t({"Dataset", "Resolution", "flow%", "byte%"});
+    for (const auto& ds : run.traces.datasets) {
+        for (const auto& share : analysis::resolution_breakdown(ds)) {
+            t.add_row({ds.name, std::string(cdn::to_string(share.resolution)),
+                       analysis::fmt_pct(share.flow_share, 2),
+                       analysis::fmt_pct(share.byte_share, 2)});
+        }
+    }
+    return t.render();
+}
+
+}  // namespace
+
+FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
+                            const ReportOptions& options) {
+    // Every artifact is a pure function of the immutable run: closures only
+    // read `run` (and fork their own probe RNGs, for Table III), so they can
+    // execute in any order on any thread. parallel_map returns them in list
+    // order, making the report bytes independent of the schedule.
+    using Job = std::pair<std::string, std::function<std::string()>>;
+    std::vector<Job> jobs;
+    jobs.reserve(20);
+
+    jobs.emplace_back("table1.txt", [&] { return make_table1(run).render(); });
+    jobs.emplace_back("table2.txt", [&] { return make_table2(run).render(); });
+    if (options.include_table3) {
+        jobs.emplace_back("table3.txt",
+                          [&] { return render_table3_artifact(run, options, pool); });
+    }
+    jobs.emplace_back("failure_breakdown.txt",
+                      [&] { return make_failure_table(run).render(); });
+    jobs.emplace_back("retry_histogram.txt",
+                      [&] { return make_retry_table(run).render(); });
+    jobs.emplace_back("resolutions.txt", [&] { return render_resolutions(run); });
+
+    jobs.emplace_back("fig04_flow_sizes.dat", [&] {
+        std::vector<analysis::Series> series;
+        for (const auto& ds : run.traces.datasets) {
+            std::vector<double> sizes;
+            sizes.reserve(ds.records.size());
+            for (const auto& r : ds.records) {
+                sizes.push_back(static_cast<double>(r.bytes));
+            }
+            series.push_back({ds.name, analysis::EmpiricalCdf(std::move(sizes)).curve(120)});
+        }
+        return render_series(series);
+    });
+
+    jobs.emplace_back("fig05_gap_sensitivity.dat", [&] {
+        std::vector<analysis::Series> series;
+        const auto& us = run.dataset("US-Campus");
+        for (const double gap : {1.0, 5.0, 10.0, 60.0, 300.0}) {
+            series.push_back(flows_cdf_series(
+                "T=" + std::to_string(static_cast<int>(gap)) + "s",
+                analysis::flows_per_session_cdf(analysis::build_sessions(us, gap))));
+        }
+        return render_series(series);
+    });
+
+    jobs.emplace_back("fig06_flows_per_session.dat", [&] {
+        std::vector<analysis::Series> series;
+        for (const auto& ds : run.traces.datasets) {
+            series.push_back(flows_cdf_series(
+                ds.name,
+                analysis::flows_per_session_cdf(analysis::build_sessions(ds, 1.0))));
+        }
+        return render_series(series);
+    });
+
+    jobs.emplace_back("fig07_bytes_vs_rtt.dat", [&] {
+        std::vector<analysis::Series> series;
+        for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+            series.push_back(
+                analysis::bytes_vs_rtt(run.traces.datasets[i], run.maps[i]));
+        }
+        return render_series(series);
+    });
+
+    jobs.emplace_back("fig08_bytes_vs_distance.dat", [&] {
+        std::vector<analysis::Series> series;
+        for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+            series.push_back(
+                analysis::bytes_vs_distance(run.traces.datasets[i], run.maps[i]));
+        }
+        return render_series(series);
+    });
+
+    jobs.emplace_back("fig09_hourly_nonpreferred_cdf.dat", [&] {
+        std::vector<analysis::Series> series;
+        for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+            series.push_back({run.traces.datasets[i].name,
+                              analysis::hourly_non_preferred_fraction(
+                                  run.traces.datasets[i], run.maps[i], run.preferred[i])
+                                  .curve(60)});
+        }
+        return render_series(series);
+    });
+
+    jobs.emplace_back("fig10_session_patterns.txt", [&] { return render_fig10(run); });
+
+    jobs.emplace_back("fig11_eu2_load_balancing.dat", [&] {
+        const auto eu2 = run.vp_index("EU2");
+        auto hourly = analysis::hourly_preferred_series(
+            run.traces.datasets[eu2], run.maps[eu2], run.preferred[eu2]);
+        return render_series({std::move(hourly.fraction_preferred),
+                              std::move(hourly.flows_per_hour)});
+    });
+
+    jobs.emplace_back("fig12_subnet_breakdown.txt", [&] { return render_fig12(run); });
+
+    jobs.emplace_back("fig13_video_redirect_counts_cdf.dat", [&] {
+        std::vector<analysis::Series> series;
+        for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+            const auto counts = analysis::video_non_preferred_counts(
+                run.traces.datasets[i], run.maps[i], run.preferred[i]);
+            if (!counts.empty()) {
+                series.push_back({run.traces.datasets[i].name, counts.curve(60)});
+            }
+        }
+        return render_series(series);
+    });
+
+    jobs.emplace_back("fig14_hotspot_videos.dat", [&] {
+        const auto adsl = run.vp_index("EU1-ADSL");
+        const auto top = analysis::top_redirected_videos(
+            run.traces.datasets[adsl], run.maps[adsl], run.preferred[adsl], 4);
+        std::vector<analysis::Series> series;
+        for (std::size_t v = 0; v < top.size(); ++v) {
+            auto load = analysis::video_hourly_load(run.traces.datasets[adsl],
+                                                    run.maps[adsl],
+                                                    run.preferred[adsl], top[v]);
+            load.all.name = "video" + std::to_string(v + 1) + " all";
+            load.non_preferred.name =
+                "video" + std::to_string(v + 1) + " non-preferred";
+            series.push_back(std::move(load.all));
+            series.push_back(std::move(load.non_preferred));
+        }
+        return render_series(series);
+    });
+
+    jobs.emplace_back("fig15_server_load.dat", [&] {
+        const auto adsl = run.vp_index("EU1-ADSL");
+        auto load = analysis::preferred_dc_server_load(
+            run.traces.datasets[adsl], run.maps[adsl], run.preferred[adsl]);
+        return render_series({std::move(load.avg), std::move(load.max)});
+    });
+
+    jobs.emplace_back("fig16_hot_server_sessions.dat", [&] {
+        const auto adsl = run.vp_index("EU1-ADSL");
+        const auto top = analysis::top_redirected_videos(
+            run.traces.datasets[adsl], run.maps[adsl], run.preferred[adsl], 1);
+        if (top.empty()) return std::string{};
+        const auto sessions =
+            analysis::build_sessions(run.traces.datasets[adsl], 1.0);
+        auto hot = analysis::hot_server_sessions(run.traces.datasets[adsl], sessions,
+                                                 run.maps[adsl], run.preferred[adsl],
+                                                 top.front());
+        return render_series({std::move(hot.all_preferred),
+                              std::move(hot.first_preferred_then_other),
+                              std::move(hot.others)});
+    });
+
+    auto contents =
+        util::parallel_map(pool, jobs, [](const Job& job) { return job.second(); });
+
+    FullReport report;
+    report.artifacts.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        report.artifacts.push_back({jobs[i].first, std::move(contents[i])});
+    }
+    return report;
+}
+
+FullReport make_full_report(const StudyRun& run, const ReportOptions& options) {
+    util::ThreadPool pool(run.config.effective_threads());
+    return make_full_report(run, pool, options);
 }
 
 }  // namespace ytcdn::study

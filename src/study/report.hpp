@@ -1,12 +1,15 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/failure_analysis.hpp"
 #include "analysis/geo_analysis.hpp"
 #include "analysis/table.hpp"
+#include "geoloc/cbg.hpp"
 #include "study/study_run.hpp"
+#include "util/parallel.hpp"
 
 namespace ytcdn::study {
 
@@ -37,5 +40,45 @@ namespace ytcdn::study {
 
 /// Connection-retry histogram per vantage point.
 [[nodiscard]] analysis::AsciiTable make_retry_table(const StudyRun& run);
+
+/// One named paper artifact: "table1.txt" holds rendered ASCII, a
+/// "figNN_*.dat" holds gnuplot-ready series blocks.
+struct ReportArtifact {
+    std::string name;
+    std::string content;
+};
+
+/// Every table and figure the study derives from one StudyRun, in a fixed
+/// name order that does not depend on how the report was computed.
+struct FullReport {
+    std::vector<ReportArtifact> artifacts;
+
+    /// The artifact's content, or nullptr if the report was built without it
+    /// (e.g. table3 with ReportOptions::include_table3 = false).
+    [[nodiscard]] const std::string* content(std::string_view name) const;
+
+    /// Concatenates every artifact under a "== name ==" banner — the
+    /// byte-compare target of the determinism tests.
+    [[nodiscard]] std::string render() const;
+};
+
+struct ReportOptions {
+    /// Table III re-runs the whole CBG geolocation pipeline (calibrate 215
+    /// landmarks, locate every /24) — by far the most expensive artifact.
+    bool include_table3 = true;
+    /// Landmark set and CBG grid for Table III; tests shrink both.
+    geoloc::LandmarkCounts landmarks;
+    geoloc::CbgLocator::Config cbg;
+};
+
+/// Renders the full report. Each artifact is an independent pure closure
+/// over the immutable `run`, dispatched to `pool`; the artifact list (order
+/// and bytes) is identical at any thread count.
+[[nodiscard]] FullReport make_full_report(const StudyRun& run,
+                                          util::ThreadPool& pool,
+                                          const ReportOptions& options = {});
+/// Same, on a pool sized by run.config.effective_threads().
+[[nodiscard]] FullReport make_full_report(const StudyRun& run,
+                                          const ReportOptions& options = {});
 
 }  // namespace ytcdn::study

@@ -1,0 +1,257 @@
+#include "study/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "capture/binary_log.hpp"
+#include "sim/random.hpp"
+
+namespace ytcdn::study {
+
+namespace {
+
+constexpr char kMagic[4] = {'Y', 'S', 'S', '1'};
+
+template <typename T>
+void put(std::ostream& os, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+[[nodiscard]] bool get(std::istream& is, T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    is.read(reinterpret_cast<char*>(&value), sizeof(value));
+    return is.good();
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+[[nodiscard]] bool get_string(std::istream& is, std::string& s) {
+    std::uint32_t n = 0;
+    if (!get(is, n) || n > (1u << 20)) return false;  // names are short
+    s.resize(n);
+    is.read(s.data(), n);
+    return is.good();
+}
+
+void put_u64s(std::ostream& os, const std::vector<std::uint64_t>& v) {
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(v.size()));
+    for (const std::uint64_t x : v) put(os, x);
+}
+
+[[nodiscard]] bool get_u64s(std::istream& is, std::vector<std::uint64_t>& v) {
+    std::uint32_t n = 0;
+    if (!get(is, n) || n > (1u << 20)) return false;
+    v.resize(n);
+    for (std::uint64_t& x : v) {
+        if (!get(is, x)) return false;
+    }
+    return true;
+}
+
+void put_stats(std::ostream& os, const workload::Player::Stats& s) {
+    put(os, s.sessions);
+    put(os, s.video_flows);
+    put(os, s.control_flows);
+    put(os, s.redirects_miss);
+    put(os, s.redirects_overload);
+    put(os, s.resolution_probes);
+    put(os, s.pauses);
+    put(os, s.dns_cache_hits);
+    put(os, s.connect_timeouts);
+    put(os, s.connect_resets);
+    put(os, s.dns_servfails);
+    put(os, s.stale_dns_answers);
+    put(os, s.failovers);
+    put(os, s.failures.timeout);
+    put(os, s.failures.reset);
+    put(os, s.failures.dns_failure);
+    put(os, s.failures.retries_exhausted);
+    put(os, s.failures.redirect_exhausted);
+    put_u64s(os, s.retry_histogram);
+}
+
+[[nodiscard]] bool get_stats(std::istream& is, workload::Player::Stats& s) {
+    return get(is, s.sessions) && get(is, s.video_flows) &&
+           get(is, s.control_flows) && get(is, s.redirects_miss) &&
+           get(is, s.redirects_overload) && get(is, s.resolution_probes) &&
+           get(is, s.pauses) && get(is, s.dns_cache_hits) &&
+           get(is, s.connect_timeouts) && get(is, s.connect_resets) &&
+           get(is, s.dns_servfails) && get(is, s.stale_dns_answers) &&
+           get(is, s.failovers) && get(is, s.failures.timeout) &&
+           get(is, s.failures.reset) && get(is, s.failures.dns_failure) &&
+           get(is, s.failures.retries_exhausted) &&
+           get(is, s.failures.redirect_exhausted) &&
+           get_u64s(is, s.retry_histogram);
+}
+
+/// Hash-combine in fingerprint order. Doubles contribute their exact bit
+/// pattern, so any representable change — however small — changes the key.
+class Fingerprint {
+public:
+    void mix(std::uint64_t x) { h_ = sim::mix64(h_ ^ sim::mix64(x)); }
+    void mix(double x) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &x, sizeof(bits));
+        mix(bits);
+    }
+    void mix(bool x) { mix(static_cast<std::uint64_t>(x)); }
+    [[nodiscard]] std::uint64_t value() const { return h_; }
+
+private:
+    std::uint64_t h_ = 0x5953'5331'2011ull;  // "YSS1" | paper year
+};
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const StudyConfig& config) {
+    Fingerprint fp;
+    fp.mix(config.seed);
+    fp.mix(config.scale);
+    fp.mix(static_cast<std::uint64_t>(config.catalog_size));
+    fp.mix(config.zipf_exponent);
+    fp.mix(config.replicate_fraction);
+    fp.mix(static_cast<std::uint64_t>(config.origin_replicas));
+    fp.mix(static_cast<std::uint64_t>(config.max_pulled_per_dc));
+    fp.mix(static_cast<std::uint64_t>(config.server_capacity));
+    fp.mix(config.p_dns_secondary_eu1);
+    fp.mix(config.p_dns_secondary_us);
+    fp.mix(config.p_legacy_youtube);
+    fp.mix(config.p_legacy_youtube_eu2);
+    fp.mix(config.p_other_as);
+    fp.mix(config.p_promoted);
+    fp.mix(config.eu2_local_rate_factor);
+    fp.mix(config.feb2011_us_shift);
+    return fp.value();
+}
+
+std::string snapshot_name(const StudyConfig& config) {
+    std::ostringstream name;
+    name << "trace-" << std::hex << config.seed << "-" << std::hex
+         << config_fingerprint(config) << "-v" << std::dec
+         << kSnapshotSchemaVersion << ".yss";
+    return name.str();
+}
+
+bool write_trace_snapshot(std::ostream& os, const StudyConfig& config,
+                          const TraceOutputs& traces) {
+    if (!config.fault_schedule.empty()) return false;
+
+    os.write(kMagic, sizeof(kMagic));
+    put(os, kSnapshotSchemaVersion);
+    put(os, config_fingerprint(config));
+    put(os, traces.events_processed);
+    put(os, traces.faults_injected);
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(traces.datasets.size()));
+
+    for (std::size_t i = 0; i < traces.datasets.size(); ++i) {
+        const auto& ds = traces.datasets[i];
+        put_string(os, ds.name);
+        put_stats(os, traces.player_stats[i]);
+        put(os, traces.requests_generated[i]);
+        put(os, traces.flows_observed[i]);
+        put(os, traces.flows_ignored[i]);
+        // Length-prefixed so the reader can carve the blob out of the
+        // stream (read_binary_log consumes an entire istream).
+        put<std::uint64_t>(os, capture::binary_log_size(ds.records.size()));
+        capture::write_binary_log(os, ds.records);
+    }
+    return os.good();
+}
+
+bool write_trace_snapshot(const std::filesystem::path& path,
+                          const StudyConfig& config,
+                          const TraceOutputs& traces) {
+    if (!config.fault_schedule.empty()) return false;
+    std::error_code ec;
+    if (path.has_parent_path()) {
+        std::filesystem::create_directories(path.parent_path(), ec);
+        if (ec) return false;
+    }
+    // Write to a sibling temp file and rename, so a crashed or concurrent
+    // writer never leaves a torn snapshot under the final name.
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os || !write_trace_snapshot(os, config, traces)) {
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+std::optional<TraceOutputs> load_trace_snapshot(std::istream& is,
+                                                const StudyConfig& config) {
+    if (!config.fault_schedule.empty()) return std::nullopt;
+
+    char magic[4] = {};
+    is.read(magic, sizeof(magic));
+    if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        return std::nullopt;
+    }
+    std::uint32_t version = 0;
+    std::uint64_t fingerprint = 0;
+    if (!get(is, version) || version != kSnapshotSchemaVersion) return std::nullopt;
+    if (!get(is, fingerprint) || fingerprint != config_fingerprint(config)) {
+        return std::nullopt;
+    }
+
+    TraceOutputs traces;
+    std::uint32_t vps = 0;
+    if (!get(is, traces.events_processed) || !get(is, traces.faults_injected) ||
+        !get(is, vps) || vps > 64) {
+        return std::nullopt;
+    }
+
+    for (std::uint32_t i = 0; i < vps; ++i) {
+        capture::Dataset ds;
+        workload::Player::Stats stats;
+        std::uint64_t requests = 0;
+        std::uint64_t observed = 0;
+        std::uint64_t ignored = 0;
+        std::uint64_t blob_size = 0;
+        if (!get_string(is, ds.name) || !get_stats(is, stats) ||
+            !get(is, requests) || !get(is, observed) || !get(is, ignored) ||
+            !get(is, blob_size) || blob_size > (1ull << 34)) {
+            return std::nullopt;
+        }
+        std::string blob(blob_size, '\0');
+        is.read(blob.data(), static_cast<std::streamsize>(blob_size));
+        if (!is.good()) return std::nullopt;
+        try {
+            std::istringstream blob_stream(std::move(blob));
+            ds.records = capture::read_binary_log(blob_stream);
+        } catch (const std::runtime_error&) {
+            return std::nullopt;
+        }
+        traces.datasets.push_back(std::move(ds));
+        traces.player_stats.push_back(std::move(stats));
+        traces.requests_generated.push_back(requests);
+        traces.flows_observed.push_back(observed);
+        traces.flows_ignored.push_back(ignored);
+    }
+    // A trailing byte means the writer and reader disagree about layout.
+    if (is.peek() != std::istream::traits_type::eof()) return std::nullopt;
+    return traces;
+}
+
+std::optional<TraceOutputs> load_trace_snapshot(
+    const std::filesystem::path& path, const StudyConfig& config) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return std::nullopt;
+    return load_trace_snapshot(is, config);
+}
+
+}  // namespace ytcdn::study

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "study/config.hpp"
+#include "study/trace_driver.hpp"
+
+namespace ytcdn::study {
+
+/// Binary snapshot of a simulated week ("YSS1").
+///
+/// Re-simulating the trace dominates every bench binary's start-up; the
+/// snapshot lets a suite of thirty binaries pay that cost once. The format
+/// wraps one capture::binary_log blob per vantage point (the same "YFL1"
+/// records the converters use) in a header that keys the snapshot to the
+/// run that produced it:
+///
+///   magic "YSS1" | u32 schema version | u64 config fingerprint |
+///   u64 events_processed | u64 faults_injected | u32 vantage-point count
+///   per VP: name | player stats | request/flow counters |
+///           u64 blob size | binary_log blob
+///
+/// The fingerprint hashes every StudyConfig field that shapes the
+/// simulation (seed, scale, catalog/capacity/probability knobs...). It
+/// deliberately excludes `threads`: thread count never changes outputs.
+/// Loading returns std::nullopt — never a wrong dataset — when the magic,
+/// schema version or fingerprint disagree, or the payload is truncated.
+///
+/// Bump when the record layout, the fingerprint inputs, or anything else
+/// about the byte format changes; stale snapshots are then re-simulated.
+inline constexpr std::uint32_t kSnapshotSchemaVersion = 1;
+
+/// Stable hash of the simulation-shaping StudyConfig fields (see above).
+[[nodiscard]] std::uint64_t config_fingerprint(const StudyConfig& config);
+
+/// Cache-file name encoding the key: "trace-<seed>-<scale>-v<schema>.yss".
+[[nodiscard]] std::string snapshot_name(const StudyConfig& config);
+
+/// Writes the snapshot. Runs with a fault schedule are refused (returns
+/// false): faults are opt-in experiments, not worth cache slots, and the
+/// schedule is not part of the fingerprint.
+bool write_trace_snapshot(std::ostream& os, const StudyConfig& config,
+                          const TraceOutputs& traces);
+bool write_trace_snapshot(const std::filesystem::path& path,
+                          const StudyConfig& config, const TraceOutputs& traces);
+
+/// Loads a snapshot previously written for `config`. std::nullopt on any
+/// key mismatch (seed/scale/schema/fingerprint), corruption, truncation,
+/// or a missing file (path overload) — callers fall back to simulating.
+[[nodiscard]] std::optional<TraceOutputs> load_trace_snapshot(
+    std::istream& is, const StudyConfig& config);
+[[nodiscard]] std::optional<TraceOutputs> load_trace_snapshot(
+    const std::filesystem::path& path, const StudyConfig& config);
+
+}  // namespace ytcdn::study

@@ -1,6 +1,7 @@
 #include "study/study_run.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "analysis/preferred_dc.hpp"
 #include "study/dc_map_builder.hpp"
@@ -8,6 +9,12 @@
 namespace ytcdn::study {
 
 std::size_t StudyRun::vp_index(std::string_view name) const {
+    if (!vp_index_by_name.empty()) {
+        const auto it = vp_index_by_name.find(std::string(name));
+        if (it != vp_index_by_name.end()) return it->second;
+        throw std::out_of_range("StudyRun::vp_index: unknown dataset");
+    }
+    // Hand-assembled runs (tests) may not have built the index.
     for (std::size_t i = 0; i < traces.datasets.size(); ++i) {
         if (traces.datasets[i].name == name) return i;
     }
@@ -18,22 +25,54 @@ const capture::Dataset& StudyRun::dataset(std::string_view name) const {
     return traces.datasets[vp_index(name)];
 }
 
-StudyRun run_study(const StudyConfig& config) {
+namespace {
+
+StudyRun derive_run(const StudyConfig& config,
+                    std::unique_ptr<StudyDeployment> deployment,
+                    TraceOutputs traces, util::ThreadPool& pool) {
     StudyRun run;
     run.config = config;
-    run.deployment = std::make_unique<StudyDeployment>(config);
-    TraceDriver driver(*run.deployment);
-    run.traces = driver.run();
+    run.deployment = std::move(deployment);
+    run.traces = std::move(traces);
 
+    // Each vantage point's map derivation pings with its own Pinger seeded
+    // from (config seed, vp name) — independent tasks, input-order results.
     const std::size_t n = run.deployment->num_vantage_points();
+    auto derived = util::parallel_map_indexed(pool, n, [&](std::size_t i) {
+        auto map = ground_truth_dc_map(*run.deployment, run.deployment->vantage(i));
+        const int preferred = analysis::preferred_dc(run.traces.datasets[i], map);
+        return std::pair<analysis::ServerDcMap, int>(std::move(map), preferred);
+    });
     run.maps.reserve(n);
     run.preferred.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        run.maps.push_back(ground_truth_dc_map(*run.deployment, run.deployment->vantage(i)));
-        run.preferred.push_back(
-            analysis::preferred_dc(run.traces.datasets[i], run.maps.back()));
+    for (auto& [map, preferred] : derived) {
+        run.maps.push_back(std::move(map));
+        run.preferred.push_back(preferred);
+    }
+    for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
+        run.vp_index_by_name.emplace(run.traces.datasets[i].name, i);
     }
     return run;
+}
+
+}  // namespace
+
+StudyRun assemble_study_run(const StudyConfig& config, TraceOutputs traces,
+                            util::ThreadPool& pool) {
+    return derive_run(config, std::make_unique<StudyDeployment>(config),
+                      std::move(traces), pool);
+}
+
+StudyRun run_study(const StudyConfig& config, util::ThreadPool& pool) {
+    auto deployment = std::make_unique<StudyDeployment>(config);
+    TraceDriver driver(*deployment);
+    auto traces = driver.run();
+    return derive_run(config, std::move(deployment), std::move(traces), pool);
+}
+
+StudyRun run_study(const StudyConfig& config) {
+    util::ThreadPool pool(config.effective_threads());
+    return run_study(config, pool);
 }
 
 }  // namespace ytcdn::study

@@ -1,12 +1,15 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/dc_map.hpp"
 #include "study/deployment.hpp"
 #include "study/trace_driver.hpp"
+#include "util/parallel.hpp"
 
 namespace ytcdn::study {
 
@@ -21,13 +24,28 @@ struct StudyRun {
     std::vector<analysis::ServerDcMap> maps;
     /// Preferred data-center index (into maps[i]) per vantage point.
     std::vector<int> preferred;
+    /// Dataset name -> index, built once by assemble_study_run (the
+    /// analyses resolve vantage points by name in inner loops).
+    std::unordered_map<std::string, std::size_t> vp_index_by_name;
 
     [[nodiscard]] std::size_t vp_index(std::string_view name) const;
     [[nodiscard]] const capture::Dataset& dataset(std::string_view name) const;
 };
 
 /// Builds the deployment, simulates the week, and derives the per-vantage
-/// point maps and preferred data centers.
+/// point maps and preferred data centers. The event-driven simulation is
+/// single-threaded by design (all vantage points share one CDN); the
+/// derivation stages fan out on `pool`.
+[[nodiscard]] StudyRun run_study(const StudyConfig& config, util::ThreadPool& pool);
+/// Same, on a pool sized by config.effective_threads().
 [[nodiscard]] StudyRun run_study(const StudyConfig& config);
+
+/// Rebuilds the analysis-ready run around already-simulated traces (e.g.
+/// loaded from a snapshot — see study/snapshot.hpp): constructs the
+/// deployment and derives maps/preferred exactly as run_study would, so the
+/// result is bit-identical to the run that produced the traces.
+[[nodiscard]] StudyRun assemble_study_run(const StudyConfig& config,
+                                          TraceOutputs traces,
+                                          util::ThreadPool& pool);
 
 }  // namespace ytcdn::study

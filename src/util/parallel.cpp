@@ -1,0 +1,157 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+
+namespace ytcdn::util {
+
+namespace {
+
+/// Set while a thread is executing batch work for a pool, so nested
+/// run_indexed calls from inside a task fall back to the serial loop
+/// instead of deadlocking on their own pool.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+struct PoolScope {
+    explicit PoolScope(const ThreadPool* pool) : previous(t_current_pool) {
+        t_current_pool = pool;
+    }
+    ~PoolScope() { t_current_pool = previous; }
+    PoolScope(const PoolScope&) = delete;
+    PoolScope& operator=(const PoolScope&) = delete;
+    const ThreadPool* previous;
+};
+
+}  // namespace
+
+std::size_t default_thread_count() {
+    if (const char* env = std::getenv("YTCDN_THREADS")) {
+        const long v = std::atol(env);
+        if (v >= 1) return static_cast<std::size_t>(std::min(v, 512L));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool& shared_pool() {
+    static ThreadPool pool(default_thread_count());
+    return pool;
+}
+
+/// One run_indexed call in flight: workers and the caller race to claim the
+/// next unclaimed index; `done` counts finished indices (throwing or not).
+struct ThreadPool::Batch {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable finished;
+    std::exception_ptr error;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : size_(threads == 0 ? default_thread_count() : threads) {
+    workers_.reserve(size_ - 1);
+    for (std::size_t i = 0; i + 1 < size_; ++i) {
+        workers_.emplace_back([this] { worker_main(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+}
+
+bool ThreadPool::serial_here() const noexcept {
+    return size_ <= 1 || t_current_pool == this;
+}
+
+void ThreadPool::run_indexed(std::size_t n,
+                             const std::function<void(std::size_t)>& task) {
+    if (n == 0) return;
+    if (serial_here() || n == 1) {
+        // Exact serial fallback: calling thread, input order, natural
+        // exception propagation (which is also lowest-index-first).
+        for (std::size_t i = 0; i < n; ++i) task(i);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->task = &task;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        batches_.push_back(batch);
+    }
+    cv_.notify_all();
+
+    work_on(*batch);  // the caller is a full participant
+
+    {
+        std::unique_lock<std::mutex> lock(batch->mutex);
+        batch->finished.wait(lock, [&] { return batch->done.load() >= batch->n; });
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        std::erase(batches_, batch);
+    }
+    if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::worker_main() {
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] {
+                if (stop_) return true;
+                for (const auto& b : batches_) {
+                    if (b->next.load() < b->n) return true;
+                }
+                return false;
+            });
+            if (stop_) return;
+            for (const auto& b : batches_) {
+                if (b->next.load() < b->n) {
+                    batch = b;
+                    break;
+                }
+            }
+        }
+        if (batch) work_on(*batch);
+    }
+}
+
+void ThreadPool::work_on(Batch& batch) {
+    const PoolScope scope(this);
+    for (;;) {
+        const std::size_t i = batch.next.fetch_add(1);
+        if (i >= batch.n) return;
+        try {
+            (*batch.task)(i);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(batch.mutex);
+            // Keep the exception from the lowest input index so propagation
+            // does not depend on which worker lost the race.
+            if (!batch.error || i < batch.error_index) {
+                batch.error = std::current_exception();
+                batch.error_index = i;
+            }
+        }
+        if (batch.done.fetch_add(1) + 1 == batch.n) {
+            const std::lock_guard<std::mutex> lock(batch.mutex);
+            batch.finished.notify_all();
+        }
+    }
+}
+
+}  // namespace ytcdn::util

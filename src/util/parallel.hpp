@@ -1,0 +1,108 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ytcdn::util {
+
+/// Threads to use when nothing is configured: the YTCDN_THREADS environment
+/// variable if set (clamped to [1, 512]), else hardware_concurrency, floor 1.
+/// Re-read on every call so tests can vary the environment.
+[[nodiscard]] std::size_t default_thread_count();
+
+/// A fixed-size worker pool for deterministic fan-out.
+///
+/// The only entry point is run_indexed(n, task), which runs task(0..n-1)
+/// across the workers *and* the calling thread, blocking until every index
+/// has finished. Guarantees, regardless of pool size or scheduling:
+///
+///  * results keyed by index (see parallel_map) come back in input order;
+///  * a pool of size 1 runs every index on the calling thread, in order —
+///    an exact serial fallback with zero worker involvement;
+///  * run_indexed called from inside one of this pool's own tasks degrades
+///    to the same serial loop (no deadlock, same output);
+///  * if tasks throw, every index still runs, and the exception from the
+///    *lowest* throwing index is rethrown — deterministic across schedules.
+///
+/// Tasks must not share mutable state; determinism of the overall program
+/// additionally requires each task to derive any randomness from a key that
+/// identifies the task (sim::Rng::fork by stable id), never from a stream
+/// shared across tasks.
+class ThreadPool {
+public:
+    /// threads = 0 picks default_thread_count(). A pool of size n uses
+    /// n - 1 workers: the caller of run_indexed is the n-th lane.
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+    /// Runs task(i) for every i in [0, n), blocking until all complete.
+    void run_indexed(std::size_t n, const std::function<void(std::size_t)>& task);
+
+private:
+    struct Batch;
+
+    void worker_main();
+    void work_on(Batch& batch);
+    [[nodiscard]] bool serial_here() const noexcept;
+
+    std::size_t size_;
+    std::vector<std::thread> workers_;  // ytcdn-lint: allow(raw-thread)
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::shared_ptr<Batch>> batches_;
+    bool stop_ = false;
+};
+
+/// The process-wide pool, sized by default_thread_count() at first use.
+/// Everything that is not handed an explicit pool shares this one.
+[[nodiscard]] ThreadPool& shared_pool();
+
+/// Applies f to every element of items on the pool and returns the results
+/// **in input order** — bit-identical output across any thread count.
+template <typename T, typename F>
+[[nodiscard]] auto parallel_map(ThreadPool& pool, const std::vector<T>& items, F&& f)
+    -> std::vector<std::decay_t<std::invoke_result_t<F&, const T&>>> {
+    using R = std::decay_t<std::invoke_result_t<F&, const T&>>;
+    std::vector<std::optional<R>> slots(items.size());
+    pool.run_indexed(items.size(),
+                     [&](std::size_t i) { slots[i].emplace(f(items[i])); });
+    std::vector<R> out;
+    out.reserve(items.size());
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+}
+
+/// Index-keyed variant for producers that need the position, not a value.
+template <typename F>
+[[nodiscard]] auto parallel_map_indexed(ThreadPool& pool, std::size_t n, F&& f)
+    -> std::vector<std::decay_t<std::invoke_result_t<F&, std::size_t>>> {
+    using R = std::decay_t<std::invoke_result_t<F&, std::size_t>>;
+    std::vector<std::optional<R>> slots(n);
+    pool.run_indexed(n, [&](std::size_t i) { slots[i].emplace(f(i)); });
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+}
+
+/// Side-effect-only fan-out; each task may touch only its own element.
+template <typename T, typename F>
+void parallel_for_each(ThreadPool& pool, std::vector<T>& items, F&& f) {
+    pool.run_indexed(items.size(), [&](std::size_t i) { f(items[i]); });
+}
+
+}  // namespace ytcdn::util

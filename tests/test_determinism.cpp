@@ -91,6 +91,33 @@ std::string render_table3(const study::StudyRun& run, const study::StudyConfig& 
     return study::make_table3(run, continent_counts).render();
 }
 
+TEST(Determinism, ThreadCountInvariance) {
+    // The parallel layer is an execution detail: the full pipeline — study
+    // run, per-VP map derivation, every report artifact including the CBG
+    // pipeline behind Table III — must render byte-identical output whether
+    // it runs on one thread, two, or eight.
+    const auto cfg = small_config();
+    study::ReportOptions opts;
+    opts.landmarks.north_america = 24;
+    opts.landmarks.europe = 24;
+    opts.landmarks.asia = 8;
+    opts.landmarks.south_america = 3;
+    opts.landmarks.oceania = 2;
+    opts.landmarks.africa = 1;
+    opts.cbg.grid = 48;
+
+    const auto render_at = [&](std::size_t threads) {
+        ytcdn::util::ThreadPool pool(threads);
+        const auto run = study::run_study(cfg, pool);
+        return study::make_full_report(run, pool, opts).render();
+    };
+
+    const std::string serial = render_at(1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, render_at(2));
+    EXPECT_EQ(serial, render_at(8));
+}
+
 TEST(Determinism, RenderedArtifactsAreByteIdentical) {
     // The paper-facing outputs — every table and figure series — must be
     // byte-for-byte reproducible, end to end, including the CBG geolocation

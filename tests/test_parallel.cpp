@@ -1,0 +1,226 @@
+// The deterministic parallel execution layer: whatever the pool size and
+// however the OS schedules the workers, results come back in input order and
+// errors surface identically. Everything downstream (CBG, the report, the
+// study assembly) leans on these guarantees for bit-identical output.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace util = ytcdn::util;
+
+namespace {
+
+/// Scoped YTCDN_THREADS override (default_thread_count re-reads the env on
+/// every call, so no caching gets in the way).
+class ThreadsEnv {
+public:
+    explicit ThreadsEnv(const char* value) {
+        const char* old = std::getenv("YTCDN_THREADS");
+        had_old_ = old != nullptr;
+        if (had_old_) old_ = old;
+        ::setenv("YTCDN_THREADS", value, 1);
+    }
+    ~ThreadsEnv() {
+        if (had_old_) {
+            ::setenv("YTCDN_THREADS", old_.c_str(), 1);
+        } else {
+            ::unsetenv("YTCDN_THREADS");
+        }
+    }
+
+private:
+    bool had_old_ = false;
+    std::string old_;
+};
+
+TEST(Parallel, MapPreservesInputOrder) {
+    util::ThreadPool pool(8);
+    std::vector<int> items(500);
+    std::iota(items.begin(), items.end(), 0);
+
+    const auto out = util::parallel_map(pool, items, [](int v) { return v * v; });
+
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], static_cast<int>(i * i)) << i;
+    }
+}
+
+TEST(Parallel, MapIndexedCoversEveryIndexExactlyOnce) {
+    util::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(200);
+    const auto out = util::parallel_map_indexed(pool, hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        return i;
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << i;
+        EXPECT_EQ(out[i], i);
+    }
+}
+
+TEST(Parallel, SerialPoolMatchesParallelPool) {
+    // The pool is an execution detail: size 1 (exact serial) and size 8 must
+    // produce identical results for a pure map.
+    util::ThreadPool serial(1);
+    util::ThreadPool wide(8);
+    std::vector<int> items(300);
+    std::iota(items.begin(), items.end(), -150);
+
+    const auto f = [](int v) { return v * 31 + 7; };
+    EXPECT_EQ(util::parallel_map(serial, items, f), util::parallel_map(wide, items, f));
+}
+
+TEST(Parallel, ResultTypeNeedNotBeDefaultConstructible) {
+    struct NoDefault {
+        explicit NoDefault(int v) : value(v) {}
+        int value;
+    };
+    util::ThreadPool pool(3);
+    const auto out = util::parallel_map_indexed(
+        pool, 50, [](std::size_t i) { return NoDefault(static_cast<int>(i)); });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i].value, static_cast<int>(i));
+    }
+}
+
+TEST(Parallel, ForEachRunsEveryItem) {
+    util::ThreadPool pool(4);
+    std::vector<int> items(100, 1);
+    std::atomic<int> sum{0};
+    util::parallel_for_each(pool, items, [&](int v) { sum.fetch_add(v); });
+    EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(Parallel, LowestIndexExceptionWins) {
+    // Several tasks throw; the caller must deterministically see the one
+    // from the lowest index, independent of which worker hit its error
+    // first.
+    util::ThreadPool pool(8);
+    for (int round = 0; round < 10; ++round) {
+        try {
+            (void)util::parallel_map_indexed(pool, 64, [](std::size_t i) -> int {
+                if (i % 2 == 1) {
+                    throw std::runtime_error("task " + std::to_string(i));
+                }
+                return 0;
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "task 1");
+        }
+    }
+}
+
+TEST(Parallel, ExceptionOnSerialPoolPropagates) {
+    util::ThreadPool pool(1);
+    EXPECT_THROW(util::parallel_map_indexed(
+                     pool, 4,
+                     [](std::size_t i) -> int {
+                         if (i == 2) throw std::invalid_argument("boom");
+                         return 0;
+                     }),
+                 std::invalid_argument);
+}
+
+TEST(Parallel, PoolIsReusableAfterAnException) {
+    util::ThreadPool pool(4);
+    EXPECT_THROW(util::parallel_map_indexed(pool, 8,
+                                            [](std::size_t) -> int {
+                                                throw std::runtime_error("x");
+                                            }),
+                 std::runtime_error);
+    // The failed batch is fully drained; the next one runs clean.
+    const auto out =
+        util::parallel_map_indexed(pool, 8, [](std::size_t i) { return i + 1; });
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i + 1);
+}
+
+TEST(Parallel, ManyBatchesOnOnePool) {
+    util::ThreadPool pool(4);
+    for (std::size_t round = 0; round < 50; ++round) {
+        const auto out = util::parallel_map_indexed(
+            pool, 20, [round](std::size_t i) { return round * 100 + i; });
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            ASSERT_EQ(out[i], round * 100 + i);
+        }
+    }
+}
+
+TEST(Parallel, NestedCallsDegradeToSerialInsteadOfDeadlocking) {
+    util::ThreadPool pool(2);
+    const auto out = util::parallel_map_indexed(pool, 8, [&](std::size_t i) {
+        // A pool task that fans out on its own pool must not wait for
+        // workers that are busy running it — the nested call inlines.
+        const auto inner =
+            util::parallel_map_indexed(pool, 4, [i](std::size_t j) { return i * 10 + j; });
+        std::size_t sum = 0;
+        for (const auto v : inner) sum += v;
+        return sum;
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], i * 40 + 6);
+    }
+}
+
+TEST(Parallel, EmptyInputYieldsEmptyOutput) {
+    util::ThreadPool pool(4);
+    const std::vector<int> none;
+    EXPECT_TRUE(util::parallel_map(pool, none, [](int v) { return v; }).empty());
+}
+
+TEST(Parallel, DefaultThreadCountHonoursEnv) {
+    {
+        ThreadsEnv env("1");
+        EXPECT_EQ(util::default_thread_count(), 1u);
+    }
+    {
+        ThreadsEnv env("6");
+        EXPECT_EQ(util::default_thread_count(), 6u);
+    }
+    {
+        // Garbage and out-of-range values fall back to the hardware floor.
+        ThreadsEnv env("not-a-number");
+        EXPECT_GE(util::default_thread_count(), 1u);
+    }
+    {
+        ThreadsEnv env("0");
+        EXPECT_GE(util::default_thread_count(), 1u);
+    }
+}
+
+TEST(Parallel, EnvSerialPoolStillProducesIdenticalResults) {
+    // YTCDN_THREADS=1 is the support contract's escape hatch: everything
+    // must behave exactly as the multi-threaded default.
+    std::vector<int> items(128);
+    std::iota(items.begin(), items.end(), 0);
+    const auto f = [](int v) { return (v * 2654435761u) % 1000; };
+
+    std::vector<unsigned> serial_out;
+    {
+        ThreadsEnv env("1");
+        util::ThreadPool pool(util::default_thread_count());
+        EXPECT_EQ(pool.size(), 1u);
+        serial_out = util::parallel_map(pool, items, f);
+    }
+    util::ThreadPool wide(8);
+    EXPECT_EQ(serial_out, util::parallel_map(wide, items, f));
+}
+
+TEST(Parallel, SharedPoolIsUsable) {
+    auto& pool = util::shared_pool();
+    EXPECT_GE(pool.size(), 1u);
+    const auto out =
+        util::parallel_map_indexed(pool, 10, [](std::size_t i) { return i; });
+    EXPECT_EQ(out.size(), 10u);
+}
+
+}  // namespace

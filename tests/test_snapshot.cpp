@@ -1,0 +1,214 @@
+// The bench snapshot cache: a week of traces written to the YSS1 format and
+// loaded back must be indistinguishable from the simulation that produced
+// it, and a snapshot written for one configuration must never be served for
+// another (seed, scale or schema drift ⇒ re-simulate, silently).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "study/report.hpp"
+#include "study/snapshot.hpp"
+#include "study/study_run.hpp"
+
+namespace study = ytcdn::study;
+
+namespace {
+
+study::StudyConfig tiny_config() {
+    study::StudyConfig cfg;
+    cfg.scale = 0.004;
+    return cfg;
+}
+
+void expect_traces_equal(const study::TraceOutputs& a, const study::TraceOutputs& b) {
+    EXPECT_EQ(a.events_processed, b.events_processed);
+    EXPECT_EQ(a.faults_injected, b.faults_injected);
+    EXPECT_EQ(a.requests_generated, b.requests_generated);
+    EXPECT_EQ(a.flows_observed, b.flows_observed);
+    EXPECT_EQ(a.flows_ignored, b.flows_ignored);
+    ASSERT_EQ(a.datasets.size(), b.datasets.size());
+    for (std::size_t i = 0; i < a.datasets.size(); ++i) {
+        EXPECT_EQ(a.datasets[i].name, b.datasets[i].name);
+        const auto& ra = a.datasets[i].records;
+        const auto& rb = b.datasets[i].records;
+        ASSERT_EQ(ra.size(), rb.size()) << a.datasets[i].name;
+        for (std::size_t k = 0; k < ra.size(); ++k) {
+            ASSERT_EQ(ra[k].client_ip, rb[k].client_ip) << i << "/" << k;
+            ASSERT_EQ(ra[k].server_ip, rb[k].server_ip) << i << "/" << k;
+            ASSERT_EQ(ra[k].bytes, rb[k].bytes) << i << "/" << k;
+            ASSERT_EQ(ra[k].video, rb[k].video) << i << "/" << k;
+            ASSERT_EQ(ra[k].resolution, rb[k].resolution) << i << "/" << k;
+            ASSERT_DOUBLE_EQ(ra[k].start, rb[k].start) << i << "/" << k;
+            ASSERT_DOUBLE_EQ(ra[k].end, rb[k].end) << i << "/" << k;
+        }
+        const auto& sa = a.player_stats[i];
+        const auto& sb = b.player_stats[i];
+        EXPECT_EQ(sa.sessions, sb.sessions) << i;
+        EXPECT_EQ(sa.video_flows, sb.video_flows) << i;
+        EXPECT_EQ(sa.control_flows, sb.control_flows) << i;
+        EXPECT_EQ(sa.redirects_miss, sb.redirects_miss) << i;
+        EXPECT_EQ(sa.redirects_overload, sb.redirects_overload) << i;
+        EXPECT_EQ(sa.resolution_probes, sb.resolution_probes) << i;
+        EXPECT_EQ(sa.pauses, sb.pauses) << i;
+        EXPECT_EQ(sa.dns_cache_hits, sb.dns_cache_hits) << i;
+        EXPECT_EQ(sa.failures.total(), sb.failures.total()) << i;
+        EXPECT_EQ(sa.retry_histogram, sb.retry_histogram) << i;
+    }
+}
+
+TEST(Snapshot, RoundTripIsLossFree) {
+    const auto cfg = tiny_config();
+    const auto run = study::run_study(cfg);
+
+    std::ostringstream os;
+    ASSERT_TRUE(study::write_trace_snapshot(os, cfg, run.traces));
+
+    std::istringstream is(os.str());
+    const auto loaded = study::load_trace_snapshot(is, cfg);
+    ASSERT_TRUE(loaded.has_value());
+    expect_traces_equal(run.traces, *loaded);
+}
+
+TEST(Snapshot, AssembledRunMatchesSimulatedRun) {
+    // The cache contract: a bench that loads the snapshot and re-derives
+    // maps/preferred renders the exact artifacts of a fresh simulation.
+    const auto cfg = tiny_config();
+    const auto fresh = study::run_study(cfg);
+
+    std::ostringstream os;
+    ASSERT_TRUE(study::write_trace_snapshot(os, cfg, fresh.traces));
+    std::istringstream is(os.str());
+    auto traces = study::load_trace_snapshot(is, cfg);
+    ASSERT_TRUE(traces.has_value());
+
+    ytcdn::util::ThreadPool pool(2);
+    const auto assembled = study::assemble_study_run(cfg, std::move(*traces), pool);
+
+    EXPECT_EQ(fresh.preferred, assembled.preferred);
+    ASSERT_EQ(fresh.maps.size(), assembled.maps.size());
+    study::ReportOptions opts;
+    opts.include_table3 = false;  // CBG exercised elsewhere; keep the test fast
+    EXPECT_EQ(study::make_full_report(fresh, pool, opts).render(),
+              study::make_full_report(assembled, pool, opts).render());
+}
+
+TEST(Snapshot, SeedMismatchIsRejected) {
+    const auto cfg = tiny_config();
+    const auto run = study::run_study(cfg);
+    std::ostringstream os;
+    ASSERT_TRUE(study::write_trace_snapshot(os, cfg, run.traces));
+
+    auto other = cfg;
+    other.seed ^= 1;
+    std::istringstream is(os.str());
+    EXPECT_FALSE(study::load_trace_snapshot(is, other).has_value());
+}
+
+TEST(Snapshot, ScaleMismatchIsRejected) {
+    const auto cfg = tiny_config();
+    const auto run = study::run_study(cfg);
+    std::ostringstream os;
+    ASSERT_TRUE(study::write_trace_snapshot(os, cfg, run.traces));
+
+    auto other = cfg;
+    other.scale = cfg.scale * (1.0 + 1e-12);  // any representable drift counts
+    std::istringstream is(os.str());
+    EXPECT_FALSE(study::load_trace_snapshot(is, other).has_value());
+}
+
+TEST(Snapshot, SimulationKnobMismatchIsRejected) {
+    const auto cfg = tiny_config();
+    const auto run = study::run_study(cfg);
+    std::ostringstream os;
+    ASSERT_TRUE(study::write_trace_snapshot(os, cfg, run.traces));
+
+    auto other = cfg;
+    other.feb2011_us_shift = true;
+    std::istringstream is(os.str());
+    EXPECT_FALSE(study::load_trace_snapshot(is, other).has_value());
+}
+
+TEST(Snapshot, SchemaVersionMismatchIsRejected) {
+    const auto cfg = tiny_config();
+    const auto run = study::run_study(cfg);
+    std::ostringstream os;
+    ASSERT_TRUE(study::write_trace_snapshot(os, cfg, run.traces));
+
+    std::string bytes = os.str();
+    bytes[4] ^= 0x01;  // u32 schema version sits right after the magic
+    std::istringstream is(std::move(bytes));
+    EXPECT_FALSE(study::load_trace_snapshot(is, cfg).has_value());
+}
+
+TEST(Snapshot, BadMagicAndTruncationAreRejected) {
+    const auto cfg = tiny_config();
+    const auto run = study::run_study(cfg);
+    std::ostringstream os;
+    ASSERT_TRUE(study::write_trace_snapshot(os, cfg, run.traces));
+    const std::string bytes = os.str();
+
+    {
+        std::string corrupt = bytes;
+        corrupt[0] = 'X';
+        std::istringstream is(std::move(corrupt));
+        EXPECT_FALSE(study::load_trace_snapshot(is, cfg).has_value());
+    }
+    {
+        std::istringstream is(bytes.substr(0, bytes.size() / 2));
+        EXPECT_FALSE(study::load_trace_snapshot(is, cfg).has_value());
+    }
+    {
+        std::istringstream is(bytes + "tail");
+        EXPECT_FALSE(study::load_trace_snapshot(is, cfg).has_value());
+    }
+}
+
+TEST(Snapshot, FaultScheduleRunsAreNeverCached) {
+    auto cfg = tiny_config();
+    cfg.fault_schedule = ytcdn::sim::FaultSchedule::dc_outage(
+        "Dallas", 2.0 * ytcdn::sim::kDay, 1.0 * ytcdn::sim::kDay);
+    const auto run = study::run_study(cfg);
+
+    std::ostringstream os;
+    EXPECT_FALSE(study::write_trace_snapshot(os, cfg, run.traces));
+    EXPECT_TRUE(os.str().empty());
+
+    // Nor may a chaos config read the healthy baseline's snapshot.
+    auto healthy = tiny_config();
+    const auto baseline = study::run_study(healthy);
+    std::ostringstream healthy_os;
+    ASSERT_TRUE(study::write_trace_snapshot(healthy_os, healthy, baseline.traces));
+    std::istringstream is(healthy_os.str());
+    EXPECT_FALSE(study::load_trace_snapshot(is, cfg).has_value());
+}
+
+TEST(Snapshot, PathOverloadRoundTripsAndMissesGracefully) {
+    const auto cfg = tiny_config();
+    const auto run = study::run_study(cfg);
+    const auto dir = std::filesystem::temp_directory_path() / "ytcdn_snapshot_test";
+    const auto path = dir / study::snapshot_name(cfg);
+    std::filesystem::remove_all(dir);
+
+    EXPECT_FALSE(study::load_trace_snapshot(path, cfg).has_value());
+    ASSERT_TRUE(study::write_trace_snapshot(path, cfg, run.traces));
+    const auto loaded = study::load_trace_snapshot(path, cfg);
+    ASSERT_TRUE(loaded.has_value());
+    expect_traces_equal(run.traces, *loaded);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Snapshot, NameEncodesSeedScaleAndSchema) {
+    const auto cfg = tiny_config();
+    auto reseeded = cfg;
+    reseeded.seed = 7;
+    auto rescaled = cfg;
+    rescaled.scale = 0.9;
+    EXPECT_NE(study::snapshot_name(cfg), study::snapshot_name(reseeded));
+    EXPECT_NE(study::snapshot_name(cfg), study::snapshot_name(rescaled));
+    EXPECT_EQ(study::snapshot_name(cfg), study::snapshot_name(tiny_config()));
+}
+
+}  // namespace

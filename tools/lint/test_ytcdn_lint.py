@@ -21,6 +21,7 @@ EXPECTED = [
     ("bad_new.cpp", "raw-new-delete", 2),
     ("bad_header.hpp", "include-guard", 1),
     ("bad_header.hpp", "using-namespace", 1),
+    ("bad_thread.cpp", "raw-thread", 4),
 ]
 
 failures: list[str] = []

@@ -1,0 +1,30 @@
+// Negative fixture: every concurrency primitive here must be flagged —
+// ad-hoc threads bypass util::ThreadPool's ordered result collection.
+#include <future>
+#include <thread>
+
+int work();
+
+void spawn_raw() {
+    std::thread t(work);            // raw-thread
+    t.detach();                     // raw-thread
+}
+
+void spawn_jthread() {
+    std::jthread t(work);           // raw-thread
+}
+
+void spawn_async() {
+    auto f = std::async(work);      // raw-thread
+    f.get();
+}
+
+unsigned query_only() {
+    // Asking for the core count is fine; only spawning is restricted.
+    return std::thread::hardware_concurrency();
+}
+
+void vetted() {
+    std::thread t(work);  // ytcdn-lint: allow(raw-thread)
+    t.join();
+}

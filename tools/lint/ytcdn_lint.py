@@ -21,6 +21,11 @@ invariants that keep it that way (plus a few general hygiene rules):
   using-namespace  No `using namespace std;` (any namespace at file scope in
                    a header): it leaks into every includer.
   include-guard    Every header starts with #pragma once.
+  raw-thread       No raw std::thread/std::jthread/std::async/.detach()
+                   outside src/util/parallel.*. Ad-hoc threads have no
+                   ordering guarantees; util::ThreadPool's parallel_map
+                   keeps results in input order so output stays
+                   bit-identical at any thread count.
 
 Diagnostics print as `file:line: [rule] message` and the tool exits nonzero
 if any unsuppressed violation is found.
@@ -51,6 +56,9 @@ EXCLUDED_PARTS = ("tools/lint/testdata",)
 # Files allowed to touch raw engines: the one blessed RNG wrapper.
 RNG_ALLOWED_FILES = ("src/sim/random.hpp", "src/sim/random.cpp")
 
+# Files allowed to spawn threads: the one blessed deterministic pool.
+THREAD_ALLOWED_FILES = ("src/util/parallel.hpp", "src/util/parallel.cpp")
+
 SUPPRESS_RE = re.compile(r"ytcdn-lint:\s*allow\(\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)\s*\)")
 
 ALL_RULES = (
@@ -60,6 +68,7 @@ ALL_RULES = (
     "raw-new-delete",
     "using-namespace",
     "include-guard",
+    "raw-thread",
 )
 
 
@@ -189,6 +198,18 @@ CLOCK_PATTERNS = (
         "chrono clock read — simulated time comes from sim::EventQueue",
     ),
     (re.compile(r"\b(?:localtime|gmtime|strftime|ctime)\s*\("), "calendar-time call"),
+)
+
+THREAD_PATTERNS = (
+    (
+        re.compile(r"std\s*::\s*j?thread\b(?!\s*::\s*hardware_concurrency)"),
+        "raw std::thread — dispatch through util::ThreadPool so results keep "
+        "input order",
+    ),
+    (re.compile(r"std\s*::\s*async\s*[(<]"),
+     "std::async schedules nondeterministically — use util::parallel_map"),
+    (re.compile(r"\.\s*detach\s*\(\s*\)"),
+     "detached threads outlive all ordering guarantees"),
 )
 
 NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(:][\w:<>,\s*&]*")
@@ -321,11 +342,16 @@ class Linter:
                 emit(0, "include-guard", "header missing #pragma once")
 
         rng_allowed = rel in RNG_ALLOWED_FILES
+        thread_allowed = rel in THREAD_ALLOWED_FILES
         for idx, line in enumerate(lines):
             if not rng_allowed:
                 for pat, msg in RNG_PATTERNS:
                     if pat.search(line):
                         emit(idx, "rng-source", msg)
+            if not thread_allowed:
+                for pat, msg in THREAD_PATTERNS:
+                    if pat.search(line):
+                        emit(idx, "raw-thread", msg)
             if in_src:
                 for pat, msg in CLOCK_PATTERNS:
                     if pat.search(line):
