@@ -47,10 +47,12 @@ study::StudyRun build_shared_run() {
     if (!snapshot_enabled()) return study::run_study(cfg, pool);
 
     const std::filesystem::path path = snapshot_dir() / study::snapshot_name(cfg);
-    if (auto traces = study::load_trace_snapshot(path, cfg)) {
+    std::string warning;
+    if (auto traces = study::load_or_quarantine_snapshot(path, cfg, &warning)) {
         std::cerr << "# bench: loaded trace snapshot " << path << "\n";
         return study::assemble_study_run(cfg, std::move(*traces), pool);
     }
+    if (!warning.empty()) std::cerr << "# bench: " << warning << "\n";
     study::StudyRun run = study::run_study(cfg, pool);
     if (study::write_trace_snapshot(path, cfg, run.traces)) {
         std::cerr << "# bench: wrote trace snapshot " << path << "\n";

@@ -3,6 +3,9 @@
 // series as a gnuplot-ready .dat file — into an output directory.
 //
 // Usage: full_study [output_dir] [scale]   (default: ./paper_artifacts 0.1)
+//
+// Exit codes follow the ytcdn::ErrorCategory taxonomy: 0 success,
+// 1 internal error, 2 usage, 3 I/O, 4 corrupt input, 5 parse failure.
 
 #include <filesystem>
 #include <fstream>
@@ -15,6 +18,7 @@
 #include "study/planetlab_experiment.hpp"
 #include "study/report.hpp"
 #include "study/study_run.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -23,6 +27,7 @@ using namespace ytcdn;
 void write_file(const std::filesystem::path& path, const std::string& content) {
     std::ofstream os(path);
     os << content;
+    if (!os) throw Error(ErrorCode::Io, "write failed for " + path.string());
     std::cout << "  wrote " << path << '\n';
 }
 
@@ -30,16 +35,18 @@ void write_dat(const std::filesystem::path& path,
                const std::vector<analysis::Series>& series) {
     std::ofstream os(path);
     analysis::write_series(os, series);
+    if (!os) throw Error(ErrorCode::Io, "write failed for " + path.string());
     std::cout << "  wrote " << path << '\n';
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_full_study(int argc, char** argv) {
     const std::filesystem::path out_dir =
         argc > 1 ? argv[1] : std::filesystem::path("paper_artifacts");
     study::StudyConfig config;
     config.scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+    if (config.scale <= 0.0) {
+        throw Error(ErrorCode::InvalidArgument, "scale must be > 0");
+    }
     std::filesystem::create_directories(out_dir);
 
     util::ThreadPool pool(config.effective_threads());
@@ -83,4 +90,18 @@ int main(int argc, char** argv) {
     std::cout << "\nAll artifacts in " << out_dir << ". Compare with the paper per "
                  "EXPERIMENTS.md.\n";
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        return run_full_study(argc, argv);
+    } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return exit_code_for(e.code());
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
 }

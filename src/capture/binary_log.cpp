@@ -4,16 +4,26 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
+#include <string>
+
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
 
 namespace ytcdn::capture {
 
 namespace {
 
-constexpr char kMagic[4] = {'Y', 'F', 'L', '1'};
-constexpr std::uint32_t kVersion = 1;
-constexpr std::size_t kHeaderSize = 4 + 4 + 8;
+constexpr char kMagicV1[4] = {'Y', 'F', 'L', '1'};
+constexpr char kMagicV2[4] = {'Y', 'F', 'L', '2'};
+constexpr char kTrailerMagic[4] = {'Y', 'F', 'L', 'E'};
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersionV2 = 2;
+constexpr std::size_t kHeaderSizeV1 = 4 + 4 + 8;
+constexpr std::size_t kHeaderSizeV2 = 4 + 4 + 8 + 4;  // + header CRC
 constexpr std::size_t kRecordSize = 4 + 4 + 8 + 8 + 8 + 8 + 1;
+constexpr std::size_t kBlockHeaderSize = 4 + 4;  // records-in-block + CRC
+constexpr std::size_t kTrailerSize = 4 + 8 + 4;  // magic + count + CRC
+constexpr std::uint64_t kBlockRecords = 4096;
 
 static_assert(std::endian::native == std::endian::little,
               "binary log assumes a little-endian host");
@@ -33,90 +43,260 @@ T take(const char*& p) {
     return value;
 }
 
-}  // namespace
-
-std::size_t binary_log_size(std::size_t n) noexcept {
-    return kHeaderSize + n * kRecordSize;
+std::uint64_t num_blocks(std::uint64_t n) {
+    return (n + kBlockRecords - 1) / kBlockRecords;
 }
 
-void write_binary_log(std::ostream& os, const std::vector<FlowRecord>& records) {
-    std::string buf;
-    buf.reserve(binary_log_size(records.size()));
-    buf.append(kMagic, sizeof(kMagic));
-    put<std::uint32_t>(buf, kVersion);
-    put<std::uint64_t>(buf, records.size());
-    for (const auto& r : records) {
-        put<std::uint32_t>(buf, r.client_ip.value());
-        put<std::uint32_t>(buf, r.server_ip.value());
-        put<double>(buf, r.start);
-        put<double>(buf, r.end);
-        put<std::uint64_t>(buf, r.bytes);
-        put<std::uint64_t>(buf, r.video.value());
-        put<std::uint8_t>(buf, static_cast<std::uint8_t>(cdn::itag_of(r.resolution)));
-    }
-    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-    if (!os) throw std::runtime_error("write_binary_log: stream write failed");
+void put_record(std::string& buf, const FlowRecord& r) {
+    put<std::uint32_t>(buf, r.client_ip.value());
+    put<std::uint32_t>(buf, r.server_ip.value());
+    put<double>(buf, r.start);
+    put<double>(buf, r.end);
+    put<std::uint64_t>(buf, r.bytes);
+    put<std::uint64_t>(buf, r.video.value());
+    put<std::uint8_t>(buf, static_cast<std::uint8_t>(cdn::itag_of(r.resolution)));
 }
 
-void write_binary_log(const std::filesystem::path& path,
-                      const std::vector<FlowRecord>& records) {
-    std::ofstream os(path, std::ios::binary);
-    if (!os) throw std::runtime_error("write_binary_log: cannot open " + path.string());
-    write_binary_log(os, records);
+/// Parses one 41-byte record, validating field values. `offset` is the
+/// record's absolute byte offset in the stream, for provenance.
+util::Result<FlowRecord> parse_record(const char* p, std::uint64_t index,
+                                      std::uint64_t offset) {
+    FlowRecord r;
+    r.client_ip = net::IpAddress{take<std::uint32_t>(p)};
+    r.server_ip = net::IpAddress{take<std::uint32_t>(p)};
+    r.start = take<double>(p);
+    r.end = take<double>(p);
+    if (!std::isfinite(r.start) || !std::isfinite(r.end)) {
+        return error_at_record(ErrorCode::BadField, "non-finite timestamp",
+                               index, offset);
+    }
+    r.bytes = take<std::uint64_t>(p);
+    r.video = cdn::VideoId{take<std::uint64_t>(p)};
+    const auto itag = take<std::uint8_t>(p);
+    const auto resolution = cdn::resolution_from_itag(itag);
+    if (!resolution) {
+        return error_at_record(ErrorCode::BadField,
+                               "bad itag " + std::to_string(itag), index, offset);
+    }
+    r.resolution = *resolution;
+    return r;
 }
 
-std::vector<FlowRecord> read_binary_log(std::istream& is) {
-    std::string data{std::istreambuf_iterator<char>(is),
-                     std::istreambuf_iterator<char>()};
-    if (data.size() < kHeaderSize) {
-        throw std::runtime_error("read_binary_log: truncated header");
-    }
-    const char* p = data.data();
-    if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0) {
-        throw std::runtime_error("read_binary_log: bad magic");
-    }
-    p += sizeof(kMagic);
-    const auto version = take<std::uint32_t>(p);
-    if (version != kVersion) {
-        throw std::runtime_error("read_binary_log: unsupported version " +
-                                 std::to_string(version));
-    }
+util::Result<std::vector<FlowRecord>> parse_v1(const std::string& data) {
+    const char* p = data.data() + sizeof(kMagicV1) + sizeof(std::uint32_t);
     const auto count = take<std::uint64_t>(p);
-    if (data.size() != binary_log_size(count)) {
-        throw std::runtime_error("read_binary_log: size mismatch (declared " +
-                                 std::to_string(count) + " records)");
+    // Reject counts the stream cannot possibly hold before doing size
+    // arithmetic with them: a tampered count must not overflow
+    // binary_log_size_v1 into a value that happens to match.
+    if (count > (data.size() - kHeaderSizeV1) / kRecordSize ||
+        data.size() != binary_log_size_v1(count)) {
+        return Error(ErrorCode::CountMismatch,
+                     "v1 size mismatch: declared " + std::to_string(count) +
+                         " records (" + std::to_string(binary_log_size_v1(count)) +
+                         " bytes), stream holds " + std::to_string(data.size()));
     }
-
     std::vector<FlowRecord> out;
     out.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
-        FlowRecord r;
-        r.client_ip = net::IpAddress{take<std::uint32_t>(p)};
-        r.server_ip = net::IpAddress{take<std::uint32_t>(p)};
-        r.start = take<double>(p);
-        r.end = take<double>(p);
-        if (!std::isfinite(r.start) || !std::isfinite(r.end)) {
-            throw std::runtime_error("read_binary_log: non-finite timestamp in record " +
-                                     std::to_string(i));
-        }
-        r.bytes = take<std::uint64_t>(p);
-        r.video = cdn::VideoId{take<std::uint64_t>(p)};
-        const auto itag = take<std::uint8_t>(p);
-        const auto resolution = cdn::resolution_from_itag(itag);
-        if (!resolution) {
-            throw std::runtime_error("read_binary_log: bad itag in record " +
-                                     std::to_string(i));
-        }
-        r.resolution = *resolution;
-        out.push_back(r);
+        const std::uint64_t offset = kHeaderSizeV1 + i * kRecordSize;
+        auto record = parse_record(data.data() + offset, i, offset);
+        if (!record) return record.error();
+        out.push_back(std::move(record).value());
     }
     return out;
 }
 
-std::vector<FlowRecord> read_binary_log(const std::filesystem::path& path) {
+util::Result<std::vector<FlowRecord>> parse_v2(const std::string& data) {
+    if (data.size() < kHeaderSizeV2 + kTrailerSize) {
+        return Error(ErrorCode::Truncated, "truncated v2 header/trailer");
+    }
+    const std::uint32_t header_crc =
+        util::crc32(std::string_view(data).substr(0, kHeaderSizeV2 - 4));
+    const char* p = data.data() + sizeof(kMagicV2) + sizeof(std::uint32_t);
+    const auto count = take<std::uint64_t>(p);
+    if (take<std::uint32_t>(p) != header_crc) {
+        return error_at_byte(ErrorCode::ChecksumMismatch, "header CRC mismatch",
+                             kHeaderSizeV2 - 4);
+    }
+    // As in parse_v1: bound the count before size arithmetic so a tampered
+    // value cannot overflow binary_log_size into a spurious match.
+    if (count > (data.size() - kHeaderSizeV2 - kTrailerSize) / kRecordSize ||
+        data.size() != binary_log_size(count)) {
+        return Error(ErrorCode::CountMismatch,
+                     "v2 size mismatch: declared " + std::to_string(count) +
+                         " records (" + std::to_string(binary_log_size(count)) +
+                         " bytes), stream holds " + std::to_string(data.size()));
+    }
+
+    std::vector<FlowRecord> out;
+    out.reserve(count);
+    std::uint64_t offset = kHeaderSizeV2;
+    std::uint64_t record_index = 0;
+    for (std::uint64_t block = 0; block < num_blocks(count); ++block) {
+        const std::uint64_t expected =
+            std::min<std::uint64_t>(kBlockRecords, count - record_index);
+        const char* bp = data.data() + offset;
+        const auto block_records = take<std::uint32_t>(bp);
+        const auto block_crc = take<std::uint32_t>(bp);
+        if (block_records != expected) {
+            return error_at_record(
+                ErrorCode::CountMismatch,
+                "block " + std::to_string(block) + " declares " +
+                    std::to_string(block_records) + " records, expected " +
+                    std::to_string(expected),
+                record_index, offset);
+        }
+        const std::uint64_t payload_offset = offset + kBlockHeaderSize;
+        const std::uint64_t payload_size = expected * kRecordSize;
+        const std::uint32_t actual_crc = util::crc32(
+            std::string_view(data).substr(payload_offset, payload_size));
+        if (actual_crc != block_crc) {
+            return error_at_record(
+                ErrorCode::ChecksumMismatch,
+                "block " + std::to_string(block) + " (records " +
+                    std::to_string(record_index) + ".." +
+                    std::to_string(record_index + expected - 1) + ") CRC mismatch",
+                record_index, payload_offset);
+        }
+        for (std::uint64_t i = 0; i < expected; ++i) {
+            const std::uint64_t record_offset = payload_offset + i * kRecordSize;
+            auto record =
+                parse_record(data.data() + record_offset, record_index, record_offset);
+            if (!record) return record.error();
+            out.push_back(std::move(record).value());
+            ++record_index;
+        }
+        offset = payload_offset + payload_size;
+    }
+
+    const char* tp = data.data() + offset;
+    if (std::memcmp(tp, kTrailerMagic, sizeof(kTrailerMagic)) != 0) {
+        return error_at_byte(ErrorCode::BadMagic, "bad trailer magic", offset);
+    }
+    tp += sizeof(kTrailerMagic);
+    const auto trailer_count = take<std::uint64_t>(tp);
+    const std::uint32_t trailer_crc = util::crc32(
+        std::string_view(data).substr(offset, kTrailerSize - 4));
+    if (take<std::uint32_t>(tp) != trailer_crc) {
+        return error_at_byte(ErrorCode::ChecksumMismatch, "trailer CRC mismatch",
+                             offset + kTrailerSize - 4);
+    }
+    if (trailer_count != count) {
+        return error_at_byte(ErrorCode::CountMismatch,
+                             "trailer count " + std::to_string(trailer_count) +
+                                 " != header count " + std::to_string(count),
+                             offset + sizeof(kTrailerMagic));
+    }
+    return out;
+}
+
+std::string serialize_v2(const std::vector<FlowRecord>& records) {
+    std::string buf;
+    buf.reserve(binary_log_size(records.size()));
+    buf.append(kMagicV2, sizeof(kMagicV2));
+    put<std::uint32_t>(buf, kVersionV2);
+    put<std::uint64_t>(buf, records.size());
+    put<std::uint32_t>(buf, util::crc32(buf));
+
+    std::size_t i = 0;
+    while (i < records.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(kBlockRecords, records.size() - i);
+        std::string payload;
+        payload.reserve(n * kRecordSize);
+        for (std::size_t k = 0; k < n; ++k) put_record(payload, records[i + k]);
+        put<std::uint32_t>(buf, static_cast<std::uint32_t>(n));
+        put<std::uint32_t>(buf, util::crc32(payload));
+        buf += payload;
+        i += n;
+    }
+
+    std::string trailer(kTrailerMagic, sizeof(kTrailerMagic));
+    put<std::uint64_t>(trailer, records.size());
+    put<std::uint32_t>(trailer, util::crc32(trailer));
+    buf += trailer;
+    return buf;
+}
+
+}  // namespace
+
+std::size_t binary_log_size(std::size_t n) noexcept {
+    return kHeaderSizeV2 + num_blocks(n) * kBlockHeaderSize + n * kRecordSize +
+           kTrailerSize;
+}
+
+std::size_t binary_log_size_v1(std::size_t n) noexcept {
+    return kHeaderSizeV1 + n * kRecordSize;
+}
+
+void write_binary_log(std::ostream& os, const std::vector<FlowRecord>& records) {
+    const std::string buf = serialize_v2(records);
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!os) throw Error(ErrorCode::Io, "write_binary_log: stream write failed");
+}
+
+void write_binary_log_v1(std::ostream& os, const std::vector<FlowRecord>& records) {
+    std::string buf;
+    buf.reserve(binary_log_size_v1(records.size()));
+    buf.append(kMagicV1, sizeof(kMagicV1));
+    put<std::uint32_t>(buf, kVersionV1);
+    put<std::uint64_t>(buf, records.size());
+    for (const auto& r : records) put_record(buf, r);
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!os) throw Error(ErrorCode::Io, "write_binary_log_v1: stream write failed");
+}
+
+util::Result<void> write_binary_log_result(const std::filesystem::path& path,
+                                           const std::vector<FlowRecord>& records) {
+    return util::atomic_write_file(path, serialize_v2(records))
+        .context("write_binary_log " + path.string());
+}
+
+void write_binary_log(const std::filesystem::path& path,
+                      const std::vector<FlowRecord>& records) {
+    write_binary_log_result(path, records).value_or_throw();
+}
+
+util::Result<std::vector<FlowRecord>> read_binary_log_result(std::istream& is) {
+    std::string data{std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>()};
+    if (data.size() < kHeaderSizeV1) {
+        return Error(ErrorCode::Truncated,
+                     "truncated header: " + std::to_string(data.size()) + " bytes");
+    }
+    const char* p = data.data() + sizeof(kMagicV1);
+    const char* magic = data.data();
+    const auto version = take<std::uint32_t>(p);
+    if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+        if (version != kVersionV1) {
+            return Error(ErrorCode::UnsupportedVersion,
+                         "magic YFL1 with version " + std::to_string(version));
+        }
+        return parse_v1(data);
+    }
+    if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+        if (version != kVersionV2) {
+            return Error(ErrorCode::UnsupportedVersion,
+                         "magic YFL2 with version " + std::to_string(version));
+        }
+        return parse_v2(data);
+    }
+    return error_at_byte(ErrorCode::BadMagic, "bad magic", 0);
+}
+
+util::Result<std::vector<FlowRecord>> read_binary_log_result(
+    const std::filesystem::path& path) {
     std::ifstream is(path, std::ios::binary);
-    if (!is) throw std::runtime_error("read_binary_log: cannot open " + path.string());
-    return read_binary_log(is);
+    if (!is) return Error(ErrorCode::Io, "cannot open " + path.string());
+    return read_binary_log_result(is).context("read_binary_log " + path.string());
+}
+
+std::vector<FlowRecord> read_binary_log(std::istream& is) {
+    return read_binary_log_result(is).value_or_throw();
+}
+
+std::vector<FlowRecord> read_binary_log(const std::filesystem::path& path) {
+    return read_binary_log_result(path).value_or_throw();
 }
 
 }  // namespace ytcdn::capture

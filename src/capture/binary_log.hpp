@@ -5,21 +5,45 @@
 #include <vector>
 
 #include "capture/flow_record.hpp"
+#include "util/error.hpp"
 
 namespace ytcdn::capture {
 
-/// Compact binary flow-log format ("YFL1").
+/// Compact checksummed binary flow-log format ("YFL2"; readers also accept
+/// the legacy unchecksummed "YFL1").
 ///
 /// At paper scale a week of flow records runs to hundreds of MB as TSV;
-/// the binary form is ~42 bytes per record and loss-free. Layout (all
-/// little-endian):
+/// the binary form is ~41 bytes per record and loss-free. v2 adds CRC32
+/// framing so a flipped bit on disk is detected at load time with the
+/// record index and byte offset of the damage. Layout (little-endian):
 ///
-///   header:  magic "YFL1" | u32 version (=1) | u64 record count
-///   record:  u32 client_ip | u32 server_ip | f64 start | f64 end |
-///            u64 bytes | u64 video_id | u8 itag
+///   header:   magic "YFL2" | u32 version (=2) | u64 record count |
+///             u32 crc32 of the preceding 16 header bytes
+///   blocks:   records in blocks of up to 4096:
+///             u32 records-in-block | u32 crc32 of the block payload |
+///             payload (records-in-block * 41 bytes)
+///   record:   u32 client_ip | u32 server_ip | f64 start | f64 end |
+///             u64 bytes | u64 video_id | u8 itag
+///   trailer:  magic "YFLE" | u64 record count | u32 crc32 of the
+///             preceding 12 trailer bytes
 ///
-/// Writers/readers validate the magic, version, declared count and itag
-/// values; any mismatch throws std::runtime_error with a position hint.
+/// v1 ("YFL1", version 1) is header + records with no checksums; readers
+/// keep accepting it so logs written by older builds stay loadable.
+///
+/// The *_result functions return a typed ytcdn::Error (code + byte-offset /
+/// record-index provenance) instead of throwing; the legacy-named entry
+/// points are thin wrappers that throw that same Error (which derives
+/// std::runtime_error, so existing catch sites are unaffected).
+[[nodiscard]] util::Result<std::vector<FlowRecord>> read_binary_log_result(
+    std::istream& is);
+[[nodiscard]] util::Result<std::vector<FlowRecord>> read_binary_log_result(
+    const std::filesystem::path& path);
+
+/// Atomic (tmp + rename + fsync) when writing to a path: a crashed writer
+/// never leaves a torn log under the final name.
+[[nodiscard]] util::Result<void> write_binary_log_result(
+    const std::filesystem::path& path, const std::vector<FlowRecord>& records);
+
 void write_binary_log(std::ostream& os, const std::vector<FlowRecord>& records);
 void write_binary_log(const std::filesystem::path& path,
                       const std::vector<FlowRecord>& records);
@@ -27,7 +51,14 @@ void write_binary_log(const std::filesystem::path& path,
 [[nodiscard]] std::vector<FlowRecord> read_binary_log(std::istream& is);
 [[nodiscard]] std::vector<FlowRecord> read_binary_log(const std::filesystem::path& path);
 
-/// On-disk size of a log with `n` records, in bytes.
+/// Writes the legacy v1 format (no checksums). Kept for the version-compat
+/// tests and the fuzz harness; new code writes v2 via write_binary_log.
+void write_binary_log_v1(std::ostream& os, const std::vector<FlowRecord>& records);
+
+/// On-disk size of a v2 log with `n` records, in bytes.
 [[nodiscard]] std::size_t binary_log_size(std::size_t n) noexcept;
+
+/// On-disk size of a legacy v1 log with `n` records, in bytes.
+[[nodiscard]] std::size_t binary_log_size_v1(std::size_t n) noexcept;
 
 }  // namespace ytcdn::capture

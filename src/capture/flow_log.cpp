@@ -2,7 +2,6 @@
 
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
 namespace ytcdn::capture {
@@ -20,32 +19,43 @@ void write_flow_log(std::ostream& os, const std::vector<FlowRecord>& records) {
 void write_flow_log(const std::filesystem::path& path,
                     const std::vector<FlowRecord>& records) {
     std::ofstream os(path);
-    if (!os) throw std::runtime_error("write_flow_log: cannot open " + path.string());
+    if (!os) throw Error(ErrorCode::Io, "write_flow_log: cannot open " + path.string());
     write_flow_log(os, records);
-    if (!os) throw std::runtime_error("write_flow_log: write failed for " + path.string());
+    if (!os) throw Error(ErrorCode::Io, "write_flow_log: write failed for " + path.string());
 }
 
-std::vector<FlowRecord> read_flow_log(std::istream& is) {
+util::Result<std::vector<FlowRecord>> read_flow_log_result(std::istream& is) {
     std::vector<FlowRecord> out;
     std::string line;
-    std::size_t line_no = 0;
+    std::uint64_t line_no = 0;
     while (std::getline(is, line)) {
         ++line_no;
         if (line.empty() || line.front() == '#') continue;
         const auto record = FlowRecord::from_tsv(line);
         if (!record) {
-            throw std::runtime_error("read_flow_log: malformed line " +
-                                     std::to_string(line_no));
+            return error_at_line(ErrorCode::Parse, "read_flow_log: malformed record",
+                                 line_no);
         }
         out.push_back(*record);
     }
     return out;
 }
 
-std::vector<FlowRecord> read_flow_log(const std::filesystem::path& path) {
+util::Result<std::vector<FlowRecord>> read_flow_log_result(
+    const std::filesystem::path& path) {
     std::ifstream is(path);
-    if (!is) throw std::runtime_error("read_flow_log: cannot open " + path.string());
-    return read_flow_log(is);
+    if (!is) {
+        return Error(ErrorCode::Io, "read_flow_log: cannot open " + path.string());
+    }
+    return read_flow_log_result(is);
+}
+
+std::vector<FlowRecord> read_flow_log(std::istream& is) {
+    return read_flow_log_result(is).value_or_throw();
+}
+
+std::vector<FlowRecord> read_flow_log(const std::filesystem::path& path) {
+    return read_flow_log_result(path).value_or_throw();
 }
 
 }  // namespace ytcdn::capture

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "capture/flow_record.hpp"
+#include "util/error.hpp"
 
 namespace ytcdn::capture {
 
@@ -14,8 +15,16 @@ void write_flow_log(std::ostream& os, const std::vector<FlowRecord>& records);
 void write_flow_log(const std::filesystem::path& path,
                     const std::vector<FlowRecord>& records);
 
-/// Reads a log written by write_flow_log(). Throws std::runtime_error on
-/// unreadable files or malformed lines (line number included).
+/// Result-returning readers: malformed lines yield ErrorCode::Parse with the
+/// 1-based line number in the provenance; unopenable paths yield
+/// ErrorCode::Io.
+[[nodiscard]] util::Result<std::vector<FlowRecord>> read_flow_log_result(
+    std::istream& is);
+[[nodiscard]] util::Result<std::vector<FlowRecord>> read_flow_log_result(
+    const std::filesystem::path& path);
+
+/// Throwing wrappers around the *_result readers; the thrown ytcdn::Error
+/// derives std::runtime_error so existing catch sites are unaffected.
 [[nodiscard]] std::vector<FlowRecord> read_flow_log(std::istream& is);
 [[nodiscard]] std::vector<FlowRecord> read_flow_log(const std::filesystem::path& path);
 

@@ -4,12 +4,15 @@
 #include <vector>
 
 #include "capture/flow_record.hpp"
+#include "util/error.hpp"
 
 namespace ytcdn::capture {
 
 /// Extension-dispatched flow-log IO: ".yfl" selects the compact binary
 /// format, anything else the Tstat-style TSV. One call site for tools,
 /// examples and tests.
+[[nodiscard]] util::Result<std::vector<FlowRecord>> read_any_log_result(
+    const std::filesystem::path& path);
 [[nodiscard]] std::vector<FlowRecord> read_any_log(const std::filesystem::path& path);
 void write_any_log(const std::filesystem::path& path,
                    const std::vector<FlowRecord>& records);

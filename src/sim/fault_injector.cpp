@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
 namespace ytcdn::sim {
@@ -48,16 +50,21 @@ std::string_view to_string(FaultAction a) noexcept {
     return "?";
 }
 
-FaultAction fault_action_from(std::string_view name) {
+util::Result<FaultAction> fault_action_from_result(std::string_view name) {
     for (const auto& [action, action_name] : kActionNames) {
         if (action_name == name) return action;
     }
-    throw std::invalid_argument("unknown fault action '" + std::string(name) + "'");
+    return Error(ErrorCode::Parse,
+                 "unknown fault action '" + std::string(name) + "'");
 }
 
-SimTime parse_duration(std::string_view text) {
+FaultAction fault_action_from(std::string_view name) {
+    return fault_action_from_result(name).value_or_throw();
+}
+
+util::Result<SimTime> parse_duration_result(std::string_view text) {
     text = trim(text);
-    if (text.empty()) throw std::invalid_argument("empty duration");
+    if (text.empty()) return Error(ErrorCode::Parse, "empty duration");
     SimTime total = 0.0;
     std::size_t i = 0;
     while (i < text.size()) {
@@ -67,9 +74,25 @@ SimTime parse_duration(std::string_view text) {
             ++j;
         }
         if (j == i) {
-            throw std::invalid_argument("malformed duration '" + std::string(text) + "'");
+            return Error(ErrorCode::Parse,
+                         "malformed duration '" + std::string(text) + "'");
         }
-        const double value = std::stod(std::string(text.substr(i, j - i)));
+        // from_chars instead of stod: no locale, no exceptions, and a huge
+        // digit string reports out_of_range instead of throwing. The full
+        // token must be consumed, so "1.2.3" is rejected rather than
+        // silently read as 1.2.
+        double value = 0.0;
+        const char* const first = text.data() + i;
+        const char* const last = text.data() + j;
+        const auto [ptr, ec] = std::from_chars(first, last, value);
+        if (ec == std::errc::result_out_of_range) {
+            return Error(ErrorCode::Parse,
+                         "duration out of range '" + std::string(text) + "'");
+        }
+        if (ec != std::errc() || ptr != last) {
+            return Error(ErrorCode::Parse,
+                         "malformed duration '" + std::string(text) + "'");
+        }
         double unit = 1.0;
         if (j < text.size()) {
             switch (text[j]) {
@@ -78,8 +101,8 @@ SimTime parse_duration(std::string_view text) {
                 case 'h': unit = kHour; break;
                 case 'd': unit = kDay; break;
                 default:
-                    throw std::invalid_argument("unknown duration unit in '" +
-                                                std::string(text) + "'");
+                    return Error(ErrorCode::Parse, "unknown duration unit in '" +
+                                                       std::string(text) + "'");
             }
             ++j;
         }
@@ -87,6 +110,10 @@ SimTime parse_duration(std::string_view text) {
         i = j;
     }
     return total;
+}
+
+SimTime parse_duration(std::string_view text) {
+    return parse_duration_result(text).value_or_throw();
 }
 
 FaultSchedule& FaultSchedule::add(SimTime at, FaultAction action, std::string target) {
@@ -101,9 +128,41 @@ std::vector<FaultEvent> FaultSchedule::sorted() const {
     return out;
 }
 
-FaultSchedule FaultSchedule::parse(std::string_view text) {
+namespace {
+
+/// Parses one non-empty schedule line; errors name the offending token but
+/// leave line-number provenance to the caller, which knows the line.
+util::Result<FaultEvent> parse_schedule_line(std::string_view line) {
+    if (line.front() != '@') {
+        const std::size_t sp = std::min(line.find_first_of(" \t"), line.size());
+        return Error(ErrorCode::Parse, "expected '@<time>', got '" +
+                                           std::string(line.substr(0, sp)) + "'");
+    }
+    line.remove_prefix(1);
+    const std::size_t sp1 = line.find_first_of(" \t");
+    if (sp1 == std::string_view::npos) {
+        return Error(ErrorCode::Parse,
+                     "missing action after '@" + std::string(line) + "'");
+    }
+    auto at = parse_duration_result(line.substr(0, sp1));
+    if (!at) return at.error();
+    std::string_view rest = trim(line.substr(sp1));
+    const std::size_t sp2 = rest.find_first_of(" \t");
+    if (sp2 == std::string_view::npos) {
+        return Error(ErrorCode::Parse,
+                     "missing target after action '" + std::string(rest) + "'");
+    }
+    auto action = fault_action_from_result(rest.substr(0, sp2));
+    if (!action) return action.error();
+    const std::string_view target = trim(rest.substr(sp2));
+    return FaultEvent{at.value(), action.value(), std::string(target)};
+}
+
+}  // namespace
+
+util::Result<FaultSchedule> FaultSchedule::parse_result(std::string_view text) {
     FaultSchedule schedule;
-    std::size_t line_no = 0;
+    std::uint64_t line_no = 0;
     std::size_t pos = 0;
     while (pos <= text.size()) {
         const std::size_t eol = std::min(text.find('\n', pos), text.size());
@@ -117,25 +176,20 @@ FaultSchedule FaultSchedule::parse(std::string_view text) {
             if (pos > text.size()) break;
             continue;
         }
-        try {
-            if (line.front() != '@') throw std::invalid_argument("expected '@<time>'");
-            line.remove_prefix(1);
-            const std::size_t sp1 = line.find_first_of(" \t");
-            if (sp1 == std::string_view::npos) throw std::invalid_argument("missing action");
-            const SimTime at = parse_duration(line.substr(0, sp1));
-            std::string_view rest = trim(line.substr(sp1));
-            const std::size_t sp2 = rest.find_first_of(" \t");
-            if (sp2 == std::string_view::npos) throw std::invalid_argument("missing target");
-            const FaultAction action = fault_action_from(rest.substr(0, sp2));
-            const std::string_view target = trim(rest.substr(sp2));
-            schedule.add(at, action, std::string(target));
-        } catch (const std::exception& e) {
-            throw std::invalid_argument("fault schedule line " + std::to_string(line_no) +
-                                        ": " + e.what());
+        auto event = parse_schedule_line(line);
+        if (!event) {
+            return error_at_line(
+                event.error().code(),
+                "fault schedule: " + std::string(event.error().what()), line_no);
         }
+        schedule.events.push_back(std::move(event).value());
         if (pos > text.size()) break;
     }
     return schedule;
+}
+
+FaultSchedule FaultSchedule::parse(std::string_view text) {
+    return parse_result(text).value_or_throw();
 }
 
 std::string FaultSchedule::to_text() const {

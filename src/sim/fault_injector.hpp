@@ -8,6 +8,7 @@
 
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "util/error.hpp"
 
 namespace ytcdn::sim {
 
@@ -30,7 +31,10 @@ enum class FaultAction {
 };
 
 [[nodiscard]] std::string_view to_string(FaultAction a) noexcept;
-/// Inverse of to_string; throws std::invalid_argument on unknown names.
+/// Inverse of to_string; unknown names yield ErrorCode::Parse naming the
+/// offending token. fault_action_from throws that same ytcdn::Error.
+[[nodiscard]] util::Result<FaultAction> fault_action_from_result(
+    std::string_view name);
 [[nodiscard]] FaultAction fault_action_from(std::string_view name);
 
 /// One scheduled state change.
@@ -61,8 +65,12 @@ struct FaultSchedule {
     ///   @<time> <action> <target>
     /// where <time> is seconds or a compound duration ("2d12h", "90m",
     /// "3600"), <action> is a to_string(FaultAction) name and <target> the
-    /// rest of the line. '#' starts a comment. Throws std::invalid_argument
-    /// with a line number on malformed input.
+    /// rest of the line. '#' starts a comment. Malformed input yields an
+    /// ErrorCode::Parse whose message names the offending token and whose
+    /// provenance carries the 1-based line number; parse() throws that same
+    /// ytcdn::Error.
+    [[nodiscard]] static util::Result<FaultSchedule> parse_result(
+        std::string_view text);
     [[nodiscard]] static FaultSchedule parse(std::string_view text);
 
     /// Serializes in the format parse() accepts (times in seconds).
@@ -74,8 +82,11 @@ struct FaultSchedule {
                                                  SimTime duration);
 };
 
-/// Parses "2d12h30m5s" / "90m" / "3600" into seconds; throws
-/// std::invalid_argument on malformed input.
+/// Parses "2d12h30m5s" / "90m" / "3600" into seconds. Strict: every numeric
+/// token must parse in full (no "1.2.3" prefix-parsing) and stay finite.
+/// Malformed input yields ErrorCode::Parse naming the offending text;
+/// parse_duration throws that same ytcdn::Error.
+[[nodiscard]] util::Result<SimTime> parse_duration_result(std::string_view text);
 [[nodiscard]] SimTime parse_duration(std::string_view text);
 
 /// Plays a FaultSchedule onto a Simulator. The study layer registers one

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/parallel.hpp"
 
@@ -10,6 +12,12 @@ namespace ytcdn::study {
 std::size_t StudyConfig::effective_threads() const {
     return threads > 0 ? static_cast<std::size_t>(threads)
                        : util::default_thread_count();
+}
+
+bool StudyConfig::effective_strict_artifacts() const {
+    if (strict_artifacts) return true;
+    const char* env = std::getenv("YTCDN_STRICT_ARTIFACTS");
+    return env != nullptr && std::strcmp(env, "1") == 0;
 }
 
 std::size_t StudyConfig::effective_catalog_size() const {

@@ -76,8 +76,18 @@ struct StudyConfig {
     /// sim::FaultSchedule::parse for the text format the CLI accepts.
     sim::FaultSchedule fault_schedule;
 
+    /// Report-artifact fault isolation. By default a single failing
+    /// artifact is replaced with a placeholder naming the failure and the
+    /// other artifacts still render; with strict artifacts the first
+    /// failure propagates (fail-fast — what CI wants so a regression is a
+    /// red build, not a quietly degraded report).
+    bool strict_artifacts = false;
+
     /// Derived values.
     [[nodiscard]] std::size_t effective_threads() const;
+    /// strict_artifacts, or the YTCDN_STRICT_ARTIFACTS=1 environment
+    /// override (set in CI).
+    [[nodiscard]] bool effective_strict_artifacts() const;
     [[nodiscard]] std::size_t effective_catalog_size() const;
     [[nodiscard]] int effective_server_capacity() const;
     [[nodiscard]] std::size_t replicate_top_ranks() const;

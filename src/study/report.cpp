@@ -1,5 +1,6 @@
 #include "study/report.hpp"
 
+#include <exception>
 #include <functional>
 #include <sstream>
 #include <utility>
@@ -375,8 +376,19 @@ FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
                               std::move(hot.others)});
     });
 
-    auto contents =
-        util::parallel_map(pool, jobs, [](const Job& job) { return job.second(); });
+    // Per-artifact fault isolation: one failing closure degrades to a
+    // placeholder naming the artifact and the error, instead of taking the
+    // other ~19 artifacts down with it. Strict mode (CI) keeps fail-fast by
+    // letting the exception propagate out of parallel_map.
+    const bool strict = run.config.effective_strict_artifacts();
+    auto contents = util::parallel_map(pool, jobs, [strict](const Job& job) {
+        if (strict) return job.second();
+        try {
+            return job.second();
+        } catch (const std::exception& e) {
+            return "!! artifact '" + job.first + "' failed: " + e.what() + "\n";
+        }
+    });
 
     FullReport report;
     report.artifacts.reserve(jobs.size());

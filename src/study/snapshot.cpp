@@ -7,12 +7,14 @@
 
 #include "capture/binary_log.hpp"
 #include "sim/random.hpp"
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
 
 namespace ytcdn::study {
 
 namespace {
 
-constexpr char kMagic[4] = {'Y', 'S', 'S', '1'};
+constexpr char kMagic[4] = {'Y', 'S', 'S', '2'};
 
 template <typename T>
 void put(std::ostream& os, T value) {
@@ -20,39 +22,14 @@ void put(std::ostream& os, T value) {
     os.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
-template <typename T>
-[[nodiscard]] bool get(std::istream& is, T& value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    is.read(reinterpret_cast<char*>(&value), sizeof(value));
-    return is.good();
-}
-
 void put_string(std::ostream& os, const std::string& s) {
     put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
     os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-[[nodiscard]] bool get_string(std::istream& is, std::string& s) {
-    std::uint32_t n = 0;
-    if (!get(is, n) || n > (1u << 20)) return false;  // names are short
-    s.resize(n);
-    is.read(s.data(), n);
-    return is.good();
-}
-
 void put_u64s(std::ostream& os, const std::vector<std::uint64_t>& v) {
     put<std::uint32_t>(os, static_cast<std::uint32_t>(v.size()));
     for (const std::uint64_t x : v) put(os, x);
-}
-
-[[nodiscard]] bool get_u64s(std::istream& is, std::vector<std::uint64_t>& v) {
-    std::uint32_t n = 0;
-    if (!get(is, n) || n > (1u << 20)) return false;
-    v.resize(n);
-    for (std::uint64_t& x : v) {
-        if (!get(is, x)) return false;
-    }
-    return true;
 }
 
 void put_stats(std::ostream& os, const workload::Player::Stats& s) {
@@ -77,18 +54,89 @@ void put_stats(std::ostream& os, const workload::Player::Stats& s) {
     put_u64s(os, s.retry_histogram);
 }
 
-[[nodiscard]] bool get_stats(std::istream& is, workload::Player::Stats& s) {
-    return get(is, s.sessions) && get(is, s.video_flows) &&
-           get(is, s.control_flows) && get(is, s.redirects_miss) &&
-           get(is, s.redirects_overload) && get(is, s.resolution_probes) &&
-           get(is, s.pauses) && get(is, s.dns_cache_hits) &&
-           get(is, s.connect_timeouts) && get(is, s.connect_resets) &&
-           get(is, s.dns_servfails) && get(is, s.stale_dns_answers) &&
-           get(is, s.failovers) && get(is, s.failures.timeout) &&
-           get(is, s.failures.reset) && get(is, s.failures.dns_failure) &&
-           get(is, s.failures.retries_exhausted) &&
-           get(is, s.failures.redirect_exhausted) &&
-           get_u64s(is, s.retry_histogram);
+/// Bounds-checked reader over the in-memory snapshot body. Every failure
+/// carries the byte offset where the data ran out or went bad.
+class Cursor {
+public:
+    explicit Cursor(std::string_view data) : data_(data) {}
+
+    [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+    [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+    template <typename T>
+    [[nodiscard]] util::Result<void> get(T& value, std::string_view field) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (data_.size() - pos_ < sizeof(T)) return truncated(field);
+        std::memcpy(&value, data_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return {};
+    }
+
+    [[nodiscard]] util::Result<void> get_bytes(std::string& out, std::uint64_t n,
+                                               std::string_view field) {
+        if (data_.size() - pos_ < n) return truncated(field);
+        out.assign(data_.substr(pos_, static_cast<std::size_t>(n)));
+        pos_ += static_cast<std::size_t>(n);
+        return {};
+    }
+
+    [[nodiscard]] Error bad_field(std::string_view message) const {
+        return error_at_byte(ErrorCode::BadField, message, pos_);
+    }
+
+private:
+    [[nodiscard]] util::Result<void> truncated(std::string_view field) const {
+        return error_at_byte(ErrorCode::Truncated,
+                             "snapshot truncated reading " + std::string(field),
+                             pos_);
+    }
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+[[nodiscard]] util::Result<void> get_string(Cursor& c, std::string& s,
+                                            std::string_view field) {
+    std::uint32_t n = 0;
+    if (auto r = c.get(n, field); !r) return r;
+    if (n > (1u << 20)) {  // names are short
+        return c.bad_field("snapshot string length " + std::to_string(n) +
+                           " out of range for " + std::string(field));
+    }
+    return c.get_bytes(s, n, field);
+}
+
+[[nodiscard]] util::Result<void> get_u64s(Cursor& c,
+                                          std::vector<std::uint64_t>& v,
+                                          std::string_view field) {
+    std::uint32_t n = 0;
+    if (auto r = c.get(n, field); !r) return r;
+    if (n > (1u << 20)) {
+        return c.bad_field("snapshot array length " + std::to_string(n) +
+                           " out of range for " + std::string(field));
+    }
+    v.resize(n);
+    for (std::uint64_t& x : v) {
+        if (auto r = c.get(x, field); !r) return r;
+    }
+    return {};
+}
+
+[[nodiscard]] util::Result<void> get_stats(Cursor& c,
+                                           workload::Player::Stats& s) {
+    const auto field = std::string_view("player stats");
+    for (std::uint64_t* x : {&s.sessions, &s.video_flows, &s.control_flows,
+                             &s.redirects_miss, &s.redirects_overload,
+                             &s.resolution_probes, &s.pauses, &s.dns_cache_hits,
+                             &s.connect_timeouts, &s.connect_resets,
+                             &s.dns_servfails, &s.stale_dns_answers, &s.failovers,
+                             &s.failures.timeout, &s.failures.reset,
+                             &s.failures.dns_failure,
+                             &s.failures.retries_exhausted,
+                             &s.failures.redirect_exhausted}) {
+        if (auto r = c.get(*x, field); !r) return r;
+    }
+    return get_u64s(c, s.retry_histogram, "retry histogram");
 }
 
 /// Hash-combine in fingerprint order. Doubles contribute their exact bit
@@ -105,7 +153,7 @@ public:
     [[nodiscard]] std::uint64_t value() const { return h_; }
 
 private:
-    std::uint64_t h_ = 0x5953'5331'2011ull;  // "YSS1" | paper year
+    std::uint64_t h_ = 0x5953'5332'2011ull;  // "YSS2" | paper year
 };
 
 }  // namespace
@@ -143,25 +191,32 @@ bool write_trace_snapshot(std::ostream& os, const StudyConfig& config,
                           const TraceOutputs& traces) {
     if (!config.fault_schedule.empty()) return false;
 
-    os.write(kMagic, sizeof(kMagic));
-    put(os, kSnapshotSchemaVersion);
-    put(os, config_fingerprint(config));
-    put(os, traces.events_processed);
-    put(os, traces.faults_injected);
-    put<std::uint32_t>(os, static_cast<std::uint32_t>(traces.datasets.size()));
+    // Serialize the body in memory first so the trailing CRC can cover
+    // every byte of it.
+    std::ostringstream body;
+    body.write(kMagic, sizeof(kMagic));
+    put(body, kSnapshotSchemaVersion);
+    put(body, config_fingerprint(config));
+    put(body, traces.events_processed);
+    put(body, traces.faults_injected);
+    put<std::uint32_t>(body, static_cast<std::uint32_t>(traces.datasets.size()));
 
     for (std::size_t i = 0; i < traces.datasets.size(); ++i) {
         const auto& ds = traces.datasets[i];
-        put_string(os, ds.name);
-        put_stats(os, traces.player_stats[i]);
-        put(os, traces.requests_generated[i]);
-        put(os, traces.flows_observed[i]);
-        put(os, traces.flows_ignored[i]);
+        put_string(body, ds.name);
+        put_stats(body, traces.player_stats[i]);
+        put(body, traces.requests_generated[i]);
+        put(body, traces.flows_observed[i]);
+        put(body, traces.flows_ignored[i]);
         // Length-prefixed so the reader can carve the blob out of the
-        // stream (read_binary_log consumes an entire istream).
-        put<std::uint64_t>(os, capture::binary_log_size(ds.records.size()));
-        capture::write_binary_log(os, ds.records);
+        // stream without parsing it first.
+        put<std::uint64_t>(body, capture::binary_log_size(ds.records.size()));
+        capture::write_binary_log(body, ds.records);
     }
+
+    const std::string bytes = body.str();
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    put(os, util::crc32(bytes));
     return os.good();
 }
 
@@ -169,50 +224,83 @@ bool write_trace_snapshot(const std::filesystem::path& path,
                           const StudyConfig& config,
                           const TraceOutputs& traces) {
     if (!config.fault_schedule.empty()) return false;
-    std::error_code ec;
-    if (path.has_parent_path()) {
-        std::filesystem::create_directories(path.parent_path(), ec);
-        if (ec) return false;
-    }
-    // Write to a sibling temp file and rename, so a crashed or concurrent
-    // writer never leaves a torn snapshot under the final name.
-    const std::filesystem::path tmp = path.string() + ".tmp";
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os || !write_trace_snapshot(os, config, traces)) {
-            std::filesystem::remove(tmp, ec);
-            return false;
-        }
-    }
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        std::filesystem::remove(tmp, ec);
-        return false;
-    }
-    return true;
+    return util::atomic_write_file(path, [&](std::ostream& os) {
+               return write_trace_snapshot(os, config, traces);
+           })
+        .ok();
 }
 
-std::optional<TraceOutputs> load_trace_snapshot(std::istream& is,
-                                                const StudyConfig& config) {
-    if (!config.fault_schedule.empty()) return std::nullopt;
+util::Result<TraceOutputs> load_trace_snapshot_result(std::istream& is,
+                                                      const StudyConfig& config) {
+    if (!config.fault_schedule.empty()) {
+        return Error(ErrorCode::KeyMismatch,
+                     "snapshot refused: run has a fault schedule");
+    }
 
-    char magic[4] = {};
-    is.read(magic, sizeof(magic));
-    if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-        return std::nullopt;
+    std::string data((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    if (is.bad()) return Error(ErrorCode::Io, "snapshot read failed");
+
+    constexpr std::size_t kMinSize =
+        sizeof(kMagic) + sizeof(std::uint32_t) /*version*/ +
+        sizeof(std::uint32_t) /*crc trailer*/;
+    if (data.size() < kMinSize) {
+        return error_at_byte(ErrorCode::Truncated,
+                             "snapshot smaller than its fixed framing",
+                             data.size());
+    }
+    if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+        return error_at_byte(ErrorCode::BadMagic,
+                             "snapshot magic is not 'YSS2'", 0);
     }
     std::uint32_t version = 0;
+    std::memcpy(&version, data.data() + sizeof(kMagic), sizeof(version));
+    if (version != kSnapshotSchemaVersion) {
+        return error_at_byte(ErrorCode::UnsupportedVersion,
+                             "snapshot schema version " +
+                                 std::to_string(version) + " (expected " +
+                                 std::to_string(kSnapshotSchemaVersion) + ")",
+                             sizeof(kMagic));
+    }
+
+    // Whole-file CRC before any structural parsing: a flipped bit anywhere
+    // is reported as corruption, not as whatever field it happened to land
+    // in.
+    const std::size_t body_size = data.size() - sizeof(std::uint32_t);
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, data.data() + body_size, sizeof(stored_crc));
+    const std::uint32_t actual_crc =
+        util::crc32(std::string_view(data).substr(0, body_size));
+    if (stored_crc != actual_crc) {
+        return error_at_byte(ErrorCode::ChecksumMismatch,
+                             "snapshot CRC mismatch", body_size);
+    }
+
+    Cursor c(std::string_view(data).substr(0, body_size));
+    {
+        // Skip magic + version, already validated.
+        std::uint32_t skip32 = 0;
+        if (auto r = c.get(skip32, "magic"); !r) return r.error();
+        if (auto r = c.get(skip32, "version"); !r) return r.error();
+    }
     std::uint64_t fingerprint = 0;
-    if (!get(is, version) || version != kSnapshotSchemaVersion) return std::nullopt;
-    if (!get(is, fingerprint) || fingerprint != config_fingerprint(config)) {
-        return std::nullopt;
+    if (auto r = c.get(fingerprint, "fingerprint"); !r) return r.error();
+    if (fingerprint != config_fingerprint(config)) {
+        return error_at_byte(ErrorCode::KeyMismatch,
+                             "snapshot fingerprint does not match this config",
+                             sizeof(kMagic) + sizeof(std::uint32_t));
     }
 
     TraceOutputs traces;
     std::uint32_t vps = 0;
-    if (!get(is, traces.events_processed) || !get(is, traces.faults_injected) ||
-        !get(is, vps) || vps > 64) {
-        return std::nullopt;
+    if (auto r = c.get(traces.events_processed, "events_processed"); !r)
+        return r.error();
+    if (auto r = c.get(traces.faults_injected, "faults_injected"); !r)
+        return r.error();
+    if (auto r = c.get(vps, "vantage-point count"); !r) return r.error();
+    if (vps > 64) {
+        return c.bad_field("snapshot vantage-point count " +
+                           std::to_string(vps) + " out of range");
     }
 
     for (std::uint32_t i = 0; i < vps; ++i) {
@@ -222,36 +310,90 @@ std::optional<TraceOutputs> load_trace_snapshot(std::istream& is,
         std::uint64_t observed = 0;
         std::uint64_t ignored = 0;
         std::uint64_t blob_size = 0;
-        if (!get_string(is, ds.name) || !get_stats(is, stats) ||
-            !get(is, requests) || !get(is, observed) || !get(is, ignored) ||
-            !get(is, blob_size) || blob_size > (1ull << 34)) {
-            return std::nullopt;
+        if (auto r = get_string(c, ds.name, "vantage-point name"); !r)
+            return r.error();
+        if (auto r = get_stats(c, stats); !r) return r.error();
+        if (auto r = c.get(requests, "requests_generated"); !r) return r.error();
+        if (auto r = c.get(observed, "flows_observed"); !r) return r.error();
+        if (auto r = c.get(ignored, "flows_ignored"); !r) return r.error();
+        if (auto r = c.get(blob_size, "blob size"); !r) return r.error();
+        if (blob_size > (1ull << 34)) {
+            return c.bad_field("snapshot blob size " +
+                               std::to_string(blob_size) + " out of range");
         }
-        std::string blob(blob_size, '\0');
-        is.read(blob.data(), static_cast<std::streamsize>(blob_size));
-        if (!is.good()) return std::nullopt;
-        try {
-            std::istringstream blob_stream(std::move(blob));
-            ds.records = capture::read_binary_log(blob_stream);
-        } catch (const std::runtime_error&) {
-            return std::nullopt;
+        std::string blob;
+        if (auto r = c.get_bytes(blob, blob_size, "binary-log blob"); !r)
+            return r.error();
+        std::istringstream blob_stream(std::move(blob));
+        auto records = capture::read_binary_log_result(blob_stream);
+        if (!records) {
+            return records.error().context("snapshot blob for vantage point '" +
+                                           ds.name + "'");
         }
+        ds.records = std::move(records).value();
         traces.datasets.push_back(std::move(ds));
         traces.player_stats.push_back(std::move(stats));
         traces.requests_generated.push_back(requests);
         traces.flows_observed.push_back(observed);
         traces.flows_ignored.push_back(ignored);
     }
-    // A trailing byte means the writer and reader disagree about layout.
-    if (is.peek() != std::istream::traits_type::eof()) return std::nullopt;
+    // Trailing bytes mean the writer and reader disagree about layout.
+    if (!c.at_end()) {
+        return error_at_byte(ErrorCode::CountMismatch,
+                             "snapshot has trailing bytes after the last "
+                             "vantage point",
+                             c.pos());
+    }
     return traces;
+}
+
+util::Result<TraceOutputs> load_trace_snapshot_result(
+    const std::filesystem::path& path, const StudyConfig& config) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return Error(ErrorCode::Io, "cannot open snapshot " + path.string());
+    }
+    return load_trace_snapshot_result(is, config)
+        .context("snapshot " + path.string());
+}
+
+std::optional<TraceOutputs> load_trace_snapshot(std::istream& is,
+                                                const StudyConfig& config) {
+    auto result = load_trace_snapshot_result(is, config);
+    if (!result) return std::nullopt;
+    return std::move(result).value();
 }
 
 std::optional<TraceOutputs> load_trace_snapshot(
     const std::filesystem::path& path, const StudyConfig& config) {
+    auto result = load_trace_snapshot_result(path, config);
+    if (!result) return std::nullopt;
+    return std::move(result).value();
+}
+
+std::optional<TraceOutputs> load_or_quarantine_snapshot(
+    const std::filesystem::path& path, const StudyConfig& config,
+    std::string* warning) {
+    if (!config.fault_schedule.empty()) return std::nullopt;
     std::ifstream is(path, std::ios::binary);
-    if (!is) return std::nullopt;
-    return load_trace_snapshot(is, config);
+    if (!is) return std::nullopt;  // missing file: a plain cold-cache miss
+    auto result = load_trace_snapshot_result(is, config);
+    if (result) return std::move(result).value();
+
+    // The file exists but failed validation: move it aside so it cannot
+    // poison the next run, and let the caller regenerate. Cache damage is
+    // never fatal.
+    const std::filesystem::path quarantined = path.string() + ".corrupt";
+    std::error_code ec;
+    std::filesystem::rename(path, quarantined, ec);
+    if (warning) {
+        *warning = "warning: snapshot " + path.string() + " failed to load (" +
+                   result.error().what() + "); ";
+        *warning += ec ? "quarantine rename also failed; regenerating"
+                       : "quarantined as " + quarantined.filename().string() +
+                             " and regenerating";
+    }
+    return std::nullopt;
 }
 
 }  // namespace ytcdn::study

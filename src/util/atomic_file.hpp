@@ -1,0 +1,27 @@
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <iosfwd>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace ytcdn::util {
+
+/// Atomic whole-file writes: serialize into "<path>.tmp", flush + fsync,
+/// then rename over the final name. A crashed or concurrent writer never
+/// leaves a torn file under `path` — readers see the old bytes or the new
+/// bytes, nothing in between. Parent directories are created as needed.
+///
+/// The callback form streams into the temp file; returning false aborts
+/// the write (the temp file is removed) with an Io error.
+[[nodiscard]] Result<void> atomic_write_file(
+    const std::filesystem::path& path,
+    const std::function<bool(std::ostream&)>& writer);
+
+/// Convenience for already-serialized payloads.
+[[nodiscard]] Result<void> atomic_write_file(const std::filesystem::path& path,
+                                             std::string_view bytes);
+
+}  // namespace ytcdn::util

@@ -1,0 +1,39 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace ytcdn::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i) {
+        c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) noexcept {
+    return crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace ytcdn::util

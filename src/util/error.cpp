@@ -1,0 +1,108 @@
+#include "util/error.hpp"
+
+namespace ytcdn {
+
+std::string_view to_string(ErrorCode code) noexcept {
+    switch (code) {
+        case ErrorCode::Io: return "io";
+        case ErrorCode::BadMagic: return "bad-magic";
+        case ErrorCode::UnsupportedVersion: return "unsupported-version";
+        case ErrorCode::Truncated: return "truncated";
+        case ErrorCode::ChecksumMismatch: return "checksum-mismatch";
+        case ErrorCode::CountMismatch: return "count-mismatch";
+        case ErrorCode::BadField: return "bad-field";
+        case ErrorCode::KeyMismatch: return "key-mismatch";
+        case ErrorCode::Parse: return "parse";
+        case ErrorCode::InvalidArgument: return "invalid-argument";
+    }
+    return "?";
+}
+
+ErrorCategory error_category(ErrorCode code) noexcept {
+    switch (code) {
+        case ErrorCode::Io:
+            return ErrorCategory::Io;
+        case ErrorCode::BadMagic:
+        case ErrorCode::UnsupportedVersion:
+        case ErrorCode::Truncated:
+        case ErrorCode::ChecksumMismatch:
+        case ErrorCode::CountMismatch:
+        case ErrorCode::BadField:
+        case ErrorCode::KeyMismatch:
+            return ErrorCategory::Corrupt;
+        case ErrorCode::Parse:
+            return ErrorCategory::Parse;
+        case ErrorCode::InvalidArgument:
+            return ErrorCategory::Usage;
+    }
+    return ErrorCategory::Internal;
+}
+
+int exit_code_for(ErrorCode code) noexcept {
+    switch (error_category(code)) {
+        case ErrorCategory::Internal: return 1;
+        case ErrorCategory::Usage: return 2;
+        case ErrorCategory::Io: return 3;
+        case ErrorCategory::Corrupt: return 4;
+        case ErrorCategory::Parse: return 5;
+    }
+    return 1;
+}
+
+namespace {
+
+std::string render(std::string_view message, const Error::Provenance& where) {
+    std::string out(message);
+    // Provenance renders in one fixed bracket so messages are stable enough
+    // to assert exactly in tests: " [record 5 @ byte 229]", " [line 3]".
+    std::string loc;
+    if (where.record_index) {
+        loc += "record " + std::to_string(*where.record_index);
+        if (where.byte_offset) loc += " @ byte " + std::to_string(*where.byte_offset);
+    } else if (where.byte_offset) {
+        loc += "byte " + std::to_string(*where.byte_offset);
+    }
+    if (where.line_number) {
+        if (!loc.empty()) loc += ", ";
+        loc += "line " + std::to_string(*where.line_number);
+    }
+    if (!loc.empty()) out += " [" + loc + "]";
+    return out;
+}
+
+}  // namespace
+
+Error::Error(ErrorCode code, std::string_view message, Provenance where)
+    : std::runtime_error(render(message, where)), code_(code), where_(where) {}
+
+Error::Error(ErrorCode code, const std::string& rendered, const Provenance& where,
+             bool /*already_rendered*/)
+    : std::runtime_error(rendered), code_(code), where_(where) {}
+
+Error Error::context(std::string_view what) const {
+    return Error(code_, std::string(what) + ": " + this->what(), where_, true);
+}
+
+Error error_at_byte(ErrorCode code, std::string_view message,
+                    std::uint64_t byte_offset) {
+    Error::Provenance where;
+    where.byte_offset = byte_offset;
+    return Error(code, message, where);
+}
+
+Error error_at_record(ErrorCode code, std::string_view message,
+                      std::uint64_t record_index, std::uint64_t byte_offset) {
+    Error::Provenance where;
+    where.byte_offset = byte_offset;
+    where.record_index = record_index;
+    return Error(code, message, where);
+}
+
+Error error_at_line(ErrorCode code, std::string_view message,
+                    std::uint64_t line_number) {
+    Error::Provenance where;
+    where.line_number = line_number;
+    return Error(code, message, where);
+}
+
+}  // namespace ytcdn

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ytcdn {
+
+/// What went wrong at an I/O or parse boundary. Codes are grouped into
+/// categories (see error_category) that CLI front ends map to distinct
+/// process exit codes, so "the input file is corrupt" is distinguishable
+/// from "I could not open it" without grepping stderr.
+enum class ErrorCode : std::uint8_t {
+    Io,                  // open/read/write/rename failure
+    BadMagic,            // file does not start with the expected magic
+    UnsupportedVersion,  // recognized format, unknown version
+    Truncated,           // stream ended before the declared payload
+    ChecksumMismatch,    // CRC framing failed — bytes were altered
+    CountMismatch,       // declared vs actual element counts disagree
+    BadField,            // well-framed record holds an invalid value
+    KeyMismatch,         // artifact was written for a different config
+    Parse,               // text input (schedule DSL, TSV) is malformed
+    InvalidArgument,     // caller misuse (CLI flags, bad parameters)
+};
+
+[[nodiscard]] std::string_view to_string(ErrorCode code) noexcept;
+
+/// Coarse grouping used for exit codes and retry policy.
+enum class ErrorCategory : std::uint8_t {
+    Internal,  // exit 1
+    Usage,     // exit 2
+    Io,        // exit 3
+    Corrupt,   // exit 4
+    Parse,     // exit 5
+};
+
+[[nodiscard]] ErrorCategory error_category(ErrorCode code) noexcept;
+
+/// The process exit code a CLI should return for an error of this code.
+[[nodiscard]] int exit_code_for(ErrorCode code) noexcept;
+
+/// A structured I/O-boundary error: code + human message + provenance
+/// (byte offset / record index / line number, whichever the format has).
+///
+/// Derives std::runtime_error so the pre-existing throwing entry points
+/// (`read_binary_log`, `FaultSchedule::parse`, ...) stay drop-in
+/// compatible: callers that caught std::runtime_error still do, while new
+/// callers catch `const ytcdn::Error&` and branch on code().
+///
+/// what() is fully rendered at construction:
+///   "<context>: <context>: <message> [record 5 @ byte 229]"
+class Error : public std::runtime_error {
+public:
+    struct Provenance {
+        std::optional<std::uint64_t> byte_offset;
+        std::optional<std::uint64_t> record_index;
+        std::optional<std::uint64_t> line_number;
+    };
+
+    Error(ErrorCode code, std::string_view message, Provenance where = {});
+
+    [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+    [[nodiscard]] ErrorCategory category() const noexcept {
+        return error_category(code_);
+    }
+    [[nodiscard]] const Provenance& where() const noexcept { return where_; }
+
+    /// A copy with "<what>: " prefixed — build the context chain outermost
+    /// last, e.g. err.context("loading snapshot " + path).
+    [[nodiscard]] Error context(std::string_view what) const;
+
+private:
+    Error(ErrorCode code, const std::string& rendered, const Provenance& where,
+          bool already_rendered);
+
+    ErrorCode code_;
+    Provenance where_;
+};
+
+/// Shorthand constructors keep provenance call sites readable.
+[[nodiscard]] Error error_at_byte(ErrorCode code, std::string_view message,
+                                  std::uint64_t byte_offset);
+[[nodiscard]] Error error_at_record(ErrorCode code, std::string_view message,
+                                    std::uint64_t record_index,
+                                    std::uint64_t byte_offset);
+[[nodiscard]] Error error_at_line(ErrorCode code, std::string_view message,
+                                  std::uint64_t line_number);
+
+namespace util {
+
+/// Value-or-Error sum type for fallible I/O paths. Unlike exceptions it
+/// makes the failure part of the signature, which is what lets the report
+/// generator isolate per-artifact faults and the fuzz harness assert
+/// "typed error or success, never crash".
+template <typename T>
+class [[nodiscard]] Result {
+public:
+    Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+    Result(Error error) : state_(std::in_place_index<1>, std::move(error)) {}
+
+    [[nodiscard]] bool ok() const noexcept { return state_.index() == 0; }
+    explicit operator bool() const noexcept { return ok(); }
+
+    /// Precondition: ok().
+    [[nodiscard]] T& value() & { return std::get<0>(state_); }
+    [[nodiscard]] const T& value() const& { return std::get<0>(state_); }
+    [[nodiscard]] T&& value() && { return std::get<0>(std::move(state_)); }
+
+    /// Precondition: !ok().
+    [[nodiscard]] const Error& error() const& { return std::get<1>(state_); }
+
+    /// Unwraps, throwing the Error for legacy throwing entry points.
+    T value_or_throw() && {
+        if (!ok()) throw std::get<1>(std::move(state_));
+        return std::get<0>(std::move(state_));
+    }
+
+    /// Wraps a held error with context; no-op on success.
+    [[nodiscard]] Result context(std::string_view what) && {
+        if (ok()) return std::move(*this);
+        return Result(std::get<1>(state_).context(what));
+    }
+
+private:
+    std::variant<T, Error> state_;
+};
+
+/// Result<void>: success carries nothing, failure carries the Error.
+template <>
+class [[nodiscard]] Result<void> {
+public:
+    Result() = default;
+    Result(Error error) : error_(std::move(error)) {}
+
+    [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+    explicit operator bool() const noexcept { return ok(); }
+
+    /// Precondition: !ok().
+    [[nodiscard]] const Error& error() const& { return *error_; }
+
+    void value_or_throw() && {
+        if (error_) throw *std::move(error_);
+    }
+
+    [[nodiscard]] Result context(std::string_view what) && {
+        if (ok()) return std::move(*this);
+        return Result(error_->context(what));
+    }
+
+private:
+    std::optional<Error> error_;
+};
+
+}  // namespace util
+}  // namespace ytcdn

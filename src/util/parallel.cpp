@@ -138,7 +138,7 @@ void ThreadPool::work_on(Batch& batch) {
         if (i >= batch.n) return;
         try {
             (*batch.task)(i);
-        } catch (...) {
+        } catch (...) {  // ytcdn-lint: allow(catch-all) — trampoline, rethrown on the caller
             const std::lock_guard<std::mutex> lock(batch.mutex);
             // Keep the exception from the lowest input index so propagation
             // does not depend on which worker lost the race.

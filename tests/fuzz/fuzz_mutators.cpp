@@ -1,0 +1,184 @@
+#include "fuzz_mutators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace ytcdn::fuzz {
+
+namespace {
+
+/// A window [begin, begin + len) inside a buffer of `size` bytes.
+struct Window {
+    std::size_t begin = 0;
+    std::size_t len = 0;
+};
+
+Window random_window(std::size_t size, sim::Rng& rng) {
+    Window w;
+    w.begin = rng.uniform_index(size);
+    w.len = 1 + rng.uniform_index(std::min<std::size_t>(size - w.begin, 64));
+    return w;
+}
+
+/// Boundary values that attack length/count/offset fields.
+constexpr std::array<std::uint64_t, 8> kBoundaryValues = {
+    0ull,
+    1ull,
+    0x7Full,
+    0xFFull,
+    0x7FFFFFFFull,
+    0xFFFFFFFFull,
+    0x7FFFFFFFFFFFFFFFull,
+    0xFFFFFFFFFFFFFFFFull,
+};
+
+void overwrite_lane(std::string& buf, sim::Rng& rng) {
+    const std::size_t width = rng.bernoulli(0.5) ? 4 : 8;
+    if (buf.size() < width) return;
+    // Aligned lanes hit the format's real integer fields far more often
+    // than byte-random offsets would.
+    const std::size_t slots = buf.size() / 4 - (width == 8 ? 1 : 0);
+    if (slots == 0) return;
+    const std::size_t at = rng.uniform_index(slots) * 4;
+    std::uint64_t value = kBoundaryValues[rng.uniform_index(kBoundaryValues.size())];
+    if (rng.bernoulli(0.25)) value = rng.engine()();
+    std::memcpy(buf.data() + at, &value, width);
+}
+
+}  // namespace
+
+std::string garbage_bytes(std::size_t max_len, sim::Rng& rng) {
+    std::string out(rng.uniform_index(max_len + 1), '\0');
+    std::size_t i = 0;
+    while (i < out.size()) {
+        if (rng.bernoulli(0.3)) {
+            // A run of 0x00 or 0xFF — torn pages and erased flash look
+            // like this, and parsers must survive both.
+            const char fill = rng.bernoulli(0.5) ? '\0' : static_cast<char>(0xFF);
+            const std::size_t run = 1 + rng.uniform_index(32);
+            for (std::size_t k = 0; k < run && i < out.size(); ++k) out[i++] = fill;
+        } else {
+            out[i++] = static_cast<char>(rng.uniform_index(256));
+        }
+    }
+    return out;
+}
+
+std::string mutate_bytes(const std::string& input, sim::Rng& rng) {
+    std::string buf = input;
+    if (buf.empty()) return garbage_bytes(64, rng);
+    switch (rng.uniform_index(8)) {
+        case 0: {  // flip 1–8 bits
+            const auto flips = 1 + rng.uniform_index(8);
+            for (std::uint64_t k = 0; k < flips; ++k) {
+                const auto at = rng.uniform_index(buf.size());
+                buf[at] = static_cast<char>(
+                    buf[at] ^ static_cast<char>(1u << rng.uniform_index(8)));
+            }
+            break;
+        }
+        case 1:  // truncate at a random byte
+            buf.resize(rng.uniform_index(buf.size()));
+            break;
+        case 2:  // append garbage
+            buf += garbage_bytes(64, rng);
+            break;
+        case 3: {  // zero out a window
+            const auto w = random_window(buf.size(), rng);
+            std::fill_n(buf.begin() + static_cast<std::ptrdiff_t>(w.begin),
+                        w.len, '\0');
+            break;
+        }
+        case 4:  // boundary-value an aligned integer lane
+            overwrite_lane(buf, rng);
+            break;
+        case 5: {  // duplicate a window in place
+            const auto w = random_window(buf.size(), rng);
+            buf.insert(w.begin, buf.substr(w.begin, w.len));
+            break;
+        }
+        case 6: {  // splice a window out
+            const auto w = random_window(buf.size(), rng);
+            buf.erase(w.begin, w.len);
+            break;
+        }
+        case 7: {  // overwrite a window with garbage
+            const auto w = random_window(buf.size(), rng);
+            const auto junk = garbage_bytes(w.len, rng);
+            std::copy(junk.begin(), junk.end(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(w.begin));
+            break;
+        }
+    }
+    return buf;
+}
+
+std::string mutate_bytes_n(const std::string& input, sim::Rng& rng) {
+    std::string buf = input;
+    const auto rounds = 1 + rng.uniform_index(4);
+    for (std::uint64_t k = 0; k < rounds; ++k) buf = mutate_bytes(buf, rng);
+    return buf;
+}
+
+std::string mutate_text(const std::string& input, sim::Rng& rng) {
+    // Tokens chosen to stress the schedule grammar and number parsing:
+    // sign/exponent abuse, unit soup, bare separators, non-ASCII bytes.
+    static constexpr std::array<std::string_view, 14> kHostileTokens = {
+        "@",         "@@",      "-1",        "1e99",     "1e-99",
+        "99999999999999999999", "1.2.3",     "2d12h",    "0x10",
+        "dc_down",   "nope",    "#",         "\xC3\xA9", "\xFF\xFE",
+    };
+    std::string buf = input;
+    switch (rng.uniform_index(7)) {
+        case 0: {  // delete a character span
+            if (buf.empty()) break;
+            const auto w = random_window(buf.size(), rng);
+            buf.erase(w.begin, std::min<std::size_t>(w.len, 8));
+            break;
+        }
+        case 1: {  // insert a hostile token
+            const auto tok = kHostileTokens[rng.uniform_index(kHostileTokens.size())];
+            buf.insert(rng.uniform_index(buf.size() + 1), std::string(tok));
+            break;
+        }
+        case 2: {  // duplicate a line
+            if (buf.empty()) break;
+            const auto at = rng.uniform_index(buf.size());
+            const auto line_begin = buf.rfind('\n', at);
+            const auto begin = line_begin == std::string::npos ? 0 : line_begin + 1;
+            auto end = buf.find('\n', at);
+            if (end == std::string::npos) end = buf.size();
+            buf.insert(begin, buf.substr(begin, end - begin) + "\n");
+            break;
+        }
+        case 3:  // truncate mid-token
+            if (!buf.empty()) buf.resize(rng.uniform_index(buf.size()));
+            break;
+        case 4: {  // overwrite a character with a digit (corrupts numbers
+                   // in place, turns keywords into near-misses)
+            if (buf.empty()) break;
+            const auto at = rng.uniform_index(buf.size());
+            buf[at] = static_cast<char>('0' + rng.uniform_index(10));
+            break;
+        }
+        case 5:  // splice in raw garbage
+            buf.insert(rng.uniform_index(buf.size() + 1), garbage_bytes(16, rng));
+            break;
+        case 6: {  // whitespace abuse: double a separator or swap it for \t
+            if (buf.empty()) break;
+            const auto at = rng.uniform_index(buf.size());
+            if (buf[at] == ' ') {
+                buf[at] = rng.bernoulli(0.5) ? '\t' : '\n';
+            } else {
+                buf.insert(at, 1, rng.bernoulli(0.5) ? ' ' : '\t');
+            }
+            break;
+        }
+    }
+    return buf;
+}
+
+}  // namespace ytcdn::fuzz

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/random.hpp"
+
+namespace ytcdn::fuzz {
+
+/// Structure-aware mutators for the parser fuzz harness.
+///
+/// Every mutation draws exclusively from the sim::Rng passed in, so a fuzz
+/// run is a pure function of its seed: a failing iteration can be replayed
+/// bit-for-bit from the (seed, iteration) pair printed in the failure
+/// report. No std::random_device, no wall clock (the lint rules ban both).
+
+/// One mutation of a binary artifact. Strategies cover the damage that real
+/// capture pipelines see — bit flips, truncation at any byte, appended or
+/// spliced-in garbage, zeroed windows, duplicated/removed regions — plus
+/// adversarial edits that random damage almost never produces: overwriting
+/// aligned 32/64-bit lanes with boundary values (0, 1, all-ones, INT_MAX)
+/// to attack length/count fields.
+[[nodiscard]] std::string mutate_bytes(const std::string& input, sim::Rng& rng);
+
+/// One mutation of a line-oriented text input (fault schedules, CLI args).
+/// Strategies: drop/insert/repeat characters, splice in hostile tokens
+/// (overlong numbers, bare '@', '-', 1e99, non-ASCII bytes), duplicate or
+/// drop whole lines, truncate mid-token, and perturb digits.
+[[nodiscard]] std::string mutate_text(const std::string& input, sim::Rng& rng);
+
+/// Up to `max_len` bytes of unstructured garbage (uniform bytes, with a
+/// bias toward 0x00/0xFF runs, which are the common on-disk failure modes).
+[[nodiscard]] std::string garbage_bytes(std::size_t max_len, sim::Rng& rng);
+
+/// Applies 1–4 rounds of mutate_bytes, compounding damage.
+[[nodiscard]] std::string mutate_bytes_n(const std::string& input, sim::Rng& rng);
+
+}  // namespace ytcdn::fuzz

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Regenerates the checked-in corrupt-fixture corpus under tests/fuzz/corpus/.
+
+Each fixture is a hand-crafted attack on one validation step of an on-disk
+format (see src/capture/binary_log.cpp and src/study/snapshot.cpp for the
+layouts). fuzz_smoke sweeps every fixture through every parser, and the
+libFuzzer target uses the directory as its seed corpus. Deterministic: no
+timestamps, no randomness — reruns are byte-identical, so `git status`
+stays clean unless a format actually changed.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CORPUS = os.path.join(HERE, "corpus")
+
+
+def crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def v2_header(count: int, version: int = 2) -> bytes:
+    head = b"YFL2" + struct.pack("<IQ", version, count)
+    return head + struct.pack("<I", crc(head))
+
+
+def fixtures() -> dict[str, bytes]:
+    out: dict[str, bytes] = {}
+
+    # --- binary log (YFL1/YFL2) ------------------------------------------
+    out["empty.yfl"] = b""
+    out["bad_magic.yfl"] = b"XXXX" + bytes(range(60))
+    out["truncated_header.yfl"] = b"YFL2\x02\x00"
+    # Unknown future version with an internally consistent header CRC: must
+    # be rejected as UnsupportedVersion, not misreported as CRC damage.
+    out["v2_future_version.yfl"] = v2_header(0, version=99)
+    # The classic length attack: a count field of all-ones with a VALID
+    # header CRC, so only overflow-safe size arithmetic rejects it.
+    out["v2_count_overflow.yfl"] = v2_header(0xFFFFFFFFFFFFFFFF) + b"\x00" * 64
+    out["v1_count_overflow.yfl"] = (
+        b"YFL1" + struct.pack("<IQ", 1, 1 << 61) + b"\x00" * 41)
+    # One well-framed v2 record whose block CRC is wrong.
+    record = struct.pack("<IIddQQB", 1, 2, 0.0, 1.0, 100, 7, 22)
+    block = struct.pack("<II", 1, crc(record) ^ 0xDEADBEEF) + record
+    trailer_body = b"YFLE" + struct.pack("<Q", 1)
+    trailer = trailer_body + struct.pack("<I", 0)
+    out["v2_bad_block_crc.yfl"] = v2_header(1) + block + trailer
+    # Valid v1 framing holding an invalid record (itag 0 does not exist):
+    # field validation, not framing, must reject it.
+    bad_record = struct.pack("<IIddQQB", 1, 2, 0.0, 1.0, 100, 7, 0)
+    out["v1_bad_itag.yfl"] = b"YFL1" + struct.pack("<IQ", 1, 1) + bad_record
+
+    # --- snapshot (YSS2) --------------------------------------------------
+    out["snapshot_bad_magic.yss"] = b"XSS2" + bytes(32)
+    out["snapshot_truncated.yss"] = b"YSS2" + struct.pack("<I", 2) + b"\x01"
+    body = b"YSS2" + struct.pack("<I", 2) + bytes(48)
+    out["snapshot_bad_crc.yss"] = body + struct.pack("<I", crc(body) ^ 1)
+    # Valid whole-file CRC over a garbage body: the CRC gate passes, the
+    # structural parser must still fail cleanly.
+    out["snapshot_valid_crc_garbage.yss"] = body + struct.pack("<I", crc(body))
+
+    # --- fault-schedule DSL ----------------------------------------------
+    out["schedule_bad_tokens.txt"] = (
+        b"@0 dc-down frankfurt\n"        # valid line: errors must name line 2+
+        b"0 dc-down frankfurt\n"
+        b"@ dc-down frankfurt\n"
+        b"@12x dc-down frankfurt\n"
+        b"@5 warp frankfurt\n"
+        b"@5 dc-down\n")
+    out["schedule_huge_numbers.txt"] = (
+        b"@" + b"9" * 400 + b" dc-down x\n"
+        b"@1e309 dc-up x\n"
+        b"@-5 dc-up x\n")
+    out["schedule_binary_noise.txt"] = b"@0 dc\xff\xfe-down fra\x00nkfurt\n"
+
+    # --- unstructured -----------------------------------------------------
+    out["zeros_4k.bin"] = bytes(4096)
+    out["ones_256.bin"] = b"\xff" * 256
+
+    return out
+
+
+def main() -> None:
+    os.makedirs(CORPUS, exist_ok=True)
+    for name, data in sorted(fixtures().items()):
+        with open(os.path.join(CORPUS, name), "wb") as f:
+            f.write(data)
+        print(f"wrote corpus/{name} ({len(data)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -66,7 +66,20 @@ TEST(BinaryLog, SizeIsPredictedAndSmallerThanTsv) {
     EXPECT_LT(binary.str().size(), tsv.str().size() / 2);
 }
 
-TEST(BinaryLog, RejectsCorruption) {
+/// The typed error produced by parsing `bytes` as a binary log.
+ytcdn::Error parse_error(const std::string& bytes) {
+    std::istringstream in(bytes);
+    auto result = capture::read_binary_log_result(in);
+    EXPECT_FALSE(result.ok());
+    return result.error();
+}
+
+// v2 layout constants the corruption tests poke at: 20-byte header
+// (magic|version|count|crc), 8-byte block header, 41-byte records.
+constexpr std::size_t kV2Header = 20;
+constexpr std::size_t kV2FirstRecord = kV2Header + 8;
+
+TEST(BinaryLog, RejectsCorruptionWithTypedErrors) {
     const auto records = random_records(10, 3);
     std::stringstream ss;
     capture::write_binary_log(ss, records);
@@ -75,40 +88,135 @@ TEST(BinaryLog, RejectsCorruption) {
     {  // bad magic
         std::string bad = good;
         bad[0] = 'X';
-        std::stringstream in(bad);
-        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+        EXPECT_EQ(parse_error(bad).code(), ytcdn::ErrorCode::BadMagic);
     }
-    {  // bad version
+    {  // unknown version is named as such, not reported as CRC damage
         std::string bad = good;
         bad[4] = 9;
-        std::stringstream in(bad);
-        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+        EXPECT_EQ(parse_error(bad).code(), ytcdn::ErrorCode::UnsupportedVersion);
+    }
+    {  // tampered record count: also caught by the header CRC at byte 16
+        std::string bad = good;
+        bad[8] = static_cast<char>(0xFF);
+        const auto e = parse_error(bad);
+        EXPECT_EQ(e.code(), ytcdn::ErrorCode::ChecksumMismatch);
+        ASSERT_TRUE(e.where().byte_offset.has_value());
+        EXPECT_EQ(*e.where().byte_offset, 16u);
     }
     {  // truncated body
-        std::stringstream in(good.substr(0, good.size() - 7));
-        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+        EXPECT_EQ(parse_error(good.substr(0, good.size() - 7)).code(),
+                  ytcdn::ErrorCode::CountMismatch);
     }
     {  // trailing garbage
-        std::stringstream in(good + "junk");
-        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
-    }
-    {  // bad itag in a record (last byte of the first record)
-        std::string bad = good;
-        bad[16 + 41 - 1] = static_cast<char>(250);
-        std::stringstream in(bad);
-        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+        EXPECT_EQ(parse_error(good + "junk").code(),
+                  ytcdn::ErrorCode::CountMismatch);
     }
     {  // truncated header
-        std::stringstream in(good.substr(0, 6));
-        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+        EXPECT_EQ(parse_error(good.substr(0, 6)).code(),
+                  ytcdn::ErrorCode::Truncated);
+    }
+    {  // flipped bit inside record 5: the block CRC rejects it, naming the
+       // block, its record range and the payload's byte offset
+        std::string bad = good;
+        bad[kV2FirstRecord + 5 * 41 + 3] ^= 0x10;
+        const auto e = parse_error(bad);
+        EXPECT_EQ(e.code(), ytcdn::ErrorCode::ChecksumMismatch);
+        EXPECT_NE(std::string(e.what()).find("block 0 (records 0..9) CRC mismatch"),
+                  std::string::npos)
+            << e.what();
+        ASSERT_TRUE(e.where().record_index.has_value());
+        EXPECT_EQ(*e.where().record_index, 0u);
+        ASSERT_TRUE(e.where().byte_offset.has_value());
+        EXPECT_EQ(*e.where().byte_offset, kV2FirstRecord);
+    }
+    {  // flipped byte in the trailer
+        std::string bad = good;
+        bad[bad.size() - 6] ^= 0x01;  // inside the trailer's count field
+        EXPECT_EQ(parse_error(bad).code(), ytcdn::ErrorCode::ChecksumMismatch);
+    }
+    {  // zero-length input
+        EXPECT_EQ(parse_error("").code(), ytcdn::ErrorCode::Truncated);
+    }
+    {  // garbage header of plausible size
+        EXPECT_EQ(parse_error(std::string(64, 'z')).code(),
+                  ytcdn::ErrorCode::BadMagic);
+    }
+    // The legacy throwing reader surfaces the same typed Error.
+    std::string bad = good;
+    bad[0] = 'X';
+    std::istringstream in(bad);
+    EXPECT_THROW((void)capture::read_binary_log(in), ytcdn::Error);
+}
+
+TEST(BinaryLog, ReadersStillAcceptV1) {
+    const auto records = random_records(100, 7);
+    std::stringstream ss;
+    capture::write_binary_log_v1(ss, records);
+    EXPECT_EQ(ss.str().size(), capture::binary_log_size_v1(records.size()));
+    const auto back = capture::read_binary_log(ss);
+    ASSERT_EQ(back.size(), records.size());
+    for (std::size_t i = 0; i < back.size(); ++i) {
+        EXPECT_EQ(back[i].bytes, records[i].bytes);
+        EXPECT_EQ(back[i].video, records[i].video);
+    }
+}
+
+TEST(BinaryLog, V1FieldValidationNamesTheRecord) {
+    const auto records = random_records(10, 3);
+    std::stringstream ss;
+    capture::write_binary_log_v1(ss, records);
+    const std::string good = ss.str();
+
+    {  // v1 has no CRC, so a bad itag reaches field validation directly
+       // (last byte of record 4)
+        std::string bad = good;
+        bad[16 + 5 * 41 - 1] = static_cast<char>(250);
+        const auto e = parse_error(bad);
+        EXPECT_EQ(e.code(), ytcdn::ErrorCode::BadField);
+        ASSERT_TRUE(e.where().record_index.has_value());
+        EXPECT_EQ(*e.where().record_index, 4u);
+        ASSERT_TRUE(e.where().byte_offset.has_value());
+        EXPECT_EQ(*e.where().byte_offset, 16u + 4u * 41u);
     }
     {  // NaN timestamp smuggled into the first record's start field
         std::string bad = good;
         const double nan_value = std::numeric_limits<double>::quiet_NaN();
         std::memcpy(bad.data() + 16 + 8, &nan_value, sizeof(nan_value));
-        std::stringstream in(bad);
-        EXPECT_THROW((void)capture::read_binary_log(in), std::runtime_error);
+        const auto e = parse_error(bad);
+        EXPECT_EQ(e.code(), ytcdn::ErrorCode::BadField);
+        EXPECT_NE(std::string(e.what()).find("non-finite timestamp"),
+                  std::string::npos);
     }
+    {  // v1 count/size mismatch
+        EXPECT_EQ(parse_error(good.substr(0, good.size() - 1)).code(),
+                  ytcdn::ErrorCode::CountMismatch);
+    }
+}
+
+TEST(BinaryLog, BlockFramingCoversMultipleBlocks) {
+    // 4100 records span two blocks (4096 + 4); both round-trip and a flip
+    // in the second block names it.
+    const auto records = random_records(4100, 11);
+    std::stringstream ss;
+    capture::write_binary_log(ss, records);
+    const std::string good = ss.str();
+    EXPECT_EQ(good.size(), capture::binary_log_size(records.size()));
+    {
+        std::istringstream in(good);
+        const auto back = capture::read_binary_log(in);
+        EXPECT_EQ(back.size(), records.size());
+    }
+    std::string bad = good;
+    const std::size_t second_block_payload =
+        kV2FirstRecord + 4096 * 41 + 8;  // after block 0 payload + block 1 header
+    bad[second_block_payload + 17] ^= 0x40;
+    const auto e = parse_error(bad);
+    EXPECT_EQ(e.code(), ytcdn::ErrorCode::ChecksumMismatch);
+    EXPECT_NE(std::string(e.what()).find("block 1 (records 4096..4099)"),
+              std::string::npos)
+        << e.what();
+    ASSERT_TRUE(e.where().record_index.has_value());
+    EXPECT_EQ(*e.where().record_index, 4096u);
 }
 
 TEST(BinaryLog, FileRoundTrip) {
@@ -119,6 +227,12 @@ TEST(BinaryLog, FileRoundTrip) {
     const auto back = capture::read_binary_log(path);
     EXPECT_EQ(back.size(), records.size());
     std::filesystem::remove(path);
+    // Missing file: an Io-category error naming the path, not corruption.
+    auto missing = capture::read_binary_log_result(path);
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().code(), ytcdn::ErrorCode::Io);
+    EXPECT_NE(std::string(missing.error().what()).find(path.string()),
+              std::string::npos);
     EXPECT_THROW((void)capture::read_binary_log(path), std::runtime_error);
 }
 

@@ -31,11 +31,42 @@ TEST(ParseDuration, PlainSecondsAndUnits) {
     EXPECT_DOUBLE_EQ(sim::parse_duration("0.5h"), 1800.0);
 }
 
-TEST(ParseDuration, RejectsMalformedInput) {
-    EXPECT_THROW((void)sim::parse_duration(""), std::invalid_argument);
-    EXPECT_THROW((void)sim::parse_duration("5x"), std::invalid_argument);
-    EXPECT_THROW((void)sim::parse_duration("m"), std::invalid_argument);
-    EXPECT_THROW((void)sim::parse_duration("12h3q"), std::invalid_argument);
+/// The rendered message of the Error a callable throws ("" if none thrown).
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+    try {
+        fn();
+    } catch (const ytcdn::Error& e) {
+        EXPECT_EQ(e.category(), ytcdn::ErrorCategory::Parse);
+        return e.what();
+    }
+    return "";
+}
+
+TEST(ParseDuration, RejectsMalformedInputWithExactMessages) {
+    EXPECT_EQ(thrown_message([] { (void)sim::parse_duration(""); }),
+              "empty duration");
+    EXPECT_EQ(thrown_message([] { (void)sim::parse_duration("5x"); }),
+              "unknown duration unit in '5x'");
+    EXPECT_EQ(thrown_message([] { (void)sim::parse_duration("m"); }),
+              "malformed duration 'm'");
+    EXPECT_EQ(thrown_message([] { (void)sim::parse_duration("12h3q"); }),
+              "unknown duration unit in '12h3q'");
+    // Strict full-token parsing: the old stod-based parser silently read
+    // "1.2.3" as 1.2.
+    EXPECT_EQ(thrown_message([] { (void)sim::parse_duration("1.2.3"); }),
+              "malformed duration '1.2.3'");
+    // A huge digit string overflows double instead of throwing out_of_range
+    // from deep inside the parser.
+    const std::string huge(400, '9');
+    EXPECT_EQ(thrown_message([&] { (void)sim::parse_duration(huge); }),
+              "duration out of range '" + huge + "'");
+}
+
+TEST(ParseDuration, ResultVariantReportsParseCode) {
+    const auto r = sim::parse_duration_result("nope");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ytcdn::ErrorCode::Parse);
 }
 
 TEST(FaultSchedule, ParsesTextWithCommentsAndBlankLines) {
@@ -62,18 +93,42 @@ TEST(FaultSchedule, TextRoundTrips) {
     EXPECT_EQ(round.events, s.events);
 }
 
-TEST(FaultSchedule, ParseErrorsNameTheLine) {
-    try {
-        (void)sim::FaultSchedule::parse("@10 dc-down Dallas\n@20 explode Dallas\n");
-        FAIL() << "expected std::invalid_argument";
-    } catch (const std::invalid_argument& e) {
-        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
-            << e.what();
-    }
+TEST(FaultSchedule, ParseErrorsNameTheLineAndToken) {
+    // Every diagnostic carries the 1-based line number (both in the message
+    // and as structured provenance) and quotes the offending token.
+    const auto bad_action =
+        sim::FaultSchedule::parse_result("@10 dc-down Dallas\n@20 explode Dallas\n");
+    ASSERT_FALSE(bad_action.ok());
+    EXPECT_EQ(std::string(bad_action.error().what()),
+              "fault schedule: unknown fault action 'explode' [line 2]");
+    EXPECT_EQ(bad_action.error().code(), ytcdn::ErrorCode::Parse);
+    ASSERT_TRUE(bad_action.error().where().line_number.has_value());
+    EXPECT_EQ(*bad_action.error().where().line_number, 2u);
+
+    const auto no_at = sim::FaultSchedule::parse_result("dc-down Dallas\n");
+    ASSERT_FALSE(no_at.ok());
+    EXPECT_EQ(std::string(no_at.error().what()),
+              "fault schedule: expected '@<time>', got 'dc-down' [line 1]");
+
+    const auto no_target = sim::FaultSchedule::parse_result("@10 dc-down\n");
+    ASSERT_FALSE(no_target.ok());
+    EXPECT_EQ(std::string(no_target.error().what()),
+              "fault schedule: missing target after action 'dc-down' [line 1]");
+
+    const auto no_action = sim::FaultSchedule::parse_result("@10\n");
+    ASSERT_FALSE(no_action.ok());
+    EXPECT_EQ(std::string(no_action.error().what()),
+              "fault schedule: missing action after '@10' [line 1]");
+
+    const auto bad_time =
+        sim::FaultSchedule::parse_result("# comment\n\n@1.2.3 dc-down Dallas\n");
+    ASSERT_FALSE(bad_time.ok());
+    EXPECT_EQ(std::string(bad_time.error().what()),
+              "fault schedule: malformed duration '1.2.3' [line 3]");
+
+    // The throwing wrapper surfaces the same Error (a runtime_error).
     EXPECT_THROW((void)sim::FaultSchedule::parse("dc-down Dallas\n"),
-                 std::invalid_argument);
-    EXPECT_THROW((void)sim::FaultSchedule::parse("@10 dc-down\n"),
-                 std::invalid_argument);
+                 ytcdn::Error);
 }
 
 TEST(FaultSchedule, ActionNamesRoundTrip) {
@@ -85,7 +140,13 @@ TEST(FaultSchedule, ActionNamesRoundTrip) {
           sim::FaultAction::ResolverFresh}) {
         EXPECT_EQ(sim::fault_action_from(sim::to_string(a)), a);
     }
-    EXPECT_THROW((void)sim::fault_action_from("nope"), std::invalid_argument);
+    try {
+        (void)sim::fault_action_from("nope");
+        FAIL() << "expected ytcdn::Error";
+    } catch (const ytcdn::Error& e) {
+        EXPECT_EQ(e.code(), ytcdn::ErrorCode::Parse);
+        EXPECT_STREQ(e.what(), "unknown fault action 'nope'");
+    }
 }
 
 TEST(FaultSchedule, DcOutageConvenience) {

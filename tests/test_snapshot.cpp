@@ -1,11 +1,13 @@
-// The bench snapshot cache: a week of traces written to the YSS1 format and
+// The bench snapshot cache: a week of traces written to the YSS2 format and
 // loaded back must be indistinguishable from the simulation that produced
 // it, and a snapshot written for one configuration must never be served for
-// another (seed, scale or schema drift ⇒ re-simulate, silently).
+// another (seed, scale or schema drift ⇒ re-simulate, silently). Damaged
+// cache files are quarantined — never fatal, never silently trusted.
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -197,6 +199,132 @@ TEST(Snapshot, PathOverloadRoundTripsAndMissesGracefully) {
     const auto loaded = study::load_trace_snapshot(path, cfg);
     ASSERT_TRUE(loaded.has_value());
     expect_traces_equal(run.traces, *loaded);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Snapshot, TypedErrorsNameTheFailure) {
+    const auto cfg = tiny_config();
+    const auto run = study::run_study(cfg);
+    std::ostringstream os;
+    ASSERT_TRUE(study::write_trace_snapshot(os, cfg, run.traces));
+    const std::string bytes = os.str();
+
+    const auto error_for = [&](std::string corrupt, const study::StudyConfig& c) {
+        std::istringstream is(std::move(corrupt));
+        auto r = study::load_trace_snapshot_result(is, c);
+        EXPECT_FALSE(r.ok());
+        return r.error();
+    };
+
+    {
+        std::string corrupt = bytes;
+        corrupt[0] = 'X';
+        EXPECT_EQ(error_for(corrupt, cfg).code(), ytcdn::ErrorCode::BadMagic);
+    }
+    {
+        std::string corrupt = bytes;
+        corrupt[4] ^= 0x01;
+        EXPECT_EQ(error_for(corrupt, cfg).code(),
+                  ytcdn::ErrorCode::UnsupportedVersion);
+    }
+    {  // a flipped bit anywhere in the body trips the whole-file CRC
+        std::string corrupt = bytes;
+        corrupt[corrupt.size() / 2] ^= 0x20;
+        const auto e = error_for(corrupt, cfg);
+        EXPECT_EQ(e.code(), ytcdn::ErrorCode::ChecksumMismatch);
+        ASSERT_TRUE(e.where().byte_offset.has_value());
+        EXPECT_EQ(*e.where().byte_offset, bytes.size() - 4);  // CRC trailer
+    }
+    {  // wrong config on an intact file: a key mismatch, not corruption
+        auto other = cfg;
+        other.seed ^= 1;
+        EXPECT_EQ(error_for(bytes, other).code(), ytcdn::ErrorCode::KeyMismatch);
+    }
+    {
+        EXPECT_EQ(error_for("", cfg).code(), ytcdn::ErrorCode::Truncated);
+    }
+}
+
+TEST(Snapshot, QuarantineMovesDamagedFileAsideAndReportsOnce) {
+    const auto cfg = tiny_config();
+    const auto run = study::run_study(cfg);
+    const auto dir =
+        std::filesystem::temp_directory_path() / "ytcdn_snapshot_quarantine";
+    const auto path = dir / study::snapshot_name(cfg);
+    std::filesystem::remove_all(dir);
+    ASSERT_TRUE(study::write_trace_snapshot(path, cfg, run.traces));
+
+    // Flip one byte in the middle of the cache file on disk.
+    {
+        std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+        ASSERT_TRUE(f);
+        f.seekg(0, std::ios::end);
+        const auto size = static_cast<std::streamoff>(f.tellg());
+        f.seekp(size / 2);
+        char b = 0;
+        f.seekg(size / 2);
+        f.read(&b, 1);
+        b = static_cast<char>(b ^ 0x10);
+        f.seekp(size / 2);
+        f.write(&b, 1);
+    }
+
+    std::string warning;
+    EXPECT_FALSE(study::load_or_quarantine_snapshot(path, cfg, &warning).has_value());
+    EXPECT_NE(warning.find("quarantined"), std::string::npos) << warning;
+    EXPECT_NE(warning.find("CRC mismatch"), std::string::npos) << warning;
+    EXPECT_FALSE(std::filesystem::exists(path));
+    const auto quarantined = std::filesystem::path(path.string() + ".corrupt");
+    EXPECT_TRUE(std::filesystem::exists(quarantined));
+
+    // Second attempt sees a plain cold miss: no warning, nothing renamed.
+    warning.clear();
+    EXPECT_FALSE(study::load_or_quarantine_snapshot(path, cfg, &warning).has_value());
+    EXPECT_TRUE(warning.empty()) << warning;
+
+    // Regeneration then works as for any cold cache.
+    ASSERT_TRUE(study::write_trace_snapshot(path, cfg, run.traces));
+    warning.clear();
+    const auto reloaded = study::load_or_quarantine_snapshot(path, cfg, &warning);
+    ASSERT_TRUE(reloaded.has_value());
+    EXPECT_TRUE(warning.empty()) << warning;
+    expect_traces_equal(run.traces, *reloaded);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Snapshot, CorruptCacheRegeneratesByteIdenticalReport) {
+    // The acceptance contract of the quarantine path: corrupting the cached
+    // snapshot must not abort the study, and the regenerated run's report
+    // must be byte-identical to a cold (never-cached) run.
+    const auto cfg = tiny_config();
+    ytcdn::util::ThreadPool pool(2);
+    study::ReportOptions opts;
+    opts.include_table3 = false;  // CBG exercised elsewhere; keep the test fast
+
+    const auto cold = study::run_study(cfg, pool);
+    const std::string cold_report = study::make_full_report(cold, pool, opts).render();
+
+    const auto dir =
+        std::filesystem::temp_directory_path() / "ytcdn_snapshot_regen";
+    const auto path = dir / study::snapshot_name(cfg);
+    std::filesystem::remove_all(dir);
+    ASSERT_TRUE(study::write_trace_snapshot(path, cfg, cold.traces));
+    {  // zero out a chunk of the cache file
+        std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+        ASSERT_TRUE(f);
+        f.seekp(64);
+        const std::string zeros(32, '\0');
+        f.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+    }
+
+    // The bench flow: try the cache, fall back to simulating on quarantine.
+    std::string warning;
+    auto traces = study::load_or_quarantine_snapshot(path, cfg, &warning);
+    EXPECT_FALSE(traces.has_value());
+    EXPECT_FALSE(warning.empty());
+    const auto regenerated = study::run_study(cfg, pool);
+    EXPECT_EQ(study::make_full_report(regenerated, pool, opts).render(),
+              cold_report);
     std::filesystem::remove_all(dir);
 }
 

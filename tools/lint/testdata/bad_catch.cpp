@@ -1,0 +1,46 @@
+// Seeded catch-all violations for the lint self-test. Each tagged line must
+// be flagged; the annotated and concrete handlers must stay clean.
+#include <stdexcept>
+
+void risky();
+
+void swallow_everything() {
+    try {
+        risky();
+    } catch (...) {  // catch-all: erases the type
+    }
+}
+
+void swallow_silently() {
+    try {
+        risky();
+    } catch (const std::runtime_error& e) {
+        // empty catch: the error vanishes without a trace
+    }
+}
+
+void multiline_empty() {
+    try {
+        risky();
+    } catch (const std::exception& e)
+    {
+    }
+}
+
+void vetted_trampoline() {
+    try {
+        risky();
+    } catch (...) {  // ytcdn-lint: allow(catch-all)
+        // exception trampoline: rethrown on the caller's thread
+        throw;
+    }
+}
+
+int handled_properly() {
+    try {
+        risky();
+    } catch (const std::exception& e) {
+        return 1;  // concrete type, non-empty body: clean
+    }
+    return 0;
+}

@@ -26,6 +26,12 @@ invariants that keep it that way (plus a few general hygiene rules):
                    ordering guarantees; util::ThreadPool's parallel_map
                    keeps results in input order so output stays
                    bit-identical at any thread count.
+  catch-all        No bare `catch (...)` and no empty catch bodies. The
+                   typed-error layer (ytcdn::Error / util::Result) exists so
+                   failures carry their code and provenance; a catch-all or
+                   a swallowed exception erases both. Vetted sites (e.g. the
+                   thread pool's exception trampoline) annotate with
+                   allow(catch-all).
 
 Diagnostics print as `file:line: [rule] message` and the tool exits nonzero
 if any unsuppressed violation is found.
@@ -69,6 +75,7 @@ ALL_RULES = (
     "using-namespace",
     "include-guard",
     "raw-thread",
+    "catch-all",
 )
 
 
@@ -219,6 +226,8 @@ EQ_DELETE_RE = re.compile(r"=\s*delete\b")
 
 USING_NS_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
 
+CATCH_RE = re.compile(r"\bcatch\s*\(\s*([^)]*)\s*\)")
+
 UNORDERED_DECL_RE = re.compile(
     r"(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
 # A declaration introducing a named unordered container (variable or member):
@@ -364,6 +373,29 @@ class Linter:
             if is_header and USING_NS_RE.search(line):
                 emit(idx, "using-namespace",
                      "using-directive in a header leaks into every includer")
+
+        # catch-all: bare `catch (...)` erases the error's type and code;
+        # an empty catch body swallows the error entirely. Both defeat the
+        # typed-error layer unless a vetted site annotates allow(catch-all).
+        for idx, line in enumerate(lines):
+            m = CATCH_RE.search(line)
+            if not m:
+                continue
+            if "..." in m.group(1):
+                emit(idx, "catch-all",
+                     "bare catch (...) erases the error type — catch a "
+                     "concrete exception (ytcdn::Error, std::exception)")
+                continue
+            # Brace-match the handler from the `catch` keyword onward so a
+            # leading `}` (of the try block) does not end the scan early.
+            handler_lines = [line[m.start():]] + lines[idx + 1:idx + 60]
+            body, _ = body_of_statement(handler_lines, 0)
+            first = body.find("{")
+            last = body.rfind("}")
+            if first != -1 and last > first and not body[first + 1:last].strip():
+                emit(idx, "catch-all",
+                     "empty catch body silently swallows the error — handle "
+                     "it or let it propagate")
 
         # unordered-iter: range-for over a known unordered container whose
         # body formats output or accumulates.

@@ -28,6 +28,7 @@
 #include "study/report.hpp"
 #include "study/study_run.hpp"
 #include "util/args.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -52,14 +53,22 @@ study::StudyConfig config_from(const util::ArgParser& args) {
     study::StudyConfig cfg;
     cfg.scale = args.get_double_or("scale", 0.05);
     cfg.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 0xCDA12011L));
-    if (cfg.scale <= 0.0) throw std::invalid_argument("--scale must be > 0");
+    if (cfg.scale <= 0.0) {
+        throw ytcdn::Error(ytcdn::ErrorCode::InvalidArgument,
+                           "--scale must be > 0");
+    }
     const std::string faults = args.get_or("faults", "");
     if (!faults.empty()) {
         std::ifstream is(faults);
-        if (!is) throw std::runtime_error("cannot open fault schedule " + faults);
+        if (!is) {
+            throw ytcdn::Error(ytcdn::ErrorCode::Io,
+                               "cannot open fault schedule " + faults);
+        }
         std::ostringstream text;
         text << is.rdbuf();
-        cfg.fault_schedule = sim::FaultSchedule::parse(text.str());
+        cfg.fault_schedule = sim::FaultSchedule::parse_result(text.str())
+                                 .context("fault schedule " + faults)
+                                 .value_or_throw();
     }
     return cfg;
 }
@@ -260,6 +269,11 @@ int main(int argc, char** argv) {
         if (cmd == "planetlab") return cmd_planetlab(args);
         std::cerr << "unknown command '" << cmd << "'\n";
         return usage();
+    } catch (const ytcdn::Error& e) {
+        // Typed I/O-boundary errors carry their exit-code category:
+        // 2 usage, 3 I/O, 4 corrupt input, 5 parse failure.
+        std::cerr << "error: " << e.what() << '\n';
+        return ytcdn::exit_code_for(e.code());
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;
