@@ -1,10 +1,14 @@
 #include "bench_common.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <sstream>
 
 #include "geo/city.hpp"
 #include "study/snapshot.hpp"
+#include "util/atomic_file.hpp"
+#include "util/metrics.hpp"
 
 namespace ytcdn::bench {
 
@@ -62,8 +66,17 @@ study::StudyRun build_shared_run() {
 
 }  // namespace
 
+namespace {
+
+/// Whether any bench stage touched shared_run(); the counter dump derives
+/// per-run numbers only for binaries that actually built it.
+bool g_shared_run_built = false;
+
+}  // namespace
+
 const study::StudyRun& shared_run() {
     static const study::StudyRun run = build_shared_run();
+    g_shared_run_built = true;
     return run;
 }
 
@@ -72,6 +85,73 @@ const std::vector<geoloc::Landmark>& shared_landmarks() {
         geoloc::make_planetlab_landmarks(geo::CityDatabase::builtin(),
                                          sim::Rng(bench_config().seed ^ 0x9Bull));
     return landmarks;
+}
+
+void dump_metrics_snapshot() {
+    const char* out = std::getenv("YTCDN_METRICS_OUT");
+    if (out == nullptr || *out == '\0') return;
+
+    std::ostringstream os;
+    os << "{\n";
+    bool first = true;
+    const auto emit = [&](const std::string& name, const std::string& value) {
+        if (!first) os << ",\n";
+        first = false;
+        os << "  \"" << name << "\": " << value;
+    };
+    const auto emit_u64 = [&](const std::string& name, std::uint64_t v) {
+        emit(name, std::to_string(v));
+    };
+    const auto emit_ratio = [&](const std::string& name, double num, double den) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6f", den > 0.0 ? num / den : 0.0);
+        emit(name, buf);
+    };
+
+    // Counters derived from the shared run's traces: identical whether the
+    // week was simulated or loaded from a snapshot, so warm-cache bench runs
+    // report the same numbers as cold ones.
+    if (g_shared_run_built) {
+        const auto& traces = shared_run().traces;
+        std::uint64_t sessions = 0, video_flows = 0, control_flows = 0;
+        std::uint64_t cache_hits = 0, redirects = 0, failovers = 0, failures = 0;
+        std::uint64_t flows_observed = 0;
+        for (const auto& s : traces.player_stats) {
+            sessions += s.sessions;
+            video_flows += s.video_flows;
+            control_flows += s.control_flows;
+            cache_hits += s.dns_cache_hits;
+            redirects += s.redirects_miss + s.redirects_overload;
+            failovers += s.failovers;
+            failures += s.failures.total();
+        }
+        for (const std::uint64_t f : traces.flows_observed) flows_observed += f;
+        emit_u64("run.sessions", sessions);
+        emit_u64("run.video_flows", video_flows);
+        emit_u64("run.control_flows", control_flows);
+        emit_u64("run.flows_observed", flows_observed);
+        emit_u64("run.events_processed", traces.events_processed);
+        emit_u64("run.failovers", failovers);
+        emit_u64("run.failures", failures);
+        emit_ratio("run.dns_cache_hit_rate", static_cast<double>(cache_hits),
+                   static_cast<double>(sessions));
+        emit_ratio("run.redirects_per_session", static_cast<double>(redirects),
+                   static_cast<double>(sessions));
+    }
+
+    // Live process-wide registry (pool batch counts, CBG probe counters on
+    // simulating binaries, ...). Histograms contribute their sample count.
+    for (const auto& entry : util::metrics::Registry::global().snapshot().entries) {
+        emit_u64(entry.name,
+                 entry.kind == util::metrics::SnapshotEntry::Kind::Histogram
+                     ? entry.count
+                     : entry.value);
+    }
+    os << "\n}\n";
+
+    if (!util::atomic_write_file(out, os.str())) {
+        std::cerr << "# bench: cannot write metrics to " << out << "\n";
+    }
 }
 
 void print_banner(const char* artifact, const char* claim) {

@@ -37,9 +37,19 @@ namespace ytcdn::bench {
 /// Prints the standard experiment banner.
 void print_banner(const char* artifact, const char* claim);
 
+/// Writes the bench's internal counters as one flat JSON object to the file
+/// named by YTCDN_METRICS_OUT (no-op when unset). Combines the process-wide
+/// util::metrics registry with counters derived from the shared run's
+/// player statistics (DNS cache hit rate, redirects per session, ...), so
+/// the numbers are identical whether the run was simulated or loaded from a
+/// trace snapshot. run_benches.sh merges the file into BENCH_results.json
+/// as each bench's "internal_counters".
+void dump_metrics_snapshot();
+
 }  // namespace ytcdn::bench
 
-/// Defines main(): prints the reproduction, then runs benchmarks.
+/// Defines main(): prints the reproduction, runs benchmarks, then dumps the
+/// internal-counter snapshot for the suite aggregator.
 #define YTCDN_BENCH_MAIN(PRINT_FN)                                  \
     int main(int argc, char** argv) {                               \
         PRINT_FN();                                                 \
@@ -49,5 +59,6 @@ void print_banner(const char* artifact, const char* claim);
         }                                                           \
         ::benchmark::RunSpecifiedBenchmarks();                      \
         ::benchmark::Shutdown();                                    \
+        ::ytcdn::bench::dump_metrics_snapshot();                    \
         return 0;                                                   \
     }

@@ -39,14 +39,16 @@ if [ "${#BINARIES[@]}" -eq 0 ]; then
 fi
 
 # Wall-clock milliseconds of one binary run; benchmark JSON goes to $2,
-# $3 is the YTCDN_BENCH_SNAPSHOT value for the run.
+# $3 is the YTCDN_BENCH_SNAPSHOT value for the run, $4 (optional) a path
+# for the binary's internal-counter dump (see bench_common.hpp).
 run_one() {
-    local bin="$1" json="$2" snapshot="$3"
+    local bin="$1" json="$2" snapshot="$3" metrics="${4:-}"
     local start end
     start=$(date +%s%N)
     # stdout (the paper artifacts) is not interesting here; stderr carries
     # cache progress lines worth keeping in CI logs.
-    (cd "$REPO_ROOT" && YTCDN_BENCH_SNAPSHOT="$snapshot" "$bin" \
+    (cd "$REPO_ROOT" && YTCDN_BENCH_SNAPSHOT="$snapshot" \
+        YTCDN_METRICS_OUT="$metrics" "$bin" \
         --benchmark_out="$json" --benchmark_out_format=json \
         --benchmark_min_time=0.05 > /dev/null)
     end=$(date +%s%N)
@@ -70,7 +72,7 @@ echo "== warm phase (snapshot cache at $CACHE_DIR) =="
 rm -rf "$CACHE_DIR"
 for bin in "${BINARIES[@]}"; do
     name="$(basename "$bin")"
-    ms=$(run_one "$bin" "$WORK_DIR/warm_$name.json" 1)
+    ms=$(run_one "$bin" "$WORK_DIR/warm_$name.json" 1 "$WORK_DIR/metrics_$name.json")
     WARM_MS[$name]=$ms
     printf '  %-42s %8d ms\n' "$name" "$ms"
 done
@@ -94,6 +96,7 @@ for line in (work / "wallclock.txt").read_text().splitlines():
     wall.setdefault(name, {})[phase] = int(ms)
 
 benchmarks = {}
+internal_counters = {}
 context = None
 for path in sorted(work.glob("warm_*.json")):
     data = json.loads(path.read_text())
@@ -109,6 +112,9 @@ for path in sorted(work.glob("warm_*.json")):
         for b in data.get("benchmarks", [])
         if b.get("run_type", "iteration") == "iteration"
     ]
+    metrics_path = work / f"metrics_{name}.json"
+    if metrics_path.exists():
+        internal_counters[name] = json.loads(metrics_path.read_text())
 
 suite = {
     name: {
@@ -138,6 +144,7 @@ out_path.write_text(
             "suite_wall_clock": suite,
             "suite_totals": totals,
             "benchmarks": benchmarks,
+            "internal_counters": internal_counters,
         },
         indent=2,
     )

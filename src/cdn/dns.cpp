@@ -3,7 +3,24 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/metrics.hpp"
+
 namespace ytcdn::cdn {
+
+namespace {
+
+struct DnsMetrics {
+    util::metrics::Counter queries = util::metrics::counter("cdn.dns.queries");
+    util::metrics::Counter servfails = util::metrics::counter("cdn.dns.servfails");
+    util::metrics::Counter stale = util::metrics::counter("cdn.dns.stale_answers");
+};
+
+DnsMetrics& dns_metrics() {
+    static DnsMetrics metrics;
+    return metrics;
+}
+
+}  // namespace
 
 LdnsId DnsSystem::add_resolver(std::string name,
                                std::unique_ptr<SelectionPolicy> policy) {
@@ -40,13 +57,16 @@ const DnsSystem::Resolver& DnsSystem::resolver_or_throw(LdnsId id,
 
 DnsAnswer DnsSystem::query(LdnsId resolver, sim::SimTime now, sim::Rng& rng) {
     auto& r = resolver_or_throw(resolver, "DnsSystem::query: unknown resolver");
+    dns_metrics().queries.inc();
     if (!r.up) {
         ++r.servfails;
+        dns_metrics().servfails.inc();
         return DnsAnswer{DnsStatus::ServFail, kInvalidDc, false};
     }
     if (r.stale && r.last_answer != kInvalidDc) {
         // Past-TTL replay: no policy consultation, no randomness consumed.
         ++r.stale_served;
+        dns_metrics().stale.inc();
         ++r.counts[r.last_answer];
         ++total_;
         return DnsAnswer{DnsStatus::Ok, r.last_answer, true};

@@ -7,10 +7,28 @@
 
 #include "net/pinger.hpp"
 #include "sim/random.hpp"
+#include "util/metrics.hpp"
 
 namespace ytcdn::geoloc {
 
 namespace {
+
+/// locate() runs on pool threads, but each target is located exactly once
+/// per study regardless of schedule, so these logical counts stay
+/// thread-count-invariant (the metrics determinism contract).
+struct CbgMetrics {
+    util::metrics::Counter calibrations = util::metrics::counter("geoloc.cbg.calibrations");
+    util::metrics::Counter locates = util::metrics::counter("geoloc.cbg.locates");
+    util::metrics::Counter relaxed = util::metrics::counter("geoloc.cbg.relaxed");
+    util::metrics::Counter invalid = util::metrics::counter("geoloc.cbg.invalid");
+    util::metrics::Histogram circles_used = util::metrics::histogram(
+        "geoloc.cbg.circles_used", {4.0, 8.0, 16.0, 32.0});
+};
+
+CbgMetrics& cbg_metrics() {
+    static CbgMetrics metrics;
+    return metrics;
+}
 
 /// Per-task Pinger seed: a stable function of the locator seed, a stage tag
 /// and the task's entity id. Forking here (instead of advancing one shared
@@ -47,6 +65,7 @@ void CbgLocator::calibrate(util::ThreadPool& pool) {
         return fit_bestline(points);
     });
     calibrated_ = true;
+    cbg_metrics().calibrations.inc();
 }
 
 const Bestline& CbgLocator::bestline(std::size_t i) const {
@@ -56,6 +75,7 @@ const Bestline& CbgLocator::bestline(std::size_t i) const {
 
 CbgResult CbgLocator::locate(const net::NetSite& target) const {
     if (!calibrated_) throw std::logic_error("CbgLocator: calibrate() first");
+    cbg_metrics().locates.inc();
 
     net::Pinger pinger(*model_, probe_seed(seed_, "cbg-locate", target.id));
     std::vector<Circle> circles;
@@ -67,7 +87,10 @@ CbgResult CbgLocator::locate(const net::NetSite& target) const {
         if (bound <= 0.0) continue;
         circles.push_back(Circle{landmarks_[i].site.location, bound});
     }
-    if (circles.empty()) return CbgResult{};
+    if (circles.empty()) {
+        cbg_metrics().invalid.inc();
+        return CbgResult{};
+    }
 
     std::sort(circles.begin(), circles.end(),
               [](const Circle& a, const Circle& b) { return a.radius_km < b.radius_km; });
@@ -78,6 +101,7 @@ CbgResult CbgLocator::locate(const net::NetSite& target) const {
 CbgResult CbgLocator::intersect(std::vector<Circle> circles) const {
     CbgResult result;
     result.circles_used = static_cast<int>(circles.size());
+    cbg_metrics().circles_used.observe(static_cast<double>(circles.size()));
 
     for (int iter = 0; iter <= config_.max_relax_iters; ++iter) {
         // Grid over the bounding box of the tightest circle. Latitude rows
@@ -127,6 +151,7 @@ CbgResult CbgLocator::intersect(std::vector<Circle> circles) const {
         if (!accepted.empty()) {
             result.valid = true;
             result.relaxed = iter > 0;
+            if (result.relaxed) cbg_metrics().relaxed.inc();
             result.estimate =
                 geo::GeoPoint{sum_lat / static_cast<double>(accepted.size()),
                               sum_lon / static_cast<double>(accepted.size())};
@@ -145,6 +170,7 @@ CbgResult CbgLocator::intersect(std::vector<Circle> circles) const {
         // relax all radii and retry, as CBG implementations do.
         for (auto& c : circles) c.radius_km *= config_.relax_step;
     }
+    cbg_metrics().invalid.inc();
     return result;  // invalid
 }
 

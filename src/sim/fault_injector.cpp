@@ -227,16 +227,25 @@ void FaultInjector::on(FaultAction action, Handler handler) {
 void FaultInjector::arm() {
     if (armed_) throw std::logic_error("FaultInjector::arm: already armed");
     armed_ = true;
+    std::int64_t index = 0;
     for (const FaultEvent& event : schedule_.sorted()) {
         const auto& handler = handlers_[static_cast<std::size_t>(event.action)];
         if (!handler) {
             throw std::logic_error("FaultInjector::arm: no handler for action '" +
                                    std::string(to_string(event.action)) + "'");
         }
-        simulator_->schedule_at(event.at, [this, event] {
+        // Target names are interned at arm time so firing order (already
+        // deterministic) never affects string-table layout.
+        const std::int64_t target = trace_.enabled()
+                                        ? static_cast<std::int64_t>(trace_.intern(event.target))
+                                        : 0;
+        simulator_->schedule_at(event.at, [this, event, index, target] {
             ++injected_;
+            trace_.emit(simulator_->now(), TraceEventType::Fault, 0,
+                        static_cast<std::uint16_t>(event.action), index, target);
             handlers_[static_cast<std::size_t>(event.action)](event);
         });
+        ++index;
     }
 }
 

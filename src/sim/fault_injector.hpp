@@ -8,6 +8,7 @@
 
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "sim/tracer.hpp"
 #include "util/error.hpp"
 
 namespace ytcdn::sim {
@@ -103,6 +104,10 @@ public:
     /// Registers the handler for one action; replaces any previous one.
     void on(FaultAction action, Handler handler);
 
+    /// Routes a Fault trace event (code = action, b = interned target name)
+    /// to `trace` each time a scheduled fault fires. Call before arm().
+    void set_trace(TraceStream trace) noexcept { trace_ = trace; }
+
     /// Schedules every event of the schedule. Call once, before running the
     /// simulator; throws std::logic_error if an event's action has no
     /// handler (a mis-wired experiment must fail loudly, not silently skip
@@ -117,6 +122,7 @@ private:
     Simulator* simulator_;
     FaultSchedule schedule_;
     std::vector<Handler> handlers_;  // indexed by FaultAction
+    TraceStream trace_;
     std::uint64_t injected_ = 0;
     bool armed_ = false;
 };

@@ -3,8 +3,36 @@
 #include <stdexcept>
 
 #include "net/pinger.hpp"
+#include "util/metrics.hpp"
 
 namespace ytcdn::study {
+
+namespace {
+
+/// The experiment is strictly serial (nodes × rounds loops on the calling
+/// thread) and every count below is a logical work unit, so the snapshot is
+/// identical at any YTCDN_THREADS — the metrics determinism contract.
+struct PlanetLabMetrics {
+    util::metrics::Counter experiments =
+        util::metrics::counter("study.planetlab.experiments");
+    util::metrics::Counter downloads =
+        util::metrics::counter("study.planetlab.downloads");
+    util::metrics::Counter misses =
+        util::metrics::counter("study.planetlab.misses");
+    util::metrics::Counter pulls =
+        util::metrics::counter("study.planetlab.pulls");
+    util::metrics::Counter redirects =
+        util::metrics::counter("study.planetlab.redirects");
+    util::metrics::Histogram hops = util::metrics::histogram(
+        "study.planetlab.hops_per_download", {0.0, 1.0, 2.0, 4.0});
+};
+
+PlanetLabMetrics& planetlab_metrics() {
+    static PlanetLabMetrics metrics;
+    return metrics;
+}
+
+}  // namespace
 
 PlanetLabResult run_planetlab_experiment(StudyDeployment& deployment,
                                          const std::vector<geoloc::Landmark>& landmarks,
@@ -39,25 +67,35 @@ PlanetLabResult run_planetlab_experiment(StudyDeployment& deployment,
         result.nodes[i].preferred_city = cdn.dc(ranked.front()).city;
     }
 
+    auto& counters = planetlab_metrics();
+    counters.experiments.inc();
+
     for (int round = 0; round < config.rounds; ++round) {
         for (std::size_t i = 0; i < nodes.size(); ++i) {
             const auto& node = *nodes[i];
             const auto ranked = cdn.rank_by_rtt(node.site);
             cdn::ServerId server = cdn.pick_server(ranked.front(), video.id);
+            counters.downloads.inc();
 
             // Follow redirects until a copy is found; misses trigger pulls
             // exactly like the player path does.
             std::vector<cdn::DcId> visited;
+            int hops_taken = 0;
             for (int hop = 0; hop < 8; ++hop) {
                 const cdn::DcId here = cdn.server(server).dc();
                 if (cdn.has_content(here, video)) break;
+                counters.misses.inc();
                 cdn.pull_content(here, video.id);
+                counters.pulls.inc();
                 visited.push_back(here);
                 const cdn::ServerId next =
                     cdn.redirect_target(node.site, video, visited);
                 if (next == cdn::kInvalidServer) break;
                 server = next;
+                counters.redirects.inc();
+                ++hops_taken;
             }
+            counters.hops.observe(static_cast<double>(hops_taken));
 
             const auto& dc = cdn.dc(cdn.server(server).dc());
             result.nodes[i].rtt_ms.push_back(

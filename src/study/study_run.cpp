@@ -5,8 +5,23 @@
 
 #include "analysis/preferred_dc.hpp"
 #include "study/dc_map_builder.hpp"
+#include "util/metrics.hpp"
 
 namespace ytcdn::study {
+
+namespace {
+
+struct StudyMetrics {
+    util::metrics::Counter runs = util::metrics::counter("study.runs");
+    util::metrics::Counter maps_derived = util::metrics::counter("study.maps_derived");
+};
+
+StudyMetrics& study_metrics() {
+    static StudyMetrics metrics;
+    return metrics;
+}
+
+}  // namespace
 
 std::size_t StudyRun::vp_index(std::string_view name) const {
     if (!vp_index_by_name.empty()) {
@@ -52,6 +67,7 @@ StudyRun derive_run(const StudyConfig& config,
     for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
         run.vp_index_by_name.emplace(run.traces.datasets[i].name, i);
     }
+    study_metrics().maps_derived.inc(n);
     return run;
 }
 
@@ -63,16 +79,19 @@ StudyRun assemble_study_run(const StudyConfig& config, TraceOutputs traces,
                       std::move(traces), pool);
 }
 
-StudyRun run_study(const StudyConfig& config, util::ThreadPool& pool) {
+StudyRun run_study(const StudyConfig& config, util::ThreadPool& pool,
+                   sim::Tracer* tracer) {
+    study_metrics().runs.inc();
     auto deployment = std::make_unique<StudyDeployment>(config);
     TraceDriver driver(*deployment);
+    driver.set_tracer(tracer);
     auto traces = driver.run();
     return derive_run(config, std::move(deployment), std::move(traces), pool);
 }
 
-StudyRun run_study(const StudyConfig& config) {
+StudyRun run_study(const StudyConfig& config, sim::Tracer* tracer) {
     util::ThreadPool pool(config.effective_threads());
-    return run_study(config, pool);
+    return run_study(config, pool, tracer);
 }
 
 }  // namespace ytcdn::study

@@ -35,10 +35,14 @@ struct StudyRun {
 /// Builds the deployment, simulates the week, and derives the per-vantage
 /// point maps and preferred data centers. The event-driven simulation is
 /// single-threaded by design (all vantage points share one CDN); the
-/// derivation stages fan out on `pool`.
-[[nodiscard]] StudyRun run_study(const StudyConfig& config, util::ThreadPool& pool);
+/// derivation stages fan out on `pool`. A non-null `tracer` collects the
+/// simulation's structured event stream (see sim/tracer.hpp) without
+/// changing any output byte.
+[[nodiscard]] StudyRun run_study(const StudyConfig& config, util::ThreadPool& pool,
+                                 sim::Tracer* tracer = nullptr);
 /// Same, on a pool sized by config.effective_threads().
-[[nodiscard]] StudyRun run_study(const StudyConfig& config);
+[[nodiscard]] StudyRun run_study(const StudyConfig& config,
+                                 sim::Tracer* tracer = nullptr);
 
 /// Rebuilds the analysis-ready run around already-simulated traces (e.g.
 /// loaded from a snapshot — see study/snapshot.hpp): constructs the

@@ -134,7 +134,8 @@ TraceOutputs TraceDriver::run(sim::SimTime horizon) {
         }
         players.push_back(std::make_unique<workload::Player>(
             simulator, dep.cdn(), dep.dns(), *sniffers.back(), player_cfg,
-            rng.fork("player-" + vp.name)));
+            rng.fork("player-" + vp.name),
+            sim::TraceStream(tracer_, static_cast<std::uint8_t>(i))));
         generators.push_back(std::make_unique<workload::RequestGenerator>(
             simulator, vp, *players.back(), dep.catalog(), gen_cfg,
             rng.fork("generator-" + vp.name)));
@@ -153,6 +154,9 @@ TraceOutputs TraceDriver::run(sim::SimTime horizon) {
         injector = std::make_unique<sim::FaultInjector>(
             simulator, dep.config().fault_schedule);
         bind_fault_handlers(*injector, dep, players);
+        // Faults are deployment-wide, not tied to any vantage point; they
+        // stream under the reserved index 0xFF.
+        injector->set_trace(sim::TraceStream(tracer_, 0xFF));
         injector->arm();
     }
 

@@ -4,6 +4,7 @@
 
 #include "capture/dataset.hpp"
 #include "sim/simulator.hpp"
+#include "sim/tracer.hpp"
 #include "study/deployment.hpp"
 #include "workload/player.hpp"
 
@@ -36,6 +37,13 @@ public:
     /// TTL, abort rates, ... — used by the ablation benches).
     TraceDriver(StudyDeployment& deployment, const workload::Player::Config& player_config);
 
+    /// Routes structured sim events to `tracer` (owned by the caller; may
+    /// be null to disable). Each vantage point's player streams under its
+    /// index; fault injections stream under vantage point 0xFF. Tracing
+    /// consumes no randomness, so traced and untraced runs produce
+    /// byte-identical datasets.
+    void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+
     /// Simulates `horizon` seconds (default: the paper's one week) and
     /// returns the per-vantage-point datasets, sorted by time.
     [[nodiscard]] TraceOutputs run(sim::SimTime horizon = sim::kWeek);
@@ -43,6 +51,7 @@ public:
 private:
     StudyDeployment* deployment_;
     workload::Player::Config player_config_;
+    sim::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ytcdn::study

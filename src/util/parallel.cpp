@@ -6,9 +6,26 @@
 #include <exception>
 #include <limits>
 
+#include "util/metrics.hpp"
+
 namespace ytcdn::util {
 
 namespace {
+
+/// Pool metrics count logical work units (batches submitted, tasks in them)
+/// so the numbers are identical at every YTCDN_THREADS value; anything that
+/// observes actual scheduling (queue occupancy, per-worker task counts)
+/// would break the byte-determinism contract.
+struct PoolMetrics {
+    metrics::Counter batches = metrics::counter("util.pool.batches");
+    metrics::Counter tasks = metrics::counter("util.pool.tasks");
+    metrics::Gauge max_batch_tasks = metrics::gauge("util.pool.max_batch_tasks");
+};
+
+PoolMetrics& pool_metrics() {
+    static PoolMetrics metrics;
+    return metrics;
+}
 
 /// Set while a thread is executing batch work for a pool, so nested
 /// run_indexed calls from inside a task fall back to the serial loop
@@ -78,6 +95,9 @@ bool ThreadPool::serial_here() const noexcept {
 void ThreadPool::run_indexed(std::size_t n,
                              const std::function<void(std::size_t)>& task) {
     if (n == 0) return;
+    pool_metrics().batches.inc();
+    pool_metrics().tasks.inc(n);
+    pool_metrics().max_batch_tasks.update_max(n);
     if (serial_here() || n == 1) {
         // Exact serial fallback: calling thread, input order, natural
         // exception propagation (which is also lowest-index-first).

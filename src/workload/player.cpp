@@ -5,8 +5,42 @@
 #include <utility>
 
 #include "cdn/http.hpp"
+#include "util/metrics.hpp"
 
 namespace ytcdn::workload {
+
+namespace {
+
+using sim::TraceEventType;
+
+/// Registry handles, resolved once. Every one counts logical work the
+/// session structure dictates, never scheduling detail, so the merged
+/// snapshot is identical at any thread count (DESIGN.md §11).
+struct PlayerMetrics {
+    util::metrics::Counter sessions =
+        util::metrics::counter("workload.player.sessions");
+    util::metrics::Counter video_flows =
+        util::metrics::counter("workload.player.video_flows");
+    util::metrics::Counter control_flows =
+        util::metrics::counter("workload.player.control_flows");
+    util::metrics::Counter redirects =
+        util::metrics::counter("workload.player.redirects");
+    util::metrics::Counter dns_cache_hits =
+        util::metrics::counter("workload.player.dns_cache_hits");
+    util::metrics::Counter failovers =
+        util::metrics::counter("workload.player.failovers");
+    util::metrics::Counter failures =
+        util::metrics::counter("workload.player.failures");
+    util::metrics::Histogram retries_per_session = util::metrics::histogram(
+        "workload.player.retries_per_session", {0.0, 1.0, 2.0, 4.0});
+};
+
+PlayerMetrics& player_metrics() {
+    static PlayerMetrics metrics;
+    return metrics;
+}
+
+}  // namespace
 
 /// Immutable per-session context, copied into scheduled events.
 struct Player::Session {
@@ -15,16 +49,20 @@ struct Player::Session {
     cdn::Resolution resolution;
     /// Connection retries spent so far (bounded by max_connect_retries).
     int retries = 0;
+    /// 1-based trace session id; unique per player.
+    std::uint64_t id = 0;
 };
 
 Player::Player(sim::Simulator& simulator, cdn::Cdn& cdn, cdn::DnsSystem& dns,
-               capture::Sniffer& sniffer, const Config& config, sim::Rng rng)
+               capture::Sniffer& sniffer, const Config& config, sim::Rng rng,
+               sim::TraceStream trace)
     : simulator_(&simulator),
       cdn_(&cdn),
       dns_(&dns),
       sniffer_(&sniffer),
       config_(config),
-      rng_(rng) {}
+      rng_(rng),
+      trace_(trace) {}
 
 double Player::flow_rtt_s(const Client& client, cdn::ServerId server) const {
     const auto& dc = cdn_->dc(cdn_->server(server).dc());
@@ -52,12 +90,17 @@ void Player::emit_control_flow(const Session& s, cdn::ServerId server) {
         cdn::VideoRequest{srv.hostname(), s.video.id, cdn::itag_of(s.resolution)});
     sniffer_->observe(flow);
     ++stats_.control_flows;
+    player_metrics().control_flows.inc();
 }
 
-void Player::note_session_end(const Session& s) {
+void Player::note_session_end(const Session& s, SessionOutcome outcome) {
     const auto k = static_cast<std::size_t>(std::max(0, s.retries));
     if (stats_.retry_histogram.size() <= k) stats_.retry_histogram.resize(k + 1, 0);
     ++stats_.retry_histogram[k];
+    player_metrics().retries_per_session.observe(static_cast<double>(k));
+    if (outcome != SessionOutcome::Served) player_metrics().failures.inc();
+    trace_.emit(simulator_->now(), TraceEventType::SessionEnd, s.id,
+                static_cast<std::uint16_t>(outcome));
 }
 
 double Player::retry_backoff_s(int attempt) {
@@ -77,7 +120,11 @@ void Player::invalidate_dns_cache(cdn::DcId dc) {
 void Player::start_session(const Client& client, const cdn::Video& video,
                            cdn::Resolution resolution) {
     ++stats_.sessions;
-    const Session s{client, video, resolution, 0};
+    player_metrics().sessions.inc();
+    const Session s{client, video, resolution, 0, ++next_session_id_};
+    trace_.emit(simulator_->now(), TraceEventType::SessionStart, s.id,
+                static_cast<std::uint16_t>(cdn::itag_of(resolution)),
+                static_cast<std::int64_t>(video.id.value()), client.ldns);
     resolve_and_start(s, config_.dns_retry_limit);
 }
 
@@ -87,6 +134,9 @@ void Player::resolve_and_start(const Session& s, int dns_tries_left) {
         if (it != dns_cache_.end()) {
             if (it->second.second > simulator_->now()) {
                 ++stats_.dns_cache_hits;
+                player_metrics().dns_cache_hits.inc();
+                trace_.emit(simulator_->now(), TraceEventType::DnsCacheHit, s.id,
+                            0, it->second.first);
                 start_resolved(s, it->second.first);
                 return;
             }
@@ -94,12 +144,16 @@ void Player::resolve_and_start(const Session& s, int dns_tries_left) {
             dns_cache_.erase(it);
         }
     }
+    trace_.emit(simulator_->now(), TraceEventType::DnsQuery, s.id, 0,
+                s.client.ldns);
     const cdn::DnsAnswer answer = dns_->query(s.client.ldns, simulator_->now(), rng_);
     if (answer.status == cdn::DnsStatus::ServFail) {
         ++stats_.dns_servfails;
+        trace_.emit(simulator_->now(), TraceEventType::DnsServFail, s.id, 0,
+                    dns_tries_left);
         if (dns_tries_left <= 0) {
             ++stats_.failures.dns_failure;
-            note_session_end(s);
+            note_session_end(s, SessionOutcome::DnsFailure);
             return;
         }
         const double delay = config_.dns_retry_delay_s +
@@ -110,6 +164,8 @@ void Player::resolve_and_start(const Session& s, int dns_tries_left) {
         return;
     }
     if (answer.stale) ++stats_.stale_dns_answers;
+    trace_.emit(simulator_->now(), TraceEventType::DnsAnswer, s.id,
+                answer.stale ? 1 : 0, answer.dc);
     if (config_.dns_ttl_s > 0.0) {
         dns_cache_[s.client.id] = {answer.dc, simulator_->now() + config_.dns_ttl_s};
     }
@@ -118,6 +174,22 @@ void Player::resolve_and_start(const Session& s, int dns_tries_left) {
 
 void Player::start_resolved(const Session& s, cdn::DcId dc) {
     const auto& dc_ref = cdn_->dc(dc);
+
+    if (trace_.enabled()) {
+        // DC selection with its candidate ranking: where the DNS-chosen
+        // data center sits among the client's RTT-ordered candidates.
+        // Guarded — ranking costs a sort — and RNG-free either way.
+        const std::vector<cdn::DcId> ranked = cdn_->rank_by_rtt(s.client.site);
+        std::uint16_t rank = 0xFFFF;
+        for (std::size_t i = 0; i < ranked.size(); ++i) {
+            if (ranked[i] == dc) {
+                rank = static_cast<std::uint16_t>(i);
+                break;
+            }
+        }
+        trace_.emit(simulator_->now(), TraceEventType::DcSelected, s.id, rank, dc,
+                    static_cast<std::int64_t>(ranked.size()));
+    }
 
     if (!cdn::in_analysis_scope(dc_ref.infra)) {
         // Legacy YouTube-EU / other-AS infrastructure: spread over its large
@@ -141,7 +213,7 @@ void Player::start_resolved(const Session& s, cdn::DcId dc) {
             handle_connect_failure(legacy, server, conn, config_.max_redirects, {});
             return;
         }
-        note_session_end(legacy);
+        note_session_end(legacy, SessionOutcome::Served);
         serve_video(legacy, server, watch_frac, /*allow_pause=*/false);
         return;
     }
@@ -187,7 +259,9 @@ void Player::attempt(const Session& s, cdn::ServerId server, int redirects_left,
 
     if (outcome == cdn::ServeOutcome::Served || redirects_left <= 0) {
         if (outcome != cdn::ServeOutcome::Served) ++stats_.failures.redirect_exhausted;
-        note_session_end(s);
+        note_session_end(s, outcome == cdn::ServeOutcome::Served
+                                ? SessionOutcome::Served
+                                : SessionOutcome::RedirectExhausted);
         const double watch_frac =
             rng_.bernoulli(config_.p_abort)
                 ? rng_.uniform(config_.min_watch_frac, config_.max_abort_watch_frac)
@@ -207,6 +281,7 @@ void Player::attempt(const Session& s, cdn::ServerId server, int redirects_left,
     } else {
         ++stats_.redirects_overload;
     }
+    player_metrics().redirects.inc();
     cdn_->server(server).note_redirect();
     emit_control_flow(s, server);
 
@@ -214,7 +289,7 @@ void Player::attempt(const Session& s, cdn::ServerId server, int redirects_left,
     const cdn::ServerId target = cdn_->redirect_target(s.client.site, s.video, visited);
     if (target == cdn::kInvalidServer) {
         ++stats_.failures.redirect_exhausted;
-        note_session_end(s);
+        note_session_end(s, SessionOutcome::RedirectExhausted);
         return;
     }
     // Serialize the actual 302 and chase its Location header, so the wire
@@ -229,12 +304,15 @@ void Player::attempt(const Session& s, cdn::ServerId server, int redirects_left,
         location ? cdn_->server_by_hostname(*location) : cdn::kInvalidServer;
     if (next == cdn::kInvalidServer) {
         ++stats_.failures.redirect_exhausted;
-        note_session_end(s);
+        note_session_end(s, SessionOutcome::RedirectExhausted);
         return;
     }
     const double delay = 2.0 * flow_rtt_s(s.client, server) +
                          rng_.uniform(config_.redirect_think_lo_s,
                                       config_.redirect_think_hi_s);
+    trace_.emit(simulator_->now(), TraceEventType::Redirect, s.id,
+                outcome == cdn::ServeOutcome::RedirectMiss ? 1 : 2, here,
+                cdn_->server(next).dc(), delay);
     simulator_->schedule_in(delay, [this, s, next, redirects_left,
                                     visited = std::move(visited)]() mutable {
         attempt(s, next, redirects_left - 1, std::move(visited));
@@ -250,6 +328,8 @@ void Player::handle_connect_failure(const Session& s, cdn::ServerId server,
     } else {
         ++stats_.connect_resets;
     }
+    trace_.emit(simulator_->now(), TraceEventType::ConnectFail, s.id,
+                timed_out ? 1 : 2, server);
     const cdn::DcId here = cdn_->server(server).dc();
     // The failed mapping is useless now — drop it so the next session
     // re-resolves instead of reconnecting into the outage.
@@ -260,7 +340,7 @@ void Player::handle_connect_failure(const Session& s, cdn::ServerId server,
 
     if (s.retries >= config_.max_connect_retries) {
         ++stats_.failures.retries_exhausted;
-        note_session_end(s);
+        note_session_end(s, SessionOutcome::RetriesExhausted);
         return;
     }
     visited.push_back(here);
@@ -274,10 +354,12 @@ void Player::handle_connect_failure(const Session& s, cdn::ServerId server,
         } else {
             ++stats_.failures.reset;
         }
-        note_session_end(s);
+        note_session_end(s, timed_out ? SessionOutcome::Timeout
+                                      : SessionOutcome::Reset);
         return;
     }
     ++stats_.failovers;
+    player_metrics().failovers.inc();
     Session next = s;
     ++next.retries;
     // A timeout burns the full connect timer; a reset is observed after one
@@ -285,6 +367,8 @@ void Player::handle_connect_failure(const Session& s, cdn::ServerId server,
     const double observed =
         timed_out ? config_.connect_timeout_s : 2.0 * flow_rtt_s(s.client, server);
     const double delay = observed + retry_backoff_s(s.retries);
+    trace_.emit(simulator_->now(), TraceEventType::Retry, s.id,
+                static_cast<std::uint16_t>(next.retries), target, 0, delay);
     simulator_->schedule_in(delay, [this, next, target, redirects_left,
                                     visited = std::move(visited)]() mutable {
         attempt(next, target, redirects_left, std::move(visited));
@@ -318,6 +402,7 @@ void Player::serve_video(const Session& s, cdn::ServerId server, double watch_fr
             cdn::VideoRequest{srv.hostname(), s.video.id, cdn::itag_of(s.resolution)});
         sniffer_->observe(flow);
         ++stats_.video_flows;
+        player_metrics().video_flows.inc();
 
         cdn_->begin_flow(srv_id);
         simulator_->schedule_at(flow.end, [this, srv_id] { cdn_->end_flow(srv_id); });
@@ -329,6 +414,8 @@ void Player::serve_video(const Session& s, cdn::ServerId server, double watch_fr
     if (paused) {
         ++stats_.pauses;
         const double gap = rng_.uniform(config_.pause_gap_lo_s, config_.pause_gap_hi_s);
+        trace_.emit(simulator_->now(), TraceEventType::Pause, s.id, 0, server, 0,
+                    gap);
         const double rest = watch_frac - first_frac;
         Session resume = s;
         simulator_->schedule_at(first_end + gap, [this, resume, server, rest] {
@@ -341,6 +428,8 @@ void Player::serve_video(const Session& s, cdn::ServerId server, double watch_fr
 }
 
 void Player::attempt_resume(const Session& s, cdn::ServerId server, double rest_frac) {
+    trace_.emit(simulator_->now(), TraceEventType::Resume, s.id, 0, server, 0,
+                rest_frac);
     // The cached server may have gone dark during the pause.
     if (const auto conn = cdn_->connect_outcome(server);
         conn != cdn::ConnectOutcome::Ok) {
@@ -350,6 +439,8 @@ void Player::attempt_resume(const Session& s, cdn::ServerId server, double rest_
         } else {
             ++stats_.connect_resets;
         }
+        trace_.emit(simulator_->now(), TraceEventType::ConnectFail, s.id,
+                    timed_out ? 1 : 2, server);
         const std::vector<cdn::DcId> visited{cdn_->server(server).dc()};
         const cdn::ServerId target =
             cdn_->redirect_target(s.client.site, s.video, visited);
@@ -364,9 +455,12 @@ void Player::attempt_resume(const Session& s, cdn::ServerId server, double rest_
             return;
         }
         ++stats_.failovers;
+        player_metrics().failovers.inc();
         const double observed = timed_out ? config_.connect_timeout_s
                                           : 2.0 * flow_rtt_s(s.client, server);
         const double delay = observed + retry_backoff_s(0);
+        trace_.emit(simulator_->now(), TraceEventType::Failover, s.id, 0, target,
+                    0, delay);
         Session resumed = s;
         const double rest = std::max(0.02, rest_frac);
         simulator_->schedule_in(delay, [this, resumed, target, rest] {

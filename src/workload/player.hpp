@@ -10,9 +10,23 @@
 #include "cdn/dns.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "sim/tracer.hpp"
 #include "workload/client.hpp"
 
 namespace ytcdn::workload {
+
+/// Why a session reached its terminal point — the `code` field of
+/// session-end trace events, aligned with the FailureCauses buckets
+/// (Served covers both clean ends and the degraded redirect-exhausted
+/// serve, which additionally reports RedirectExhausted).
+enum class SessionOutcome : std::uint16_t {
+    Served = 0,
+    DnsFailure = 1,
+    RetriesExhausted = 2,
+    Timeout = 3,
+    Reset = 4,
+    RedirectExhausted = 5,
+};
 
 /// Emulates the Flash video player driving one video session end to end:
 /// DNS resolution, the HTTP request to the content server, following
@@ -128,8 +142,12 @@ public:
         std::vector<std::uint64_t> retry_histogram;
     };
 
+    /// `trace` (optional) receives structured per-session events; the
+    /// default disabled stream makes every emission a no-op branch, so an
+    /// untraced player is byte-identical to the pre-tracer one.
     Player(sim::Simulator& simulator, cdn::Cdn& cdn, cdn::DnsSystem& dns,
-           capture::Sniffer& sniffer, const Config& config, sim::Rng rng);
+           capture::Sniffer& sniffer, const Config& config, sim::Rng rng,
+           sim::TraceStream trace = {});
 
     /// Starts a session at simulator time now(): DNS-resolves via the
     /// client's local resolver and begins the request/redirect sequence.
@@ -166,8 +184,10 @@ private:
     void attempt_resume(const Session& s, cdn::ServerId server, double rest_frac);
     void emit_control_flow(const Session& s, cdn::ServerId server);
     /// Records the session's connection-retry count at its terminal point
-    /// (served or failed), feeding the failure-analysis histogram.
-    void note_session_end(const Session& s);
+    /// (served or failed), feeding the failure-analysis histogram, and
+    /// emits the session-end trace event — every session-start pairs with
+    /// exactly one of these (trace_dump validates the invariant).
+    void note_session_end(const Session& s, SessionOutcome outcome);
     [[nodiscard]] double retry_backoff_s(int attempt);
     [[nodiscard]] double flow_rtt_s(const Client& client, cdn::ServerId server) const;
     [[nodiscard]] double download_rate_bps(const Client& client,
@@ -179,7 +199,11 @@ private:
     capture::Sniffer* sniffer_;
     Config config_;
     sim::Rng rng_;
+    sim::TraceStream trace_;
     Stats stats_;
+    /// Session ids for the trace (1-based, per player; the TraceStream's
+    /// vantage-point index disambiguates across players).
+    std::uint64_t next_session_id_ = 0;
     /// Per-client cached DNS answer and its expiry (only with dns_ttl_s > 0).
     std::unordered_map<ClientId, std::pair<cdn::DcId, sim::SimTime>> dns_cache_;
 };

@@ -7,7 +7,7 @@ CI corrupt-fixture step branch on these, so they are pinned here end to end
 against the real binary — every case uses a command that fails before any
 simulation starts, keeping the whole suite sub-second.
 
-Usage: cli_exit_codes.py <path-to-ytcdn-binary> <corpus-dir>
+Usage: cli_exit_codes.py <path-to-ytcdn-binary> <corpus-dir> [trace-dump-binary]
 """
 
 from __future__ import annotations
@@ -32,10 +32,12 @@ def run(binary: str, args: list[str], expect: int, what: str) -> None:
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
-        print("usage: cli_exit_codes.py <ytcdn-binary> <corpus-dir>")
+    if len(sys.argv) not in (3, 4):
+        print("usage: cli_exit_codes.py <ytcdn-binary> <corpus-dir> "
+              "[trace-dump-binary]")
         return 2
     binary, corpus = sys.argv[1], sys.argv[2]
+    trace_dump = sys.argv[3] if len(sys.argv) == 4 else None
 
     with tempfile.TemporaryDirectory(prefix="ytcdn_cli_exit_") as tmp:
         bad_schedule = os.path.join(tmp, "bad.sched")
@@ -72,6 +74,25 @@ def main() -> int:
         run(binary, ["tables", "--faults", bad_schedule], 5,
             "malformed fault schedule")
         run(binary, ["summary", bad_tsv], 5, "malformed TSV flow log")
+
+        if trace_dump:
+            print("trace_dump (same taxonomy)")
+            run(trace_dump, [os.path.join(corpus, "trace_valid.ytr")], 0,
+                "trace_dump on a valid trace")
+            run(trace_dump, [], 2, "trace_dump with no arguments")
+            run(trace_dump, ["--format", "bogus",
+                             os.path.join(corpus, "trace_valid.ytr")], 2,
+                "trace_dump with a bad --format")
+            run(trace_dump, ["--frobnicate", "x",
+                             os.path.join(corpus, "trace_valid.ytr")], 2,
+                "trace_dump with an unknown option")
+            run(trace_dump, [missing + ".ytr"], 3,
+                "trace_dump on a missing file")
+            for fixture in ("trace_bad_magic.ytr", "trace_truncated.ytr",
+                            "trace_bad_crc.ytr", "trace_count_overflow.ytr",
+                            "trace_bad_string_ref.ytr"):
+                run(trace_dump, [os.path.join(corpus, fixture)], 4,
+                    f"trace_dump on {fixture}")
 
     if failures:
         print(f"\n{len(failures)} case(s) failed")

@@ -24,6 +24,7 @@
 #include "capture/binary_log.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/random.hpp"
+#include "sim/tracer.hpp"
 #include "study/snapshot.hpp"
 #include "study/study_run.hpp"
 #include "util/args.hpp"
@@ -162,6 +163,31 @@ void fuzz_snapshot_quarantine(Tally& tally, const std::string& valid,
     std::filesystem::remove_all(dir);
 }
 
+void fuzz_trace_log(Tally& tally, const std::string& valid, sim::Rng rng,
+                    std::uint64_t iterations) {
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        const auto bytes = fuzz::mutate_bytes_n(valid, rng);
+        run_case(tally, "trace_log", i, [&]() -> util::Result<void> {
+            auto r = sim::read_trace_bytes(bytes);
+            if (!r.ok()) return std::move(r).error();
+            // A trace that still parses must survive the downstream
+            // consumers (timelines, invariant validation, JSONL render)
+            // without crashing — damage may reach them via slack bytes.
+            (void)sim::validate_trace(r.value(), 3);
+            (void)sim::render_trace_jsonl(r.value());
+            return {};
+        });
+    }
+    for (std::uint64_t i = 0; i < iterations / 4; ++i) {
+        const auto bytes = fuzz::garbage_bytes(512, rng);
+        run_case(tally, "trace_log_garbage", i, [&]() -> util::Result<void> {
+            auto r = sim::read_trace_bytes(bytes);
+            if (!r.ok()) return std::move(r).error();
+            return {};
+        });
+    }
+}
+
 void fuzz_fault_schedule(Tally& tally, sim::Rng rng, std::uint64_t iterations) {
     const std::string valid =
         "# chaos drill\n"
@@ -269,6 +295,13 @@ void sweep_corpus(Tally& tally, const std::filesystem::path& dir,
                      if (!r.ok()) return std::move(r).error();
                      return {};
                  });
+        run_case(tally, "corpus:" + file.filename().string() + ":trace", i,
+                 [&]() -> util::Result<void> {
+                     auto r = sim::read_trace_bytes(bytes);
+                     if (!r.ok()) return std::move(r).error();
+                     (void)sim::validate_trace(r.value(), 3);
+                     return {};
+                 });
         ++i;
     }
     std::cout << "fuzz_smoke: swept " << files.size() << " corpus fixtures\n";
@@ -311,17 +344,20 @@ int main(int argc, char** argv) {
 
     study::StudyConfig cfg;
     cfg.scale = 0.004;
-    const auto run = study::run_study(cfg);
+    sim::Tracer tracer;
+    const auto run = study::run_study(cfg, &tracer);
     std::ostringstream snap;
     if (!study::write_trace_snapshot(snap, cfg, run.traces)) {
         std::cerr << "fuzz_smoke: could not build the seed snapshot\n";
         return 1;
     }
+    const std::string trace_bytes = sim::write_trace_bytes(tracer.log());
 
     fuzz_binary_log(tally, v2.str(), /*v2=*/true, master.fork("v2"), 1200);
     fuzz_binary_log(tally, v1.str(), /*v2=*/false, master.fork("v1"), 800);
     fuzz_snapshot_stream(tally, snap.str(), cfg, master.fork("snap"), 800);
     fuzz_snapshot_quarantine(tally, snap.str(), cfg, master.fork("quarantine"), 60);
+    fuzz_trace_log(tally, trace_bytes, master.fork("trace"), 800);
     fuzz_fault_schedule(tally, master.fork("schedule"), 1200);
     fuzz_cli_args(tally, master.fork("args"), 600);
     if (argc > 1) sweep_corpus(tally, argv[1], cfg);

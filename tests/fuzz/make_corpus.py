@@ -28,6 +28,29 @@ def v2_header(count: int, version: int = 2) -> bytes:
     return head + struct.pack("<I", crc(head))
 
 
+def ytr_record(time: float = 0.0, seq: int = 0, session: int = 1, a: int = 0,
+               b: int = 0, x: float = 0.0, etype: int = 0, vp: int = 0,
+               code: int = 0) -> bytes:
+    """One 56-byte YTR1 event record (see src/sim/tracer.cpp)."""
+    return struct.pack("<dQQqqdBBHI", time, seq, session, a, b, x,
+                       etype, vp, code, 0)
+
+
+def ytr_file(events: list[bytes], strings: tuple[bytes, ...] = ()) -> bytes:
+    """A complete YTR1 stream: header | string table | blocks | trailer."""
+    head = b"YTR1" + struct.pack("<IQ", 1, len(events))
+    out = head + struct.pack("<I", crc(head))
+    payload = b"".join(struct.pack("<I", len(s)) + s for s in strings)
+    out += struct.pack("<III", len(strings), len(payload), crc(payload))
+    out += payload
+    for start in range(0, len(events), 1024):
+        block = b"".join(events[start:start + 1024])
+        out += struct.pack("<II", len(events[start:start + 1024]), crc(block))
+        out += block
+    trailer = b"YTRE" + struct.pack("<Q", len(events))
+    return out + trailer + struct.pack("<I", crc(trailer))
+
+
 def fixtures() -> dict[str, bytes]:
     out: dict[str, bytes] = {}
 
@@ -76,6 +99,37 @@ def fixtures() -> dict[str, bytes]:
         b"@1e309 dc-up x\n"
         b"@-5 dc-up x\n")
     out["schedule_binary_noise.txt"] = b"@0 dc\xff\xfe-down fra\x00nkfurt\n"
+
+    # --- structured-event trace (YTR1) -----------------------------------
+    # A complete well-formed trace: one session timeline plus a fault event
+    # referencing the string table. test_tracer round-trips it and the CLI
+    # exit-code suite pins trace_dump on it (exit 0).
+    session = [
+        ytr_record(time=1.0, seq=0, session=1, a=42, b=0, etype=0, code=22),
+        ytr_record(time=1.0, seq=1, session=1, a=0, etype=2),
+        ytr_record(time=1.0, seq=2, session=1, a=3, etype=4),
+        ytr_record(time=1.0, seq=3, session=1, a=3, b=5, etype=6),
+        ytr_record(time=2.5, seq=4, session=0, a=0, b=0, etype=13, vp=255,
+                   code=0),
+        ytr_record(time=9.25, seq=5, session=1, etype=1),
+    ]
+    out["trace_valid.ytr"] = ytr_file(session, strings=(b"frankfurt",))
+    out["trace_bad_magic.ytr"] = b"XTR1" + out["trace_valid.ytr"][4:]
+    # Cut mid-block, leaving enough bytes that the declared event count
+    # still looks plausible: the reader must report Truncated, never
+    # over-read past the end of the stream.
+    out["trace_truncated.ytr"] = out["trace_valid.ytr"][:380]
+    # Flip one payload bit so only the block CRC catches it.
+    damaged = bytearray(out["trace_valid.ytr"])
+    damaged[-70] ^= 0x40
+    out["trace_bad_crc.ytr"] = bytes(damaged)
+    # All-ones count with a valid header CRC: overflow-safe arithmetic only.
+    head = b"YTR1" + struct.pack("<IQ", 1, 0xFFFFFFFFFFFFFFFF)
+    out["trace_count_overflow.ytr"] = (
+        head + struct.pack("<I", crc(head)) + b"\x00" * 64)
+    # A fault event whose string index points past the (empty) table.
+    out["trace_bad_string_ref.ytr"] = ytr_file(
+        [ytr_record(time=0.0, seq=0, session=0, b=7, etype=13, vp=255)])
 
     # --- unstructured -----------------------------------------------------
     out["zeros_4k.bin"] = bytes(4096)

@@ -23,6 +23,7 @@ EXPECTED = [
     ("bad_header.hpp", "using-namespace", 1),
     ("bad_thread.cpp", "raw-thread", 4),
     ("bad_catch.cpp", "catch-all", 3),
+    ("src/bad_metrics.cpp", "metrics-name-literal", 2),
 ]
 
 failures: list[str] = []

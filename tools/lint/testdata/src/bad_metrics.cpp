@@ -1,0 +1,21 @@
+// Seeded metrics-name-literal violations: registrations whose name is
+// composed at runtime instead of a string literal.
+#include <string>
+
+namespace metrics {
+struct Counter {};
+struct Histogram {};
+Counter counter(const std::string&);
+Histogram histogram(const std::string&, double);
+}  // namespace metrics
+
+void register_badly(const std::string& suffix) {
+    const std::string name = "dyn." + suffix;
+    auto a = metrics::counter(name);  // metrics-name-literal
+    auto b = metrics::histogram(
+        std::string("dyn.") + suffix, 1.0);  // metrics-name-literal
+    auto ok = metrics::counter("static.name");  // literal: fine
+    (void)a;
+    (void)b;
+    (void)ok;
+}

@@ -26,6 +26,13 @@ invariants that keep it that way (plus a few general hygiene rules):
                    ordering guarantees; util::ThreadPool's parallel_map
                    keeps results in input order so output stays
                    bit-identical at any thread count.
+  metrics-name-literal  Registrations against the global metrics registry
+                   (metrics::counter/gauge/histogram in src/ or bench/) must
+                   pass the metric name as a string literal. The name set is
+                   part of the observability contract (DESIGN.md §11): a
+                   runtime-composed name cannot be grepped, breaks the
+                   byte-stable snapshot ordering across runs, and defeats
+                   the kind-conflict check at registration.
   catch-all        No bare `catch (...)` and no empty catch bodies. The
                    typed-error layer (ytcdn::Error / util::Result) exists so
                    failures carry their code and provenance; a catch-all or
@@ -65,6 +72,10 @@ RNG_ALLOWED_FILES = ("src/sim/random.hpp", "src/sim/random.cpp")
 # Files allowed to spawn threads: the one blessed deterministic pool.
 THREAD_ALLOWED_FILES = ("src/util/parallel.hpp", "src/util/parallel.cpp")
 
+# The registry implementation itself forwards `name` parameters; everything
+# else must register metrics under literal names.
+METRICS_ALLOWED_FILES = ("src/util/metrics.hpp", "src/util/metrics.cpp")
+
 SUPPRESS_RE = re.compile(r"ytcdn-lint:\s*allow\(\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)\s*\)")
 
 ALL_RULES = (
@@ -76,6 +87,7 @@ ALL_RULES = (
     "include-guard",
     "raw-thread",
     "catch-all",
+    "metrics-name-literal",
 )
 
 
@@ -227,6 +239,13 @@ EQ_DELETE_RE = re.compile(r"=\s*delete\b")
 USING_NS_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
 
 CATCH_RE = re.compile(r"\bcatch\s*\(\s*([^)]*)\s*\)")
+
+# A registration call against the global registry. The scrubbed text blanks
+# string contents but keeps the quotes, so the first non-whitespace character
+# after the `(` tells literal from composed name. Matched on the whole file
+# because the call often wraps after the paren.
+METRICS_CALL_RE = re.compile(
+    r"(?<![\w.])metrics\s*::\s*(?:counter|gauge|histogram)\s*\(\s*(\S)")
 
 UNORDERED_DECL_RE = re.compile(
     r"(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
@@ -396,6 +415,20 @@ class Linter:
                 emit(idx, "catch-all",
                      "empty catch body silently swallows the error — handle "
                      "it or let it propagate")
+
+        # metrics-name-literal: global-registry registrations in src/ and
+        # bench/ carry their name as a literal so the metric namespace is
+        # statically enumerable.
+        if (rel.startswith(("src/", "bench/"))
+                and rel not in METRICS_ALLOWED_FILES):
+            for m in METRICS_CALL_RE.finditer(scrubbed):
+                if m.group(1) == '"':
+                    continue
+                idx = scrubbed.count("\n", 0, m.start())
+                emit(idx, "metrics-name-literal",
+                     "metric registered under a non-literal name — pass a "
+                     'string literal ("layer.component.metric") so the name '
+                     "set stays greppable and snapshot-stable")
 
         # unordered-iter: range-for over a known unordered container whose
         # body formats output or accumulates.

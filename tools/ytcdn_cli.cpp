@@ -8,12 +8,19 @@
 //   ytcdn geolocate  [--landmarks N]
 //   ytcdn planetlab  [--nodes N] [--rounds R]
 //
+// run and tables also accept the observability flags:
+//   --trace-out FILE     structured sim events; .jsonl writes text, anything
+//                        else the YTR1 binary format (read with trace_dump)
+//   --trace-filter CSV   comma-separated event-type names to record
+//   --metrics-out FILE   internal counters after the run; .json or text
+//
 // Flow logs are TSV (.tsv) or the compact binary format (.yfl), chosen by
 // extension.
 
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "analysis/preferred_dc.hpp"
@@ -24,11 +31,14 @@
 #include "geo/city.hpp"
 #include "geoloc/cbg.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/tracer.hpp"
 #include "study/planetlab_experiment.hpp"
 #include "study/report.hpp"
 #include "study/study_run.hpp"
 #include "util/args.hpp"
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace {
 
@@ -40,6 +50,7 @@ int usage() {
         "  run        [--scale S] [--seed N] [--faults FILE] [--out DIR] [--binary]\n"
         "                                                             simulate the week, write tables + per-dataset flow logs\n"
         "  tables     [--scale S] [--seed N] [--faults FILE]          print Tables I and II (+ failure table on fault runs)\n"
+        "             run and tables also take [--trace-out FILE] [--trace-filter CSV] [--metrics-out FILE]\n"
         "  summary    LOG [LOG...]                                    Table I-style summary of flow logs\n"
         "  sessions   LOG [--gap T]                                   session statistics of a flow log\n"
         "  analyze    LOG MAP [--gap T]                               full offline analysis (preferred DC, patterns)\n"
@@ -73,6 +84,42 @@ study::StudyConfig config_from(const util::ArgParser& args) {
     return cfg;
 }
 
+/// Builds the tracer requested by --trace-out/--trace-filter, or null when
+/// tracing is off (the hot paths then skip every emission branch).
+std::unique_ptr<sim::Tracer> make_tracer(const util::ArgParser& args) {
+    if (!args.get("trace-out")) return nullptr;
+    sim::TraceFilter filter = sim::TraceFilter::all();
+    if (const auto csv = args.get("trace-filter")) {
+        filter = sim::TraceFilter::parse(*csv).value_or_throw();
+    }
+    return std::make_unique<sim::Tracer>(filter);
+}
+
+/// Writes the trace (if one was collected) and the metrics snapshot (if
+/// asked for). Formats follow the extension: .jsonl / .json are text,
+/// anything else the binary YTR1 trace or the line-oriented metrics text.
+void write_observability(const util::ArgParser& args, const sim::Tracer* tracer) {
+    if (tracer != nullptr) {
+        const std::filesystem::path path(*args.get("trace-out"));
+        const auto log = tracer->log();
+        (path.extension() == ".jsonl" ? sim::write_trace_jsonl(path, log)
+                                      : sim::write_trace_file(path, log))
+            .value_or_throw();
+        std::cout << "wrote " << path << " (" << log.events.size()
+                  << " trace events)\n";
+    }
+    if (const auto metrics_path = args.get("metrics-out")) {
+        const std::filesystem::path path(*metrics_path);
+        const auto snapshot = util::metrics::Registry::global().snapshot();
+        util::atomic_write_file(path, path.extension() == ".json"
+                                          ? snapshot.to_json()
+                                          : snapshot.render())
+            .value_or_throw();
+        std::cout << "wrote " << path << " (" << snapshot.entries.size()
+                  << " metrics)\n";
+    }
+}
+
 /// Fault runs get the failure breakdown appended; baselines print nothing
 /// extra, so default output stays byte-identical.
 void print_failure_tables(const study::StudyRun& run) {
@@ -86,9 +133,11 @@ int cmd_run(const util::ArgParser& args) {
     const std::filesystem::path out(args.get_or("out", "ytcdn_out"));
     std::filesystem::create_directories(out);
     std::cout << "Simulating one week at scale " << cfg.scale << "...\n";
-    const auto run = study::run_study(cfg);
+    const auto tracer = make_tracer(args);
+    const auto run = study::run_study(cfg, tracer.get());
     std::cout << study::make_table1(run) << '\n' << study::make_table2(run) << '\n';
     print_failure_tables(run);
+    write_observability(args, tracer.get());
     const bool binary = args.has_flag("binary");
     for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
         const auto& ds = run.traces.datasets[i];
@@ -138,9 +187,11 @@ int cmd_analyze(const util::ArgParser& args) {
 }
 
 int cmd_tables(const util::ArgParser& args) {
-    const auto run = study::run_study(config_from(args));
+    const auto tracer = make_tracer(args);
+    const auto run = study::run_study(config_from(args), tracer.get());
     std::cout << study::make_table1(run) << '\n' << study::make_table2(run);
     print_failure_tables(run);
+    write_observability(args, tracer.get());
     return 0;
 }
 
