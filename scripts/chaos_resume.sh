@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# chaos_resume.sh — SIGKILL a supervised study run mid-flight, resume it,
+# and byte-compare the resumed report against an uninterrupted run.
+#
+# This is the end-to-end crash-safety gate behind `ytcdn study --resume`
+# (DESIGN.md §12): checkpoints are written atomically, so a kill -9 at any
+# instant leaves a run directory the next invocation can pick up, and the
+# resumed report.txt must be bit-identical to one computed without the
+# crash.
+#
+# Usage: chaos_resume.sh <path-to-ytcdn-binary> [scale]
+#
+# Exit 0 on byte-identity; non-zero (with a diagnostic) otherwise.
+
+set -euo pipefail
+
+YTCDN=${1:?usage: chaos_resume.sh <path-to-ytcdn-binary> [scale]}
+SCALE=${2:-0.05}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/ytcdn_chaos_resume.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+# Strict mode turns degradations into failures by design; this smoke pins
+# the default degradation ladder, so run it unstrict.
+unset YTCDN_STRICT_ARTIFACTS YTCDN_IO_FAULTS
+
+STUDY_ARGS=(study --scale "$SCALE" --no-table3 --backoff 0)
+
+echo "== reference: uninterrupted run"
+"$YTCDN" "${STUDY_ARGS[@]}" --out "$WORK/ref" >/dev/null
+
+echo "== victim: started, then SIGKILLed mid-run"
+"$YTCDN" "${STUDY_ARGS[@]}" --out "$WORK/victim" >/dev/null 2>&1 &
+VICTIM=$!
+# Kill as soon as the first checkpoint lands, so the resume genuinely loads
+# completed stages instead of recomputing a cold directory. If the run
+# finishes before the kill, that is fine too — resume then just re-renders.
+for _ in $(seq 1 600); do
+    [ -e "$WORK/victim/checkpoints/simulate.yck" ] && break
+    kill -0 "$VICTIM" 2>/dev/null || break
+    sleep 0.01
+done
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+
+echo "== resume the victim"
+"$YTCDN" study --resume "$WORK/victim" --backoff 0 --no-table3 \
+    --scale "$SCALE" >/dev/null
+
+echo "== byte-compare the reports"
+if ! cmp "$WORK/ref/report.txt" "$WORK/victim/report.txt"; then
+    echo "FAIL: resumed report differs from the uninterrupted run" >&2
+    echo "--- victim manifest ---" >&2
+    cat "$WORK/victim/manifest.txt" >&2 || true
+    exit 1
+fi
+
+echo "== no stray temp files left by the kill"
+if find "$WORK/victim" -name '*.tmp' | grep -q .; then
+    echo "FAIL: torn temp files left in the run directory:" >&2
+    find "$WORK/victim" -name '*.tmp' >&2
+    exit 1
+fi
+
+echo "ok: SIGKILL + resume is byte-identical ($(wc -c <"$WORK/ref/report.txt") bytes)"

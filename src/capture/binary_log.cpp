@@ -3,11 +3,12 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
+#include "util/io.hpp"
 
 namespace ytcdn::capture {
 
@@ -286,8 +287,11 @@ util::Result<std::vector<FlowRecord>> read_binary_log_result(std::istream& is) {
 
 util::Result<std::vector<FlowRecord>> read_binary_log_result(
     const std::filesystem::path& path) {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) return Error(ErrorCode::Io, "cannot open " + path.string());
+    auto data = util::io::read_file(path);
+    if (!data) {
+        return std::move(data).context("read_binary_log " + path.string()).error();
+    }
+    std::istringstream is(std::move(data).value());
     return read_binary_log_result(is).context("read_binary_log " + path.string());
 }
 

@@ -1,8 +1,9 @@
 #include "capture/flow_log.hpp"
 
-#include <fstream>
 #include <sstream>
 #include <string>
+
+#include "util/io.hpp"
 
 namespace ytcdn::capture {
 
@@ -18,10 +19,15 @@ void write_flow_log(std::ostream& os, const std::vector<FlowRecord>& records) {
 
 void write_flow_log(const std::filesystem::path& path,
                     const std::vector<FlowRecord>& records) {
-    std::ofstream os(path);
-    if (!os) throw Error(ErrorCode::Io, "write_flow_log: cannot open " + path.string());
-    write_flow_log(os, records);
-    if (!os) throw Error(ErrorCode::Io, "write_flow_log: write failed for " + path.string());
+    // Through the injectable facade: atomic (tmp + fsync + rename), so a
+    // crashed or faulted writer never leaves a torn TSV under `path`.
+    util::io::write_file_atomic(path,
+                                [&](std::ostream& os) {
+                                    write_flow_log(os, records);
+                                    return static_cast<bool>(os);
+                                })
+        .context("write_flow_log " + path.string())
+        .value_or_throw();
 }
 
 util::Result<std::vector<FlowRecord>> read_flow_log_result(std::istream& is) {
@@ -43,10 +49,11 @@ util::Result<std::vector<FlowRecord>> read_flow_log_result(std::istream& is) {
 
 util::Result<std::vector<FlowRecord>> read_flow_log_result(
     const std::filesystem::path& path) {
-    std::ifstream is(path);
-    if (!is) {
-        return Error(ErrorCode::Io, "read_flow_log: cannot open " + path.string());
+    auto data = util::io::read_file(path);
+    if (!data) {
+        return std::move(data).context("read_flow_log").error();
     }
+    std::istringstream is(std::move(data).value());
     return read_flow_log_result(is);
 }
 

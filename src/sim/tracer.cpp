@@ -5,7 +5,6 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -13,6 +12,7 @@
 
 #include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
+#include "util/io.hpp"
 
 namespace ytcdn::sim {
 
@@ -38,7 +38,7 @@ constexpr std::string_view kTypeNames[kNumTraceEventTypes] = {
     "session-start", "session-end", "dns-query",    "dns-cache-hit",
     "dns-answer",    "dns-servfail", "dc-selected",  "redirect",
     "connect-fail",  "retry",        "failover",     "pause",
-    "resume",        "fault",
+    "resume",        "fault",        "guard",
 };
 
 template <typename T>
@@ -364,9 +364,10 @@ util::Result<TraceLog> read_trace_bytes(std::string_view data) {
                                      parsed + i,
                                      offset + kBlockHeaderSize + i * kRecordSize);
             if (!event) return std::move(event).error();
-            // An interned-string reference must resolve: fault events index
-            // the table through `b`.
-            if (event.value().type == TraceEventType::Fault &&
+            // An interned-string reference must resolve: fault and guard
+            // events index the table through `b`.
+            if ((event.value().type == TraceEventType::Fault ||
+                 event.value().type == TraceEventType::Guard) &&
                 (event.value().b < 0 ||
                  static_cast<std::uint64_t>(event.value().b) >=
                      log.strings.size())) {
@@ -407,16 +408,12 @@ util::Result<TraceLog> read_trace_bytes(std::string_view data) {
 }
 
 util::Result<TraceLog> read_trace_file(const std::filesystem::path& path) {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
-        return Error(ErrorCode::Io, "cannot open trace " + path.string());
+    auto data = util::io::read_file(path);
+    if (!data) {
+        return std::move(data).context("trace " + path.string()).error();
     }
-    std::ostringstream buffer;
-    buffer << is.rdbuf();
-    if (is.bad()) {
-        return Error(ErrorCode::Io, "read error on trace " + path.string());
-    }
-    return read_trace_bytes(buffer.str()).context("trace " + path.string());
+    return read_trace_bytes(std::move(data).value())
+        .context("trace " + path.string());
 }
 
 std::string render_trace_jsonl(const TraceLog& log) {
@@ -440,7 +437,9 @@ std::string render_trace_jsonl(const TraceLog& log) {
         out += std::to_string(e.b);
         out += ",\"x\":";
         out += fmt_double(e.x);
-        if (e.type == TraceEventType::Fault && e.b >= 0 &&
+        if ((e.type == TraceEventType::Fault ||
+             e.type == TraceEventType::Guard) &&
+            e.b >= 0 &&
             static_cast<std::uint64_t>(e.b) < log.strings.size()) {
             out += ",\"target\":\"";
             append_json_escaped(out, log.strings[static_cast<std::size_t>(e.b)]);

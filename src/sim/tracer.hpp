@@ -29,9 +29,12 @@ enum class TraceEventType : std::uint8_t {
     Pause,             // a=server, x=viewer gap s
     Resume,            // a=server, x=remaining watch fraction
     Fault,             // code=FaultAction, a=schedule index, b=interned target
+    Guard,             // resource-guard report from the study supervisor:
+                       // code=1 RSS ceiling / 2 stage deadline, a=observed
+                       // (KiB or ms), b=interned stage name, x=budget
 };
 
-inline constexpr std::size_t kNumTraceEventTypes = 14;
+inline constexpr std::size_t kNumTraceEventTypes = 15;
 
 /// Kebab-case name ("session-start", "fault") used by JSONL output and the
 /// --trace-filter flag; "?" for out-of-range values.

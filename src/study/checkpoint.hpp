@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/dc_map.hpp"
+#include "study/report.hpp"
+#include "util/error.hpp"
+
+namespace ytcdn::study {
+
+/// Crash-safe per-stage checkpoints of a supervised study run ("YCK1").
+///
+/// Each completed pipeline stage (see study/supervisor.hpp) persists its
+/// output under `<run-dir>/checkpoints/<stage>.yck` so a killed run can be
+/// resumed without redoing finished work. The frame mirrors the repo's
+/// other on-disk formats (YFL2 / YSS2 / YTR1): explicit magic + version,
+/// a key that ties the file to the run that produced it, and a whole-file
+/// CRC32 so any flipped bit is detected at load time:
+///
+///   magic "YCK1" | u32 version | u64 run fingerprint | u32 stage id |
+///   u64 payload size | payload | trailer u32 crc32 of every prior byte
+///
+/// The run fingerprint extends config_fingerprint with the report options
+/// (see Supervisor::run_fingerprint): resuming with different flags is a
+/// KeyMismatch, never a silently wrong report. Checkpoints are written via
+/// util::io::write_file_atomic, so a SIGKILL mid-write leaves at most a
+/// stale ".tmp" — never a torn file under the final name. A checkpoint
+/// that fails validation is quarantined (bounded, numbered — see
+/// util::io::quarantine_file) and its stage is simply recomputed:
+/// checkpoint damage is never fatal.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// The supervised pipeline's stages, in execution order. Values are the
+/// on-disk stage ids of the YCK1 frame — append only, never renumber.
+enum class Stage : std::uint32_t {
+    Simulate = 0,  // run the discrete-event week -> TraceOutputs
+    Capture,       // write per-vantage-point flow logs
+    Geolocate,     // derive per-VP server->DC maps + preferred DCs
+    Analyze,       // render every report artifact
+    Render,        // write report.txt, artifacts/, manifest.txt
+};
+inline constexpr std::size_t kNumStages = 5;
+
+/// Stable lower-case stage name ("simulate", ... , "render").
+[[nodiscard]] std::string_view to_string(Stage stage) noexcept;
+
+/// `<run_dir>/checkpoints/<stage>.yck`.
+[[nodiscard]] std::filesystem::path checkpoint_path(
+    const std::filesystem::path& run_dir, Stage stage);
+
+/// Frames `payload` and writes it atomically (typed Io errors on failure).
+[[nodiscard]] util::Result<void> write_checkpoint(
+    const std::filesystem::path& path, std::uint64_t fingerprint, Stage stage,
+    std::string_view payload);
+
+/// Loads and validates a frame, returning the payload bytes. Errors carry
+/// the repo's corruption taxonomy: BadMagic / UnsupportedVersion /
+/// KeyMismatch (fingerprint or stage) / Truncated / ChecksumMismatch.
+[[nodiscard]] util::Result<std::string> load_checkpoint(
+    const std::filesystem::path& path, std::uint64_t fingerprint, Stage stage);
+
+/// nullopt when the file is missing (cold start) or invalid; an invalid
+/// file is quarantined as "<path>.corrupt.<k>" and described through
+/// `*warning` (one line, when non-null) so the stage recomputes.
+[[nodiscard]] std::optional<std::string> load_or_quarantine_checkpoint(
+    const std::filesystem::path& path, std::uint64_t fingerprint, Stage stage,
+    std::string* warning);
+
+/// --- Stage payload codecs -----------------------------------------------
+///
+/// All integers little-endian; doubles stored as raw IEEE-754 bits so a
+/// resumed run is bit-identical to an uninterrupted one. Strings are
+/// u32 length + bytes. Map assignments are sorted by /24 address before
+/// encoding, making the payload independent of hash-table iteration order.
+
+/// Capture stage: the flow-log files written, with size + CRC32 so resume
+/// can verify them without trusting mtimes.
+struct CaptureEntry {
+    std::string name;        // dataset name, also the log's file stem
+    std::uint64_t size = 0;  // bytes on disk
+    std::uint32_t crc = 0;   // util::crc32 of the file contents
+};
+
+[[nodiscard]] std::string encode_capture(const std::vector<CaptureEntry>& entries);
+[[nodiscard]] util::Result<std::vector<CaptureEntry>> decode_capture(
+    std::string_view payload);
+
+/// Geolocate stage: every vantage point's ServerDcMap and preferred DC.
+[[nodiscard]] std::string encode_geolocate(
+    const std::vector<analysis::ServerDcMap>& maps,
+    const std::vector<int>& preferred);
+[[nodiscard]] util::Result<void> decode_geolocate(
+    std::string_view payload, std::vector<analysis::ServerDcMap>* maps,
+    std::vector<int>* preferred);
+
+/// Analyze stage: the full report's artifacts plus degraded-artifact names.
+[[nodiscard]] std::string encode_report(const FullReport& report);
+[[nodiscard]] util::Result<FullReport> decode_report(std::string_view payload);
+
+}  // namespace ytcdn::study

@@ -381,19 +381,23 @@ FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
     // other ~19 artifacts down with it. Strict mode (CI) keeps fail-fast by
     // letting the exception propagate out of parallel_map.
     const bool strict = run.config.effective_strict_artifacts();
+    using Rendered = std::pair<std::string, bool>;  // content, degraded?
     auto contents = util::parallel_map(pool, jobs, [strict](const Job& job) {
-        if (strict) return job.second();
+        if (strict) return Rendered{job.second(), false};
         try {
-            return job.second();
+            return Rendered{job.second(), false};
         } catch (const std::exception& e) {
-            return "!! artifact '" + job.first + "' failed: " + e.what() + "\n";
+            return Rendered{
+                "!! artifact '" + job.first + "' failed: " + e.what() + "\n",
+                true};
         }
     });
 
     FullReport report;
     report.artifacts.reserve(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        report.artifacts.push_back({jobs[i].first, std::move(contents[i])});
+        report.artifacts.push_back({jobs[i].first, std::move(contents[i].first)});
+        if (contents[i].second) report.degraded.push_back(jobs[i].first);
     }
     return report;
 }

@@ -53,6 +53,11 @@ struct ReportArtifact {
 struct FullReport {
     std::vector<ReportArtifact> artifacts;
 
+    /// Names of artifacts that failed and were replaced with a placeholder
+    /// (non-strict mode only; empty on a healthy run). The supervisor lists
+    /// these in the run manifest instead of aborting the campaign.
+    std::vector<std::string> degraded;
+
     /// The artifact's content, or nullptr if the report was built without it
     /// (e.g. table3 with ReportOptions::include_table3 = false).
     [[nodiscard]] const std::string* content(std::string_view name) const;

@@ -1,7 +1,6 @@
 #include "study/snapshot.hpp"
 
 #include <cstring>
-#include <fstream>
 #include <sstream>
 #include <utility>
 
@@ -9,6 +8,7 @@
 #include "sim/random.hpp"
 #include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
+#include "util/io.hpp"
 
 namespace ytcdn::study {
 
@@ -349,10 +349,11 @@ util::Result<TraceOutputs> load_trace_snapshot_result(std::istream& is,
 
 util::Result<TraceOutputs> load_trace_snapshot_result(
     const std::filesystem::path& path, const StudyConfig& config) {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
-        return Error(ErrorCode::Io, "cannot open snapshot " + path.string());
+    auto data = util::io::read_file(path);
+    if (!data) {
+        return std::move(data).context("snapshot " + path.string()).error();
     }
+    std::istringstream is(std::move(data).value());
     return load_trace_snapshot_result(is, config)
         .context("snapshot " + path.string());
 }
@@ -375,23 +376,27 @@ std::optional<TraceOutputs> load_or_quarantine_snapshot(
     const std::filesystem::path& path, const StudyConfig& config,
     std::string* warning) {
     if (!config.fault_schedule.empty()) return std::nullopt;
-    std::ifstream is(path, std::ios::binary);
-    if (!is) return std::nullopt;  // missing file: a plain cold-cache miss
-    auto result = load_trace_snapshot_result(is, config);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+        return std::nullopt;  // missing file: a plain cold-cache miss
+    }
+    auto result = load_trace_snapshot_result(path, config);
     if (result) return std::move(result).value();
 
     // The file exists but failed validation: move it aside so it cannot
-    // poison the next run, and let the caller regenerate. Cache damage is
-    // never fatal.
-    const std::filesystem::path quarantined = path.string() + ".corrupt";
-    std::error_code ec;
-    std::filesystem::rename(path, quarantined, ec);
+    // poison the next run, and let the caller regenerate. Retention is
+    // bounded (keep the newest few "<name>.corrupt.<k>" siblings) so
+    // repeated corruption over a long campaign cannot fill the disk.
+    // Cache damage is never fatal.
+    auto quarantined = util::io::quarantine_file(path);
     if (warning) {
         *warning = "warning: snapshot " + path.string() + " failed to load (" +
                    result.error().what() + "); ";
-        *warning += ec ? "quarantine rename also failed; regenerating"
-                       : "quarantined as " + quarantined.filename().string() +
-                             " and regenerating";
+        *warning += !quarantined
+                        ? "quarantine rename also failed; regenerating"
+                        : "quarantined as " +
+                              quarantined.value().filename().string() +
+                              " and regenerating";
     }
     return std::nullopt;
 }

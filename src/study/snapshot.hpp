@@ -36,8 +36,9 @@ namespace ytcdn::study {
 /// truncation — each with a byte offset); the std::optional entry points
 /// map any error to std::nullopt so callers fall back to simulating.
 /// load_or_quarantine_snapshot additionally renames a damaged cache file
-/// to "<name>.corrupt" so it cannot poison the next run, and reports a
-/// one-line warning; a corrupt cache is never fatal.
+/// to "<name>.corrupt.<k>" (bounded retention — see util::io::quarantine_file)
+/// so it cannot poison the next run, and reports a one-line warning; a
+/// corrupt cache is never fatal.
 ///
 /// Bump when the record layout, the fingerprint inputs, or anything else
 /// about the byte format changes; stale snapshots are then re-simulated
@@ -78,8 +79,9 @@ bool write_trace_snapshot(const std::filesystem::path& path,
 
 /// Like the path overload of load_trace_snapshot, but a file that exists
 /// and fails validation (magic / version / CRC / fingerprint / truncation)
-/// is renamed to "<path>.corrupt" and reported through `*warning` (one
-/// line, when non-null). Returns std::nullopt in that case — the caller
+/// is quarantined as "<path>.corrupt.<k>" (keeping only the newest few —
+/// util::io::quarantine_file) and reported through `*warning` (one line,
+/// when non-null). Returns std::nullopt in that case — the caller
 /// regenerates, exactly as for a cold cache.
 [[nodiscard]] std::optional<TraceOutputs> load_or_quarantine_snapshot(
     const std::filesystem::path& path, const StudyConfig& config,

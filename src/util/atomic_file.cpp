@@ -1,79 +1,23 @@
 #include "util/atomic_file.hpp"
 
-#include <fstream>
-#include <ostream>
-#include <system_error>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <unistd.h>
-#define YTCDN_HAVE_FSYNC 1
-#endif
+#include "util/io.hpp"
 
 namespace ytcdn::util {
 
-namespace {
-
-/// Pushes the freshly-written bytes to stable storage before the rename
-/// publishes them; without this an OS crash can publish a zero-length file.
-/// Opening read-only is enough for fsync to flush the file's data pages.
-bool sync_file(const std::filesystem::path& path) {
-#ifdef YTCDN_HAVE_FSYNC
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0) return false;
-    const bool ok = ::fsync(fd) == 0;
-    ::close(fd);
-    return ok;
-#else
-    (void)path;
-    return true;
-#endif
-}
-
-Error io_error(std::string_view stage, const std::filesystem::path& path) {
-    return Error(ErrorCode::Io,
-                 std::string(stage) + " failed for " + path.string());
-}
-
-}  // namespace
+// Both overloads now delegate to the injectable I/O facade (util/io.hpp),
+// which adds what the original fstream implementation lacked: EINTR retry
+// on every syscall, an fsync of the parent directory after the rename (a
+// "committed" snapshot otherwise evaporates if power fails before the
+// directory entry reaches stable storage), and the chaos-test fault hooks.
 
 Result<void> atomic_write_file(const std::filesystem::path& path,
                                const std::function<bool(std::ostream&)>& writer) {
-    std::error_code ec;
-    if (path.has_parent_path()) {
-        std::filesystem::create_directories(path.parent_path(), ec);
-        if (ec) return io_error("create_directories", path.parent_path());
-    }
-    const std::filesystem::path tmp = path.string() + ".tmp";
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os) return io_error("open", tmp);
-        const bool written = writer(os);
-        os.flush();
-        if (!written || !os) {
-            os.close();
-            std::filesystem::remove(tmp, ec);
-            return io_error("write", tmp);
-        }
-    }
-    if (!sync_file(tmp)) {
-        std::filesystem::remove(tmp, ec);
-        return io_error("fsync", tmp);
-    }
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        std::filesystem::remove(tmp, ec);
-        return io_error("rename", path);
-    }
-    return {};
+    return io::write_file_atomic(path, writer);
 }
 
 Result<void> atomic_write_file(const std::filesystem::path& path,
                                std::string_view bytes) {
-    return atomic_write_file(path, [bytes](std::ostream& os) {
-        os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-        return static_cast<bool>(os);
-    });
+    return io::write_file_atomic(path, bytes);
 }
 
 }  // namespace ytcdn::util

@@ -1,0 +1,32 @@
+#include "util/host_clock.hpp"
+
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define YTCDN_HAVE_RUSAGE 1
+#endif
+
+namespace ytcdn::util::host_clock {
+
+double monotonic_s() {
+    // The blessed real-clock read for resource guards (see header).
+    const auto now = std::chrono::steady_clock::now();  // ytcdn-lint: allow(wall-clock)
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+std::uint64_t peak_rss_kb() {
+#ifdef YTCDN_HAVE_RUSAGE
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // KiB on Linux
+#endif
+#else
+    return 0;
+#endif
+}
+
+}  // namespace ytcdn::util::host_clock

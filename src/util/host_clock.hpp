@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ytcdn::util::host_clock {
+
+/// The one blessed boundary to the host's real clock and memory accounting.
+///
+/// Simulated results must never depend on wall time — that is what the
+/// wall-clock lint rule enforces across src/. The supervisor's resource
+/// guards (per-stage wall budgets, peak-RSS ceilings) are the exception:
+/// they *observe* the host without feeding anything back into simulated
+/// outputs. Keeping every real-time read behind this header makes the
+/// exception auditable: any other clock read in src/ is still a lint error.
+
+/// Monotonic seconds since an arbitrary epoch (never wall-calendar time).
+[[nodiscard]] double monotonic_s();
+
+/// The process's peak resident set size in KiB, or 0 where unavailable.
+[[nodiscard]] std::uint64_t peak_rss_kb();
+
+}  // namespace ytcdn::util::host_clock

@@ -1,0 +1,627 @@
+#include "util/io.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define YTCDN_IO_POSIX 1
+#endif
+
+namespace ytcdn::util::io {
+
+namespace {
+
+struct IoMetrics {
+    metrics::Counter operations = metrics::counter("util.io.operations");
+    metrics::Counter faults = metrics::counter("util.io.faults_injected");
+};
+
+IoMetrics& io_metrics() {
+    static IoMetrics m;
+    return m;
+}
+
+/// splitmix64 — local so the base library stays independent of sim/.
+std::uint64_t mix(std::uint64_t x) {
+    x += 0x9E37'79B9'7F4A'7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58'476D'1CE4'E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D0'49BB'1331'11EBull;
+    return x ^ (x >> 31);
+}
+
+double unit_interval(std::uint64_t h) {
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Minimal glob: '*' matches any run (including '/'), '?' one character.
+bool glob_match(std::string_view pattern, std::string_view text) {
+    if (pattern.empty() || pattern == "*") return true;
+    std::size_t p = 0;
+    std::size_t t = 0;
+    std::size_t star_p = std::string_view::npos;
+    std::size_t star_t = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star_p = p++;
+            star_t = t;
+        } else if (star_p != std::string_view::npos) {
+            p = star_p + 1;
+            t = ++star_t;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*') ++p;
+    return p == pattern.size();
+}
+
+Error injected_error(FaultKind kind, Op op, const std::filesystem::path& path) {
+    return Error(ErrorCode::Io, "injected " + std::string(to_string(kind)) +
+                                    " during " + std::string(to_string(op)) +
+                                    " of " + path.string());
+}
+
+void stall(double ms) {
+    if (ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<long>(ms * 1000.0)));
+    }
+}
+
+}  // namespace
+
+std::string_view to_string(Op op) noexcept {
+    switch (op) {
+        case Op::Open: return "open";
+        case Op::Read: return "read";
+        case Op::Write: return "write";
+        case Op::Fsync: return "fsync";
+        case Op::Rename: return "rename";
+    }
+    return "?";
+}
+
+std::string_view to_string(FaultKind kind) noexcept {
+    switch (kind) {
+        case FaultKind::None: return "none";
+        case FaultKind::Eio: return "EIO";
+        case FaultKind::Enospc: return "ENOSPC";
+        case FaultKind::ShortWrite: return "short-write";
+        case FaultKind::SlowWrite: return "slow-write";
+    }
+    return "?";
+}
+
+// --- FaultPlan ---------------------------------------------------------------
+
+struct FaultPlan::State {
+    mutable std::mutex mutex;
+    std::vector<std::uint64_t> draws;     // per rule
+    std::vector<std::int64_t> injected;   // per rule
+    FaultCounts totals;
+};
+
+std::shared_ptr<FaultPlan::State> FaultPlan::make_state() {
+    return std::make_shared<State>();
+}
+
+void FaultPlan::add(FaultRule rule) {
+    rules_.push_back(std::move(rule));
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->draws.push_back(0);
+    state_->injected.push_back(0);
+}
+
+FaultKind FaultPlan::draw(Op op, const std::filesystem::path& path,
+                          double* slow_ms) {
+    const std::string text = path.string();
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    ++state_->totals.checked;
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        const FaultRule& rule = rules_[i];
+        if ((rule.ops & op_bit(op)) == 0) continue;
+        if (!glob_match(rule.glob, text)) continue;
+        const std::uint64_t seq = state_->draws[i]++;
+        if (rule.max_faults >= 0 && state_->injected[i] >= rule.max_faults) {
+            continue;
+        }
+        const std::uint64_t h =
+            mix(seed_ ^ mix(static_cast<std::uint64_t>(i) + 1) ^ mix(seq));
+        if (unit_interval(h) < rule.probability) {
+            ++state_->injected[i];
+            ++state_->totals.injected;
+            io_metrics().faults.inc();
+            if (slow_ms != nullptr) *slow_ms = rule.slow_ms;
+            return rule.kind;
+        }
+    }
+    return FaultKind::None;
+}
+
+FaultCounts FaultPlan::counts() const {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->totals;
+}
+
+Result<FaultPlan> FaultPlan::parse(std::string_view text) {
+    FaultPlan plan;
+    std::istringstream lines{std::string(text)};
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(lines, line)) {
+        ++line_no;
+        std::istringstream tokens(line);
+        std::string head;
+        if (!(tokens >> head) || head.front() == '#') continue;
+        if (head == "seed") {
+            unsigned long long seed = 0;
+            if (!(tokens >> seed)) {
+                return error_at_line(ErrorCode::Parse,
+                                     "fault plan: seed needs an integer",
+                                     line_no);
+            }
+            plan.seed_ = seed;
+            continue;
+        }
+        FaultRule rule;
+        if (head == "eio") {
+            rule.kind = FaultKind::Eio;
+        } else if (head == "enospc") {
+            rule.kind = FaultKind::Enospc;
+        } else if (head == "short-write") {
+            rule.kind = FaultKind::ShortWrite;
+        } else if (head == "slow-write") {
+            rule.kind = FaultKind::SlowWrite;
+        } else {
+            return error_at_line(ErrorCode::Parse,
+                                 "fault plan: unknown kind '" + head + "'",
+                                 line_no);
+        }
+        bool have_p = false;
+        std::string kv;
+        while (tokens >> kv) {
+            const auto eq = kv.find('=');
+            if (eq == std::string::npos) {
+                return error_at_line(ErrorCode::Parse,
+                                     "fault plan: expected key=value, got '" +
+                                         kv + "'",
+                                     line_no);
+            }
+            const std::string key = kv.substr(0, eq);
+            const std::string value = kv.substr(eq + 1);
+            if (key == "p") {
+                char* end = nullptr;
+                rule.probability = std::strtod(value.c_str(), &end);
+                if (end == value.c_str() || rule.probability < 0.0 ||
+                    rule.probability > 1.0) {
+                    return error_at_line(
+                        ErrorCode::Parse,
+                        "fault plan: p must be a probability, got '" + value +
+                            "'",
+                        line_no);
+                }
+                have_p = true;
+            } else if (key == "ops") {
+                rule.ops = 0;
+                std::istringstream ops(value);
+                std::string op;
+                while (std::getline(ops, op, ',')) {
+                    if (op == "open") {
+                        rule.ops |= op_bit(Op::Open);
+                    } else if (op == "read") {
+                        rule.ops |= op_bit(Op::Read);
+                    } else if (op == "write") {
+                        rule.ops |= op_bit(Op::Write);
+                    } else if (op == "fsync") {
+                        rule.ops |= op_bit(Op::Fsync);
+                    } else if (op == "rename") {
+                        rule.ops |= op_bit(Op::Rename);
+                    } else {
+                        return error_at_line(
+                            ErrorCode::Parse,
+                            "fault plan: unknown op '" + op + "'", line_no);
+                    }
+                }
+                if (rule.ops == 0) {
+                    return error_at_line(ErrorCode::Parse,
+                                         "fault plan: empty ops list", line_no);
+                }
+            } else if (key == "glob") {
+                rule.glob = value;
+            } else if (key == "max") {
+                rule.max_faults = std::strtoll(value.c_str(), nullptr, 10);
+            } else if (key == "slow-ms") {
+                rule.slow_ms = std::strtod(value.c_str(), nullptr);
+            } else {
+                return error_at_line(ErrorCode::Parse,
+                                     "fault plan: unknown key '" + key + "'",
+                                     line_no);
+            }
+        }
+        if (!have_p) {
+            return error_at_line(ErrorCode::Parse,
+                                 "fault plan: rule is missing p=<probability>",
+                                 line_no);
+        }
+        plan.add(std::move(rule));
+    }
+    return plan;
+}
+
+// --- global installation -----------------------------------------------------
+
+namespace {
+
+std::mutex& plan_mutex() {
+    static std::mutex m;
+    return m;
+}
+
+std::shared_ptr<FaultPlan>& plan_slot() {
+    static std::shared_ptr<FaultPlan> plan;
+    return plan;
+}
+
+/// The fault this operation draws under the installed plan (None when no
+/// plan is installed). SlowWrite is resolved here: the stall happens, and
+/// None is returned so callers only branch on hard faults.
+FaultKind check_fault(Op op, const std::filesystem::path& path) {
+    io_metrics().operations.inc();
+    std::shared_ptr<FaultPlan> plan;
+    {
+        const std::lock_guard<std::mutex> lock(plan_mutex());
+        plan = plan_slot();
+    }
+    if (!plan) return FaultKind::None;
+    double slow_ms = 2.0;
+    const FaultKind kind = plan->draw(op, path, &slow_ms);
+    if (kind == FaultKind::SlowWrite) {
+        stall(slow_ms);
+        return FaultKind::None;
+    }
+    return kind;
+}
+
+}  // namespace
+
+void set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+    const std::lock_guard<std::mutex> lock(plan_mutex());
+    plan_slot() = std::move(plan);
+}
+
+std::shared_ptr<FaultPlan> fault_plan() {
+    const std::lock_guard<std::mutex> lock(plan_mutex());
+    return plan_slot();
+}
+
+Result<void> install_fault_plan_from_env() {
+    const char* spec = std::getenv("YTCDN_IO_FAULTS");
+    if (spec == nullptr || *spec == '\0') return {};
+    std::string text;
+    if (spec[0] == '@') {
+        auto file = read_file(spec + 1);
+        if (!file) {
+            return std::move(file).context("YTCDN_IO_FAULTS").error();
+        }
+        text = std::move(file).value();
+    } else {
+        text = spec;
+        std::replace(text.begin(), text.end(), ';', '\n');
+    }
+    auto plan = FaultPlan::parse(text);
+    if (!plan) return std::move(plan).context("YTCDN_IO_FAULTS").error();
+    set_fault_plan(std::make_shared<FaultPlan>(std::move(plan).value()));
+    return {};
+}
+
+// --- facade operations -------------------------------------------------------
+
+#ifdef YTCDN_IO_POSIX
+
+namespace {
+
+int open_retry(const char* path, int flags, mode_t mode = 0) {
+    int fd = -1;
+    do {
+        fd = ::open(path, flags, mode);
+    } while (fd < 0 && errno == EINTR);
+    return fd;
+}
+
+/// Writes the whole buffer, retrying EINTR and continuing partial writes.
+bool write_all(int fd, const char* data, std::size_t size) {
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::write(fd, data + done, size - done);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool fsync_retry(int fd) {
+    int rc = -1;
+    do {
+        rc = ::fsync(fd);
+    } while (rc < 0 && errno == EINTR);
+    return rc == 0;
+}
+
+Error errno_error(std::string_view what, const std::filesystem::path& path) {
+    return Error(ErrorCode::Io, std::string(what) + " failed for " +
+                                    path.string() + ": " +
+                                    std::strerror(errno));
+}
+
+/// Durability for the rename itself: the new directory entry must reach
+/// stable storage. Directories that refuse to open (some filesystems) are
+/// tolerated; an fsync error on an opened directory is not.
+Result<void> sync_parent_dir(const std::filesystem::path& path) {
+    const std::filesystem::path dir =
+        path.has_parent_path() ? path.parent_path() : ".";
+    const int fd = open_retry(dir.c_str(), O_RDONLY);
+    if (fd < 0) return {};
+    const bool ok = fsync_retry(fd);
+    ::close(fd);
+    if (!ok) return errno_error("fsync of parent directory", dir);
+    return {};
+}
+
+}  // namespace
+
+Result<std::string> read_file(const std::filesystem::path& path) {
+    if (const FaultKind f = check_fault(Op::Open, path); f != FaultKind::None) {
+        return injected_error(f, Op::Open, path);
+    }
+    const int fd = open_retry(path.c_str(), O_RDONLY);
+    if (fd < 0) return errno_error("open", path);
+
+    std::string out;
+    char buf[1 << 16];
+    bool injected_read_fault = false;
+    FaultKind read_fault = FaultKind::None;
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            return errno_error("read", path);
+        }
+        if (n == 0) break;
+        if (const FaultKind f = check_fault(Op::Read, path);
+            f != FaultKind::None) {
+            // A short read delivers this chunk truncated before failing, so
+            // the caller sees the torn prefix a real EIO would leave.
+            out.append(buf, static_cast<std::size_t>(
+                                f == FaultKind::ShortWrite ? n / 2 : 0));
+            injected_read_fault = true;
+            read_fault = f;
+            break;
+        }
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    if (injected_read_fault) {
+        return injected_error(read_fault, Op::Read, path);
+    }
+    return out;
+}
+
+Result<void> write_file_atomic(const std::filesystem::path& path,
+                               std::string_view bytes) {
+    std::error_code ec;
+    if (path.has_parent_path()) {
+        std::filesystem::create_directories(path.parent_path(), ec);
+        if (ec) {
+            return Error(ErrorCode::Io, "create_directories failed for " +
+                                            path.parent_path().string());
+        }
+    }
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    const auto fail = [&](Error error) {
+        std::error_code ignore;
+        std::filesystem::remove(tmp, ignore);
+        return error;
+    };
+
+    if (const FaultKind f = check_fault(Op::Open, path); f != FaultKind::None) {
+        return injected_error(f, Op::Open, path);
+    }
+    const int fd = open_retry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return errno_error("open", tmp);
+
+    if (const FaultKind f = check_fault(Op::Write, path);
+        f != FaultKind::None) {
+        if (f == FaultKind::ShortWrite) {
+            // Leave a torn temp file exactly as a real short write would,
+            // then fail — the cleanup below must still remove it.
+            (void)write_all(fd, bytes.data(), bytes.size() / 2);
+        }
+        ::close(fd);
+        return fail(injected_error(f, Op::Write, path));
+    }
+    if (!write_all(fd, bytes.data(), bytes.size())) {
+        ::close(fd);
+        return fail(errno_error("write", tmp));
+    }
+
+    if (const FaultKind f = check_fault(Op::Fsync, path);
+        f != FaultKind::None) {
+        ::close(fd);
+        return fail(injected_error(f, Op::Fsync, path));
+    }
+    if (!fsync_retry(fd)) {
+        ::close(fd);
+        return fail(errno_error("fsync", tmp));
+    }
+    ::close(fd);
+
+    if (const FaultKind f = check_fault(Op::Rename, path);
+        f != FaultKind::None) {
+        return fail(injected_error(f, Op::Rename, path));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        return fail(errno_error("rename", path));
+    }
+    return sync_parent_dir(path);
+}
+
+Result<void> rename_file(const std::filesystem::path& from,
+                         const std::filesystem::path& to) {
+    if (const FaultKind f = check_fault(Op::Rename, from);
+        f != FaultKind::None) {
+        return injected_error(f, Op::Rename, from);
+    }
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+        return errno_error("rename", from);
+    }
+    return {};
+}
+
+#else  // !YTCDN_IO_POSIX — portable fallback without fd-level durability.
+
+Result<std::string> read_file(const std::filesystem::path& path) {
+    if (const FaultKind f = check_fault(Op::Open, path); f != FaultKind::None) {
+        return injected_error(f, Op::Open, path);
+    }
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return Error(ErrorCode::Io, "cannot open " + path.string());
+    if (const FaultKind f = check_fault(Op::Read, path); f != FaultKind::None) {
+        return injected_error(f, Op::Read, path);
+    }
+    std::string out{std::istreambuf_iterator<char>(is),
+                    std::istreambuf_iterator<char>()};
+    if (is.bad()) return Error(ErrorCode::Io, "read failed for " + path.string());
+    return out;
+}
+
+Result<void> write_file_atomic(const std::filesystem::path& path,
+                               std::string_view bytes) {
+    std::error_code ec;
+    if (path.has_parent_path()) {
+        std::filesystem::create_directories(path.parent_path(), ec);
+        if (ec) {
+            return Error(ErrorCode::Io, "create_directories failed for " +
+                                            path.parent_path().string());
+        }
+    }
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    const auto fail = [&](Error error) {
+        std::error_code ignore;
+        std::filesystem::remove(tmp, ignore);
+        return error;
+    };
+    if (const FaultKind f = check_fault(Op::Open, path); f != FaultKind::None) {
+        return injected_error(f, Op::Open, path);
+    }
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) return Error(ErrorCode::Io, "cannot open " + tmp.string());
+        if (const FaultKind f = check_fault(Op::Write, path);
+            f != FaultKind::None) {
+            return fail(injected_error(f, Op::Write, path));
+        }
+        os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        os.flush();
+        if (!os) return fail(Error(ErrorCode::Io, "write failed for " + tmp.string()));
+    }
+    if (const FaultKind f = check_fault(Op::Rename, path);
+        f != FaultKind::None) {
+        return fail(injected_error(f, Op::Rename, path));
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) return fail(Error(ErrorCode::Io, "rename failed for " + path.string()));
+    return {};
+}
+
+Result<void> rename_file(const std::filesystem::path& from,
+                         const std::filesystem::path& to) {
+    if (const FaultKind f = check_fault(Op::Rename, from);
+        f != FaultKind::None) {
+        return injected_error(f, Op::Rename, from);
+    }
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+    if (ec) return Error(ErrorCode::Io, "rename failed for " + from.string());
+    return {};
+}
+
+#endif  // YTCDN_IO_POSIX
+
+Result<void> write_file_atomic(const std::filesystem::path& path,
+                               const std::function<bool(std::ostream&)>& writer) {
+    std::ostringstream buffer;
+    if (!writer(buffer) || !buffer) {
+        return Error(ErrorCode::Io, "serialize failed for " + path.string());
+    }
+    return write_file_atomic(path, buffer.str());
+}
+
+Result<std::filesystem::path> quarantine_file(const std::filesystem::path& path,
+                                              std::size_t keep) {
+    if (keep == 0) keep = kDefaultQuarantineKeep;
+    if (const char* env = std::getenv("YTCDN_QUARANTINE_KEEP")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0) keep = static_cast<std::size_t>(v);
+    }
+
+    // Existing quarantined siblings: "<name>.corrupt.<k>".
+    const std::filesystem::path dir =
+        path.has_parent_path() ? path.parent_path() : ".";
+    const std::string prefix = path.filename().string() + ".corrupt.";
+    std::vector<std::pair<std::uint64_t, std::filesystem::path>> existing;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+            continue;
+        }
+        const std::string suffix = name.substr(prefix.size());
+        if (suffix.empty() ||
+            suffix.find_first_not_of("0123456789") != std::string::npos) {
+            continue;
+        }
+        existing.emplace_back(std::strtoull(suffix.c_str(), nullptr, 10),
+                              entry.path());
+    }
+    std::sort(existing.begin(), existing.end());
+
+    const std::uint64_t next = existing.empty() ? 1 : existing.back().first + 1;
+    const std::filesystem::path target =
+        dir / (prefix + std::to_string(next));
+    if (auto r = rename_file(path, target); !r) {
+        return std::move(r).context("quarantine").error();
+    }
+
+    // Keep the newest `keep` quarantined copies including the one just
+    // created; delete the oldest beyond that so repeated corruption in a
+    // long run cannot fill the disk.
+    const std::size_t total = existing.size() + 1;
+    if (total > keep) {
+        const std::size_t drop = total - keep;
+        for (std::size_t i = 0; i < drop && i < existing.size(); ++i) {
+            std::filesystem::remove(existing[i].second, ec);
+        }
+    }
+    return target;
+}
+
+}  // namespace ytcdn::util::io

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ytcdn::util::io {
+
+/// The injectable host-I/O boundary. Every file the pipeline touches goes
+/// through these entry points, which consult the process-wide FaultPlan
+/// before performing the real operation. With no plan installed (the
+/// default) the facade is a thin wrapper over POSIX I/O with EINTR retries
+/// and full durability (fsync the file *and* its parent directory before a
+/// rename publishes it); with a plan installed, a deterministic, seeded
+/// schedule of EIO / ENOSPC / short-write / slow-write faults fires at the
+/// selected operations — which is how ctest chaos-tests the real pipeline
+/// instead of a mock.
+
+/// The primitive operations a FaultRule can select.
+enum class Op : std::uint8_t { Open, Read, Write, Fsync, Rename };
+inline constexpr std::size_t kNumOps = 5;
+
+[[nodiscard]] std::string_view to_string(Op op) noexcept;
+[[nodiscard]] constexpr std::uint8_t op_bit(Op op) noexcept {
+    return static_cast<std::uint8_t>(1u << static_cast<unsigned>(op));
+}
+inline constexpr std::uint8_t kAllOps = 0x1F;
+
+/// What an injected fault pretends happened.
+enum class FaultKind : std::uint8_t {
+    None,
+    Eio,         // the device reported an I/O error
+    Enospc,      // the disk filled up
+    ShortWrite,  // only part of the buffer reached the file, then EIO
+    SlowWrite,   // the operation stalls (bounded sleep), then succeeds
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// One line of a fault schedule: with probability `probability`, operations
+/// matching `ops` on paths matching `glob` suffer a `kind` fault, at most
+/// `max_faults` times (-1 = unbounded).
+struct FaultRule {
+    FaultKind kind = FaultKind::Eio;
+    double probability = 0.0;
+    std::uint8_t ops = kAllOps;
+    std::string glob;             // empty or "*" matches every path
+    std::int64_t max_faults = -1;
+    double slow_ms = 2.0;         // stall length for SlowWrite
+};
+
+/// Counts of what a plan actually did, for the run manifest.
+struct FaultCounts {
+    std::uint64_t checked = 0;   // operations that consulted the plan
+    std::uint64_t injected = 0;  // operations that drew a fault
+};
+
+/// A deterministic schedule of host faults. Decisions are a pure function
+/// of (seed, rule index, per-rule draw counter): two runs executing the
+/// same I/O sequence inject exactly the same faults. Thread-safe.
+class FaultPlan {
+public:
+    FaultPlan() = default;
+    explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+    void add(FaultRule rule);
+    [[nodiscard]] bool empty() const noexcept { return rules_.empty(); }
+
+    /// Parses the fault-plan text format, one rule per line:
+    ///
+    ///   # chaos at one percent
+    ///   seed 42
+    ///   eio p=0.01 ops=open,write glob=*.yfl max=3
+    ///   enospc p=0.002 ops=write,fsync,rename
+    ///   short-write p=0.01 ops=write
+    ///   slow-write p=0.05 slow-ms=5
+    ///
+    /// Kinds: eio | enospc | short-write | slow-write. `p=` is required;
+    /// ops/glob/max/slow-ms are optional (default: all ops, every path,
+    /// unbounded, 2 ms).
+    [[nodiscard]] static Result<FaultPlan> parse(std::string_view text);
+
+    /// The fault (or None) this operation draws. Advances the schedule.
+    /// For SlowWrite faults, `*slow_ms` (when non-null) receives the
+    /// matching rule's stall length.
+    [[nodiscard]] FaultKind draw(Op op, const std::filesystem::path& path,
+                                 double* slow_ms = nullptr);
+
+    [[nodiscard]] FaultCounts counts() const;
+
+private:
+    std::uint64_t seed_ = 0;
+    std::vector<FaultRule> rules_;
+    struct State;
+    std::shared_ptr<State> state_ = make_state();
+    [[nodiscard]] static std::shared_ptr<State> make_state();
+};
+
+/// Installs `plan` as the process-wide fault schedule consulted by every
+/// facade operation (null = no faults, the zero-overhead default).
+void set_fault_plan(std::shared_ptr<FaultPlan> plan);
+[[nodiscard]] std::shared_ptr<FaultPlan> fault_plan();
+
+/// RAII installation for tests: restores the previous plan on destruction.
+class ScopedFaultPlan {
+public:
+    explicit ScopedFaultPlan(std::shared_ptr<FaultPlan> plan)
+        : previous_(fault_plan()) {
+        set_fault_plan(std::move(plan));
+    }
+    ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+    ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+    ~ScopedFaultPlan() { set_fault_plan(std::move(previous_)); }
+
+private:
+    std::shared_ptr<FaultPlan> previous_;
+};
+
+/// Installs the plan named by the YTCDN_IO_FAULTS environment variable:
+/// either an inline spec ("eio p=0.01 ops=write") with ';' for newlines, or
+/// "@<path>" to read a plan file. No-op (success) when the variable is
+/// unset or empty. CLI front ends call this before dispatching so chaos
+/// reaches every command without new flags.
+[[nodiscard]] Result<void> install_fault_plan_from_env();
+
+/// Reads the whole file. EINTR-retried; fault points: Open, Read.
+[[nodiscard]] Result<std::string> read_file(const std::filesystem::path& path);
+
+/// Writes atomically and durably: serialize to "<path>.tmp", fsync the
+/// file, rename over the final name, then fsync the parent directory (a
+/// rename is only crash-durable once the directory entry itself is on
+/// stable storage). Parent directories are created as needed; on any
+/// failure the temp file is removed, so no torn or un-framed output is
+/// ever left under the final name. Fault points: Open, Write, Fsync,
+/// Rename. EINTR is retried at every syscall.
+[[nodiscard]] Result<void> write_file_atomic(const std::filesystem::path& path,
+                                             std::string_view bytes);
+
+/// Callback form: the writer serializes into a memory buffer first
+/// (returning false aborts with an Io error), then the byte form above
+/// performs the durable write.
+[[nodiscard]] Result<void> write_file_atomic(
+    const std::filesystem::path& path,
+    const std::function<bool(std::ostream&)>& writer);
+
+/// Renames with EINTR retry. Fault point: Rename.
+[[nodiscard]] Result<void> rename_file(const std::filesystem::path& from,
+                                       const std::filesystem::path& to);
+
+/// Moves a damaged file aside as "<path>.corrupt.<k>" (k increments past
+/// any existing quarantined sibling) and prunes older quarantined copies
+/// so at most `keep` remain — repeated corruption in a long run must not
+/// fill the disk. Returns the quarantine path. `keep` == 0 keeps the
+/// default of kDefaultQuarantineKeep; the YTCDN_QUARANTINE_KEEP
+/// environment variable overrides either.
+inline constexpr std::size_t kDefaultQuarantineKeep = 3;
+[[nodiscard]] Result<std::filesystem::path> quarantine_file(
+    const std::filesystem::path& path, std::size_t keep = 0);
+
+}  // namespace ytcdn::util::io

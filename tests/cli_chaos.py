@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Chaos tests for the CLI front ends (ctest: cli_chaos).
+
+YTCDN_IO_FAULTS (util/io.hpp) injects deterministic host faults into every
+facade operation. These cases pin the user-visible contract under fault:
+
+  * a malformed fault spec is a parse failure (exit 5) before any work runs,
+  * injected EIO/ENOSPC surfaces as the taxonomy's I/O exit (3), never 1,
+  * a failed `ytcdn study` leaves no torn output — no *.tmp litter, no
+    partial report.txt under the run directory,
+  * a transient single fault is retried away by stage supervision: the run
+    exits 0 with a complete manifest.
+
+Usage: cli_chaos.py <path-to-ytcdn-binary> <corpus-dir> <trace-dump-binary>
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+failures: list[str] = []
+
+STUDY = ["study", "--scale", "0.005", "--no-table3", "--backoff", "0"]
+
+
+def run(binary: str, args: list[str], expect: int, what: str,
+        faults: str | None = None) -> None:
+    env = dict(os.environ)
+    env.pop("YTCDN_IO_FAULTS", None)
+    if faults is not None:
+        env["YTCDN_IO_FAULTS"] = faults
+    proc = subprocess.run([binary, *args], capture_output=True, text=True,
+                          errors="replace", check=False, timeout=300, env=env)
+    if proc.returncode == expect:
+        print(f"  ok: {what} -> {expect}")
+    else:
+        failures.append(what)
+        print(f"  FAIL: {what}: expected exit {expect}, got {proc.returncode}\n"
+              f"        stderr: {proc.stderr.strip()[:300]}")
+
+
+def check(cond: bool, what: str) -> None:
+    if cond:
+        print(f"  ok: {what}")
+    else:
+        failures.append(what)
+        print(f"  FAIL: {what}")
+
+
+def tree(root: str) -> list[str]:
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            out.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(out)
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print("usage: cli_chaos.py <ytcdn-binary> <corpus-dir> "
+              "<trace-dump-binary>")
+        return 2
+    binary, corpus, trace_dump = sys.argv[1], sys.argv[2], sys.argv[3]
+    valid_trace = os.path.join(corpus, "trace_valid.ytr")
+
+    with tempfile.TemporaryDirectory(prefix="ytcdn_cli_chaos_") as tmp:
+        print("malformed fault specs are parse failures (exit 5)")
+        run(binary, STUDY + ["--out", os.path.join(tmp, "never")], 5,
+            "ytcdn with a bad YTCDN_IO_FAULTS", faults="eio p=banana")
+        run(trace_dump, [valid_trace], 5,
+            "trace_dump with a bad YTCDN_IO_FAULTS", faults="warp-core p=1")
+        check(not os.path.exists(os.path.join(tmp, "never")),
+              "nothing was created before the spec was rejected")
+
+        print("injected read faults surface as I/O errors (exit 3)")
+        run(trace_dump, [valid_trace], 3,
+            "trace_dump under eio-on-open", faults="eio p=1 ops=open")
+        run(trace_dump, [valid_trace], 3,
+            "trace_dump under eio-on-read", faults="eio p=1 ops=read")
+        run(trace_dump, [valid_trace], 0,
+            "trace_dump with an empty plan is unaffected", faults="seed 1")
+
+        print("a hard-failed study run leaves no torn output (exit 3)")
+        doomed = os.path.join(tmp, "doomed")
+        run(binary, STUDY + ["--out", doomed, "--attempts", "2"], 3,
+            "ytcdn study under enospc-on-every-write",
+            faults="enospc p=1 ops=write")
+        leftovers = tree(doomed) if os.path.isdir(doomed) else []
+        check(not [f for f in leftovers if f.endswith(".tmp")],
+              f"no .tmp litter under the run dir (saw {leftovers})")
+        check("report.txt" not in leftovers, "no partial report.txt")
+
+        print("a transient fault is retried away (exit 0)")
+        healed = os.path.join(tmp, "healed")
+        run(binary, STUDY + ["--out", healed, "--attempts", "3"], 0,
+            "ytcdn study with a single injected write fault",
+            faults="seed 7; eio p=1 ops=write max=1")
+        manifest = os.path.join(healed, "manifest.txt")
+        check(os.path.exists(manifest), "manifest.txt was written")
+        if os.path.exists(manifest):
+            with open(manifest, encoding="utf-8") as f:
+                text = f.read()
+            check("status complete" in text,
+                  f"manifest says the run completed:\n{text[:400]}")
+
+    if failures:
+        print(f"\n{len(failures)} case(s) failed")
+        return 1
+    print("\nall chaos cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "study/dc_map_builder.hpp"
 #include "study/report.hpp"
 #include "study/study_run.hpp"
+#include "study/supervisor.hpp"
+#include "util/io.hpp"
 
 namespace analysis = ytcdn::analysis;
 namespace geo = ytcdn::geo;
@@ -232,6 +235,47 @@ TEST(Determinism, ChaosScheduleIsReproducible) {
         EXPECT_EQ(sa.failures.total(), sb.failures.total()) << i;
         EXPECT_EQ(sa.retry_histogram, sb.retry_histogram) << i;
     }
+}
+
+TEST(Determinism, CheckpointResume) {
+    // An interrupted supervised run, resumed from its YCK1 checkpoints, must
+    // render the byte-identical report an uninterrupted run renders — at one
+    // worker thread and at eight. This is the determinism contract behind
+    // `ytcdn study --resume`: a crash costs wall time, never correctness.
+    namespace fs = std::filesystem;
+    const auto report_at = [](int threads, bool interrupt) {
+        auto cfg = small_config();
+        cfg.threads = threads;
+        const auto dir = fs::temp_directory_path() /
+                         ("ytcdn_det_resume_t" + std::to_string(threads) +
+                          (interrupt ? "_int" : "_ref"));
+        fs::remove_all(dir);
+        study::SupervisorOptions opt;
+        opt.run_dir = dir;
+        opt.report.include_table3 = false;
+        if (interrupt) {
+            // Stop at the geolocate/analyze boundary, then resume: the
+            // second run replays simulate+capture+geolocate from disk.
+            opt.max_stages = 3;
+            auto first = study::Supervisor(cfg, opt).run();
+            EXPECT_TRUE(first.ok() && !first.value().completed);
+            opt.max_stages = 0;
+            opt.resume = true;
+        }
+        const auto result = study::Supervisor(cfg, opt).run();
+        EXPECT_TRUE(result.ok()) << result.error().what();
+        const std::string report =
+            ytcdn::util::io::read_file(result.value().report_path)
+                .value_or_throw();
+        fs::remove_all(dir);
+        return report;
+    };
+
+    const std::string serial = report_at(1, false);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, report_at(1, true));
+    EXPECT_EQ(serial, report_at(8, false));
+    EXPECT_EQ(serial, report_at(8, true));
 }
 
 TEST(Determinism, EmptyScheduleMatchesBaseline) {

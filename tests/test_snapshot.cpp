@@ -274,7 +274,9 @@ TEST(Snapshot, QuarantineMovesDamagedFileAsideAndReportsOnce) {
     EXPECT_NE(warning.find("quarantined"), std::string::npos) << warning;
     EXPECT_NE(warning.find("CRC mismatch"), std::string::npos) << warning;
     EXPECT_FALSE(std::filesystem::exists(path));
-    const auto quarantined = std::filesystem::path(path.string() + ".corrupt");
+    // Quarantine copies are numbered and pruned to the newest few (see
+    // util::io::quarantine_file); a single corruption lands at ".corrupt.1".
+    const auto quarantined = std::filesystem::path(path.string() + ".corrupt.1");
     EXPECT_TRUE(std::filesystem::exists(quarantined));
 
     // Second attempt sees a plain cold miss: no warning, nothing renamed.

@@ -22,6 +22,7 @@ EXPECTED = [
     ("bad_header.hpp", "include-guard", 1),
     ("bad_header.hpp", "using-namespace", 1),
     ("bad_thread.cpp", "raw-thread", 4),
+    ("src/bad_fileio.cpp", "raw-file-io", 4),
     ("bad_catch.cpp", "catch-all", 3),
     ("src/bad_metrics.cpp", "metrics-name-literal", 2),
 ]

@@ -1,0 +1,22 @@
+// Seeded raw-file-io violations: direct file access that bypasses the
+// util::io facade (and with it the fault plan, EINTR retry and fsync
+// durability). Lives under testdata/src/ because the rule is scoped to
+// src/ and tools/.
+#include <cstdio>
+#include <fstream>
+
+void bad_fileio() {
+    std::ifstream in("data.bin");                   // raw-file-io
+    std::ofstream out("result.txt");                // raw-file-io
+    std::FILE* f = fopen("legacy.dat", "rb");       // raw-file-io
+    int fd = ::open("direct.bin", 0);               // raw-file-io
+    (void)in;
+    (void)out;
+    (void)f;
+    (void)fd;
+}
+
+void fine_fileio() {
+    // Not file I/O: string streams and the facade itself stay clean.
+    // std::istringstream is fine; so is util::io::read_file(path).
+}

@@ -33,6 +33,13 @@ invariants that keep it that way (plus a few general hygiene rules):
                    runtime-composed name cannot be grepped, breaks the
                    byte-stable snapshot ordering across runs, and defeats
                    the kind-conflict check at registration.
+  raw-file-io      No direct std::ifstream/std::ofstream/std::fstream,
+                   fopen/freopen, or bare ::open in src/ or tools/. All file
+                   access routes through util::io (read_file /
+                   write_file_atomic) so the chaos fault plan, EINTR retry
+                   and fsync durability apply everywhere; a stream opened on
+                   the side is invisible to every one of them. Tests, bench
+                   and examples are harness code and exempt.
   catch-all        No bare `catch (...)` and no empty catch bodies. The
                    typed-error layer (ytcdn::Error / util::Result) exists so
                    failures carry their code and provenance; a catch-all or
@@ -76,6 +83,11 @@ THREAD_ALLOWED_FILES = ("src/util/parallel.hpp", "src/util/parallel.cpp")
 # else must register metrics under literal names.
 METRICS_ALLOWED_FILES = ("src/util/metrics.hpp", "src/util/metrics.cpp")
 
+# Files allowed to open files directly: the injectable I/O facade itself and
+# the atomic-write shim that delegates to it.
+FILEIO_ALLOWED_FILES = ("src/util/io.hpp", "src/util/io.cpp",
+                        "src/util/atomic_file.cpp")
+
 SUPPRESS_RE = re.compile(r"ytcdn-lint:\s*allow\(\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)\s*\)")
 
 ALL_RULES = (
@@ -86,6 +98,7 @@ ALL_RULES = (
     "using-namespace",
     "include-guard",
     "raw-thread",
+    "raw-file-io",
     "catch-all",
     "metrics-name-literal",
 )
@@ -231,6 +244,18 @@ THREAD_PATTERNS = (
      "detached threads outlive all ordering guarantees"),
 )
 
+FILEIO_PATTERNS = (
+    (
+        re.compile(r"std\s*::\s*[io]?fstream\b"),
+        "direct file stream — route through util::io (read_file / "
+        "write_file_atomic) so fault injection and fsync durability apply",
+    ),
+    (re.compile(r"(?<![\w:.])f(?:re)?open\s*\("),
+     "fopen/freopen bypasses the util::io facade"),
+    (re.compile(r"(?<![\w:.<])::\s*open\s*\("),
+     "bare ::open bypasses the util::io facade"),
+)
+
 NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(:][\w:<>,\s*&]*")
 PLACEMENT_NEW_RE = re.compile(r"(?<![\w.])new\s*\(")
 DELETE_RE = re.compile(r"(?<![\w.])delete(?:\s*\[\s*\])?\s+[\w(*]")
@@ -371,6 +396,8 @@ class Linter:
 
         rng_allowed = rel in RNG_ALLOWED_FILES
         thread_allowed = rel in THREAD_ALLOWED_FILES
+        fileio_scoped = (rel.startswith(("src/", "tools/"))
+                         and rel not in FILEIO_ALLOWED_FILES)
         for idx, line in enumerate(lines):
             if not rng_allowed:
                 for pat, msg in RNG_PATTERNS:
@@ -384,6 +411,10 @@ class Linter:
                 for pat, msg in CLOCK_PATTERNS:
                     if pat.search(line):
                         emit(idx, "wall-clock", msg)
+            if fileio_scoped:
+                for pat, msg in FILEIO_PATTERNS:
+                    if pat.search(line):
+                        emit(idx, "raw-file-io", msg)
             if DELETE_RE.search(line) and not EQ_DELETE_RE.search(line):
                 emit(idx, "raw-new-delete", "raw delete — use an owning type")
             elif NEW_RE.search(line) and not PLACEMENT_NEW_RE.search(line):

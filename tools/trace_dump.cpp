@@ -17,6 +17,7 @@
 #include "sim/tracer.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 
 namespace {
 
@@ -110,6 +111,9 @@ int run(const util::ArgParser& args) {
 
 int main(int argc, char** argv) {
     try {
+        // Chaos hook: YTCDN_IO_FAULTS exercises the read path (see
+        // util/io.hpp); the trace load then reports a typed Io error.
+        ytcdn::util::io::install_fault_plan_from_env().value_or_throw();
         const util::ArgParser args(argc, argv, {"no-validate"});
         return run(args);
     } catch (const ytcdn::Error& e) {

@@ -1,6 +1,7 @@
 // ytcdn — command-line front end for the reproduction study.
 //
 //   ytcdn run        [--scale S] [--seed N] [--faults FILE] [--out DIR] [--binary]
+//   ytcdn study      [--scale S] [--seed N] [--out DIR | --resume DIR] ...
 //   ytcdn tables     [--scale S] [--seed N] [--faults FILE]
 //   ytcdn summary    LOG [LOG...]
 //   ytcdn sessions   LOG [--gap T]
@@ -18,7 +19,6 @@
 // extension.
 
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -35,9 +35,11 @@
 #include "study/planetlab_experiment.hpp"
 #include "study/report.hpp"
 #include "study/study_run.hpp"
+#include "study/supervisor.hpp"
 #include "util/args.hpp"
 #include "util/atomic_file.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/metrics.hpp"
 
 namespace {
@@ -49,6 +51,9 @@ int usage() {
         "usage: ytcdn <command> [options]\n"
         "  run        [--scale S] [--seed N] [--faults FILE] [--out DIR] [--binary]\n"
         "                                                             simulate the week, write tables + per-dataset flow logs\n"
+        "  study      [--scale S] [--seed N] [--out DIR | --resume DIR] [--attempts N]\n"
+        "             [--stages K] [--stage-deadline S] [--max-rss-mib M] [--no-table3]\n"
+        "                                                             supervised full-report pipeline with checkpoint/resume\n"
         "  tables     [--scale S] [--seed N] [--faults FILE]          print Tables I and II (+ failure table on fault runs)\n"
         "             run and tables also take [--trace-out FILE] [--trace-filter CSV] [--metrics-out FILE]\n"
         "  summary    LOG [LOG...]                                    Table I-style summary of flow logs\n"
@@ -70,14 +75,11 @@ study::StudyConfig config_from(const util::ArgParser& args) {
     }
     const std::string faults = args.get_or("faults", "");
     if (!faults.empty()) {
-        std::ifstream is(faults);
-        if (!is) {
-            throw ytcdn::Error(ytcdn::ErrorCode::Io,
-                               "cannot open fault schedule " + faults);
-        }
-        std::ostringstream text;
-        text << is.rdbuf();
-        cfg.fault_schedule = sim::FaultSchedule::parse_result(text.str())
+        const std::string text =
+            util::io::read_file(faults)
+                .context("fault schedule " + faults)
+                .value_or_throw();
+        cfg.fault_schedule = sim::FaultSchedule::parse_result(text)
                                  .context("fault schedule " + faults)
                                  .value_or_throw();
     }
@@ -143,10 +145,56 @@ int cmd_run(const util::ArgParser& args) {
         const auto& ds = run.traces.datasets[i];
         const auto path = out / (ds.name + (binary ? ".yfl" : ".tsv"));
         capture::write_any_log(path, ds.records);
-        std::ofstream map_os(out / (ds.name + ".dcmap"));
-        analysis::write_dc_map(map_os, run.maps[i]);
+        util::io::write_file_atomic(out / (ds.name + ".dcmap"),
+                                    [&](std::ostream& os) {
+                                        analysis::write_dc_map(os, run.maps[i]);
+                                        return static_cast<bool>(os);
+                                    })
+            .context("dc map " + ds.name)
+            .value_or_throw();
         std::cout << "wrote " << path << " (" << ds.records.size()
                   << " records) + .dcmap\n";
+    }
+    return 0;
+}
+
+/// The supervised pipeline: simulate -> capture -> geolocate -> analyze ->
+/// render as retryable stages with crash-safe checkpoints under the run
+/// directory. `--resume DIR` picks up a killed run; the resumed report.txt
+/// is byte-identical to an uninterrupted one.
+int cmd_study(const util::ArgParser& args) {
+    const auto cfg = config_from(args);
+    study::SupervisorOptions opt;
+    const std::string resume = args.get_or("resume", "");
+    opt.resume = !resume.empty();
+    opt.run_dir = opt.resume ? std::filesystem::path(resume)
+                             : std::filesystem::path(args.get_or("out", "ytcdn_run"));
+    opt.policy.attempts = static_cast<int>(args.get_long_or("attempts", 3));
+    opt.policy.backoff_s = args.get_double_or("backoff", 0.05);
+    opt.policy.deadline_s = args.get_double_or("stage-deadline", 0.0);
+    opt.policy.max_rss_mib = args.get_double_or("max-rss-mib", 0.0);
+    opt.max_stages = static_cast<std::size_t>(args.get_long_or("stages", 0));
+    opt.report.include_table3 = !args.has_flag("no-table3");
+    opt.log = &std::cerr;  // progress/warnings; stdout carries the summary
+    const auto tracer = make_tracer(args);
+    opt.tracer = tracer.get();
+
+    study::Supervisor supervisor(cfg, opt);
+    const auto result = supervisor.run().value_or_throw();
+    write_observability(args, tracer.get());
+
+    std::size_t resumed = 0;
+    for (const auto& st : result.stages) resumed += st.from_checkpoint ? 1 : 0;
+    if (!result.completed) {
+        std::cout << "run interrupted after --stages limit; resume with:\n"
+                  << "  ytcdn study --resume " << opt.run_dir.string() << '\n';
+        return 0;
+    }
+    std::cout << "run complete: " << result.report_path.string() << " ("
+              << resumed << " stages from checkpoints, " << result.degraded.size()
+              << " degraded artifacts)\n";
+    for (const auto& name : result.degraded) {
+        std::cout << "  degraded: " << name << '\n';
     }
     return 0;
 }
@@ -157,8 +205,8 @@ int cmd_analyze(const util::ArgParser& args) {
     ds.name = args.positionals()[1];
     ds.records = capture::read_any_log(args.positionals()[1]);
     ds.sort_by_time();
-    std::ifstream map_is(args.positionals()[2]);
-    if (!map_is) throw std::runtime_error("cannot open " + args.positionals()[2]);
+    std::istringstream map_is(
+        util::io::read_file(args.positionals()[2]).value_or_throw());
     const auto map = analysis::read_dc_map(map_is);
 
     const int preferred = analysis::preferred_dc(ds, map);
@@ -307,10 +355,14 @@ int cmd_planetlab(const util::ArgParser& args) {
 
 int main(int argc, char** argv) {
     try {
-        const util::ArgParser args(argc, argv, {"binary"});
+        // Chaos hook: YTCDN_IO_FAULTS installs a deterministic fault plan
+        // on the util::io facade for every file this process touches.
+        ytcdn::util::io::install_fault_plan_from_env().value_or_throw();
+        const util::ArgParser args(argc, argv, {"binary", "no-table3"});
         if (args.positionals().empty()) return usage();
         const std::string& cmd = args.positionals().front();
         if (cmd == "run") return cmd_run(args);
+        if (cmd == "study") return cmd_study(args);
         if (cmd == "tables") return cmd_tables(args);
         if (cmd == "summary") return cmd_summary(args);
         if (cmd == "sessions") return cmd_sessions(args);
