@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # One-shot verification, as CI runs it: hardened build + full test suite +
-# static analysis (ytcdn_lint, clang-tidy when installed, header
-# self-containment).
+# static analysis (ytcdn_lint, clang-tidy and the ytcdn-* plugin sweep when
+# the toolchain is installed, header self-containment). The `lint` target
+# drives run_clang_tidy.py and run_tidy_plugin.py; both degrade to a notice
+# on boxes without LLVM, and CI's tidy-plugin job makes absence a failure.
 #
 # Usage: scripts/check.sh [extra cmake args...]
 #   BUILD_DIR=build-check   override the build directory

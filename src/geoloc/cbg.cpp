@@ -50,7 +50,10 @@ CbgLocator::CbgLocator(const net::RttModel& model, std::vector<Landmark> landmar
 }
 
 void CbgLocator::calibrate(util::ThreadPool& pool) {
-    bestlines_ = util::parallel_map(pool, landmarks_, [&](const Landmark& self) {
+    // Explicit this-capture: the closure reads members (model_, seed_,
+    // landmarks_, config_) and mutates nothing — ytcdn-parallel-shared-mutation
+    // verifies that over the AST.
+    bestlines_ = util::parallel_map(pool, landmarks_, [this](const Landmark& self) {
         net::Pinger pinger(*model_, probe_seed(seed_, "cbg-calibrate", self.site.id));
         std::vector<CalibrationPoint> points;
         points.reserve(landmarks_.size() - 1);

@@ -58,7 +58,7 @@ CbgMappingResult cbg_dc_map(const StudyDeployment& deployment,
     }
     const auto results = util::parallel_map(
         pool, subnet_targets,
-        [&](const net::NetSite& target) { return locator.locate(target); });
+        [&locator](const net::NetSite& target) { return locator.locate(target); });
     for (std::size_t i = 0; i < subnet_keys.size(); ++i) {
         per_subnet[subnet_keys[i]] = results[i];
     }

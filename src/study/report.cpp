@@ -237,19 +237,21 @@ FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
     std::vector<Job> jobs;
     jobs.reserve(20);
 
-    jobs.emplace_back("table1.txt", [&] { return make_table1(run).render(); });
-    jobs.emplace_back("table2.txt", [&] { return make_table2(run).render(); });
+    jobs.emplace_back("table1.txt", [&run] { return make_table1(run).render(); });
+    jobs.emplace_back("table2.txt", [&run] { return make_table2(run).render(); });
     if (options.include_table3) {
         jobs.emplace_back("table3.txt",
-                          [&] { return render_table3_artifact(run, options, pool); });
+                          [&run, &options, &pool] {
+                              return render_table3_artifact(run, options, pool);
+                          });
     }
     jobs.emplace_back("failure_breakdown.txt",
-                      [&] { return make_failure_table(run).render(); });
+                      [&run] { return make_failure_table(run).render(); });
     jobs.emplace_back("retry_histogram.txt",
-                      [&] { return make_retry_table(run).render(); });
-    jobs.emplace_back("resolutions.txt", [&] { return render_resolutions(run); });
+                      [&run] { return make_retry_table(run).render(); });
+    jobs.emplace_back("resolutions.txt", [&run] { return render_resolutions(run); });
 
-    jobs.emplace_back("fig04_flow_sizes.dat", [&] {
+    jobs.emplace_back("fig04_flow_sizes.dat", [&run] {
         std::vector<analysis::Series> series;
         for (const auto& ds : run.traces.datasets) {
             std::vector<double> sizes;
@@ -262,7 +264,7 @@ FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
         return render_series(series);
     });
 
-    jobs.emplace_back("fig05_gap_sensitivity.dat", [&] {
+    jobs.emplace_back("fig05_gap_sensitivity.dat", [&run] {
         std::vector<analysis::Series> series;
         const auto& us = run.dataset("US-Campus");
         for (const double gap : {1.0, 5.0, 10.0, 60.0, 300.0}) {
@@ -273,7 +275,7 @@ FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
         return render_series(series);
     });
 
-    jobs.emplace_back("fig06_flows_per_session.dat", [&] {
+    jobs.emplace_back("fig06_flows_per_session.dat", [&run] {
         std::vector<analysis::Series> series;
         for (const auto& ds : run.traces.datasets) {
             series.push_back(flows_cdf_series(
@@ -283,7 +285,7 @@ FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
         return render_series(series);
     });
 
-    jobs.emplace_back("fig07_bytes_vs_rtt.dat", [&] {
+    jobs.emplace_back("fig07_bytes_vs_rtt.dat", [&run] {
         std::vector<analysis::Series> series;
         for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
             series.push_back(
@@ -292,7 +294,7 @@ FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
         return render_series(series);
     });
 
-    jobs.emplace_back("fig08_bytes_vs_distance.dat", [&] {
+    jobs.emplace_back("fig08_bytes_vs_distance.dat", [&run] {
         std::vector<analysis::Series> series;
         for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
             series.push_back(
@@ -301,7 +303,7 @@ FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
         return render_series(series);
     });
 
-    jobs.emplace_back("fig09_hourly_nonpreferred_cdf.dat", [&] {
+    jobs.emplace_back("fig09_hourly_nonpreferred_cdf.dat", [&run] {
         std::vector<analysis::Series> series;
         for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
             series.push_back({run.traces.datasets[i].name,
@@ -312,9 +314,9 @@ FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
         return render_series(series);
     });
 
-    jobs.emplace_back("fig10_session_patterns.txt", [&] { return render_fig10(run); });
+    jobs.emplace_back("fig10_session_patterns.txt", [&run] { return render_fig10(run); });
 
-    jobs.emplace_back("fig11_eu2_load_balancing.dat", [&] {
+    jobs.emplace_back("fig11_eu2_load_balancing.dat", [&run] {
         const auto eu2 = run.vp_index("EU2");
         auto hourly = analysis::hourly_preferred_series(
             run.traces.datasets[eu2], run.maps[eu2], run.preferred[eu2]);
@@ -322,9 +324,9 @@ FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
                               std::move(hourly.flows_per_hour)});
     });
 
-    jobs.emplace_back("fig12_subnet_breakdown.txt", [&] { return render_fig12(run); });
+    jobs.emplace_back("fig12_subnet_breakdown.txt", [&run] { return render_fig12(run); });
 
-    jobs.emplace_back("fig13_video_redirect_counts_cdf.dat", [&] {
+    jobs.emplace_back("fig13_video_redirect_counts_cdf.dat", [&run] {
         std::vector<analysis::Series> series;
         for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
             const auto counts = analysis::video_non_preferred_counts(
@@ -336,7 +338,7 @@ FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
         return render_series(series);
     });
 
-    jobs.emplace_back("fig14_hotspot_videos.dat", [&] {
+    jobs.emplace_back("fig14_hotspot_videos.dat", [&run] {
         const auto adsl = run.vp_index("EU1-ADSL");
         const auto top = analysis::top_redirected_videos(
             run.traces.datasets[adsl], run.maps[adsl], run.preferred[adsl], 4);
@@ -354,14 +356,14 @@ FullReport make_full_report(const StudyRun& run, util::ThreadPool& pool,
         return render_series(series);
     });
 
-    jobs.emplace_back("fig15_server_load.dat", [&] {
+    jobs.emplace_back("fig15_server_load.dat", [&run] {
         const auto adsl = run.vp_index("EU1-ADSL");
         auto load = analysis::preferred_dc_server_load(
             run.traces.datasets[adsl], run.maps[adsl], run.preferred[adsl]);
         return render_series({std::move(load.avg), std::move(load.max)});
     });
 
-    jobs.emplace_back("fig16_hot_server_sessions.dat", [&] {
+    jobs.emplace_back("fig16_hot_server_sessions.dat", [&run] {
         const auto adsl = run.vp_index("EU1-ADSL");
         const auto top = analysis::top_redirected_videos(
             run.traces.datasets[adsl], run.maps[adsl], run.preferred[adsl], 1);

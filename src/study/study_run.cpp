@@ -52,8 +52,10 @@ StudyRun derive_run(const StudyConfig& config,
 
     // Each vantage point's map derivation pings with its own Pinger seeded
     // from (config seed, vp name) — independent tasks, input-order results.
+    // The closure captures only `run`, read-only; ytcdn-parallel-shared-mutation
+    // verifies nothing shared is written from the tasks.
     const std::size_t n = run.deployment->num_vantage_points();
-    auto derived = util::parallel_map_indexed(pool, n, [&](std::size_t i) {
+    auto derived = util::parallel_map_indexed(pool, n, [&run](std::size_t i) {
         auto map = ground_truth_dc_map(*run.deployment, run.deployment->vantage(i));
         const int preferred = analysis::preferred_dc(run.traces.datasets[i], map);
         return std::pair<analysis::ServerDcMap, int>(std::move(map), preferred);

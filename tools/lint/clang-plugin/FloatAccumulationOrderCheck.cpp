@@ -1,0 +1,169 @@
+#include "FloatAccumulationOrderCheck.hpp"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ytcdn {
+
+namespace {
+
+constexpr char kParallelBinding[] = "float-parallel-call";
+constexpr char kAccumulateBinding[] = "float-accumulate-call";
+
+AST_MATCHER(FunctionDecl, isParallelEntryPointFA) {
+  const IdentifierInfo *II = Node.getIdentifier();
+  if (II == nullptr)
+    return false;
+  StringRef Name = II->getName();
+  return Name == "parallel_map" || Name == "parallel_map_indexed" ||
+         Name == "parallel_for_each" || Name == "run_indexed";
+}
+
+/// The container expression behind `c.begin()` / `std::begin(c)` /
+/// `c.cbegin()`, or nullptr.
+const Expr *containerOfBeginCall(const Expr *E) {
+  if (E == nullptr)
+    return nullptr;
+  E = E->IgnoreParenImpCasts();
+  if (const auto *MC = dyn_cast<CXXMemberCallExpr>(E)) {
+    const CXXMethodDecl *M = MC->getMethodDecl();
+    if (M != nullptr && M->getIdentifier() != nullptr &&
+        (M->getName() == "begin" || M->getName() == "cbegin"))
+      return MC->getImplicitObjectArgument();
+  } else if (const auto *CE = dyn_cast<CallExpr>(E)) {
+    const auto *FD = dyn_cast_or_null<FunctionDecl>(CE->getCalleeDecl());
+    if (FD != nullptr && FD->getIdentifier() != nullptr &&
+        (FD->getName() == "begin" || FD->getName() == "cbegin") &&
+        CE->getNumArgs() >= 1)
+      return CE->getArg(0);
+  }
+  return nullptr;
+}
+
+} // namespace
+
+void FloatAccumulationOrderCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(isParallelEntryPointFA())))
+          .bind(kParallelBinding),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::std::accumulate",
+                                              "::std::reduce"))))
+          .bind(kAccumulateBinding),
+      this);
+}
+
+void FloatAccumulationOrderCheck::check(const MatchFinder::MatchResult &Result) {
+  if (Result.Context == nullptr)
+    return;
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>(kParallelBinding))
+    checkParallelCallable(Call, *Result.Context);
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>(kAccumulateBinding))
+    checkAccumulateCall(Call);
+}
+
+void FloatAccumulationOrderCheck::checkParallelCallable(const CallExpr *Call,
+                                                        ASTContext &) {
+  const auto *Callee = dyn_cast_or_null<FunctionDecl>(Call->getCalleeDecl());
+  StringRef EntryPoint =
+      Callee != nullptr && Callee->getIdentifier() ? Callee->getName() : "";
+  for (const Expr *Arg : Call->arguments()) {
+    const Expr *Stripped = Arg->IgnoreParenImpCasts();
+    if (const auto *MTE = dyn_cast<MaterializeTemporaryExpr>(Stripped))
+      Stripped = MTE->getSubExpr()->IgnoreParenImpCasts();
+    if (const auto *BTE = dyn_cast<CXXBindTemporaryExpr>(Stripped))
+      Stripped = BTE->getSubExpr()->IgnoreParenImpCasts();
+    if (const auto *Lambda = dyn_cast<LambdaExpr>(Stripped))
+      scanLambda(Lambda, EntryPoint);
+  }
+}
+
+void FloatAccumulationOrderCheck::scanLambda(const LambdaExpr *Lambda,
+                                             StringRef EntryPoint) {
+  const CXXMethodDecl *Op = Lambda->getCallOperator();
+  const Stmt *Body = Lambda->getBody();
+  if (Op == nullptr || Body == nullptr)
+    return;
+
+  llvm::SmallPtrSet<const ValueDecl *, 8> Shared;
+  for (const LambdaCapture &Cap : Lambda->captures()) {
+    if (!Cap.capturesVariable())
+      continue;
+    const auto *VD = dyn_cast_or_null<VarDecl>(Cap.getCapturedVar());
+    if (VD == nullptr)
+      continue;
+    QualType T = VD->getType();
+    if (Cap.getCaptureKind() == LCK_ByRef && !T.isConstQualified())
+      Shared.insert(cast<ValueDecl>(VD->getCanonicalDecl()));
+    else if (T->isPointerType() && !T->getPointeeType().isConstQualified())
+      Shared.insert(cast<ValueDecl>(VD->getCanonicalDecl()));
+  }
+  if (Shared.empty())
+    return;
+
+  llvm::SmallPtrSet<const ValueDecl *, 4> Params;
+  for (const ParmVarDecl *P : Op->parameters())
+    Params.insert(cast<ValueDecl>(P->getCanonicalDecl()));
+
+  scanForFloatFold(Body, Shared, Params, EntryPoint);
+}
+
+void FloatAccumulationOrderCheck::scanForFloatFold(
+    const Stmt *S, const llvm::SmallPtrSetImpl<const ValueDecl *> &Shared,
+    const llvm::SmallPtrSetImpl<const ValueDecl *> &Params,
+    StringRef EntryPoint) {
+  if (S == nullptr || isa<LambdaExpr>(S))
+    return;
+
+  if (const auto *BO = dyn_cast<BinaryOperator>(S)) {
+    if (BO->isCompoundAssignmentOp() &&
+        (BO->getOpcode() == BO_AddAssign ||
+         BO->getOpcode() == BO_SubAssign) &&
+        BO->getLHS()->getType()->isFloatingType()) {
+      const DeclRefExpr *Base = baseDeclRef(BO->getLHS());
+      if (Base != nullptr) {
+        const auto *D = cast<ValueDecl>(Base->getDecl()->getCanonicalDecl());
+        if (Shared.count(D) > 0 &&
+            !subscriptKeyedByParam(BO->getLHS(), Params)) {
+          diag(BO->getOperatorLoc(),
+               "floating-point accumulation into captured '%0' inside a "
+               "callable passed to '%1' folds in completion order — float "
+               "addition is not associative, so the sum depends on the "
+               "thread schedule; return per-task values through "
+               "parallel_map and fold after the join")
+              << D->getName() << EntryPoint;
+        }
+      }
+    }
+  }
+
+  for (const Stmt *Child : S->children())
+    scanForFloatFold(Child, Shared, Params, EntryPoint);
+}
+
+void FloatAccumulationOrderCheck::checkAccumulateCall(const CallExpr *Call) {
+  if (Call->getNumArgs() < 3)
+    return;
+  // std::accumulate(first, last, init[, op]) — order-sensitivity needs a
+  // floating fold over an unordered range.
+  if (!Call->getArg(2)->getType()->isFloatingType() &&
+      !Call->getType()->isFloatingType())
+    return;
+  const Expr *Container = containerOfBeginCall(Call->getArg(0));
+  if (Container == nullptr)
+    return;
+  QualType T = Container->getType();
+  if (T->isPointerType())
+    T = T->getPointeeType();
+  if (T->isReferenceType())
+    T = T->getPointeeType();
+  if (!isUnorderedContainer(T))
+    return;
+  diag(Call->getExprLoc(),
+       "floating-point std::accumulate over unordered container '%0' folds "
+       "in unspecified bucket order — copy into a vector and sort before "
+       "summing, or accumulate integer counts")
+      << recordNameOf(T);
+}
+
+} // namespace clang::tidy::ytcdn

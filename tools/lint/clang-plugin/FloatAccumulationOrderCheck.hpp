@@ -1,0 +1,44 @@
+#pragma once
+
+// ytcdn-float-accumulation-order
+//
+// Floating-point addition is not associative: (a + b) + c and a + (b + c)
+// differ in the last ulp, so a float sum whose *order* depends on the thread
+// schedule or on unordered-container iteration breaks byte-stable artifacts
+// even though every individual value is deterministic. This check flags the
+// two shapes where the order is not a pure function of the input:
+//
+//  1. `+=` / `-=` on a floating-point accumulator captured by reference in a
+//     callable passed to util::parallel_map* / parallel_for_each /
+//     ThreadPool::run_indexed — the fold happens in completion order;
+//  2. std::accumulate / std::reduce over an unordered container with a
+//     floating-point initial value — the fold happens in bucket order.
+//
+// The sanctioned idioms stay silent: collect per-task results through
+// parallel_map (input-order vector) and fold *after* the join, fold integer
+// counts through util::metrics, or sort before summing.
+
+#include "YtcdnCheckUtil.hpp"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+namespace clang::tidy::ytcdn {
+
+class FloatAccumulationOrderCheck : public ClangTidyCheck {
+public:
+  FloatAccumulationOrderCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+private:
+  void checkParallelCallable(const CallExpr *Call, ASTContext &Ctx);
+  void checkAccumulateCall(const CallExpr *Call);
+  void scanLambda(const LambdaExpr *Lambda, StringRef EntryPoint);
+  void scanForFloatFold(const Stmt *S,
+                        const llvm::SmallPtrSetImpl<const ValueDecl *> &Shared,
+                        const llvm::SmallPtrSetImpl<const ValueDecl *> &Params,
+                        StringRef EntryPoint);
+};
+
+} // namespace clang::tidy::ytcdn

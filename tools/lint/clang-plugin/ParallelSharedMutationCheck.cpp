@@ -1,0 +1,279 @@
+#include "ParallelSharedMutationCheck.hpp"
+
+#include <algorithm>
+
+#include "llvm/ADT/Twine.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ytcdn {
+
+namespace {
+
+constexpr char kCallBinding[] = "parallel-call";
+
+/// The entry points whose callable arguments run on pool threads. run_indexed
+/// is the primitive the others are built on; matching it keeps the check
+/// honest inside util/parallel.hpp itself (the slots[i] idiom there is
+/// exempted by subscriptKeyedByParam, not by an allowlist).
+AST_MATCHER(FunctionDecl, isParallelEntryPoint) {
+  const IdentifierInfo *II = Node.getIdentifier();
+  if (II == nullptr)
+    return false;
+  StringRef Name = II->getName();
+  return Name == "parallel_map" || Name == "parallel_map_indexed" ||
+         Name == "parallel_for_each" || Name == "run_indexed";
+}
+
+/// True when the lambda body declares a scoped lock: the author has made the
+/// serialisation explicit, which is the vetted escape hatch (order-dependence
+/// under a mutex is reviewed, not linted).
+bool bodyTakesLock(const Stmt *Body) {
+  if (Body == nullptr)
+    return false;
+  if (const auto *DS = dyn_cast<DeclStmt>(Body)) {
+    for (const Decl *D : DS->decls()) {
+      const auto *VD = dyn_cast<VarDecl>(D);
+      if (VD == nullptr)
+        continue;
+      StringRef Name = recordNameOf(VD->getType());
+      if (Name == "lock_guard" || Name == "scoped_lock" ||
+          Name == "unique_lock" || Name == "shared_lock")
+        return true;
+    }
+  }
+  for (const Stmt *Child : Body->children())
+    if (bodyTakesLock(Child))
+      return true;
+  return false;
+}
+
+/// Non-const methods on sanctioned concurrency-safe types whose calls are
+/// not schedule-visible mutations.
+bool isSanctionedMutatingCall(const CXXMethodDecl *Method) {
+  if (Method == nullptr)
+    return false;
+  const CXXRecordDecl *RD = Method->getParent();
+  if (isMetricsRecord(RD))
+    return true;
+  StringRef Cls = RD != nullptr && RD->getIdentifier() ? RD->getName() : "";
+  // std::atomic's mutating interface, and mutex lock/unlock themselves.
+  return Cls == "atomic" || Cls == "mutex" || Cls == "shared_mutex" ||
+         Cls == "recursive_mutex";
+}
+
+} // namespace
+
+void ParallelSharedMutationCheck::registerMatchers(MatchFinder *Finder) {
+  // callExpr covers CXXMemberCallExpr too, so ThreadPool::run_indexed and
+  // the free parallel_* entry points share one matcher.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(isParallelEntryPoint()))).bind(kCallBinding),
+      this);
+}
+
+void ParallelSharedMutationCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>(kCallBinding);
+  if (Call == nullptr || Result.Context == nullptr)
+    return;
+  const auto *Callee = dyn_cast_or_null<FunctionDecl>(Call->getCalleeDecl());
+  StringRef EntryPoint =
+      Callee != nullptr && Callee->getIdentifier() ? Callee->getName() : "";
+
+  // The callable is by convention the last argument; accept a lambda either
+  // directly or through the usual materialisation wrappers.
+  for (const Expr *Arg : Call->arguments()) {
+    const Expr *Stripped = Arg->IgnoreParenImpCasts();
+    if (const auto *MTE = dyn_cast<MaterializeTemporaryExpr>(Stripped))
+      Stripped = MTE->getSubExpr()->IgnoreParenImpCasts();
+    if (const auto *BTE = dyn_cast<CXXBindTemporaryExpr>(Stripped))
+      Stripped = BTE->getSubExpr()->IgnoreParenImpCasts();
+    if (const auto *Lambda = dyn_cast<LambdaExpr>(Stripped))
+      analyzeLambda(Lambda, EntryPoint, *Result.Context);
+  }
+}
+
+void ParallelSharedMutationCheck::analyzeLambda(const LambdaExpr *Lambda,
+                                               StringRef EntryPoint,
+                                               ASTContext &Ctx) {
+  const CXXMethodDecl *Op = Lambda->getCallOperator();
+  const Stmt *Body = Lambda->getBody();
+  if (Op == nullptr || Body == nullptr)
+    return;
+  if (bodyTakesLock(Body))
+    return;
+
+  llvm::SmallPtrSet<const ValueDecl *, 8> Shared;
+  bool ThisIsShared = false;
+  for (const LambdaCapture &Cap : Lambda->captures()) {
+    if (Cap.capturesThis()) {
+      ThisIsShared = true;
+      continue;
+    }
+    if (!Cap.capturesVariable())
+      continue;
+    const auto *VD = dyn_cast_or_null<VarDecl>(Cap.getCapturedVar());
+    if (VD == nullptr)
+      continue;
+    QualType T = VD->getType();
+    if (Cap.getCaptureKind() == LCK_ByRef) {
+      // A by-ref capture of a *const* object cannot be mutated through the
+      // capture; skip it so read-only [&] captures stay silent.
+      if (T.isConstQualified() ||
+          (T->isReferenceType() &&
+           T->getPointeeType().isConstQualified()))
+        continue;
+      Shared.insert(cast<ValueDecl>(VD->getCanonicalDecl()));
+    } else if (T->isPointerType() &&
+               !T->getPointeeType().isConstQualified()) {
+      // A by-value pointer still aliases shared state.
+      Shared.insert(cast<ValueDecl>(VD->getCanonicalDecl()));
+    }
+  }
+  if (Shared.empty() && !ThisIsShared)
+    return;
+
+  llvm::SmallPtrSet<const ValueDecl *, 4> Params;
+  for (const ParmVarDecl *P : Op->parameters())
+    Params.insert(cast<ValueDecl>(P->getCanonicalDecl()));
+
+  scanForMutations(Body, Shared, Params, ThisIsShared, EntryPoint, Ctx);
+}
+
+void ParallelSharedMutationCheck::scanForMutations(
+    const Stmt *S, const llvm::SmallPtrSetImpl<const ValueDecl *> &Shared,
+    const llvm::SmallPtrSetImpl<const ValueDecl *> &Params, bool ThisIsShared,
+    StringRef EntryPoint, ASTContext &Ctx) {
+  if (S == nullptr)
+    return;
+  // Nested lambdas get their own capture analysis when *they* are passed to
+  // a parallel entry point; their bodies run wherever they are invoked, so
+  // scanning them here would double-count. Stop at the boundary.
+  if (isa<LambdaExpr>(S))
+    return;
+
+  auto classifyTarget = [&](const Expr *Target) -> const ValueDecl * {
+    const DeclRefExpr *Base = baseDeclRef(Target);
+    if (Base == nullptr)
+      return nullptr;
+    const auto *D = cast<ValueDecl>(Base->getDecl()->getCanonicalDecl());
+    if (Shared.count(D) == 0)
+      return nullptr;
+    if (subscriptKeyedByParam(Target, Params))
+      return nullptr; // slots[i] = ... : each task owns its slot
+    if (isAtomicType(Target->getType()))
+      return nullptr;
+    return D;
+  };
+
+  if (const auto *BO = dyn_cast<BinaryOperator>(S)) {
+    if (BO->isAssignmentOp()) {
+      // Floating += / -= into captured state is the float-accumulation
+      // check's diagnostic; everything else is ours.
+      const bool FloatAccum =
+          BO->isCompoundAssignmentOp() &&
+          BO->getLHS()->getType()->isFloatingType() &&
+          (BO->getOpcode() == BO_AddAssign || BO->getOpcode() == BO_SubAssign);
+      if (!FloatAccum) {
+        if (const ValueDecl *D = classifyTarget(BO->getLHS())) {
+          reportMutation(BO->getOperatorLoc(), D->getName(), "assigned",
+                         EntryPoint);
+        } else if (ThisIsShared) {
+          const Expr *L = BO->getLHS()->IgnoreParenImpCasts();
+          if (const auto *ME = dyn_cast<MemberExpr>(L)) {
+            if (isa<CXXThisExpr>(ME->getBase()->IgnoreParenImpCasts()) &&
+                !subscriptKeyedByParam(L, Params) &&
+                !isAtomicType(L->getType()))
+              reportMutation(BO->getOperatorLoc(),
+                             ME->getMemberDecl()->getName(),
+                             "assigned via captured this", EntryPoint);
+          }
+        }
+      }
+    }
+  } else if (const auto *UO = dyn_cast<UnaryOperator>(S)) {
+    if (UO->isIncrementDecrementOp()) {
+      if (const ValueDecl *D = classifyTarget(UO->getSubExpr()))
+        reportMutation(UO->getOperatorLoc(), D->getName(),
+                       "incremented/decremented", EntryPoint);
+    }
+  } else if (const auto *MC = dyn_cast<CXXMemberCallExpr>(S)) {
+    const CXXMethodDecl *Method = MC->getMethodDecl();
+    if (Method != nullptr && !Method->isConst() &&
+        !isSanctionedMutatingCall(Method)) {
+      if (const ValueDecl *D =
+              classifyTarget(MC->getImplicitObjectArgument()))
+        reportMutation(MC->getExprLoc(), D->getName(),
+                       (llvm::Twine("mutated by non-const call to '") +
+                        Method->getName() + "'")
+                           .str(),
+                       EntryPoint);
+      else if (ThisIsShared) {
+        const Expr *Obj =
+            MC->getImplicitObjectArgument()->IgnoreParenImpCasts();
+        const auto *ME = dyn_cast<MemberExpr>(Obj);
+        const bool OnThisMember =
+            ME != nullptr &&
+            isa<CXXThisExpr>(ME->getBase()->IgnoreParenImpCasts());
+        if ((isa<CXXThisExpr>(Obj) || OnThisMember) &&
+            !subscriptKeyedByParam(Obj, Params))
+          reportMutation(MC->getExprLoc(),
+                         OnThisMember ? ME->getMemberDecl()->getName()
+                                      : StringRef("*this"),
+                         (llvm::Twine("mutated by non-const call to '") +
+                          Method->getName() + "'")
+                             .str(),
+                         EntryPoint);
+      }
+    }
+  } else if (const auto *OCE = dyn_cast<CXXOperatorCallExpr>(S)) {
+    if (OCE->isAssignmentOp() && OCE->getNumArgs() >= 1) {
+      if (const ValueDecl *D = classifyTarget(OCE->getArg(0)))
+        reportMutation(OCE->getOperatorLoc(), D->getName(),
+                       "assigned via operator=", EntryPoint);
+    }
+  } else if (const auto *CE = dyn_cast<CallExpr>(S)) {
+    // One call level of escape analysis: a captured object passed to a
+    // parameter declared as non-const lvalue reference or non-const pointer
+    // hands the callee licence to mutate shared state.
+    if (const auto *FD = dyn_cast_or_null<FunctionDecl>(CE->getCalleeDecl())) {
+      if (!isa<CXXOperatorCallExpr>(CE)) {
+        const unsigned N =
+            std::min<unsigned>(CE->getNumArgs(), FD->getNumParams());
+        for (unsigned I = 0; I < N; ++I) {
+          QualType PT = FD->getParamDecl(I)->getType();
+          const bool MutableRef =
+              (PT->isLValueReferenceType() &&
+               !PT->getPointeeType().isConstQualified()) ||
+              (PT->isPointerType() &&
+               !PT->getPointeeType().isConstQualified());
+          if (!MutableRef)
+            continue;
+          const Expr *Arg = CE->getArg(I);
+          if (const ValueDecl *D = classifyTarget(Arg))
+            reportMutation(Arg->getExprLoc(), D->getName(),
+                           (llvm::Twine("passed as mutable reference to '") +
+                            FD->getName() + "'")
+                               .str(),
+                           EntryPoint);
+        }
+      }
+    }
+  }
+
+  for (const Stmt *Child : S->children())
+    scanForMutations(Child, Shared, Params, ThisIsShared, EntryPoint, Ctx);
+}
+
+void ParallelSharedMutationCheck::reportMutation(SourceLocation Loc,
+                                                StringRef What, StringRef How,
+                                                StringRef EntryPoint) {
+  diag(Loc, "callable passed to '%0' %1 captured shared state '%2' without "
+            "atomics, a lock, or the util::metrics fold helpers — the result "
+            "depends on the thread schedule; write into a slot keyed by the "
+            "task index, or fold through util::metrics")
+      << EntryPoint << How << What;
+}
+
+} // namespace clang::tidy::ytcdn

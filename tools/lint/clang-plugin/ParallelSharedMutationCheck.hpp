@@ -1,0 +1,50 @@
+#pragma once
+
+// ytcdn-parallel-shared-mutation
+//
+// Flags callables passed to util::parallel_map / parallel_map_indexed /
+// parallel_for_each / ThreadPool::run_indexed that capture shared mutable
+// state by reference (or by pointer, or via `this`) and mutate it from
+// inside the task body. That is exactly the race class ThreadSanitizer only
+// catches when scheduling cooperates — and the one that silently breaks the
+// repo's byte-stability contract even when it is not a data race (e.g. a
+// mutex-serialised `results.push_back` whose order is the schedule's).
+//
+// Sanctioned idioms stay silent:
+//  * writes into an element keyed by the task's own index/element parameter
+//    (slots[i] = ..., the parallel.hpp collection idiom);
+//  * std::atomic mutations;
+//  * util::metrics Counter/Gauge/Histogram recording (their merge is a
+//    permutation-invariant fold, and their recording methods are const);
+//  * bodies that take a std::lock_guard / scoped_lock / unique_lock (the
+//    mutex makes it a vetted serialisation point — order-dependence there
+//    is a code-review concern, not a race);
+//  * floating-point `+=` into captured state is left to
+//    ytcdn-float-accumulation-order so each site gets one diagnostic.
+
+#include "YtcdnCheckUtil.hpp"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+namespace clang::tidy::ytcdn {
+
+class ParallelSharedMutationCheck : public ClangTidyCheck {
+public:
+  ParallelSharedMutationCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+private:
+  void analyzeLambda(const LambdaExpr *Lambda, StringRef EntryPoint,
+                     ASTContext &Ctx);
+  void scanForMutations(const Stmt *S,
+                        const llvm::SmallPtrSetImpl<const ValueDecl *> &Shared,
+                        const llvm::SmallPtrSetImpl<const ValueDecl *> &Params,
+                        bool ThisIsShared, StringRef EntryPoint,
+                        ASTContext &Ctx);
+  void reportMutation(SourceLocation Loc, StringRef What, StringRef How,
+                      StringRef EntryPoint);
+};
+
+} // namespace clang::tidy::ytcdn

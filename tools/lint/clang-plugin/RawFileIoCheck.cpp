@@ -1,0 +1,62 @@
+#include "RawFileIoCheck.hpp"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ytcdn {
+
+namespace {
+constexpr char kStreamBinding[] = "fstream-construct";
+constexpr char kLibcBinding[] = "libc-open";
+} // namespace
+
+void RawFileIoCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(ofClass(hasAnyName(
+                           "::std::basic_ifstream", "::std::basic_ofstream",
+                           "::std::basic_fstream")))))
+          .bind(kStreamBinding),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::fopen", "::freopen",
+                                              "::open", "::openat",
+                                              "::creat"))))
+          .bind(kLibcBinding),
+      this);
+}
+
+bool RawFileIoCheck::inScope(SourceLocation Loc,
+                             const SourceManager &SM) const {
+  std::string Path = locationPath(Loc, SM);
+  if (!RestrictToDirs.empty() && !pathMatchesAnyFragment(Path, RestrictToDirs))
+    return false;
+  return AllowedFiles.empty() || !pathMatchesAnyFragment(Path, AllowedFiles);
+}
+
+void RawFileIoCheck::check(const MatchFinder::MatchResult &Result) {
+  if (Result.SourceManager == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *Ctor =
+          Result.Nodes.getNodeAs<CXXConstructExpr>(kStreamBinding)) {
+    if (inScope(Ctor->getExprLoc(), SM))
+      diag(Ctor->getExprLoc(),
+           "direct file stream bypasses the util::io facade — route through "
+           "util::io::read_file / write_file_atomic so fault injection, "
+           "EINTR retry and fsync durability apply");
+    return;
+  }
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>(kLibcBinding)) {
+    if (inScope(Call->getExprLoc(), SM)) {
+      const auto *FD = dyn_cast_or_null<FunctionDecl>(Call->getCalleeDecl());
+      diag(Call->getExprLoc(),
+           "'%0' bypasses the util::io facade — route through "
+           "util::io::read_file / write_file_atomic so fault injection, "
+           "EINTR retry and fsync durability apply")
+          << (FD != nullptr && FD->getIdentifier() ? FD->getName()
+                                                   : StringRef("open"));
+    }
+  }
+}
+
+} // namespace clang::tidy::ytcdn

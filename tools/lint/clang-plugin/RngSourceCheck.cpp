@@ -1,0 +1,77 @@
+#include "RngSourceCheck.hpp"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ytcdn {
+
+namespace {
+constexpr char kDeviceBinding[] = "random-device";
+constexpr char kLibcBinding[] = "libc-rand";
+constexpr char kDefaultEngineBinding[] = "default-engine";
+} // namespace
+
+void RngSourceCheck::registerMatchers(MatchFinder *Finder) {
+  // Any declaration of a std::random_device (member, local, param): the type
+  // itself is the violation — there is no deterministic way to use one.
+  Finder->addMatcher(
+      valueDecl(hasType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+                    cxxRecordDecl(hasName("::std::random_device")))))))
+          .bind(kDeviceBinding),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::srand", "::random",
+                                              "::srandom", "::drand48",
+                                              "::lrand48"))))
+          .bind(kLibcBinding),
+      this);
+  // A mersenne twister constructed with no arguments: default-seeded. The
+  // specialization's CXXRecordDecl carries the template's name, so hasName
+  // sees through the std::mt19937 / mt19937_64 aliases.
+  Finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(ofClass(
+                           hasName("::std::mersenne_twister_engine")))),
+                       argumentCountIs(0))
+          .bind(kDefaultEngineBinding),
+      this);
+}
+
+bool RngSourceCheck::allowedAt(SourceLocation Loc,
+                               const SourceManager &SM) const {
+  std::string Path = locationPath(Loc, SM);
+  return !AllowedFiles.empty() && pathMatchesAnyFragment(Path, AllowedFiles);
+}
+
+void RngSourceCheck::check(const MatchFinder::MatchResult &Result) {
+  if (Result.SourceManager == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *VD = Result.Nodes.getNodeAs<ValueDecl>(kDeviceBinding)) {
+    if (!allowedAt(VD->getLocation(), SM))
+      diag(VD->getLocation(),
+           "std::random_device is a non-deterministic entropy source — all "
+           "randomness must derive from the master seed via sim::Rng::fork");
+    return;
+  }
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>(kLibcBinding)) {
+    if (!allowedAt(Call->getExprLoc(), SM)) {
+      const auto *FD = dyn_cast_or_null<FunctionDecl>(Call->getCalleeDecl());
+      diag(Call->getExprLoc(),
+           "'%0' bypasses sim::Rng — derive a stream from the master seed "
+           "via sim::Rng::fork")
+          << (FD != nullptr && FD->getIdentifier() ? FD->getName()
+                                                   : StringRef("rand"));
+    }
+    return;
+  }
+  if (const auto *Ctor =
+          Result.Nodes.getNodeAs<CXXConstructExpr>(kDefaultEngineBinding)) {
+    if (!allowedAt(Ctor->getExprLoc(), SM))
+      diag(Ctor->getExprLoc(),
+           "default-seeded mersenne twister — every default-constructed "
+           "engine yields the same stream and none derives from the "
+           "experiment seed; fork one via sim::Rng::fork");
+  }
+}
+
+} // namespace clang::tidy::ytcdn

@@ -1,0 +1,44 @@
+#pragma once
+
+// ytcdn-rng-source
+//
+// AST-accurate port of ytcdn_lint's `rng-source` rule: all randomness flows
+// from the master seed through sim::Rng::fork. The check flags
+//
+//  * any use of std::random_device (construction or member access),
+//  * rand()/srand()/random()/drand48(),
+//  * a std::mersenne_twister_engine (std::mt19937/mt19937_64 and aliases)
+//    constructed with *no seed argument* — the default seed makes every
+//    stream identical, and worse, hides the fact that the stream is not
+//    derived from the experiment seed.
+//
+// Being type-based, it sees through typedefs (`using Engine = std::mt19937`)
+// and is silent on identifiers and strings that merely mention "rand".
+//
+// Options:
+//   AllowedFiles — semicolon list of path fragments exempt from the check
+//                  (default "src/sim/random." — the one blessed wrapper).
+
+#include "YtcdnCheckUtil.hpp"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+namespace clang::tidy::ytcdn {
+
+class RngSourceCheck : public ClangTidyCheck {
+public:
+  RngSourceCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context),
+        AllowedFiles(Options.get("AllowedFiles", "src/sim/random.")) {}
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override {
+    Options.store(Opts, "AllowedFiles", AllowedFiles);
+  }
+
+private:
+  bool allowedAt(SourceLocation Loc, const SourceManager &SM) const;
+  std::string AllowedFiles;
+};
+
+} // namespace clang::tidy::ytcdn

@@ -1,0 +1,133 @@
+#include "UnorderedEscapeCheck.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "clang/AST/StmtCXX.h"
+#include "llvm/ADT/Twine.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ytcdn {
+
+namespace {
+
+constexpr char kLoopBinding[] = "unordered-loop";
+
+/// Formatting / rendering callees that make iteration order observable.
+bool isFormattingCallee(StringRef Name) {
+  return Name == "printf" || Name == "fprintf" || Name == "snprintf" ||
+         Name == "format" || Name == "format_to" || Name == "print" ||
+         Name == "add_row";
+}
+
+} // namespace
+
+void UnorderedEscapeCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(cxxForRangeStmt().bind(kLoopBinding), this);
+}
+
+std::string UnorderedEscapeCheck::sinkKind(
+    const Stmt *S, const llvm::SmallPtrSetImpl<const ValueDecl *> &LoopVars,
+    bool FollowCalls) {
+  if (S == nullptr)
+    return {};
+
+  if (const auto *OCE = dyn_cast<CXXOperatorCallExpr>(S)) {
+    // stream << loop_value (the chained-<< case roots at the stream, so every
+    // argument is checked, not just the last).
+    if (OCE->getOperator() == OO_LessLess) {
+      for (unsigned I = 1; I < OCE->getNumArgs(); ++I)
+        if (refersToAny(OCE->getArg(I), LoopVars))
+          return "streamed with operator<<";
+    }
+    if (OCE->getOperator() == OO_PlusEqual && OCE->getNumArgs() >= 2 &&
+        refersToAny(OCE->getArg(1), LoopVars))
+      return "accumulated with operator+=";
+  } else if (const auto *BO = dyn_cast<BinaryOperator>(S)) {
+    if (BO->isCompoundAssignmentOp() &&
+        refersToAny(BO->getRHS(), LoopVars)) {
+      // Keyed writes (hist[v.bucket] += 1) re-key the value; only writes to
+      // a scalar accumulator are order-sensitive. Distinguish by whether the
+      // LHS itself depends on the loop value.
+      if (!refersToAny(BO->getLHS(), LoopVars))
+        return "accumulated with +=";
+    }
+  } else if (const auto *CE = dyn_cast<CallExpr>(S)) {
+    const auto *FD = dyn_cast_or_null<FunctionDecl>(CE->getCalleeDecl());
+    if (FD != nullptr && FD->getIdentifier() != nullptr &&
+        !isa<CXXOperatorCallExpr>(CE)) {
+      StringRef Callee = FD->getName();
+      bool TakesLoopValue = false;
+      unsigned LoopArgIdx = 0;
+      for (unsigned I = 0; I < CE->getNumArgs(); ++I) {
+        if (refersToAny(CE->getArg(I), LoopVars)) {
+          TakesLoopValue = true;
+          LoopArgIdx = I;
+          break;
+        }
+      }
+      if (TakesLoopValue) {
+        if (isFormattingCallee(Callee))
+          return (llvm::Twine("passed to formatting call '") + Callee + "'")
+              .str();
+        // One call level: does the callee's visible body stream or
+        // accumulate the parameter the loop value binds to?
+        if (FollowCalls && FD->hasBody()) {
+          // Member calls bind arg 0 to the object, not a parameter; CallExpr
+          // arguments for CXXMemberCallExpr start at the first real param.
+          unsigned ParamIdx = LoopArgIdx;
+          if (ParamIdx < FD->getNumParams()) {
+            llvm::SmallPtrSet<const ValueDecl *, 2> ParamSet;
+            ParamSet.insert(cast<ValueDecl>(
+                FD->getParamDecl(ParamIdx)->getCanonicalDecl()));
+            std::string Inner =
+                sinkKind(FD->getBody(), ParamSet, /*FollowCalls=*/false);
+            if (!Inner.empty())
+              return (llvm::Twine("passed to '") + Callee +
+                      "', whose body is order-sensitive (" + Inner + ")")
+                  .str();
+          }
+        }
+      }
+    }
+  }
+
+  for (const Stmt *Child : S->children()) {
+    std::string Found = sinkKind(Child, LoopVars, FollowCalls);
+    if (!Found.empty())
+      return Found;
+  }
+  return {};
+}
+
+void UnorderedEscapeCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Loop = Result.Nodes.getNodeAs<CXXForRangeStmt>(kLoopBinding);
+  if (Loop == nullptr)
+    return;
+  const Expr *Range = Loop->getRangeInit();
+  if (Range == nullptr)
+    return;
+  QualType RangeType = Range->IgnoreParenImpCasts()->getType();
+  if (RangeType->isReferenceType())
+    RangeType = RangeType->getPointeeType();
+  if (!isUnorderedContainer(RangeType))
+    return;
+
+  llvm::SmallPtrSet<const ValueDecl *, 4> LoopVars;
+  collectLoopVarDecls(Loop->getLoopVariable(), LoopVars);
+  if (LoopVars.empty())
+    return;
+
+  std::string Sink = sinkKind(Loop->getBody(), LoopVars, /*FollowCalls=*/true);
+  if (Sink.empty())
+    return;
+  diag(Loop->getForLoc(),
+       "iteration over unordered container '%0' escapes into "
+       "order-sensitive code: loop value %1 — unordered iteration order is "
+       "unspecified; copy into a vector and sort by a total key (see "
+       "analysis::traffic_by_dc), or use an ordered container")
+      << recordNameOf(RangeType) << Sink;
+}
+
+} // namespace clang::tidy::ytcdn

@@ -1,0 +1,46 @@
+#pragma once
+
+// ytcdn-unordered-escape
+//
+// The AST-accurate successor to ytcdn_lint's `unordered-iter` regex: flags
+// range-for loops over std::unordered_{map,set,multimap,multiset} whose loop
+// values flow — directly, or through one call level — into rendered output
+// (operator<<, printf/fprintf, std::format, AsciiTable::add_row) or into an
+// arithmetic accumulation (`+=`). Iteration order of unordered containers is
+// unspecified and varies across libcs and across hash-seed choices, so any
+// such flow silently reorders tables or changes float-sum rounding.
+//
+// Unlike the regex, this check:
+//  * sees the *type* of the iterated expression, so a sorted std::vector that
+//    happens to be named `tally_unordered` stays silent and an
+//    `auto& m = some_unordered_member;` alias is still caught;
+//  * follows the loop variable (including structured bindings) through one
+//    level of calls: passing a loop value to a helper whose body streams or
+//    accumulates its parameter is reported at the loop.
+//
+// The sanctioned fix is the traffic_by_dc idiom: copy into a vector, sort by
+// a total key, then render — pushing loop values into a local container
+// without ordering-sensitive arithmetic does not fire.
+
+#include "YtcdnCheckUtil.hpp"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+namespace clang::tidy::ytcdn {
+
+class UnorderedEscapeCheck : public ClangTidyCheck {
+public:
+  UnorderedEscapeCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+private:
+  /// Returns the sink description if `S` (one statement inside the loop
+  /// body) lets a loop value escape into output/accumulation, else "".
+  std::string sinkKind(const Stmt *S,
+                       const llvm::SmallPtrSetImpl<const ValueDecl *> &LoopVars,
+                       bool FollowCalls);
+};
+
+} // namespace clang::tidy::ytcdn

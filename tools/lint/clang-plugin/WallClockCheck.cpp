@@ -1,0 +1,68 @@
+#include "WallClockCheck.hpp"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ytcdn {
+
+namespace {
+constexpr char kCallBinding[] = "wall-clock-call";
+constexpr char kNowBinding[] = "chrono-now-call";
+} // namespace
+
+void WallClockCheck::registerMatchers(MatchFinder *Finder) {
+  // Libc wall-clock and calendar reads.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::time", "::gettimeofday", "::clock_gettime", "::ftime",
+                   "::localtime", "::localtime_r", "::gmtime", "::gmtime_r",
+                   "::strftime", "::ctime", "::ctime_r", "::timespec_get"))))
+          .bind(kCallBinding),
+      this);
+  // std::chrono clock reads. Matching the static member call sees through
+  // `using namespace std::chrono`, aliases, and typedefs — none of which the
+  // regex layer could follow.
+  Finder->addMatcher(
+      callExpr(callee(cxxMethodDecl(
+                   hasName("now"),
+                   ofClass(hasAnyName("::std::chrono::system_clock",
+                                      "::std::chrono::steady_clock",
+                                      "::std::chrono::high_resolution_clock",
+                                      "::std::chrono::utc_clock",
+                                      "::std::chrono::file_clock")))))
+          .bind(kNowBinding),
+      this);
+}
+
+void WallClockCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>(kCallBinding);
+  const bool IsChrono = Call == nullptr;
+  if (Call == nullptr)
+    Call = Result.Nodes.getNodeAs<CallExpr>(kNowBinding);
+  if (Call == nullptr || Result.SourceManager == nullptr)
+    return;
+
+  std::string Path = locationPath(Call->getExprLoc(), *Result.SourceManager);
+  if (!RestrictToDirs.empty() &&
+      !pathMatchesAnyFragment(Path, RestrictToDirs))
+    return;
+
+  const auto *Callee = dyn_cast_or_null<FunctionDecl>(Call->getCalleeDecl());
+  StringRef Name =
+      Callee != nullptr && Callee->getIdentifier() ? Callee->getName() : "";
+  if (IsChrono) {
+    diag(Call->getExprLoc(),
+         "chrono clock read ('%0::now') — real time must never reach "
+         "simulation results; simulated time comes from sim::EventQueue")
+        << (Callee != nullptr && Callee->getParent() != nullptr &&
+                    isa<CXXRecordDecl>(Callee->getParent())
+                ? cast<CXXRecordDecl>(Callee->getParent())->getName()
+                : StringRef("clock"));
+  } else {
+    diag(Call->getExprLoc(),
+         "wall-clock read '%0' — real time must never reach simulation "
+         "results; simulated time comes from sim::EventQueue")
+        << Name;
+  }
+}
+
+} // namespace clang::tidy::ytcdn

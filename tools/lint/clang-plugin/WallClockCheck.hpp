@@ -1,0 +1,38 @@
+#pragma once
+
+// ytcdn-wall-clock
+//
+// AST-accurate port of ytcdn_lint's `wall-clock` regex rule: no wall-clock
+// reads inside src/ — simulated time comes from sim::EventQueue, and a real
+// clock read anywhere on the simulate→analyze path makes output depend on
+// when (and how fast) the process ran. Matching call expressions instead of
+// text makes the check immune to clock names inside comments, log strings
+// and identifiers (`timeout_ms`), the false-positive classes the regex layer
+// needs its scrubber for.
+//
+// Options:
+//   RestrictToDirs — semicolon list of path fragments the check applies to
+//                    (default "src/"); empty means everywhere.
+
+#include "YtcdnCheckUtil.hpp"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+namespace clang::tidy::ytcdn {
+
+class WallClockCheck : public ClangTidyCheck {
+public:
+  WallClockCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context),
+        RestrictToDirs(Options.get("RestrictToDirs", "src/")) {}
+
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override {
+    Options.store(Opts, "RestrictToDirs", RestrictToDirs);
+  }
+
+private:
+  std::string RestrictToDirs;
+};
+
+} // namespace clang::tidy::ytcdn

@@ -1,0 +1,207 @@
+#pragma once
+
+// Shared helpers for the ytcdn-* clang-tidy check family (see DESIGN.md §13).
+//
+// The checks are compiled into a plugin module (libytcdn_tidy.so) that the
+// stock clang-tidy binary loads with --load; they are deliberately narrow:
+// each one proves (or refutes) one determinism invariant that the regex
+// layer in tools/lint/ytcdn_lint.py cannot express because it needs types,
+// capture lists, or one level of data flow.
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/Stmt.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/SmallPtrSet.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang::tidy::ytcdn {
+
+/// Path of the file containing `Loc` (expansion location), with backslashes
+/// normalised, or "" when unknown. Used to scope checks to src/ the same way
+/// ytcdn_lint.py scopes its regex rules.
+inline std::string locationPath(SourceLocation Loc, const SourceManager &SM) {
+  if (Loc.isInvalid())
+    return {};
+  StringRef Name = SM.getFilename(SM.getExpansionLoc(Loc));
+  std::string Path = Name.str();
+  for (char &C : Path)
+    if (C == '\\')
+      C = '/';
+  return Path;
+}
+
+/// True when `Path` contains `Needle` as a path component boundary match,
+/// e.g. needle "src/" matches ".../repo/src/sim/x.cpp" and "src/x.cpp" but
+/// not "resources/x.cpp".
+inline bool pathContainsDir(llvm::StringRef Path, llvm::StringRef Needle) {
+  size_t Pos = Path.find(Needle);
+  while (Pos != llvm::StringRef::npos) {
+    if (Pos == 0 || Path[Pos - 1] == '/')
+      return true;
+    Pos = Path.find(Needle, Pos + 1);
+  }
+  return false;
+}
+
+/// Splits a semicolon-separated check option into fragments and reports
+/// whether any fragment is a substring of `Path`. Empty list -> false.
+inline bool pathMatchesAnyFragment(llvm::StringRef Path,
+                                   llvm::StringRef SemiList) {
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  SemiList.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef Part : Parts)
+    if (Path.find(Part) != llvm::StringRef::npos)
+      return true;
+  return false;
+}
+
+/// True when `D` (or any declaration in the subtree of `S`) references one of
+/// the decls in `Targets`, comparing canonical declarations.
+inline bool
+refersToAny(const Stmt *S,
+            const llvm::SmallPtrSetImpl<const ValueDecl *> &Targets) {
+  if (S == nullptr)
+    return false;
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(S)) {
+    const ValueDecl *D = DRE->getDecl();
+    if (D != nullptr &&
+        Targets.count(cast<ValueDecl>(D->getCanonicalDecl())) > 0)
+      return true;
+  }
+  for (const Stmt *Child : S->children())
+    if (refersToAny(Child, Targets))
+      return true;
+  return false;
+}
+
+/// The canonical record name (e.g. "unordered_map") of a type after
+/// desugaring, or "" when it is not a record type.
+inline llvm::StringRef recordNameOf(QualType T) {
+  if (T.isNull())
+    return {};
+  const CXXRecordDecl *RD = T.getCanonicalType()->getAsCXXRecordDecl();
+  if (RD == nullptr || !RD->getIdentifier())
+    return {};
+  return RD->getName();
+}
+
+/// True when `T` desugars to one of std::unordered_{map,set,multimap,multiset}.
+inline bool isUnorderedContainer(QualType T) {
+  llvm::StringRef Name = recordNameOf(T);
+  return Name == "unordered_map" || Name == "unordered_set" ||
+         Name == "unordered_multimap" || Name == "unordered_multiset";
+}
+
+/// True when `T` desugars to std::atomic<...> (mutating it from parallel
+/// tasks is sanctioned — the result is still schedule-dependent only if the
+/// *value* ordering matters, which the metrics layer's permutation-invariant
+/// folds avoid by construction).
+inline bool isAtomicType(QualType T) {
+  return recordNameOf(T) == "atomic" || T->isAtomicType();
+}
+
+/// True when `RD` lives in namespace ytcdn::util::metrics — the sanctioned
+/// permutation-invariant fold helpers (Counter/Gauge/Histogram).
+inline bool isMetricsRecord(const CXXRecordDecl *RD) {
+  if (RD == nullptr)
+    return false;
+  const DeclContext *DC = RD->getDeclContext();
+  const auto *NS = dyn_cast_or_null<NamespaceDecl>(DC);
+  return NS != nullptr && NS->getName() == "metrics";
+}
+
+/// Walks `E` down through parens, casts and member/array chains and returns
+/// the root DeclRefExpr ("the base object"), or nullptr. `*p` and `p->m`
+/// root at `p`; `a[i].f` roots at `a`.
+inline const DeclRefExpr *baseDeclRef(const Expr *E) {
+  while (E != nullptr) {
+    E = E->IgnoreParenImpCasts();
+    if (const auto *ME = dyn_cast<MemberExpr>(E)) {
+      E = ME->getBase();
+    } else if (const auto *ASE = dyn_cast<ArraySubscriptExpr>(E)) {
+      E = ASE->getBase();
+    } else if (const auto *UO = dyn_cast<UnaryOperator>(E)) {
+      if (UO->getOpcode() == UO_Deref) {
+        E = UO->getSubExpr();
+      } else {
+        return nullptr;
+      }
+    } else if (const auto *OCE = dyn_cast<CXXOperatorCallExpr>(E)) {
+      // operator[] / operator* on a container or smart pointer.
+      if ((OCE->getOperator() == OO_Subscript ||
+           OCE->getOperator() == OO_Star || OCE->getOperator() == OO_Arrow) &&
+          OCE->getNumArgs() >= 1) {
+        E = OCE->getArg(0);
+      } else {
+        return nullptr;
+      }
+    } else if (const auto *DRE = dyn_cast<DeclRefExpr>(E)) {
+      return DRE;
+    } else {
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+/// True when somewhere along the base chain of `E` there is a subscript whose
+/// index expression references one of `IndexParams` — the sanctioned
+/// "each task writes only its own slot" idiom (slots[i] = f(items[i])).
+inline bool
+subscriptKeyedByParam(const Expr *E,
+                      const llvm::SmallPtrSetImpl<const ValueDecl *> &Params) {
+  while (E != nullptr) {
+    E = E->IgnoreParenImpCasts();
+    if (const auto *ME = dyn_cast<MemberExpr>(E)) {
+      E = ME->getBase();
+    } else if (const auto *ASE = dyn_cast<ArraySubscriptExpr>(E)) {
+      if (refersToAny(ASE->getIdx(), Params))
+        return true;
+      E = ASE->getBase();
+    } else if (const auto *OCE = dyn_cast<CXXOperatorCallExpr>(E)) {
+      if (OCE->getOperator() == OO_Subscript && OCE->getNumArgs() >= 2) {
+        if (refersToAny(OCE->getArg(1), Params))
+          return true;
+        E = OCE->getArg(0);
+      } else if ((OCE->getOperator() == OO_Star ||
+                  OCE->getOperator() == OO_Arrow) &&
+                 OCE->getNumArgs() >= 1) {
+        E = OCE->getArg(0);
+      } else {
+        return false;
+      }
+    } else if (const auto *UO = dyn_cast<UnaryOperator>(E)) {
+      if (UO->getOpcode() != UO_Deref)
+        return false;
+      E = UO->getSubExpr();
+    } else {
+      return false;
+    }
+  }
+  return false;
+}
+
+/// Collects the ValueDecls a for-range loop variable introduces: the VarDecl
+/// itself plus, for `auto& [k, v]`, each binding.
+inline void collectLoopVarDecls(const VarDecl *LoopVar,
+                                llvm::SmallPtrSetImpl<const ValueDecl *> &Out) {
+  if (LoopVar == nullptr)
+    return;
+  Out.insert(cast<ValueDecl>(LoopVar->getCanonicalDecl()));
+  if (const auto *DD = dyn_cast<DecompositionDecl>(LoopVar)) {
+    for (const BindingDecl *B : DD->bindings()) {
+      Out.insert(cast<ValueDecl>(B->getCanonicalDecl()));
+      if (const VarDecl *Holding = B->getHoldingVar())
+        Out.insert(cast<ValueDecl>(Holding->getCanonicalDecl()));
+    }
+  }
+}
+
+} // namespace clang::tidy::ytcdn

@@ -1,0 +1,49 @@
+// The ytcdn clang-tidy module: registers the ytcdn-* check family and is
+// compiled into a plugin (libytcdn_tidy.so) that a stock clang-tidy loads:
+//
+//   clang-tidy --load libytcdn_tidy.so --checks='-*,ytcdn-*' -p build file.cpp
+//
+// tools/lint/run_tidy_plugin.py drives this over the exported compile
+// database; tools/lint/clang-plugin/tidy_plugin_selftest.py proves every
+// check fires on its seeded-violation fixture and stays silent on the
+// sanctioned idioms. See DESIGN.md §13 for the catalog and the division of
+// labour between these checks and the regex layer in ytcdn_lint.py.
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "FloatAccumulationOrderCheck.hpp"
+#include "ParallelSharedMutationCheck.hpp"
+#include "RawFileIoCheck.hpp"
+#include "RngSourceCheck.hpp"
+#include "UnorderedEscapeCheck.hpp"
+#include "WallClockCheck.hpp"
+
+namespace clang::tidy {
+namespace ytcdn {
+
+class YtcdnTidyModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<ParallelSharedMutationCheck>(
+        "ytcdn-parallel-shared-mutation");
+    Factories.registerCheck<UnorderedEscapeCheck>("ytcdn-unordered-escape");
+    Factories.registerCheck<FloatAccumulationOrderCheck>(
+        "ytcdn-float-accumulation-order");
+    Factories.registerCheck<WallClockCheck>("ytcdn-wall-clock");
+    Factories.registerCheck<RngSourceCheck>("ytcdn-rng-source");
+    Factories.registerCheck<RawFileIoCheck>("ytcdn-raw-file-io");
+  }
+};
+
+} // namespace ytcdn
+
+// Register with the shared module registry the host clang-tidy binary walks
+// at startup. The variable forces the registration's static initialiser to
+// stay in the plugin even under aggressive dead-stripping.
+static ClangTidyModuleRegistry::Add<ytcdn::YtcdnTidyModule>
+    X("ytcdn-module", "Determinism invariants for the ytcdn reproduction.");
+
+volatile int YtcdnTidyModuleAnchorSource = 0;
+
+} // namespace clang::tidy

@@ -1,0 +1,45 @@
+// Negative fixture for ytcdn-float-accumulation-order: the sanctioned float
+// fold idioms. The check must stay silent on every line — and so must the
+// other ytcdn-* checks, since the selftest runs all of them together.
+#include <ytcdn_stub.hpp>
+
+namespace yu = ytcdn::util;
+
+// The blessed shape: parallel_map returns per-task values in input order;
+// the fold happens after the join, over an ordered vector.
+double fold_after_join(yu::ThreadPool &pool, const std::vector<int> &items) {
+  std::vector<double> parts = yu::parallel_map(
+      pool, items, [](const int &v) { return static_cast<double>(v); });
+  return std::accumulate(parts.begin(), parts.end(), 0.0);
+}
+
+// Slot-keyed float writes: each task owns partials[i], so the memory order
+// of the writes cannot change any value.
+double slot_keyed_partials(yu::ThreadPool &pool,
+                           const std::vector<double> &weights) {
+  std::vector<double> partials;
+  pool.run_indexed(weights.size(), [&](std::size_t i) {
+    partials[i] += weights[i];
+  });
+  return std::accumulate(partials.begin(), partials.end(), 0.0);
+}
+
+// A by-value mutable capture is task-private: no cross-task fold exists.
+void task_private_accumulator(yu::ThreadPool &pool,
+                              const std::vector<int> &items) {
+  double scratch = 0.0;
+  yu::parallel_map(pool, items, [scratch](const int &v) mutable {
+    scratch += static_cast<double>(v);
+    return scratch;
+  });
+}
+
+// Integer accumulation over an unordered range is exact, hence order-safe.
+int integer_accumulate(const std::unordered_set<int> &ports) {
+  return std::accumulate(ports.begin(), ports.end(), 0);
+}
+
+// Float accumulation over an ordered container is deterministic.
+double ordered_accumulate(const std::vector<double> &xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}

@@ -1,0 +1,30 @@
+// Seeded violations for ytcdn-float-accumulation-order: float folds whose
+// result depends on evaluation order — += into captured state from a
+// parallel callable (completion order), and std::accumulate over an
+// unordered range (bucket order).
+#include <ytcdn_stub.hpp>
+
+namespace yu = ytcdn::util;
+
+double completion_order_sum(yu::ThreadPool &pool,
+                            const std::vector<int> &items) {
+  double sum = 0.0;
+  yu::parallel_map(pool, items, [&](const int &v) {
+    sum += static_cast<double>(v);  // expect-diag: ytcdn-float-accumulation-order
+    return v;
+  });
+  return sum;
+}
+
+double completion_order_residual(yu::ThreadPool &pool,
+                                 std::vector<int> &items) {
+  double residual = 100.0;
+  yu::parallel_for_each(pool, items, [&](int &v) {
+    residual -= static_cast<double>(v);  // expect-diag: ytcdn-float-accumulation-order
+  });
+  return residual;
+}
+
+double accumulate_over_unordered(const std::unordered_set<double> &weights) {
+  return std::accumulate(weights.begin(), weights.end(), 0.0);  // expect-diag: ytcdn-float-accumulation-order
+}

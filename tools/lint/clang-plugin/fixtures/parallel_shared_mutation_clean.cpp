@@ -1,0 +1,97 @@
+// Negative fixture for ytcdn-parallel-shared-mutation: every sanctioned
+// idiom from DESIGN.md §9 appears here, and the check must stay silent on
+// all of them. A diagnostic on any line fails the selftest.
+#include <ytcdn_stub.hpp>
+
+namespace yu = ytcdn::util;
+
+struct Bestline {
+  double slope;
+};
+
+Bestline fit(const std::vector<double> &points);
+double read_only_sum(const std::vector<int> &items);
+
+// The canonical idiom: the callable is a pure function of its element; the
+// pool collects results in input order.
+std::vector<Bestline> input_order_collection(yu::ThreadPool &pool,
+                                             const std::vector<double> &xs) {
+  return yu::parallel_map(pool, xs, [](const double &x) {
+    std::vector<double> points;
+    points.push_back(x);  // local container: not shared
+    return fit(points);
+  });
+}
+
+// Read-only [&] captures are fine: the check keys on mutation, not capture.
+double read_only_ref_captures(yu::ThreadPool &pool,
+                              const std::vector<int> &items, double scale) {
+  const double bias = 1.5;
+  auto out = yu::parallel_map(pool, items, [&](const int &v) {
+    return static_cast<double>(v) * scale + bias + read_only_sum(items);
+  });
+  return out[0];
+}
+
+// Writes keyed by the task's own index parameter: each task owns its slot.
+void slot_keyed_writes(yu::ThreadPool &pool, std::vector<int> &slots) {
+  pool.run_indexed(slots.size(), [&](std::size_t i) {
+    slots[i] = static_cast<int>(i) * 2;
+  });
+}
+
+// std::atomic mutations are sanctioned (and schedule-invariant for counts).
+void atomic_counter(yu::ThreadPool &pool, const std::vector<int> &items) {
+  std::atomic<long> hits{0};
+  yu::parallel_for_each(pool, const_cast<std::vector<int> &>(items),
+                        [&](int &v) {
+    if (v > 0)
+      hits.fetch_add(1);
+  });
+}
+
+// util::metrics handles fold permutation-invariantly; their recording
+// methods are const and the types are allowlisted.
+void metrics_fold(yu::ThreadPool &pool, const std::vector<int> &items) {
+  static const yu::metrics::Counter located =
+      yu::metrics::counter("geoloc.cbg.locates");
+  static const yu::metrics::Histogram circles =
+      yu::metrics::histogram("geoloc.cbg.circles", {4.0, 8.0});
+  yu::parallel_map(pool, items, [&](const int &v) {
+    located.inc();
+    circles.observe(static_cast<double>(v));
+    return v;
+  });
+}
+
+// An explicit lock is the vetted serialisation escape hatch.
+void mutex_guarded(yu::ThreadPool &pool, const std::vector<int> &items) {
+  std::vector<int> merged;
+  std::mutex m;
+  yu::parallel_map(pool, items, [&](const int &v) {
+    std::lock_guard<std::mutex> hold(m);
+    merged.push_back(v);
+    return v;
+  });
+}
+
+// const methods on captured objects read, not mutate.
+struct Locator {
+  double locate(int target) const;
+};
+std::vector<double> const_member_calls(yu::ThreadPool &pool,
+                                       const std::vector<int> &targets) {
+  Locator locator;
+  return yu::parallel_map(pool, targets, [&](const int &t) {
+    return locator.locate(t);
+  });
+}
+
+// Mutating a local copy (capture by value of a non-pointer) is task-private.
+void by_value_capture(yu::ThreadPool &pool, const std::vector<int> &items) {
+  int scratch = 0;
+  yu::parallel_map(pool, items, [scratch](const int &v) mutable {
+    scratch += v;  // copy per task closure: not shared across tasks
+    return scratch;
+  });
+}

@@ -1,0 +1,87 @@
+// Seeded violations for ytcdn-parallel-shared-mutation: every line carrying
+// an `expect-diag:` must produce exactly that diagnostic, and no other line
+// may produce any. Each case is a shape the regex linter is blind to —
+// the race is in the capture list and the data flow, not in any token.
+#include <ytcdn_stub.hpp>
+
+namespace yu = ytcdn::util;
+
+struct Stats {
+  void add(double v);       // non-const: mutation
+  double mean() const;      // const: not a mutation
+};
+
+void mutate_by_ref(double &x);
+void read_by_cref(const double &x);
+
+void completion_order_push_back(yu::ThreadPool &pool,
+                                const std::vector<int> &items) {
+  std::vector<int> results;
+  yu::parallel_map(pool, items, [&](const int &v) {
+    results.push_back(v);  // expect-diag: ytcdn-parallel-shared-mutation
+    return v;
+  });
+}
+
+void shared_counter_increment(yu::ThreadPool &pool,
+                              const std::vector<int> &items) {
+  int hits = 0;
+  yu::parallel_map(pool, items, [&](const int &v) {
+    if (v > 0)
+      ++hits;  // expect-diag: ytcdn-parallel-shared-mutation
+    return v;
+  });
+}
+
+void pointer_capture_mutation(yu::ThreadPool &pool,
+                              const std::vector<int> &items, long *total) {
+  yu::parallel_map(pool, items, [total](const int &v) {
+    *total = *total + v;  // expect-diag: ytcdn-parallel-shared-mutation
+    return v;
+  });
+}
+
+void nonconst_member_call(yu::ThreadPool &pool,
+                          const std::vector<int> &items) {
+  Stats stats;
+  yu::parallel_for_each(pool, const_cast<std::vector<int> &>(items),
+                        [&](int &v) {
+    stats.add(v);  // expect-diag: ytcdn-parallel-shared-mutation
+  });
+}
+
+void mutable_ref_escape(yu::ThreadPool &pool, const std::vector<int> &items) {
+  double acc = 0.0;
+  yu::parallel_map(pool, items, [&](const int &v) {
+    mutate_by_ref(acc);  // expect-diag: ytcdn-parallel-shared-mutation
+    return v;
+  });
+}
+
+struct Study {
+  std::vector<int> order_;
+  int derive(yu::ThreadPool &pool, const std::vector<int> &items) {
+    auto out = yu::parallel_map(pool, items, [&](const int &v) {
+      order_.push_back(v);  // expect-diag: ytcdn-parallel-shared-mutation
+      return v * 2;
+    });
+    return static_cast<int>(out.size());
+  }
+};
+
+void assignment_through_subscript_not_keyed_by_param(
+    yu::ThreadPool &pool, const std::vector<int> &items) {
+  std::vector<int> shared;
+  int cursor = 0;
+  yu::parallel_map(pool, items, [&](const int &v) {
+    shared[cursor] = v;  // expect-diag: ytcdn-parallel-shared-mutation
+    return v;
+  });
+}
+
+void run_indexed_direct(yu::ThreadPool &pool) {
+  std::vector<int> log;
+  pool.run_indexed(8, [&](std::size_t i) {
+    log.push_back(static_cast<int>(i));  // expect-diag: ytcdn-parallel-shared-mutation
+  });
+}

@@ -1,0 +1,7 @@
+// Negative fixture for ytcdn-raw-file-io path scoping: this file sits
+// outside src/ (and outside tools/ once the selftest copies fixtures into a
+// temp tree), where direct file IO is legitimate. RestrictToDirs must keep
+// the check silent here.
+#include <ytcdn_stub.hpp>
+
+FILE *script_helper_open(const char *path) { return fopen(path, "rb"); }

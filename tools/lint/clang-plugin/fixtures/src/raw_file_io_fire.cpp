@@ -1,0 +1,22 @@
+// Seeded violations for ytcdn-raw-file-io inside src/: file handles opened
+// outside the util::io facade, which would bypass fault injection, EINTR
+// retry, and atomic-write durability.
+#include <ytcdn_stub.hpp>
+
+bool stream_open(const char *path) {
+  std::ifstream in(path);  // expect-diag: ytcdn-raw-file-io
+  return in.is_open();
+}
+
+void stream_write(const char *path) {
+  std::ofstream out(path);  // expect-diag: ytcdn-raw-file-io
+  (void)out;
+}
+
+FILE *libc_open(const char *path) {
+  return fopen(path, "rb");  // expect-diag: ytcdn-raw-file-io
+}
+
+int posix_open(const char *path) {
+  return open(path, 0);  // expect-diag: ytcdn-raw-file-io
+}

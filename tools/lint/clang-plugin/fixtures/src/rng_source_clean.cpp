@@ -1,0 +1,18 @@
+// Negative fixture for ytcdn-rng-source: explicitly seeded engines are the
+// sanctioned shape — the seed flows in from sim::Rng::fork, so the stream is
+// reproducible. The check must stay silent on every line.
+#include <ytcdn_stub.hpp>
+
+unsigned seeded_engine(unsigned seed) {
+  std::mt19937 gen(seed);
+  return gen();
+}
+
+unsigned long seeded_engine_64(unsigned long long seed) {
+  std::mt19937_64 gen(seed);
+  return gen();
+}
+
+// Passing engines around by reference is fine; only *creating* entropy is
+// checked.
+unsigned draw(std::mt19937 &gen) { return gen(); }

@@ -1,0 +1,26 @@
+// Seeded violations for ytcdn-rng-source: entropy that does not derive from
+// the experiment's master seed — std::random_device (the declaration itself
+// is the violation), libc generators, and default-seeded engines.
+#include <ytcdn_stub.hpp>
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // expect-diag: ytcdn-rng-source
+  return rd();
+}
+
+int libc_generators() {
+  srand(42);  // expect-diag: ytcdn-rng-source
+  int a = rand();  // expect-diag: ytcdn-rng-source
+  double b = drand48();  // expect-diag: ytcdn-rng-source
+  return a + static_cast<int>(b);
+}
+
+unsigned default_seeded_engine() {
+  std::mt19937 gen;  // expect-diag: ytcdn-rng-source
+  return gen();
+}
+
+unsigned long default_seeded_engine_64() {
+  std::mt19937_64 gen;  // expect-diag: ytcdn-rng-source
+  return gen();
+}

@@ -1,0 +1,13 @@
+// Blessed-file negative for ytcdn-raw-file-io: this path matches the check's
+// AllowedFiles fragment "src/util/io." — the facade implementation is the
+// one place that opens files directly. The check must stay silent here.
+#include <ytcdn_stub.hpp>
+
+FILE *facade_open(const char *path) {
+  return fopen(path, "rb");  // allowed here: this file *is* the facade
+}
+
+bool facade_stream(const char *path) {
+  std::ifstream in(path);  // allowed here: this file *is* the facade
+  return in.is_open();
+}

@@ -1,0 +1,16 @@
+// Negative fixture for ytcdn-wall-clock inside src/: handling time *values*
+// is fine — only reading a real clock is a violation.
+#include <ytcdn_stub.hpp>
+
+// Simulated timestamps arrive as plain numbers from the event queue.
+double advance(double sim_now, double dt) { return sim_now + dt; }
+
+// Naming a clock type (for a time_point alias) reads nothing.
+using TimePoint = std::chrono::steady_clock::time_point;
+TimePoint hold(TimePoint t) { return t; }
+
+// A function merely *called* "now" on a non-clock class is not a clock read.
+struct EventQueue {
+  double now() const;
+};
+double queue_now(const EventQueue &q) { return q.now(); }

@@ -1,0 +1,29 @@
+// Seeded violations for ytcdn-wall-clock inside src/: every route to real
+// time — libc calls and std::chrono clock reads, including through aliases
+// the regex layer cannot follow.
+#include <ytcdn_stub.hpp>
+
+long libc_time_read() {
+  return time(nullptr);  // expect-diag: ytcdn-wall-clock
+}
+
+void libc_calendar_reads() {
+  gettimeofday(nullptr, nullptr);  // expect-diag: ytcdn-wall-clock
+  clock_gettime(0, nullptr);  // expect-diag: ytcdn-wall-clock
+  long t = 0;
+  localtime(&t);  // expect-diag: ytcdn-wall-clock
+  gmtime(&t);  // expect-diag: ytcdn-wall-clock
+}
+
+void chrono_now_reads() {
+  auto a = std::chrono::system_clock::now();  // expect-diag: ytcdn-wall-clock
+  auto b = std::chrono::steady_clock::now();  // expect-diag: ytcdn-wall-clock
+  (void)a;
+  (void)b;
+}
+
+// An alias hides the clock from any regex, but not from the AST.
+using Stopwatch = std::chrono::high_resolution_clock;
+auto aliased_clock_read() {
+  return Stopwatch::now();  // expect-diag: ytcdn-wall-clock
+}

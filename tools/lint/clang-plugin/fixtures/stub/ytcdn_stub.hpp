@@ -1,0 +1,289 @@
+#pragma once
+
+// Hermetic mini-std for the ytcdn-* check fixtures. The selftest compiles
+// every fixture with `-nostdinc++ -isystem <this dir>` so fixture parsing
+// never depends on the host's standard library: the checks match on
+// *qualified names and types* (::std::unordered_map, mersenne_twister_engine,
+// ytcdn::util::parallel_map), and this header provides exactly those shapes.
+// It is installed as a system header, so diagnostics inside it are
+// suppressed — only fixture lines can fire.
+
+namespace std {
+
+using size_t = unsigned long;
+using nullptr_t = decltype(nullptr);
+
+template <class K, class V>
+struct pair {
+  K first;
+  V second;
+};
+
+template <class T>
+class vector {
+public:
+  vector();
+  void push_back(const T &);
+  T &operator[](size_t);
+  const T &operator[](size_t) const;
+  size_t size() const;
+  using iterator = T *;
+  using const_iterator = const T *;
+  iterator begin();
+  iterator end();
+  const_iterator begin() const;
+  const_iterator end() const;
+};
+
+class string {
+public:
+  string();
+  string(const char *);
+  string &operator+=(const string &);
+  string &operator+=(const char *);
+};
+
+template <class K, class V>
+class unordered_map {
+public:
+  using value_type = pair<const K, V>;
+  struct iterator {
+    value_type &operator*() const;
+    iterator &operator++();
+    bool operator!=(const iterator &) const;
+  };
+  iterator begin() const;
+  iterator end() const;
+  V &operator[](const K &);
+  size_t size() const;
+};
+
+template <class T>
+class unordered_set {
+public:
+  struct iterator {
+    const T &operator*() const;
+    iterator &operator++();
+    bool operator!=(const iterator &) const;
+  };
+  iterator begin() const;
+  iterator end() const;
+};
+
+template <class K, class V>
+class map {
+public:
+  using value_type = pair<const K, V>;
+  struct iterator {
+    value_type &operator*() const;
+    iterator &operator++();
+    bool operator!=(const iterator &) const;
+  };
+  iterator begin() const;
+  iterator end() const;
+  V &operator[](const K &);
+};
+
+struct ostream {
+  ostream &operator<<(int);
+  ostream &operator<<(unsigned long);
+  ostream &operator<<(double);
+  ostream &operator<<(const char *);
+  ostream &operator<<(const string &);
+};
+extern ostream cout;
+
+template <class It, class T>
+T accumulate(It first, It last, T init);
+template <class It, class T, class Op>
+T accumulate(It first, It last, T init, Op op);
+
+template <class C>
+auto begin(C &c) -> decltype(c.begin());
+template <class C>
+auto end(C &c) -> decltype(c.end());
+
+template <class It, class Cmp = int>
+void sort(It first, It last);
+template <class It, class Cmp>
+void sort(It first, It last, Cmp cmp);
+
+template <class T>
+class atomic {
+public:
+  atomic();
+  explicit atomic(T);
+  T fetch_add(T);
+  void store(T);
+  T load() const;
+  T operator+=(T);
+  T operator++();
+};
+
+class mutex {
+public:
+  void lock();
+  void unlock();
+};
+
+template <class M>
+class lock_guard {
+public:
+  explicit lock_guard(M &);
+  ~lock_guard();
+};
+
+// --- randomness -------------------------------------------------------------
+
+class random_device {
+public:
+  random_device();
+  unsigned operator()();
+};
+
+template <class UIntType, int W>
+class mersenne_twister_engine {
+public:
+  mersenne_twister_engine();
+  explicit mersenne_twister_engine(UIntType seed);
+  UIntType operator()();
+};
+
+using mt19937 = mersenne_twister_engine<unsigned int, 32>;
+using mt19937_64 = mersenne_twister_engine<unsigned long long, 64>;
+
+// --- clocks -----------------------------------------------------------------
+
+namespace chrono {
+
+struct time_point_stub {};
+
+struct system_clock {
+  using time_point = time_point_stub;
+  static time_point now();
+};
+struct steady_clock {
+  using time_point = time_point_stub;
+  static time_point now();
+};
+struct high_resolution_clock {
+  using time_point = time_point_stub;
+  static time_point now();
+};
+
+} // namespace chrono
+
+// --- file streams -----------------------------------------------------------
+
+template <class CharT>
+class basic_ifstream {
+public:
+  basic_ifstream();
+  explicit basic_ifstream(const char *);
+  bool is_open() const;
+};
+template <class CharT>
+class basic_ofstream {
+public:
+  basic_ofstream();
+  explicit basic_ofstream(const char *);
+};
+template <class CharT>
+class basic_fstream {
+public:
+  basic_fstream();
+  explicit basic_fstream(const char *);
+};
+
+using ifstream = basic_ifstream<char>;
+using ofstream = basic_ofstream<char>;
+using fstream = basic_fstream<char>;
+
+} // namespace std
+
+// --- libc surface (global namespace) ----------------------------------------
+
+extern "C" {
+long time(long *);
+struct timeval_stub;
+int gettimeofday(timeval_stub *, void *);
+int clock_gettime(int, void *);
+struct tm_stub;
+tm_stub *localtime(const long *);
+tm_stub *gmtime(const long *);
+int rand(void);
+void srand(unsigned);
+long random(void);
+double drand48(void);
+struct FILE;
+FILE *fopen(const char *, const char *);
+FILE *freopen(const char *, const char *, FILE *);
+int open(const char *, int, ...);
+int printf(const char *, ...);
+int fprintf(FILE *, const char *, ...);
+}
+
+// --- the ytcdn parallel + metrics surface -----------------------------------
+
+namespace ytcdn {
+namespace util {
+
+class ThreadPool {
+public:
+  explicit ThreadPool(std::size_t threads = 0);
+
+  template <class F>
+  void run_indexed(std::size_t n, F &&task) {
+    for (std::size_t i = 0; i < n; ++i)
+      task(i);
+  }
+};
+
+ThreadPool &shared_pool();
+
+template <class T, class F>
+auto parallel_map(ThreadPool &pool, const std::vector<T> &items, F &&f)
+    -> std::vector<decltype(f(items[0]))> {
+  using R = decltype(f(items[0]));
+  std::vector<R> out;
+  pool.run_indexed(items.size(),
+                   [&](std::size_t i) { out[i] = f(items[i]); });
+  return out;
+}
+
+template <class F>
+auto parallel_map_indexed(ThreadPool &pool, std::size_t n, F &&f)
+    -> std::vector<decltype(f(std::size_t{}))> {
+  using R = decltype(f(std::size_t{}));
+  std::vector<R> out;
+  pool.run_indexed(n, [&](std::size_t i) { out[i] = f(i); });
+  return out;
+}
+
+template <class T, class F>
+void parallel_for_each(ThreadPool &pool, std::vector<T> &items, F &&f) {
+  pool.run_indexed(items.size(), [&](std::size_t i) { f(items[i]); });
+}
+
+namespace metrics {
+
+class Counter {
+public:
+  void inc(unsigned long n = 1) const noexcept;
+};
+class Gauge {
+public:
+  void update_max(unsigned long v) const noexcept;
+};
+class Histogram {
+public:
+  void observe(double v) const noexcept;
+};
+
+Counter counter(const char *name);
+Gauge gauge(const char *name);
+Histogram histogram(const char *name, std::vector<double> bounds);
+
+} // namespace metrics
+} // namespace util
+} // namespace ytcdn

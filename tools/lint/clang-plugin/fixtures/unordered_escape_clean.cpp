@@ -1,0 +1,59 @@
+// Negative fixture for ytcdn-unordered-escape: the sanctioned patterns for
+// consuming unordered containers. The check must stay silent on every line.
+#include <ytcdn_stub.hpp>
+
+struct Row {
+  std::string dc;
+  int hits;
+};
+
+// The blessed idiom (analysis::traffic_by_dc): copy into a vector, sort by a
+// total key, then render from the sorted copy.
+std::vector<Row> copy_sort_then_render(
+    const std::unordered_map<std::string, int> &by_dc) {
+  std::vector<Row> rows;
+  for (const auto &kv : by_dc) {
+    rows.push_back(Row{kv.first, kv.second});  // collection only: no escape
+  }
+  std::sort(rows.begin(), rows.end());
+  for (const auto &row : rows) {
+    std::cout << row.hits;  // vector iteration: ordered, out of scope
+  }
+  return rows;
+}
+
+// Keyed writes re-key the value: the destination depends on the element, so
+// the result is iteration-order invariant.
+void keyed_rebucket(const std::unordered_set<int> &ports) {
+  std::unordered_map<int, int> hist;
+  for (int p : ports) {
+    hist[p] += p;
+  }
+}
+
+// Pure counting never observes order.
+std::size_t count_positive(const std::unordered_map<std::string, int> &by_dc) {
+  std::size_t n = 0;
+  for (const auto &kv : by_dc) {
+    if (kv.second > 0)
+      ++n;
+  }
+  return n;
+}
+
+// Max-tracking is commutative over the int domain.
+int max_hits(const std::unordered_map<std::string, int> &by_dc) {
+  int best = 0;
+  for (const auto &kv : by_dc) {
+    if (kv.second > best)
+      best = kv.second;
+  }
+  return best;
+}
+
+// Ordered containers iterate deterministically; streaming from them is fine.
+void stream_ordered_map(const std::map<std::string, int> &by_dc) {
+  for (const auto &kv : by_dc) {
+    std::cout << kv.second;
+  }
+}

@@ -1,0 +1,42 @@
+// Seeded violations for ytcdn-unordered-escape: iteration over an unordered
+// container whose per-element order becomes observable — streamed, folded
+// into an accumulator, handed to a formatter, or passed one call level into
+// a function that does any of those. The diagnostic anchors on the `for`.
+#include <ytcdn_stub.hpp>
+
+void stream_map_values(const std::unordered_map<std::string, int> &by_dc) {
+  for (const auto &kv : by_dc) {  // expect-diag: ytcdn-unordered-escape
+    std::cout << kv.second;
+  }
+}
+
+int fold_with_structured_binding(
+    const std::unordered_map<std::string, int> &by_dc) {
+  int total = 0;
+  for (const auto &[dc, n] : by_dc) {  // expect-diag: ytcdn-unordered-escape
+    total += n;
+  }
+  return total;
+}
+
+void format_set_members(const std::unordered_set<int> &ports) {
+  for (int p : ports) {  // expect-diag: ytcdn-unordered-escape
+    printf("%d\n", p);
+  }
+}
+
+void emit_row(int v) { std::cout << v; }
+
+void escape_through_one_call_level(const std::unordered_set<int> &ports) {
+  for (int p : ports) {  // expect-diag: ytcdn-unordered-escape
+    emit_row(p);
+  }
+}
+
+std::string join_keys(const std::unordered_map<std::string, int> &by_dc) {
+  std::string joined;
+  for (const auto &kv : by_dc) {  // expect-diag: ytcdn-unordered-escape
+    joined += kv.first;
+  }
+  return joined;
+}

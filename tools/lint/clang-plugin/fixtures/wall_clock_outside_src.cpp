@@ -1,0 +1,10 @@
+// Negative fixture for ytcdn-wall-clock path scoping: this file sits outside
+// src/, where wall-clock reads are legitimate (drivers, benchmarks, tooling).
+// The check's RestrictToDirs option must keep it silent here.
+#include <ytcdn_stub.hpp>
+
+long tooling_may_read_time() {
+  auto t = std::chrono::steady_clock::now();
+  (void)t;
+  return time(nullptr);
+}

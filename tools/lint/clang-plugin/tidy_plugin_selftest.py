@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Proves every ytcdn-* check fires where annotated and nowhere else.
+
+Each fixture under fixtures/ is a hermetic TU (compiled with -nostdinc++
+against fixtures/stub/) whose `// expect-diag: <check-name>` comments mark
+the exact lines that must produce exactly that diagnostic. Clean fixtures
+carry no annotations and must produce nothing — the harness runs the whole
+ytcdn-* family on every fixture, so a "clean" file is clean under *all*
+checks, not just the one it was written against.
+
+Fixtures are copied into a temp tree first: the path-scoped checks
+(ytcdn-wall-clock, ytcdn-raw-file-io, ytcdn-rng-source) key on fragments
+like "src/" in the *file path*, and the repo's own tools/lint/... prefix
+would contaminate the scoping. The copy preserves the fixtures' internal
+layout, so fixtures/src/... stays in scope and root-level fixtures stay out.
+
+Exits 77 (ctest SKIP_RETURN_CODE) when the plugin or a clang-tidy binary is
+unavailable, so plain builds without LLVM dev packages skip rather than fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SKIP = 77
+EXPECT_RE = re.compile(r"//\s*expect-diag:\s*(?P<check>[A-Za-z0-9-]+)")
+DIAG_RE = re.compile(
+    r"^(?P<path>.+?):(?P<line>\d+):\d+:\s+(?:warning|error):\s+"
+    r".*\[(?P<checks>[^\]]+)\]\s*$")
+# Path fragments the checks scope on; the temp root must not contain them or
+# the out-of-scope fixtures would silently move into scope.
+SCOPING_FRAGMENTS = ("src/", "tools/")
+
+
+def parse_expected(path: str) -> dict[int, list[str]]:
+    expected: dict[int, list[str]] = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for m in EXPECT_RE.finditer(line):
+                expected.setdefault(lineno, []).append(m.group("check"))
+    return expected
+
+
+def parse_actual(output: str, fixture: str) -> dict[int, list[str]]:
+    actual: dict[int, list[str]] = {}
+    want = os.path.realpath(fixture)
+    for raw in output.splitlines():
+        m = DIAG_RE.match(raw.strip())
+        if m is None:
+            continue
+        if os.path.realpath(m.group("path")) != want:
+            continue  # stub-header diagnostics would be a harness bug, not ours
+        line = int(m.group("line"))
+        for check in m.group("checks").split(","):
+            actual.setdefault(line, []).append(check.strip())
+    return actual
+
+
+def make_fixture_tree(fixtures_dir: str) -> str:
+    root = tempfile.mkdtemp(prefix="ytcdn-tidy-fixtures-")
+    probe = root.replace(os.sep, "/") + "/"
+    if any(frag in probe for frag in SCOPING_FRAGMENTS):
+        shutil.rmtree(root, ignore_errors=True)
+        print(f"tidy_plugin_selftest: temp dir {root!r} contains a scoping "
+              f"fragment {SCOPING_FRAGMENTS} — set TMPDIR to a neutral path",
+              file=sys.stderr)
+        sys.exit(SKIP)
+    for dirpath, dirnames, filenames in os.walk(fixtures_dir):
+        dirnames[:] = [d for d in dirnames if d != "stub"]
+        for name in filenames:
+            if not name.endswith(".cpp"):
+                continue
+            src = os.path.join(dirpath, name)
+            rel = os.path.relpath(src, fixtures_dir)
+            dst = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(dst), exist_ok=True)
+            shutil.copy(src, dst)
+    return root
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    here = os.path.dirname(os.path.abspath(__file__))
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--plugin", default="",
+                        help="path to libytcdn_tidy.so (empty: skip)")
+    parser.add_argument("--fixtures", default=os.path.join(here, "fixtures"))
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = parser.parse_args(argv)
+
+    if not args.plugin or not os.path.exists(args.plugin):
+        print("tidy_plugin_selftest: plugin not built — skipped")
+        return SKIP
+    tidy = shutil.which(args.clang_tidy) or (
+        args.clang_tidy if os.path.exists(args.clang_tidy) else None)
+    if tidy is None:
+        print(f"tidy_plugin_selftest: {args.clang_tidy} not found — skipped")
+        return SKIP
+
+    stub_dir = os.path.join(args.fixtures, "stub")
+    tree = make_fixture_tree(args.fixtures)
+    fixtures = sorted(
+        os.path.join(dirpath, name)
+        for dirpath, _, filenames in os.walk(tree)
+        for name in filenames if name.endswith(".cpp"))
+    if not fixtures:
+        print("tidy_plugin_selftest: no fixtures found", file=sys.stderr)
+        return 2
+
+    def run_one(path: str) -> tuple[str, list[str]]:
+        proc = subprocess.run(
+            [tidy, "--load", args.plugin, "--checks=-*,ytcdn-*", "--quiet",
+             path, "--", "-std=c++17", "-nostdinc++", "-isystem", stub_dir],
+            capture_output=True, text=True, check=False)
+        output = proc.stdout + "\n" + proc.stderr
+        problems: list[str] = []
+        rel = os.path.relpath(path, tree)
+        if "error:" in output:
+            problems.append(f"{rel}: fixture failed to parse:\n{output}")
+            return rel, problems
+        expected = parse_expected(path)
+        actual = parse_actual(output, path)
+        for line in sorted(set(expected) | set(actual)):
+            want = sorted(expected.get(line, []))
+            got = sorted(actual.get(line, []))
+            if want != got:
+                problems.append(
+                    f"{rel}:{line}: expected {want or 'no diagnostics'}, "
+                    f"got {got or 'no diagnostics'}")
+        return rel, problems
+
+    failures: list[str] = []
+    fired = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for rel, problems in pool.map(run_one, fixtures):
+            failures.extend(problems)
+            if not problems:
+                fired += 1
+    shutil.rmtree(tree, ignore_errors=True)
+
+    if failures:
+        print(f"tidy_plugin_selftest: {len(failures)} mismatches:",
+              file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print(f"tidy_plugin_selftest: {fired}/{len(fixtures)} fixtures behaved "
+          "exactly as annotated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Runs the ytcdn-* clang-tidy plugin checks over the compile database.
+
+Loads libytcdn_tidy.so into clang-tidy with --checks=-*,ytcdn-* and fans out
+one process per first-party source, exactly like run_clang_tidy.py does for
+the stock checks. Exits nonzero on any unsuppressed ytcdn-* diagnostic.
+
+Without --require a missing plugin or binary is a notice and exit 0, so
+`--target lint` stays usable on boxes without the LLVM dev packages; the CI
+tidy-plugin job passes --require to make absence a failure. --log captures
+the full diagnostic stream to a file for CI artifact upload.
+
+Usage: run_tidy_plugin.py -p <build-dir> --plugin <libytcdn_tidy.so>
+       [--binary NAME] [--require] [--jobs N] [--log FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+FIRST_PARTY_DIRS = ("src", "tools", "bench", "examples")
+# The plugin's own sources compile against LLVM headers that are absent from
+# the project compile flags, and its fixtures violate the checks on purpose.
+EXCLUDED_PARTS = ("tools/lint/testdata", "tools/lint/clang-plugin",
+                  "header_selfcheck")
+
+
+def first_party_files(build_dir: str, root: str) -> list[str]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"run_tidy_plugin: no compile database at {db_path} "
+              "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        sys.exit(2)
+    with open(db_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    files: set[str] = set()
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if rel.startswith("..") or any(part in rel for part in EXCLUDED_PARTS):
+            continue
+        if rel.split("/", 1)[0] in FIRST_PARTY_DIRS:
+            files.add(path)
+    return sorted(files)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--build-dir", required=True)
+    parser.add_argument("--plugin", default="",
+                        help="path to libytcdn_tidy.so")
+    parser.add_argument("--binary", default="clang-tidy")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 3) when the plugin cannot run")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    parser.add_argument("--log", default="",
+                        help="also write all diagnostics to this file")
+    args = parser.parse_args(argv)
+
+    def unavailable(reason: str) -> int:
+        if args.require:
+            print(f"run_tidy_plugin: {reason}", file=sys.stderr)
+            return 3
+        print(f"run_tidy_plugin: {reason} — skipped "
+              "(build with LLVM dev packages, or rely on CI's tidy-plugin job)")
+        return 0
+
+    if not args.plugin or not os.path.exists(args.plugin):
+        return unavailable(f"plugin not found at {args.plugin!r}")
+    tidy = shutil.which(args.binary) or (
+        args.binary if os.path.exists(args.binary) else None)
+    if tidy is None:
+        return unavailable(f"{args.binary} not found")
+
+    root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    files = first_party_files(os.path.abspath(args.build_dir), root)
+    if not files:
+        print("run_tidy_plugin: no first-party files in the compile database",
+              file=sys.stderr)
+        return 2
+
+    print(f"run_tidy_plugin: {len(files)} files, {args.jobs} jobs")
+    failed = 0
+    log_chunks: list[str] = []
+
+    def run_one(path: str) -> tuple[str, int, str]:
+        proc = subprocess.run(
+            [tidy, "--load", args.plugin, "--checks=-*,ytcdn-*",
+             "-p", args.build_dir, "--quiet", path],
+            capture_output=True, text=True, check=False)
+        return path, proc.returncode, (proc.stdout + proc.stderr).strip()
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, code, output in pool.map(run_one, files):
+            rel = os.path.relpath(path, root)
+            if code != 0 or "warning:" in output or "error:" in output:
+                failed += 1
+                chunk = f"--- {rel}\n{output}"
+                print(chunk)
+                log_chunks.append(chunk)
+
+    if args.log:
+        with open(args.log, "w", encoding="utf-8") as f:
+            f.write("\n".join(log_chunks) + ("\n" if log_chunks else ""))
+
+    if failed:
+        print(f"run_tidy_plugin: ytcdn-* diagnostics in {failed}/{len(files)} "
+              "files", file=sys.stderr)
+        return 1
+    print(f"run_tidy_plugin: clean — {len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

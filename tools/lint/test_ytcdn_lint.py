@@ -25,6 +25,7 @@ EXPECTED = [
     ("src/bad_fileio.cpp", "raw-file-io", 4),
     ("bad_catch.cpp", "catch-all", 3),
     ("src/bad_metrics.cpp", "metrics-name-literal", 2),
+    ("bad_after_separator.cpp", "rng-source", 1),
 ]
 
 failures: list[str] = []
@@ -54,6 +55,8 @@ def main() -> int:
                   if line.startswith(path + ":") and f"[{rule}]" in line)
         check(got == count, f"{path}: {count} [{rule}] findings (got {got})")
     check("good_clean.cpp" not in out, "clean fixture produces no findings")
+    check("good_strings.cpp" not in out,
+          "patterns inside strings/comments produce no findings")
     for line in out.splitlines():
         if ": [" in line:
             prefix = line.split(": [")[0]
@@ -74,6 +77,27 @@ def main() -> int:
 
     print("inline-allow test: allow() silences only its own rule")
     check("good_clean.cpp" not in out, "inline ytcdn-lint: allow() honored")
+
+    print("baseline freshness: stale entries are detected and pruned")
+    with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as f:
+        f.write("bad_new.cpp\traw-new-delete\tWidget* w = new Widget;  // raw-new-delete\n")
+        f.write("bad_new.cpp\traw-new-delete\tint gone = 9;  // no such violation\n")
+        baseline = f.name
+    try:
+        code3, out3 = run_lint("--baseline", baseline, "--check-baseline")
+        check(code3 == 1, f"--check-baseline fails on a stale entry (got {code3})")
+        check("stale baseline entry" in out3, "stale entry is named in output")
+        code4, _ = run_lint("--baseline", baseline, "--prune-baseline")
+        check(code4 == 0, f"--prune-baseline exits 0 (got {code4})")
+        with open(baseline, encoding="utf-8") as f:
+            pruned = f.read()
+        check("gone" not in pruned, "stale entry was pruned")
+        check("new Widget" in pruned, "live entry survived the prune")
+        code5, out5 = run_lint("--baseline", baseline, "--check-baseline")
+        check(code5 == 0, f"pruned baseline is fresh (got {code5})")
+        check("baseline fresh" in out5, "freshness is reported")
+    finally:
+        os.unlink(baseline)
 
     if failures:
         print(f"\n{len(failures)} check(s) failed")

@@ -1,0 +1,8 @@
+// Regression: under the old scrubber the lone separator quote in 1'000
+// opened a phantom char literal that swallowed everything up to the next
+// quote — including the srand call below, a false negative.
+constexpr int kThousand = 1'000;
+
+void reseed() {
+  srand(1'234);  // rng-source: must still be caught after the separators
+}

@@ -1,0 +1,30 @@
+// Regression fixture for the scrubber: rule-pattern lookalikes that live
+// inside string literals or comments, plus the tokens that used to desync
+// the state machine (digit separators, prefixed raw strings). Must produce
+// zero findings — any diagnostic against this file is a scrubber bug.
+
+namespace doc {
+
+// Digit separators used to flip the scrubber into char-literal mode, which
+// blanked real code (false negatives) and mangled later strings (false
+// positives) until the next stray quote.
+constexpr long kBudget = 1'000'000;
+constexpr unsigned kMask = 0xFF'FFu;
+constexpr double kRate = 1'024.5;
+
+// std::random_device in a comment is documentation, not a violation.
+inline const char *kHelp =
+    "call fopen(path) or srand(42) or std::random_device yourself";
+
+// Prefixed raw strings were invisible to the scrubber (it only knew bare R),
+// so the quotes inside them desynced everything that followed.
+inline const char *kRaw = R"(std::thread worker; worker.detach();)";
+inline const char *kRawU8 = u8R"(gettimeofday(nullptr, nullptr))";
+inline const wchar_t *kRawL = LR"delim(auto *w = new int[3]; delete w;)delim";
+
+// Char-literal prefixes must still open a char literal (the token before the
+// quote starts with a letter, unlike a digit separator's).
+constexpr char kQuote = '"';
+constexpr wchar_t kWide = L'x';
+
+}  // namespace doc

@@ -70,8 +70,9 @@ from dataclasses import dataclass
 
 DEFAULT_SCAN_DIRS = ("src", "bench", "tests", "tools", "examples")
 SOURCE_EXTENSIONS = (".cpp", ".hpp")
-# The linter's own negative-test fixtures are deliberately full of violations.
-EXCLUDED_PARTS = ("tools/lint/testdata",)
+# The linter's own negative-test fixtures are deliberately full of
+# violations, and so are the clang-tidy plugin's seeded fixtures.
+EXCLUDED_PARTS = ("tools/lint/testdata", "tools/lint/clang-plugin/fixtures")
 
 # Files allowed to touch raw engines: the one blessed RNG wrapper.
 RNG_ALLOWED_FILES = ("src/sim/random.hpp", "src/sim/random.cpp")
@@ -120,6 +121,37 @@ def normalize(line: str) -> str:
     return " ".join(line.split())
 
 
+# Raw-string literal prefixes, longest first so u8R wins over R.
+RAW_STRING_PREFIXES = ("u8R", "uR", "UR", "LR", "R")
+
+
+def _raw_string_prefix(text: str, i: int) -> str | None:
+    """The raw-string prefix ending at the `"` at position `i`, or None.
+    The prefix must sit on an identifier boundary so `FOOBAR"x"` (a macro
+    artifact) is not mistaken for `R"x"`."""
+    for prefix in RAW_STRING_PREFIXES:
+        start = i - len(prefix)
+        if start < 0 or text[start:i] != prefix:
+            continue
+        if start > 0 and (text[start - 1].isalnum() or text[start - 1] == "_"):
+            continue
+        return prefix
+    return None
+
+
+def _is_digit_separator(text: str, i: int) -> bool:
+    """True when the `'` at position `i` is a C++14 digit separator
+    (1'000'000, 0xFF'FF) rather than the start of a char literal. The token
+    to the left must begin with a digit — which also rules out the char
+    literal prefixes (u8'a', L'a'), whose token starts with a letter."""
+    j = i - 1
+    while j >= 0 and (text[j].isalnum() or text[j] in "._"):
+        j -= 1
+    token = text[j + 1:i]
+    return (bool(token) and token[0].isdigit()
+            and i + 1 < len(text) and text[i + 1].isalnum())
+
+
 def strip_comments_and_strings(text: str) -> str:
     """Blanks out comments and string/char literal bodies, preserving line
     structure so reported line numbers stay correct."""
@@ -139,8 +171,8 @@ def strip_comments_and_strings(text: str) -> str:
                 mode = "block_comment"
                 out.append("  ")
                 i += 2
-            elif c == '"' and text[max(0, i - 1):i] == "R":
-                m = re.match(r'R"([^()\s\\]{0,16})\(', text[i - 1:])
+            elif c == '"' and _raw_string_prefix(text, i) is not None:
+                m = re.match(r'"([^()\s\\]{0,16})\(', text[i:])
                 if m:
                     raw_delim = ")" + m.group(1) + '"'
                     mode = "raw"
@@ -153,6 +185,10 @@ def strip_comments_and_strings(text: str) -> str:
             elif c == '"':
                 mode = "string"
                 out.append('"')
+                i += 1
+            elif c == "'" and _is_digit_separator(text, i):
+                # 1'000'000 — part of a numeric token, not a char literal.
+                out.append("'")
                 i += 1
             elif c == "'":
                 mode = "char"
@@ -516,13 +552,14 @@ def load_baseline(path: str) -> set[tuple[str, str, str]]:
     return entries
 
 
-def write_baseline(path: str, violations: list[Violation]) -> None:
+def write_baseline(path: str, keys: set[tuple[str, str, str]]) -> None:
     with open(path, "w", encoding="utf-8") as f:
         f.write("# ytcdn_lint baseline — vetted exceptions, one per line:\n")
         f.write("# <repo-relative path>\\t<rule>\\t<normalized source line>\n")
         f.write("# Regenerate with: tools/lint/ytcdn_lint.py --write-baseline\n")
-        for v in sorted(set(v.key() for v in violations)):
-            f.write("\t".join(v) + "\n")
+        f.write("# Drop stale entries with: tools/lint/ytcdn_lint.py --prune-baseline\n")
+        for key in sorted(keys):
+            f.write("\t".join(key) + "\n")
 
 
 def main(argv: list[str]) -> int:
@@ -535,6 +572,12 @@ def main(argv: list[str]) -> int:
                         help="suppression file (default: <root>/tools/lint/baseline.txt)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="rewrite the baseline to cover all current violations")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline keeping only entries that "
+                             "still match a current violation")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="fail (exit 1) if the baseline carries stale "
+                             "entries no current violation matches")
     parser.add_argument("--list-rules", action="store_true")
     parser.add_argument("paths", nargs="*", help="files/dirs to lint (default: "
                         + ", ".join(DEFAULT_SCAN_DIRS) + ")")
@@ -568,12 +611,32 @@ def main(argv: list[str]) -> int:
                          unordered_names[rel])
 
     if args.write_baseline:
-        write_baseline(baseline_path, linter.violations)
-        print(f"ytcdn_lint: wrote {len(set(v.key() for v in linter.violations))} "
-              f"baseline entries to {baseline_path}")
+        keys = set(v.key() for v in linter.violations)
+        write_baseline(baseline_path, keys)
+        print(f"ytcdn_lint: wrote {len(keys)} baseline entries to {baseline_path}")
         return 0
 
     baseline = load_baseline(baseline_path)
+
+    if args.prune_baseline or args.check_baseline:
+        live = set(v.key() for v in linter.violations)
+        stale = sorted(baseline - live)
+        if args.prune_baseline:
+            write_baseline(baseline_path, baseline & live)
+            print(f"ytcdn_lint: pruned {len(stale)} stale of {len(baseline)} "
+                  f"baseline entries in {baseline_path}")
+            return 0
+        if stale:
+            for path, rule, content in stale:
+                print(f"stale baseline entry: {path} [{rule}] {content!r}")
+            print(f"ytcdn_lint: {len(stale)} stale baseline entr"
+                  f"{'y' if len(stale) == 1 else 'ies'} — a suppressed "
+                  "violation no longer exists; run --prune-baseline",
+                  file=sys.stderr)
+            return 1
+        print(f"ytcdn_lint: baseline fresh — {len(baseline)} entries all "
+              "match current violations")
+        return 0
     fresh = [v for v in linter.violations if v.key() not in baseline]
     for v in fresh:
         print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")
