@@ -4,6 +4,7 @@
 
 #include "analysis/session.hpp"
 #include "analysis/session_analysis.hpp"
+#include "analysis/session_table.hpp"
 #include "analysis/table.hpp"
 #include "bench_common.hpp"
 
@@ -72,6 +73,43 @@ void bm_session_patterns(benchmark::State& state) {
                             static_cast<int64_t>(sessions.size()));
 }
 BENCHMARK(bm_session_patterns)->Unit(benchmark::kMillisecond);
+
+// SoA equivalents. bm_build_sessions vs bm_session_table_build isolates the
+// grouping cost (pointer-vector-per-session vs one global sort into CSR);
+// bm_session_patterns_soa vs bm_session_patterns isolates the scan cost
+// (pointer chase + per-flow hash lookup vs dc_column reads).
+void bm_build_sessions(benchmark::State& state) {
+    const auto& run = bench::shared_run();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis::build_sessions(run.traces.datasets[0], 1.0));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(run.traces.datasets[0].records.size()));
+}
+BENCHMARK(bm_build_sessions)->Unit(benchmark::kMillisecond);
+
+void bm_session_table_build(benchmark::State& state) {
+    const auto& run = bench::shared_run();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analysis::SessionTable::build(run.tables[0], 1.0));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(run.tables[0].size()));
+}
+BENCHMARK(bm_session_table_build)->Unit(benchmark::kMillisecond);
+
+void bm_session_patterns_soa(benchmark::State& state) {
+    const auto& run = bench::shared_run();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analysis::session_patterns(
+            run.sessions[0], run.dc_columns[0], run.preferred[0]));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(run.sessions[0].num_sessions()));
+}
+BENCHMARK(bm_session_patterns_soa)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

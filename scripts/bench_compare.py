@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare two BENCH_results.json files.
+
+Usage: scripts/bench_compare.py BASELINE CANDIDATE [options]
+
+Fails (exit 1) when the candidate's cold-phase wall clock regresses by more
+than --max-regress (default 10%) against the committed baseline, either for
+the suite total or for any single binary above the --min-ms noise floor.
+Peak RSS is gated the same way with its own (looser) threshold, and the
+machine-independent internal counters are diffed for the report — a counter
+that moves says *why* the wall clock moved.
+
+Build-type discipline: numbers from an unoptimized build are meaningless,
+and comparing across build types measures the compiler, not the change.
+Such pairs exit 2 ("incomparable") unless --allow-mismatch downgrades that
+to a warning, which CI never passes.
+
+Exit codes: 0 ok, 1 regression, 2 incomparable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        return json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+
+
+def fmt_delta(old: float, new: float) -> str:
+    if not old:
+        return "n/a"
+    pct = (new - old) / old * 100.0
+    return f"{pct:+.1f}%"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--max-regress", type=float, default=0.10,
+                    help="allowed cold-wall regression fraction (default 0.10)")
+    ap.add_argument("--max-rss-regress", type=float, default=0.25,
+                    help="allowed peak-RSS regression fraction (default 0.25)")
+    ap.add_argument("--min-ms", type=int, default=250,
+                    help="per-binary noise floor: binaries whose baseline cold "
+                         "wall is below this many ms are reported but not gated "
+                         "(default 250)")
+    ap.add_argument("--allow-mismatch", action="store_true",
+                    help="downgrade build-type/optimization mismatch from exit 2 "
+                         "to a warning (local exploration only — CI must not)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    # -- comparability ----------------------------------------------------
+    problems = []
+    for label, data in (("baseline", base), ("candidate", cand)):
+        build = data.get("build") or {}
+        # Pre-provenance baselines carry only google-benchmark's coarse
+        # debug/release flag; fall back to it rather than refusing history.
+        opt = build.get("optimized")
+        if opt is None:
+            opt = (data.get("context") or {}).get("library_build_type") == "release"
+        if not opt:
+            problems.append(f"{label} was built unoptimized "
+                            f"({build.get('type') or 'debug'})")
+    bt_base = (base.get("build") or {}).get("type")
+    bt_cand = (cand.get("build") or {}).get("type")
+    if bt_base and bt_cand and bt_base != bt_cand:
+        problems.append(f"build types differ: {bt_base} vs {bt_cand}")
+
+    # Same-workload check: run.sessions is scale-proportional and machine-
+    # independent, so a mismatch means the two files benchmarked different
+    # amounts of work (different YTCDN_BENCH_SCALE), not different code.
+    def run_sessions(data: dict) -> int:
+        return max((c.get("run.sessions", 0)
+                    for c in (data.get("internal_counters") or {}).values()
+                    if isinstance(c, dict)), default=0)
+
+    rs_base, rs_cand = run_sessions(base), run_sessions(cand)
+    if rs_base and rs_cand and not (0.99 < rs_cand / rs_base < 1.01):
+        problems.append(f"workloads differ: {rs_base} vs {rs_cand} "
+                        "run.sessions (different trace scale?)")
+    if problems:
+        for p in problems:
+            print(f"incomparable: {p}", file=sys.stderr)
+        if not args.allow_mismatch:
+            return 2
+        print("continuing despite mismatch (--allow-mismatch)", file=sys.stderr)
+
+    for label, data in (("baseline", base), ("candidate", cand)):
+        if (data.get("build") or {}).get("git_dirty"):
+            print(f"note: {label} was recorded from a dirty tree", file=sys.stderr)
+
+    # -- wall clock + RSS -------------------------------------------------
+    suite_b = base.get("suite_wall_clock") or {}
+    suite_c = cand.get("suite_wall_clock") or {}
+    shared = sorted(set(suite_b) & set(suite_c))
+    if not shared:
+        print("incomparable: no bench binaries in common", file=sys.stderr)
+        return 2
+    only_b = sorted(set(suite_b) - set(suite_c))
+    only_c = sorted(set(suite_c) - set(suite_b))
+    if only_b:
+        print(f"note: dropped from suite: {', '.join(only_b)}")
+    if only_c:
+        print(f"note: new in suite: {', '.join(only_c)}")
+
+    failures = []
+    print(f'{"binary":<44}{"base[ms]":>9}{"cand[ms]":>9}{"wall":>8}{"rss":>8}')
+    print("-" * 78)
+    tot_b = tot_c = 0
+    for name in shared:
+        b, c = suite_b[name], suite_c[name]
+        bw, cw = b.get("cold_wall_ms"), c.get("cold_wall_ms")
+        if not bw or not cw:
+            continue
+        tot_b += bw
+        tot_c += cw
+        br = b.get("cold_peak_rss_kib")
+        cr = c.get("cold_peak_rss_kib")
+        rss_delta = fmt_delta(br, cr) if br and cr else "n/a"
+        gated = bw >= args.min_ms
+        mark = ""
+        if gated and cw > bw * (1 + args.max_regress):
+            failures.append(f"{name}: cold wall {bw} -> {cw} ms "
+                            f"({fmt_delta(bw, cw)})")
+            mark = "  << wall"
+        if gated and br and cr and cr > br * (1 + args.max_rss_regress):
+            failures.append(f"{name}: cold peak RSS {br} -> {cr} KiB "
+                            f"({fmt_delta(br, cr)})")
+            mark += "  << rss"
+        floor = "" if gated else "  (below noise floor)"
+        print(f"{name:<44}{bw:>9}{cw:>9}{fmt_delta(bw, cw):>8}{rss_delta:>8}"
+              f"{mark}{floor}")
+    print("-" * 78)
+    print(f'{"TOTAL":<44}{tot_b:>9}{tot_c:>9}{fmt_delta(tot_b, tot_c):>8}')
+    if tot_b and tot_c > tot_b * (1 + args.max_regress):
+        failures.append(f"suite total cold wall {tot_b} -> {tot_c} ms "
+                        f"({fmt_delta(tot_b, tot_c)})")
+
+    # -- internal counters (machine-independent, report only) -------------
+    ctr_b = base.get("internal_counters") or {}
+    ctr_c = cand.get("internal_counters") or {}
+    moved = []
+    for name in sorted(set(ctr_b) & set(ctr_c)):
+        cb, cc = ctr_b[name], ctr_c[name]
+        if not isinstance(cb, dict) or not isinstance(cc, dict):
+            continue
+        for key in sorted(set(cb) & set(cc)):
+            vb, vc = cb[key], cc[key]
+            if isinstance(vb, (int, float)) and isinstance(vc, (int, float)) \
+                    and vb != vc:
+                moved.append(f"  {name}.{key}: {vb} -> {vc}")
+    if moved:
+        print("\ninternal counters that moved (context for the deltas above):")
+        print("\n".join(moved))
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) beyond "
+              f"{args.max_regress:.0%} (wall) / {args.max_rss_regress:.0%} (rss):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("If the slowdown is intended and understood, re-bless the "
+              "baseline: scripts/run_benches.sh on a Release build, then "
+              "commit BENCH_results.json (see bench/README.md).",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: no cold-wall regression beyond {args.max_regress:.0%} "
+          f"({len(shared)} binaries compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,10 +10,13 @@
 # printed for the suite.
 #
 # Usage: scripts/run_benches.sh [build_dir]
-# Env:   YTCDN_BENCH_SCALE   trace scale (default: binaries' default, 0.15)
-#        YTCDN_THREADS       worker threads for the parallel stages
-#        YTCDN_BENCH_FILTER  only run binaries whose name matches this grep
-#        YTCDN_BENCH_COLD=0  skip the cold phase (reuses an existing cache)
+# Env:   YTCDN_BENCH_SCALE        trace scale (default: binaries' default, 0.15)
+#        YTCDN_THREADS            worker threads for the parallel stages
+#        YTCDN_BENCH_FILTER       only run binaries whose name matches this grep
+#        YTCDN_BENCH_COLD=0       skip the cold phase (reuses an existing cache)
+#        YTCDN_BENCH_ALLOW_DEBUG=1  run an unoptimized build anyway (the
+#                                 results are annotated, and bench_compare.py
+#                                 refuses to gate against them)
 
 set -euo pipefail
 
@@ -29,6 +32,29 @@ if [ ! -d "$BENCH_DIR" ]; then
     exit 1
 fi
 
+# A debug build benchmarks the compiler, not the code: numbers from one are
+# 5-10x off and must never become the committed baseline (this bit us once —
+# see bench/README.md). Read the build type straight from the cache so the
+# guard can't drift from what was actually compiled.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+BUILD_TYPE="${BUILD_TYPE:-unknown}"
+case "$BUILD_TYPE" in
+    Release|RelWithDebInfo|MinSizeRel) OPTIMIZED=1 ;;
+    *) OPTIMIZED=0 ;;
+esac
+if [ "$OPTIMIZED" != "1" ] && [ "${YTCDN_BENCH_ALLOW_DEBUG:-0}" != "1" ]; then
+    echo "error: $BUILD_DIR is a '$BUILD_TYPE' build — bench numbers from it are" >&2
+    echo "meaningless. Build with -DCMAKE_BUILD_TYPE=Release (or RelWithDebInfo)," >&2
+    echo "or set YTCDN_BENCH_ALLOW_DEBUG=1 to record annotated throwaway numbers." >&2
+    exit 1
+fi
+
+GIT_SHA="$(git -C "$REPO_ROOT" rev-parse HEAD 2>/dev/null || echo unknown)"
+GIT_DIRTY=0
+if ! git -C "$REPO_ROOT" diff --quiet HEAD -- ':!BENCH_results.json' 2>/dev/null; then
+    GIT_DIRTY=1
+fi
+
 mapfile -t BINARIES < <(find "$BENCH_DIR" -maxdepth 1 -name 'bench_*' -type f -perm -u+x | sort)
 if [ -n "${YTCDN_BENCH_FILTER:-}" ]; then
     mapfile -t BINARIES < <(printf '%s\n' "${BINARIES[@]}" | grep -- "$YTCDN_BENCH_FILTER" || true)
@@ -38,33 +64,44 @@ if [ "${#BINARIES[@]}" -eq 0 ]; then
     exit 1
 fi
 
-# Wall-clock milliseconds of one binary run; benchmark JSON goes to $2,
-# $3 is the YTCDN_BENCH_SNAPSHOT value for the run, $4 (optional) a path
-# for the binary's internal-counter dump (see bench_common.hpp).
+# Runs one binary, echoing "<wall ms> <peak RSS KiB>". Benchmark JSON goes
+# to $2, $3 is the YTCDN_BENCH_SNAPSHOT value for the run, $4 (optional) a
+# path for the binary's internal-counter dump (see bench_common.hpp). The
+# python wrapper exists for getrusage(RUSAGE_CHILDREN): /usr/bin/time -v is
+# not everywhere, and bash can't see a child's ru_maxrss.
 run_one() {
     local bin="$1" json="$2" snapshot="$3" metrics="${4:-}"
-    local start end
-    start=$(date +%s%N)
     # stdout (the paper artifacts) is not interesting here; stderr carries
     # cache progress lines worth keeping in CI logs.
     (cd "$REPO_ROOT" && YTCDN_BENCH_SNAPSHOT="$snapshot" \
-        YTCDN_METRICS_OUT="$metrics" "$bin" \
-        --benchmark_out="$json" --benchmark_out_format=json \
-        --benchmark_min_time=0.05 > /dev/null)
-    end=$(date +%s%N)
-    echo $(( (end - start) / 1000000 ))
+        YTCDN_METRICS_OUT="$metrics" python3 - "$bin" "$json" <<'PY'
+import resource, subprocess, sys, time
+binary, out = sys.argv[1], sys.argv[2]
+start = time.monotonic()
+subprocess.run(
+    [binary, f"--benchmark_out={out}", "--benchmark_out_format=json",
+     "--benchmark_min_time=0.05"],
+    check=True, stdout=subprocess.DEVNULL)
+wall_ms = int((time.monotonic() - start) * 1000)
+# Linux reports ru_maxrss in KiB; exactly one waited child, so CHILDREN
+# is that child's peak.
+peak_kib = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+print(f"{wall_ms} {peak_kib}")
+PY
+    )
 }
 
-declare -A COLD_MS WARM_MS
+declare -A COLD_MS WARM_MS COLD_RSS WARM_RSS
 CACHE_DIR="$REPO_ROOT/build/bench/.cache"
 
 if [ "${YTCDN_BENCH_COLD:-1}" != "0" ]; then
     echo "== cold phase (no snapshot cache): ${#BINARIES[@]} binaries =="
     for bin in "${BINARIES[@]}"; do
         name="$(basename "$bin")"
-        ms=$(run_one "$bin" "$WORK_DIR/cold_$name.json" 0)
+        read -r ms rss <<< "$(run_one "$bin" "$WORK_DIR/cold_$name.json" 0)"
         COLD_MS[$name]=$ms
-        printf '  %-42s %8d ms\n' "$name" "$ms"
+        COLD_RSS[$name]=$rss
+        printf '  %-42s %8d ms  %7d KiB peak\n' "$name" "$ms" "$rss"
     done
 fi
 
@@ -72,28 +109,36 @@ echo "== warm phase (snapshot cache at $CACHE_DIR) =="
 rm -rf "$CACHE_DIR"
 for bin in "${BINARIES[@]}"; do
     name="$(basename "$bin")"
-    ms=$(run_one "$bin" "$WORK_DIR/warm_$name.json" 1 "$WORK_DIR/metrics_$name.json")
+    read -r ms rss <<< "$(run_one "$bin" "$WORK_DIR/warm_$name.json" 1 "$WORK_DIR/metrics_$name.json")"
     WARM_MS[$name]=$ms
-    printf '  %-42s %8d ms\n' "$name" "$ms"
+    WARM_RSS[$name]=$rss
+    printf '  %-42s %8d ms  %7d KiB peak\n' "$name" "$ms" "$rss"
 done
 
-# Aggregate: per-binary wall clock + every google-benchmark entry.
-export WORK_DIR OUT_JSON
+# Aggregate: per-binary wall clock + peak RSS + every google-benchmark entry.
+BENCH_SCALE="${YTCDN_BENCH_SCALE:-default}"
+export WORK_DIR OUT_JSON BUILD_TYPE OPTIMIZED GIT_SHA GIT_DIRTY BENCH_SCALE
 {
-    for name in "${!COLD_MS[@]}"; do echo "cold $name ${COLD_MS[$name]}"; done
-    for name in "${!WARM_MS[@]}"; do echo "warm $name ${WARM_MS[$name]}"; done
+    for name in "${!COLD_MS[@]}"; do
+        echo "cold $name ${COLD_MS[$name]} ${COLD_RSS[$name]}"
+    done
+    for name in "${!WARM_MS[@]}"; do
+        echo "warm $name ${WARM_MS[$name]} ${WARM_RSS[$name]}"
+    done
 } > "$WORK_DIR/wallclock.txt"
 
 python3 - "$WORK_DIR" "$OUT_JSON" <<'PY'
-import json, pathlib, sys
+import json, os, pathlib, sys
 
 work = pathlib.Path(sys.argv[1])
 out_path = pathlib.Path(sys.argv[2])
 
 wall = {}
+rss = {}
 for line in (work / "wallclock.txt").read_text().splitlines():
-    phase, name, ms = line.split()
+    phase, name, ms, kib = line.split()
     wall.setdefault(name, {})[phase] = int(ms)
+    rss.setdefault(name, {})[phase] = int(kib)
 
 benchmarks = {}
 internal_counters = {}
@@ -102,11 +147,14 @@ for path in sorted(work.glob("warm_*.json")):
     data = json.loads(path.read_text())
     context = context or data.get("context")
     name = path.stem.removeprefix("warm_")
+    # google-benchmark reports real_time/cpu_time in the benchmark's own
+    # time_unit (ns unless BENCHMARK(...)->Unit() overrides it).
+    to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
     benchmarks[name] = [
         {
             "name": b["name"],
-            "real_time_ms": b["real_time"] / 1e6,
-            "cpu_time_ms": b["cpu_time"] / 1e6,
+            "real_time_ms": b["real_time"] * to_ms.get(b.get("time_unit", "ns"), 1e-6),
+            "cpu_time_ms": b["cpu_time"] * to_ms.get(b.get("time_unit", "ns"), 1e-6),
             "iterations": b["iterations"],
         }
         for b in data.get("benchmarks", [])
@@ -120,6 +168,8 @@ suite = {
     name: {
         "cold_wall_ms": phases.get("cold"),
         "warm_wall_ms": phases.get("warm"),
+        "cold_peak_rss_kib": rss.get(name, {}).get("cold"),
+        "warm_peak_rss_kib": rss.get(name, {}).get("warm"),
         "speedup": (phases["cold"] / phases["warm"])
         if phases.get("cold") and phases.get("warm")
         else None,
@@ -136,10 +186,27 @@ totals["speedup"] = (
     if totals["cold_wall_ms"] and totals["warm_wall_ms"]
     else None
 )
+peak = [s["cold_peak_rss_kib"] or 0 for s in suite.values()] + [
+    s["warm_peak_rss_kib"] or 0 for s in suite.values()
+]
+totals["max_peak_rss_kib"] = max(peak) if any(peak) else None
+
+# Provenance: bench_compare.py refuses to gate across build types or trace
+# scales (the committed 2026-08 baseline was silently recorded at scale
+# 0.02, which made it incomparable with default-scale runs), and a dirty
+# tree means the SHA does not identify what actually ran.
+build = {
+    "type": os.environ.get("BUILD_TYPE", "unknown"),
+    "optimized": os.environ.get("OPTIMIZED", "0") == "1",
+    "git_sha": os.environ.get("GIT_SHA", "unknown"),
+    "git_dirty": os.environ.get("GIT_DIRTY", "0") == "1",
+    "scale": os.environ.get("BENCH_SCALE", "unknown"),
+}
 
 out_path.write_text(
     json.dumps(
         {
+            "build": build,
             "context": context,
             "suite_wall_clock": suite,
             "suite_totals": totals,

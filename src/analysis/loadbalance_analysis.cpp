@@ -34,11 +34,25 @@ HourTally tally_hours(const capture::Dataset& dataset, const ServerDcMap& map,
     return t;
 }
 
-}  // namespace
+HourTally tally_hours(const capture::FlowTable& table, std::span<const int> dc_col,
+                      int preferred) {
+    HourTally t;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (classify_flow_size(table.bytes[i]) != FlowKind::Video) continue;
+        const int dc = dc_col[i];
+        if (dc < 0) continue;
+        const auto hour = static_cast<std::size_t>(sim::hour_index(table.start[i]));
+        if (hour >= t.all.size()) {
+            t.all.resize(hour + 1, 0);
+            t.preferred.resize(hour + 1, 0);
+        }
+        ++t.all[hour];
+        if (dc == preferred) ++t.preferred[hour];
+    }
+    return t;
+}
 
-EmpiricalCdf hourly_non_preferred_fraction(const capture::Dataset& dataset,
-                                           const ServerDcMap& map, int preferred) {
-    const HourTally t = tally_hours(dataset, map, preferred);
+EmpiricalCdf non_preferred_cdf(const HourTally& t) {
     EmpiricalCdf cdf;
     for (std::size_t h = 0; h < t.all.size(); ++h) {
         if (t.all[h] == 0) continue;  // empty slots carry no sample
@@ -49,12 +63,10 @@ EmpiricalCdf hourly_non_preferred_fraction(const capture::Dataset& dataset,
     return cdf;
 }
 
-HourlyLoadSeries hourly_preferred_series(const capture::Dataset& dataset,
-                                         const ServerDcMap& map, int preferred) {
-    const HourTally t = tally_hours(dataset, map, preferred);
+HourlyLoadSeries preferred_series(const HourTally& t, const std::string& name) {
     HourlyLoadSeries out;
-    out.fraction_preferred.name = dataset.name + " fraction-to-preferred";
-    out.flows_per_hour.name = dataset.name + " video-flows-per-hour";
+    out.fraction_preferred.name = name + " fraction-to-preferred";
+    out.flows_per_hour.name = name + " video-flows-per-hour";
     for (std::size_t h = 0; h < t.all.size(); ++h) {
         const double x = static_cast<double>(h);
         out.flows_per_hour.points.emplace_back(x, static_cast<double>(t.all[h]));
@@ -65,6 +77,41 @@ HourlyLoadSeries hourly_preferred_series(const capture::Dataset& dataset,
         }
     }
     return out;
+}
+
+double correlation_of(const HourTally& t, std::uint64_t min_flows) {
+    Series flows, np_fraction;
+    for (std::size_t h = 0; h < t.all.size(); ++h) {
+        if (t.all[h] < min_flows) continue;
+        const double x = static_cast<double>(h);
+        flows.points.emplace_back(x, static_cast<double>(t.all[h]));
+        np_fraction.points.emplace_back(
+            x, static_cast<double>(t.all[h] - t.preferred[h]) /
+                   static_cast<double>(t.all[h]));
+    }
+    return pearson_correlation(flows, np_fraction);
+}
+
+}  // namespace
+
+EmpiricalCdf hourly_non_preferred_fraction(const capture::Dataset& dataset,
+                                           const ServerDcMap& map, int preferred) {
+    return non_preferred_cdf(tally_hours(dataset, map, preferred));
+}
+
+EmpiricalCdf hourly_non_preferred_fraction(const capture::FlowTable& table,
+                                           std::span<const int> dc, int preferred) {
+    return non_preferred_cdf(tally_hours(table, dc, preferred));
+}
+
+HourlyLoadSeries hourly_preferred_series(const capture::Dataset& dataset,
+                                         const ServerDcMap& map, int preferred) {
+    return preferred_series(tally_hours(dataset, map, preferred), dataset.name);
+}
+
+HourlyLoadSeries hourly_preferred_series(const capture::FlowTable& table,
+                                         std::span<const int> dc, int preferred) {
+    return preferred_series(tally_hours(table, dc, preferred), table.name);
 }
 
 double pearson_correlation(const Series& a, const Series& b) {
@@ -92,17 +139,13 @@ double pearson_correlation(const Series& a, const Series& b) {
 double load_vs_nonpreferred_correlation(const capture::Dataset& dataset,
                                         const ServerDcMap& map, int preferred,
                                         std::uint64_t min_flows) {
-    const HourTally t = tally_hours(dataset, map, preferred);
-    Series flows, np_fraction;
-    for (std::size_t h = 0; h < t.all.size(); ++h) {
-        if (t.all[h] < min_flows) continue;
-        const double x = static_cast<double>(h);
-        flows.points.emplace_back(x, static_cast<double>(t.all[h]));
-        np_fraction.points.emplace_back(
-            x, static_cast<double>(t.all[h] - t.preferred[h]) /
-                   static_cast<double>(t.all[h]));
-    }
-    return pearson_correlation(flows, np_fraction);
+    return correlation_of(tally_hours(dataset, map, preferred), min_flows);
+}
+
+double load_vs_nonpreferred_correlation(const capture::FlowTable& table,
+                                        std::span<const int> dc, int preferred,
+                                        std::uint64_t min_flows) {
+    return correlation_of(tally_hours(table, dc, preferred), min_flows);
 }
 
 }  // namespace ytcdn::analysis

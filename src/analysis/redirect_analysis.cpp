@@ -21,6 +21,41 @@ std::unordered_map<cdn::VideoId, std::uint64_t> non_preferred_per_video(
     return counts;
 }
 
+std::unordered_map<cdn::VideoId, std::uint64_t> non_preferred_per_video(
+    const capture::FlowTable& table, std::span<const int> dc_col, int preferred) {
+    std::unordered_map<cdn::VideoId, std::uint64_t> counts;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (classify_flow_size(table.bytes[i]) != FlowKind::Video) continue;
+        const int dc = dc_col[i];
+        if (dc < 0 || dc == preferred) continue;
+        ++counts[table.video[i]];
+    }
+    return counts;
+}
+
+EmpiricalCdf counts_to_cdf(const std::unordered_map<cdn::VideoId, std::uint64_t>& counts) {
+    EmpiricalCdf cdf;
+    for (const auto& [video, count] : counts) cdf.add(static_cast<double>(count));
+    cdf.finalize();
+    return cdf;
+}
+
+std::vector<cdn::VideoId> rank_counts(
+    const std::unordered_map<cdn::VideoId, std::uint64_t>& counts, std::size_t k) {
+    std::vector<std::pair<std::uint64_t, cdn::VideoId>> ranked;
+    ranked.reserve(counts.size());
+    for (const auto& [video, count] : counts) ranked.emplace_back(count, video);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+    });
+    if (ranked.size() > k) ranked.resize(k);
+    std::vector<cdn::VideoId> out;
+    out.reserve(ranked.size());
+    for (const auto& [count, video] : ranked) out.push_back(video);
+    return out;
+}
+
 void bump_hour(std::vector<std::uint64_t>& v, sim::SimTime t) {
     const auto hour = static_cast<std::size_t>(sim::hour_index(t));
     if (hour >= v.size()) v.resize(hour + 1, 0);
@@ -40,30 +75,24 @@ Series to_series(const std::vector<std::uint64_t>& hours, std::string name) {
 
 EmpiricalCdf video_non_preferred_counts(const capture::Dataset& dataset,
                                         const ServerDcMap& map, int preferred) {
-    EmpiricalCdf cdf;
-    for (const auto& [video, count] : non_preferred_per_video(dataset, map, preferred)) {
-        cdf.add(static_cast<double>(count));
-    }
-    cdf.finalize();
-    return cdf;
+    return counts_to_cdf(non_preferred_per_video(dataset, map, preferred));
+}
+
+EmpiricalCdf video_non_preferred_counts(const capture::FlowTable& table,
+                                        std::span<const int> dc, int preferred) {
+    return counts_to_cdf(non_preferred_per_video(table, dc, preferred));
 }
 
 std::vector<cdn::VideoId> top_redirected_videos(const capture::Dataset& dataset,
                                                 const ServerDcMap& map, int preferred,
                                                 std::size_t k) {
-    const auto counts = non_preferred_per_video(dataset, map, preferred);
-    std::vector<std::pair<std::uint64_t, cdn::VideoId>> ranked;
-    ranked.reserve(counts.size());
-    for (const auto& [video, count] : counts) ranked.emplace_back(count, video);
-    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-        if (a.first != b.first) return a.first > b.first;
-        return a.second < b.second;
-    });
-    if (ranked.size() > k) ranked.resize(k);
-    std::vector<cdn::VideoId> out;
-    out.reserve(ranked.size());
-    for (const auto& [count, video] : ranked) out.push_back(video);
-    return out;
+    return rank_counts(non_preferred_per_video(dataset, map, preferred), k);
+}
+
+std::vector<cdn::VideoId> top_redirected_videos(const capture::FlowTable& table,
+                                                std::span<const int> dc, int preferred,
+                                                std::size_t k) {
+    return rank_counts(non_preferred_per_video(table, dc, preferred), k);
 }
 
 VideoLoadSeries video_hourly_load(const capture::Dataset& dataset,
@@ -83,6 +112,26 @@ VideoLoadSeries video_hourly_load(const capture::Dataset& dataset,
     VideoLoadSeries out;
     out.all = to_series(all, dataset.name + " video-all");
     out.non_preferred = to_series(np, dataset.name + " video-non-preferred");
+    return out;
+}
+
+VideoLoadSeries video_hourly_load(const capture::FlowTable& table,
+                                  std::span<const int> dc_col, int preferred,
+                                  cdn::VideoId video) {
+    std::vector<std::uint64_t> all;
+    std::vector<std::uint64_t> np;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table.video[i] != video) continue;
+        if (classify_flow_size(table.bytes[i]) != FlowKind::Video) continue;
+        const int dc = dc_col[i];
+        if (dc < 0) continue;
+        bump_hour(all, table.start[i]);
+        if (dc != preferred) bump_hour(np, table.start[i]);
+    }
+    np.resize(all.size(), 0);
+    VideoLoadSeries out;
+    out.all = to_series(all, table.name + " video-all");
+    out.non_preferred = to_series(np, table.name + " video-non-preferred");
     return out;
 }
 
@@ -107,6 +156,81 @@ ServerLoadSeries preferred_dc_server_load(const capture::Dataset& dataset,
         out.avg.points.emplace_back(static_cast<double>(h), m.mean());
         out.max.points.emplace_back(static_cast<double>(h), m.max);
     }
+    return out;
+}
+
+ServerLoadSeries preferred_dc_server_load(const capture::FlowTable& table,
+                                          std::span<const int> dc, int preferred) {
+    // requests[hour][server] -> count, for servers inside the preferred DC.
+    std::vector<std::unordered_map<net::IpAddress, std::uint64_t>> hours;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (dc[i] != preferred) continue;
+        const auto hour = static_cast<std::size_t>(sim::hour_index(table.start[i]));
+        if (hour >= hours.size()) hours.resize(hour + 1);
+        ++hours[hour][table.server_ip[i]];
+    }
+
+    ServerLoadSeries out;
+    out.avg.name = table.name + " per-server-avg";
+    out.max.name = table.name + " per-server-max";
+    for (std::size_t h = 0; h < hours.size(); ++h) {
+        if (hours[h].empty()) continue;
+        MinMeanMax m;
+        for (const auto& [ip, count] : hours[h]) m.add(static_cast<double>(count));
+        out.avg.points.emplace_back(static_cast<double>(h), m.mean());
+        out.max.points.emplace_back(static_cast<double>(h), m.max);
+    }
+    return out;
+}
+
+HotServerSessions hot_server_sessions(const capture::FlowTable& table,
+                                      const SessionTable& sessions,
+                                      std::span<const int> dc, int preferred,
+                                      cdn::VideoId video) {
+    // The "server handling the video": the preferred-DC server with the most
+    // requests for it.
+    std::unordered_map<net::IpAddress, std::uint64_t> counts;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table.video[i] != video || dc[i] != preferred) continue;
+        ++counts[table.server_ip[i]];
+    }
+    HotServerSessions out;
+    if (counts.empty()) return out;
+    out.server = std::max_element(counts.begin(), counts.end(),
+                                  [](const auto& a, const auto& b) {
+                                      return a.second < b.second;
+                                  })
+                     ->first;
+
+    std::vector<std::uint64_t> all_pref, first_pref, others;
+    for (std::size_t s = 0; s < sessions.num_sessions(); ++s) {
+        const auto flows = sessions.flows_of(s);
+        // Sessions that *arrive* at this server: their first flow hits it.
+        if (table.server_ip[flows.front()] != out.server) continue;
+        bool every_pref = true;
+        for (const std::uint32_t row : flows) {
+            if (dc[row] != preferred) {
+                every_pref = false;
+                break;
+            }
+        }
+        const sim::SimTime t = sessions.start[s];
+        if (every_pref) {
+            bump_hour(all_pref, t);
+        } else if (dc[flows.front()] == preferred) {
+            bump_hour(first_pref, t);
+        } else {
+            bump_hour(others, t);
+        }
+    }
+    const std::size_t n = std::max({all_pref.size(), first_pref.size(), others.size()});
+    all_pref.resize(n, 0);
+    first_pref.resize(n, 0);
+    others.resize(n, 0);
+    out.all_preferred = to_series(all_pref, table.name + " all-preferred");
+    out.first_preferred_then_other =
+        to_series(first_pref, table.name + " first-preferred-then-other");
+    out.others = to_series(others, table.name + " others");
     return out;
 }
 

@@ -1,12 +1,15 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "analysis/dc_map.hpp"
 #include "analysis/series.hpp"
 #include "analysis/session.hpp"
+#include "analysis/session_table.hpp"
 #include "analysis/stats.hpp"
 #include "capture/dataset.hpp"
+#include "capture/flow_table.hpp"
 
 namespace ytcdn::analysis {
 
@@ -55,5 +58,24 @@ struct HotServerSessions {
 [[nodiscard]] HotServerSessions hot_server_sessions(
     const capture::Dataset& dataset, const std::vector<VideoSession>& sessions,
     const ServerDcMap& map, int preferred, cdn::VideoId video);
+
+/// Column-scan equivalents over the SoA mirror; `dc` is the table's
+/// dc_column (see analysis/session_table.hpp). Bit-identical results.
+[[nodiscard]] EmpiricalCdf video_non_preferred_counts(const capture::FlowTable& table,
+                                                      std::span<const int> dc,
+                                                      int preferred);
+[[nodiscard]] std::vector<cdn::VideoId> top_redirected_videos(
+    const capture::FlowTable& table, std::span<const int> dc, int preferred,
+    std::size_t k);
+[[nodiscard]] VideoLoadSeries video_hourly_load(const capture::FlowTable& table,
+                                                std::span<const int> dc, int preferred,
+                                                cdn::VideoId video);
+[[nodiscard]] ServerLoadSeries preferred_dc_server_load(const capture::FlowTable& table,
+                                                        std::span<const int> dc,
+                                                        int preferred);
+[[nodiscard]] HotServerSessions hot_server_sessions(const capture::FlowTable& table,
+                                                    const SessionTable& sessions,
+                                                    std::span<const int> dc,
+                                                    int preferred, cdn::VideoId video);
 
 }  // namespace ytcdn::analysis

@@ -5,6 +5,7 @@
 
 #include "capture/dataset.hpp"
 #include "capture/flow_record.hpp"
+#include "capture/flow_table.hpp"
 
 namespace ytcdn::analysis {
 
@@ -50,5 +51,10 @@ struct ResolutionShare {
 /// ascending resolution. Entries with zero flows are included.
 [[nodiscard]] std::vector<ResolutionShare> resolution_breakdown(
     const capture::Dataset& dataset);
+
+/// Column-scan equivalent over the dataset's SoA mirror (bytes + resolution
+/// columns only).
+[[nodiscard]] std::vector<ResolutionShare> resolution_breakdown(
+    const capture::FlowTable& table);
 
 }  // namespace ytcdn::analysis

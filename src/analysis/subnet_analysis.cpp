@@ -4,30 +4,70 @@
 
 namespace ytcdn::analysis {
 
+namespace {
+
+struct SubnetTally {
+    std::vector<std::uint64_t> all;
+    std::vector<std::uint64_t> np;
+    std::uint64_t total_all = 0;
+    std::uint64_t total_np = 0;
+};
+
+void tally_flow(SubnetTally& t, const std::vector<NamedSubnet>& subnets,
+                net::IpAddress client, int dc, int preferred) {
+    for (std::size_t i = 0; i < subnets.size(); ++i) {
+        if (!subnets[i].prefix.contains(client)) continue;
+        ++t.all[i];
+        ++t.total_all;
+        if (dc != preferred) {
+            ++t.np[i];
+            ++t.total_np;
+        }
+        break;
+    }
+}
+
+std::vector<SubnetShare> shares_of(const SubnetTally& t,
+                                   const std::vector<NamedSubnet>& subnets);
+
+}  // namespace
+
 std::vector<SubnetShare> subnet_breakdown(const capture::Dataset& dataset,
                                           const ServerDcMap& map, int preferred,
                                           const std::vector<NamedSubnet>& subnets) {
-    std::vector<std::uint64_t> all(subnets.size(), 0);
-    std::vector<std::uint64_t> np(subnets.size(), 0);
-    std::uint64_t total_all = 0;
-    std::uint64_t total_np = 0;
-
+    SubnetTally t{std::vector<std::uint64_t>(subnets.size(), 0),
+                  std::vector<std::uint64_t>(subnets.size(), 0), 0, 0};
     for (const auto& r : dataset.records) {
         if (classify_flow_size(r.bytes) != FlowKind::Video) continue;
         const int dc = map.dc_of(r.server_ip);
         if (dc < 0) continue;
-        for (std::size_t i = 0; i < subnets.size(); ++i) {
-            if (!subnets[i].prefix.contains(r.client_ip)) continue;
-            ++all[i];
-            ++total_all;
-            if (dc != preferred) {
-                ++np[i];
-                ++total_np;
-            }
-            break;
-        }
+        tally_flow(t, subnets, r.client_ip, dc, preferred);
     }
+    return shares_of(t, subnets);
+}
 
+std::vector<SubnetShare> subnet_breakdown(const capture::FlowTable& table,
+                                          std::span<const int> dc_col, int preferred,
+                                          const std::vector<NamedSubnet>& subnets) {
+    SubnetTally t{std::vector<std::uint64_t>(subnets.size(), 0),
+                  std::vector<std::uint64_t>(subnets.size(), 0), 0, 0};
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (classify_flow_size(table.bytes[i]) != FlowKind::Video) continue;
+        const int dc = dc_col[i];
+        if (dc < 0) continue;
+        tally_flow(t, subnets, table.client_ip[i], dc, preferred);
+    }
+    return shares_of(t, subnets);
+}
+
+namespace {
+
+std::vector<SubnetShare> shares_of(const SubnetTally& t,
+                                   const std::vector<NamedSubnet>& subnets) {
+    const auto& all = t.all;
+    const auto& np = t.np;
+    const std::uint64_t total_all = t.total_all;
+    const std::uint64_t total_np = t.total_np;
     std::vector<SubnetShare> out;
     out.reserve(subnets.size());
     for (std::size_t i = 0; i < subnets.size(); ++i) {
@@ -43,5 +83,7 @@ std::vector<SubnetShare> subnet_breakdown(const capture::Dataset& dataset,
     }
     return out;
 }
+
+}  // namespace
 
 }  // namespace ytcdn::analysis

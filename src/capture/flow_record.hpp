@@ -41,13 +41,18 @@ std::ostream& operator<<(std::ostream& os, const FlowRecord& r);
 /// What the sniffer sees on the wire for one TCP connection, before
 /// classification: endpoints, timing, downstream volume and the first
 /// client payload (the HTTP request) available for DPI.
+///
+/// The payload is a borrowed view: it must stay valid for the duration of
+/// `Sniffer::observe`, which classifies synchronously and never retains it.
+/// Emitters reuse a per-source buffer (or a string literal), so the
+/// simulate→capture hand-off is allocation-free per flow.
 struct ObservedFlow {
     net::IpAddress client_ip;
     net::IpAddress server_ip;
     sim::SimTime start = 0.0;
     sim::SimTime end = 0.0;
     std::uint64_t bytes_down = 0;
-    std::string first_payload;
+    std::string_view first_payload;
 };
 
 }  // namespace ytcdn::capture

@@ -1,0 +1,47 @@
+#include "capture/flow_table.hpp"
+
+#include <utility>
+
+namespace ytcdn::capture {
+
+FlowRecord FlowTable::row(std::size_t i) const {
+    FlowRecord r;
+    r.client_ip = client_ip[i];
+    r.server_ip = server_ip[i];
+    r.start = start[i];
+    r.end = end[i];
+    r.bytes = bytes[i];
+    r.video = video[i];
+    r.resolution = resolution[i];
+    return r;
+}
+
+FlowTable FlowTable::from_records(std::string name,
+                                  std::span<const FlowRecord> records) {
+    FlowTable t;
+    t.name = std::move(name);
+    const std::size_t n = records.size();
+    t.client_ip.reserve(n);
+    t.server_ip.reserve(n);
+    t.start.reserve(n);
+    t.end.reserve(n);
+    t.bytes.reserve(n);
+    t.video.reserve(n);
+    t.resolution.reserve(n);
+    for (const auto& r : records) {
+        t.client_ip.push_back(r.client_ip);
+        t.server_ip.push_back(r.server_ip);
+        t.start.push_back(r.start);
+        t.end.push_back(r.end);
+        t.bytes.push_back(r.bytes);
+        t.video.push_back(r.video);
+        t.resolution.push_back(r.resolution);
+    }
+    return t;
+}
+
+FlowTable FlowTable::from_dataset(const Dataset& dataset) {
+    return from_records(dataset.name, dataset.records);
+}
+
+}  // namespace ytcdn::capture

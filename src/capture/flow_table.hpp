@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "capture/dataset.hpp"
+#include "capture/flow_record.hpp"
+
+namespace ytcdn::capture {
+
+/// Structure-of-arrays mirror of a Dataset's flow records.
+///
+/// The §VII analyses are column scans: each pass touches two or three
+/// fields of every record (bytes + server_ip + start is the common shape)
+/// while the AoS FlowRecord drags all seven through the cache per row.
+/// Building the table once per dataset and handing the analyses contiguous
+/// columns keeps those passes bandwidth-bound on exactly the bytes they
+/// read.
+///
+/// Row order is the dataset's record order (the analyses rely on
+/// sort_by_time having run), so row i of every column describes
+/// dataset.records[i] and results are bit-identical to the AoS scans.
+/// The table is an immutable snapshot: it borrows nothing from the dataset
+/// and datasets are not mutated after assembly.
+struct FlowTable {
+    std::string name;  // dataset name, for labelling series
+    std::vector<net::IpAddress> client_ip;
+    std::vector<net::IpAddress> server_ip;
+    std::vector<sim::SimTime> start;
+    std::vector<sim::SimTime> end;
+    std::vector<std::uint64_t> bytes;
+    std::vector<cdn::VideoId> video;
+    std::vector<cdn::Resolution> resolution;
+
+    [[nodiscard]] std::size_t size() const noexcept { return bytes.size(); }
+    [[nodiscard]] bool empty() const noexcept { return bytes.empty(); }
+
+    /// Gathers row i back into the AoS shape (tests, spot checks).
+    [[nodiscard]] FlowRecord row(std::size_t i) const;
+
+    [[nodiscard]] static FlowTable from_records(std::string name,
+                                                std::span<const FlowRecord> records);
+    [[nodiscard]] static FlowTable from_dataset(const Dataset& dataset);
+};
+
+}  // namespace ytcdn::capture

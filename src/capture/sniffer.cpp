@@ -8,7 +8,9 @@ Sniffer::Sniffer(std::string dataset_name) : name_(std::move(dataset_name)) {}
 
 void Sniffer::observe(const ObservedFlow& flow) {
     ++observed_;
-    if (auto record = classify_flow(flow)) {
+    std::string_view host;
+    if (auto record = classify_flow(flow, &host)) {
+        hosts_.intern(host);
         records_.push_back(*std::move(record));
     }
 }

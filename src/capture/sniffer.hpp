@@ -6,6 +6,7 @@
 
 #include "capture/classifier.hpp"
 #include "capture/flow_record.hpp"
+#include "util/intern.hpp"
 
 namespace ytcdn::capture {
 
@@ -38,9 +39,16 @@ public:
         return observed_ - flows_classified();
     }
 
+    /// Content-server hostnames seen by DPI, interned in first-seen order.
+    /// The sniffer is thread-confined (one per vantage point); the study
+    /// join merges the per-VP shards in VP order (util::Interner protocol),
+    /// so merged ids are deterministic at any worker count.
+    [[nodiscard]] const util::Interner& hosts() const noexcept { return hosts_; }
+
 private:
     std::string name_;
     std::vector<FlowRecord> records_;
+    util::Interner hosts_;
     std::uint64_t observed_ = 0;
 };
 

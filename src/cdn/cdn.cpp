@@ -29,6 +29,7 @@ DcId Cdn::add_data_center(std::string city, geo::Continent continent,
     dcs_.push_back(std::move(dc));
     caches_.emplace_back(replication_.replicate_top_ranks,
                          replication_.max_pulled_per_dc);
+    invalidate_rank_cache();
     return dcs_.back().id;
 }
 
@@ -72,9 +73,12 @@ void Cdn::add_servers(DcId dc_id, int count, int capacity) {
                               server_hostname(static_cast<int>(dc_id),
                                               static_cast<int>(dc.servers.size())),
                               capacity);
-        by_hostname_.emplace(servers_.back().hostname(), sid);
+        const util::Interner::Id hid = hostname_ids_.intern(servers_.back().hostname());
+        if (server_of_hostname_.size() <= hid) server_of_hostname_.resize(hid + 1);
+        server_of_hostname_[hid] = sid;
         dc.servers.push_back(sid);
     }
+    invalidate_rank_cache();
 }
 
 void Cdn::register_prefixes(net::AsRegistry& registry,
@@ -112,8 +116,10 @@ ContentServer& Cdn::server(ServerId id) {
 }
 
 ServerId Cdn::server_by_hostname(std::string_view hostname) const noexcept {
-    const auto it = by_hostname_.find(std::string(hostname));
-    return it == by_hostname_.end() ? kInvalidServer : it->second;
+    const util::Interner::Id hid = hostname_ids_.find(hostname);
+    return hid == util::Interner::kInvalidId
+               ? kInvalidServer
+               : server_of_hostname_[hid];
 }
 
 DcId Cdn::dc_of_ip(net::IpAddress ip) const noexcept {
@@ -139,11 +145,24 @@ std::vector<DcId> Cdn::rank_by_rtt(const net::NetSite& client) const {
     return out;
 }
 
+const std::vector<DcId>& Cdn::rank_by_rtt_cached(const net::NetSite& client) const {
+    const std::scoped_lock lock(rank_mutex_);
+    const auto it = rank_cache_.find(client.id);
+    if (it != rank_cache_.end()) return it->second;
+    return rank_cache_.emplace(client.id, rank_by_rtt(client)).first->second;
+}
+
+void Cdn::invalidate_rank_cache() const noexcept {
+    const std::scoped_lock lock(rank_mutex_);
+    rank_cache_.clear();
+}
+
 void Cdn::set_dc_health(DcId dc_id, HealthState health) {
     if (dc_id < 0 || static_cast<std::size_t>(dc_id) >= dcs_.size()) {
         throw std::out_of_range("Cdn::set_dc_health");
     }
     dcs_[static_cast<std::size_t>(dc_id)].health = health;
+    invalidate_rank_cache();
 }
 
 HealthState Cdn::dc_health(DcId dc_id) const { return dc(dc_id).health; }
@@ -244,7 +263,7 @@ ServerId Cdn::redirect_target(const net::NetSite& client, const Video& v,
     // rank_by_rtt already skips Draining/Down data centers; the per-pass
     // accepting() checks additionally skip individually dark servers (a
     // site whose entire pool failed still ranks, but cannot be a target).
-    const std::vector<DcId> ranked = rank_by_rtt(client);
+    const std::vector<DcId>& ranked = rank_by_rtt_cached(client);
     // First pass: closest DC with the content and spare capacity.
     for (const DcId id : ranked) {
         if (excluded(id)) continue;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -14,6 +15,7 @@
 #include "net/as_registry.hpp"
 #include "net/rtt_model.hpp"
 #include "sim/random.hpp"
+#include "util/intern.hpp"
 
 namespace ytcdn::cdn {
 
@@ -102,6 +104,21 @@ public:
     /// server selection.
     [[nodiscard]] std::vector<DcId> rank_by_rtt(const net::NetSite& client) const;
 
+    /// Cached variant for the per-event paths (redirect chasing, traced DC
+    /// selection): the ranking for a site is computed once and reused until
+    /// a health or topology change invalidates it, so steady-state redirects
+    /// cost a hash lookup instead of an allocate-and-sort. The reference is
+    /// stable until the next mutation of the Cdn; callers must not hold it
+    /// across events that may change health. Thread-safe (mutex-guarded) so
+    /// read-only analysis phases may query from pool workers.
+    [[nodiscard]] const std::vector<DcId>& rank_by_rtt_cached(
+        const net::NetSite& client) const;
+
+    /// Drops every cached ranking. Health and topology mutations call this
+    /// internally; call it manually after mutating the external RttModel
+    /// (e.g. set_inflation) once rankings have already been queried.
+    void invalidate_rank_cache() const noexcept;
+
     // --- health (fault injection) ------------------------------------------
 
     /// Sets/reads the health of a whole data center. Going Down or Draining
@@ -161,7 +178,13 @@ private:
     std::vector<DataCenter> dcs_;
     std::vector<ContentServer> servers_;
     std::vector<ContentCache> caches_;
-    std::unordered_map<std::string, ServerId> by_hostname_;
+    /// Hostname → server resolution via interned ids: `server_by_hostname`
+    /// takes a string_view and never allocates (the 302-chasing hot path).
+    util::Interner hostname_ids_;
+    std::vector<ServerId> server_of_hostname_;
+    /// Per-site RTT rankings, keyed by NetSite id; see rank_by_rtt_cached.
+    mutable std::mutex rank_mutex_;
+    mutable std::unordered_map<std::uint64_t, std::vector<DcId>> rank_cache_;
     std::uint64_t next_site_id_ = 0x4000'0000ull;  // disjoint from client site ids
 };
 

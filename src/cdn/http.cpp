@@ -57,20 +57,43 @@ bool is_video_host(std::string_view host) noexcept {
            host.substr(host.size() - kVideoHostSuffix.size()) == kVideoHostSuffix;
 }
 
-std::string format_request(const VideoRequest& request) {
-    std::string out;
-    out.reserve(256);
+namespace {
+
+/// Appends a base-10 int without a std::to_string temporary.
+void append_int(std::string& out, int value) {
+    char buf[16];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    out.append(buf, end);
+}
+
+/// Appends the 11-character video id straight into the buffer.
+void append_video_id(std::string& out, VideoId id) {
+    char buf[VideoId::kChars];
+    id.encode(buf);
+    out.append(buf, VideoId::kChars);
+}
+
+}  // namespace
+
+void format_request_to(std::string& out, const VideoRequestView& request) {
+    out.clear();
     out += "GET /videoplayback?id=";
-    out += request.video.to_string();
+    append_video_id(out, request.video);
     out += "&itag=";
-    out += std::to_string(request.itag);
+    append_int(out, request.itag);
     out += " HTTP/1.1\r\nHost: ";
     out += request.host;
     out += "\r\nUser-Agent: Shockwave Flash\r\nConnection: keep-alive\r\n\r\n";
+}
+
+std::string format_request(const VideoRequest& request) {
+    std::string out;
+    out.reserve(256);
+    format_request_to(out, VideoRequestView{request.host, request.video, request.itag});
     return out;
 }
 
-std::optional<VideoRequest> parse_request(std::string_view payload) {
+std::optional<VideoRequestView> parse_request_view(std::string_view payload) noexcept {
     if (!payload.starts_with("GET ")) return std::nullopt;
     const std::size_t path_start = 4;
     const std::size_t path_end = payload.find(' ', path_start);
@@ -97,23 +120,37 @@ std::optional<VideoRequest> parse_request(std::string_view payload) {
     const auto host = header_value(payload, "Host");
     if (!host || !is_video_host(*host)) return std::nullopt;
 
-    return VideoRequest{std::string(*host), *id, itag};
+    return VideoRequestView{*host, *id, itag};
+}
+
+std::optional<VideoRequest> parse_request(std::string_view payload) {
+    const auto view = parse_request_view(payload);
+    if (!view) return std::nullopt;
+    return VideoRequest{std::string(view->host), view->video, view->itag};
+}
+
+void format_redirect_to(std::string& out, const VideoRequestView& original,
+                        std::string_view new_host) {
+    out.clear();
+    out += "HTTP/1.1 302 Found\r\nLocation: http://";
+    out += new_host;
+    out += "/videoplayback?id=";
+    append_video_id(out, original.video);
+    out += "&itag=";
+    append_int(out, original.itag);
+    out += "\r\nContent-Length: 0\r\n\r\n";
 }
 
 std::string format_redirect(const VideoRequest& original, std::string_view new_host) {
     std::string out;
     out.reserve(256);
-    out += "HTTP/1.1 302 Found\r\nLocation: http://";
-    out += new_host;
-    out += "/videoplayback?id=";
-    out += original.video.to_string();
-    out += "&itag=";
-    out += std::to_string(original.itag);
-    out += "\r\nContent-Length: 0\r\n\r\n";
+    format_redirect_to(out, VideoRequestView{original.host, original.video, original.itag},
+                       new_host);
     return out;
 }
 
-std::optional<std::string> parse_redirect_host(std::string_view payload) {
+std::optional<std::string_view> parse_redirect_host_view(
+    std::string_view payload) noexcept {
     if (!payload.starts_with("HTTP/1.1 302")) return std::nullopt;
     const auto location = header_value(payload, "Location");
     if (!location) return std::nullopt;
@@ -121,8 +158,13 @@ std::optional<std::string> parse_redirect_host(std::string_view payload) {
     constexpr std::string_view kScheme = "http://";
     if (!url.starts_with(kScheme)) return std::nullopt;
     url.remove_prefix(kScheme.size());
-    const std::size_t slash = url.find('/');
-    return std::string(url.substr(0, slash));
+    return url.substr(0, url.find('/'));
+}
+
+std::optional<std::string> parse_redirect_host(std::string_view payload) {
+    const auto host = parse_redirect_host_view(payload);
+    if (!host) return std::nullopt;
+    return std::string(*host);
 }
 
 }  // namespace ytcdn::cdn

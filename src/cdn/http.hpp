@@ -17,6 +17,16 @@ struct VideoRequest {
     int itag = 34;
 };
 
+/// Borrowed-host variant for per-event paths: the host points into storage
+/// the caller owns (an interned hostname, the payload being parsed). The
+/// simulate/capture loops run millions of these per simulated day, so the
+/// hot path must not copy a `std::string` per flow.
+struct VideoRequestView {
+    std::string_view host;
+    VideoId video;
+    int itag = 34;
+};
+
 /// Canonical content-server hostname in the post-Google-migration scheme
 /// ("vN.lscacheM.c.youtube.com"). Reverse DNS on these is disabled in the
 /// real system — which is why the paper needs CBG instead of name parsing.
@@ -28,17 +38,37 @@ struct VideoRequest {
 /// Serializes the HTTP GET the Flash plugin sends for a video stream.
 [[nodiscard]] std::string format_request(const VideoRequest& request);
 
+/// Allocation-free serialization into a reusable buffer: `out` is cleared
+/// and refilled (capacity is retained across calls, so a per-player buffer
+/// settles after the first flow).
+void format_request_to(std::string& out, const VideoRequestView& request);
+
 /// DPI: parses an HTTP payload; returns the request if and only if it is a
 /// well-formed YouTube /videoplayback GET with a video host, a valid 11-char
 /// id and a known itag.
 [[nodiscard]] std::optional<VideoRequest> parse_request(std::string_view payload);
+
+/// Non-copying parse: the returned host is a view into `payload` and is
+/// valid only while the payload bytes live. This is the per-flow DPI entry
+/// point; `parse_request` is the copying convenience wrapper.
+[[nodiscard]] std::optional<VideoRequestView> parse_request_view(
+    std::string_view payload) noexcept;
 
 /// Serializes the 302 the content server answers when it cannot serve and
 /// redirects the player elsewhere.
 [[nodiscard]] std::string format_redirect(const VideoRequest& original,
                                           std::string_view new_host);
 
+/// Allocation-free variant of format_redirect (same buffer contract as
+/// format_request_to).
+void format_redirect_to(std::string& out, const VideoRequestView& original,
+                        std::string_view new_host);
+
 /// Extracts the Location target host from a 302 payload, if present.
 [[nodiscard]] std::optional<std::string> parse_redirect_host(std::string_view payload);
+
+/// Non-copying variant: the host is a view into `payload`.
+[[nodiscard]] std::optional<std::string_view> parse_redirect_host_view(
+    std::string_view payload) noexcept;
 
 }  // namespace ytcdn::cdn

@@ -24,18 +24,22 @@ int base64url_index(char c) noexcept {
 
 }  // namespace
 
-std::string VideoId::to_string() const {
+char* VideoId::encode(char* out) const noexcept {
     // 11 characters x 6 bits = 66 bits for a 64-bit value. Like real YouTube
     // ids, the first 10 characters carry bits 63..4 and the final character
     // carries the low 4 bits shifted into its top — which is why real ids
     // always end in one of {A,E,I,M,Q,U,Y,c,g,k,o,s,w,0,4,8}.
-    std::string out(kIdChars, 'A');
     for (int i = 0; i < kIdChars - 1; ++i) {
         const int shift = 4 + 6 * (kIdChars - 2 - i);
-        out[static_cast<std::size_t>(i)] =
-            kBase64Url[static_cast<std::size_t>((value_ >> shift) & 0x3F)];
+        out[i] = kBase64Url[static_cast<std::size_t>((value_ >> shift) & 0x3F)];
     }
     out[kIdChars - 1] = kBase64Url[static_cast<std::size_t>((value_ & 0xF) << 2)];
+    return out + kIdChars;
+}
+
+std::string VideoId::to_string() const {
+    std::string out(kIdChars, 'A');
+    encode(out.data());
     return out;
 }
 

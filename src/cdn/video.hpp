@@ -21,9 +21,17 @@ public:
 
     [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
 
+    /// Characters in the string form.
+    static constexpr int kChars = 11;
+
     /// The 11-character base64url rendering (top 2 bits of the first
     /// character are always zero since we encode 64 bits into 66).
     [[nodiscard]] std::string to_string() const;
+
+    /// Writes the 11-character rendering into `out[0..kChars)` without
+    /// allocating; returns `out + kChars`. The hot DPI/format path uses this
+    /// so per-flow serialization stays heap-free.
+    char* encode(char* out) const noexcept;
 
     /// Parses an 11-character base64url id; nullopt on bad length/characters.
     [[nodiscard]] static std::optional<VideoId> parse(std::string_view text) noexcept;

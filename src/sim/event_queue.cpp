@@ -1,32 +1,31 @@
 #include "sim/event_queue.hpp"
 
 #include <stdexcept>
-#include <utility>
 
 namespace ytcdn::sim {
 
-void EventQueue::push(SimTime time, Callback callback) {
-    heap_.push(Entry{time, next_seq_++, std::move(callback)});
-}
-
 SimTime EventQueue::next_time() const {
     if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
-    return heap_.top().time;
+    return heap_.front().time;
 }
 
-EventQueue::Callback EventQueue::pop(SimTime& time_out) {
+EventQueue::Task EventQueue::pop(SimTime& time_out) {
     if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
-    // priority_queue::top() is const; the move is safe because we pop
-    // immediately after.
-    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Entry entry = heap_.back();
+    heap_.pop_back();
     time_out = entry.time;
-    return std::move(entry.callback);
+    return Task(this, entry.task);
 }
 
 void EventQueue::clear() {
-    heap_ = {};
+    for (const Entry& entry : heap_) dispose(entry.task);
+    heap_.clear();
     next_seq_ = 0;
+}
+
+std::size_t EventQueue::tasks_peak() const noexcept {
+    return small_pool_.blocks_peak() + large_pool_.blocks_peak();
 }
 
 }  // namespace ytcdn::sim

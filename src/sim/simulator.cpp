@@ -1,32 +1,16 @@
 #include "sim/simulator.hpp"
 
 #include <cmath>
-#include <stdexcept>
-#include <utility>
 
 namespace ytcdn::sim {
-
-void Simulator::schedule_at(SimTime time, EventQueue::Callback callback) {
-    if (!(time >= now_)) {
-        throw std::invalid_argument("Simulator::schedule_at: time is in the past");
-    }
-    queue_.push(time, std::move(callback));
-}
-
-void Simulator::schedule_in(SimTime delay, EventQueue::Callback callback) {
-    if (!(delay >= 0.0)) {
-        throw std::invalid_argument("Simulator::schedule_in: negative delay");
-    }
-    queue_.push(now_ + delay, std::move(callback));
-}
 
 void Simulator::run_until(SimTime horizon) {
     while (!queue_.empty() && queue_.next_time() <= horizon) {
         SimTime t = 0.0;
-        auto callback = queue_.pop(t);
+        auto task = queue_.pop(t);
         now_ = t;
         ++processed_;
-        callback();
+        task();
     }
     if (std::isfinite(horizon) && horizon > now_) now_ = horizon;
 }

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -14,6 +16,9 @@ namespace ytcdn::sim {
 /// order; each may schedule further events. `run_until` advances the clock
 /// to the given horizon even if the queue drains earlier, so back-to-back
 /// phases see a consistent notion of "now".
+///
+/// Scheduling is a template so callables land directly in the event queue's
+/// slab blocks — no `std::function` wrapper, no per-event heap allocation.
 class Simulator {
 public:
     Simulator() = default;
@@ -23,10 +28,22 @@ public:
     [[nodiscard]] std::size_t events_pending() const noexcept { return queue_.size(); }
 
     /// Schedules a callback at an absolute time, which must be >= now().
-    void schedule_at(SimTime time, EventQueue::Callback callback);
+    template <typename F>
+    void schedule_at(SimTime time, F&& callback) {
+        if (!(time >= now_)) {
+            throw std::invalid_argument("Simulator::schedule_at: time is in the past");
+        }
+        queue_.push(time, std::forward<F>(callback));
+    }
 
     /// Schedules a callback `delay` seconds from now (delay >= 0).
-    void schedule_in(SimTime delay, EventQueue::Callback callback);
+    template <typename F>
+    void schedule_in(SimTime delay, F&& callback) {
+        if (!(delay >= 0.0)) {
+            throw std::invalid_argument("Simulator::schedule_in: negative delay");
+        }
+        queue_.push(now_ + delay, std::forward<F>(callback));
+    }
 
     /// Runs events with timestamp <= horizon; leaves now() == horizon.
     void run_until(SimTime horizon);

@@ -44,7 +44,7 @@ namespace ytcdn::study {
 /// about the byte format changes; stale snapshots are then re-simulated
 /// (the schema version is part of the cache-file name, so old-format files
 /// are simply never opened).
-inline constexpr std::uint32_t kSnapshotSchemaVersion = 2;
+inline constexpr std::uint32_t kSnapshotSchemaVersion = 3;
 
 /// Stable hash of the simulation-shaping StudyConfig fields (see above).
 [[nodiscard]] std::uint64_t config_fingerprint(const StudyConfig& config);

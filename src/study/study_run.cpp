@@ -1,6 +1,7 @@
 #include "study/study_run.hpp"
 
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 #include "analysis/preferred_dc.hpp"
@@ -68,6 +69,22 @@ StudyRun derive_run(const StudyConfig& config,
     }
     for (std::size_t i = 0; i < run.traces.datasets.size(); ++i) {
         run.vp_index_by_name.emplace(run.traces.datasets[i].name, i);
+    }
+    // SoA mirrors + per-flow dc columns + CSR session tables, one bundle
+    // per vantage point. Independent per-VP tasks; results in input order.
+    auto bundles = util::parallel_map_indexed(pool, n, [&run](std::size_t i) {
+        auto table = capture::FlowTable::from_dataset(run.traces.datasets[i]);
+        auto dc = analysis::dc_column(table, run.maps[i]);
+        auto sessions = analysis::SessionTable::build(table, 1.0);
+        return std::tuple(std::move(table), std::move(dc), std::move(sessions));
+    });
+    run.tables.reserve(n);
+    run.dc_columns.reserve(n);
+    run.sessions.reserve(n);
+    for (auto& [table, dc, sessions] : bundles) {
+        run.tables.push_back(std::move(table));
+        run.dc_columns.push_back(std::move(dc));
+        run.sessions.push_back(std::move(sessions));
     }
     study_metrics().maps_derived.inc(n);
     return run;

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "analysis/dc_map.hpp"
+#include "analysis/session_table.hpp"
+#include "capture/flow_table.hpp"
 #include "study/deployment.hpp"
 #include "study/trace_driver.hpp"
 #include "util/parallel.hpp"
@@ -27,6 +29,17 @@ struct StudyRun {
     /// Dataset name -> index, built once by assemble_study_run (the
     /// analyses resolve vantage points by name in inner loops).
     std::unordered_map<std::string, std::size_t> vp_index_by_name;
+
+    /// SoA mirrors of traces.datasets, built once during derivation and
+    /// borrowed (read-only) by the report closures; index-aligned with
+    /// `datasets`. Empty only on hand-assembled runs (tests) that skip
+    /// derive_run.
+    std::vector<capture::FlowTable> tables;
+    /// CSR session tables at the paper's T = 1 s gap, aligned with `tables`
+    /// (fig05's gap-sensitivity sweep rebuilds at other gaps on the fly).
+    std::vector<analysis::SessionTable> sessions;
+    /// Pre-resolved dc_of(server_ip) per flow row, aligned with `tables`.
+    std::vector<std::vector<int>> dc_columns;
 
     [[nodiscard]] std::size_t vp_index(std::string_view name) const;
     [[nodiscard]] const capture::Dataset& dataset(std::string_view name) const;

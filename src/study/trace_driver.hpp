@@ -22,6 +22,10 @@ struct TraceOutputs {
     std::uint64_t events_processed = 0;
     /// Fault events injected from the config's schedule (0 on baselines).
     std::uint64_t faults_injected = 0;
+    /// Distinct content-server hostnames DPI saw across all vantage points
+    /// (the canonical interner's size after the ordered per-VP merge). Zero
+    /// on snapshot-cache loads, like the other capture-side counters.
+    std::uint64_t unique_hosts = 0;
 };
 
 /// Runs the paper's capture campaign: all five vantage points generate

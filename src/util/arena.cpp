@@ -1,0 +1,96 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace ytcdn::util {
+
+namespace {
+
+[[nodiscard]] constexpr std::size_t align_up(std::size_t n, std::size_t align) noexcept {
+    return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t chunk_bytes)
+    : next_chunk_bytes_(std::max<std::size_t>(chunk_bytes, 64)) {}
+
+void Arena::add_chunk(std::size_t min_capacity) {
+    std::size_t capacity = std::max(next_chunk_bytes_, min_capacity);
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(capacity);
+    chunk.capacity = capacity;
+    reserved_ += capacity;
+    chunks_.push_back(std::move(chunk));
+    cursor_ = 0;
+    next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+}
+
+void* Arena::allocate(std::size_t size, std::size_t align) {
+    if (size == 0) size = 1;
+    if (chunks_.empty()) add_chunk(size + align);
+    // Align the address, not the offset: chunk bases only guarantee
+    // max_align_t, so larger alignments must account for the base.
+    Chunk* chunk = &chunks_.back();
+    auto base = reinterpret_cast<std::uintptr_t>(chunk->data.get());
+    std::size_t offset = static_cast<std::size_t>(align_up(base + cursor_, align) - base);
+    if (offset + size > chunk->capacity) {
+        add_chunk(size + align);
+        chunk = &chunks_.back();
+        base = reinterpret_cast<std::uintptr_t>(chunk->data.get());
+        offset = static_cast<std::size_t>(align_up(base + cursor_, align) - base);
+    }
+    cursor_ = offset + size;
+    in_use_ += size;
+    return chunk->data.get() + offset;
+}
+
+const char* Arena::copy(const char* data, std::size_t size) {
+    char* dst = static_cast<char*>(allocate(size == 0 ? 1 : size, 1));
+    if (size != 0) std::memcpy(dst, data, size);
+    return dst;
+}
+
+void Arena::reset() {
+    if (chunks_.size() > 1) {
+        Chunk first = std::move(chunks_.front());
+        reserved_ = first.capacity;
+        chunks_.clear();
+        chunks_.push_back(std::move(first));
+    }
+    cursor_ = 0;
+    in_use_ = 0;
+}
+
+SlabPool::SlabPool(std::size_t block_size, std::size_t chunk_bytes)
+    : arena_(chunk_bytes),
+      block_size_(std::max(align_up(block_size, alignof(std::max_align_t)),
+                           sizeof(FreeNode))) {}
+
+void* SlabPool::allocate() {
+    ++live_;
+    peak_ = std::max(peak_, live_);
+    if (free_head_ != nullptr) {
+        FreeNode* node = free_head_;
+        free_head_ = node->next;
+        return node;
+    }
+    return arena_.allocate(block_size_, alignof(std::max_align_t));
+}
+
+void SlabPool::deallocate(void* block) noexcept {
+    if (block == nullptr) return;
+    --live_;
+    auto* node = ::new (block) FreeNode{free_head_};
+    free_head_ = node;
+}
+
+void SlabPool::reset() {
+    arena_.reset();
+    free_head_ = nullptr;
+    live_ = 0;
+}
+
+}  // namespace ytcdn::util

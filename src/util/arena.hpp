@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ytcdn::util {
+
+/// A chunked bump allocator for short-lived, same-lifetime records.
+///
+/// Allocations are O(1) pointer bumps into geometrically growing chunks;
+/// nothing is freed individually. `reset()` rewinds the arena to empty while
+/// keeping the first chunk, so steady-state phases (one sim round, one
+/// capture window) reuse the same memory without touching the system
+/// allocator. The beng-proxy SlicePool/dpool design is the precedent: hot
+/// loops must not pay a malloc per record, and teardown must be determinate.
+///
+/// The arena never runs destructors — only trivially destructible payloads,
+/// or payloads whose destructor the caller runs explicitly, belong here.
+class Arena {
+public:
+    /// `chunk_bytes` is the capacity of the first chunk; later chunks double
+    /// until `kMaxChunkBytes`. Oversized requests get a dedicated chunk.
+    explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes);
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+    Arena(Arena&&) noexcept = default;
+    Arena& operator=(Arena&&) noexcept = default;
+
+    /// Returns `size` bytes aligned to `align` (a power of two). Never
+    /// returns nullptr; growth is by appending chunks.
+    void* allocate(std::size_t size, std::size_t align);
+
+    /// Copies `data[0..size)` into the arena and returns the stable copy.
+    const char* copy(const char* data, std::size_t size);
+
+    /// Rewinds to empty. The first chunk is kept for reuse; later chunks are
+    /// released. Pointers previously returned become invalid.
+    void reset();
+
+    [[nodiscard]] std::size_t bytes_in_use() const noexcept { return in_use_; }
+    [[nodiscard]] std::size_t bytes_reserved() const noexcept { return reserved_; }
+    [[nodiscard]] std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+    static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+    static constexpr std::size_t kMaxChunkBytes = 1024 * 1024;
+
+private:
+    struct Chunk {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t capacity = 0;
+    };
+
+    void add_chunk(std::size_t min_capacity);
+
+    std::vector<Chunk> chunks_;
+    std::size_t cursor_ = 0;     ///< offset into the last chunk
+    std::size_t in_use_ = 0;     ///< total bytes handed out since reset
+    std::size_t reserved_ = 0;   ///< total chunk capacity
+    std::size_t next_chunk_bytes_;
+};
+
+/// A fixed-block-size pool over an Arena with an intrusive free list.
+///
+/// `allocate()` pops a recycled block or bumps a fresh one; `deallocate()`
+/// pushes the block back for reuse. Steady-state churn (event tasks, flow
+/// scratch) therefore cycles through a small resident set of blocks with no
+/// system-allocator traffic. `reset()` drops every block (live and free) and
+/// rewinds the arena — the deterministic bulk teardown.
+class SlabPool {
+public:
+    explicit SlabPool(std::size_t block_size,
+                      std::size_t chunk_bytes = Arena::kDefaultChunkBytes);
+
+    SlabPool(const SlabPool&) = delete;
+    SlabPool& operator=(const SlabPool&) = delete;
+
+    void* allocate();
+    void deallocate(void* block) noexcept;
+    void reset();
+
+    [[nodiscard]] std::size_t block_size() const noexcept { return block_size_; }
+    /// Blocks currently handed out (allocated minus freed).
+    [[nodiscard]] std::size_t blocks_live() const noexcept { return live_; }
+    /// High-water mark of simultaneously live blocks since construction.
+    [[nodiscard]] std::size_t blocks_peak() const noexcept { return peak_; }
+
+private:
+    struct FreeNode {
+        FreeNode* next;
+    };
+
+    Arena arena_;
+    FreeNode* free_head_ = nullptr;
+    std::size_t block_size_;
+    std::size_t live_ = 0;
+    std::size_t peak_ = 0;
+};
+
+}  // namespace ytcdn::util

@@ -1,0 +1,33 @@
+#include "util/intern.hpp"
+
+namespace ytcdn::util {
+
+Interner::Id Interner::intern(std::string_view s) {
+    const auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    const char* copy = arena_.copy(s.data(), s.size());
+    const std::string_view stable{copy, s.size()};
+    const Id id = static_cast<Id>(by_id_.size());
+    by_id_.push_back(stable);
+    index_.emplace(stable, id);
+    return id;
+}
+
+Interner::Id Interner::find(std::string_view s) const noexcept {
+    const auto it = index_.find(s);
+    return it == index_.end() ? kInvalidId : it->second;
+}
+
+std::vector<Interner::Id> Interner::merge_map(const Interner& shard) {
+    std::vector<Id> remap;
+    remap.reserve(shard.size());
+    // Shard ids are first-seen order by construction; walking them 0..n-1
+    // (a vector scan, not an unordered-container iteration) keeps the fold
+    // deterministic for a fixed shard sequence.
+    for (std::size_t i = 0; i < shard.by_id_.size(); ++i) {
+        remap.push_back(intern(shard.by_id_[i]));
+    }
+    return remap;
+}
+
+}  // namespace ytcdn::util

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/arena.hpp"
+
+namespace ytcdn::util {
+
+/// A thread-confined string interner with deterministic merge-at-join.
+///
+/// Each shard (one sniffer, one worker) interns locally: the first time a
+/// string is seen it is copied into the shard's arena and assigned the next
+/// dense id, so ids are exactly first-seen order. Shards never synchronise
+/// on the hot path. At the join point the owner folds shards into a canonical
+/// interner with `merge_map()`, walking each shard *in its own id order* and
+/// shards in a fixed order (VP index, worker index) — the same
+/// permutation-invariant fold idiom as `util::metrics`: the canonical id of a
+/// string depends only on the ordered shard sequence, never on thread timing.
+///
+/// Lookups take `std::string_view` and never allocate; `find()` on a missing
+/// string is also allocation-free, which is what makes the interner usable
+/// inside per-event loops (`Cdn::server_by_hostname`, DPI host parsing).
+class Interner {
+public:
+    using Id = std::uint32_t;
+    static constexpr Id kInvalidId = 0xFFFFFFFFu;
+
+    Interner() = default;
+    Interner(const Interner&) = delete;
+    Interner& operator=(const Interner&) = delete;
+    Interner(Interner&&) noexcept = default;
+    Interner& operator=(Interner&&) noexcept = default;
+
+    /// Returns the id of `s`, interning a stable copy on first sight.
+    Id intern(std::string_view s);
+
+    /// Id of `s` if already interned, `kInvalidId` otherwise. Never allocates.
+    [[nodiscard]] Id find(std::string_view s) const noexcept;
+
+    /// The interned string for a valid id; views stay stable for the
+    /// interner's lifetime (arena-backed, never rehashed away).
+    [[nodiscard]] std::string_view view(Id id) const noexcept { return by_id_[id]; }
+
+    [[nodiscard]] std::size_t size() const noexcept { return by_id_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return by_id_.empty(); }
+
+    /// Folds `shard` into this interner: walks shard ids 0..size-1 in order,
+    /// interning each string here. Returns the remap table, where
+    /// `remap[shard_id]` is the canonical id. Calling merge_map over shards
+    /// in a fixed order yields ids independent of how work was sharded.
+    std::vector<Id> merge_map(const Interner& shard);
+
+private:
+    Arena arena_{4 * 1024};
+    std::vector<std::string_view> by_id_;
+    std::unordered_map<std::string_view, Id> index_;
+};
+
+}  // namespace ytcdn::util

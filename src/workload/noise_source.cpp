@@ -67,8 +67,7 @@ void NoiseSource::emit_flow() {
     flow.end = flow.start + rng_.uniform(0.05, 30.0);
     flow.bytes_down = static_cast<std::uint64_t>(
         rng_.lognormal(config_.bytes_mu, config_.bytes_sigma));
-    flow.first_payload = std::string(kNoisePayloads[rng_.uniform_index(
-        kNoisePayloads.size())]);
+    flow.first_payload = kNoisePayloads[rng_.uniform_index(kNoisePayloads.size())];
     sniffer_->observe(flow);
 }
 

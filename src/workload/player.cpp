@@ -76,6 +76,14 @@ double Player::download_rate_bps(const Client& client, cdn::Resolution r) const 
     return std::min({client.downstream_bps, config_.server_rate_bps, paced});
 }
 
+std::string_view Player::render_request(const Session& s, cdn::ServerId server) {
+    cdn::format_request_to(payload_buf_,
+                           cdn::VideoRequestView{cdn_->server(server).hostname(),
+                                                 s.video.id,
+                                                 cdn::itag_of(s.resolution)});
+    return payload_buf_;
+}
+
 void Player::emit_control_flow(const Session& s, cdn::ServerId server) {
     const auto& srv = cdn_->server(server);
     const double rtt = flow_rtt_s(s.client, server);
@@ -86,8 +94,7 @@ void Player::emit_control_flow(const Session& s, cdn::ServerId server) {
     flow.end = flow.start + 2.0 * rtt + rng_.uniform(0.01, 0.05);
     flow.bytes_down = static_cast<std::uint64_t>(
         rng_.uniform(config_.control_bytes_lo, config_.control_bytes_hi));
-    flow.first_payload = cdn::format_request(
-        cdn::VideoRequest{srv.hostname(), s.video.id, cdn::itag_of(s.resolution)});
+    flow.first_payload = render_request(s, server);
     sniffer_->observe(flow);
     ++stats_.control_flows;
     player_metrics().control_flows.inc();
@@ -178,8 +185,9 @@ void Player::start_resolved(const Session& s, cdn::DcId dc) {
     if (trace_.enabled()) {
         // DC selection with its candidate ranking: where the DNS-chosen
         // data center sits among the client's RTT-ordered candidates.
-        // Guarded — ranking costs a sort — and RNG-free either way.
-        const std::vector<cdn::DcId> ranked = cdn_->rank_by_rtt(s.client.site);
+        // Guarded — the first query per site costs a sort, repeats hit the
+        // Cdn's rank cache — and RNG-free either way.
+        const std::vector<cdn::DcId>& ranked = cdn_->rank_by_rtt_cached(s.client.site);
         std::uint16_t rank = 0xFFFF;
         for (std::size_t i = 0; i < ranked.size(); ++i) {
             if (ranked[i] == dc) {
@@ -294,12 +302,12 @@ void Player::attempt(const Session& s, cdn::ServerId server, int redirects_left,
     }
     // Serialize the actual 302 and chase its Location header, so the wire
     // format is exercised end to end (the DPI side parses the request; the
-    // player side parses the redirect).
-    const cdn::VideoRequest request{cdn_->server(server).hostname(), s.video.id,
-                                    cdn::itag_of(s.resolution)};
-    const std::string wire =
-        cdn::format_redirect(request, cdn_->server(target).hostname());
-    const auto location = cdn::parse_redirect_host(wire);
+    // player side parses the redirect). The payload buffer is free again:
+    // emit_control_flow's observe() consumed it synchronously.
+    const cdn::VideoRequestView request{cdn_->server(server).hostname(), s.video.id,
+                                        cdn::itag_of(s.resolution)};
+    cdn::format_redirect_to(payload_buf_, request, cdn_->server(target).hostname());
+    const auto location = cdn::parse_redirect_host_view(payload_buf_);
     const cdn::ServerId next =
         location ? cdn_->server_by_hostname(*location) : cdn::kInvalidServer;
     if (next == cdn::kInvalidServer) {
@@ -398,8 +406,7 @@ void Player::serve_video(const Session& s, cdn::ServerId server, double watch_fr
         flow.start = start;
         flow.end = start + duration;
         flow.bytes_down = bytes;
-        flow.first_payload = cdn::format_request(
-            cdn::VideoRequest{srv.hostname(), s.video.id, cdn::itag_of(s.resolution)});
+        flow.first_payload = render_request(s, srv_id);
         sniffer_->observe(flow);
         ++stats_.video_flows;
         player_metrics().video_flows.inc();

@@ -183,6 +183,10 @@ private:
                      bool allow_pause);
     void attempt_resume(const Session& s, cdn::ServerId server, double rest_frac);
     void emit_control_flow(const Session& s, cdn::ServerId server);
+    /// Serializes the session's HTTP GET into the reusable payload buffer
+    /// and returns a view of it (valid until the next render).
+    [[nodiscard]] std::string_view render_request(const Session& s,
+                                                  cdn::ServerId server);
     /// Records the session's connection-retry count at its terminal point
     /// (served or failed), feeding the failure-analysis histogram, and
     /// emits the session-end trace event — every session-start pairs with
@@ -206,6 +210,10 @@ private:
     std::uint64_t next_session_id_ = 0;
     /// Per-client cached DNS answer and its expiry (only with dns_ttl_s > 0).
     std::unordered_map<ClientId, std::pair<cdn::DcId, sim::SimTime>> dns_cache_;
+    /// Reusable wire-format scratch: the sniffer consumes payloads
+    /// synchronously, so one buffer per player serves every flow without a
+    /// per-event string allocation.
+    std::string payload_buf_;
 };
 
 }  // namespace ytcdn::workload

@@ -21,8 +21,10 @@ capture::ObservedFlow video_flow(std::uint64_t bytes = 5'000'000) {
     f.start = 100.0;
     f.end = 180.0;
     f.bytes_down = bytes;
-    f.first_payload = cdn::format_request(
+    // ObservedFlow borrows the payload; keep the bytes alive for the test.
+    static const std::string payload = cdn::format_request(
         {"v7.lscache3.c.youtube.com", cdn::VideoId{0xCAFEull}, 34});
+    f.first_payload = payload;
     return f;
 }
 
@@ -65,6 +67,9 @@ TEST(Sniffer, CountsAndClassifies) {
     const auto records = sniffer.take_records();
     EXPECT_EQ(records.size(), 1u);
     EXPECT_TRUE(sniffer.records().empty());
+    // DPI interned the video host (and only the video host) in seen order.
+    EXPECT_EQ(sniffer.hosts().size(), 1u);
+    EXPECT_EQ(sniffer.hosts().find("v7.lscache3.c.youtube.com"), 0u);
 }
 
 TEST(FlowLog, StreamRoundTrip) {

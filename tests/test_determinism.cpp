@@ -133,6 +133,24 @@ TEST(Determinism, RenderedArtifactsAreByteIdentical) {
     EXPECT_EQ(render_table3(a, cfg), render_table3(b, cfg));
 }
 
+TEST(Determinism, FlowTableEquivalence) {
+    // The SoA column-scan path (FlowTable + SessionTable + dc columns) and
+    // the AoS record-walk path must render the exact same report bytes —
+    // the layout change is a pure optimization, invisible in every
+    // artifact. Table III is orthogonal to the flow tables and expensive,
+    // so it is excluded here.
+    const auto run = study::run_study(small_config());
+    study::ReportOptions soa;
+    soa.include_table3 = false;
+    soa.use_flow_tables = true;
+    study::ReportOptions aos = soa;
+    aos.use_flow_tables = false;
+
+    const std::string soa_bytes = study::make_full_report(run, soa).render();
+    ASSERT_FALSE(soa_bytes.empty());
+    EXPECT_EQ(soa_bytes, study::make_full_report(run, aos).render());
+}
+
 TEST(Determinism, RenderedArtifactsWithFaultScheduleAreByteIdentical) {
     // Same guarantee under chaos: an outage script changes the numbers but
     // must not introduce any run-to-run variation.

@@ -1,0 +1,261 @@
+// The SoA FlowTable / CSR SessionTable layer must be an exact functional
+// mirror of the AoS record walks: same sessions, same shares, same series.
+// These tests compare both paths on synthetic and randomized datasets.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/loadbalance_analysis.hpp"
+#include "analysis/redirect_analysis.hpp"
+#include "analysis/session.hpp"
+#include "analysis/session_analysis.hpp"
+#include "analysis/session_table.hpp"
+#include "analysis/subnet_analysis.hpp"
+#include "capture/flow_table.hpp"
+#include "sim/random.hpp"
+
+namespace analysis = ytcdn::analysis;
+namespace capture = ytcdn::capture;
+namespace cdn = ytcdn::cdn;
+namespace net = ytcdn::net;
+namespace sim = ytcdn::sim;
+
+namespace {
+
+capture::FlowRecord flow(std::uint8_t client, std::uint8_t server, double start,
+                         double end, std::uint64_t bytes, std::uint64_t video) {
+    capture::FlowRecord r;
+    r.client_ip = net::IpAddress::from_octets(10, 0, 0, client);
+    r.server_ip = net::IpAddress::from_octets(173, 194, server, 1);
+    r.start = start;
+    r.end = end;
+    r.bytes = bytes;
+    r.video = cdn::VideoId{video};
+    r.resolution = cdn::Resolution::R360;
+    return r;
+}
+
+/// A randomized dataset exercising grouping, gaps, nesting, control flows
+/// and unmapped servers, plus the map covering only some of the servers.
+struct RandomWorld {
+    capture::Dataset dataset;
+    analysis::ServerDcMap map;
+    int preferred = 0;
+};
+
+RandomWorld random_world(std::uint64_t seed, std::size_t flows) {
+    sim::Rng rng(seed);
+    RandomWorld w;
+    w.dataset.name = "RND";
+    // 3 mapped data centers over servers .0-.5, servers .6-.7 unmapped.
+    for (int d = 0; d < 3; ++d) {
+        analysis::DataCenterInfo info;
+        info.name = "dc" + std::to_string(d);
+        w.map.add_data_center(info);
+    }
+    for (std::uint8_t s = 0; s < 6; ++s) {
+        w.map.assign(net::IpAddress::from_octets(173, 194, s, 1), s % 3);
+    }
+    for (std::size_t i = 0; i < flows; ++i) {
+        const auto client = static_cast<std::uint8_t>(rng.uniform_index(4));
+        const auto server = static_cast<std::uint8_t>(rng.uniform_index(8));
+        const double start = rng.uniform(0.0, 20.0 * 3600.0);
+        const double dur = rng.uniform(0.1, 30.0);
+        // ~1/4 control flows (< 1000 bytes).
+        const std::uint64_t bytes =
+            rng.uniform_index(4) == 0
+                ? rng.uniform_index(999)
+                : 1000 + rng.uniform_index(5'000'000);
+        const std::uint64_t video = rng.uniform_index(6);
+        w.dataset.records.push_back(
+            flow(client, server, start, start + dur, bytes, video));
+    }
+    w.dataset.sort_by_time();
+    return w;
+}
+
+std::vector<int> dcs_of_session(const analysis::VideoSession& s,
+                                const analysis::ServerDcMap& map) {
+    std::vector<int> out;
+    for (const auto* f : s.flows) out.push_back(map.dc_of(f->server_ip));
+    return out;
+}
+
+TEST(FlowTable, RoundTripsRows) {
+    capture::Dataset ds;
+    ds.name = "T";
+    ds.records.push_back(flow(1, 2, 1.0, 2.0, 5000, 7));
+    ds.records.push_back(flow(3, 4, 3.0, 9.0, 500, 9));
+    const auto t = capture::FlowTable::from_dataset(ds);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.name, "T");
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const auto r = t.row(i);
+        EXPECT_EQ(r.client_ip, ds.records[i].client_ip);
+        EXPECT_EQ(r.server_ip, ds.records[i].server_ip);
+        EXPECT_DOUBLE_EQ(r.start, ds.records[i].start);
+        EXPECT_DOUBLE_EQ(r.end, ds.records[i].end);
+        EXPECT_EQ(r.bytes, ds.records[i].bytes);
+        EXPECT_EQ(r.video, ds.records[i].video);
+        EXPECT_EQ(r.resolution, ds.records[i].resolution);
+    }
+}
+
+TEST(SessionTable, MatchesBuildSessions) {
+    // Nested flows (long video flow outliving a control flow started after
+    // it) and a gap split, same (client, video) key throughout.
+    capture::Dataset ds;
+    ds.name = "S";
+    ds.records.push_back(flow(1, 0, 0.0, 100.0, 5000, 1));   // long video flow
+    ds.records.push_back(flow(1, 1, 1.0, 2.0, 500, 1));      // nested control
+    ds.records.push_back(flow(1, 2, 100.5, 101.0, 600, 1));  // within gap of horizon
+    ds.records.push_back(flow(1, 3, 200.0, 201.0, 5000, 1)); // new session
+    ds.records.push_back(flow(2, 0, 0.5, 3.0, 5000, 1));     // other client
+    ds.sort_by_time();
+
+    const auto sessions = analysis::build_sessions(ds, 1.0);
+    const auto table = capture::FlowTable::from_dataset(ds);
+    const auto csr = analysis::SessionTable::build(table, 1.0);
+
+    ASSERT_EQ(csr.num_sessions(), sessions.size());
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+        EXPECT_EQ(csr.client[s], sessions[s].client);
+        EXPECT_EQ(csr.video[s], sessions[s].video);
+        EXPECT_DOUBLE_EQ(csr.start[s], sessions[s].start());
+        const auto rows = csr.flows_of(s);
+        ASSERT_EQ(rows.size(), sessions[s].flows.size());
+        for (std::size_t j = 0; j < rows.size(); ++j) {
+            EXPECT_EQ(table.row(rows[j]).server_ip, sessions[s].flows[j]->server_ip);
+            EXPECT_DOUBLE_EQ(table.start[rows[j]], sessions[s].flows[j]->start);
+        }
+    }
+}
+
+TEST(SessionTable, RandomizedSessionEquivalence) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto w = random_world(seed, 400);
+        const auto sessions = analysis::build_sessions(w.dataset, 1.0);
+        const auto table = capture::FlowTable::from_dataset(w.dataset);
+        const auto csr = analysis::SessionTable::build(table, 1.0);
+
+        ASSERT_EQ(csr.num_sessions(), sessions.size()) << "seed " << seed;
+        const auto dc = analysis::dc_column(table, w.map);
+        for (std::size_t s = 0; s < sessions.size(); ++s) {
+            const auto aos_dcs = dcs_of_session(sessions[s], w.map);
+            const auto rows = csr.flows_of(s);
+            ASSERT_EQ(rows.size(), aos_dcs.size()) << "seed " << seed;
+            for (std::size_t j = 0; j < rows.size(); ++j) {
+                EXPECT_EQ(dc[rows[j]], aos_dcs[j]) << "seed " << seed;
+            }
+        }
+    }
+}
+
+TEST(SessionTable, PatternSharesMatchAoS) {
+    for (std::uint64_t seed = 11; seed <= 15; ++seed) {
+        const auto w = random_world(seed, 500);
+        const auto sessions = analysis::build_sessions(w.dataset, 1.0);
+        const auto table = capture::FlowTable::from_dataset(w.dataset);
+        const auto csr = analysis::SessionTable::build(table, 1.0);
+        const auto dc = analysis::dc_column(table, w.map);
+
+        const auto a = analysis::session_patterns(sessions, w.map, w.preferred);
+        const auto b = analysis::session_patterns(csr, dc, w.preferred);
+        EXPECT_EQ(a.total_sessions, b.total_sessions);
+        EXPECT_DOUBLE_EQ(a.single_flow, b.single_flow);
+        EXPECT_DOUBLE_EQ(a.single_preferred, b.single_preferred);
+        EXPECT_DOUBLE_EQ(a.single_non_preferred, b.single_non_preferred);
+        EXPECT_DOUBLE_EQ(a.two_flow, b.two_flow);
+        EXPECT_DOUBLE_EQ(a.two_pref_pref, b.two_pref_pref);
+        EXPECT_DOUBLE_EQ(a.two_pref_nonpref, b.two_pref_nonpref);
+        EXPECT_DOUBLE_EQ(a.two_nonpref_pref, b.two_nonpref_pref);
+        EXPECT_DOUBLE_EQ(a.two_nonpref_nonpref, b.two_nonpref_nonpref);
+        EXPECT_DOUBLE_EQ(a.more_flows, b.more_flows);
+
+        const auto ma = analysis::multi_flow_patterns(sessions, w.map, w.preferred);
+        const auto mb = analysis::multi_flow_patterns(csr, dc, w.preferred);
+        EXPECT_EQ(ma.sessions, mb.sessions);
+        EXPECT_DOUBLE_EQ(ma.share_of_all_sessions, mb.share_of_all_sessions);
+        EXPECT_DOUBLE_EQ(ma.all_preferred, mb.all_preferred);
+        EXPECT_DOUBLE_EQ(ma.first_preferred_then_other, mb.first_preferred_then_other);
+        EXPECT_DOUBLE_EQ(ma.first_non_preferred, mb.first_non_preferred);
+
+        EXPECT_EQ(analysis::flows_per_session_cdf(sessions),
+                  analysis::flows_per_session_cdf(csr));
+    }
+}
+
+TEST(FlowTable, ScanAnalysesMatchAoS) {
+    for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+        const auto w = random_world(seed, 600);
+        const auto table = capture::FlowTable::from_dataset(w.dataset);
+        const auto dc = analysis::dc_column(table, w.map);
+
+        EXPECT_EQ(analysis::hourly_non_preferred_fraction(w.dataset, w.map, w.preferred)
+                      .curve(60),
+                  analysis::hourly_non_preferred_fraction(table, dc, w.preferred)
+                      .curve(60));
+
+        const auto ha = analysis::hourly_preferred_series(w.dataset, w.map, w.preferred);
+        const auto hb = analysis::hourly_preferred_series(table, dc, w.preferred);
+        EXPECT_EQ(ha.fraction_preferred.points, hb.fraction_preferred.points);
+        EXPECT_EQ(ha.flows_per_hour.points, hb.flows_per_hour.points);
+
+        EXPECT_DOUBLE_EQ(
+            analysis::load_vs_nonpreferred_correlation(w.dataset, w.map, w.preferred),
+            analysis::load_vs_nonpreferred_correlation(table, dc, w.preferred));
+
+        EXPECT_EQ(
+            analysis::video_non_preferred_counts(w.dataset, w.map, w.preferred).curve(30),
+            analysis::video_non_preferred_counts(table, dc, w.preferred).curve(30));
+        EXPECT_EQ(analysis::top_redirected_videos(w.dataset, w.map, w.preferred, 4),
+                  analysis::top_redirected_videos(table, dc, w.preferred, 4));
+
+        const cdn::VideoId video{2};
+        const auto va = analysis::video_hourly_load(w.dataset, w.map, w.preferred, video);
+        const auto vb = analysis::video_hourly_load(table, dc, w.preferred, video);
+        EXPECT_EQ(va.all.points, vb.all.points);
+        EXPECT_EQ(va.non_preferred.points, vb.non_preferred.points);
+
+        const auto la = analysis::preferred_dc_server_load(w.dataset, w.map, w.preferred);
+        const auto lb = analysis::preferred_dc_server_load(table, dc, w.preferred);
+        EXPECT_EQ(la.avg.points, lb.avg.points);
+        EXPECT_EQ(la.max.points, lb.max.points);
+
+        std::vector<analysis::NamedSubnet> subnets;
+        subnets.push_back({"net0", net::Subnet(net::IpAddress::from_octets(10, 0, 0, 0), 31)});
+        subnets.push_back({"net1", net::Subnet(net::IpAddress::from_octets(10, 0, 0, 2), 31)});
+        const auto sa = analysis::subnet_breakdown(w.dataset, w.map, w.preferred, subnets);
+        const auto sb = analysis::subnet_breakdown(table, dc, w.preferred, subnets);
+        ASSERT_EQ(sa.size(), sb.size());
+        for (std::size_t i = 0; i < sa.size(); ++i) {
+            EXPECT_EQ(sa[i].name, sb[i].name);
+            EXPECT_DOUBLE_EQ(sa[i].all_flows_share, sb[i].all_flows_share);
+            EXPECT_DOUBLE_EQ(sa[i].non_preferred_share, sb[i].non_preferred_share);
+        }
+
+        const auto sessions = analysis::build_sessions(w.dataset, 1.0);
+        const auto csr = analysis::SessionTable::build(table, 1.0);
+        const auto hot_a = analysis::hot_server_sessions(
+            w.dataset, sessions, w.map, w.preferred, video);
+        const auto hot_b =
+            analysis::hot_server_sessions(table, csr, dc, w.preferred, video);
+        EXPECT_EQ(hot_a.server, hot_b.server);
+        EXPECT_EQ(hot_a.all_preferred.points, hot_b.all_preferred.points);
+        EXPECT_EQ(hot_a.first_preferred_then_other.points,
+                  hot_b.first_preferred_then_other.points);
+        EXPECT_EQ(hot_a.others.points, hot_b.others.points);
+
+        const auto ra = analysis::resolution_breakdown(w.dataset);
+        const auto rb = analysis::resolution_breakdown(table);
+        ASSERT_EQ(ra.size(), rb.size());
+        for (std::size_t i = 0; i < ra.size(); ++i) {
+            EXPECT_EQ(ra[i].resolution, rb[i].resolution);
+            EXPECT_DOUBLE_EQ(ra[i].flow_share, rb[i].flow_share);
+            EXPECT_DOUBLE_EQ(ra[i].byte_share, rb[i].byte_share);
+        }
+    }
+}
+
+}  // namespace

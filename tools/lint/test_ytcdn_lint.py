@@ -26,6 +26,7 @@ EXPECTED = [
     ("bad_catch.cpp", "catch-all", 3),
     ("src/bad_metrics.cpp", "metrics-name-literal", 2),
     ("bad_after_separator.cpp", "rng-source", 1),
+    ("src/sim/bad_hot_loop.cpp", "heap-in-hot-loop", 4),
 ]
 
 failures: list[str] = []

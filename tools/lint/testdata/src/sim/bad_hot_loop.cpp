@@ -1,0 +1,29 @@
+// Seeded violations: heap allocation inside per-event loops in the
+// simulator's hot path. This directory is excluded from the real lint run.
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+int process(const std::vector<int>& events, const std::string& payload) {
+    int acc = 0;
+    for (int e : events) {
+        std::string label = "event";       // heap-in-hot-loop
+        std::ostringstream os;             // heap-in-hot-loop
+        acc += static_cast<int>(label.size()) + e + static_cast<int>(os.tellp());
+    }
+    std::size_t i = 0;
+    while (i < events.size()) {
+        acc += static_cast<int>(std::to_string(events[i]).size());  // heap-in-hot-loop
+        acc += static_cast<int>(payload.substr(0, 4).size());       // heap-in-hot-loop
+        ++i;
+    }
+    // Non-violations: borrowing views in a loop is free, and allocation
+    // outside any loop is setup cost, not per-event cost.
+    for (int e : events) {
+        std::string_view view = payload;
+        acc += static_cast<int>(view.size()) + e;
+    }
+    std::string once = payload;
+    return acc + static_cast<int>(once.size());
+}

@@ -40,6 +40,13 @@ invariants that keep it that way (plus a few general hygiene rules):
                    and fsync durability apply everywhere; a stream opened on
                    the side is invisible to every one of them. Tests, bench
                    and examples are harness code and exempt.
+  heap-in-hot-loop No fresh std::string / stringstream / to_string / substr
+                   inside loop bodies in src/sim/ and src/capture/ — the
+                   per-event hot path. One allocation per event dominated
+                   the seed profile (DESIGN.md §14): reuse a buffer owned
+                   outside the loop, borrow a std::string_view, or intern
+                   the id (util::Interner). Vetted cold sites annotate with
+                   allow(heap-in-hot-loop).
   catch-all        No bare `catch (...)` and no empty catch bodies. The
                    typed-error layer (ytcdn::Error / util::Result) exists so
                    failures carry their code and provenance; a catch-all or
@@ -102,6 +109,7 @@ ALL_RULES = (
     "raw-file-io",
     "catch-all",
     "metrics-name-literal",
+    "heap-in-hot-loop",
 )
 
 
@@ -308,6 +316,28 @@ CATCH_RE = re.compile(r"\bcatch\s*\(\s*([^)]*)\s*\)")
 METRICS_CALL_RE = re.compile(
     r"(?<![\w.])metrics\s*::\s*(?:counter|gauge|histogram)\s*\(\s*(\S)")
 
+# The per-event hot path: everything the simulator and the packet-capture
+# layer execute once per event/flow. Analyses and report rendering run once
+# per artifact and may allocate freely.
+HOT_PATH_DIRS = ("src/sim/", "src/capture/")
+
+LOOP_HEADER_RE = re.compile(r"(?<![\w.])(?:for|while)\s*\(")
+HOT_ALLOC_PATTERNS = (
+    (
+        # std::string declarations and temporaries; references, pointers and
+        # std::string::npos-style static uses do not allocate, and
+        # std::string_view never does ('string\b' cannot match inside it).
+        re.compile(r"std\s*::\s*string\b(?!\s*::)\s*(?![&*])"),
+        "fresh std::string per iteration",
+    ),
+    (re.compile(r"std\s*::\s*to_string\s*\("),
+     "std::to_string allocates per call"),
+    (re.compile(r"std\s*::\s*[io]?stringstream\b|std\s*::\s*ostrstream\b"),
+     "stringstream allocates per construction"),
+    (re.compile(r"\.\s*substr\s*\("),
+     ".substr() copies into a fresh string"),
+)
+
 UNORDERED_DECL_RE = re.compile(
     r"(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
 # A declaration introducing a named unordered container (variable or member):
@@ -496,6 +526,35 @@ class Linter:
                      "metric registered under a non-literal name — pass a "
                      'string literal ("layer.component.metric") so the name '
                      "set stays greppable and snapshot-stable")
+
+        # heap-in-hot-loop: allocation inside a loop body on the per-event
+        # hot path. The loop body is brace-matched from the header; nested
+        # loops would re-scan inner lines, so findings dedupe on line index.
+        if rel.startswith(HOT_PATH_DIRS):
+            hot_hits: set[int] = set()
+            for idx, line in enumerate(lines):
+                if not LOOP_HEADER_RE.search(line):
+                    continue
+                body, _ = body_of_statement(lines, idx)
+                for off, body_line in enumerate(body.splitlines()):
+                    at = idx + off
+                    if at in hot_hits:
+                        continue
+                    for pat, msg in HOT_ALLOC_PATTERNS:
+                        m = pat.search(body_line)
+                        if m:
+                            # .substr on a std::string_view borrows; exempt
+                            # when the view type is visible on the line.
+                            if ("substr" in pat.pattern
+                                    and "string_view" in body_line[:m.start()]):
+                                continue
+                            hot_hits.add(at)
+                            emit(at, "heap-in-hot-loop",
+                                 f"{msg} in a per-event loop — reuse a "
+                                 "buffer owned outside the loop, borrow a "
+                                 "std::string_view, or intern the id "
+                                 "(util::Interner; DESIGN.md §14)")
+                            break
 
         # unordered-iter: range-for over a known unordered container whose
         # body formats output or accumulates.
