@@ -1,0 +1,2 @@
+# Empty custom commands generated dependencies file for ContinuousConfigure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ContinuousUpdate"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/ContinuousUpdate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/NightlyBuild"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/NightlyBuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

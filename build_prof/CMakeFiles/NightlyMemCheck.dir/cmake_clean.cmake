@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/NightlyMemCheck"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/NightlyMemCheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty custom commands generated dependencies file for NightlyStart.
+# This may be replaced when dependencies are built.

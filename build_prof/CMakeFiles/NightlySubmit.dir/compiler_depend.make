@@ -1,0 +1,2 @@
+# Empty custom commands generated dependencies file for NightlySubmit.
+# This may be replaced when dependencies are built.

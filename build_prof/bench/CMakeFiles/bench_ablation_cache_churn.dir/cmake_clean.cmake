@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cache_churn.dir/bench_ablation_cache_churn.cpp.o"
+  "CMakeFiles/bench_ablation_cache_churn.dir/bench_ablation_cache_churn.cpp.o.d"
+  "bench_ablation_cache_churn"
+  "bench_ablation_cache_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cache_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dns_ttl.dir/bench_ablation_dns_ttl.cpp.o"
+  "CMakeFiles/bench_ablation_dns_ttl.dir/bench_ablation_dns_ttl.cpp.o.d"
+  "bench_ablation_dns_ttl"
+  "bench_ablation_dns_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dns_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

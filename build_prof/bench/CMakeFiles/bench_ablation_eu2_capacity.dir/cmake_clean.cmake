@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eu2_capacity.dir/bench_ablation_eu2_capacity.cpp.o"
+  "CMakeFiles/bench_ablation_eu2_capacity.dir/bench_ablation_eu2_capacity.cpp.o.d"
+  "bench_ablation_eu2_capacity"
+  "bench_ablation_eu2_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eu2_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fault_tolerance.dir/bench_ablation_fault_tolerance.cpp.o"
+  "CMakeFiles/bench_ablation_fault_tolerance.dir/bench_ablation_fault_tolerance.cpp.o.d"
+  "bench_ablation_fault_tolerance"
+  "bench_ablation_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

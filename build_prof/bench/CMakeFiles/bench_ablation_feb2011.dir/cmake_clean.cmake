@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_feb2011.dir/bench_ablation_feb2011.cpp.o"
+  "CMakeFiles/bench_ablation_feb2011.dir/bench_ablation_feb2011.cpp.o.d"
+  "bench_ablation_feb2011"
+  "bench_ablation_feb2011.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_feb2011.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_geolocation.dir/bench_ablation_geolocation.cpp.o"
+  "CMakeFiles/bench_ablation_geolocation.dir/bench_ablation_geolocation.cpp.o.d"
+  "bench_ablation_geolocation"
+  "bench_ablation_geolocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_geolocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

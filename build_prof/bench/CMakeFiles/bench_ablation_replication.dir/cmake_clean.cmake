@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_replication.dir/bench_ablation_replication.cpp.o"
+  "CMakeFiles/bench_ablation_replication.dir/bench_ablation_replication.cpp.o.d"
+  "bench_ablation_replication"
+  "bench_ablation_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

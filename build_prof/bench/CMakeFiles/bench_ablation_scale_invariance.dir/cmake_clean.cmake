@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scale_invariance.dir/bench_ablation_scale_invariance.cpp.o"
+  "CMakeFiles/bench_ablation_scale_invariance.dir/bench_ablation_scale_invariance.cpp.o.d"
+  "bench_ablation_scale_invariance"
+  "bench_ablation_scale_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scale_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

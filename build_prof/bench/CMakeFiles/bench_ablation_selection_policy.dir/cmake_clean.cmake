@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_selection_policy.dir/bench_ablation_selection_policy.cpp.o"
+  "CMakeFiles/bench_ablation_selection_policy.dir/bench_ablation_selection_policy.cpp.o.d"
+  "bench_ablation_selection_policy"
+  "bench_ablation_selection_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_selection_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

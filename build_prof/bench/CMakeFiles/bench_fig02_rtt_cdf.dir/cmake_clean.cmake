@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_rtt_cdf.dir/bench_fig02_rtt_cdf.cpp.o"
+  "CMakeFiles/bench_fig02_rtt_cdf.dir/bench_fig02_rtt_cdf.cpp.o.d"
+  "bench_fig02_rtt_cdf"
+  "bench_fig02_rtt_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_rtt_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

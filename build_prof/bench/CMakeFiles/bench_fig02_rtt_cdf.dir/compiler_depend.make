@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig02_rtt_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_cbg_radius.dir/bench_fig03_cbg_radius.cpp.o"
+  "CMakeFiles/bench_fig03_cbg_radius.dir/bench_fig03_cbg_radius.cpp.o.d"
+  "bench_fig03_cbg_radius"
+  "bench_fig03_cbg_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_cbg_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

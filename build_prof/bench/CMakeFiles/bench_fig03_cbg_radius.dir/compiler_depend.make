@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig03_cbg_radius.
+# This may be replaced when dependencies are built.

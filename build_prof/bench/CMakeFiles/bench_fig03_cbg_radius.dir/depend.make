@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig03_cbg_radius.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_flow_sizes.dir/bench_fig04_flow_sizes.cpp.o"
+  "CMakeFiles/bench_fig04_flow_sizes.dir/bench_fig04_flow_sizes.cpp.o.d"
+  "bench_fig04_flow_sizes"
+  "bench_fig04_flow_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_flow_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig04_flow_sizes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_session_gap_sensitivity.dir/bench_fig05_session_gap_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig05_session_gap_sensitivity.dir/bench_fig05_session_gap_sensitivity.cpp.o.d"
+  "bench_fig05_session_gap_sensitivity"
+  "bench_fig05_session_gap_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_session_gap_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

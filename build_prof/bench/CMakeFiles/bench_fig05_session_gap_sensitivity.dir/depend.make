@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_session_gap_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_flows_per_session.dir/bench_fig06_flows_per_session.cpp.o"
+  "CMakeFiles/bench_fig06_flows_per_session.dir/bench_fig06_flows_per_session.cpp.o.d"
+  "bench_fig06_flows_per_session"
+  "bench_fig06_flows_per_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_flows_per_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

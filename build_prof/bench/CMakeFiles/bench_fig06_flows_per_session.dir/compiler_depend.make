@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig06_flows_per_session.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_flows_per_session.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_bytes_vs_rtt.dir/bench_fig07_bytes_vs_rtt.cpp.o"
+  "CMakeFiles/bench_fig07_bytes_vs_rtt.dir/bench_fig07_bytes_vs_rtt.cpp.o.d"
+  "bench_fig07_bytes_vs_rtt"
+  "bench_fig07_bytes_vs_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_bytes_vs_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

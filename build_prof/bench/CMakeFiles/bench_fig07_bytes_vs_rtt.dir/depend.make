@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_bytes_vs_rtt.
+# This may be replaced when dependencies are built.

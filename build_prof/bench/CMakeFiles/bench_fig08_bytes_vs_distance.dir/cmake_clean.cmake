@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_bytes_vs_distance.dir/bench_fig08_bytes_vs_distance.cpp.o"
+  "CMakeFiles/bench_fig08_bytes_vs_distance.dir/bench_fig08_bytes_vs_distance.cpp.o.d"
+  "bench_fig08_bytes_vs_distance"
+  "bench_fig08_bytes_vs_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_bytes_vs_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_bytes_vs_distance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_nonpreferred_fraction.dir/bench_fig09_nonpreferred_fraction.cpp.o"
+  "CMakeFiles/bench_fig09_nonpreferred_fraction.dir/bench_fig09_nonpreferred_fraction.cpp.o.d"
+  "bench_fig09_nonpreferred_fraction"
+  "bench_fig09_nonpreferred_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_nonpreferred_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig09_nonpreferred_fraction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig09_nonpreferred_fraction.
+# This may be replaced when dependencies are built.

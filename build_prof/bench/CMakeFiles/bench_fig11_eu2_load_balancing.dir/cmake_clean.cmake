@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_eu2_load_balancing.dir/bench_fig11_eu2_load_balancing.cpp.o"
+  "CMakeFiles/bench_fig11_eu2_load_balancing.dir/bench_fig11_eu2_load_balancing.cpp.o.d"
+  "bench_fig11_eu2_load_balancing"
+  "bench_fig11_eu2_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_eu2_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

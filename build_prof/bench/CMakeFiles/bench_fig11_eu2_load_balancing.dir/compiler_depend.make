@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_eu2_load_balancing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_eu2_load_balancing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_subnet_dns_variation.dir/bench_fig12_subnet_dns_variation.cpp.o"
+  "CMakeFiles/bench_fig12_subnet_dns_variation.dir/bench_fig12_subnet_dns_variation.cpp.o.d"
+  "bench_fig12_subnet_dns_variation"
+  "bench_fig12_subnet_dns_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_subnet_dns_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

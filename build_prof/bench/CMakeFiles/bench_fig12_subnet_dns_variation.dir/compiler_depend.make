@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig12_subnet_dns_variation.
+# This may be replaced when dependencies are built.

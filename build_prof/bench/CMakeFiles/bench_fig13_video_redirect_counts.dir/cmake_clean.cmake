@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_video_redirect_counts.dir/bench_fig13_video_redirect_counts.cpp.o"
+  "CMakeFiles/bench_fig13_video_redirect_counts.dir/bench_fig13_video_redirect_counts.cpp.o.d"
+  "bench_fig13_video_redirect_counts"
+  "bench_fig13_video_redirect_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_video_redirect_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_video_redirect_counts.
+# This may be replaced when dependencies are built.

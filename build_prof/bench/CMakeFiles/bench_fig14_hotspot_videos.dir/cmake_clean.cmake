@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_hotspot_videos.dir/bench_fig14_hotspot_videos.cpp.o"
+  "CMakeFiles/bench_fig14_hotspot_videos.dir/bench_fig14_hotspot_videos.cpp.o.d"
+  "bench_fig14_hotspot_videos"
+  "bench_fig14_hotspot_videos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_hotspot_videos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

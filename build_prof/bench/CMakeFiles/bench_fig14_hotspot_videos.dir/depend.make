@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_hotspot_videos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_server_load.dir/bench_fig15_server_load.cpp.o"
+  "CMakeFiles/bench_fig15_server_load.dir/bench_fig15_server_load.cpp.o.d"
+  "bench_fig15_server_load"
+  "bench_fig15_server_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_server_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

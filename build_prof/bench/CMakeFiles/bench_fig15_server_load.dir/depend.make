@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig15_server_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_hot_server_sessions.dir/bench_fig16_hot_server_sessions.cpp.o"
+  "CMakeFiles/bench_fig16_hot_server_sessions.dir/bench_fig16_hot_server_sessions.cpp.o.d"
+  "bench_fig16_hot_server_sessions"
+  "bench_fig16_hot_server_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_hot_server_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig16_hot_server_sessions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_planetlab_rtt_timeline.dir/bench_fig17_planetlab_rtt_timeline.cpp.o"
+  "CMakeFiles/bench_fig17_planetlab_rtt_timeline.dir/bench_fig17_planetlab_rtt_timeline.cpp.o.d"
+  "bench_fig17_planetlab_rtt_timeline"
+  "bench_fig17_planetlab_rtt_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_planetlab_rtt_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig17_planetlab_rtt_timeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_planetlab_rtt_ratio.dir/bench_fig18_planetlab_rtt_ratio.cpp.o"
+  "CMakeFiles/bench_fig18_planetlab_rtt_ratio.dir/bench_fig18_planetlab_rtt_ratio.cpp.o.d"
+  "bench_fig18_planetlab_rtt_ratio"
+  "bench_fig18_planetlab_rtt_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_planetlab_rtt_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

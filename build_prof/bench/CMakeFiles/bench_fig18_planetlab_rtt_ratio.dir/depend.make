@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig18_planetlab_rtt_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_traffic_summary.dir/bench_table1_traffic_summary.cpp.o"
+  "CMakeFiles/bench_table1_traffic_summary.dir/bench_table1_traffic_summary.cpp.o.d"
+  "bench_table1_traffic_summary"
+  "bench_table1_traffic_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_traffic_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

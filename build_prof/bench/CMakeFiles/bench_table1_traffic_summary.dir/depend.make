@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table1_traffic_summary.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_as_breakdown.dir/bench_table2_as_breakdown.cpp.o"
+  "CMakeFiles/bench_table2_as_breakdown.dir/bench_table2_as_breakdown.cpp.o.d"
+  "bench_table2_as_breakdown"
+  "bench_table2_as_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_as_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

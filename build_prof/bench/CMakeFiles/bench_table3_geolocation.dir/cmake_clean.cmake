@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_geolocation.dir/bench_table3_geolocation.cpp.o"
+  "CMakeFiles/bench_table3_geolocation.dir/bench_table3_geolocation.cpp.o.d"
+  "bench_table3_geolocation"
+  "bench_table3_geolocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_geolocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

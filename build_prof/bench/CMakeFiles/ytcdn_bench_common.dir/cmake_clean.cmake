@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/ytcdn_bench_common.dir/bench_common.cpp.o.d"
+  "libytcdn_bench_common.a"
+  "libytcdn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

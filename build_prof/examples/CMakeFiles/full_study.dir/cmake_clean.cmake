@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_study.dir/full_study.cpp.o"
+  "CMakeFiles/full_study.dir/full_study.cpp.o.d"
+  "full_study"
+  "full_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

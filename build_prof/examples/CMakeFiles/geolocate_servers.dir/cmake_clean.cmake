@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolocate_servers.dir/geolocate_servers.cpp.o"
+  "CMakeFiles/geolocate_servers.dir/geolocate_servers.cpp.o.d"
+  "geolocate_servers"
+  "geolocate_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolocate_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for geolocate_servers.
+# This may be replaced when dependencies are built.

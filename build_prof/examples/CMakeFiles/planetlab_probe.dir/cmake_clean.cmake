@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planetlab_probe.dir/planetlab_probe.cpp.o"
+  "CMakeFiles/planetlab_probe.dir/planetlab_probe.cpp.o.d"
+  "planetlab_probe"
+  "planetlab_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planetlab_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for planetlab_probe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for planetlab_probe.
+# This may be replaced when dependencies are built.

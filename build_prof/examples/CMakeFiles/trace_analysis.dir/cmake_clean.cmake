@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_analysis.dir/trace_analysis.cpp.o"
+  "CMakeFiles/trace_analysis.dir/trace_analysis.cpp.o.d"
+  "trace_analysis"
+  "trace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_capacity.dir/what_if_capacity.cpp.o"
+  "CMakeFiles/what_if_capacity.dir/what_if_capacity.cpp.o.d"
+  "what_if_capacity"
+  "what_if_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for what_if_capacity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for what_if_capacity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+#include "analysis/as_analysis.hpp"
+#include "analysis/as_analysis.hpp"  // reinclusion must be a no-op

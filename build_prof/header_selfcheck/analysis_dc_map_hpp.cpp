@@ -1,0 +1,2 @@
+#include "analysis/dc_map.hpp"
+#include "analysis/dc_map.hpp"  // reinclusion must be a no-op

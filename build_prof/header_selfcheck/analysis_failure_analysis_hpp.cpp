@@ -1,0 +1,2 @@
+#include "analysis/failure_analysis.hpp"
+#include "analysis/failure_analysis.hpp"  // reinclusion must be a no-op

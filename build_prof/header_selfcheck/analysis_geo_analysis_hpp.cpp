@@ -1,0 +1,2 @@
+#include "analysis/geo_analysis.hpp"
+#include "analysis/geo_analysis.hpp"  // reinclusion must be a no-op

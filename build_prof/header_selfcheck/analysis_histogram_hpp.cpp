@@ -1,0 +1,2 @@
+#include "analysis/histogram.hpp"
+#include "analysis/histogram.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "analysis/loadbalance_analysis.hpp"
+#include "analysis/loadbalance_analysis.hpp"  // reinclusion must be a no-op

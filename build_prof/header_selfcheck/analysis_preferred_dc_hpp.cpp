@@ -1,0 +1,2 @@
+#include "analysis/preferred_dc.hpp"
+#include "analysis/preferred_dc.hpp"  // reinclusion must be a no-op

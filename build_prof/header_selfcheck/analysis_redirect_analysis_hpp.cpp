@@ -1,0 +1,2 @@
+#include "analysis/redirect_analysis.hpp"
+#include "analysis/redirect_analysis.hpp"  // reinclusion must be a no-op

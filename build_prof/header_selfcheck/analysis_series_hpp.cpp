@@ -1,0 +1,2 @@
+#include "analysis/series.hpp"
+#include "analysis/series.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "analysis/session_analysis.hpp"
+#include "analysis/session_analysis.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "analysis/session.hpp"
+#include "analysis/session.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "analysis/stats.hpp"
+#include "analysis/stats.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "analysis/subnet_analysis.hpp"
+#include "analysis/subnet_analysis.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "analysis/table.hpp"
+#include "analysis/table.hpp"  // reinclusion must be a no-op

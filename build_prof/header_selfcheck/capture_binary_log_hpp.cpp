@@ -1,0 +1,2 @@
+#include "capture/binary_log.hpp"
+#include "capture/binary_log.hpp"  // reinclusion must be a no-op

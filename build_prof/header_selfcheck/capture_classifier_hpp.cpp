@@ -1,0 +1,2 @@
+#include "capture/classifier.hpp"
+#include "capture/classifier.hpp"  // reinclusion must be a no-op

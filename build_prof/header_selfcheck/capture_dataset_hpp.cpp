@@ -1,0 +1,2 @@
+#include "capture/dataset.hpp"
+#include "capture/dataset.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "capture/flow_log.hpp"
+#include "capture/flow_log.hpp"  // reinclusion must be a no-op

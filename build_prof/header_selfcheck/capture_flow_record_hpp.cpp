@@ -1,0 +1,2 @@
+#include "capture/flow_record.hpp"
+#include "capture/flow_record.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "capture/log_io.hpp"
+#include "capture/log_io.hpp"  // reinclusion must be a no-op

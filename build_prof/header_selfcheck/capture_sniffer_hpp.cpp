@@ -1,0 +1,2 @@
+#include "capture/sniffer.hpp"
+#include "capture/sniffer.hpp"  // reinclusion must be a no-op

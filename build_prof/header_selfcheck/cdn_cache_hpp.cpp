@@ -1,0 +1,2 @@
+#include "cdn/cache.hpp"
+#include "cdn/cache.hpp"  // reinclusion must be a no-op

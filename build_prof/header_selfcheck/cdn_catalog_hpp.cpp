@@ -1,0 +1,2 @@
+#include "cdn/catalog.hpp"
+#include "cdn/catalog.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "cdn/cdn.hpp"
+#include "cdn/cdn.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "cdn/data_center.hpp"
+#include "cdn/data_center.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "cdn/dns.hpp"
+#include "cdn/dns.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "cdn/http.hpp"
+#include "cdn/http.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "cdn/selection_policy.hpp"
+#include "cdn/selection_policy.hpp"  // reinclusion must be a no-op

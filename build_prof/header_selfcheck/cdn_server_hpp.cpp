@@ -1,0 +1,2 @@
+#include "cdn/server.hpp"
+#include "cdn/server.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "cdn/video.hpp"
+#include "cdn/video.hpp"  // reinclusion must be a no-op

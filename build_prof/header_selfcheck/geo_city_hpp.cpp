@@ -1,0 +1,2 @@
+#include "geo/city.hpp"
+#include "geo/city.hpp"  // reinclusion must be a no-op

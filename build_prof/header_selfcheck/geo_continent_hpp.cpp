@@ -1,0 +1,2 @@
+#include "geo/continent.hpp"
+#include "geo/continent.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "geo/geo_point.hpp"
+#include "geo/geo_point.hpp"  // reinclusion must be a no-op

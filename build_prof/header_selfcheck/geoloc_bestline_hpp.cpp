@@ -1,0 +1,2 @@
+#include "geoloc/bestline.hpp"
+#include "geoloc/bestline.hpp"  // reinclusion must be a no-op

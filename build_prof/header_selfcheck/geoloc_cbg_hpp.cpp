@@ -1,0 +1,2 @@
+#include "geoloc/cbg.hpp"
+#include "geoloc/cbg.hpp"  // reinclusion must be a no-op

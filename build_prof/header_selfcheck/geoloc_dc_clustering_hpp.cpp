@@ -1,0 +1,2 @@
+#include "geoloc/dc_clustering.hpp"
+#include "geoloc/dc_clustering.hpp"  // reinclusion must be a no-op

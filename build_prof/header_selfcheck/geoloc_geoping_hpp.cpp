@@ -1,0 +1,2 @@
+#include "geoloc/geoping.hpp"
+#include "geoloc/geoping.hpp"  // reinclusion must be a no-op

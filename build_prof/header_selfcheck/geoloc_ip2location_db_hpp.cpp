@@ -1,0 +1,2 @@
+#include "geoloc/ip2location_db.hpp"
+#include "geoloc/ip2location_db.hpp"  // reinclusion must be a no-op

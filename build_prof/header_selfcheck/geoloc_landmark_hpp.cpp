@@ -1,0 +1,2 @@
+#include "geoloc/landmark.hpp"
+#include "geoloc/landmark.hpp"  // reinclusion must be a no-op

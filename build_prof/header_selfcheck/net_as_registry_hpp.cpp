@@ -1,0 +1,2 @@
+#include "net/as_registry.hpp"
+#include "net/as_registry.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "net/ip_address.hpp"
+#include "net/ip_address.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "net/pinger.hpp"
+#include "net/pinger.hpp"  // reinclusion must be a no-op

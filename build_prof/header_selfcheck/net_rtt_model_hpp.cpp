@@ -1,0 +1,2 @@
+#include "net/rtt_model.hpp"
+#include "net/rtt_model.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "net/subnet.hpp"
+#include "net/subnet.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "sim/arrival_process.hpp"
+#include "sim/arrival_process.hpp"  // reinclusion must be a no-op

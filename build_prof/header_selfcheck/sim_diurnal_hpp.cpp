@@ -1,0 +1,2 @@
+#include "sim/diurnal.hpp"
+#include "sim/diurnal.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "sim/event_queue.hpp"
+#include "sim/event_queue.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "sim/fault_injector.hpp"
+#include "sim/fault_injector.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "sim/random.hpp"
+#include "sim/random.hpp"  // reinclusion must be a no-op

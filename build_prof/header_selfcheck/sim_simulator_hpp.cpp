@@ -1,0 +1,2 @@
+#include "sim/simulator.hpp"
+#include "sim/simulator.hpp"  // reinclusion must be a no-op

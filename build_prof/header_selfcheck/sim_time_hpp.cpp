@@ -1,0 +1,2 @@
+#include "sim/time.hpp"
+#include "sim/time.hpp"  // reinclusion must be a no-op

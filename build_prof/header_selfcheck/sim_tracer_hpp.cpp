@@ -1,0 +1,2 @@
+#include "sim/tracer.hpp"
+#include "sim/tracer.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "sim/zipf.hpp"
+#include "sim/zipf.hpp"  // reinclusion must be a no-op

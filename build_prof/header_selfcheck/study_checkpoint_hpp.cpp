@@ -1,0 +1,2 @@
+#include "study/checkpoint.hpp"
+#include "study/checkpoint.hpp"  // reinclusion must be a no-op

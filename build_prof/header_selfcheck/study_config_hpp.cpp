@@ -1,0 +1,2 @@
+#include "study/config.hpp"
+#include "study/config.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "study/dc_map_builder.hpp"
+#include "study/dc_map_builder.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "study/deployment.hpp"
+#include "study/deployment.hpp"  // reinclusion must be a no-op

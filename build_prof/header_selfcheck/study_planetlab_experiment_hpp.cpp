@@ -1,0 +1,2 @@
+#include "study/planetlab_experiment.hpp"
+#include "study/planetlab_experiment.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "study/report.hpp"
+#include "study/report.hpp"  // reinclusion must be a no-op

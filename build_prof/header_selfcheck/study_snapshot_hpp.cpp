@@ -1,0 +1,2 @@
+#include "study/snapshot.hpp"
+#include "study/snapshot.hpp"  // reinclusion must be a no-op

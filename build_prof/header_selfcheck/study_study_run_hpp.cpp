@@ -1,0 +1,2 @@
+#include "study/study_run.hpp"
+#include "study/study_run.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "study/supervisor.hpp"
+#include "study/supervisor.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "study/trace_driver.hpp"
+#include "study/trace_driver.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "util/args.hpp"
+#include "util/args.hpp"  // reinclusion must be a no-op

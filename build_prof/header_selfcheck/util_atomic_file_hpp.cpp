@@ -1,0 +1,2 @@
+#include "util/atomic_file.hpp"
+#include "util/atomic_file.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "util/crc32.hpp"
+#include "util/crc32.hpp"  // reinclusion must be a no-op

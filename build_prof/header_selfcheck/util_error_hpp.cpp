@@ -1,0 +1,2 @@
+#include "util/error.hpp"
+#include "util/error.hpp"  // reinclusion must be a no-op

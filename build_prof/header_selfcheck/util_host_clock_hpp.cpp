@@ -1,0 +1,2 @@
+#include "util/host_clock.hpp"
+#include "util/host_clock.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "util/io.hpp"
+#include "util/io.hpp"  // reinclusion must be a no-op

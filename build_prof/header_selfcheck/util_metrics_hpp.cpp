@@ -1,0 +1,2 @@
+#include "util/metrics.hpp"
+#include "util/metrics.hpp"  // reinclusion must be a no-op

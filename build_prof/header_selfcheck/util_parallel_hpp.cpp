@@ -1,0 +1,2 @@
+#include "util/parallel.hpp"
+#include "util/parallel.hpp"  // reinclusion must be a no-op

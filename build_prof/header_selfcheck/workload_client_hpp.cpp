@@ -1,0 +1,2 @@
+#include "workload/client.hpp"
+#include "workload/client.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "workload/noise_source.hpp"
+#include "workload/noise_source.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "workload/player.hpp"
+#include "workload/player.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "workload/population.hpp"
+#include "workload/population.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "workload/request_generator.hpp"
+#include "workload/request_generator.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "workload/vantage_point.hpp"
+#include "workload/vantage_point.hpp"  // reinclusion must be a no-op

@@ -1,0 +1,2 @@
+#include "ytcdn.hpp"
+#include "ytcdn.hpp"  // reinclusion must be a no-op

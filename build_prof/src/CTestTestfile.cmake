@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build_prof/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geo")
+subdirs("net")
+subdirs("sim")
+subdirs("cdn")
+subdirs("workload")
+subdirs("capture")
+subdirs("geoloc")
+subdirs("analysis")
+subdirs("study")

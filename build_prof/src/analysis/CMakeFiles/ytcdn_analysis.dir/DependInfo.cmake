@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/as_analysis.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/as_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/as_analysis.cpp.o.d"
+  "/root/repo/src/analysis/dc_map.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/dc_map.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/dc_map.cpp.o.d"
+  "/root/repo/src/analysis/failure_analysis.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/failure_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/failure_analysis.cpp.o.d"
+  "/root/repo/src/analysis/geo_analysis.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/geo_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/geo_analysis.cpp.o.d"
+  "/root/repo/src/analysis/histogram.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/histogram.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/histogram.cpp.o.d"
+  "/root/repo/src/analysis/loadbalance_analysis.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/loadbalance_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/loadbalance_analysis.cpp.o.d"
+  "/root/repo/src/analysis/preferred_dc.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/preferred_dc.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/preferred_dc.cpp.o.d"
+  "/root/repo/src/analysis/redirect_analysis.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/redirect_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/redirect_analysis.cpp.o.d"
+  "/root/repo/src/analysis/series.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/series.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/series.cpp.o.d"
+  "/root/repo/src/analysis/session.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/session.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/session.cpp.o.d"
+  "/root/repo/src/analysis/session_analysis.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/session_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/session_analysis.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/subnet_analysis.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/subnet_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/subnet_analysis.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/ytcdn_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/ytcdn_analysis.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/capture/CMakeFiles/ytcdn_capture.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/cdn/CMakeFiles/ytcdn_cdn.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/geoloc/CMakeFiles/ytcdn_geoloc.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/net/CMakeFiles/ytcdn_net.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/geo/CMakeFiles/ytcdn_geo.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/sim/CMakeFiles/ytcdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/util/CMakeFiles/ytcdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

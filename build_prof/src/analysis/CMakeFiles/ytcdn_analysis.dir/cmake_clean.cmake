@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_analysis.dir/as_analysis.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/as_analysis.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/dc_map.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/dc_map.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/failure_analysis.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/failure_analysis.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/geo_analysis.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/geo_analysis.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/histogram.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/histogram.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/loadbalance_analysis.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/loadbalance_analysis.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/preferred_dc.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/preferred_dc.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/redirect_analysis.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/redirect_analysis.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/series.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/series.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/session.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/session.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/session_analysis.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/session_analysis.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/stats.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/subnet_analysis.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/subnet_analysis.cpp.o.d"
+  "CMakeFiles/ytcdn_analysis.dir/table.cpp.o"
+  "CMakeFiles/ytcdn_analysis.dir/table.cpp.o.d"
+  "libytcdn_analysis.a"
+  "libytcdn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/binary_log.cpp" "src/capture/CMakeFiles/ytcdn_capture.dir/binary_log.cpp.o" "gcc" "src/capture/CMakeFiles/ytcdn_capture.dir/binary_log.cpp.o.d"
+  "/root/repo/src/capture/classifier.cpp" "src/capture/CMakeFiles/ytcdn_capture.dir/classifier.cpp.o" "gcc" "src/capture/CMakeFiles/ytcdn_capture.dir/classifier.cpp.o.d"
+  "/root/repo/src/capture/dataset.cpp" "src/capture/CMakeFiles/ytcdn_capture.dir/dataset.cpp.o" "gcc" "src/capture/CMakeFiles/ytcdn_capture.dir/dataset.cpp.o.d"
+  "/root/repo/src/capture/flow_log.cpp" "src/capture/CMakeFiles/ytcdn_capture.dir/flow_log.cpp.o" "gcc" "src/capture/CMakeFiles/ytcdn_capture.dir/flow_log.cpp.o.d"
+  "/root/repo/src/capture/flow_record.cpp" "src/capture/CMakeFiles/ytcdn_capture.dir/flow_record.cpp.o" "gcc" "src/capture/CMakeFiles/ytcdn_capture.dir/flow_record.cpp.o.d"
+  "/root/repo/src/capture/log_io.cpp" "src/capture/CMakeFiles/ytcdn_capture.dir/log_io.cpp.o" "gcc" "src/capture/CMakeFiles/ytcdn_capture.dir/log_io.cpp.o.d"
+  "/root/repo/src/capture/sniffer.cpp" "src/capture/CMakeFiles/ytcdn_capture.dir/sniffer.cpp.o" "gcc" "src/capture/CMakeFiles/ytcdn_capture.dir/sniffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/cdn/CMakeFiles/ytcdn_cdn.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/net/CMakeFiles/ytcdn_net.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/sim/CMakeFiles/ytcdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/util/CMakeFiles/ytcdn_util.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/geo/CMakeFiles/ytcdn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_capture.dir/binary_log.cpp.o"
+  "CMakeFiles/ytcdn_capture.dir/binary_log.cpp.o.d"
+  "CMakeFiles/ytcdn_capture.dir/classifier.cpp.o"
+  "CMakeFiles/ytcdn_capture.dir/classifier.cpp.o.d"
+  "CMakeFiles/ytcdn_capture.dir/dataset.cpp.o"
+  "CMakeFiles/ytcdn_capture.dir/dataset.cpp.o.d"
+  "CMakeFiles/ytcdn_capture.dir/flow_log.cpp.o"
+  "CMakeFiles/ytcdn_capture.dir/flow_log.cpp.o.d"
+  "CMakeFiles/ytcdn_capture.dir/flow_record.cpp.o"
+  "CMakeFiles/ytcdn_capture.dir/flow_record.cpp.o.d"
+  "CMakeFiles/ytcdn_capture.dir/log_io.cpp.o"
+  "CMakeFiles/ytcdn_capture.dir/log_io.cpp.o.d"
+  "CMakeFiles/ytcdn_capture.dir/sniffer.cpp.o"
+  "CMakeFiles/ytcdn_capture.dir/sniffer.cpp.o.d"
+  "libytcdn_capture.a"
+  "libytcdn_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdn/catalog.cpp" "src/cdn/CMakeFiles/ytcdn_cdn.dir/catalog.cpp.o" "gcc" "src/cdn/CMakeFiles/ytcdn_cdn.dir/catalog.cpp.o.d"
+  "/root/repo/src/cdn/cdn.cpp" "src/cdn/CMakeFiles/ytcdn_cdn.dir/cdn.cpp.o" "gcc" "src/cdn/CMakeFiles/ytcdn_cdn.dir/cdn.cpp.o.d"
+  "/root/repo/src/cdn/data_center.cpp" "src/cdn/CMakeFiles/ytcdn_cdn.dir/data_center.cpp.o" "gcc" "src/cdn/CMakeFiles/ytcdn_cdn.dir/data_center.cpp.o.d"
+  "/root/repo/src/cdn/dns.cpp" "src/cdn/CMakeFiles/ytcdn_cdn.dir/dns.cpp.o" "gcc" "src/cdn/CMakeFiles/ytcdn_cdn.dir/dns.cpp.o.d"
+  "/root/repo/src/cdn/http.cpp" "src/cdn/CMakeFiles/ytcdn_cdn.dir/http.cpp.o" "gcc" "src/cdn/CMakeFiles/ytcdn_cdn.dir/http.cpp.o.d"
+  "/root/repo/src/cdn/selection_policy.cpp" "src/cdn/CMakeFiles/ytcdn_cdn.dir/selection_policy.cpp.o" "gcc" "src/cdn/CMakeFiles/ytcdn_cdn.dir/selection_policy.cpp.o.d"
+  "/root/repo/src/cdn/server.cpp" "src/cdn/CMakeFiles/ytcdn_cdn.dir/server.cpp.o" "gcc" "src/cdn/CMakeFiles/ytcdn_cdn.dir/server.cpp.o.d"
+  "/root/repo/src/cdn/video.cpp" "src/cdn/CMakeFiles/ytcdn_cdn.dir/video.cpp.o" "gcc" "src/cdn/CMakeFiles/ytcdn_cdn.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/geo/CMakeFiles/ytcdn_geo.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/net/CMakeFiles/ytcdn_net.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/sim/CMakeFiles/ytcdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/util/CMakeFiles/ytcdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_cdn.dir/catalog.cpp.o"
+  "CMakeFiles/ytcdn_cdn.dir/catalog.cpp.o.d"
+  "CMakeFiles/ytcdn_cdn.dir/cdn.cpp.o"
+  "CMakeFiles/ytcdn_cdn.dir/cdn.cpp.o.d"
+  "CMakeFiles/ytcdn_cdn.dir/data_center.cpp.o"
+  "CMakeFiles/ytcdn_cdn.dir/data_center.cpp.o.d"
+  "CMakeFiles/ytcdn_cdn.dir/dns.cpp.o"
+  "CMakeFiles/ytcdn_cdn.dir/dns.cpp.o.d"
+  "CMakeFiles/ytcdn_cdn.dir/http.cpp.o"
+  "CMakeFiles/ytcdn_cdn.dir/http.cpp.o.d"
+  "CMakeFiles/ytcdn_cdn.dir/selection_policy.cpp.o"
+  "CMakeFiles/ytcdn_cdn.dir/selection_policy.cpp.o.d"
+  "CMakeFiles/ytcdn_cdn.dir/server.cpp.o"
+  "CMakeFiles/ytcdn_cdn.dir/server.cpp.o.d"
+  "CMakeFiles/ytcdn_cdn.dir/video.cpp.o"
+  "CMakeFiles/ytcdn_cdn.dir/video.cpp.o.d"
+  "libytcdn_cdn.a"
+  "libytcdn_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

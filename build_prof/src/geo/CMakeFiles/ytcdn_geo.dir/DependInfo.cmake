@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/city.cpp" "src/geo/CMakeFiles/ytcdn_geo.dir/city.cpp.o" "gcc" "src/geo/CMakeFiles/ytcdn_geo.dir/city.cpp.o.d"
+  "/root/repo/src/geo/continent.cpp" "src/geo/CMakeFiles/ytcdn_geo.dir/continent.cpp.o" "gcc" "src/geo/CMakeFiles/ytcdn_geo.dir/continent.cpp.o.d"
+  "/root/repo/src/geo/geo_point.cpp" "src/geo/CMakeFiles/ytcdn_geo.dir/geo_point.cpp.o" "gcc" "src/geo/CMakeFiles/ytcdn_geo.dir/geo_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

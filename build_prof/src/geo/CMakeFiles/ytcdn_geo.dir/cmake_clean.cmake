@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_geo.dir/city.cpp.o"
+  "CMakeFiles/ytcdn_geo.dir/city.cpp.o.d"
+  "CMakeFiles/ytcdn_geo.dir/continent.cpp.o"
+  "CMakeFiles/ytcdn_geo.dir/continent.cpp.o.d"
+  "CMakeFiles/ytcdn_geo.dir/geo_point.cpp.o"
+  "CMakeFiles/ytcdn_geo.dir/geo_point.cpp.o.d"
+  "libytcdn_geo.a"
+  "libytcdn_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geoloc/bestline.cpp" "src/geoloc/CMakeFiles/ytcdn_geoloc.dir/bestline.cpp.o" "gcc" "src/geoloc/CMakeFiles/ytcdn_geoloc.dir/bestline.cpp.o.d"
+  "/root/repo/src/geoloc/cbg.cpp" "src/geoloc/CMakeFiles/ytcdn_geoloc.dir/cbg.cpp.o" "gcc" "src/geoloc/CMakeFiles/ytcdn_geoloc.dir/cbg.cpp.o.d"
+  "/root/repo/src/geoloc/dc_clustering.cpp" "src/geoloc/CMakeFiles/ytcdn_geoloc.dir/dc_clustering.cpp.o" "gcc" "src/geoloc/CMakeFiles/ytcdn_geoloc.dir/dc_clustering.cpp.o.d"
+  "/root/repo/src/geoloc/geoping.cpp" "src/geoloc/CMakeFiles/ytcdn_geoloc.dir/geoping.cpp.o" "gcc" "src/geoloc/CMakeFiles/ytcdn_geoloc.dir/geoping.cpp.o.d"
+  "/root/repo/src/geoloc/ip2location_db.cpp" "src/geoloc/CMakeFiles/ytcdn_geoloc.dir/ip2location_db.cpp.o" "gcc" "src/geoloc/CMakeFiles/ytcdn_geoloc.dir/ip2location_db.cpp.o.d"
+  "/root/repo/src/geoloc/landmark.cpp" "src/geoloc/CMakeFiles/ytcdn_geoloc.dir/landmark.cpp.o" "gcc" "src/geoloc/CMakeFiles/ytcdn_geoloc.dir/landmark.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/geo/CMakeFiles/ytcdn_geo.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/net/CMakeFiles/ytcdn_net.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/sim/CMakeFiles/ytcdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/util/CMakeFiles/ytcdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_geoloc.dir/bestline.cpp.o"
+  "CMakeFiles/ytcdn_geoloc.dir/bestline.cpp.o.d"
+  "CMakeFiles/ytcdn_geoloc.dir/cbg.cpp.o"
+  "CMakeFiles/ytcdn_geoloc.dir/cbg.cpp.o.d"
+  "CMakeFiles/ytcdn_geoloc.dir/dc_clustering.cpp.o"
+  "CMakeFiles/ytcdn_geoloc.dir/dc_clustering.cpp.o.d"
+  "CMakeFiles/ytcdn_geoloc.dir/geoping.cpp.o"
+  "CMakeFiles/ytcdn_geoloc.dir/geoping.cpp.o.d"
+  "CMakeFiles/ytcdn_geoloc.dir/ip2location_db.cpp.o"
+  "CMakeFiles/ytcdn_geoloc.dir/ip2location_db.cpp.o.d"
+  "CMakeFiles/ytcdn_geoloc.dir/landmark.cpp.o"
+  "CMakeFiles/ytcdn_geoloc.dir/landmark.cpp.o.d"
+  "libytcdn_geoloc.a"
+  "libytcdn_geoloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_geoloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

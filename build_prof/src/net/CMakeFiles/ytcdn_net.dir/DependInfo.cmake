@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/as_registry.cpp" "src/net/CMakeFiles/ytcdn_net.dir/as_registry.cpp.o" "gcc" "src/net/CMakeFiles/ytcdn_net.dir/as_registry.cpp.o.d"
+  "/root/repo/src/net/ip_address.cpp" "src/net/CMakeFiles/ytcdn_net.dir/ip_address.cpp.o" "gcc" "src/net/CMakeFiles/ytcdn_net.dir/ip_address.cpp.o.d"
+  "/root/repo/src/net/pinger.cpp" "src/net/CMakeFiles/ytcdn_net.dir/pinger.cpp.o" "gcc" "src/net/CMakeFiles/ytcdn_net.dir/pinger.cpp.o.d"
+  "/root/repo/src/net/rtt_model.cpp" "src/net/CMakeFiles/ytcdn_net.dir/rtt_model.cpp.o" "gcc" "src/net/CMakeFiles/ytcdn_net.dir/rtt_model.cpp.o.d"
+  "/root/repo/src/net/subnet.cpp" "src/net/CMakeFiles/ytcdn_net.dir/subnet.cpp.o" "gcc" "src/net/CMakeFiles/ytcdn_net.dir/subnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/geo/CMakeFiles/ytcdn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_net.dir/as_registry.cpp.o"
+  "CMakeFiles/ytcdn_net.dir/as_registry.cpp.o.d"
+  "CMakeFiles/ytcdn_net.dir/ip_address.cpp.o"
+  "CMakeFiles/ytcdn_net.dir/ip_address.cpp.o.d"
+  "CMakeFiles/ytcdn_net.dir/pinger.cpp.o"
+  "CMakeFiles/ytcdn_net.dir/pinger.cpp.o.d"
+  "CMakeFiles/ytcdn_net.dir/rtt_model.cpp.o"
+  "CMakeFiles/ytcdn_net.dir/rtt_model.cpp.o.d"
+  "CMakeFiles/ytcdn_net.dir/subnet.cpp.o"
+  "CMakeFiles/ytcdn_net.dir/subnet.cpp.o.d"
+  "libytcdn_net.a"
+  "libytcdn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arrival_process.cpp" "src/sim/CMakeFiles/ytcdn_sim.dir/arrival_process.cpp.o" "gcc" "src/sim/CMakeFiles/ytcdn_sim.dir/arrival_process.cpp.o.d"
+  "/root/repo/src/sim/diurnal.cpp" "src/sim/CMakeFiles/ytcdn_sim.dir/diurnal.cpp.o" "gcc" "src/sim/CMakeFiles/ytcdn_sim.dir/diurnal.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/ytcdn_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/ytcdn_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fault_injector.cpp" "src/sim/CMakeFiles/ytcdn_sim.dir/fault_injector.cpp.o" "gcc" "src/sim/CMakeFiles/ytcdn_sim.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/sim/CMakeFiles/ytcdn_sim.dir/random.cpp.o" "gcc" "src/sim/CMakeFiles/ytcdn_sim.dir/random.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/ytcdn_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/ytcdn_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/sim/CMakeFiles/ytcdn_sim.dir/time.cpp.o" "gcc" "src/sim/CMakeFiles/ytcdn_sim.dir/time.cpp.o.d"
+  "/root/repo/src/sim/tracer.cpp" "src/sim/CMakeFiles/ytcdn_sim.dir/tracer.cpp.o" "gcc" "src/sim/CMakeFiles/ytcdn_sim.dir/tracer.cpp.o.d"
+  "/root/repo/src/sim/zipf.cpp" "src/sim/CMakeFiles/ytcdn_sim.dir/zipf.cpp.o" "gcc" "src/sim/CMakeFiles/ytcdn_sim.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/util/CMakeFiles/ytcdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

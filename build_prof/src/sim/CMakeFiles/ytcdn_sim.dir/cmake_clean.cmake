@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_sim.dir/arrival_process.cpp.o"
+  "CMakeFiles/ytcdn_sim.dir/arrival_process.cpp.o.d"
+  "CMakeFiles/ytcdn_sim.dir/diurnal.cpp.o"
+  "CMakeFiles/ytcdn_sim.dir/diurnal.cpp.o.d"
+  "CMakeFiles/ytcdn_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ytcdn_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ytcdn_sim.dir/fault_injector.cpp.o"
+  "CMakeFiles/ytcdn_sim.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/ytcdn_sim.dir/random.cpp.o"
+  "CMakeFiles/ytcdn_sim.dir/random.cpp.o.d"
+  "CMakeFiles/ytcdn_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ytcdn_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ytcdn_sim.dir/time.cpp.o"
+  "CMakeFiles/ytcdn_sim.dir/time.cpp.o.d"
+  "CMakeFiles/ytcdn_sim.dir/tracer.cpp.o"
+  "CMakeFiles/ytcdn_sim.dir/tracer.cpp.o.d"
+  "CMakeFiles/ytcdn_sim.dir/zipf.cpp.o"
+  "CMakeFiles/ytcdn_sim.dir/zipf.cpp.o.d"
+  "libytcdn_sim.a"
+  "libytcdn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/study/checkpoint.cpp" "src/study/CMakeFiles/ytcdn_study.dir/checkpoint.cpp.o" "gcc" "src/study/CMakeFiles/ytcdn_study.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/study/config.cpp" "src/study/CMakeFiles/ytcdn_study.dir/config.cpp.o" "gcc" "src/study/CMakeFiles/ytcdn_study.dir/config.cpp.o.d"
+  "/root/repo/src/study/dc_map_builder.cpp" "src/study/CMakeFiles/ytcdn_study.dir/dc_map_builder.cpp.o" "gcc" "src/study/CMakeFiles/ytcdn_study.dir/dc_map_builder.cpp.o.d"
+  "/root/repo/src/study/deployment.cpp" "src/study/CMakeFiles/ytcdn_study.dir/deployment.cpp.o" "gcc" "src/study/CMakeFiles/ytcdn_study.dir/deployment.cpp.o.d"
+  "/root/repo/src/study/planetlab_experiment.cpp" "src/study/CMakeFiles/ytcdn_study.dir/planetlab_experiment.cpp.o" "gcc" "src/study/CMakeFiles/ytcdn_study.dir/planetlab_experiment.cpp.o.d"
+  "/root/repo/src/study/report.cpp" "src/study/CMakeFiles/ytcdn_study.dir/report.cpp.o" "gcc" "src/study/CMakeFiles/ytcdn_study.dir/report.cpp.o.d"
+  "/root/repo/src/study/snapshot.cpp" "src/study/CMakeFiles/ytcdn_study.dir/snapshot.cpp.o" "gcc" "src/study/CMakeFiles/ytcdn_study.dir/snapshot.cpp.o.d"
+  "/root/repo/src/study/study_run.cpp" "src/study/CMakeFiles/ytcdn_study.dir/study_run.cpp.o" "gcc" "src/study/CMakeFiles/ytcdn_study.dir/study_run.cpp.o.d"
+  "/root/repo/src/study/supervisor.cpp" "src/study/CMakeFiles/ytcdn_study.dir/supervisor.cpp.o" "gcc" "src/study/CMakeFiles/ytcdn_study.dir/supervisor.cpp.o.d"
+  "/root/repo/src/study/trace_driver.cpp" "src/study/CMakeFiles/ytcdn_study.dir/trace_driver.cpp.o" "gcc" "src/study/CMakeFiles/ytcdn_study.dir/trace_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/analysis/CMakeFiles/ytcdn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/workload/CMakeFiles/ytcdn_workload.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/capture/CMakeFiles/ytcdn_capture.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/geoloc/CMakeFiles/ytcdn_geoloc.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/cdn/CMakeFiles/ytcdn_cdn.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/net/CMakeFiles/ytcdn_net.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/sim/CMakeFiles/ytcdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/geo/CMakeFiles/ytcdn_geo.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/util/CMakeFiles/ytcdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_study.dir/checkpoint.cpp.o"
+  "CMakeFiles/ytcdn_study.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ytcdn_study.dir/config.cpp.o"
+  "CMakeFiles/ytcdn_study.dir/config.cpp.o.d"
+  "CMakeFiles/ytcdn_study.dir/dc_map_builder.cpp.o"
+  "CMakeFiles/ytcdn_study.dir/dc_map_builder.cpp.o.d"
+  "CMakeFiles/ytcdn_study.dir/deployment.cpp.o"
+  "CMakeFiles/ytcdn_study.dir/deployment.cpp.o.d"
+  "CMakeFiles/ytcdn_study.dir/planetlab_experiment.cpp.o"
+  "CMakeFiles/ytcdn_study.dir/planetlab_experiment.cpp.o.d"
+  "CMakeFiles/ytcdn_study.dir/report.cpp.o"
+  "CMakeFiles/ytcdn_study.dir/report.cpp.o.d"
+  "CMakeFiles/ytcdn_study.dir/snapshot.cpp.o"
+  "CMakeFiles/ytcdn_study.dir/snapshot.cpp.o.d"
+  "CMakeFiles/ytcdn_study.dir/study_run.cpp.o"
+  "CMakeFiles/ytcdn_study.dir/study_run.cpp.o.d"
+  "CMakeFiles/ytcdn_study.dir/supervisor.cpp.o"
+  "CMakeFiles/ytcdn_study.dir/supervisor.cpp.o.d"
+  "CMakeFiles/ytcdn_study.dir/trace_driver.cpp.o"
+  "CMakeFiles/ytcdn_study.dir/trace_driver.cpp.o.d"
+  "libytcdn_study.a"
+  "libytcdn_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/args.cpp" "src/util/CMakeFiles/ytcdn_util.dir/args.cpp.o" "gcc" "src/util/CMakeFiles/ytcdn_util.dir/args.cpp.o.d"
+  "/root/repo/src/util/atomic_file.cpp" "src/util/CMakeFiles/ytcdn_util.dir/atomic_file.cpp.o" "gcc" "src/util/CMakeFiles/ytcdn_util.dir/atomic_file.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "src/util/CMakeFiles/ytcdn_util.dir/crc32.cpp.o" "gcc" "src/util/CMakeFiles/ytcdn_util.dir/crc32.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/util/CMakeFiles/ytcdn_util.dir/error.cpp.o" "gcc" "src/util/CMakeFiles/ytcdn_util.dir/error.cpp.o.d"
+  "/root/repo/src/util/host_clock.cpp" "src/util/CMakeFiles/ytcdn_util.dir/host_clock.cpp.o" "gcc" "src/util/CMakeFiles/ytcdn_util.dir/host_clock.cpp.o.d"
+  "/root/repo/src/util/io.cpp" "src/util/CMakeFiles/ytcdn_util.dir/io.cpp.o" "gcc" "src/util/CMakeFiles/ytcdn_util.dir/io.cpp.o.d"
+  "/root/repo/src/util/metrics.cpp" "src/util/CMakeFiles/ytcdn_util.dir/metrics.cpp.o" "gcc" "src/util/CMakeFiles/ytcdn_util.dir/metrics.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/util/CMakeFiles/ytcdn_util.dir/parallel.cpp.o" "gcc" "src/util/CMakeFiles/ytcdn_util.dir/parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

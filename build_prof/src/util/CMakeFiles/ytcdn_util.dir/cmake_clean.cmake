@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_util.dir/args.cpp.o"
+  "CMakeFiles/ytcdn_util.dir/args.cpp.o.d"
+  "CMakeFiles/ytcdn_util.dir/atomic_file.cpp.o"
+  "CMakeFiles/ytcdn_util.dir/atomic_file.cpp.o.d"
+  "CMakeFiles/ytcdn_util.dir/crc32.cpp.o"
+  "CMakeFiles/ytcdn_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/ytcdn_util.dir/error.cpp.o"
+  "CMakeFiles/ytcdn_util.dir/error.cpp.o.d"
+  "CMakeFiles/ytcdn_util.dir/host_clock.cpp.o"
+  "CMakeFiles/ytcdn_util.dir/host_clock.cpp.o.d"
+  "CMakeFiles/ytcdn_util.dir/io.cpp.o"
+  "CMakeFiles/ytcdn_util.dir/io.cpp.o.d"
+  "CMakeFiles/ytcdn_util.dir/metrics.cpp.o"
+  "CMakeFiles/ytcdn_util.dir/metrics.cpp.o.d"
+  "CMakeFiles/ytcdn_util.dir/parallel.cpp.o"
+  "CMakeFiles/ytcdn_util.dir/parallel.cpp.o.d"
+  "libytcdn_util.a"
+  "libytcdn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

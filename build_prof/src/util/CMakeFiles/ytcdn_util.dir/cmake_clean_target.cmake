@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libytcdn_util.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/client.cpp" "src/workload/CMakeFiles/ytcdn_workload.dir/client.cpp.o" "gcc" "src/workload/CMakeFiles/ytcdn_workload.dir/client.cpp.o.d"
+  "/root/repo/src/workload/noise_source.cpp" "src/workload/CMakeFiles/ytcdn_workload.dir/noise_source.cpp.o" "gcc" "src/workload/CMakeFiles/ytcdn_workload.dir/noise_source.cpp.o.d"
+  "/root/repo/src/workload/player.cpp" "src/workload/CMakeFiles/ytcdn_workload.dir/player.cpp.o" "gcc" "src/workload/CMakeFiles/ytcdn_workload.dir/player.cpp.o.d"
+  "/root/repo/src/workload/population.cpp" "src/workload/CMakeFiles/ytcdn_workload.dir/population.cpp.o" "gcc" "src/workload/CMakeFiles/ytcdn_workload.dir/population.cpp.o.d"
+  "/root/repo/src/workload/request_generator.cpp" "src/workload/CMakeFiles/ytcdn_workload.dir/request_generator.cpp.o" "gcc" "src/workload/CMakeFiles/ytcdn_workload.dir/request_generator.cpp.o.d"
+  "/root/repo/src/workload/vantage_point.cpp" "src/workload/CMakeFiles/ytcdn_workload.dir/vantage_point.cpp.o" "gcc" "src/workload/CMakeFiles/ytcdn_workload.dir/vantage_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/cdn/CMakeFiles/ytcdn_cdn.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/capture/CMakeFiles/ytcdn_capture.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/net/CMakeFiles/ytcdn_net.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/sim/CMakeFiles/ytcdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/geo/CMakeFiles/ytcdn_geo.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/util/CMakeFiles/ytcdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

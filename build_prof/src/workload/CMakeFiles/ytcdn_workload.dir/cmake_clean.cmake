@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_workload.dir/client.cpp.o"
+  "CMakeFiles/ytcdn_workload.dir/client.cpp.o.d"
+  "CMakeFiles/ytcdn_workload.dir/noise_source.cpp.o"
+  "CMakeFiles/ytcdn_workload.dir/noise_source.cpp.o.d"
+  "CMakeFiles/ytcdn_workload.dir/player.cpp.o"
+  "CMakeFiles/ytcdn_workload.dir/player.cpp.o.d"
+  "CMakeFiles/ytcdn_workload.dir/population.cpp.o"
+  "CMakeFiles/ytcdn_workload.dir/population.cpp.o.d"
+  "CMakeFiles/ytcdn_workload.dir/request_generator.cpp.o"
+  "CMakeFiles/ytcdn_workload.dir/request_generator.cpp.o.d"
+  "CMakeFiles/ytcdn_workload.dir/vantage_point.cpp.o"
+  "CMakeFiles/ytcdn_workload.dir/vantage_point.cpp.o.d"
+  "libytcdn_workload.a"
+  "libytcdn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

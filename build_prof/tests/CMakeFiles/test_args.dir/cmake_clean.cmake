@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_args.dir/test_args.cpp.o"
+  "CMakeFiles/test_args.dir/test_args.cpp.o.d"
+  "test_args"
+  "test_args.pdb"
+  "test_args[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrival_process.dir/test_arrival_process.cpp.o"
+  "CMakeFiles/test_arrival_process.dir/test_arrival_process.cpp.o.d"
+  "test_arrival_process"
+  "test_arrival_process.pdb"
+  "test_arrival_process[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrival_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_arrival_process.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_as_registry.dir/test_as_registry.cpp.o"
+  "CMakeFiles/test_as_registry.dir/test_as_registry.cpp.o.d"
+  "test_as_registry"
+  "test_as_registry.pdb"
+  "test_as_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_as_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bestline.dir/test_bestline.cpp.o"
+  "CMakeFiles/test_bestline.dir/test_bestline.cpp.o.d"
+  "test_bestline"
+  "test_bestline.pdb"
+  "test_bestline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bestline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binary_log.dir/test_binary_log.cpp.o"
+  "CMakeFiles/test_binary_log.dir/test_binary_log.cpp.o.d"
+  "test_binary_log"
+  "test_binary_log.pdb"
+  "test_binary_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binary_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capture.dir/test_capture.cpp.o"
+  "CMakeFiles/test_capture.dir/test_capture.cpp.o.d"
+  "test_capture"
+  "test_capture.pdb"
+  "test_capture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cbg.dir/test_cbg.cpp.o"
+  "CMakeFiles/test_cbg.dir/test_cbg.cpp.o.d"
+  "test_cbg"
+  "test_cbg.pdb"
+  "test_cbg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cdn.cpp" "tests/CMakeFiles/test_cdn.dir/test_cdn.cpp.o" "gcc" "tests/CMakeFiles/test_cdn.dir/test_cdn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_prof/src/study/CMakeFiles/ytcdn_study.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/analysis/CMakeFiles/ytcdn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/workload/CMakeFiles/ytcdn_workload.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/capture/CMakeFiles/ytcdn_capture.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/geoloc/CMakeFiles/ytcdn_geoloc.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/cdn/CMakeFiles/ytcdn_cdn.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/net/CMakeFiles/ytcdn_net.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/sim/CMakeFiles/ytcdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/geo/CMakeFiles/ytcdn_geo.dir/DependInfo.cmake"
+  "/root/repo/build_prof/src/util/CMakeFiles/ytcdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

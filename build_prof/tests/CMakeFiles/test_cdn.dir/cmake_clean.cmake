@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdn.dir/test_cdn.cpp.o"
+  "CMakeFiles/test_cdn.dir/test_cdn.cpp.o.d"
+  "test_cdn"
+  "test_cdn.pdb"
+  "test_cdn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

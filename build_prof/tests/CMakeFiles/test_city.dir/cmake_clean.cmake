@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_city.dir/test_city.cpp.o"
+  "CMakeFiles/test_city.dir/test_city.cpp.o.d"
+  "test_city"
+  "test_city.pdb"
+  "test_city[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

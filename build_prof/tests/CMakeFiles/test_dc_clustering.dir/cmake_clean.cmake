@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dc_clustering.dir/test_dc_clustering.cpp.o"
+  "CMakeFiles/test_dc_clustering.dir/test_dc_clustering.cpp.o.d"
+  "test_dc_clustering"
+  "test_dc_clustering.pdb"
+  "test_dc_clustering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dc_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

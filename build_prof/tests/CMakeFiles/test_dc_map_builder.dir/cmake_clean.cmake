@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dc_map_builder.dir/test_dc_map_builder.cpp.o"
+  "CMakeFiles/test_dc_map_builder.dir/test_dc_map_builder.cpp.o.d"
+  "test_dc_map_builder"
+  "test_dc_map_builder.pdb"
+  "test_dc_map_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dc_map_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deployment.dir/test_deployment.cpp.o"
+  "CMakeFiles/test_deployment.dir/test_deployment.cpp.o.d"
+  "test_deployment"
+  "test_deployment.pdb"
+  "test_deployment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_determinism.dir/test_determinism.cpp.o"
+  "CMakeFiles/test_determinism.dir/test_determinism.cpp.o.d"
+  "test_determinism"
+  "test_determinism.pdb"
+  "test_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diurnal.dir/test_diurnal.cpp.o"
+  "CMakeFiles/test_diurnal.dir/test_diurnal.cpp.o.d"
+  "test_diurnal"
+  "test_diurnal.pdb"
+  "test_diurnal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns.dir/test_dns.cpp.o"
+  "CMakeFiles/test_dns.dir/test_dns.cpp.o.d"
+  "test_dns"
+  "test_dns.pdb"
+  "test_dns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error.dir/test_error.cpp.o"
+  "CMakeFiles/test_error.dir/test_error.cpp.o.d"
+  "test_error"
+  "test_error.pdb"
+  "test_error[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_injector.dir/test_fault_injector.cpp.o"
+  "CMakeFiles/test_fault_injector.dir/test_fault_injector.cpp.o.d"
+  "test_fault_injector"
+  "test_fault_injector.pdb"
+  "test_fault_injector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

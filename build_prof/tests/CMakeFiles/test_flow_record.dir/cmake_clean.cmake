@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_record.dir/test_flow_record.cpp.o"
+  "CMakeFiles/test_flow_record.dir/test_flow_record.cpp.o.d"
+  "test_flow_record"
+  "test_flow_record.pdb"
+  "test_flow_record[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo_point.dir/test_geo_point.cpp.o"
+  "CMakeFiles/test_geo_point.dir/test_geo_point.cpp.o.d"
+  "test_geo_point"
+  "test_geo_point.pdb"
+  "test_geo_point[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geoping.dir/test_geoping.cpp.o"
+  "CMakeFiles/test_geoping.dir/test_geoping.cpp.o.d"
+  "test_geoping"
+  "test_geoping.pdb"
+  "test_geoping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geoping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_histogram.dir/test_histogram.cpp.o"
+  "CMakeFiles/test_histogram.dir/test_histogram.cpp.o.d"
+  "test_histogram"
+  "test_histogram.pdb"
+  "test_histogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

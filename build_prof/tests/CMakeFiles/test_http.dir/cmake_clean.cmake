@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http.dir/test_http.cpp.o"
+  "CMakeFiles/test_http.dir/test_http.cpp.o.d"
+  "test_http"
+  "test_http.pdb"
+  "test_http[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_fuzz.dir/test_http_fuzz.cpp.o"
+  "CMakeFiles/test_http_fuzz.dir/test_http_fuzz.cpp.o.d"
+  "test_http_fuzz"
+  "test_http_fuzz.pdb"
+  "test_http_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_faults.dir/test_io_faults.cpp.o"
+  "CMakeFiles/test_io_faults.dir/test_io_faults.cpp.o.d"
+  "test_io_faults"
+  "test_io_faults.pdb"
+  "test_io_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ip_address.dir/test_ip_address.cpp.o"
+  "CMakeFiles/test_ip_address.dir/test_ip_address.cpp.o.d"
+  "test_ip_address"
+  "test_ip_address.pdb"
+  "test_ip_address[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ip_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

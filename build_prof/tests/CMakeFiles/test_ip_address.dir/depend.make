@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ip_address.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loadbalance_analysis.dir/test_loadbalance_analysis.cpp.o"
+  "CMakeFiles/test_loadbalance_analysis.dir/test_loadbalance_analysis.cpp.o.d"
+  "test_loadbalance_analysis"
+  "test_loadbalance_analysis.pdb"
+  "test_loadbalance_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loadbalance_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_io.dir/test_log_io.cpp.o"
+  "CMakeFiles/test_log_io.dir/test_log_io.cpp.o.d"
+  "test_log_io"
+  "test_log_io.pdb"
+  "test_log_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

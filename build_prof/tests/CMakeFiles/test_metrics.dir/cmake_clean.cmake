@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics.dir/test_metrics.cpp.o"
+  "CMakeFiles/test_metrics.dir/test_metrics.cpp.o.d"
+  "test_metrics"
+  "test_metrics.pdb"
+  "test_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_source.dir/test_noise_source.cpp.o"
+  "CMakeFiles/test_noise_source.dir/test_noise_source.cpp.o.d"
+  "test_noise_source"
+  "test_noise_source.pdb"
+  "test_noise_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offline_toolchain.dir/test_offline_toolchain.cpp.o"
+  "CMakeFiles/test_offline_toolchain.dir/test_offline_toolchain.cpp.o.d"
+  "test_offline_toolchain"
+  "test_offline_toolchain.pdb"
+  "test_offline_toolchain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offline_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_offline_toolchain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_offline_toolchain.
+# This may be replaced when dependencies are built.

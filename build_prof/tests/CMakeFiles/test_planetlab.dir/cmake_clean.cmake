@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planetlab.dir/test_planetlab.cpp.o"
+  "CMakeFiles/test_planetlab.dir/test_planetlab.cpp.o.d"
+  "test_planetlab"
+  "test_planetlab.pdb"
+  "test_planetlab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planetlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

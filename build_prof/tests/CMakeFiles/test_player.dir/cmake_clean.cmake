@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_player.dir/test_player.cpp.o"
+  "CMakeFiles/test_player.dir/test_player.cpp.o.d"
+  "test_player"
+  "test_player.pdb"
+  "test_player[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_player_properties.dir/test_player_properties.cpp.o"
+  "CMakeFiles/test_player_properties.dir/test_player_properties.cpp.o.d"
+  "test_player_properties"
+  "test_player_properties.pdb"
+  "test_player_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_player_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_population.dir/test_population.cpp.o"
+  "CMakeFiles/test_population.dir/test_population.cpp.o.d"
+  "test_population"
+  "test_population.pdb"
+  "test_population[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random.dir/test_random.cpp.o"
+  "CMakeFiles/test_random.dir/test_random.cpp.o.d"
+  "test_random"
+  "test_random.pdb"
+  "test_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

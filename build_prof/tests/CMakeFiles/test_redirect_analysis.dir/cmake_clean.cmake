@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redirect_analysis.dir/test_redirect_analysis.cpp.o"
+  "CMakeFiles/test_redirect_analysis.dir/test_redirect_analysis.cpp.o.d"
+  "test_redirect_analysis"
+  "test_redirect_analysis.pdb"
+  "test_redirect_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redirect_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

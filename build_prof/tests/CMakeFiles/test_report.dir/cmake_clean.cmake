@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report.dir/test_report.cpp.o"
+  "CMakeFiles/test_report.dir/test_report.cpp.o.d"
+  "test_report"
+  "test_report.pdb"
+  "test_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

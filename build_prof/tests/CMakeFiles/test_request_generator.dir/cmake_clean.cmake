@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_request_generator.dir/test_request_generator.cpp.o"
+  "CMakeFiles/test_request_generator.dir/test_request_generator.cpp.o.d"
+  "test_request_generator"
+  "test_request_generator.pdb"
+  "test_request_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_request_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

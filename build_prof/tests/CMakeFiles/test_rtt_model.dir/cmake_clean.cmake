@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtt_model.dir/test_rtt_model.cpp.o"
+  "CMakeFiles/test_rtt_model.dir/test_rtt_model.cpp.o.d"
+  "test_rtt_model"
+  "test_rtt_model.pdb"
+  "test_rtt_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtt_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selection_policy.dir/test_selection_policy.cpp.o"
+  "CMakeFiles/test_selection_policy.dir/test_selection_policy.cpp.o.d"
+  "test_selection_policy"
+  "test_selection_policy.pdb"
+  "test_selection_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selection_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

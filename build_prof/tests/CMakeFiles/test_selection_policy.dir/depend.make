@@ -1,0 +1,2 @@
+# Empty dependencies file for test_selection_policy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server.dir/test_server.cpp.o"
+  "CMakeFiles/test_server.dir/test_server.cpp.o.d"
+  "test_server"
+  "test_server.pdb"
+  "test_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

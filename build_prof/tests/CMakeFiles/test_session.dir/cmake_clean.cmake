@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session.dir/test_session.cpp.o"
+  "CMakeFiles/test_session.dir/test_session.cpp.o.d"
+  "test_session"
+  "test_session.pdb"
+  "test_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

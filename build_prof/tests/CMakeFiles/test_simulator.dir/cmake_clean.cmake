@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator.dir/test_simulator.cpp.o"
+  "CMakeFiles/test_simulator.dir/test_simulator.cpp.o.d"
+  "test_simulator"
+  "test_simulator.pdb"
+  "test_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snapshot.dir/test_snapshot.cpp.o"
+  "CMakeFiles/test_snapshot.dir/test_snapshot.cpp.o.d"
+  "test_snapshot"
+  "test_snapshot.pdb"
+  "test_snapshot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_study_integration.dir/test_study_integration.cpp.o"
+  "CMakeFiles/test_study_integration.dir/test_study_integration.cpp.o.d"
+  "test_study_integration"
+  "test_study_integration.pdb"
+  "test_study_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_study_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_study_run.dir/test_study_run.cpp.o"
+  "CMakeFiles/test_study_run.dir/test_study_run.cpp.o.d"
+  "test_study_run"
+  "test_study_run.pdb"
+  "test_study_run[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_study_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

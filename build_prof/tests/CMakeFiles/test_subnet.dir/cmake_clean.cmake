@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subnet.dir/test_subnet.cpp.o"
+  "CMakeFiles/test_subnet.dir/test_subnet.cpp.o.d"
+  "test_subnet"
+  "test_subnet.pdb"
+  "test_subnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

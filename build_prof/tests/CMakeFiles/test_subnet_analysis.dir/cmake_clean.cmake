@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subnet_analysis.dir/test_subnet_analysis.cpp.o"
+  "CMakeFiles/test_subnet_analysis.dir/test_subnet_analysis.cpp.o.d"
+  "test_subnet_analysis"
+  "test_subnet_analysis.pdb"
+  "test_subnet_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subnet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

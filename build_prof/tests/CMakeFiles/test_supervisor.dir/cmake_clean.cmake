@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_supervisor.dir/test_supervisor.cpp.o"
+  "CMakeFiles/test_supervisor.dir/test_supervisor.cpp.o.d"
+  "test_supervisor"
+  "test_supervisor.pdb"
+  "test_supervisor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_supervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

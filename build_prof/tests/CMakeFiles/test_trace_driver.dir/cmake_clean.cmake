@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_driver.dir/test_trace_driver.cpp.o"
+  "CMakeFiles/test_trace_driver.dir/test_trace_driver.cpp.o.d"
+  "test_trace_driver"
+  "test_trace_driver.pdb"
+  "test_trace_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracer.dir/test_tracer.cpp.o"
+  "CMakeFiles/test_tracer.dir/test_tracer.cpp.o.d"
+  "test_tracer"
+  "test_tracer.pdb"
+  "test_tracer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_video.dir/test_video.cpp.o"
+  "CMakeFiles/test_video.dir/test_video.cpp.o.d"
+  "test_video"
+  "test_video.pdb"
+  "test_video[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zipf.dir/test_zipf.cpp.o"
+  "CMakeFiles/test_zipf.dir/test_zipf.cpp.o.d"
+  "test_zipf"
+  "test_zipf.pdb"
+  "test_zipf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_zipf.
+# This may be replaced when dependencies are built.

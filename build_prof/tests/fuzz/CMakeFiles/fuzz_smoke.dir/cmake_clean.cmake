@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_smoke.dir/fuzz_smoke.cpp.o"
+  "CMakeFiles/fuzz_smoke.dir/fuzz_smoke.cpp.o.d"
+  "fuzz_smoke"
+  "fuzz_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

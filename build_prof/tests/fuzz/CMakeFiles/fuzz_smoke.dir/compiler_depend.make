@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fuzz_smoke.
+# This may be replaced when dependencies are built.

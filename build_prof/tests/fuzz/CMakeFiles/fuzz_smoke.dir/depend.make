@@ -1,0 +1,2 @@
+# Empty dependencies file for fuzz_smoke.
+# This may be replaced when dependencies are built.

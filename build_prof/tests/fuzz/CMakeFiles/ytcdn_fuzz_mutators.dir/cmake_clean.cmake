@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn_fuzz_mutators.dir/fuzz_mutators.cpp.o"
+  "CMakeFiles/ytcdn_fuzz_mutators.dir/fuzz_mutators.cpp.o.d"
+  "libytcdn_fuzz_mutators.a"
+  "libytcdn_fuzz_mutators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn_fuzz_mutators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ytcdn_fuzz_mutators.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fuzz
+# Build directory: /root/repo/build_prof/tests/fuzz
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(fuzz_smoke "/root/repo/build_prof/tests/fuzz/fuzz_smoke" "/root/repo/tests/fuzz/corpus")
+set_tests_properties(fuzz_smoke PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/fuzz/CMakeLists.txt;12;add_test;/root/repo/tests/fuzz/CMakeLists.txt;0;")

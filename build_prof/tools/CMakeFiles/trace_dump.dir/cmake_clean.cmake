@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_dump.dir/trace_dump.cpp.o"
+  "CMakeFiles/trace_dump.dir/trace_dump.cpp.o.d"
+  "trace_dump"
+  "trace_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

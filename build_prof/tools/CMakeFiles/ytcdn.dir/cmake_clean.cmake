@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ytcdn.dir/ytcdn_cli.cpp.o"
+  "CMakeFiles/ytcdn.dir/ytcdn_cli.cpp.o.d"
+  "ytcdn"
+  "ytcdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ytcdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

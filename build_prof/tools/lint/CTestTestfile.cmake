@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools/lint
+# Build directory: /root/repo/build_prof/tools/lint
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lint_repo "/root/.pyenv/shims/python3" "/root/repo/tools/lint/ytcdn_lint.py" "--root" "/root/repo")
+set_tests_properties(lint_repo PROPERTIES  LABELS "lint" _BACKTRACE_TRIPLES "/root/repo/tools/lint/CMakeLists.txt;86;add_test;/root/repo/tools/lint/CMakeLists.txt;0;")
+add_test(lint_selftest "/root/.pyenv/shims/python3" "/root/repo/tools/lint/test_ytcdn_lint.py")
+set_tests_properties(lint_selftest PROPERTIES  LABELS "lint" _BACKTRACE_TRIPLES "/root/repo/tools/lint/CMakeLists.txt;89;add_test;/root/repo/tools/lint/CMakeLists.txt;0;")
+add_test(lint_baseline_fresh "/root/.pyenv/shims/python3" "/root/repo/tools/lint/ytcdn_lint.py" "--root" "/root/repo" "--check-baseline")
+set_tests_properties(lint_baseline_fresh PROPERTIES  LABELS "lint" _BACKTRACE_TRIPLES "/root/repo/tools/lint/CMakeLists.txt;93;add_test;/root/repo/tools/lint/CMakeLists.txt;0;")
+add_test(tidy_plugin_selftest "/root/.pyenv/shims/python3" "/root/repo/tools/lint/clang-plugin/tidy_plugin_selftest.py" "--plugin" "")
+set_tests_properties(tidy_plugin_selftest PROPERTIES  LABELS "lint" SKIP_RETURN_CODE "77" _BACKTRACE_TRIPLES "/root/repo/tools/lint/CMakeLists.txt;110;add_test;/root/repo/tools/lint/CMakeLists.txt;0;")
+subdirs("clang-plugin")

@@ -1,0 +1,2 @@
+set(CMAKE_C_COMPILER "/usr/bin/cc")
+
