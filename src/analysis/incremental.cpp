@@ -1,0 +1,165 @@
+#include "analysis/incremental.hpp"
+
+#include <algorithm>
+
+#include "analysis/session.hpp"
+
+namespace ytcdn::analysis {
+
+void IncrementalSummary::add(const capture::FlowRecord& r) {
+    ++flows;
+    if (classify_flow_size(r.bytes) == FlowKind::Video) ++video_flows;
+    bytes += r.bytes;
+    servers.insert(r.server_ip.value());
+    clients.insert(r.client_ip.value());
+    server_slash24s.insert(r.server_ip.slash24().value());
+}
+
+void IncrementalSessions::close_into_histogram(std::uint32_t flows) {
+    const std::size_t bucket =
+        std::min<std::size_t>(flows, kMaxBucket);
+    if (bucket > 0) ++closed_[bucket];
+}
+
+void IncrementalSessions::evict_stale() {
+    // In-order input can never extend a session whose last end is more than
+    // the gap behind the newest timestamp seen, so closing those early is
+    // exactly what the batch closure would eventually do.
+    const double horizon = watermark_ - gap_;
+    for (auto it = open_.begin(); it != open_.end();) {
+        if (it->second.last_end < horizon) {
+            close_into_histogram(it->second.flows);
+            it = open_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void IncrementalSessions::add(const capture::FlowRecord& r) {
+    watermark_ = std::max(watermark_, r.end);
+    const Key key{r.client_ip.value(), r.video.value()};
+    auto [it, inserted] = open_.try_emplace(key);
+    OpenSession& session = it->second;
+    if (!inserted) {
+        if (r.start - session.last_end > gap_) {
+            // The gap rule splits here: the open session is complete.
+            close_into_histogram(session.flows);
+            session.flows = 0;
+        }
+    }
+    ++session.flows;
+    session.last_end = std::max(session.last_end, r.end);
+    if (open_.size() > max_open_) evict_stale();
+}
+
+void IncrementalSessions::close_all() {
+    for (const auto& [key, session] : open_) {
+        close_into_histogram(session.flows);
+    }
+    open_.clear();
+}
+
+std::uint64_t IncrementalSessions::sessions_closed() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t k = 1; k <= kMaxBucket; ++k) total += closed_[k];
+    return total;
+}
+
+std::uint64_t IncrementalSessions::multi_flow_sessions() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t k = 2; k <= kMaxBucket; ++k) total += closed_[k];
+    return total;
+}
+
+void IncrementalSessions::restore_open(Key key, OpenSession session) {
+    open_[key] = session;
+}
+
+void IncrementalSessions::restore_closed(std::size_t bucket,
+                                         std::uint64_t count) {
+    if (bucket >= 1 && bucket <= kMaxBucket) closed_[bucket] = count;
+}
+
+void IncrementalPreference::set_map(ServerDcMap map) {
+    map_ = std::move(map);
+    dcs_.assign(map_.num_data_centers(), DcState{});
+}
+
+bool IncrementalPreference::set_policy(std::string_view name) {
+    if (name != "rtt" && name != "load") return false;
+    policy_.assign(name);
+    return true;
+}
+
+namespace {
+
+int find_dc(const ServerDcMap& map, std::string_view name) {
+    for (std::size_t i = 0; i < map.num_data_centers(); ++i) {
+        if (map.info(static_cast<int>(i)).name == name) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+}  // namespace
+
+bool IncrementalPreference::set_drained(std::string_view dc_name,
+                                        bool drained) {
+    const int dc = find_dc(map_, dc_name);
+    if (dc < 0) return false;
+    dcs_[static_cast<std::size_t>(dc)].drained = drained;
+    return true;
+}
+
+bool IncrementalPreference::set_scale(std::string_view dc_name,
+                                      double factor) {
+    const int dc = find_dc(map_, dc_name);
+    if (dc < 0 || !(factor > 0.0)) return false;
+    dcs_[static_cast<std::size_t>(dc)].scale = factor;
+    return true;
+}
+
+int IncrementalPreference::preferred_dc() const {
+    int best = -1;
+    double best_score = 0.0;
+    for (std::size_t i = 0; i < dcs_.size(); ++i) {
+        if (dcs_[i].drained) continue;
+        // rtt: the paper's proximity rule — lowest probe RTT wins.
+        // load: least accumulated bytes per unit of capacity wins, so a
+        // scaled-up DC absorbs proportionally more traffic.
+        const double score =
+            policy_ == "load"
+                ? static_cast<double>(dcs_[i].bytes) / dcs_[i].scale
+                : map_.info(static_cast<int>(i)).rtt_ms;
+        if (best < 0 || score < best_score) {
+            best = static_cast<int>(i);
+            best_score = score;
+        }
+    }
+    return best;
+}
+
+void IncrementalPreference::add(const capture::FlowRecord& r) {
+    if (!has_map()) return;
+    const int dc = map_.dc_of(r.server_ip);
+    if (dc < 0) {
+        ++unmapped_flows;
+        return;
+    }
+    const int preferred = preferred_dc();
+    ++mapped_flows;
+    auto& state = dcs_[static_cast<std::size_t>(dc)];
+    ++state.flows;
+    state.bytes += r.bytes;
+    if (dc == preferred) {
+        ++preferred_flows;
+        preferred_bytes += r.bytes;
+    } else {
+        ++non_preferred_flows;
+        non_preferred_bytes += r.bytes;
+    }
+}
+
+}  // namespace ytcdn::analysis

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "analysis/dc_map.hpp"
+#include "capture/flow_record.hpp"
+
+namespace ytcdn::analysis {
+
+/// Bounded-memory, one-flow-at-a-time counterparts of the batch analysis
+/// closures, for ytcdnd's online ingestion (DESIGN.md §15). Each struct
+/// consumes FlowRecords in arrival order and can answer its aggregate at
+/// any moment; none of them retains the flows themselves. State that lives
+/// in unordered containers is only ever *counted* or encoded sorted, so
+/// rendered output and checkpoint payloads stay byte-deterministic.
+
+/// Table I inputs: flows, volume, distinct servers/clients. Memory is
+/// bounded by the number of distinct addresses, not the number of flows.
+struct IncrementalSummary {
+    std::uint64_t flows = 0;
+    std::uint64_t video_flows = 0;  // >= kControlFlowMaxBytes (Section VI)
+    std::uint64_t bytes = 0;
+    std::unordered_set<std::uint32_t> servers;
+    std::unordered_set<std::uint32_t> clients;
+    std::unordered_set<std::uint32_t> server_slash24s;
+
+    void add(const capture::FlowRecord& r);
+
+    [[nodiscard]] double volume_gb() const noexcept {
+        return static_cast<double>(bytes) / 1e9;
+    }
+};
+
+/// Streaming variant of build_sessions: the same (client IP, VideoID) key
+/// and the same gap rule (a flow extends the session when it starts within
+/// `gap_T_s` of the session's last end, Section VI-A), but producing a
+/// flows-per-session histogram instead of materialized sessions.
+///
+/// Sessions close three ways: the gap is exceeded by a same-key flow, the
+/// open set outgrows `max_open` and a watermark sweep closes everything
+/// whose last end is more than the gap behind the newest timestamp seen
+/// (those can never be extended by in-order input), or close_all() at
+/// shutdown/render. Equals the batch closure exactly when each stream's
+/// flows arrive in start-time order — which the spool replay guarantees.
+class IncrementalSessions {
+public:
+    explicit IncrementalSessions(double gap_T_s = 1.0,
+                                 std::size_t max_open = 64 * 1024)
+        : gap_(gap_T_s), max_open_(max_open == 0 ? 1 : max_open) {}
+
+    void add(const capture::FlowRecord& r);
+
+    /// Closes every open session into the histogram (shutdown / render).
+    void close_all();
+
+    /// Histogram buckets 1..kMaxBucket flows per closed session; the last
+    /// bucket also counts anything larger.
+    static constexpr std::size_t kMaxBucket = 8;
+
+    [[nodiscard]] double gap() const noexcept { return gap_; }
+    [[nodiscard]] std::size_t max_open() const noexcept { return max_open_; }
+    [[nodiscard]] std::uint64_t sessions_closed() const noexcept;
+    [[nodiscard]] std::uint64_t multi_flow_sessions() const noexcept;
+    [[nodiscard]] const std::array<std::uint64_t, kMaxBucket + 1>& histogram()
+        const noexcept {
+        return closed_;
+    }
+    [[nodiscard]] std::size_t open_count() const noexcept {
+        return open_.size();
+    }
+
+    struct OpenSession {
+        double last_end = 0.0;
+        std::uint32_t flows = 0;
+    };
+    using Key = std::pair<std::uint32_t, std::uint64_t>;  // client, video
+
+    /// Ordered so checkpoint encoding is independent of insertion order.
+    [[nodiscard]] const std::map<Key, OpenSession>& open() const noexcept {
+        return open_;
+    }
+
+    /// Checkpoint restore: reinstates one open session / the watermark.
+    void restore_open(Key key, OpenSession session);
+    void restore_closed(std::size_t bucket, std::uint64_t count);
+    void set_watermark(double watermark) noexcept { watermark_ = watermark; }
+    [[nodiscard]] double watermark() const noexcept { return watermark_; }
+
+private:
+    void close_into_histogram(std::uint32_t flows);
+    void evict_stale();
+
+    double gap_;
+    std::size_t max_open_;
+    double watermark_ = 0.0;  // newest flow end seen
+    std::map<Key, OpenSession> open_;
+    std::array<std::uint64_t, kMaxBucket + 1> closed_{};  // [0] unused
+};
+
+/// §VII preferred-data-center accounting with live control mutations: the
+/// non-preferred traffic share (Table III's headline number) updated per
+/// flow, under a selection policy the daemon can flip at runtime, with DCs
+/// that can be drained (never preferred) or capacity-scaled without
+/// restart. Mutations change how *subsequent* flows are classified; history
+/// is never rewritten, which keeps replay deterministic.
+class IncrementalPreference {
+public:
+    /// Installs the vantage point's server->DC map (resets per-DC state).
+    void set_map(ServerDcMap map);
+    [[nodiscard]] bool has_map() const noexcept {
+        return map_.num_data_centers() > 0;
+    }
+    [[nodiscard]] const ServerDcMap& map() const noexcept { return map_; }
+
+    /// "rtt" (the paper's proximity default: lowest probe RTT wins) or
+    /// "load" (least accumulated bytes / capacity scale wins). Returns
+    /// false on an unknown policy name.
+    [[nodiscard]] bool set_policy(std::string_view name);
+    [[nodiscard]] const std::string& policy() const noexcept { return policy_; }
+
+    /// Drained DCs are never preferred (the paper's hot-spot drain). False
+    /// when no DC has that name.
+    [[nodiscard]] bool set_drained(std::string_view dc_name, bool drained);
+
+    /// Capacity scale for the load policy (> 0). False on unknown DC or
+    /// non-positive factor.
+    [[nodiscard]] bool set_scale(std::string_view dc_name, double factor);
+
+    void add(const capture::FlowRecord& r);
+
+    /// The DC a flow arriving now would prefer, or -1 without a map or with
+    /// every DC drained.
+    [[nodiscard]] int preferred_dc() const;
+
+    struct DcState {
+        bool drained = false;
+        double scale = 1.0;
+        std::uint64_t flows = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    [[nodiscard]] const std::vector<DcState>& dcs() const noexcept {
+        return dcs_;
+    }
+    [[nodiscard]] std::vector<DcState>& mutable_dcs() noexcept { return dcs_; }
+
+    std::uint64_t mapped_flows = 0;
+    std::uint64_t unmapped_flows = 0;  // dc_of() == -1 (out-of-scope /24s)
+    std::uint64_t preferred_flows = 0;
+    std::uint64_t non_preferred_flows = 0;
+    std::uint64_t preferred_bytes = 0;
+    std::uint64_t non_preferred_bytes = 0;
+
+    [[nodiscard]] double non_preferred_flow_share() const noexcept {
+        return mapped_flows == 0
+                   ? 0.0
+                   : static_cast<double>(non_preferred_flows) /
+                         static_cast<double>(mapped_flows);
+    }
+
+private:
+    ServerDcMap map_;
+    std::string policy_ = "rtt";
+    std::vector<DcState> dcs_;
+};
+
+}  // namespace ytcdn::analysis

@@ -1,0 +1,356 @@
+#include "service/aggregates.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "analysis/table.hpp"
+
+namespace ytcdn::service {
+
+namespace {
+
+// Local little-endian codec helpers, mirroring study/checkpoint.cpp's
+// conventions (u32-length strings, doubles as raw IEEE-754 bits).
+
+template <typename T>
+void put(std::string& buf, T value) {
+    char raw[sizeof(T)];
+    std::memcpy(raw, &value, sizeof(T));
+    buf.append(raw, sizeof(T));
+}
+
+void put_str32(std::string& buf, std::string_view s) {
+    put(buf, static_cast<std::uint32_t>(s.size()));
+    buf.append(s);
+}
+
+void put_f64(std::string& buf, double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    put(buf, bits);
+}
+
+class Reader {
+public:
+    explicit Reader(std::string_view data) : data_(data) {}
+
+    template <typename T>
+    bool take(T* out) {
+        if (data_.size() - off_ < sizeof(T)) return false;
+        std::memcpy(out, data_.data() + off_, sizeof(T));
+        off_ += sizeof(T);
+        return true;
+    }
+
+    bool take_f64(double* out) {
+        std::uint64_t bits = 0;
+        if (!take(&bits)) return false;
+        std::memcpy(out, &bits, sizeof(bits));
+        return true;
+    }
+
+    bool take_str32(std::string* out) {
+        std::uint32_t n = 0;
+        if (!take(&n)) return false;
+        if (data_.size() - off_ < n) return false;
+        out->assign(data_.substr(off_, n));
+        off_ += n;
+        return true;
+    }
+
+    [[nodiscard]] bool done() const noexcept { return off_ == data_.size(); }
+
+    [[nodiscard]] Error truncated() const {
+        return Error(ErrorCode::Truncated,
+                     "service aggregates payload truncated at byte " +
+                         std::to_string(off_));
+    }
+
+private:
+    std::string_view data_;
+    std::size_t off_ = 0;
+};
+
+constexpr std::uint32_t kAggregatesVersion = 1;
+
+void put_sorted_set(std::string& buf,
+                    const std::unordered_set<std::uint32_t>& set) {
+    std::vector<std::uint32_t> sorted(set.begin(), set.end());
+    std::sort(sorted.begin(), sorted.end());
+    put(buf, static_cast<std::uint32_t>(sorted.size()));
+    for (const std::uint32_t v : sorted) put(buf, v);
+}
+
+bool take_set(Reader& r, std::unordered_set<std::uint32_t>* set) {
+    std::uint32_t n = 0;
+    if (!r.take(&n)) return false;
+    set->reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t v = 0;
+        if (!r.take(&v)) return false;
+        set->insert(v);
+    }
+    return true;
+}
+
+}  // namespace
+
+void ServiceAggregates::add(const std::string& stream,
+                            const capture::FlowRecord& r) {
+    auto it = streams_.find(stream);
+    if (it == streams_.end()) {
+        it = streams_.emplace(stream, Stream(gap_)).first;
+    }
+    it->second.summary.add(r);
+    it->second.sessions.add(r);
+    preference_.add(r);
+}
+
+std::uint64_t ServiceAggregates::total_flows() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& [name, stream] : streams_) total += stream.summary.flows;
+    return total;
+}
+
+std::string ServiceAggregates::render() const {
+    std::ostringstream os;
+    os << "# ytcdnd incremental aggregates\n";
+    os << "streams " << streams_.size() << "\n";
+    os << "flows_total " << total_flows() << "\n\n";
+
+    analysis::AsciiTable table1({"stream", "flows", "video flows",
+                                 "volume GB", "servers", "server /24s",
+                                 "clients"});
+    for (const auto& [name, stream] : streams_) {
+        const auto& s = stream.summary;
+        table1.add_row({name, std::to_string(s.flows),
+                        std::to_string(s.video_flows),
+                        analysis::fmt(s.volume_gb(), 3),
+                        std::to_string(s.servers.size()),
+                        std::to_string(s.server_slash24s.size()),
+                        std::to_string(s.clients.size())});
+    }
+    os << "== Table I (incremental): per-stream traffic summary ==\n"
+       << table1.render() << '\n';
+
+    analysis::AsciiTable sessions_table(
+        {"stream", "sessions", "multi-flow %", "1", "2", "3", "4", "5", "6",
+         "7", "8+"});
+    for (const auto& [name, stream] : streams_) {
+        // Close on a copy: rendering shows "sessions as if the stream ended
+        // now" without mutating the live gap state.
+        analysis::IncrementalSessions closed = stream.sessions;
+        closed.close_all();
+        const std::uint64_t total = closed.sessions_closed();
+        std::vector<std::string> row{
+            name, std::to_string(total),
+            total == 0 ? analysis::fmt_pct(0.0)
+                       : analysis::fmt_pct(
+                             static_cast<double>(closed.multi_flow_sessions()) /
+                             static_cast<double>(total))};
+        for (std::size_t k = 1; k <= analysis::IncrementalSessions::kMaxBucket;
+             ++k) {
+            row.push_back(std::to_string(closed.histogram()[k]));
+        }
+        sessions_table.add_row(std::move(row));
+    }
+    os << "== Section VI (incremental): flows per video session (gap T="
+       << analysis::fmt(gap_, 2) << "s) ==\n"
+       << sessions_table.render() << '\n';
+
+    os << "== Section VII (incremental): preferred data center (policy: "
+       << preference_.policy() << ") ==\n";
+    if (!preference_.has_map()) {
+        os << "no dc map installed\n";
+    } else {
+        analysis::AsciiTable dc_table({"data center", "rtt ms", "drained",
+                                       "scale", "flows", "GB"});
+        const auto& map = preference_.map();
+        for (std::size_t i = 0; i < preference_.dcs().size(); ++i) {
+            const auto& dc = preference_.dcs()[i];
+            const auto& info = map.info(static_cast<int>(i));
+            dc_table.add_row({info.name, analysis::fmt(info.rtt_ms, 1),
+                              dc.drained ? "yes" : "no",
+                              analysis::fmt(dc.scale, 2),
+                              std::to_string(dc.flows),
+                              analysis::fmt(static_cast<double>(dc.bytes) / 1e9,
+                                            3)});
+        }
+        os << dc_table.render();
+        const int preferred = preference_.preferred_dc();
+        os << "preferred_dc "
+           << (preferred < 0 ? std::string("-") : map.info(preferred).name)
+           << '\n';
+        os << "mapped_flows " << preference_.mapped_flows << '\n';
+        os << "unmapped_flows " << preference_.unmapped_flows << '\n';
+        os << "non_preferred_flows " << preference_.non_preferred_flows
+           << " (" << analysis::fmt_pct(preference_.non_preferred_flow_share())
+           << "%)\n";
+    }
+    return os.str();
+}
+
+std::string ServiceAggregates::encode() const {
+    std::string buf;
+    put(buf, kAggregatesVersion);
+    put_f64(buf, gap_);
+
+    put_str32(buf, preference_.policy());
+    put(buf, static_cast<std::uint8_t>(preference_.has_map() ? 1 : 0));
+    if (preference_.has_map()) {
+        std::ostringstream map_text;
+        analysis::write_dc_map(map_text, preference_.map());
+        put_str32(buf, map_text.str());
+        put(buf, static_cast<std::uint32_t>(preference_.dcs().size()));
+        for (const auto& dc : preference_.dcs()) {
+            put(buf, static_cast<std::uint8_t>(dc.drained ? 1 : 0));
+            put_f64(buf, dc.scale);
+            put(buf, dc.flows);
+            put(buf, dc.bytes);
+        }
+    }
+    put(buf, preference_.mapped_flows);
+    put(buf, preference_.unmapped_flows);
+    put(buf, preference_.preferred_flows);
+    put(buf, preference_.non_preferred_flows);
+    put(buf, preference_.preferred_bytes);
+    put(buf, preference_.non_preferred_bytes);
+
+    put(buf, static_cast<std::uint32_t>(streams_.size()));
+    for (const auto& [name, stream] : streams_) {
+        put_str32(buf, name);
+        const auto& s = stream.summary;
+        put(buf, s.flows);
+        put(buf, s.video_flows);
+        put(buf, s.bytes);
+        put_sorted_set(buf, s.servers);
+        put_sorted_set(buf, s.clients);
+        put_sorted_set(buf, s.server_slash24s);
+
+        const auto& sessions = stream.sessions;
+        put_f64(buf, sessions.watermark());
+        for (std::size_t k = 1;
+             k <= analysis::IncrementalSessions::kMaxBucket; ++k) {
+            put(buf, sessions.histogram()[k]);
+        }
+        put(buf, static_cast<std::uint32_t>(sessions.open().size()));
+        for (const auto& [key, open] : sessions.open()) {
+            put(buf, key.first);
+            put(buf, key.second);
+            put_f64(buf, open.last_end);
+            put(buf, open.flows);
+        }
+    }
+    return buf;
+}
+
+util::Result<ServiceAggregates> ServiceAggregates::decode(
+    std::string_view payload) {
+    Reader r(payload);
+    std::uint32_t version = 0;
+    if (!r.take(&version)) return r.truncated();
+    if (version != kAggregatesVersion) {
+        return Error(ErrorCode::UnsupportedVersion,
+                     "service aggregates payload version " +
+                         std::to_string(version));
+    }
+    double gap = 0.0;
+    if (!r.take_f64(&gap)) return r.truncated();
+    ServiceAggregates out(gap);
+
+    std::string policy;
+    if (!r.take_str32(&policy)) return r.truncated();
+    std::uint8_t has_map = 0;
+    if (!r.take(&has_map)) return r.truncated();
+    if (has_map != 0) {
+        std::string map_text;
+        if (!r.take_str32(&map_text)) return r.truncated();
+        try {
+            std::istringstream is(map_text);
+            out.preference_.set_map(analysis::read_dc_map(is));
+        } catch (const std::exception& e) {
+            return Error(ErrorCode::BadField,
+                         std::string("service aggregates dc map: ") +
+                             e.what());
+        }
+        std::uint32_t ndc = 0;
+        if (!r.take(&ndc)) return r.truncated();
+        if (ndc != out.preference_.dcs().size()) {
+            return Error(ErrorCode::CountMismatch,
+                         "service aggregates: dc state count " +
+                             std::to_string(ndc) + " != map's " +
+                             std::to_string(out.preference_.dcs().size()));
+        }
+        for (auto& dc : out.preference_.mutable_dcs()) {
+            std::uint8_t drained = 0;
+            if (!r.take(&drained) || !r.take_f64(&dc.scale) ||
+                !r.take(&dc.flows) || !r.take(&dc.bytes)) {
+                return r.truncated();
+            }
+            dc.drained = drained != 0;
+        }
+    }
+    if (!out.preference_.set_policy(policy)) {
+        return Error(ErrorCode::BadField,
+                     "service aggregates: unknown policy '" + policy + "'");
+    }
+    if (!r.take(&out.preference_.mapped_flows) ||
+        !r.take(&out.preference_.unmapped_flows) ||
+        !r.take(&out.preference_.preferred_flows) ||
+        !r.take(&out.preference_.non_preferred_flows) ||
+        !r.take(&out.preference_.preferred_bytes) ||
+        !r.take(&out.preference_.non_preferred_bytes)) {
+        return r.truncated();
+    }
+
+    std::uint32_t nstreams = 0;
+    if (!r.take(&nstreams)) return r.truncated();
+    for (std::uint32_t i = 0; i < nstreams; ++i) {
+        std::string name;
+        if (!r.take_str32(&name)) return r.truncated();
+        auto [it, inserted] = out.streams_.emplace(name, Stream(gap));
+        if (!inserted) {
+            return Error(ErrorCode::BadField,
+                         "service aggregates: duplicate stream '" + name +
+                             "'");
+        }
+        auto& s = it->second.summary;
+        if (!r.take(&s.flows) || !r.take(&s.video_flows) || !r.take(&s.bytes) ||
+            !take_set(r, &s.servers) || !take_set(r, &s.clients) ||
+            !take_set(r, &s.server_slash24s)) {
+            return r.truncated();
+        }
+
+        auto& sessions = it->second.sessions;
+        double watermark = 0.0;
+        if (!r.take_f64(&watermark)) return r.truncated();
+        sessions.set_watermark(watermark);
+        for (std::size_t k = 1;
+             k <= analysis::IncrementalSessions::kMaxBucket; ++k) {
+            std::uint64_t count = 0;
+            if (!r.take(&count)) return r.truncated();
+            sessions.restore_closed(k, count);
+        }
+        std::uint32_t nopen = 0;
+        if (!r.take(&nopen)) return r.truncated();
+        for (std::uint32_t j = 0; j < nopen; ++j) {
+            std::uint32_t client = 0;
+            std::uint64_t video = 0;
+            analysis::IncrementalSessions::OpenSession open;
+            if (!r.take(&client) || !r.take(&video) ||
+                !r.take_f64(&open.last_end) || !r.take(&open.flows)) {
+                return r.truncated();
+            }
+            sessions.restore_open({client, video}, open);
+        }
+    }
+    if (!r.done()) {
+        return Error(ErrorCode::CountMismatch,
+                     "service aggregates: trailing bytes after payload");
+    }
+    return out;
+}
+
+}  // namespace ytcdn::service

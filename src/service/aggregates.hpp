@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "analysis/incremental.hpp"
+#include "capture/flow_record.hpp"
+#include "util/error.hpp"
+
+namespace ytcdn::service {
+
+/// The daemon's live analysis state: per-stream Table I / Section VI
+/// incremental aggregates plus the shared Section VII preferred-DC
+/// accounting, rendered on demand and encoded into the YCK1 service
+/// checkpoint. Streams are keyed in a std::map so render() and encode()
+/// are byte-deterministic regardless of arrival interleaving.
+class ServiceAggregates {
+public:
+    explicit ServiceAggregates(double gap_T_s = 1.0) : gap_(gap_T_s) {}
+
+    struct Stream {
+        analysis::IncrementalSummary summary;
+        analysis::IncrementalSessions sessions;
+        explicit Stream(double gap_T_s = 1.0) : sessions(gap_T_s) {}
+    };
+
+    void add(const std::string& stream, const capture::FlowRecord& r);
+
+    [[nodiscard]] double gap() const noexcept { return gap_; }
+    [[nodiscard]] const std::map<std::string, Stream>& streams()
+        const noexcept {
+        return streams_;
+    }
+    [[nodiscard]] analysis::IncrementalPreference& preference() noexcept {
+        return preference_;
+    }
+    [[nodiscard]] const analysis::IncrementalPreference& preference()
+        const noexcept {
+        return preference_;
+    }
+    [[nodiscard]] std::uint64_t total_flows() const noexcept;
+
+    /// Deterministic on-demand rendering (the `render` control command and
+    /// the shutdown aggregates.txt). Open sessions are closed on a copy, so
+    /// rendering is side-effect-free and shows "sessions as if every stream
+    /// ended now".
+    [[nodiscard]] std::string render() const;
+
+    /// YCK1 service-checkpoint payload section. Doubles are stored as raw
+    /// IEEE-754 bits and unordered sets sorted before encoding, so a
+    /// resumed daemon is bit-identical to an uninterrupted one.
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static util::Result<ServiceAggregates> decode(
+        std::string_view payload);
+
+private:
+    double gap_;
+    std::map<std::string, Stream> streams_;
+    analysis::IncrementalPreference preference_;
+};
+
+}  // namespace ytcdn::service

@@ -1,0 +1,706 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "service/control.hpp"
+#include "service/spool.hpp"
+#include "study/checkpoint.hpp"
+#include "util/crc32.hpp"
+#include "util/io.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace ytcdn::service {
+
+namespace {
+
+struct ServiceMetrics {
+    util::metrics::Counter files_ingested =
+        util::metrics::counter("service.files_ingested");
+    util::metrics::Counter records_ingested =
+        util::metrics::counter("service.records_ingested");
+    util::metrics::Counter files_quarantined =
+        util::metrics::counter("service.files_quarantined");
+    util::metrics::Counter batches_shed =
+        util::metrics::counter("service.batches_shed");
+    util::metrics::Counter records_shed =
+        util::metrics::counter("service.records_shed");
+    util::metrics::Counter control_commands =
+        util::metrics::counter("service.control_commands");
+    util::metrics::Counter control_errors =
+        util::metrics::counter("service.control_errors");
+    util::metrics::Counter checkpoints_written =
+        util::metrics::counter("service.checkpoints_written");
+    util::metrics::Counter ticks =
+        util::metrics::counter("service.ticks");
+    util::metrics::Gauge queue_peak =
+        util::metrics::gauge("service.queue_peak_batches");
+};
+
+ServiceMetrics& service_metrics() {
+    static ServiceMetrics metrics;
+    return metrics;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t bits_of(double v) {
+    std::uint64_t out = 0;
+    std::memcpy(&out, &v, sizeof(out));
+    return out;
+}
+
+std::string hex(std::uint64_t v, int digits) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(static_cast<std::size_t>(digits), '0');
+    for (int i = digits - 1; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+        v >>= 4;
+    }
+    return out;
+}
+
+/// Every option that shapes aggregate bytes; mutable scenario state
+/// (policy, drains, fault plans) is deliberately excluded — it is part of
+/// the checkpointed state, not the key.
+std::uint64_t fingerprint_of(const ServiceOptions& options) {
+    std::uint64_t h = mix64(0x79'74'63'64'6Eull);  // "ytcdn" salt
+    const auto fold = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+    fold(bits_of(options.gap_T_s));
+    fold(options.queue_capacity);
+    fold(options.batch_records);
+    return h;
+}
+
+// --- composite checkpoint payload -------------------------------------------
+//
+// aggregates section (ServiceAggregates codec) + processed-file ledger +
+// shed log + control-mutation history + totals. Same conventions as the
+// aggregates codec: little-endian, u32-length strings.
+
+template <typename T>
+void put(std::string& buf, T value) {
+    char raw[sizeof(T)];
+    std::memcpy(raw, &value, sizeof(T));
+    buf.append(raw, sizeof(T));
+}
+
+void put_str32(std::string& buf, std::string_view s) {
+    put(buf, static_cast<std::uint32_t>(s.size()));
+    buf.append(s);
+}
+
+class Reader {
+public:
+    explicit Reader(std::string_view data) : data_(data) {}
+
+    template <typename T>
+    bool take(T* out) {
+        if (data_.size() - off_ < sizeof(T)) return false;
+        std::memcpy(out, data_.data() + off_, sizeof(T));
+        off_ += sizeof(T);
+        return true;
+    }
+
+    bool take_str32(std::string* out) {
+        std::uint32_t n = 0;
+        if (!take(&n)) return false;
+        if (data_.size() - off_ < n) return false;
+        out->assign(data_.substr(off_, n));
+        off_ += n;
+        return true;
+    }
+
+    [[nodiscard]] bool done() const noexcept { return off_ == data_.size(); }
+
+    [[nodiscard]] Error truncated() const {
+        return Error(ErrorCode::Truncated,
+                     "service checkpoint payload truncated at byte " +
+                         std::to_string(off_));
+    }
+
+private:
+    std::string_view data_;
+    std::size_t off_ = 0;
+};
+
+struct ServiceState {
+    ServiceAggregates aggregates{1.0};
+    std::vector<ProcessedFile> ledger;
+    std::vector<ShedRecord> shed_log;
+    std::vector<std::string> mutations;  // applied control mutations, in order
+    std::uint64_t files_ingested = 0;
+    std::uint64_t records_ingested = 0;
+};
+
+std::string encode_state(const ServiceState& state) {
+    std::string buf;
+    put_str32(buf, state.aggregates.encode());
+    put(buf, static_cast<std::uint32_t>(state.ledger.size()));
+    for (const auto& entry : state.ledger) {
+        put_str32(buf, entry.name);
+        put(buf, entry.size);
+        put(buf, entry.crc);
+        put(buf, entry.records);
+        put(buf, entry.batches);
+        put(buf, entry.shed_batches);
+        put_str32(buf, entry.status);
+    }
+    put(buf, static_cast<std::uint32_t>(state.shed_log.size()));
+    for (const auto& shed : state.shed_log) {
+        put_str32(buf, shed.file);
+        put(buf, shed.batch);
+        put(buf, shed.records);
+    }
+    put(buf, static_cast<std::uint32_t>(state.mutations.size()));
+    for (const auto& mutation : state.mutations) put_str32(buf, mutation);
+    put(buf, state.files_ingested);
+    put(buf, state.records_ingested);
+    return buf;
+}
+
+util::Result<ServiceState> decode_state(std::string_view payload) {
+    Reader r(payload);
+    ServiceState state;
+    std::string aggregates_payload;
+    if (!r.take_str32(&aggregates_payload)) return r.truncated();
+    auto aggregates = ServiceAggregates::decode(aggregates_payload);
+    if (!aggregates) {
+        return std::move(aggregates).context("service checkpoint").error();
+    }
+    state.aggregates = std::move(aggregates).value();
+
+    std::uint32_t n = 0;
+    if (!r.take(&n)) return r.truncated();
+    state.ledger.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        ProcessedFile entry;
+        if (!r.take_str32(&entry.name) || !r.take(&entry.size) ||
+            !r.take(&entry.crc) || !r.take(&entry.records) ||
+            !r.take(&entry.batches) || !r.take(&entry.shed_batches) ||
+            !r.take_str32(&entry.status)) {
+            return r.truncated();
+        }
+        state.ledger.push_back(std::move(entry));
+    }
+    if (!r.take(&n)) return r.truncated();
+    state.shed_log.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        ShedRecord shed;
+        if (!r.take_str32(&shed.file) || !r.take(&shed.batch) ||
+            !r.take(&shed.records)) {
+            return r.truncated();
+        }
+        state.shed_log.push_back(std::move(shed));
+    }
+    if (!r.take(&n)) return r.truncated();
+    state.mutations.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::string mutation;
+        if (!r.take_str32(&mutation)) return r.truncated();
+        state.mutations.push_back(std::move(mutation));
+    }
+    if (!r.take(&state.files_ingested) || !r.take(&state.records_ingested)) {
+        return r.truncated();
+    }
+    if (!r.done()) {
+        return Error(ErrorCode::CountMismatch,
+                     "service checkpoint: trailing bytes after payload");
+    }
+    return state;
+}
+
+/// Deterministic: no wall times, no RSS, no pids — two daemons that took
+/// the same ingest path render the same manifest bytes.
+std::string render_service_manifest(std::uint64_t fingerprint,
+                                    const ServiceOptions& options,
+                                    const ServiceState& state,
+                                    std::string_view status) {
+    std::ostringstream os;
+    os << "# ytcdnd service manifest\n";
+    os << "manifest_version 1\n";
+    os << "fingerprint " << hex(fingerprint, 16) << '\n';
+    os << "gap_s " << state.aggregates.gap() << '\n';
+    os << "queue_capacity " << options.queue_capacity << '\n';
+    os << "batch_records " << options.batch_records << '\n';
+    for (const auto& entry : state.ledger) {
+        os << "file " << entry.name << " size=" << entry.size << " crc="
+           << hex(entry.crc, 8) << " records=" << entry.records
+           << " batches=" << entry.batches << " shed=" << entry.shed_batches
+           << " status=" << entry.status << '\n';
+    }
+    for (const auto& shed : state.shed_log) {
+        os << "shed file=" << shed.file << " batch=" << shed.batch
+           << " records=" << shed.records << '\n';
+    }
+    for (const auto& mutation : state.mutations) {
+        os << "control " << mutation << '\n';
+    }
+    std::uint64_t shed_records = 0;
+    for (const auto& shed : state.shed_log) shed_records += shed.records;
+    os << "files_total " << state.files_ingested << '\n';
+    os << "records_total " << state.records_ingested << '\n';
+    os << "shed_batches_total " << state.shed_log.size() << '\n';
+    os << "shed_records_total " << shed_records << '\n';
+    os << "status " << status << '\n';
+    return os.str();
+}
+
+struct ParsedFile {
+    SpoolFile file;
+    std::vector<capture::FlowRecord> records;
+    std::uint32_t crc = 0;
+    std::uint64_t size = 0;
+    bool ok = false;
+    std::string error;
+};
+
+}  // namespace
+
+void request_stop() noexcept { g_stop = 1; }
+bool stop_requested() noexcept { return g_stop != 0; }
+void clear_stop() noexcept { g_stop = 0; }
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)), fingerprint_(fingerprint_of(options_)) {}
+
+util::Result<ServiceReport> Service::run() {
+    namespace io = util::io;
+    if (options_.spool_dir.empty() || options_.run_dir.empty()) {
+        return Error(ErrorCode::InvalidArgument,
+                     "ytcdnd: --spool and --out directories must be set");
+    }
+    if (options_.batch_records == 0) options_.batch_records = 1;
+    auto& metrics = service_metrics();
+
+    std::error_code ec;
+    std::filesystem::create_directories(options_.spool_dir, ec);
+    std::filesystem::create_directories(options_.run_dir / "checkpoints", ec);
+    if (ec) {
+        return Error(ErrorCode::Io, "ytcdnd: cannot create run directory " +
+                                        options_.run_dir.string());
+    }
+
+    ServiceReport report;
+    report.manifest_path = options_.run_dir / "service_manifest.txt";
+    report.aggregates_path = options_.run_dir / "aggregates.txt";
+    const auto warn = [&](std::string message) {
+        if (options_.log) *options_.log << "[ytcdnd] " << message << '\n';
+        report.warnings.push_back(std::move(message));
+    };
+    const auto note = [&](const std::string& message) {
+        if (options_.log) *options_.log << "[ytcdnd] " << message << '\n';
+    };
+
+    const std::filesystem::path checkpoint_file =
+        study::checkpoint_path(options_.run_dir, study::Stage::Service);
+
+    ServiceState state;
+    state.aggregates = ServiceAggregates(options_.gap_T_s);
+    if (options_.resume) {
+        std::string warning;
+        auto payload = study::load_or_quarantine_checkpoint(
+            checkpoint_file, fingerprint_, study::Stage::Service, &warning);
+        if (!warning.empty()) warn(warning);
+        if (payload) {
+            auto decoded = decode_state(*payload);
+            if (decoded) {
+                state = std::move(decoded).value();
+                note("resumed from checkpoint: " +
+                     std::to_string(state.ledger.size()) + " files, " +
+                     std::to_string(state.records_ingested) + " records");
+            } else {
+                warn(std::string("service checkpoint payload rejected (") +
+                     decoded.error().what() + "); starting cold");
+            }
+        }
+    }
+
+    const auto write_state = [&](std::string_view status) {
+        auto written = study::write_checkpoint(checkpoint_file, fingerprint_,
+                                               study::Stage::Service,
+                                               encode_state(state));
+        if (!written) {
+            warn(std::string("service checkpoint not written: ") +
+                 written.error().what());
+        } else {
+            metrics.checkpoints_written.inc();
+        }
+        auto manifest = io::write_file_atomic(
+            report.manifest_path,
+            render_service_manifest(fingerprint_, options_, state, status));
+        if (!manifest) {
+            warn(std::string("service manifest not written: ") +
+                 manifest.error().what());
+        }
+    };
+
+    // The vantage point's server->DC map: the first *.dcmap in the spool,
+    // unless a resumed checkpoint already carries one.
+    const auto try_install_dc_map = [&] {
+        if (state.aggregates.preference().has_map()) return;
+        const auto maps = scan_dc_maps(options_.spool_dir);
+        if (maps.empty()) return;
+        auto bytes = io::read_file(maps.front().path);
+        if (!bytes) {
+            warn("dc map " + maps.front().name +
+                 " unreadable: " + bytes.error().what());
+            return;
+        }
+        try {
+            std::istringstream is(std::move(bytes).value());
+            state.aggregates.preference().set_map(analysis::read_dc_map(is));
+            note("dc map installed from " + maps.front().name);
+        } catch (const std::exception& e) {
+            warn("dc map " + maps.front().name + " rejected: " + e.what());
+        }
+    };
+    try_install_dc_map();
+
+    io::UnixServerSocket socket;
+    if (!options_.socket_path.empty()) {
+        auto listening = io::UnixServerSocket::listen(options_.socket_path);
+        if (listening) {
+            socket = std::move(listening).value();
+            note("control socket listening at " +
+                 options_.socket_path.string());
+        } else {
+            // Degraded, not fatal: the daemon still ingests; only live
+            // control is unavailable.
+            warn(std::string("control socket unavailable: ") +
+                 listening.error().what());
+        }
+    }
+
+    IngestQueue queue(options_.queue_capacity);
+    std::size_t shed_seen = 0;        // queue.shed() entries already merged
+    std::size_t files_since_ckpt = 0;
+    util::ThreadPool pool(options_.threads);
+    bool stop = false;
+
+    // One control connection, one command, one reply. Chaos faults on the
+    // socket ops surface as warnings and a dropped connection — the loop
+    // itself must survive anything the plan injects.
+    const auto serve_connection = [&](int fd) {
+        auto line = io::read_line_fd(fd, 1000);
+        if (!line) {
+            metrics.control_errors.inc();
+            warn(std::string("control read failed: ") + line.error().what());
+            io::close_fd(fd);
+            return;
+        }
+        metrics.control_commands.inc();
+        const ControlCommand cmd = parse_control_line(line.value());
+        std::string response;
+        const auto mutate = [&](const std::string& text) {
+            state.mutations.push_back(text);
+            note("control mutation: " + text);
+        };
+        switch (cmd.verb) {
+            case ControlVerb::Ping: response = "ok pong\n"; break;
+            case ControlVerb::Stats:
+                response = "ok\n" +
+                           util::metrics::Registry::global().snapshot().render();
+                break;
+            case ControlVerb::Render:
+                response = "ok\n" + state.aggregates.render();
+                break;
+            case ControlVerb::Snapshot:
+                write_state("running");
+                response = "ok checkpoint " + checkpoint_file.string() + "\n";
+                break;
+            case ControlVerb::Shutdown:
+                stop = true;
+                response = "ok shutting down\n";
+                break;
+            case ControlVerb::Faults: {
+                std::string spec = cmd.args[0];
+                std::replace(spec.begin(), spec.end(), ';', '\n');
+                auto plan = io::FaultPlan::parse(spec);
+                if (plan) {
+                    io::set_fault_plan(std::make_shared<io::FaultPlan>(
+                        std::move(plan).value()));
+                    mutate("faults " + cmd.args[0]);
+                    response = "ok faults installed\n";
+                } else {
+                    response = std::string("err ") + plan.error().what() + "\n";
+                }
+                break;
+            }
+            case ControlVerb::FaultsClear:
+                io::set_fault_plan(nullptr);
+                mutate("faults clear");
+                response = "ok faults cleared\n";
+                break;
+            case ControlVerb::DnsPolicy:
+                if (state.aggregates.preference().set_policy(cmd.args[0])) {
+                    mutate("dns-policy " + cmd.args[0]);
+                    response = "ok policy " + cmd.args[0] + "\n";
+                } else {
+                    response = "err unknown policy '" + cmd.args[0] + "'\n";
+                }
+                break;
+            case ControlVerb::Drain:
+            case ControlVerb::Undrain: {
+                const bool drained = cmd.verb == ControlVerb::Drain;
+                if (state.aggregates.preference().set_drained(cmd.args[0],
+                                                              drained)) {
+                    mutate((drained ? "drain " : "undrain ") + cmd.args[0]);
+                    response = "ok\n";
+                } else {
+                    response =
+                        "err unknown data center '" + cmd.args[0] + "'\n";
+                }
+                break;
+            }
+            case ControlVerb::Scale: {
+                char* end = nullptr;
+                const double factor = std::strtod(cmd.args[1].c_str(), &end);
+                if (end == cmd.args[1].c_str() ||
+                    !state.aggregates.preference().set_scale(cmd.args[0],
+                                                             factor)) {
+                    response = "err unknown data center or bad factor\n";
+                } else {
+                    mutate("scale " + cmd.args[0] + " " + cmd.args[1]);
+                    response = "ok\n";
+                }
+                break;
+            }
+            case ControlVerb::Unknown:
+                metrics.control_errors.inc();
+                response = "err " + cmd.error + "\n";
+                break;
+        }
+        if (auto written = io::write_fd_all(fd, response); !written) {
+            warn(std::string("control reply failed: ") +
+                 written.error().what());
+        }
+        io::close_fd(fd);
+    };
+
+    // Waits one tick for control traffic, then serves everything pending.
+    const auto control_tick = [&] {
+        if (!socket.listening()) {
+            (void)io::poll_readable(-1, options_.tick_ms);
+            return;
+        }
+        int timeout = options_.tick_ms;
+        for (;;) {
+            auto client = socket.accept_ready(timeout);
+            if (!client) {
+                warn(std::string("control accept failed: ") +
+                     client.error().what());
+                return;
+            }
+            if (client.value() < 0) return;  // tick elapsed, nothing pending
+            serve_connection(client.value());
+            timeout = 0;  // drain the backlog without re-waiting
+            if (stop) return;
+        }
+    };
+
+    // Applies one file's already-parsed records through admission control
+    // and the supervised aggregate stage, then updates ledger + metrics.
+    const auto apply_file = [&](ParsedFile& parsed) {
+        ProcessedFile entry;
+        entry.name = parsed.file.name;
+        entry.size = parsed.size;
+        entry.crc = parsed.crc;
+        if (!parsed.ok) {
+            entry.status = "quarantined";
+            metrics.files_quarantined.inc();
+            auto quarantined = io::quarantine_file(parsed.file.path);
+            warn("spool file " + parsed.file.name + " failed to parse (" +
+                 parsed.error + "); " +
+                 (quarantined ? "quarantined as " +
+                                    quarantined.value().filename().string()
+                              : std::string("quarantine also failed: ") +
+                                    quarantined.error().what()));
+            state.ledger.push_back(std::move(entry));
+            state.files_ingested += 1;
+            return;
+        }
+
+        // Admission control: batches beyond the queue's capacity are shed
+        // deterministically (newest first), recorded, never silent.
+        std::uint32_t index = 0;
+        for (std::size_t off = 0; off < parsed.records.size();
+             off += options_.batch_records, ++index) {
+            IngestBatch batch;
+            batch.file = parsed.file.name;
+            batch.index = index;
+            const std::size_t end =
+                std::min(off + options_.batch_records, parsed.records.size());
+            batch.records.assign(parsed.records.begin() +
+                                     static_cast<std::ptrdiff_t>(off),
+                                 parsed.records.begin() +
+                                     static_cast<std::ptrdiff_t>(end));
+            if (queue.push(std::move(batch))) {
+                ++entry.batches;
+            } else {
+                ++entry.shed_batches;
+            }
+        }
+        if (parsed.records.empty()) entry.batches = 0;
+        metrics.queue_peak.update_max(queue.peak_size());
+
+        // Merge new shed decisions into the durable log + metrics.
+        for (; shed_seen < queue.shed().size(); ++shed_seen) {
+            const auto& shed = queue.shed()[shed_seen];
+            metrics.batches_shed.inc();
+            metrics.records_shed.inc(shed.records);
+            warn("shed file=" + shed.file + " batch=" +
+                 std::to_string(shed.batch) + " records=" +
+                 std::to_string(shed.records));
+            state.shed_log.push_back(shed);
+        }
+
+        // The aggregate stage runs under the same watchdog ladder as the
+        // study pipeline: a wedged or throwing stage is retried with
+        // backoff, and a soft deadline overrun is reported, never fatal.
+        const std::string stream = stream_of(parsed.file.name);
+        std::uint64_t applied = 0;
+        const study::StageOutcome outcome = study::run_supervised(
+            "aggregate " + parsed.file.name, options_.policy,
+            [&] {
+                while (!queue.empty()) {
+                    const IngestBatch batch = queue.pop();
+                    for (const auto& record : batch.records) {
+                        state.aggregates.add(stream, record);
+                    }
+                    applied += batch.records.size();
+                }
+            },
+            options_.log);
+        if (outcome.deadline_exceeded) {
+            warn("aggregate stage for " + parsed.file.name +
+                 " exceeded its deadline");
+        }
+        if (!outcome.completed) {
+            warn("aggregate stage for " + parsed.file.name + " failed after " +
+                 std::to_string(outcome.attempts) +
+                 " attempts: " + outcome.error);
+            entry.status = "degraded";
+        } else {
+            entry.status = "ok";
+        }
+        entry.records = applied;
+        state.ledger.push_back(std::move(entry));
+        state.files_ingested += 1;
+        state.records_ingested += applied;
+        metrics.files_ingested.inc();
+        metrics.records_ingested.inc(applied);
+        parsed.records.clear();
+        parsed.records.shrink_to_fit();
+    };
+
+    const auto ingest_new_files = [&]() -> std::size_t {
+        auto files = scan_spool(options_.spool_dir);
+        files.erase(std::remove_if(files.begin(), files.end(),
+                                   [&](const SpoolFile& f) {
+                                       for (const auto& entry : state.ledger) {
+                                           if (entry.name == f.name) {
+                                               return true;
+                                           }
+                                       }
+                                       return false;
+                                   }),
+                    files.end());
+        if (files.empty()) return 0;
+        try_install_dc_map();
+
+        // Parse fans out on the deterministic pool (with the supervised
+        // retry ladder inside each task); application stays in name order,
+        // so aggregates are byte-identical at any pool size.
+        std::vector<ParsedFile> parsed = util::parallel_map(
+            pool, files, [&](const SpoolFile& file) {
+                ParsedFile out;
+                out.file = file;
+                const study::StageOutcome outcome = study::run_supervised(
+                    "parse " + file.name, options_.policy,
+                    [&] {
+                        auto bytes = io::read_file(file.path);
+                        if (!bytes) throw bytes.error();
+                        out.size = bytes.value().size();
+                        out.crc = util::crc32(bytes.value());
+                        auto records = read_spool_file(file.path);
+                        if (!records) throw records.error();
+                        out.records = std::move(records).value();
+                    },
+                    nullptr);
+                out.ok = outcome.completed;
+                out.error = outcome.error;
+                return out;
+            });
+
+        for (auto& pf : parsed) {
+            apply_file(pf);
+            ++files_since_ckpt;
+            if (options_.checkpoint_every != 0 &&
+                files_since_ckpt >= options_.checkpoint_every) {
+                write_state("running");
+                files_since_ckpt = 0;
+            }
+            if (stop_requested()) break;  // quiesce promptly mid-batch
+        }
+        return parsed.size();
+    };
+
+    write_state("running");
+    note("ingest loop started (spool " + options_.spool_dir.string() + ")");
+
+    while (!stop && !stop_requested()) {
+        metrics.ticks.inc();
+        control_tick();
+        if (stop || stop_requested()) break;
+        const std::size_t ingested = ingest_new_files();
+        if (options_.once && ingested == 0) break;
+    }
+
+    // Graceful quiesce: no new admissions; drain whatever is queued (only
+    // non-empty when a stop interrupted apply_file mid-ladder), flush the
+    // checkpoint, render the final aggregates.
+    while (!queue.empty()) {
+        const IngestBatch batch = queue.pop();
+        const std::string stream = stream_of(batch.file);
+        for (const auto& record : batch.records) {
+            state.aggregates.add(stream, record);
+        }
+        state.records_ingested += batch.records.size();
+        metrics.records_ingested.inc(batch.records.size());
+    }
+    write_state("shutdown");
+    if (auto rendered = io::write_file_atomic(report.aggregates_path,
+                                              state.aggregates.render());
+        !rendered) {
+        warn(std::string("aggregates.txt not written: ") +
+             rendered.error().what());
+    }
+    socket.close();
+
+    report.files_ingested = state.files_ingested;
+    report.records_ingested = state.records_ingested;
+    report.batches_shed = state.shed_log.size();
+    for (const auto& shed : state.shed_log) {
+        report.records_shed += shed.records;
+    }
+    report.clean_shutdown = true;
+    note("shutdown complete: " + std::to_string(report.files_ingested) +
+         " files, " + std::to_string(report.records_ingested) + " records");
+    return report;
+}
+
+}  // namespace ytcdn::service

@@ -1,0 +1,111 @@
+#include "service/spool.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "capture/binary_log.hpp"
+#include "util/io.hpp"
+
+namespace ytcdn::service {
+
+namespace {
+
+bool has_suffix(const std::string& name, std::string_view suffix) {
+    return name.size() > suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+bool is_ingestible_name(const std::string& name) {
+    if (name.empty() || name.front() == '.') return false;
+    if (has_suffix(name, ".tmp")) return false;
+    if (name.find(".corrupt.") != std::string::npos) return false;
+    return true;
+}
+
+std::vector<SpoolFile> scan_with_suffixes(
+    const std::filesystem::path& dir,
+    const std::vector<std::string_view>& suffixes) {
+    std::vector<SpoolFile> out;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file(ec)) continue;
+        const std::string name = entry.path().filename().string();
+        if (!is_ingestible_name(name)) continue;
+        bool matches = false;
+        for (const auto suffix : suffixes) {
+            if (has_suffix(name, suffix)) {
+                matches = true;
+                break;
+            }
+        }
+        if (!matches) continue;
+        SpoolFile file;
+        file.path = entry.path();
+        file.name = name;
+        file.size = entry.file_size(ec);
+        out.push_back(std::move(file));
+    }
+    // Directory iteration order is filesystem-dependent; the sort makes the
+    // replay order (and therefore every aggregate) deterministic.
+    std::sort(out.begin(), out.end(),
+              [](const SpoolFile& a, const SpoolFile& b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+}  // namespace
+
+std::vector<SpoolFile> scan_spool(const std::filesystem::path& dir) {
+    return scan_with_suffixes(dir, {".yfl", ".tsv"});
+}
+
+std::vector<SpoolFile> scan_dc_maps(const std::filesystem::path& dir) {
+    return scan_with_suffixes(dir, {".dcmap"});
+}
+
+util::Result<std::vector<capture::FlowRecord>> read_spool_file(
+    const std::filesystem::path& path) {
+    auto bytes = util::io::read_file(path);
+    if (!bytes) {
+        return std::move(bytes).context("spool " + path.string()).error();
+    }
+    const std::string name = path.filename().string();
+    if (has_suffix(name, ".yfl")) {
+        std::istringstream is(std::move(bytes).value());
+        return capture::read_binary_log_result(is);
+    }
+    std::vector<capture::FlowRecord> records;
+    std::istringstream is(std::move(bytes).value());
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line.front() == '#') continue;
+        auto record = capture::FlowRecord::from_tsv(line);
+        if (!record) {
+            return error_at_line(ErrorCode::Parse,
+                                 "spool " + path.string() +
+                                     ": malformed flow line",
+                                 line_no);
+        }
+        records.push_back(*record);
+    }
+    return records;
+}
+
+std::string stream_of(const std::string& name) {
+    const std::size_t dot = name.find('.');
+    std::string stem = dot == std::string::npos ? name : name.substr(0, dot);
+    const std::size_t dash = stem.rfind('-');
+    if (dash != std::string::npos && dash + 1 < stem.size()) {
+        const std::string_view tail = std::string_view(stem).substr(dash + 1);
+        if (tail.find_first_not_of("0123456789") == std::string_view::npos) {
+            stem.resize(dash);
+        }
+    }
+    return stem;
+}
+
+}  // namespace ytcdn::service

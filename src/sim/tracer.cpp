@@ -416,6 +416,171 @@ util::Result<TraceLog> read_trace_file(const std::filesystem::path& path) {
         .context("trace " + path.string());
 }
 
+util::Result<TraceSalvage> salvage_trace_bytes(std::string_view data) {
+    // Header and string table: strict, same checks as read_trace_bytes —
+    // except the count-vs-stream-size sanity check, which a torn tail
+    // legitimately violates (the header promises events the tail lost).
+    if (data.size() < kHeaderSize) {
+        return Error(ErrorCode::Truncated, "truncated trace header (" +
+                                               std::to_string(data.size()) +
+                                               " bytes)");
+    }
+    if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+        return Error(ErrorCode::BadMagic, "not a YTR1 trace stream");
+    }
+    const char* p = data.data() + sizeof(kMagic);
+    const auto version = take<std::uint32_t>(p);
+    const auto count = take<std::uint64_t>(p);
+    if (take<std::uint32_t>(p) != util::crc32(data.substr(0, kHeaderSize - 4))) {
+        return error_at_byte(ErrorCode::ChecksumMismatch, "header CRC mismatch",
+                             kHeaderSize - 4);
+    }
+    if (version != kVersion) {
+        return Error(ErrorCode::UnsupportedVersion,
+                     "trace version " + std::to_string(version) +
+                         " (reader supports " + std::to_string(kVersion) + ")");
+    }
+    // A tear removes tail bytes; it cannot inflate the header's count. An
+    // absurd count (the CRC-valid overflow fixture) is corruption.
+    if (count > (std::uint64_t{1} << 40)) {
+        return Error(ErrorCode::CountMismatch,
+                     "declared event count " + std::to_string(count) +
+                         " is implausible");
+    }
+
+    std::size_t offset = kHeaderSize;
+    if (data.size() - offset < kStringsHeaderSize) {
+        return error_at_byte(ErrorCode::Truncated, "truncated string table",
+                             offset);
+    }
+    p = data.data() + offset;
+    const auto string_count = take<std::uint32_t>(p);
+    const auto string_bytes = take<std::uint32_t>(p);
+    const auto string_crc = take<std::uint32_t>(p);
+    offset += kStringsHeaderSize;
+    if (string_bytes > kMaxStringBytes ||
+        string_bytes > data.size() - offset ||
+        static_cast<std::uint64_t>(string_count) * 4 > string_bytes) {
+        return error_at_byte(ErrorCode::CountMismatch,
+                             "string table length inconsistent", offset);
+    }
+    const std::string_view strings_payload = data.substr(offset, string_bytes);
+    if (util::crc32(strings_payload) != string_crc) {
+        return error_at_byte(ErrorCode::ChecksumMismatch,
+                             "string table CRC mismatch", offset);
+    }
+    TraceSalvage out;
+    out.declared_events = count;
+    out.log.strings.reserve(string_count);
+    {
+        const char* sp = strings_payload.data();
+        const char* const end = sp + strings_payload.size();
+        for (std::uint32_t i = 0; i < string_count; ++i) {
+            if (end - sp < 4) {
+                return error_at_byte(ErrorCode::Truncated,
+                                     "truncated string entry", offset);
+            }
+            const auto len = take<std::uint32_t>(sp);
+            if (static_cast<std::uint64_t>(end - sp) < len) {
+                return error_at_byte(ErrorCode::Truncated,
+                                     "string length exceeds table", offset);
+            }
+            out.log.strings.emplace_back(sp, len);
+            sp += len;
+        }
+        if (sp != end) {
+            return error_at_byte(ErrorCode::CountMismatch,
+                                 "string table has trailing bytes", offset);
+        }
+    }
+    offset += string_bytes;
+
+    // Event blocks: keep every block whose CRC verifies; stop at the tear.
+    const auto torn = [&](std::string note) {
+        out.complete = false;
+        out.note = std::move(note);
+        return out;
+    };
+    std::uint64_t parsed = 0;
+    while (parsed < count) {
+        if (data.size() - offset < kBlockHeaderSize) {
+            return torn("tail torn at byte " + std::to_string(offset) +
+                        ": partial block header");
+        }
+        p = data.data() + offset;
+        const auto n = take<std::uint32_t>(p);
+        const auto block_crc = take<std::uint32_t>(p);
+        if (n == 0 || n > kBlockEvents || n > count - parsed) {
+            return torn("tail torn at byte " + std::to_string(offset) +
+                        ": implausible block count " + std::to_string(n));
+        }
+        const std::size_t payload_size = n * kRecordSize;
+        if (data.size() - offset - kBlockHeaderSize < payload_size) {
+            return torn("tail torn at byte " + std::to_string(offset) +
+                        ": block holds " + std::to_string(n) +
+                        " events but the stream ends first");
+        }
+        const std::string_view payload =
+            data.substr(offset + kBlockHeaderSize, payload_size);
+        if (util::crc32(payload) != block_crc) {
+            return error_at_byte(ErrorCode::ChecksumMismatch,
+                                 "event block CRC mismatch", offset);
+        }
+        for (std::uint32_t i = 0; i < n; ++i) {
+            auto event = parse_event(payload.data() + i * kRecordSize,
+                                     parsed + i,
+                                     offset + kBlockHeaderSize + i * kRecordSize);
+            if (!event) return std::move(event).error();
+            if ((event.value().type == TraceEventType::Fault ||
+                 event.value().type == TraceEventType::Guard) &&
+                (event.value().b < 0 ||
+                 static_cast<std::uint64_t>(event.value().b) >=
+                     out.log.strings.size())) {
+                return error_at_record(ErrorCode::BadField,
+                                       "fault target index out of range",
+                                       parsed + i, offset);
+            }
+            out.log.events.push_back(event.value());
+        }
+        parsed += n;
+        offset += kBlockHeaderSize + payload_size;
+    }
+
+    if (data.size() - offset < kTrailerSize) {
+        return torn("tail torn at byte " + std::to_string(offset) +
+                    ": trailer missing");
+    }
+    // Every event arrived; a full-size but invalid trailer is corruption.
+    if (data.size() - offset != kTrailerSize ||
+        std::memcmp(data.data() + offset, kTrailerMagic, sizeof(kTrailerMagic)) !=
+            0) {
+        return error_at_byte(ErrorCode::BadMagic, "bad trailer magic", offset);
+    }
+    p = data.data() + offset + sizeof(kTrailerMagic);
+    const auto trailer_count = take<std::uint64_t>(p);
+    if (take<std::uint32_t>(p) !=
+        util::crc32(data.substr(offset, kTrailerSize - 4))) {
+        return error_at_byte(ErrorCode::ChecksumMismatch, "trailer CRC mismatch",
+                             offset + kTrailerSize - 4);
+    }
+    if (trailer_count != count) {
+        return error_at_byte(ErrorCode::CountMismatch,
+                             "trailer/header event count mismatch", offset);
+    }
+    out.complete = true;
+    return out;
+}
+
+util::Result<TraceSalvage> salvage_trace_file(
+    const std::filesystem::path& path) {
+    auto data = util::io::read_file(path);
+    if (!data) {
+        return std::move(data).context("trace " + path.string()).error();
+    }
+    return salvage_trace_bytes(std::move(data).value())
+        .context("trace " + path.string());
+}
+
 std::string render_trace_jsonl(const TraceLog& log) {
     std::string out;
     for (const TraceEvent& e : log.events) {

@@ -177,6 +177,25 @@ private:
 [[nodiscard]] util::Result<TraceLog> read_trace_file(
     const std::filesystem::path& path);
 
+/// Partial recovery of a torn YTR1 stream — a writer killed mid-append
+/// leaves a valid prefix that a strict read rejects as Truncated. Salvage
+/// keeps the header and string table strict (damage there is corruption,
+/// not tearing) and parses event blocks until the tail runs out: a torn
+/// final block or missing trailer ends the salvage with every fully
+/// CRC-verified block kept. A CRC mismatch on a complete block is still a
+/// hard error — bit rot must never be dressed up as a tear.
+struct TraceSalvage {
+    TraceLog log;
+    std::uint64_t declared_events = 0;  // the header's promise
+    bool complete = false;  // trailer validated: nothing was actually lost
+    std::string note;       // one line locating the tear, when !complete
+};
+
+[[nodiscard]] util::Result<TraceSalvage> salvage_trace_bytes(
+    std::string_view data);
+[[nodiscard]] util::Result<TraceSalvage> salvage_trace_file(
+    const std::filesystem::path& path);
+
 /// One JSON object per event, in order; Fault events carry their resolved
 /// "target" string. Deterministic formatting (%.17g doubles).
 [[nodiscard]] std::string render_trace_jsonl(const TraceLog& log);

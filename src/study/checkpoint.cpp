@@ -15,8 +15,8 @@ constexpr std::string_view kMagic = "YCK1";
 constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 4 + 8;  // magic..payload size
 constexpr std::size_t kTrailerSize = 4;                 // crc32
 
-constexpr std::string_view kStageNames[kNumStages] = {
-    "simulate", "capture", "geolocate", "analyze", "render",
+constexpr std::string_view kStageNames[kNumStageIds] = {
+    "simulate", "capture", "geolocate", "analyze", "render", "service",
 };
 
 template <typename T>
@@ -95,7 +95,7 @@ private:
 
 std::string_view to_string(Stage stage) noexcept {
     const auto i = static_cast<std::size_t>(stage);
-    return i < kNumStages ? kStageNames[i] : "?";
+    return i < kNumStageIds ? kStageNames[i] : "?";
 }
 
 std::filesystem::path checkpoint_path(const std::filesystem::path& run_dir,

@@ -43,8 +43,14 @@ enum class Stage : std::uint32_t {
     Geolocate,     // derive per-VP server->DC maps + preferred DCs
     Analyze,       // render every report artifact
     Render,        // write report.txt, artifacts/, manifest.txt
+    Service,       // ytcdnd's incremental-aggregate state (not a pipeline
+                   // stage: the daemon reuses the YCK1 frame + quarantine
+                   // machinery for its crash-safe service checkpoint)
 };
+/// Pipeline stages only — Stage::Service is a frame id, not a stage the
+/// supervisor iterates.
 inline constexpr std::size_t kNumStages = 5;
+inline constexpr std::size_t kNumStageIds = 6;
 
 /// Stable lower-case stage name ("simulate", ... , "render").
 [[nodiscard]] std::string_view to_string(Stage stage) noexcept;

@@ -126,6 +126,60 @@ std::string render_manifest(std::uint64_t fingerprint,
 
 }  // namespace
 
+StageOutcome run_supervised(std::string_view name, const StagePolicy& policy,
+                            const std::function<void()>& body,
+                            std::ostream* log) {
+    auto& metrics = supervisor_metrics();
+    StageOutcome out;
+    out.name = name;
+    const int attempts_allowed = policy.attempts < 1 ? 1 : policy.attempts;
+    const double t0 = util::host_clock::monotonic_s();
+    std::optional<Error> last_error;
+    for (out.attempts = 1; out.attempts <= attempts_allowed; ++out.attempts) {
+        if (out.attempts > 1) {
+            metrics.retries.inc();
+            if (log) {
+                *log << "[supervised] retrying '" << out.name << "' (attempt "
+                     << out.attempts
+                     << "): " << (last_error ? last_error->what() : "")
+                     << '\n';
+            }
+            const double delay = policy.backoff_s *
+                                 static_cast<double>(1 << (out.attempts - 2));
+            if (delay > 0.0) {
+                std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+            }
+        }
+        try {
+            body();
+            out.completed = true;
+            break;
+        } catch (const Error& e) {
+            last_error = e;
+            out.error = e.what();
+            out.error_code = e.code();
+        } catch (const std::exception& e) {
+            last_error = Error(ErrorCode::Io, e.what());
+            out.error = e.what();
+            out.error_code = ErrorCode::Io;
+        }
+    }
+    if (out.attempts > attempts_allowed) out.attempts = attempts_allowed;
+    out.wall_s = util::host_clock::monotonic_s() - t0;
+    out.peak_rss_kb = util::host_clock::peak_rss_kb();
+    metrics.peak_rss.update_max(out.peak_rss_kb);
+    if (policy.deadline_s > 0.0 && out.wall_s > policy.deadline_s) {
+        out.deadline_exceeded = true;
+        metrics.deadline_exceeded.inc();
+    }
+    if (policy.max_rss_mib > 0.0 &&
+        static_cast<double>(out.peak_rss_kb) > policy.max_rss_mib * 1024.0) {
+        out.rss_exceeded = true;
+        metrics.rss_exceeded.inc();
+    }
+    return out;
+}
+
 Supervisor::Supervisor(StudyConfig config, SupervisorOptions options)
     : config_(std::move(config)),
       options_(std::move(options)),
@@ -323,9 +377,6 @@ util::Result<SupervisorResult> Supervisor::run() {
                                           Stage::Geolocate, Stage::Analyze,
                                           Stage::Render};
     auto& metrics = supervisor_metrics();
-    const int attempts_allowed = options_.policy.attempts < 1
-                                     ? 1
-                                     : options_.policy.attempts;
     bool interrupted = false;
 
     for (std::size_t i = 0; i < kNumStages; ++i) {
@@ -342,53 +393,33 @@ util::Result<SupervisorResult> Supervisor::run() {
         }
         StageStatus st;
         st.stage = kOrder[i];
-        const double t0 = util::host_clock::monotonic_s();
-        std::optional<Error> last_error;
-        for (st.attempts = 1; st.attempts <= attempts_allowed; ++st.attempts) {
-            if (st.attempts > 1) {
-                metrics.retries.inc();
-                note("retrying stage '" + std::string(to_string(st.stage)) +
-                     "' (attempt " + std::to_string(st.attempts) + "): " +
-                     (last_error ? last_error->what() : ""));
-                const double delay =
-                    options_.policy.backoff_s *
-                    static_cast<double>(1 << (st.attempts - 2));
-                if (delay > 0.0) {
-                    std::this_thread::sleep_for(
-                        std::chrono::duration<double>(delay));
-                }
-            }
-            try {
+        const StageOutcome outcome = run_supervised(
+            to_string(st.stage), options_.policy,
+            [&] {
                 switch (st.stage) {
                     case Stage::Simulate: simulate_body(st); break;
                     case Stage::Capture: capture_body(st); break;
                     case Stage::Geolocate: geolocate_body(st); break;
                     case Stage::Analyze: analyze_body(st); break;
                     case Stage::Render: render_body(st); break;
+                    case Stage::Service: break;  // not a pipeline stage
                 }
-                st.completed = true;
-                break;
-            } catch (const Error& e) {
-                last_error = e;
-                st.error = e.what();
-            } catch (const std::exception& e) {
-                last_error = Error(ErrorCode::Io, e.what());
-                st.error = e.what();
-            }
-        }
-        if (st.attempts > attempts_allowed) st.attempts = attempts_allowed;
-        st.wall_s = util::host_clock::monotonic_s() - t0;
-        st.peak_rss_kb = util::host_clock::peak_rss_kb();
-        metrics.peak_rss.update_max(st.peak_rss_kb);
+            },
+            options_.log);
+        st.attempts = outcome.attempts;
+        st.completed = outcome.completed;
+        st.error = outcome.error;
+        st.wall_s = outcome.wall_s;
+        st.peak_rss_kb = outcome.peak_rss_kb;
         metrics.stages_run.inc();
         if (st.from_checkpoint) metrics.stages_resumed.inc();
 
         // Soft resource guards: report (metrics + tracer + manifest flags),
         // never abort — the study's answer is still worth having late.
-        if (options_.policy.deadline_s > 0.0 &&
-            st.wall_s > options_.policy.deadline_s) {
+        // run_supervised already counted them; here they become warnings and
+        // Guard trace events.
+        if (outcome.deadline_exceeded) {
             st.deadline_exceeded = true;
-            metrics.deadline_exceeded.inc();
             if (options_.tracer) {
                 options_.tracer->emit(
                     0.0, sim::TraceEventType::Guard, 0xFE, 0, /*code=*/2,
@@ -399,11 +430,8 @@ util::Result<SupervisorResult> Supervisor::run() {
             warn("stage '" + std::string(to_string(st.stage)) +
                  "' exceeded its deadline");
         }
-        if (options_.policy.max_rss_mib > 0.0 &&
-            static_cast<double>(st.peak_rss_kb) >
-                options_.policy.max_rss_mib * 1024.0) {
+        if (outcome.rss_exceeded) {
             st.rss_exceeded = true;
-            metrics.rss_exceeded.inc();
             if (options_.tracer) {
                 options_.tracer->emit(
                     0.0, sim::TraceEventType::Guard, 0xFE, 0, /*code=*/1,
@@ -445,7 +473,7 @@ util::Result<SupervisorResult> Supervisor::run() {
                 warn(std::string("manifest not written: ") +
                      manifest.error().what());
             }
-            return Error(last_error ? last_error->code() : ErrorCode::Io,
+            return Error(outcome.error_code,
                          "stage '" + std::string(to_string(st.stage)) +
                              "' failed after " + std::to_string(st.attempts) +
                              " attempts: " + st.error);

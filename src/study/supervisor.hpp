@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -53,6 +54,33 @@ struct SupervisorOptions {
     /// Receives Guard events for resource-guard overruns; may be null.
     sim::Tracer* tracer = nullptr;
 };
+
+/// What one supervised attempt ladder observed: the reusable core of the
+/// per-stage retry/backoff machinery, shared by the study pipeline and
+/// ytcdnd's per-file ingest stages (src/service).
+struct StageOutcome {
+    std::string name;
+    int attempts = 0;
+    bool completed = false;
+    bool deadline_exceeded = false;  // soft guard: reported, never fatal
+    bool rss_exceeded = false;       // soft guard: reported, never fatal
+    std::string error;               // last attempt's failure, if any
+    ErrorCode error_code = ErrorCode::Io;  // code of that failure
+    double wall_s = 0.0;
+    std::uint64_t peak_rss_kb = 0;   // process peak after the ladder
+};
+
+/// Runs `body` under the retry/backoff ladder: up to policy.attempts tries,
+/// backoff_s doubling between them, typed errors and std::exceptions both
+/// caught, wall/RSS measured, the soft deadline/RSS guards evaluated into
+/// the outcome flags (and the supervisor.* guard metrics). `log`, when
+/// non-null, receives one "[supervised] retrying ..." line per retry.
+/// Emission of warnings/trace events stays with the caller — this helper
+/// only observes.
+[[nodiscard]] StageOutcome run_supervised(std::string_view name,
+                                          const StagePolicy& policy,
+                                          const std::function<void()>& body,
+                                          std::ostream* log = nullptr);
 
 /// What happened to one stage, for the manifest and the caller.
 struct StageStatus {

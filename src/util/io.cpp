@@ -12,8 +12,13 @@
 
 #include "util/metrics.hpp"
 
+#include "util/host_clock.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 #define YTCDN_IO_POSIX 1
 #endif
@@ -92,6 +97,8 @@ std::string_view to_string(Op op) noexcept {
         case Op::Write: return "write";
         case Op::Fsync: return "fsync";
         case Op::Rename: return "rename";
+        case Op::Accept: return "accept";
+        case Op::Poll: return "poll";
     }
     return "?";
 }
@@ -231,6 +238,10 @@ Result<FaultPlan> FaultPlan::parse(std::string_view text) {
                         rule.ops |= op_bit(Op::Fsync);
                     } else if (op == "rename") {
                         rule.ops |= op_bit(Op::Rename);
+                    } else if (op == "accept") {
+                        rule.ops |= op_bit(Op::Accept);
+                    } else if (op == "poll") {
+                        rule.ops |= op_bit(Op::Poll);
                     } else {
                         return error_at_line(
                             ErrorCode::Parse,
@@ -622,6 +633,308 @@ Result<std::filesystem::path> quarantine_file(const std::filesystem::path& path,
         }
     }
     return target;
+}
+
+// --- local sockets (the ytcdnd control endpoint) -----------------------------
+
+namespace {
+
+const std::filesystem::path& fd_label(const std::filesystem::path& what) {
+    static const std::filesystem::path anonymous("<fd>");
+    return what.empty() ? anonymous : what;
+}
+
+}  // namespace
+
+#ifdef YTCDN_IO_POSIX
+
+void close_fd(int fd) {
+    if (fd < 0) return;
+    int rc = -1;
+    do {
+        rc = ::close(fd);
+    } while (rc < 0 && errno == EINTR);
+}
+
+Result<bool> poll_readable(int fd, int timeout_ms,
+                           const std::filesystem::path& what) {
+    const std::filesystem::path& label = fd_label(what);
+    if (const FaultKind f = check_fault(Op::Poll, label);
+        f != FaultKind::None) {
+        return injected_error(f, Op::Poll, label);
+    }
+    if (fd < 0) {
+        // Pure bounded wait: the service loop's pacing tick when no control
+        // socket is listening.
+        stall(static_cast<double>(timeout_ms));
+        return false;
+    }
+    const double start_s = host_clock::monotonic_s();
+    int remaining_ms = timeout_ms < 0 ? 0 : timeout_ms;
+    for (;;) {
+        struct pollfd p{};
+        p.fd = fd;
+        p.events = POLLIN;
+        const int rc = ::poll(&p, 1, remaining_ms);
+        if (rc > 0) return true;
+        if (rc == 0) return false;
+        if (errno != EINTR) return errno_error("poll", label);
+        // EINTR: keep the original deadline instead of restarting the wait.
+        const double elapsed_ms =
+            (host_clock::monotonic_s() - start_s) * 1000.0;
+        remaining_ms = timeout_ms - static_cast<int>(elapsed_ms);
+        if (remaining_ms <= 0) return false;
+    }
+}
+
+Result<std::string> read_line_fd(int fd, int timeout_ms, std::size_t max_len) {
+    const std::filesystem::path& label = fd_label({});
+    std::string out;
+    while (out.size() < max_len) {
+        auto ready = poll_readable(fd, timeout_ms, label);
+        if (!ready) return std::move(ready).context("read_line").error();
+        if (!ready.value()) {
+            return Error(ErrorCode::Io,
+                         "timed out waiting for a line on fd " +
+                             std::to_string(fd));
+        }
+        if (const FaultKind f = check_fault(Op::Read, label);
+            f != FaultKind::None) {
+            return injected_error(f, Op::Read, label);
+        }
+        char c = 0;
+        const ssize_t n = ::read(fd, &c, 1);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return errno_error("read", label);
+        }
+        if (n == 0) break;  // EOF before newline: yield the partial line.
+        if (c == '\n') break;
+        out.push_back(c);
+    }
+    return out;
+}
+
+Result<std::string> read_all_fd(int fd, int timeout_ms, std::size_t max_len) {
+    const std::filesystem::path& label = fd_label({});
+    std::string out;
+    char buf[1 << 14];
+    while (out.size() < max_len) {
+        auto ready = poll_readable(fd, timeout_ms, label);
+        if (!ready) return std::move(ready).context("read_all").error();
+        if (!ready.value()) break;  // quiet line: treat as end of response
+        if (const FaultKind f = check_fault(Op::Read, label);
+            f != FaultKind::None) {
+            return injected_error(f, Op::Read, label);
+        }
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return errno_error("read", label);
+        }
+        if (n == 0) break;  // EOF: the server closed the connection
+        const std::size_t take =
+            std::min(static_cast<std::size_t>(n), max_len - out.size());
+        out.append(buf, take);
+    }
+    return out;
+}
+
+Result<void> write_fd_all(int fd, std::string_view bytes) {
+    const std::filesystem::path& label = fd_label({});
+    if (const FaultKind f = check_fault(Op::Write, label);
+        f != FaultKind::None) {
+        return injected_error(f, Op::Write, label);
+    }
+    if (!write_all(fd, bytes.data(), bytes.size())) {
+        return errno_error("write", label);
+    }
+    return {};
+}
+
+namespace {
+
+/// Fills sockaddr_un, rejecting paths too long for sun_path.
+Result<sockaddr_un> unix_addr(const std::filesystem::path& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string text = path.string();
+    if (text.size() >= sizeof(addr.sun_path)) {
+        return Error(ErrorCode::InvalidArgument, "socket path too long (" +
+                                           std::to_string(text.size()) +
+                                           " bytes): " + text);
+    }
+    std::memcpy(addr.sun_path, text.c_str(), text.size() + 1);
+    return addr;
+}
+
+}  // namespace
+
+Result<UnixServerSocket> UnixServerSocket::listen(
+    const std::filesystem::path& path) {
+    if (const FaultKind f = check_fault(Op::Open, path);
+        f != FaultKind::None) {
+        return injected_error(f, Op::Open, path);
+    }
+    auto addr = unix_addr(path);
+    if (!addr) return std::move(addr).context("listen").error();
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return errno_error("socket", path);
+    // A daemon killed with SIGKILL leaves its socket file behind; the
+    // replacement instance owns the path and may reclaim it.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+               sizeof(sockaddr_un)) != 0) {
+        const Error e = errno_error("bind", path);
+        close_fd(fd);
+        return e;
+    }
+    if (::listen(fd, 16) != 0) {
+        const Error e = errno_error("listen", path);
+        close_fd(fd);
+        ::unlink(path.c_str());
+        return e;
+    }
+    // Non-blocking so a connection that vanishes between poll and accept
+    // surfaces as EAGAIN (treated as a timeout) instead of wedging the loop.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    UnixServerSocket sock;
+    sock.fd_ = fd;
+    sock.path_ = path;
+    return sock;
+}
+
+Result<int> UnixServerSocket::accept_ready(int timeout_ms) {
+    if (fd_ < 0) {
+        return Error(ErrorCode::InvalidArgument,
+                     "accept on a closed server socket");
+    }
+    auto ready = poll_readable(fd_, timeout_ms, path_);
+    if (!ready) return std::move(ready).context("accept").error();
+    if (!ready.value()) return -1;
+    if (const FaultKind f = check_fault(Op::Accept, path_);
+        f != FaultKind::None) {
+        return injected_error(f, Op::Accept, path_);
+    }
+    for (;;) {
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client >= 0) return client;
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+            return -1;  // the peer vanished between poll and accept
+        }
+        return errno_error("accept", path_);
+    }
+}
+
+Result<int> connect_unix(const std::filesystem::path& path) {
+    if (const FaultKind f = check_fault(Op::Open, path);
+        f != FaultKind::None) {
+        return injected_error(f, Op::Open, path);
+    }
+    auto addr = unix_addr(path);
+    if (!addr) return std::move(addr).context("connect").error();
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return errno_error("socket", path);
+    int rc = -1;
+    do {
+        rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+                       sizeof(sockaddr_un));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        const Error e = errno_error("connect", path);
+        close_fd(fd);
+        return e;
+    }
+    return fd;
+}
+
+#else  // !YTCDN_IO_POSIX — the daemon runs with its control endpoint disabled.
+
+namespace {
+
+Error no_sockets(const std::filesystem::path& what) {
+    return Error(ErrorCode::Io,
+                 "unix sockets are unavailable on this host (" + what.string() +
+                     ")");
+}
+
+}  // namespace
+
+void close_fd(int) {}
+
+Result<bool> poll_readable(int fd, int timeout_ms,
+                           const std::filesystem::path& what) {
+    const std::filesystem::path& label = fd_label(what);
+    if (const FaultKind f = check_fault(Op::Poll, label);
+        f != FaultKind::None) {
+        return injected_error(f, Op::Poll, label);
+    }
+    if (fd < 0) {
+        stall(static_cast<double>(timeout_ms));
+        return false;
+    }
+    return no_sockets(label);
+}
+
+Result<std::string> read_line_fd(int, int, std::size_t) {
+    return no_sockets(fd_label({}));
+}
+
+Result<std::string> read_all_fd(int, int, std::size_t) {
+    return no_sockets(fd_label({}));
+}
+
+Result<void> write_fd_all(int, std::string_view) {
+    return no_sockets(fd_label({}));
+}
+
+Result<UnixServerSocket> UnixServerSocket::listen(
+    const std::filesystem::path& path) {
+    return no_sockets(path);
+}
+
+Result<int> UnixServerSocket::accept_ready(int) {
+    return no_sockets(path_);
+}
+
+Result<int> connect_unix(const std::filesystem::path& path) {
+    return no_sockets(path);
+}
+
+#endif  // YTCDN_IO_POSIX
+
+UnixServerSocket::UnixServerSocket(UnixServerSocket&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+    other.fd_ = -1;
+    other.path_.clear();
+}
+
+UnixServerSocket& UnixServerSocket::operator=(
+    UnixServerSocket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        path_ = std::move(other.path_);
+        other.fd_ = -1;
+        other.path_.clear();
+    }
+    return *this;
+}
+
+UnixServerSocket::~UnixServerSocket() { close(); }
+
+void UnixServerSocket::close() {
+    if (fd_ >= 0) {
+        close_fd(fd_);
+        fd_ = -1;
+    }
+    if (!path_.empty()) {
+        std::error_code ignore;
+        std::filesystem::remove(path_, ignore);
+        path_.clear();
+    }
 }
 
 }  // namespace ytcdn::util::io

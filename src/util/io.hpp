@@ -23,15 +23,17 @@ namespace ytcdn::util::io {
 /// selected operations — which is how ctest chaos-tests the real pipeline
 /// instead of a mock.
 
-/// The primitive operations a FaultRule can select.
-enum class Op : std::uint8_t { Open, Read, Write, Fsync, Rename };
-inline constexpr std::size_t kNumOps = 5;
+/// The primitive operations a FaultRule can select. Accept and Poll cover
+/// the daemon's control-socket path (ytcdnd), so a chaos plan reaches the
+/// long-running service exactly like the batch pipeline.
+enum class Op : std::uint8_t { Open, Read, Write, Fsync, Rename, Accept, Poll };
+inline constexpr std::size_t kNumOps = 7;
 
 [[nodiscard]] std::string_view to_string(Op op) noexcept;
 [[nodiscard]] constexpr std::uint8_t op_bit(Op op) noexcept {
     return static_cast<std::uint8_t>(1u << static_cast<unsigned>(op));
 }
-inline constexpr std::uint8_t kAllOps = 0x1F;
+inline constexpr std::uint8_t kAllOps = 0x7F;
 
 /// What an injected fault pretends happened.
 enum class FaultKind : std::uint8_t {
@@ -163,5 +165,79 @@ private:
 inline constexpr std::size_t kDefaultQuarantineKeep = 3;
 [[nodiscard]] Result<std::filesystem::path> quarantine_file(
     const std::filesystem::path& path, std::size_t keep = 0);
+
+/// --- local sockets (the ytcdnd control endpoint) -------------------------
+///
+/// The same injectable-boundary rules apply: every socket operation
+/// consults the fault plan (ops accept / poll / read / write), every wait
+/// carries an explicit deadline (the service-loop lint rule forbids raw
+/// blocking calls in src/service/), and EINTR is retried everywhere. On
+/// non-POSIX hosts the socket entry points return a typed Io error and the
+/// daemon runs with its control endpoint disabled.
+
+/// Closes a descriptor, retrying EINTR; negative fds are ignored.
+void close_fd(int fd);
+
+/// Waits up to `timeout_ms` for `fd` to become readable. `fd` < 0 performs
+/// a pure bounded wait (the service loop's pacing tick when no control
+/// socket is listening). Returns true when readable, false on timeout.
+/// Fault point: Poll.
+[[nodiscard]] Result<bool> poll_readable(int fd, int timeout_ms,
+                                         const std::filesystem::path& what = {});
+
+/// Reads one '\n'-terminated line (newline stripped, bounded by `max_len`)
+/// waiting at most `timeout_ms` for bytes. EOF before a newline yields the
+/// partial line. Fault points: Poll, Read.
+[[nodiscard]] Result<std::string> read_line_fd(int fd, int timeout_ms,
+                                               std::size_t max_len = 1 << 16);
+
+/// Reads everything until EOF (bounded by `max_len`), waiting at most
+/// `timeout_ms` between chunks — the ctl client's "response ends when the
+/// server closes the connection" read. Fault points: Poll, Read.
+[[nodiscard]] Result<std::string> read_all_fd(int fd, int timeout_ms,
+                                              std::size_t max_len = 1 << 20);
+
+/// Writes the whole buffer (EINTR retried, partial writes continued).
+/// Fault point: Write.
+[[nodiscard]] Result<void> write_fd_all(int fd, std::string_view bytes);
+
+/// A listening Unix-domain stream socket. Owns the descriptor and unlinks
+/// the socket path on close/destruction. Move-only.
+class UnixServerSocket {
+public:
+    UnixServerSocket() = default;
+    UnixServerSocket(UnixServerSocket&& other) noexcept;
+    UnixServerSocket& operator=(UnixServerSocket&& other) noexcept;
+    UnixServerSocket(const UnixServerSocket&) = delete;
+    UnixServerSocket& operator=(const UnixServerSocket&) = delete;
+    ~UnixServerSocket();
+
+    /// Binds and listens on `path`, replacing any stale socket file left by
+    /// a killed daemon. Fault point: Open.
+    [[nodiscard]] static Result<UnixServerSocket> listen(
+        const std::filesystem::path& path);
+
+    /// Waits up to `timeout_ms` for a pending connection and accepts it.
+    /// Returns the connected fd, or -1 when the wait timed out (the
+    /// service loop's idle tick). Fault points: Poll, Accept.
+    [[nodiscard]] Result<int> accept_ready(int timeout_ms);
+
+    [[nodiscard]] bool listening() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+    [[nodiscard]] const std::filesystem::path& path() const noexcept {
+        return path_;
+    }
+
+    /// Closes the descriptor and unlinks the socket file.
+    void close();
+
+private:
+    int fd_ = -1;
+    std::filesystem::path path_;
+};
+
+/// Connects to a Unix-domain stream socket (the `ytcdn ctl` client side).
+/// Fault point: Open.
+[[nodiscard]] Result<int> connect_unix(const std::filesystem::path& path);
 
 }  // namespace ytcdn::util::io

@@ -88,11 +88,34 @@ def main() -> int:
                 "trace_dump with an unknown option")
             run(trace_dump, [missing + ".ytr"], 3,
                 "trace_dump on a missing file")
-            for fixture in ("trace_bad_magic.ytr", "trace_truncated.ytr",
-                            "trace_bad_crc.ytr", "trace_count_overflow.ytr",
+            # Real corruption (bad magic, flipped bits, absurd counts) is
+            # exit 4; a *torn tail* — a valid prefix a crashed writer left
+            # behind — salvages to a warned partial dump with exit 6.
+            for fixture in ("trace_bad_magic.ytr", "trace_bad_crc.ytr",
+                            "trace_count_overflow.ytr",
                             "trace_bad_string_ref.ytr"):
                 run(trace_dump, [os.path.join(corpus, fixture)], 4,
                     f"trace_dump on {fixture}")
+            run(trace_dump, [os.path.join(corpus, "trace_truncated.ytr")], 6,
+                "trace_dump salvages a tail torn mid-block")
+            with open(os.path.join(corpus, "trace_valid.ytr"), "rb") as f:
+                valid = f.read()
+            torn_trailer = os.path.join(tmp, "torn_trailer.ytr")
+            with open(torn_trailer, "wb") as f:
+                f.write(valid[:-10])  # every block intact, trailer torn
+            run(trace_dump, [torn_trailer], 6,
+                "trace_dump salvages a tail torn mid-trailer")
+            proc = subprocess.run(
+                [trace_dump, torn_trailer], capture_output=True, text=True,
+                errors="replace", check=False, timeout=120)
+            if ("torn" in proc.stderr and
+                    "6 events" in proc.stdout):
+                print("  ok: torn-trailer salvage warns and dumps all events")
+            else:
+                failures.append("torn-trailer salvage output")
+                print("  FAIL: torn-trailer salvage output\n"
+                      f"        stdout: {proc.stdout.strip()[:200]}\n"
+                      f"        stderr: {proc.stderr.strip()[:200]}")
 
     if failures:
         print(f"\n{len(failures)} case(s) failed")

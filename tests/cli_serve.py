@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""End-to-end tests for ytcdnd, the crash-safe service mode (ctest: cli_serve).
+
+The robustness contract pinned here, against the real binary:
+
+  * SIGTERM mid-ingest quiesces: the daemon drains, flushes the service
+    checkpoint + manifest ("status shutdown") and exits 0,
+  * kill -9 mid-ingest loses nothing durable: `ytcdn serve --resume --once`
+    replays the spool and converges to aggregates byte-identical to an
+    uninterrupted one-shot run,
+  * the control socket answers ping / render / drain / shutdown, and every
+    accepted mutation is recorded as a `control` line in the manifest.
+
+Usage: cli_serve.py <path-to-ytcdn-binary>
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+failures: list[str] = []
+
+
+def check(cond: bool, what: str, detail: str = "") -> None:
+    if cond:
+        print(f"  ok: {what}")
+    else:
+        failures.append(what)
+        print(f"  FAIL: {what}" + (f"\n        {detail}" if detail else ""))
+
+
+def read(path: str) -> str:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return f.read()
+    except OSError:
+        return ""
+
+
+def wait_for(predicate, timeout_s: float = 30.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+SERVE = ["serve", "--tick-ms", "10", "--backoff", "0", "--checkpoint-every", "1"]
+
+
+def start_daemon(binary: str, spool: str, out: str,
+                 extra: list[str] | None = None) -> subprocess.Popen:
+    return subprocess.Popen(
+        [binary, *SERVE, "--spool", spool, "--out", out, *(extra or [])],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        errors="replace")
+
+
+def make_spool(binary: str, tmp: str, name: str) -> str:
+    """Simulates a tiny study and lays its flow logs out as a spool."""
+    gen = os.path.join(tmp, "gen")
+    if not os.path.isdir(gen):
+        subprocess.run(
+            [binary, "run", "--scale", "0.005", "--seed", "7", "--out", gen,
+             "--binary"],
+            capture_output=True, text=True, errors="replace", check=True,
+            timeout=300)
+    spool = os.path.join(tmp, name)
+    os.makedirs(spool)
+    logs = sorted(f for f in os.listdir(gen) if f.endswith(".yfl"))
+    maps = sorted(f for f in os.listdir(gen) if f.endswith(".dcmap"))
+    assert logs and maps, f"ytcdn run produced no spoolable logs in {gen}"
+    for i, log in enumerate(logs):
+        stem = os.path.splitext(log)[0]
+        shutil.copy(os.path.join(gen, log),
+                    os.path.join(spool, f"{stem}-{i + 1:04d}.yfl"))
+    shutil.copy(os.path.join(gen, maps[0]), os.path.join(spool, "vantage.dcmap"))
+    return spool
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: cli_serve.py <ytcdn-binary>")
+        return 2
+    binary = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="ytcdn_serve_") as tmp:
+        # Reference: one uninterrupted --once pass over the full spool.
+        print("reference one-shot ingest")
+        spool_ref = make_spool(binary, tmp, "spool_ref")
+        out_ref = os.path.join(tmp, "run_ref")
+        proc = subprocess.run(
+            [binary, *SERVE, "--spool", spool_ref, "--out", out_ref, "--once"],
+            capture_output=True, text=True, errors="replace", check=False,
+            timeout=300)
+        check(proc.returncode == 0, "one-shot serve exits 0",
+              proc.stderr.strip()[:300])
+        reference = read(os.path.join(out_ref, "aggregates.txt"))
+        check(bool(reference), "one-shot serve renders aggregates.txt")
+        manifest = read(os.path.join(out_ref, "service_manifest.txt"))
+        check("status shutdown" in manifest,
+              "one-shot manifest records a clean shutdown")
+
+        # SIGTERM mid-ingest: graceful quiesce, checkpoint flushed, exit 0.
+        print("SIGTERM quiesce")
+        spool_term = make_spool(binary, tmp, "spool_term")
+        out_term = os.path.join(tmp, "run_term")
+        daemon = start_daemon(binary, spool_term, out_term)
+        manifest_path = os.path.join(out_term, "service_manifest.txt")
+        check(wait_for(lambda: "file " in read(manifest_path)),
+              "daemon starts ingesting")
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            stdout, stderr = daemon.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            stdout, stderr = daemon.communicate()
+        check(daemon.returncode == 0, "SIGTERM exits 0",
+              (stderr or "").strip()[:300])
+        check("status shutdown" in read(manifest_path),
+              "post-SIGTERM manifest says status shutdown")
+        check(os.path.exists(
+            os.path.join(out_term, "checkpoints", "service.yck")),
+            "post-SIGTERM service checkpoint exists")
+
+        # kill -9 mid-ingest, then --resume --once: byte-identical aggregates.
+        print("kill -9 + resume")
+        spool_kill = make_spool(binary, tmp, "spool_kill")
+        out_kill = os.path.join(tmp, "run_kill")
+        daemon = start_daemon(binary, spool_kill, out_kill)
+        kill_manifest = os.path.join(out_kill, "service_manifest.txt")
+        wait_for(lambda: "file " in read(kill_manifest), timeout_s=15.0)
+        daemon.kill()  # SIGKILL: no handler runs, no flush
+        daemon.communicate()
+        proc = subprocess.run(
+            [binary, *SERVE, "--spool", spool_kill, "--out", out_kill,
+             "--resume", "--once"],
+            capture_output=True, text=True, errors="replace", check=False,
+            timeout=300)
+        check(proc.returncode == 0, "resume after kill -9 exits 0",
+              proc.stderr.strip()[:300])
+        resumed = read(os.path.join(out_kill, "aggregates.txt"))
+        check(resumed == reference and bool(reference),
+              "resumed aggregates byte-identical to the uninterrupted run")
+
+        # Control socket: ping / render / drain / shutdown; mutations land in
+        # the manifest.
+        print("control socket")
+        spool_ctl = make_spool(binary, tmp, "spool_ctl")
+        out_ctl = os.path.join(tmp, "run_ctl")
+        sock = os.path.join(tmp, "ctl.sock")
+        daemon = start_daemon(binary, spool_ctl, out_ctl, ["--socket", sock])
+        check(wait_for(lambda: os.path.exists(sock)),
+              "daemon binds the control socket")
+
+        def ctl(*words: str) -> subprocess.CompletedProcess:
+            return subprocess.run(
+                [binary, "ctl", sock, *words], capture_output=True, text=True,
+                errors="replace", check=False, timeout=60)
+
+        pong = ctl("ping")
+        check(pong.returncode == 0 and pong.stdout.startswith("ok pong"),
+              "ctl ping answers ok pong", pong.stdout[:100])
+        render = ctl("render")
+        check(render.returncode == 0 and "Table I (incremental)" in render.stdout,
+              "ctl render returns the incremental tables")
+        stats = ctl("stats")
+        check(stats.returncode == 0 and
+              "service.files_ingested" in stats.stdout,
+              "ctl stats exposes the service metrics")
+        # Find a DC name from the render output's Section VII table (rows
+        # are space-padded columns; the name may itself contain spaces).
+        dc_name = None
+        lines = render.stdout.splitlines()
+        for i, line in enumerate(lines):
+            if "preferred data center" in line:
+                for row in lines[i + 1:]:
+                    if row.startswith(("data center", "---")) or not row.strip():
+                        continue
+                    if row.startswith(("preferred", "mapped", "non-preferred")):
+                        break
+                    dc_name = re.split(r"\s{2,}", row.strip())[0]
+                    break
+                break
+        if dc_name:
+            drained = ctl("drain", *dc_name.split())
+            check(drained.returncode == 0 and drained.stdout.startswith("ok"),
+                  f"ctl drain {dc_name} accepted", drained.stdout[:100])
+        else:
+            check(False, "render output names a data center to drain")
+        bogus = ctl("levitate")
+        check(bogus.returncode == 1 and bogus.stdout.startswith("err"),
+              "ctl rejects an unknown command with err")
+        down = ctl("shutdown")
+        check(down.returncode == 0, "ctl shutdown accepted")
+        try:
+            _, stderr = daemon.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            _, stderr = daemon.communicate()
+        check(daemon.returncode == 0, "daemon exits 0 after ctl shutdown",
+              (stderr or "").strip()[:300])
+        ctl_manifest = read(os.path.join(out_ctl, "service_manifest.txt"))
+        if dc_name:
+            check(f"control drain {dc_name}" in ctl_manifest,
+                  "manifest records the drain mutation")
+        check(not os.path.exists(sock), "socket unlinked on shutdown")
+
+    if failures:
+        print(f"\n{len(failures)} case(s) failed")
+        return 1
+    print("\nall service cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,450 @@
+// ytcdnd service mode: incremental aggregates vs the batch closures,
+// deterministic load-shedding, control-protocol parsing, the service
+// checkpoint codec, and byte-identical resume at any parse-pool size.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dc_map.hpp"
+#include "analysis/incremental.hpp"
+#include "analysis/session.hpp"
+#include "capture/dataset.hpp"
+#include "capture/log_io.hpp"
+#include "service/aggregates.hpp"
+#include "service/control.hpp"
+#include "service/ingest_queue.hpp"
+#include "service/service.hpp"
+#include "service/spool.hpp"
+#include "util/io.hpp"
+
+namespace analysis = ytcdn::analysis;
+namespace capture = ytcdn::capture;
+namespace cdn = ytcdn::cdn;
+namespace fs = std::filesystem;
+namespace io = ytcdn::util::io;
+namespace net = ytcdn::net;
+namespace service = ytcdn::service;
+
+namespace {
+
+fs::path temp_dir(const std::string& tag) {
+    const auto dir = fs::temp_directory_path() / ("ytcdn_svc_" + tag);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+capture::FlowRecord flow(std::uint32_t client, std::uint32_t server,
+                         double start, double end, std::uint64_t bytes,
+                         std::uint64_t video) {
+    capture::FlowRecord r;
+    r.client_ip = net::IpAddress(client);
+    r.server_ip = net::IpAddress(server);
+    r.start = start;
+    r.end = end;
+    r.bytes = bytes;
+    r.video = cdn::VideoId(video);
+    return r;
+}
+
+/// A deterministic little workload: several clients re-fetching videos with
+/// sub- and super-gap pauses, control flows mixed in, two /24s of servers.
+std::vector<capture::FlowRecord> sample_records() {
+    std::vector<capture::FlowRecord> records;
+    for (std::uint32_t i = 0; i < 40; ++i) {
+        const std::uint32_t client = 0x0A000000u + i % 7;
+        const std::uint32_t server = 0xC0A80100u + (i % 2) * 256 + i % 5;
+        const double start = 1.5 * i;
+        // i % 3 == 0 starts a same-key flow within the gap (multi-flow
+        // session); control flows (< 1000 B) every 8th record.
+        const double end = start + (i % 3 == 0 ? 0.4 : 1.0);
+        const std::uint64_t bytes = i % 8 == 0 ? 512 : 40'000 + 1000 * i;
+        records.push_back(flow(client, server, start, end, bytes, i % 4));
+    }
+    return records;
+}
+
+analysis::ServerDcMap two_dc_map() {
+    analysis::ServerDcMap map;
+    analysis::DataCenterInfo near;
+    near.name = "near";
+    near.rtt_ms = 10.0;
+    analysis::DataCenterInfo far;
+    far.name = "far";
+    far.rtt_ms = 30.0;
+    const int near_idx = map.add_data_center(near);
+    const int far_idx = map.add_data_center(far);
+    map.assign(net::IpAddress(0xC0A80100u), near_idx);
+    map.assign(net::IpAddress(0xC0A80200u), far_idx);
+    return map;
+}
+
+}  // namespace
+
+TEST(IncrementalSummary, MatchesBatchClosure) {
+    capture::Dataset ds;
+    ds.records = sample_records();
+    const auto batch = ds.summary();
+
+    analysis::IncrementalSummary inc;
+    for (const auto& r : ds.records) inc.add(r);
+
+    EXPECT_EQ(inc.flows, batch.flows);
+    EXPECT_EQ(inc.servers.size(), batch.distinct_servers);
+    EXPECT_EQ(inc.clients.size(), batch.distinct_clients);
+    EXPECT_DOUBLE_EQ(inc.volume_gb(), batch.volume_gb);
+}
+
+TEST(IncrementalSessions, MatchesBatchClosureOnSortedInput) {
+    capture::Dataset ds;
+    ds.records = sample_records();
+    ds.sort_by_time();
+    const auto batch = analysis::build_sessions(ds, 1.0);
+
+    analysis::IncrementalSessions inc(1.0);
+    for (const auto& r : ds.records) inc.add(r);
+    inc.close_all();
+
+    EXPECT_EQ(inc.sessions_closed(), batch.size());
+    std::uint64_t batch_multi = 0;
+    for (const auto& s : batch) batch_multi += s.num_flows() > 1 ? 1 : 0;
+    EXPECT_EQ(inc.multi_flow_sessions(), batch_multi);
+}
+
+TEST(IncrementalSessions, BoundedOpenSetStillCountsCorrectly) {
+    // Thousands of distinct keys but a tiny open-set bound: the watermark
+    // sweep must close stale sessions without changing the totals.
+    analysis::IncrementalSessions inc(1.0, /*max_open=*/16);
+    for (std::uint32_t i = 0; i < 4096; ++i) {
+        inc.add(flow(i, 0xC0A80101u, 10.0 * i, 10.0 * i + 1.0, 5000, i));
+    }
+    inc.close_all();
+    EXPECT_EQ(inc.sessions_closed(), 4096u);
+    EXPECT_EQ(inc.multi_flow_sessions(), 0u);
+    EXPECT_EQ(inc.open_count(), 0u);
+}
+
+TEST(IncrementalPreference, DrainAndScaleMutations) {
+    analysis::IncrementalPreference pref;
+    pref.set_map(two_dc_map());
+    ASSERT_EQ(pref.preferred_dc(), 0);  // rtt policy: "near" at 10 ms
+
+    // Draining the preferred DC moves preference to the survivor; flows to
+    // "near" now count as non-preferred.
+    ASSERT_TRUE(pref.set_drained("near", true));
+    EXPECT_EQ(pref.preferred_dc(), 1);
+    pref.add(flow(1, 0xC0A80101u, 0.0, 1.0, 10'000, 1));
+    EXPECT_EQ(pref.non_preferred_flows, 1u);
+
+    ASSERT_TRUE(pref.set_drained("near", false));
+    ASSERT_TRUE(pref.set_policy("load"));
+    // Under the load policy "near" has 10 kB accumulated, "far" zero, so
+    // "far" is preferred until the balance flips.
+    EXPECT_EQ(pref.preferred_dc(), 1);
+    pref.add(flow(2, 0xC0A80201u, 2.0, 3.0, 50'000, 2));  // 50 kB to "far"
+    EXPECT_EQ(pref.preferred_dc(), 0);  // near: 10 kB < far: 50 kB
+    ASSERT_TRUE(pref.set_scale("far", 10.0));
+    EXPECT_EQ(pref.preferred_dc(), 1);  // 50 kB / 10 beats 10 kB / 1
+
+    EXPECT_FALSE(pref.set_drained("atlantis", true));
+    EXPECT_FALSE(pref.set_scale("near", 0.0));
+    EXPECT_FALSE(pref.set_policy("coin-flip"));
+}
+
+TEST(IngestQueue, ShedsDeterministicallyAtCapacity) {
+    service::IngestQueue queue(2);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        service::IngestBatch batch;
+        batch.file = "eu1-0001.yfl";
+        batch.index = i;
+        batch.records.resize(10 + i);
+        queue.push(std::move(batch));
+    }
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.peak_size(), 2u);
+    ASSERT_EQ(queue.shed().size(), 3u);
+    // Tail-drop in arrival order: batches 2, 3, 4 with their record counts.
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(queue.shed()[i].batch, i + 2);
+        EXPECT_EQ(queue.shed()[i].records, 12 + i);
+    }
+    EXPECT_EQ(queue.shed_records_total(), 12u + 13u + 14u);
+    EXPECT_EQ(queue.pop().index, 0u);  // admitted batches keep FIFO order
+    EXPECT_EQ(queue.pop().index, 1u);
+}
+
+TEST(ControlProtocol, ParsesEveryVerb) {
+    using service::ControlVerb;
+    EXPECT_EQ(service::parse_control_line("ping").verb, ControlVerb::Ping);
+    EXPECT_EQ(service::parse_control_line("stats").verb, ControlVerb::Stats);
+    EXPECT_EQ(service::parse_control_line("render").verb, ControlVerb::Render);
+    EXPECT_EQ(service::parse_control_line("snapshot").verb,
+              ControlVerb::Snapshot);
+    EXPECT_EQ(service::parse_control_line("shutdown").verb,
+              ControlVerb::Shutdown);
+    EXPECT_EQ(service::parse_control_line("faults clear").verb,
+              ControlVerb::FaultsClear);
+    EXPECT_EQ(service::parse_control_line("dns-policy load").verb,
+              ControlVerb::DnsPolicy);
+    EXPECT_EQ(service::parse_control_line("drain near").verb,
+              ControlVerb::Drain);
+    EXPECT_EQ(service::parse_control_line("undrain near").verb,
+              ControlVerb::Undrain);
+    EXPECT_EQ(service::parse_control_line("scale near 2.5").verb,
+              ControlVerb::Scale);
+
+    // The fault spec is passed through verbatim, spaces and all.
+    const auto faults =
+        service::parse_control_line("faults read * eio p=0.5 seed=7");
+    ASSERT_EQ(faults.verb, ControlVerb::Faults);
+    ASSERT_EQ(faults.args.size(), 1u);
+    EXPECT_EQ(faults.args[0], "read * eio p=0.5 seed=7");
+}
+
+TEST(ControlProtocol, MalformedInputYieldsUnknownWithUsage) {
+    using service::ControlVerb;
+    EXPECT_EQ(service::parse_control_line("").verb, ControlVerb::Unknown);
+    EXPECT_EQ(service::parse_control_line("levitate").verb,
+              ControlVerb::Unknown);
+    EXPECT_EQ(service::parse_control_line("scale near").verb,
+              ControlVerb::Unknown);
+    EXPECT_EQ(service::parse_control_line("drain").verb, ControlVerb::Unknown);
+    EXPECT_EQ(service::parse_control_line("dns-policy").verb,
+              ControlVerb::Unknown);
+    EXPECT_FALSE(service::parse_control_line("levitate").error.empty());
+}
+
+TEST(ServiceAggregates, EncodeDecodeRoundtripIsByteStable) {
+    service::ServiceAggregates agg(1.0);
+    agg.preference().set_map(two_dc_map());
+    ASSERT_TRUE(agg.preference().set_policy("load"));
+    ASSERT_TRUE(agg.preference().set_drained("far", true));
+    for (const auto& r : sample_records()) agg.add("eu1", r);
+    for (const auto& r : sample_records()) agg.add("us1", r);
+
+    const std::string encoded = agg.encode();
+    auto decoded = service::ServiceAggregates::decode(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().what();
+    EXPECT_EQ(decoded.value().encode(), encoded);
+    EXPECT_EQ(decoded.value().render(), agg.render());
+    EXPECT_EQ(decoded.value().total_flows(), agg.total_flows());
+    EXPECT_EQ(decoded.value().preference().policy(), "load");
+}
+
+TEST(ServiceAggregates, DecodeRejectsDamage) {
+    service::ServiceAggregates agg(1.0);
+    for (const auto& r : sample_records()) agg.add("eu1", r);
+    const std::string encoded = agg.encode();
+
+    EXPECT_FALSE(service::ServiceAggregates::decode(
+                     std::string_view(encoded).substr(0, encoded.size() / 2))
+                     .ok());
+    EXPECT_FALSE(service::ServiceAggregates::decode(encoded + "x").ok());
+}
+
+TEST(Spool, ScanOrdersByNameAndSkipsTempFiles) {
+    const auto dir = temp_dir("spool_scan");
+    ASSERT_TRUE(io::write_file_atomic(dir / "us1-0002.yfl", "x").ok());
+    ASSERT_TRUE(io::write_file_atomic(dir / "eu1-0001.tsv", "x").ok());
+    ASSERT_TRUE(io::write_file_atomic(dir / "eu1-0001.tsv.corrupt.1", "x").ok());
+    ASSERT_TRUE(io::write_file_atomic(dir / "partial.yfl.tmp", "x").ok());
+    ASSERT_TRUE(io::write_file_atomic(dir / "notes.txt", "x").ok());
+
+    const auto files = service::scan_spool(dir);
+    ASSERT_EQ(files.size(), 2u);
+    EXPECT_EQ(files[0].name, "eu1-0001.tsv");
+    EXPECT_EQ(files[1].name, "us1-0002.yfl");
+    EXPECT_EQ(service::stream_of("eu1-0001.tsv"), "eu1");
+    EXPECT_EQ(service::stream_of("us1.yfl"), "us1");
+}
+
+namespace {
+
+/// Spool with three per-stream flow logs and the two-DC map.
+void make_spool(const fs::path& spool,
+                const std::vector<capture::FlowRecord>& records) {
+    fs::create_directories(spool);
+    std::vector<capture::FlowRecord> first(records.begin(),
+                                           records.begin() + 15);
+    std::vector<capture::FlowRecord> second(records.begin() + 15,
+                                            records.end());
+    capture::write_any_log(spool / "eu1-0001.yfl", first);
+    capture::write_any_log(spool / "eu1-0002.yfl", second);
+    capture::write_any_log(spool / "us1-0001.tsv", records);
+    ASSERT_TRUE(io::write_file_atomic(spool / "vantage.dcmap",
+                                      [&](std::ostream& os) {
+                                          analysis::write_dc_map(os,
+                                                                 two_dc_map());
+                                          return static_cast<bool>(os);
+                                      })
+                    .ok());
+}
+
+service::ServiceOptions once_options(const fs::path& spool,
+                                     const fs::path& run_dir,
+                                     std::size_t threads) {
+    service::ServiceOptions opt;
+    opt.spool_dir = spool;
+    opt.run_dir = run_dir;
+    opt.once = true;
+    opt.threads = threads;
+    opt.tick_ms = 1;
+    opt.policy.attempts = 2;
+    opt.policy.backoff_s = 0.0;
+    return opt;
+}
+
+std::string file_bytes(const fs::path& path) {
+    auto data = io::read_file(path);
+    EXPECT_TRUE(data.ok()) << path;
+    return data.ok() ? std::move(data).value() : std::string();
+}
+
+}  // namespace
+
+TEST(Determinism, ServiceResume) {
+    // The acceptance bar: aggregates after (ingest some, stop, resume the
+    // rest) are byte-identical to one uninterrupted pass — at parse-pool
+    // sizes 1 and 8.
+    const auto records = sample_records();
+    std::string reference;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        const std::string tag = std::to_string(threads);
+        const auto base = temp_dir("resume_" + tag);
+
+        // Uninterrupted pass over the full spool.
+        make_spool(base / "spool_full", records);
+        service::Service full(
+            once_options(base / "spool_full", base / "run_full", threads));
+        auto full_report = full.run();
+        ASSERT_TRUE(full_report.ok()) << full_report.error().what();
+        ASSERT_TRUE(full_report.value().clean_shutdown);
+        ASSERT_EQ(full_report.value().files_ingested, 3u);
+        const std::string uninterrupted =
+            file_bytes(full_report.value().aggregates_path);
+        ASSERT_FALSE(uninterrupted.empty());
+
+        // Interrupted pass: first only eu1-0001 is spooled, the daemon runs
+        // to quiesce (checkpointing), then the rest arrives and a *resumed*
+        // daemon ingests it.
+        const auto spool = base / "spool_inc";
+        fs::create_directories(spool);
+        std::vector<capture::FlowRecord> first(records.begin(),
+                                               records.begin() + 15);
+        capture::write_any_log(spool / "eu1-0001.yfl", first);
+        // The dc map must be present from the start: both passes must
+        // classify file 1's flows under the same preference state.
+        ASSERT_TRUE(io::write_file_atomic(spool / "vantage.dcmap",
+                                          [&](std::ostream& os) {
+                                              analysis::write_dc_map(
+                                                  os, two_dc_map());
+                                              return static_cast<bool>(os);
+                                          })
+                        .ok());
+        service::Service partial(
+            once_options(spool, base / "run_inc", threads));
+        auto partial_report = partial.run();
+        ASSERT_TRUE(partial_report.ok()) << partial_report.error().what();
+        ASSERT_EQ(partial_report.value().files_ingested, 1u);
+
+        make_spool(spool, records);  // the remaining files (+ dcmap) land
+        auto resume_options = once_options(spool, base / "run_inc", threads);
+        resume_options.resume = true;
+        service::Service resumed(resume_options);
+        auto resumed_report = resumed.run();
+        ASSERT_TRUE(resumed_report.ok()) << resumed_report.error().what();
+        ASSERT_EQ(resumed_report.value().files_ingested, 3u)
+            << "resume must not re-ingest the checkpointed file";
+
+        const std::string after_resume =
+            file_bytes(resumed_report.value().aggregates_path);
+        EXPECT_EQ(after_resume, uninterrupted)
+            << "resumed aggregates diverged at threads=" << threads;
+
+        if (reference.empty()) {
+            reference = uninterrupted;
+        } else {
+            EXPECT_EQ(uninterrupted, reference)
+                << "aggregates depend on the parse-pool size";
+        }
+        fs::remove_all(base);
+    }
+}
+
+TEST(Service, RefusesResumeUnderDifferentKnobs) {
+    const auto base = temp_dir("knobs");
+    make_spool(base / "spool", sample_records());
+    service::Service first(once_options(base / "spool", base / "run", 1));
+    ASSERT_TRUE(first.run().ok());
+
+    auto changed = once_options(base / "spool", base / "run", 1);
+    changed.resume = true;
+    changed.gap_T_s = 2.0;  // different session rule => different fingerprint
+    service::Service second(changed);
+    auto report = second.run();
+    // The stale checkpoint is quarantined (KeyMismatch), the daemon starts
+    // cold and re-ingests everything rather than mixing gap rules.
+    ASSERT_TRUE(report.ok()) << report.error().what();
+    EXPECT_FALSE(report.value().warnings.empty());
+    EXPECT_EQ(report.value().files_ingested, 3u);
+    fs::remove_all(base);
+}
+
+TEST(Service, OverloadShedsDeterministicallyIntoManifest) {
+    const auto base = temp_dir("shed");
+    make_spool(base / "spool", sample_records());
+    auto opt = once_options(base / "spool", base / "run", 1);
+    opt.batch_records = 4;  // 40-record us1 log => 10 batches
+    opt.queue_capacity = 2;
+    service::Service daemon(opt);
+    auto report = daemon.run();
+    ASSERT_TRUE(report.ok()) << report.error().what();
+    ASSERT_GT(report.value().batches_shed, 0u);
+
+    // Every shed batch is in the manifest — never silent — and a second
+    // identical run sheds identically.
+    const std::string manifest = file_bytes(report.value().manifest_path);
+    std::size_t shed_lines = 0;
+    std::istringstream is(manifest);
+    for (std::string line; std::getline(is, line);) {
+        shed_lines += line.rfind("shed file=", 0) == 0 ? 1 : 0;
+    }
+    EXPECT_EQ(shed_lines, report.value().batches_shed);
+
+    const auto base2 = temp_dir("shed2");
+    make_spool(base2 / "spool", sample_records());
+    auto opt2 = once_options(base2 / "spool", base2 / "run", 1);
+    opt2.batch_records = 4;
+    opt2.queue_capacity = 2;
+    service::Service again(opt2);
+    auto report2 = again.run();
+    ASSERT_TRUE(report2.ok());
+    EXPECT_EQ(file_bytes(report2.value().manifest_path), manifest);
+    fs::remove_all(base);
+    fs::remove_all(base2);
+}
+
+TEST(Service, QuarantinesUnparseableSpoolFilesAndContinues) {
+    const auto base = temp_dir("quarantine");
+    const auto spool = base / "spool";
+    make_spool(spool, sample_records());
+    ASSERT_TRUE(
+        io::write_file_atomic(spool / "aa-garbage.yfl", "not a flow log").ok());
+
+    service::Service daemon(once_options(spool, base / "run", 1));
+    auto report = daemon.run();
+    ASSERT_TRUE(report.ok()) << report.error().what();
+    EXPECT_EQ(report.value().files_ingested, 4u);  // 3 good + 1 quarantined
+    EXPECT_FALSE(report.value().warnings.empty());
+    EXPECT_FALSE(fs::exists(spool / "aa-garbage.yfl"));
+    EXPECT_TRUE(fs::exists(spool / "aa-garbage.yfl.corrupt.1"));
+
+    const std::string manifest = file_bytes(report.value().manifest_path);
+    EXPECT_NE(manifest.find("status=quarantined"), std::string::npos);
+    fs::remove_all(base);
+}

@@ -189,6 +189,45 @@ TEST(Tracer, CorruptFixturesYieldTypedErrors) {
     }
 }
 
+TEST(Tracer, SalvageRecoversTornTailButRejectsCorruption) {
+    // A writer killed mid-append leaves a valid prefix: strict read says
+    // Truncated, salvage returns every CRC-verified block.
+    const auto bytes = sim::write_trace_bytes(fixture_log());
+    const auto torn = bytes.substr(0, bytes.size() - 10);  // mid-trailer
+    ASSERT_FALSE(sim::read_trace_bytes(torn).ok());
+    auto salvage = sim::salvage_trace_bytes(torn).value_or_throw();
+    EXPECT_FALSE(salvage.complete);
+    EXPECT_FALSE(salvage.note.empty());
+    EXPECT_EQ(salvage.declared_events, 6u);
+    EXPECT_EQ(salvage.log, fixture_log());  // one full block: nothing lost
+
+    // Tear inside the single event block: the whole block is unverifiable,
+    // so salvage keeps the string table but zero events.
+    const auto mid_block = bytes.substr(0, bytes.size() / 2);
+    auto partial = sim::salvage_trace_bytes(mid_block).value_or_throw();
+    EXPECT_FALSE(partial.complete);
+    EXPECT_TRUE(partial.log.events.empty());
+    EXPECT_EQ(partial.log.strings, fixture_log().strings);
+
+    // An intact stream salvages as complete (callers treat that as "use the
+    // strict reader's verdict instead").
+    EXPECT_TRUE(sim::salvage_trace_bytes(bytes).value_or_throw().complete);
+
+    // Corruption is still corruption: a flipped bit inside a complete block
+    // or a damaged string table must not be dressed up as a tear.
+    std::string flipped = bytes;
+    flipped[flipped.size() - 40] ^= 1;
+    auto bad_block = sim::salvage_trace_bytes(flipped);
+    ASSERT_FALSE(bad_block.ok());
+    EXPECT_EQ(bad_block.error().code(), ytcdn::ErrorCode::ChecksumMismatch);
+    EXPECT_FALSE(
+        sim::salvage_trace_bytes(read_file(corpus_path("trace_bad_crc.ytr")))
+            .ok());
+    EXPECT_FALSE(
+        sim::salvage_trace_bytes(read_file(corpus_path("trace_bad_magic.ytr")))
+            .ok());
+}
+
 TEST(Tracer, JsonlCarriesResolvedFaultTargets) {
     const auto jsonl = sim::render_trace_jsonl(fixture_log());
     EXPECT_NE(jsonl.find("\"type\":\"fault\""), std::string::npos);

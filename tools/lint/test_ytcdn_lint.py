@@ -27,6 +27,7 @@ EXPECTED = [
     ("src/bad_metrics.cpp", "metrics-name-literal", 2),
     ("bad_after_separator.cpp", "rng-source", 1),
     ("src/sim/bad_hot_loop.cpp", "heap-in-hot-loop", 4),
+    ("src/service/bad_blocking.cpp", "blocking-call-in-service-loop", 5),
 ]
 
 failures: list[str] = []
@@ -58,6 +59,8 @@ def main() -> int:
     check("good_clean.cpp" not in out, "clean fixture produces no findings")
     check("good_strings.cpp" not in out,
           "patterns inside strings/comments produce no findings")
+    check("good_service_loop.cpp" not in out,
+          "bounded util::io waits in the service loop produce no findings")
     for line in out.splitlines():
         if ": [" in line:
             prefix = line.split(": [")[0]

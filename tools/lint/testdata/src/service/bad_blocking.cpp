@@ -1,0 +1,26 @@
+// Seeded violations: unbounded waits inside the service supervision loop.
+// The daemon is single-threaded; any of these freezes the control socket,
+// the SIGTERM stop flag, and fault injection all at once. This directory is
+// excluded from the real lint run.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+struct Worker {
+    void join() {}
+};
+
+struct PollFd {
+    int fd;
+    short events;
+    short revents;
+};
+void wait_for_work(Worker& worker, std::condition_variable& cv,
+                   std::mutex& mu, PollFd* fds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));  // blocking-call-in-service-loop
+    usleep(250);                       // blocking-call-in-service-loop
+    worker.join();                     // blocking-call-in-service-loop
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock);                     // blocking-call-in-service-loop
+    ::poll(fds, 1, -1);                // blocking-call-in-service-loop
+}

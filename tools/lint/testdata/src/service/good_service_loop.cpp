@@ -1,0 +1,34 @@
+// Clean fixture for blocking-call-in-service-loop: the supervision-loop
+// shape the rule is protecting. Every wait carries a deadline and goes
+// through the injectable util::io facade, so the control socket, the stop
+// flag, and fault injection all get serviced within one tick.
+#include <string>
+#include <vector>
+
+namespace io {
+int poll_readable(int fd, int timeout_ms);
+}  // namespace io
+
+struct ServerSocket {
+    int accept_ready(int timeout_ms);
+};
+
+std::string join(const std::vector<std::string>& parts);
+bool stop_requested();
+
+int supervise(ServerSocket& socket, int tick_ms) {
+    int served = 0;
+    while (!stop_requested()) {
+        // Bounded waits: deadline-carrying facade calls, never raw syscalls.
+        const int client = socket.accept_ready(tick_ms);
+        if (client < 0) {
+            io::poll_readable(-1, tick_ms);  // pure bounded pacing wait
+            continue;
+        }
+        io::poll_readable(client, tick_ms);
+        ++served;
+    }
+    // A free join() over tokens is string assembly, not a thread join.
+    const std::vector<std::string> words = {"drain", "Mountain", "View"};
+    return served + static_cast<int>(join(words).size());
+}

@@ -110,6 +110,7 @@ ALL_RULES = (
     "catch-all",
     "metrics-name-literal",
     "heap-in-hot-loop",
+    "blocking-call-in-service-loop",
 )
 
 
@@ -338,6 +339,27 @@ HOT_ALLOC_PATTERNS = (
      ".substr() copies into a fresh string"),
 )
 
+# The daemon's single supervision thread owes the control socket, the stop
+# flag, and the fault injector a bounded response time. Every wait it takes
+# must therefore carry a deadline and go through the injectable facade
+# (util::io::poll_readable / UnixServerSocket::accept_ready); an unbounded
+# sleep, join, or raw blocking syscall freezes all three at once.
+SERVICE_LOOP_DIRS = ("src/service/",)
+SERVICE_BLOCKING_PATTERNS = (
+    (re.compile(r"std\s*::\s*this_thread\s*::\s*sleep_(?:for|until)\b"),
+     "thread sleep in the service loop"),
+    (re.compile(r"(?<![\w:.])(?:u|nano)?sleep\s*\("),
+     "raw sleep syscall in the service loop"),
+    (re.compile(r"\.\s*join\s*\(\s*\)"),
+     "unbounded thread join in the service loop"),
+    (re.compile(r"\.\s*wait(?:_for|_until)?\s*\("),
+     "condition-variable wait in the service loop"),
+    (re.compile(
+        r"(?<![\w:.<])::\s*(?:accept4?|poll|ppoll|select|pselect|epoll_wait|"
+        r"recv|recvfrom|recvmsg|read)\s*\("),
+     "raw blocking syscall in the service loop"),
+)
+
 UNORDERED_DECL_RE = re.compile(
     r"(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
 # A declaration introducing a named unordered container (variable or member):
@@ -555,6 +577,21 @@ class Linter:
                                  "std::string_view, or intern the id "
                                  "(util::Interner; DESIGN.md §14)")
                             break
+
+        # blocking-call-in-service-loop: the daemon is single-threaded by
+        # contract — any unbounded wait starves the control socket, the
+        # SIGTERM stop flag, and fault injection simultaneously. All waits
+        # in src/service/ must be deadline-bounded util::io calls.
+        if rel.startswith(SERVICE_LOOP_DIRS):
+            for idx, line in enumerate(lines):
+                for pat, msg in SERVICE_BLOCKING_PATTERNS:
+                    if pat.search(line):
+                        emit(idx, "blocking-call-in-service-loop",
+                             f"{msg} — the daemon must stay responsive to "
+                             "the control socket and stop flag; wait with a "
+                             "deadline via util::io::poll_readable or "
+                             "UnixServerSocket::accept_ready instead")
+                        break
 
         # unordered-iter: range-for over a known unordered container whose
         # body formats output or accumulates.

@@ -7,7 +7,10 @@
 //              [--no-validate] FILE
 //
 // Exit codes follow the repo convention: 0 ok, 1 invariant violation,
-// 2 usage, 3 I/O, 4 corrupt trace.
+// 2 usage, 3 I/O, 4 corrupt trace. A *torn* trace — a valid prefix cut
+// short by a crashed writer — is salvaged instead: every CRC-verified
+// block is dumped, a warning names the tear, and the exit code is 6 so
+// callers can tell "partial but trustworthy" from "corrupt".
 
 #include <cstdint>
 #include <iostream>
@@ -81,8 +84,26 @@ int run(const util::ArgParser& args) {
                     "unknown option --" + unknown.front());
     }
 
-    const sim::TraceLog log =
-        sim::read_trace_file(args.positionals().front()).value_or_throw();
+    bool torn = false;
+    sim::TraceLog log;
+    auto strict = sim::read_trace_file(args.positionals().front());
+    if (strict) {
+        log = std::move(strict).value();
+    } else {
+        // Strict read failed: try the torn-tail salvage. It repeats the
+        // strict header/string/CRC checks, so real corruption still fails
+        // here and the original typed error (exit 4) is what's reported.
+        auto salvage = sim::salvage_trace_file(args.positionals().front());
+        if (!salvage || salvage.value().complete) {
+            throw std::move(strict).error();
+        }
+        torn = true;
+        log = std::move(salvage.value().log);
+        std::cerr << "warning: " << salvage.value().note << "; recovered "
+                  << log.events.size() << " of "
+                  << salvage.value().declared_events
+                  << " declared events (partial dump)\n";
+    }
 
     if (format == "jsonl") {
         std::cout << sim::render_trace_jsonl(log);
@@ -90,6 +111,9 @@ int run(const util::ArgParser& args) {
         print_text(log, max_sessions < 0 ? 0 : static_cast<std::size_t>(max_sessions));
     }
 
+    // A torn tail legitimately strands open sessions, so the invariant
+    // check is skipped; 6 says "partial but every dumped byte verified".
+    if (torn) return 6;
     if (args.has_flag("no-validate")) return 0;
     const auto validation =
         sim::validate_trace(log, static_cast<int>(max_retries));

@@ -18,10 +18,13 @@
 // Flow logs are TSV (.tsv) or the compact binary format (.yfl), chosen by
 // extension.
 
+#include <csignal>
 #include <filesystem>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <string_view>
+#include <vector>
 
 #include "analysis/preferred_dc.hpp"
 #include "analysis/session.hpp"
@@ -30,6 +33,8 @@
 #include "capture/log_io.hpp"
 #include "geo/city.hpp"
 #include "geoloc/cbg.hpp"
+#include "service/control.hpp"
+#include "service/service.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/tracer.hpp"
 #include "study/planetlab_experiment.hpp"
@@ -61,7 +66,12 @@ int usage() {
         "  analyze    LOG MAP [--gap T]                               full offline analysis (preferred DC, patterns)\n"
         "  convert    IN OUT                                          convert between .tsv and .yfl logs\n"
         "  geolocate  [--scale S] [--landmarks N]                     CBG-locate every data center\n"
-        "  planetlab  [--nodes N] [--rounds R]                        fresh-video active experiment\n";
+        "  planetlab  [--nodes N] [--rounds R]                        fresh-video active experiment\n"
+        "  serve      --spool DIR --out DIR [--socket PATH] [--resume] [--once]\n"
+        "             [--gap T] [--queue N] [--batch N] [--tick-ms MS] [--threads N]\n"
+        "             [--attempts N] [--backoff S] [--stage-deadline S] [--checkpoint-every N]\n"
+        "                                                             ytcdnd: crash-safe online-ingest daemon\n"
+        "  ctl        SOCKET COMMAND...                               send one control command to a running ytcdnd\n";
     return 2;
 }
 
@@ -351,6 +361,67 @@ int cmd_planetlab(const util::ArgParser& args) {
     return 0;
 }
 
+void handle_stop_signal(int) { service::request_stop(); }
+
+/// ytcdnd: the crash-safe long-running service mode (DESIGN.md §15).
+/// SIGTERM/SIGINT quiesce the loop, flush the service checkpoint and exit
+/// cleanly; kill -9 + `--resume` replays the spool to byte-identical
+/// aggregates.
+int cmd_serve(const util::ArgParser& args) {
+    service::ServiceOptions opt;
+    opt.spool_dir = args.get_or("spool", "");
+    opt.run_dir = args.get_or("out", "");
+    opt.socket_path = args.get_or("socket", "");
+    opt.resume = args.has_flag("resume");
+    opt.once = args.has_flag("once");
+    opt.gap_T_s = args.get_double_or("gap", 1.0);
+    opt.queue_capacity = static_cast<std::size_t>(args.get_long_or("queue", 0));
+    opt.batch_records = static_cast<std::size_t>(args.get_long_or("batch", 4096));
+    opt.tick_ms = static_cast<int>(args.get_long_or("tick-ms", 50));
+    opt.checkpoint_every =
+        static_cast<std::size_t>(args.get_long_or("checkpoint-every", 1));
+    opt.threads = static_cast<std::size_t>(args.get_long_or("threads", 0));
+    opt.policy.attempts = static_cast<int>(args.get_long_or("attempts", 3));
+    opt.policy.backoff_s = args.get_double_or("backoff", 0.05);
+    opt.policy.deadline_s = args.get_double_or("stage-deadline", 0.0);
+    opt.log = &std::cerr;  // progress/warnings; stdout carries the summary
+
+    service::clear_stop();
+    std::signal(SIGTERM, &handle_stop_signal);
+    std::signal(SIGINT, &handle_stop_signal);
+
+    service::Service daemon(opt);
+    const auto report = daemon.run().value_or_throw();
+    std::cout << "ytcdnd: " << report.files_ingested << " files, "
+              << report.records_ingested << " records ingested, "
+              << report.batches_shed << " batches shed ("
+              << report.records_shed << " records)\n"
+              << "  manifest:   " << report.manifest_path.string() << '\n'
+              << "  aggregates: " << report.aggregates_path.string() << '\n';
+    return 0;
+}
+
+/// One-shot control client: connect, send the command line, print the
+/// daemon's reply. Exit 0 on an "ok" reply, 1 on "err".
+int cmd_ctl(const util::ArgParser& args) {
+    const auto& pos = args.positionals();
+    if (pos.size() < 3) return usage();
+    std::string line;
+    for (std::size_t i = 2; i < pos.size(); ++i) {
+        if (i > 2) line += ' ';
+        line += pos[i];
+    }
+    const int fd = util::io::connect_unix(pos[1])
+                       .context("control socket " + pos[1])
+                       .value_or_throw();
+    util::io::write_fd_all(fd, line + "\n").value_or_throw();
+    const std::string reply =
+        util::io::read_all_fd(fd, 5000).value_or_throw();
+    util::io::close_fd(fd);
+    std::cout << reply;
+    return reply.rfind("ok", 0) == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -358,7 +429,14 @@ int main(int argc, char** argv) {
         // Chaos hook: YTCDN_IO_FAULTS installs a deterministic fault plan
         // on the util::io facade for every file this process touches.
         ytcdn::util::io::install_fault_plan_from_env().value_or_throw();
-        const util::ArgParser args(argc, argv, {"binary", "no-table3"});
+        // `--resume` takes a directory for `study` but is a boolean for
+        // `serve` (the daemon's run dir is always --out), so the flag set
+        // depends on the verb.
+        std::vector<std::string> flags = {"binary", "no-table3"};
+        if (argc > 1 && std::string_view(argv[1]) == "serve") {
+            flags.insert(flags.end(), {"resume", "once"});
+        }
+        const util::ArgParser args(argc, argv, std::move(flags));
         if (args.positionals().empty()) return usage();
         const std::string& cmd = args.positionals().front();
         if (cmd == "run") return cmd_run(args);
@@ -370,6 +448,8 @@ int main(int argc, char** argv) {
         if (cmd == "convert") return cmd_convert(args);
         if (cmd == "geolocate") return cmd_geolocate(args);
         if (cmd == "planetlab") return cmd_planetlab(args);
+        if (cmd == "serve") return cmd_serve(args);
+        if (cmd == "ctl") return cmd_ctl(args);
         std::cerr << "unknown command '" << cmd << "'\n";
         return usage();
     } catch (const ytcdn::Error& e) {
