@@ -1,5 +1,7 @@
 #include "bench_common.hpp"
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -146,6 +148,17 @@ void dump_metrics_snapshot() {
                  entry.kind == util::metrics::SnapshotEntry::Kind::Histogram
                      ? entry.count
                      : entry.value);
+    }
+
+    // This process's own high-water mark. run_benches.sh also records the
+    // wrapper's getrusage(RUSAGE_CHILDREN) figure, but CHILDREN is a
+    // max-over-all-waited-children and stops meaning "this binary" as soon
+    // as a run forks helpers — the bounded-memory claims (bench_scale_10m)
+    // gate on RUSAGE_SELF, read here inside the measured process.
+    struct rusage self {};
+    if (getrusage(RUSAGE_SELF, &self) == 0) {
+        emit_u64("proc.peak_rss_self_kib",
+                 static_cast<std::uint64_t>(self.ru_maxrss));
     }
     os << "\n}\n";
 

@@ -52,6 +52,10 @@ def main() -> int:
                     help="per-binary noise floor: binaries whose baseline cold "
                          "wall is below this many ms are reported but not gated "
                          "(default 250)")
+    ap.add_argument("--rss-ceiling-kib", type=int, default=None,
+                    help="absolute peak-RSS ceiling applied to every candidate "
+                         "binary (self-RSS preferred) regardless of baseline or "
+                         "noise floor — the scale-smoke bounded-memory gate")
     ap.add_argument("--allow-mismatch", action="store_true",
                     help="downgrade build-type/optimization mismatch from exit 2 "
                          "to a warning (local exploration only — CI must not)")
@@ -125,8 +129,15 @@ def main() -> int:
             continue
         tot_b += bw
         tot_c += cw
-        br = b.get("cold_peak_rss_kib")
-        cr = c.get("cold_peak_rss_kib")
+        # Prefer the binaries' own getrusage(RUSAGE_SELF) high-water marks:
+        # the wrapper's RUSAGE_CHILDREN figure is a max over all waited
+        # children and only exists per-wrapper-process. Fall back to the
+        # wrapper figure so pre-self-RSS baselines stay comparable.
+        if b.get("cold_peak_rss_self_kib") and c.get("cold_peak_rss_self_kib"):
+            br, cr = b["cold_peak_rss_self_kib"], c["cold_peak_rss_self_kib"]
+        else:
+            br = b.get("cold_peak_rss_kib")
+            cr = c.get("cold_peak_rss_kib")
         rss_delta = fmt_delta(br, cr) if br and cr else "n/a"
         gated = bw >= args.min_ms
         mark = ""
@@ -138,6 +149,10 @@ def main() -> int:
             failures.append(f"{name}: cold peak RSS {br} -> {cr} KiB "
                             f"({fmt_delta(br, cr)})")
             mark += "  << rss"
+        if args.rss_ceiling_kib and cr and cr > args.rss_ceiling_kib:
+            failures.append(f"{name}: cold peak RSS {cr} KiB exceeds the "
+                            f"absolute ceiling {args.rss_ceiling_kib} KiB")
+            mark += "  << rss-ceiling"
         floor = "" if gated else "  (below noise floor)"
         print(f"{name:<44}{bw:>9}{cw:>9}{fmt_delta(bw, cw):>8}{rss_delta:>8}"
               f"{mark}{floor}")

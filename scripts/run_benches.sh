@@ -69,6 +69,14 @@ fi
 # path for the binary's internal-counter dump (see bench_common.hpp). The
 # python wrapper exists for getrusage(RUSAGE_CHILDREN): /usr/bin/time -v is
 # not everywhere, and bash can't see a child's ru_maxrss.
+#
+# Caveat on the CHILDREN figure: it is the max over ALL waited children of
+# this wrapper, so it stops meaning "this binary" the moment a run forks
+# helpers, and it can only ratchet upward across phases. The binaries
+# therefore also report their own getrusage(RUSAGE_SELF) high-water mark as
+# proc.peak_rss_self_kib in the metrics dump; the aggregator records both,
+# and bounded-memory claims (bench_scale_10m, bench_compare.py's RSS gate)
+# use the SELF figure whenever it is present.
 run_one() {
     local bin="$1" json="$2" snapshot="$3" metrics="${4:-}"
     # stdout (the paper artifacts) is not interesting here; stderr carries
@@ -98,7 +106,8 @@ if [ "${YTCDN_BENCH_COLD:-1}" != "0" ]; then
     echo "== cold phase (no snapshot cache): ${#BINARIES[@]} binaries =="
     for bin in "${BINARIES[@]}"; do
         name="$(basename "$bin")"
-        read -r ms rss <<< "$(run_one "$bin" "$WORK_DIR/cold_$name.json" 0)"
+        read -r ms rss <<< "$(run_one "$bin" "$WORK_DIR/cold_$name.json" 0 \
+            "$WORK_DIR/coldmetrics_$name.json")"
         COLD_MS[$name]=$ms
         COLD_RSS[$name]=$rss
         printf '  %-42s %8d ms  %7d KiB peak\n' "$name" "$ms" "$rss"
@@ -164,12 +173,24 @@ for path in sorted(work.glob("warm_*.json")):
     if metrics_path.exists():
         internal_counters[name] = json.loads(metrics_path.read_text())
 
+# In-process RUSAGE_SELF peaks, per phase (the wrapper's CHILDREN figure
+# above is a max over all waited children — see run_one).
+self_rss = {}
+for prefix, phase in (("coldmetrics", "cold"), ("metrics", "warm")):
+    for path in sorted(work.glob(f"{prefix}_*.json")):
+        name = path.stem.removeprefix(f"{prefix}_")
+        kib = json.loads(path.read_text()).get("proc.peak_rss_self_kib")
+        if isinstance(kib, int):
+            self_rss.setdefault(name, {})[phase] = kib
+
 suite = {
     name: {
         "cold_wall_ms": phases.get("cold"),
         "warm_wall_ms": phases.get("warm"),
         "cold_peak_rss_kib": rss.get(name, {}).get("cold"),
         "warm_peak_rss_kib": rss.get(name, {}).get("warm"),
+        "cold_peak_rss_self_kib": self_rss.get(name, {}).get("cold"),
+        "warm_peak_rss_self_kib": self_rss.get(name, {}).get("warm"),
         "speedup": (phases["cold"] / phases["warm"])
         if phases.get("cold") and phases.get("warm")
         else None,

@@ -303,4 +303,318 @@ std::vector<FlowRecord> read_binary_log(const std::filesystem::path& path) {
     return read_binary_log_result(path).value_or_throw();
 }
 
+// --- streaming writer --------------------------------------------------------
+
+namespace {
+
+/// The 20-byte v2 header for `count` records (shared by the up-front
+/// zero-count write and the finish()-time patch, so both take the exact
+/// serialize_v2 layout).
+std::string v2_header(std::uint64_t count) {
+    std::string header(kMagicV2, sizeof(kMagicV2));
+    put<std::uint32_t>(header, kVersionV2);
+    put<std::uint64_t>(header, count);
+    put<std::uint32_t>(header, util::crc32(header));
+    return header;
+}
+
+}  // namespace
+
+util::Result<FlowLogWriter> FlowLogWriter::create(
+    const std::filesystem::path& path) {
+    auto writer = util::io::FileWriter::create(path);
+    if (!writer) {
+        return std::move(writer).context("FlowLogWriter " + path.string()).error();
+    }
+    FlowLogWriter out;
+    out.writer_ = std::move(writer).value();
+    out.block_.reserve(kBlockRecords * kRecordSize);
+    if (auto r = out.writer_.append(v2_header(0)); !r) {
+        return std::move(r).context("FlowLogWriter " + path.string()).error();
+    }
+    return out;
+}
+
+util::Result<void> FlowLogWriter::flush_block() {
+    if (block_records_ == 0) return {};
+    std::string frame;
+    frame.reserve(kBlockHeaderSize + block_.size());
+    put<std::uint32_t>(frame, block_records_);
+    put<std::uint32_t>(frame, util::crc32(block_));
+    frame += block_;
+    block_.clear();
+    block_records_ = 0;
+    return writer_.append(frame);
+}
+
+util::Result<void> FlowLogWriter::add(const FlowRecord& record) {
+    if (!writer_.is_open()) {
+        return Error(ErrorCode::Io, "FlowLogWriter: not open");
+    }
+    put_record(block_, record);
+    ++block_records_;
+    ++count_;
+    if (block_records_ == kBlockRecords) return flush_block();
+    return {};
+}
+
+util::Result<void> FlowLogWriter::finish() {
+    if (!writer_.is_open()) {
+        return Error(ErrorCode::Io, "FlowLogWriter: not open");
+    }
+    const std::string where = writer_.path().string();
+    const auto fail = [this, &where](Error error) {
+        writer_.discard();
+        return std::move(error).context("FlowLogWriter " + where);
+    };
+    if (auto r = flush_block(); !r) return fail(std::move(r).error());
+    std::string trailer(kTrailerMagic, sizeof(kTrailerMagic));
+    put<std::uint64_t>(trailer, count_);
+    put<std::uint32_t>(trailer, util::crc32(trailer));
+    if (auto r = writer_.append(trailer); !r) return fail(std::move(r).error());
+    if (auto r = writer_.write_at(0, v2_header(count_)); !r) {
+        return fail(std::move(r).error());
+    }
+    return writer_.publish().context("FlowLogWriter " + where);
+}
+
+// --- streaming reader --------------------------------------------------------
+
+util::Result<FlowLogReader> FlowLogReader::open(const std::filesystem::path& path,
+                                                std::size_t chunk_bytes) {
+    auto reader = util::io::FileReader::open(path);
+    if (!reader) {
+        return std::move(reader).context("FlowLogReader " + path.string()).error();
+    }
+    // The batch parser sees the whole stream at once and validates the
+    // declared count against the total size *before* touching any block;
+    // replicating that check here (from the file's stat size) keeps the two
+    // readers' error taxonomies identical — a truncated log fails with the
+    // same CountMismatch either way, not Truncated from whichever block the
+    // incremental reader happened to be in.
+    std::error_code size_ec;
+    const std::uint64_t file_size = std::filesystem::file_size(path, size_ec);
+    if (size_ec) {
+        return Error(ErrorCode::Io, "stat failed for " + path.string() + ": " +
+                                        size_ec.message());
+    }
+
+    FlowLogReader out;
+    out.reader_ = std::move(reader).value();
+    out.chunk_ = chunk_bytes == 0 ? 1 : chunk_bytes;
+
+    auto have = out.fill(kHeaderSizeV1);
+    if (!have) return std::move(have).error();
+    if (!have.value()) {
+        return Error(ErrorCode::Truncated,
+                     "truncated header: " +
+                         std::to_string(out.buf_.size() - out.pos_) + " bytes");
+    }
+    const char* p = out.buf_.data() + out.pos_;
+    const bool v1 = std::memcmp(p, kMagicV1, sizeof(kMagicV1)) == 0;
+    const bool v2 = std::memcmp(p, kMagicV2, sizeof(kMagicV2)) == 0;
+    if (!v1 && !v2) return error_at_byte(ErrorCode::BadMagic, "bad magic", 0);
+    p += sizeof(kMagicV1);
+    const auto version = take<std::uint32_t>(p);
+    if (v1) {
+        if (version != kVersionV1) {
+            return Error(ErrorCode::UnsupportedVersion,
+                         "magic YFL1 with version " + std::to_string(version));
+        }
+        out.count_ = take<std::uint64_t>(p);
+        if (out.count_ > (file_size - kHeaderSizeV1) / kRecordSize ||
+            file_size != binary_log_size_v1(out.count_)) {
+            return Error(ErrorCode::CountMismatch,
+                         "v1 size mismatch: declared " +
+                             std::to_string(out.count_) + " records (" +
+                             std::to_string(binary_log_size_v1(out.count_)) +
+                             " bytes), stream holds " +
+                             std::to_string(file_size));
+        }
+        out.version_ = kVersionV1;
+        out.pos_ += kHeaderSizeV1;
+        out.abs_ += kHeaderSizeV1;
+        return out;
+    }
+    if (version != kVersionV2) {
+        return Error(ErrorCode::UnsupportedVersion,
+                     "magic YFL2 with version " + std::to_string(version));
+    }
+    if (file_size < kHeaderSizeV2 + kTrailerSize) {
+        return Error(ErrorCode::Truncated, "truncated v2 header/trailer");
+    }
+    have = out.fill(kHeaderSizeV2);
+    if (!have) return std::move(have).error();
+    if (!have.value()) {
+        return Error(ErrorCode::Truncated, "truncated v2 header/trailer");
+    }
+    p = out.buf_.data() + out.pos_;
+    const std::uint32_t header_crc = util::crc32(
+        std::string_view(p, kHeaderSizeV2 - 4));
+    p += sizeof(kMagicV2) + sizeof(std::uint32_t);
+    out.count_ = take<std::uint64_t>(p);
+    if (take<std::uint32_t>(p) != header_crc) {
+        return error_at_byte(ErrorCode::ChecksumMismatch, "header CRC mismatch",
+                             kHeaderSizeV2 - 4);
+    }
+    if (out.count_ > (file_size - kHeaderSizeV2 - kTrailerSize) / kRecordSize ||
+        file_size != binary_log_size(out.count_)) {
+        return Error(ErrorCode::CountMismatch,
+                     "v2 size mismatch: declared " + std::to_string(out.count_) +
+                         " records (" + std::to_string(binary_log_size(out.count_)) +
+                         " bytes), stream holds " + std::to_string(file_size));
+    }
+    out.version_ = kVersionV2;
+    out.pos_ += kHeaderSizeV2;
+    out.abs_ += kHeaderSizeV2;
+    return out;
+}
+
+util::Result<bool> FlowLogReader::fill(std::size_t need) {
+    if (pos_ > 0 && buf_.size() - pos_ < need) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    while (buf_.size() - pos_ < need) {
+        auto n = reader_.read_chunk(buf_, chunk_);
+        if (!n) return std::move(n).error();
+        if (n.value() == 0) return false;
+    }
+    return true;
+}
+
+util::Result<std::size_t> FlowLogReader::next(std::vector<FlowRecord>& out) {
+    out.clear();
+    if (done_) return std::size_t{0};
+    return version_ == kVersionV1 ? next_v1(out) : next_v2(out);
+}
+
+util::Result<std::size_t> FlowLogReader::next_v1(std::vector<FlowRecord>& out) {
+    if (read_ == count_) {
+        // parse_v1 validates the exact file size; the incremental
+        // equivalent is "no bytes may remain past the declared records".
+        auto more = fill(1);
+        if (!more) return std::move(more).error();
+        if (more.value()) {
+            return Error(ErrorCode::CountMismatch,
+                         "v1 size mismatch: bytes remain past the declared " +
+                             std::to_string(count_) + " records");
+        }
+        done_ = true;
+        return std::size_t{0};
+    }
+    const auto n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kBlockRecords, count_ - read_));
+    auto have = fill(n * kRecordSize);
+    if (!have) return std::move(have).error();
+    if (!have.value()) {
+        return Error(ErrorCode::CountMismatch,
+                     "v1 size mismatch: declared " + std::to_string(count_) +
+                         " records, stream ends inside record " +
+                         std::to_string(read_ + (buf_.size() - pos_) / kRecordSize));
+    }
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto record = parse_record(buf_.data() + pos_, read_, abs_);
+        if (!record) return std::move(record).error();
+        out.push_back(std::move(record).value());
+        pos_ += kRecordSize;
+        abs_ += kRecordSize;
+        ++read_;
+    }
+    return n;
+}
+
+util::Result<std::size_t> FlowLogReader::next_v2(std::vector<FlowRecord>& out) {
+    if (read_ == count_) {
+        auto have = fill(kTrailerSize);
+        if (!have) return std::move(have).error();
+        if (!have.value()) {
+            return error_at_byte(ErrorCode::Truncated, "truncated v2 trailer",
+                                 abs_);
+        }
+        const char* tp = buf_.data() + pos_;
+        if (std::memcmp(tp, kTrailerMagic, sizeof(kTrailerMagic)) != 0) {
+            return error_at_byte(ErrorCode::BadMagic, "bad trailer magic", abs_);
+        }
+        const std::uint32_t trailer_crc =
+            util::crc32(std::string_view(tp, kTrailerSize - 4));
+        tp += sizeof(kTrailerMagic);
+        const auto trailer_count = take<std::uint64_t>(tp);
+        if (take<std::uint32_t>(tp) != trailer_crc) {
+            return error_at_byte(ErrorCode::ChecksumMismatch,
+                                 "trailer CRC mismatch",
+                                 abs_ + kTrailerSize - 4);
+        }
+        if (trailer_count != count_) {
+            return error_at_byte(ErrorCode::CountMismatch,
+                                 "trailer count " + std::to_string(trailer_count) +
+                                     " != header count " + std::to_string(count_),
+                                 abs_ + sizeof(kTrailerMagic));
+        }
+        pos_ += kTrailerSize;
+        abs_ += kTrailerSize;
+        auto more = fill(1);
+        if (!more) return std::move(more).error();
+        if (more.value()) {
+            return error_at_byte(ErrorCode::CountMismatch,
+                                 "bytes remain past the trailer", abs_);
+        }
+        done_ = true;
+        return std::size_t{0};
+    }
+
+    const std::uint64_t block = read_ / kBlockRecords;
+    const auto expected = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kBlockRecords, count_ - read_));
+    auto have = fill(kBlockHeaderSize);
+    if (!have) return std::move(have).error();
+    if (!have.value()) {
+        return error_at_byte(ErrorCode::Truncated,
+                             "truncated block " + std::to_string(block), abs_);
+    }
+    const char* bp = buf_.data() + pos_;
+    const auto block_records = take<std::uint32_t>(bp);
+    const auto block_crc = take<std::uint32_t>(bp);
+    if (block_records != expected) {
+        return error_at_record(
+            ErrorCode::CountMismatch,
+            "block " + std::to_string(block) + " declares " +
+                std::to_string(block_records) + " records, expected " +
+                std::to_string(expected),
+            read_, abs_);
+    }
+    const std::size_t payload_size = expected * kRecordSize;
+    have = fill(kBlockHeaderSize + payload_size);
+    if (!have) return std::move(have).error();
+    if (!have.value()) {
+        return error_at_byte(ErrorCode::Truncated,
+                             "stream ends inside block " + std::to_string(block),
+                             abs_ + kBlockHeaderSize);
+    }
+    const std::uint64_t payload_abs = abs_ + kBlockHeaderSize;
+    const std::uint32_t actual_crc = util::crc32(std::string_view(
+        buf_.data() + pos_ + kBlockHeaderSize, payload_size));
+    if (actual_crc != block_crc) {
+        return error_at_record(
+            ErrorCode::ChecksumMismatch,
+            "block " + std::to_string(block) + " (records " +
+                std::to_string(read_) + ".." +
+                std::to_string(read_ + expected - 1) + ") CRC mismatch",
+            read_, payload_abs);
+    }
+    pos_ += kBlockHeaderSize;
+    abs_ += kBlockHeaderSize;
+    out.reserve(expected);
+    for (std::size_t i = 0; i < expected; ++i) {
+        auto record = parse_record(buf_.data() + pos_, read_, abs_);
+        if (!record) return std::move(record).error();
+        out.push_back(std::move(record).value());
+        pos_ += kRecordSize;
+        abs_ += kRecordSize;
+        ++read_;
+    }
+    return expected;
+}
+
 }  // namespace ytcdn::capture

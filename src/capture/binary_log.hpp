@@ -1,11 +1,14 @@
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "capture/flow_record.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 
 namespace ytcdn::capture {
 
@@ -60,5 +63,85 @@ void write_binary_log_v1(std::ostream& os, const std::vector<FlowRecord>& record
 
 /// On-disk size of a legacy v1 log with `n` records, in bytes.
 [[nodiscard]] std::size_t binary_log_size_v1(std::size_t n) noexcept;
+
+/// Streaming v2 writer with bounded memory: records append through a
+/// one-block (4096-record) buffer, the header is written up front with a
+/// zero count and back-filled on finish(), and the file only appears under
+/// its final name after a durable publish — so a crashed spill run leaves
+/// no torn log behind. The published bytes are identical to
+/// write_binary_log of the same record sequence (pinned by the golden
+/// tests), which is what lets the out-of-core pipeline (DESIGN.md §16)
+/// spill a 10M-session week without ever materializing it.
+class FlowLogWriter {
+public:
+    FlowLogWriter() = default;
+    FlowLogWriter(FlowLogWriter&&) noexcept = default;
+    FlowLogWriter& operator=(FlowLogWriter&&) noexcept = default;
+
+    [[nodiscard]] static util::Result<FlowLogWriter> create(
+        const std::filesystem::path& path);
+
+    [[nodiscard]] util::Result<void> add(const FlowRecord& record);
+
+    [[nodiscard]] std::uint64_t records_written() const noexcept { return count_; }
+    [[nodiscard]] bool is_open() const noexcept { return writer_.is_open(); }
+
+    /// Flushes the partial block, appends the trailer, patches the header
+    /// with the real record count, and durably publishes the final name.
+    [[nodiscard]] util::Result<void> finish();
+    /// Abandons the log; the final name is never created.
+    void discard() { writer_.discard(); }
+
+private:
+    [[nodiscard]] util::Result<void> flush_block();
+
+    util::io::FileWriter writer_;
+    std::string block_;
+    std::uint32_t block_records_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/// Incremental flow-log reader: delivers records one CRC-verified block at
+/// a time through util::io::FileReader, holding O(block) memory however
+/// large the log is. Accepts both v2 and legacy v1 streams and reports the
+/// same typed error taxonomy as read_binary_log (BadMagic /
+/// UnsupportedVersion / Truncated / ChecksumMismatch / CountMismatch /
+/// BadField) with absolute byte/record provenance — the golden fuzz
+/// fixtures pin that the two readers fail identically.
+class FlowLogReader {
+public:
+    FlowLogReader() = default;
+    FlowLogReader(FlowLogReader&&) noexcept = default;
+    FlowLogReader& operator=(FlowLogReader&&) noexcept = default;
+
+    /// Opens the log and validates the header. `chunk_bytes` is the I/O
+    /// granularity (smaller chunks exercise more refill boundaries; the
+    /// chunk-boundary property tests sweep it).
+    [[nodiscard]] static util::Result<FlowLogReader> open(
+        const std::filesystem::path& path, std::size_t chunk_bytes = 1 << 20);
+
+    /// Replaces `out` with the next block of records (≤ 4096). Returns the
+    /// count; 0 means the stream ended cleanly (v2: trailer validated).
+    [[nodiscard]] util::Result<std::size_t> next(std::vector<FlowRecord>& out);
+
+    [[nodiscard]] std::uint64_t declared_records() const noexcept { return count_; }
+    [[nodiscard]] std::uint64_t records_read() const noexcept { return read_; }
+    [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+
+private:
+    [[nodiscard]] util::Result<bool> fill(std::size_t need);
+    [[nodiscard]] util::Result<std::size_t> next_v1(std::vector<FlowRecord>& out);
+    [[nodiscard]] util::Result<std::size_t> next_v2(std::vector<FlowRecord>& out);
+
+    util::io::FileReader reader_;
+    std::string buf_;
+    std::size_t pos_ = 0;        // unconsumed bytes start here in buf_
+    std::uint64_t abs_ = 0;      // absolute stream offset of buf_[pos_]
+    std::size_t chunk_ = 1 << 20;
+    std::uint64_t count_ = 0;
+    std::uint64_t read_ = 0;
+    std::uint32_t version_ = 0;
+    bool done_ = false;
+};
 
 }  // namespace ytcdn::capture

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "capture/flow_record.hpp"
+
+namespace ytcdn::capture {
+
+/// Consumer of classified flow records in emission order. Installing one on
+/// a Sniffer turns the capture path into a stream: records are forwarded as
+/// they are observed instead of accumulating in memory, which is what lets
+/// a 10M+-session run fit a bounded footprint (DESIGN.md §16).
+///
+/// Ordering contract: the player emits every flow at its *start* event (the
+/// end is analytically known at that point), so a sniffer's stream arrives
+/// sorted by non-decreasing start time — the same order the incremental
+/// analysis modules require.
+class FlowSink {
+public:
+    virtual ~FlowSink() = default;
+    virtual void on_flow(const FlowRecord& record) = 0;
+};
+
+}  // namespace ytcdn::capture

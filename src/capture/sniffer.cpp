@@ -11,7 +11,12 @@ void Sniffer::observe(const ObservedFlow& flow) {
     std::string_view host;
     if (auto record = classify_flow(flow, &host)) {
         hosts_.intern(host);
-        records_.push_back(*std::move(record));
+        ++classified_;
+        if (sink_ != nullptr) {
+            sink_->on_flow(*record);
+        } else {
+            records_.push_back(*std::move(record));
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 
 #include "capture/classifier.hpp"
 #include "capture/flow_record.hpp"
+#include "capture/flow_sink.hpp"
 #include "util/intern.hpp"
 
 namespace ytcdn::capture {
@@ -25,6 +26,14 @@ public:
     /// Feeds one completed flow through classification.
     void observe(const ObservedFlow& flow);
 
+    /// Streaming capture: when a sink is installed, classified records are
+    /// forwarded to it instead of accumulating in `records_` — the sniffer
+    /// then holds no per-flow state and records()/take_records() stay
+    /// empty. Classification, host interning and the observed/ignored
+    /// counters are identical in both modes. Null restores accumulation.
+    void set_sink(FlowSink* sink) noexcept { sink_ = sink; }
+    [[nodiscard]] bool streaming() const noexcept { return sink_ != nullptr; }
+
     [[nodiscard]] const std::vector<FlowRecord>& records() const noexcept {
         return records_;
     }
@@ -33,10 +42,10 @@ public:
 
     [[nodiscard]] std::uint64_t flows_observed() const noexcept { return observed_; }
     [[nodiscard]] std::uint64_t flows_classified() const noexcept {
-        return records_.size();
+        return classified_;
     }
     [[nodiscard]] std::uint64_t flows_ignored() const noexcept {
-        return observed_ - flows_classified();
+        return observed_ - classified_;
     }
 
     /// Content-server hostnames seen by DPI, interned in first-seen order.
@@ -49,7 +58,9 @@ private:
     std::string name_;
     std::vector<FlowRecord> records_;
     util::Interner hosts_;
+    FlowSink* sink_ = nullptr;
     std::uint64_t observed_ = 0;
+    std::uint64_t classified_ = 0;
 };
 
 }  // namespace ytcdn::capture

@@ -1,0 +1,111 @@
+#include "study/event_engine_driver.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "capture/sniffer.hpp"
+#include "sim/fault_injector.hpp"
+#include "util/intern.hpp"
+#include "workload/noise_source.hpp"
+#include "workload/request_generator.hpp"
+
+namespace ytcdn::study {
+
+EventEngineDriver::EventEngineDriver(StudyDeployment& deployment,
+                                     const workload::Player::Config& player_config)
+    : deployment_(&deployment), player_config_(player_config) {}
+
+TraceOutputs EventEngineDriver::run(sim::SimTime horizon) {
+    auto& dep = *deployment_;
+    const std::size_t n = dep.num_vantage_points();
+    if (!sinks_.empty() && sinks_.size() != n) {
+        throw std::invalid_argument(
+            "EventEngineDriver: flow sinks must match vantage-point count");
+    }
+    const std::size_t shards = num_shards_ == 0 ? n : num_shards_;
+    sim::EventEngine engine(shards);
+    sim::Rng rng = dep.root_rng().fork("trace-driver");
+
+    std::vector<std::unique_ptr<capture::Sniffer>> sniffers;
+    std::vector<std::unique_ptr<workload::Player>> players;
+    std::vector<std::unique_ptr<workload::RequestGenerator>> generators;
+    std::vector<std::unique_ptr<workload::NoiseSource>> noise;
+    sniffers.reserve(n);
+    players.reserve(n);
+    generators.reserve(n);
+    noise.reserve(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        auto& vp = dep.vantage(i);
+        sim::Simulator& shard = engine.shard(i % engine.num_shards());
+        sniffers.push_back(std::make_unique<capture::Sniffer>(vp.name));
+        if (!sinks_.empty()) sniffers.back()->set_sink(sinks_[i]);
+        workload::Player::Config player_cfg = player_config_;
+        // Same per-VP configuration as TraceDriver::run — EU2 keeps the
+        // legacy full-quality path, non-US networks get the lighter
+        // resolution mix and earlier abandonment of Table I.
+        if (vp.name == "EU2") player_cfg.legacy_full_quality = true;
+        workload::RequestGenerator::Config gen_cfg;
+        gen_cfg.zipf_exponent = dep.config().zipf_exponent;
+        gen_cfg.p_promoted = dep.config().p_promoted;
+        if (vp.name != "US-Campus") {
+            gen_cfg.resolution_weights = {0.25, 0.65, 0.08, 0.02, 0.0};
+            player_cfg.p_abort = 0.60;
+            player_cfg.max_abort_watch_frac = 0.70;
+        }
+        players.push_back(std::make_unique<workload::Player>(
+            shard, dep.cdn(), dep.dns(), *sniffers.back(), player_cfg,
+            rng.fork("player-" + vp.name),
+            sim::TraceStream(tracer_, static_cast<std::uint8_t>(i))));
+        generators.push_back(std::make_unique<workload::RequestGenerator>(
+            shard, vp, *players.back(), dep.catalog(), gen_cfg,
+            rng.fork("generator-" + vp.name)));
+        noise.push_back(std::make_unique<workload::NoiseSource>(
+            shard, vp, *sniffers.back(), workload::NoiseSource::Config{},
+            rng.fork("noise-" + vp.name)));
+    }
+
+    // Faults are deployment-wide; they live on shard 0 so their timestamps
+    // enter the global merge exactly once, and the shard-0 tie-break keeps
+    // them ordered ahead of any same-instant workload event — matching the
+    // legacy driver, where the injector armed before the generators and so
+    // held the earlier queue sequence number.
+    std::unique_ptr<sim::FaultInjector> injector;
+    if (!dep.config().fault_schedule.empty()) {
+        injector = std::make_unique<sim::FaultInjector>(
+            engine.shard(0), dep.config().fault_schedule);
+        bind_fault_handlers(*injector, dep, players);
+        injector->set_trace(sim::TraceStream(tracer_, 0xFF));
+        injector->arm();
+    }
+
+    for (auto& g : generators) g->run(horizon);
+    for (auto& s : noise) s->run(horizon);
+    engine.run_until(horizon + 2.0 * sim::kHour);
+
+    TraceOutputs out;
+    out.events_processed = engine.events_processed();
+    out.faults_injected = injector ? injector->injected() : 0;
+    out.datasets.reserve(n);
+    // Identical join to TraceDriver: interner shards fold in VP order so
+    // merged hostname ids are capture-order independent.
+    util::Interner hostnames;
+    for (std::size_t i = 0; i < n; ++i) {
+        out.flows_observed.push_back(sniffers[i]->flows_observed());
+        out.flows_ignored.push_back(sniffers[i]->flows_ignored());
+        (void)hostnames.merge_map(sniffers[i]->hosts());
+        capture::Dataset ds;
+        ds.name = dep.vantage(i).name;
+        ds.records = sniffers[i]->take_records();
+        ds.sort_by_time();
+        out.datasets.push_back(std::move(ds));
+        out.player_stats.push_back(players[i]->stats());
+        out.requests_generated.push_back(generators[i]->requests_generated());
+    }
+    out.unique_hosts = hostnames.size();
+    return out;
+}
+
+}  // namespace ytcdn::study

@@ -12,11 +12,6 @@
 
 namespace ytcdn::study {
 
-namespace {
-
-/// Binds the schedule's named targets to the deployment's CDN/DNS health
-/// machines. Unknown targets throw: a chaos experiment aimed at a typo'd
-/// city must fail loudly, not run a clean baseline by accident.
 void bind_fault_handlers(sim::FaultInjector& injector, StudyDeployment& dep,
                          std::vector<std::unique_ptr<workload::Player>>& players) {
     using sim::FaultAction;
@@ -90,8 +85,6 @@ void bind_fault_handlers(sim::FaultInjector& injector, StudyDeployment& dep,
         dep.dns().set_resolver_stale(resolver_of(e), false);
     });
 }
-
-}  // namespace
 
 TraceDriver::TraceDriver(StudyDeployment& deployment,
                          const workload::Player::Config& player_config)

@@ -28,6 +28,15 @@ struct TraceOutputs {
     std::uint64_t unique_hosts = 0;
 };
 
+/// Binds a fault schedule's named targets (data-center cities, server
+/// hostnames, resolver names) to the deployment's CDN/DNS health machines.
+/// Shared by the legacy TraceDriver and the event-engine driver so both
+/// react to the same schedule identically; unknown targets throw — a chaos
+/// experiment aimed at a typo'd city must fail loudly, not run a clean
+/// baseline by accident.
+void bind_fault_handlers(sim::FaultInjector& injector, StudyDeployment& dep,
+                         std::vector<std::unique_ptr<workload::Player>>& players);
+
 /// Runs the paper's capture campaign: all five vantage points generate
 /// traffic against the shared CDN on one discrete-event simulator (server
 /// load and cache state are global, as in reality), while a Tstat-like

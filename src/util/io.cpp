@@ -586,6 +586,226 @@ Result<void> write_file_atomic(const std::filesystem::path& path,
     return write_file_atomic(path, buffer.str());
 }
 
+// --- streaming files ---------------------------------------------------------
+
+namespace {
+
+/// fsync of a just-written file by path; a no-op on hosts without
+/// fd-level durability (mirroring the write_file_atomic fallback).
+Result<void> sync_file_durable(const std::filesystem::path& path) {
+#ifdef YTCDN_IO_POSIX
+    const int fd = open_retry(path.c_str(), O_RDONLY);
+    if (fd < 0) return errno_error("open", path);
+    const bool ok = fsync_retry(fd);
+    ::close(fd);
+    if (!ok) return errno_error("fsync", path);
+#else
+    (void)path;
+#endif
+    return {};
+}
+
+Result<void> sync_parent_durable(const std::filesystem::path& path) {
+#ifdef YTCDN_IO_POSIX
+    return sync_parent_dir(path);
+#else
+    (void)path;
+    return {};
+#endif
+}
+
+}  // namespace
+
+struct FileReader::Impl {
+    std::ifstream is;
+    std::filesystem::path path;
+    std::uint64_t offset = 0;
+};
+
+FileReader::FileReader() = default;
+FileReader::FileReader(FileReader&&) noexcept = default;
+FileReader& FileReader::operator=(FileReader&&) noexcept = default;
+FileReader::~FileReader() = default;
+
+Result<FileReader> FileReader::open(const std::filesystem::path& path) {
+    if (const FaultKind f = check_fault(Op::Open, path); f != FaultKind::None) {
+        return injected_error(f, Op::Open, path);
+    }
+    auto impl = std::make_unique<Impl>();
+    impl->is.open(path, std::ios::binary);
+    if (!impl->is) {
+        return Error(ErrorCode::Io, "cannot open " + path.string());
+    }
+    impl->path = path;
+    FileReader reader;
+    reader.impl_ = std::move(impl);
+    return reader;
+}
+
+Result<std::size_t> FileReader::read(char* buf, std::size_t max) {
+    if (!impl_) return Error(ErrorCode::Io, "FileReader: not open");
+    if (max == 0) return std::size_t{0};
+    impl_->is.read(buf, static_cast<std::streamsize>(max));
+    const auto n = static_cast<std::size_t>(impl_->is.gcount());
+    if (impl_->is.bad()) {
+        return Error(ErrorCode::Io, "read failed for " + impl_->path.string());
+    }
+    if (n > 0) {
+        if (const FaultKind f = check_fault(Op::Read, impl_->path);
+            f != FaultKind::None) {
+            // A short read delivers a torn chunk before failing, like a
+            // real EIO mid-file would.
+            impl_->offset += (f == FaultKind::ShortWrite ? n / 2 : 0);
+            return injected_error(f, Op::Read, impl_->path);
+        }
+    }
+    impl_->offset += n;
+    return n;
+}
+
+Result<std::size_t> FileReader::read_chunk(std::string& out, std::size_t max) {
+    const std::size_t base = out.size();
+    out.resize(base + max);
+    auto n = read(out.data() + base, max);
+    out.resize(base + (n.ok() ? n.value() : 0));
+    if (!n) return n.error();
+    return n.value();
+}
+
+std::uint64_t FileReader::offset() const noexcept {
+    return impl_ ? impl_->offset : 0;
+}
+
+const std::filesystem::path& FileReader::path() const noexcept {
+    static const std::filesystem::path empty;
+    return impl_ ? impl_->path : empty;
+}
+
+void FileReader::close() { impl_.reset(); }
+
+struct FileWriter::Impl {
+    std::ofstream os;
+    std::filesystem::path final_path;
+    std::filesystem::path tmp_path;
+    std::uint64_t logical_end = 0;
+};
+
+FileWriter::FileWriter() = default;
+FileWriter::FileWriter(FileWriter&&) noexcept = default;
+FileWriter& FileWriter::operator=(FileWriter&&) noexcept = default;
+FileWriter::~FileWriter() { discard(); }
+
+Result<FileWriter> FileWriter::create(const std::filesystem::path& path) {
+    std::error_code ec;
+    if (path.has_parent_path()) {
+        std::filesystem::create_directories(path.parent_path(), ec);
+        if (ec) {
+            return Error(ErrorCode::Io, "create_directories failed for " +
+                                            path.parent_path().string());
+        }
+    }
+    if (const FaultKind f = check_fault(Op::Open, path); f != FaultKind::None) {
+        return injected_error(f, Op::Open, path);
+    }
+    auto impl = std::make_unique<Impl>();
+    impl->final_path = path;
+    impl->tmp_path = path.string() + ".tmp";
+    impl->os.open(impl->tmp_path, std::ios::binary | std::ios::trunc);
+    if (!impl->os) {
+        return Error(ErrorCode::Io, "cannot open " + impl->tmp_path.string());
+    }
+    FileWriter writer;
+    writer.impl_ = std::move(impl);
+    return writer;
+}
+
+Result<void> FileWriter::append(std::string_view bytes) {
+    if (!impl_) return Error(ErrorCode::Io, "FileWriter: not open");
+    if (const FaultKind f = check_fault(Op::Write, impl_->final_path);
+        f != FaultKind::None) {
+        if (f == FaultKind::ShortWrite) {
+            // Tear the temp file exactly as a real short write would; the
+            // caller's discard (or our destructor) removes the evidence and
+            // the final name never existed.
+            impl_->os.write(bytes.data(),
+                            static_cast<std::streamsize>(bytes.size() / 2));
+        }
+        return injected_error(f, Op::Write, impl_->final_path);
+    }
+    impl_->os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!impl_->os) {
+        return Error(ErrorCode::Io, "write failed for " + impl_->tmp_path.string());
+    }
+    impl_->logical_end += bytes.size();
+    return {};
+}
+
+Result<void> FileWriter::write_at(std::uint64_t offset, std::string_view bytes) {
+    if (!impl_) return Error(ErrorCode::Io, "FileWriter: not open");
+    if (offset + bytes.size() > impl_->logical_end) {
+        return Error(ErrorCode::InvalidArgument,
+                     "FileWriter::write_at: patch beyond written bytes in " +
+                         impl_->tmp_path.string());
+    }
+    if (const FaultKind f = check_fault(Op::Write, impl_->final_path);
+        f != FaultKind::None) {
+        return injected_error(f, Op::Write, impl_->final_path);
+    }
+    impl_->os.seekp(static_cast<std::streamoff>(offset));
+    impl_->os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    impl_->os.seekp(static_cast<std::streamoff>(impl_->logical_end));
+    if (!impl_->os) {
+        return Error(ErrorCode::Io,
+                     "write_at failed for " + impl_->tmp_path.string());
+    }
+    return {};
+}
+
+std::uint64_t FileWriter::bytes_written() const noexcept {
+    return impl_ ? impl_->logical_end : 0;
+}
+
+const std::filesystem::path& FileWriter::path() const noexcept {
+    static const std::filesystem::path empty;
+    return impl_ ? impl_->final_path : empty;
+}
+
+Result<void> FileWriter::publish() {
+    if (!impl_) return Error(ErrorCode::Io, "FileWriter: not open");
+    const auto fail = [this](Error error) {
+        discard();
+        return error;
+    };
+    impl_->os.flush();
+    if (!impl_->os) {
+        return fail(Error(ErrorCode::Io,
+                          "flush failed for " + impl_->tmp_path.string()));
+    }
+    impl_->os.close();
+    if (const FaultKind f = check_fault(Op::Fsync, impl_->final_path);
+        f != FaultKind::None) {
+        return fail(injected_error(f, Op::Fsync, impl_->final_path));
+    }
+    if (auto r = sync_file_durable(impl_->tmp_path); !r) {
+        return fail(std::move(r).error());
+    }
+    // rename_file carries the Rename fault point.
+    if (auto r = rename_file(impl_->tmp_path, impl_->final_path); !r) {
+        return fail(std::move(r).error());
+    }
+    const std::filesystem::path published = impl_->final_path;
+    impl_.reset();
+    return sync_parent_durable(published);
+}
+
+void FileWriter::discard() {
+    if (!impl_) return;
+    impl_->os.close();
+    std::error_code ignore;
+    std::filesystem::remove(impl_->tmp_path, ignore);
+    impl_.reset();
+}
+
 Result<std::filesystem::path> quarantine_file(const std::filesystem::path& path,
                                               std::size_t keep) {
     if (keep == 0) keep = kDefaultQuarantineKeep;

@@ -156,6 +156,81 @@ private:
 [[nodiscard]] Result<void> rename_file(const std::filesystem::path& from,
                                        const std::filesystem::path& to);
 
+/// Incremental file reader: bounded chunk reads through the fault-plan
+/// boundary, for consumers that must not materialize the whole file (the
+/// out-of-core YFL2/YTR1 streaming paths — DESIGN.md §16). Move-only.
+/// Fault points: Open at open(), Read at every chunk (a ShortWrite fault
+/// delivers a torn chunk first, like read_file).
+class FileReader {
+public:
+    FileReader();
+    FileReader(FileReader&&) noexcept;
+    FileReader& operator=(FileReader&&) noexcept;
+    FileReader(const FileReader&) = delete;
+    FileReader& operator=(const FileReader&) = delete;
+    ~FileReader();
+
+    [[nodiscard]] static Result<FileReader> open(const std::filesystem::path& path);
+
+    /// Reads up to `max` bytes into `buf`; returns the count, 0 at EOF.
+    [[nodiscard]] Result<std::size_t> read(char* buf, std::size_t max);
+    /// Appends up to `max` bytes to `out` (resizing it); returns the count.
+    [[nodiscard]] Result<std::size_t> read_chunk(std::string& out, std::size_t max);
+
+    /// Bytes delivered so far — the provenance offset for error reports.
+    [[nodiscard]] std::uint64_t offset() const noexcept;
+    [[nodiscard]] const std::filesystem::path& path() const noexcept;
+    [[nodiscard]] bool is_open() const noexcept { return impl_ != nullptr; }
+    void close();
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Incremental atomic file writer: appends stream to "<path>.tmp"; only
+/// publish() — fsync, rename over the final name, fsync the parent
+/// directory — makes the file visible, so a crashed or discarded writer
+/// never leaves a torn log under the final name. write_at() patches bytes
+/// already appended (how the streaming YFL2 writer back-fills the header's
+/// record count on close without buffering the log). Move-only; an
+/// unpublished writer discards its temp file on destruction. Fault
+/// points: Open at create(), Write at append()/write_at(), Fsync and
+/// Rename at publish().
+class FileWriter {
+public:
+    FileWriter();
+    FileWriter(FileWriter&&) noexcept;
+    FileWriter& operator=(FileWriter&&) noexcept;
+    FileWriter(const FileWriter&) = delete;
+    FileWriter& operator=(const FileWriter&) = delete;
+    ~FileWriter();
+
+    /// Creates parent directories and opens "<path>.tmp" for writing.
+    [[nodiscard]] static Result<FileWriter> create(const std::filesystem::path& path);
+
+    [[nodiscard]] Result<void> append(std::string_view bytes);
+    /// Overwrites bytes at `offset` within what was already appended; the
+    /// write position returns to the end afterwards.
+    [[nodiscard]] Result<void> write_at(std::uint64_t offset, std::string_view bytes);
+
+    /// Logical size so far (appends only; write_at never extends).
+    [[nodiscard]] std::uint64_t bytes_written() const noexcept;
+    /// The final (post-publish) path.
+    [[nodiscard]] const std::filesystem::path& path() const noexcept;
+    [[nodiscard]] bool is_open() const noexcept { return impl_ != nullptr; }
+
+    /// Durably publishes under the final name and closes the writer. On
+    /// failure the temp file is removed and the final name is untouched.
+    [[nodiscard]] Result<void> publish();
+    /// Closes and removes the temp file without publishing.
+    void discard();
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
 /// Moves a damaged file aside as "<path>.corrupt.<k>" (k increments past
 /// any existing quarantined sibling) and prunes older quarantined copies
 /// so at most `keep` remain — repeated corruption in a long run must not

@@ -66,6 +66,47 @@ void populate_clients(VantagePoint& vp, std::size_t count, sim::Rng& rng) {
     }
 }
 
+std::size_t max_clients(const VantagePoint& vp) {
+    if (vp.subnets.empty()) return 0;
+    double total_share = 0.0;
+    for (const auto& s : vp.subnets) {
+        if (s.client_share <= 0.0) return 0;
+        total_share += s.client_share;
+    }
+
+    // Replays populate_clients' exact rounding arithmetic (llround per
+    // subnet, last absorbs leftovers) so the answer is the precise
+    // boundary, not an estimate.
+    const auto fits = [&](std::size_t count) {
+        std::size_t assigned = 0;
+        for (std::size_t si = 0; si < vp.subnets.size(); ++si) {
+            const auto& group = vp.subnets[si];
+            const std::size_t here =
+                si + 1 == vp.subnets.size()
+                    ? count - assigned
+                    : static_cast<std::size_t>(std::llround(
+                          static_cast<double>(count) * group.client_share /
+                          total_share));
+            if (here + 2 > group.prefix.size()) return false;
+            assigned += here;
+        }
+        return true;
+    };
+
+    // Analytic bound per subnet (share of count must fit in size - 2),
+    // then walk down over the rounding fringe to the exact maximum.
+    double bound = 0.0;
+    for (std::size_t si = 0; si < vp.subnets.size(); ++si) {
+        const auto& group = vp.subnets[si];
+        const double cap = (static_cast<double>(group.prefix.size()) - 2.0) *
+                           total_share / group.client_share;
+        bound = si == 0 ? cap : std::min(bound, cap);
+    }
+    auto count = static_cast<std::size_t>(bound) + vp.subnets.size() + 1;
+    while (count > 0 && !fits(count)) --count;
+    return count;
+}
+
 std::size_t sample_client_index(const VantagePoint& vp, sim::Rng& rng) {
     if (vp.client_activity_cdf.empty()) {
         throw std::logic_error("sample_client_index: populate_clients first");

@@ -16,6 +16,14 @@ namespace ytcdn::workload {
 /// its share of clients.
 void populate_clients(VantagePoint& vp, std::size_t count, sim::Rng& rng);
 
+/// Largest `count` populate_clients(vp, count, ...) accepts — i.e. the
+/// address-space capacity of `vp.subnets` under the proportional split
+/// (each subnet must hold its share plus network/broadcast). 0 when there
+/// are no subnets. Large-scale runs cap the census here: the arrival
+/// process, not the client count, sets traffic volume, so saturating the
+/// address space just raises sessions-per-client (DESIGN.md §16).
+[[nodiscard]] std::size_t max_clients(const VantagePoint& vp);
+
 /// Picks a client index for a new session: clients are not equally active —
 /// per-client activity follows a Zipf-ish skew so a minority of heavy
 /// watchers dominates, as campus characterizations report. Deterministic in

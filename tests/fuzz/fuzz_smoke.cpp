@@ -107,6 +107,45 @@ void fuzz_binary_log(Tally& tally, const std::string& valid, bool v2,
     }
 }
 
+/// Writes `bytes` to `path` and drains a FlowLogReader over them: the
+/// incremental reader honors the same crash-free typed-error contract as
+/// the batch parser, through its real file-I/O path.
+util::Result<void> drain_streaming_log(const std::filesystem::path& path,
+                                       const std::string& bytes) {
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    auto reader = capture::FlowLogReader::open(path, 64);
+    if (!reader.ok()) return reader.error();
+    std::vector<capture::FlowRecord> block;
+    for (;;) {
+        auto n = reader.value().next(block);
+        if (!n.ok()) return n.error();
+        if (n.value() == 0) return {};
+    }
+}
+
+void fuzz_streaming_log(Tally& tally, const std::string& valid, sim::Rng rng,
+                        std::uint64_t iterations) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "ytcdn_fuzz_streaming";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const auto path = dir / "mutated.yfl";
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        const auto bytes = fuzz::mutate_bytes_n(valid, rng);
+        run_case(tally, "streaming_log", i,
+                 [&] { return drain_streaming_log(path, bytes); });
+    }
+    for (std::uint64_t i = 0; i < iterations / 4; ++i) {
+        const auto bytes = fuzz::garbage_bytes(512, rng);
+        run_case(tally, "streaming_log_garbage", i,
+                 [&] { return drain_streaming_log(path, bytes); });
+    }
+    std::filesystem::remove_all(dir);
+}
+
 void fuzz_snapshot_stream(Tally& tally, const std::string& valid,
                           const study::StudyConfig& cfg, sim::Rng rng,
                           std::uint64_t iterations) {
@@ -269,6 +308,10 @@ void sweep_corpus(Tally& tally, const std::filesystem::path& dir,
         if (entry.is_regular_file()) files.push_back(entry.path());
     }
     std::sort(files.begin(), files.end());
+    const auto scratch =
+        std::filesystem::temp_directory_path() / "ytcdn_fuzz_corpus_scratch";
+    std::filesystem::remove_all(scratch);
+    std::filesystem::create_directories(scratch);
     std::uint64_t i = 0;
     for (const auto& file : files) {
         std::ifstream is(file, std::ios::binary);
@@ -302,8 +345,13 @@ void sweep_corpus(Tally& tally, const std::filesystem::path& dir,
                      (void)sim::validate_trace(r.value(), 3);
                      return {};
                  });
+        run_case(tally, "corpus:" + file.filename().string() + ":streaming_log",
+                 i, [&] {
+                     return drain_streaming_log(scratch / "fixture.yfl", bytes);
+                 });
         ++i;
     }
+    std::filesystem::remove_all(scratch);
     std::cout << "fuzz_smoke: swept " << files.size() << " corpus fixtures\n";
 }
 
@@ -355,6 +403,7 @@ int main(int argc, char** argv) {
 
     fuzz_binary_log(tally, v2.str(), /*v2=*/true, master.fork("v2"), 1200);
     fuzz_binary_log(tally, v1.str(), /*v2=*/false, master.fork("v1"), 800);
+    fuzz_streaming_log(tally, v2.str(), master.fork("streaming"), 300);
     fuzz_snapshot_stream(tally, snap.str(), cfg, master.fork("snap"), 800);
     fuzz_snapshot_quarantine(tally, snap.str(), cfg, master.fork("quarantine"), 60);
     fuzz_trace_log(tally, trace_bytes, master.fork("trace"), 800);

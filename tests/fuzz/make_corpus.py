@@ -77,6 +77,28 @@ def fixtures() -> dict[str, bytes]:
     bad_record = struct.pack("<IIddQQB", 1, 2, 0.0, 1.0, 100, 7, 0)
     out["v1_bad_itag.yfl"] = b"YFL1" + struct.pack("<IQ", 1, 1) + bad_record
 
+    # --- incremental-reader fixtures (FlowLogReader parity) --------------
+    # Valid header for 3 records, block header agrees, but the stream ends
+    # mid-record: the streaming reader's refill path must report the same
+    # truncation the batch reader does, not spin or over-read.
+    rec = struct.pack("<IIddQQB", 1, 2, 0.0, 1.0, 100, 7, 22)
+    block3 = rec * 3
+    out["v2_truncated_mid_block.yfl"] = (
+        v2_header(3) + struct.pack("<II", 3, crc(block3)) + block3[:70])
+    # Block header declares more records than the file-level count admits:
+    # count cross-validation, not CRC, must reject it.
+    out["v2_block_count_lies.yfl"] = (
+        v2_header(1) + struct.pack("<II", 5, crc(rec)) + rec)
+    # Well-formed blocks but a trailer whose magic is wrong (its own CRC is
+    # consistent): the end-of-stream validator must name BadMagic.
+    tail = b"XFLE" + struct.pack("<Q", 1)
+    out["v2_trailer_bad_magic.yfl"] = (
+        v2_header(1) + struct.pack("<II", 1, crc(rec)) + rec
+        + tail + struct.pack("<I", crc(tail)))
+    # v1 declaring 4 records but carrying only 2: the unchecksummed format's
+    # only tripwire is the size arithmetic.
+    out["v1_truncated.yfl"] = b"YFL1" + struct.pack("<IQ", 1, 4) + rec * 2
+
     # --- snapshot (YSS2) --------------------------------------------------
     out["snapshot_bad_magic.yss"] = b"XSS2" + bytes(32)
     out["snapshot_truncated.yss"] = b"YSS2" + struct.pack("<I", 2) + b"\x01"

@@ -70,6 +70,25 @@ TEST(Population, SubnetTooSmallThrows) {
     EXPECT_THROW(workload::populate_clients(vp, 200, rng), std::invalid_argument);
 }
 
+TEST(Population, MaxClientsIsTheExactAcceptanceBoundary) {
+    auto vp = make_vp();
+    const std::size_t cap = workload::max_clients(vp);
+    ASSERT_GT(cap, 0u);
+    // /24s hold 254 usable hosts; subnet A (share 0.5) binds first.
+    EXPECT_LE(cap, 3 * 254u);
+
+    sim::Rng rng(9);
+    auto at_cap = vp;
+    workload::populate_clients(at_cap, cap, rng);
+    EXPECT_EQ(at_cap.clients.size(), cap);
+    auto over_cap = vp;
+    EXPECT_THROW(workload::populate_clients(over_cap, cap + 1, rng),
+                 std::invalid_argument);
+
+    workload::VantagePoint empty;
+    EXPECT_EQ(workload::max_clients(empty), 0u);
+}
+
 TEST(Population, InvalidInputsThrow) {
     auto vp = make_vp();
     sim::Rng rng(5);
